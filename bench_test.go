@@ -1,0 +1,620 @@
+package carpool
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Figure benchmarks
+// execute the corresponding experiment harness at Quick scale and report
+// the headline quantity as a custom metric; micro-benchmarks cover the hot
+// paths (FFT, Viterbi, frame construction, MAC simulation). Ablation
+// benchmarks quantify the design choices called out in DESIGN.md §5.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"carpool/internal/bloom"
+	"carpool/internal/core"
+	"carpool/internal/dsp"
+	"carpool/internal/experiments"
+	"carpool/internal/fec"
+	"carpool/internal/mac"
+	"carpool/internal/phy"
+	"carpool/internal/sidechannel"
+	"carpool/internal/traffic"
+)
+
+// ---------------------------------------------------------------------------
+// Figure and table benchmarks (one per evaluation artifact).
+
+func BenchmarkFig1TrafficStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats := experiments.Fig1()
+		if len(stats) != 2 {
+			b.Fatal("expected two traces")
+		}
+		b.ReportMetric(stats[0].DownlinkRatio*100, "downlink-%")
+	}
+}
+
+func BenchmarkFig3BERBias(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the bias: tail BER over head BER.
+		n := len(rows)
+		head, tail := meanBER(rows[:n/4]), meanBER(rows[3*n/4:])
+		if head > 0 {
+			b.ReportMetric(tail/head, "tail/head-BER")
+		}
+	}
+}
+
+func meanBER(rows []experiments.Fig3Row) float64 {
+	var s float64
+	for _, r := range rows {
+		s += r.BER
+	}
+	return s / float64(len(rows))
+}
+
+func BenchmarkTable1PhaseModulation(b *testing.B) {
+	// Table 1 is a specification: benchmark the encode/decode round trip
+	// of the full alphabet at symbol rate.
+	enc, err := sidechannel.NewEncoder(sidechannel.TwoBit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := sidechannel.NewDecoder(sidechannel.TwoBit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec.Prime(0)
+	bits := []byte{1, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := enc.Next(bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dec.Next(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11SideChannelImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rows {
+			if r.BERStandard > 1e-4 && r.RelativeDelta > worst {
+				worst = r.RelativeDelta
+			}
+		}
+		b.ReportMetric(worst*100, "worst-rel-delta-%")
+	}
+}
+
+func BenchmarkFig12SideChannelReliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		better := 0
+		for _, r := range rows {
+			if r.SideBER <= r.DataBER {
+				better++
+			}
+		}
+		b.ReportMetric(float64(better)/float64(len(rows))*100, "side<=data-%")
+	}
+}
+
+func BenchmarkFig13RTEBias(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var stdTail, rteTail float64
+		var n int
+		for _, r := range rows {
+			if r.SymbolIndex > 100 {
+				stdTail += r.BERStandard
+				rteTail += r.BERRTE
+				n++
+			}
+		}
+		if n > 0 && rteTail > 0 {
+			b.ReportMetric(stdTail/rteTail, "std/RTE-tail-BER")
+		}
+	}
+}
+
+func BenchmarkFig14RTEModulations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gain float64
+		for _, r := range rows {
+			if r.Modulation.String() == "QAM64" && r.Power == 0.2 && r.BERRTE > 0 {
+				gain = r.BERStandard / r.BERRTE
+			}
+		}
+		b.ReportMetric(gain, "QAM64-std/RTE")
+	}
+}
+
+// macLab is shared across the MAC figure benchmarks: trace collection is
+// the expensive offline step and the figures all replay the same traces.
+var (
+	macLabOnce sync.Once
+	macLab     *experiments.MACLab
+	macLabErr  error
+)
+
+func sharedLab(b *testing.B) *experiments.MACLab {
+	b.Helper()
+	macLabOnce.Do(func() {
+		macLab, macLabErr = experiments.NewMACLab(experiments.Quick)
+	})
+	if macLabErr != nil {
+		b.Fatal(macLabErr)
+	}
+	return macLab
+}
+
+func BenchmarkFig15VoIP(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(carpoolOverLegacy(rows), "carpool/802.11-goodput")
+	}
+}
+
+func BenchmarkFig16Background(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(carpoolOverLegacy(rows), "carpool/802.11-goodput")
+	}
+}
+
+func carpoolOverLegacy(rows []experiments.MACRow) float64 {
+	var cp, lg float64
+	for _, r := range rows {
+		if r.NumSTAs != 30 {
+			continue
+		}
+		switch r.Protocol {
+		case mac.Carpool:
+			cp = r.GoodputMbps
+		case mac.Legacy80211:
+			lg = r.GoodputMbps
+		}
+	}
+	if lg == 0 {
+		return 0
+	}
+	return cp / lg
+}
+
+func BenchmarkFig17aLatencyBound(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.Fig17a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Gain, "gain-at-10ms")
+	}
+}
+
+func BenchmarkFig17bFrameSize(b *testing.B) {
+	lab := sharedLab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := lab.Fig17b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		if last.AMPDU > 0 {
+			b.ReportMetric(last.Carpool/last.AMPDU, "gain-at-1500B")
+		}
+	}
+}
+
+func BenchmarkBloomFalsePositives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BloomStudy(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].MeasuredFP*100, "FP-at-8rx-%")
+	}
+}
+
+func BenchmarkEnergyStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.EnergyStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].NodeOverhead*100, "node-overhead-%")
+	}
+}
+
+func BenchmarkGranularityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Granularity(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "schemes")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md §5).
+
+func BenchmarkAblationRTEUpdateRule(b *testing.B) {
+	for _, rule := range []core.UpdateRule{core.RuleHalving, core.RuleReplace, core.RuleEMA25} {
+		rule := rule
+		b.Run(rule.String(), func(b *testing.B) {
+			scheme := sidechannel.DefaultScheme()
+			rng := rand.New(rand.NewSource(9))
+			payload := make([]byte, 3000)
+			rng.Read(payload)
+			var tailErr, tailBits int
+			for i := 0; i < b.N; i++ {
+				frame, err := TransmitPHY(payload, PHYTxConfig{MCS: MCS48, SideChannel: &scheme})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch, err := NewChannel(ChannelConfig{
+					SNRdB: 30, NumTaps: 3, RicianK: 15, TapDecay: 3,
+					CoherenceSymbols: 800, CFOHz: 400, Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := ReceivePHY(ch.Transmit(frame.Samples), PHYRxConfig{
+					KnownStart: 0, SkipFEC: true, SideChannel: &scheme,
+					Tracker: core.NewRTETrackerWithRule(rule),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != phy.StatusOK {
+					continue
+				}
+				errs, bits := phy.CompareBlocks(frame.Blocks, res.Blocks)
+				for k := 3 * len(errs) / 4; k < len(errs); k++ {
+					tailErr += errs[k]
+					tailBits += bits
+				}
+			}
+			if tailBits > 0 {
+				b.ReportMetric(float64(tailErr)/float64(tailBits)*1e6, "tail-BER-ppm")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBloomHashes(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	for _, h := range []int{1, 2, 4, 6, 8} {
+		h := h
+		b.Run(hashName(h), func(b *testing.B) {
+			hits, probes := 0, 0
+			for i := 0; i < b.N; i++ {
+				macs := make([]bloom.MAC, 8)
+				for j := range macs {
+					rng.Read(macs[j][:])
+				}
+				f, err := bloom.Build(macs, h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var foreign bloom.MAC
+				rng.Read(foreign[:])
+				for pos := 1; pos <= 8; pos++ {
+					probes++
+					if f.Match(foreign, pos, h) {
+						hits++
+					}
+				}
+			}
+			b.ReportMetric(float64(hits)/float64(probes)*100, "FP-%")
+		})
+	}
+}
+
+func hashName(h int) string {
+	return "h=" + string(rune('0'+h))
+}
+
+func BenchmarkAblationSideChannelGranularity(b *testing.B) {
+	for _, alpha := range []sidechannel.Alphabet{sidechannel.OneBit, sidechannel.TwoBit} {
+		for g := 1; g <= 3; g++ {
+			scheme := sidechannel.Scheme{Alphabet: alpha, GroupSize: g}
+			b.Run(scheme.String(), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(11))
+				payload := make([]byte, 2000)
+				rng.Read(payload)
+				var okSyms, syms int
+				for i := 0; i < b.N; i++ {
+					frame, err := TransmitPHY(payload, PHYTxConfig{MCS: MCS48, SideChannel: &scheme})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ch, err := NewChannel(ChannelConfig{
+						SNRdB: 28, NumTaps: 3, RicianK: 15, TapDecay: 3,
+						CoherenceSymbols: 2000, Seed: int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := ReceivePHY(ch.Transmit(frame.Samples), PHYRxConfig{
+						KnownStart: 0, SkipFEC: true, SideChannel: &scheme,
+						Tracker: NewRTETracker(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, ok := range res.SymbolOK {
+						syms++
+						if ok {
+							okSyms++
+						}
+					}
+				}
+				if syms > 0 {
+					b.ReportMetric(float64(okSyms)/float64(syms)*100, "data-pilot-%")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAblationSequentialACK(b *testing.B) {
+	for _, simultaneous := range []bool{false, true} {
+		name := "sequential"
+		if simultaneous {
+			name = "simultaneous"
+		}
+		b.Run(name, func(b *testing.B) {
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(12))
+				const n = 25
+				down := make([][]traffic.Arrival, n)
+				for j := range down {
+					down[j] = traffic.CBRFlow(rng, 120, 10*time.Millisecond, 3*time.Second)
+				}
+				res, err := RunMAC(MACConfig{
+					Protocol: CarpoolMAC, NumSTAs: n, Duration: 3 * time.Second,
+					Seed: int64(i), Downlink: down, SaturatedUplink: true,
+					SimultaneousACK: simultaneous,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				goodput = res.DownlinkGoodputMbps
+			}
+			b.ReportMetric(goodput, "goodput-Mbps")
+		})
+	}
+}
+
+func BenchmarkAblationMaxReceivers(b *testing.B) {
+	for _, maxRx := range []int{2, 4, 8} {
+		maxRx := maxRx
+		b.Run(rxName(maxRx), func(b *testing.B) {
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(13))
+				const n = 30
+				down := make([][]traffic.Arrival, n)
+				for j := range down {
+					down[j] = traffic.CBRFlow(rng, 120, 10*time.Millisecond, 3*time.Second)
+				}
+				res, err := RunMAC(MACConfig{
+					Protocol: CarpoolMAC, NumSTAs: n, Duration: 3 * time.Second,
+					Seed: int64(i), Downlink: down, SaturatedUplink: true,
+					MaxReceivers: maxRx,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				goodput = res.DownlinkGoodputMbps
+			}
+			b.ReportMetric(goodput, "goodput-Mbps")
+		})
+	}
+}
+
+func rxName(n int) string {
+	return "rx=" + string(rune('0'+n))
+}
+
+func BenchmarkAblationSoftVsHardViterbi(b *testing.B) {
+	// The future-work extension: soft-decision decoding vs the paper's
+	// hard-decision prototype, at an Eb/N0 where hard decoding struggles.
+	for _, soft := range []bool{false, true} {
+		name := "hard"
+		if soft {
+			name = "soft"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(19))
+			info := make([]byte, 2406)
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			coded, err := fec.ConvEncode(info, fec.Rate1_2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fails := 0
+			for i := 0; i < b.N; i++ {
+				const sigma = 0.75 // ~3.5 dB Eb/N0: the hard decoder's waterfall
+				llrs := make([]float64, len(coded))
+				hard := make([]byte, len(coded))
+				for j, c := range coded {
+					y := 1.0 - 2.0*float64(c) + rng.NormFloat64()*sigma
+					llrs[j] = 2 * y / (sigma * sigma)
+					if y < 0 {
+						hard[j] = 1
+					}
+				}
+				var dec []byte
+				if soft {
+					dec, err = fec.ViterbiDecodeSoft(llrs, fec.Rate1_2, len(info))
+				} else {
+					dec, err = fec.ViterbiDecode(hard, fec.Rate1_2, len(info))
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range info {
+					if dec[j] != info[j] {
+						fails++
+						break
+					}
+				}
+			}
+			b.ReportMetric(float64(fails)/float64(b.N)*100, "FER-%")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path micro-benchmarks.
+
+func BenchmarkFFT64(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dsp.FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViterbiDecode1500B(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	info := make([]byte, 12000)
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	coded, err := fec.ConvEncode(info, fec.Rate1_2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fec.ViterbiDecode(coded, fec.Rate1_2, len(info)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1500)
+}
+
+func BenchmarkCarpoolFrameBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	subs := make([]Subframe, 4)
+	for i := range subs {
+		payload := make([]byte, 400)
+		rng.Read(payload)
+		subs[i] = Subframe{
+			Receiver: MAC{2, 0, 0, 0, 0, byte(i)}, MCS: MCS48, Payload: payload,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildFrame(subs, FrameConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCarpoolFrameReceive(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	subs := make([]Subframe, 4)
+	for i := range subs {
+		payload := make([]byte, 400)
+		rng.Read(payload)
+		subs[i] = Subframe{
+			Receiver: MAC{2, 0, 0, 0, 0, byte(i)}, MCS: MCS48, Payload: payload,
+		}
+	}
+	frame, err := BuildFrame(subs, FrameConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := NewChannel(ChannelConfig{
+		SNRdB: 30, NumTaps: 3, RicianK: 15, TapDecay: 3, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := ch.Transmit(frame.Samples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ReceiveFrame(rx, ReceiverConfig{
+			MAC: subs[2].Receiver, UseRTE: true, KnownStart: 0,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != phy.StatusOK {
+			b.Fatal("reception failed")
+		}
+	}
+}
+
+func BenchmarkMACSimulationSecond(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	const n = 30
+	down := make([][]traffic.Arrival, n)
+	for j := range down {
+		down[j] = traffic.CBRFlow(rng, 120, 10*time.Millisecond, time.Second)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMAC(MACConfig{
+			Protocol: CarpoolMAC, NumSTAs: n, Duration: time.Second,
+			Seed: int64(i), Downlink: down, SaturatedUplink: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package carpool is the public facade of the Carpool library: a
+// from-scratch Go reproduction of "Less Transmissions, More Throughput:
+// Bringing Carpool to Public WLANs" (ICDCS 2015).
+//
+// Carpool aggregates downlink frames for multiple receivers into a single
+// OFDM transmission. A 48-bit coded Bloom filter header (A-HDR) tells each
+// station where its subframe sits; a phase-offset side channel carries
+// per-symbol CRCs for free; and real-time channel estimation (RTE) uses
+// correctly decoded symbols as data pilots so that long aggregated frames
+// stay decodable as the channel drifts.
+//
+// The facade re-exports the library's main entry points:
+//
+//   - Frame construction and reception (BuildFrame, ReceiveFrame) over the
+//     complete simulated 802.11 OFDM PHY,
+//   - the channel models used to evaluate them (ChannelConfig, NewChannel),
+//   - the trace-driven MAC simulator (MACConfig, RunMAC) with all six
+//     protocol behaviours, and
+//   - the sequential-ACK NAV arithmetic (DataNAV, ReceiverNAV, ACKNAV).
+//
+// See examples/ for runnable end-to-end scenarios, DESIGN.md for the system
+// map, and EXPERIMENTS.md for the reproduction of every table and figure.
+package carpool
+
+import (
+	"carpool/internal/bloom"
+	"carpool/internal/channel"
+	"carpool/internal/core"
+	"carpool/internal/mac"
+	"carpool/internal/mimo"
+	"carpool/internal/phy"
+	"carpool/internal/sidechannel"
+)
+
+// MAC is an IEEE 802 48-bit hardware address.
+type MAC = bloom.MAC
+
+// Bloom filter pieces of the aggregation header (§4.1).
+type (
+	// Filter is the 48-bit A-HDR Bloom filter.
+	Filter = bloom.Filter
+)
+
+// BloomFalsePositiveRate returns the analytic §4.1 false-positive ratio for
+// n receivers and h hashes.
+func BloomFalsePositiveRate(n, h int) float64 { return bloom.FalsePositiveRate(n, h) }
+
+// PHY frame types.
+type (
+	// MCS is one 802.11a modulation-and-coding scheme.
+	MCS = phy.MCS
+	// SIG is a decoded PLCP header.
+	SIG = phy.SIG
+	// TxFrame is a transmitted single-receiver frame with ground truth.
+	TxFrame = phy.TxFrame
+	// RxResult is a single-receiver reception.
+	RxResult = phy.RxResult
+)
+
+// The eight 802.11a rates.
+var (
+	MCS6  = phy.MCS6
+	MCS9  = phy.MCS9
+	MCS12 = phy.MCS12
+	MCS18 = phy.MCS18
+	MCS24 = phy.MCS24
+	MCS36 = phy.MCS36
+	MCS48 = phy.MCS48
+	MCS54 = phy.MCS54
+)
+
+// Carpool core types (§3-§5).
+type (
+	// Subframe is one receiver's share of a Carpool frame.
+	Subframe = core.Subframe
+	// FrameConfig controls Carpool frame construction.
+	FrameConfig = core.FrameConfig
+	// Frame is a built Carpool frame.
+	Frame = core.Frame
+	// ReceiverConfig configures a station's Carpool receiver.
+	ReceiverConfig = core.ReceiverConfig
+	// FrameRx is the outcome of one station hearing one Carpool frame.
+	FrameRx = core.FrameRx
+	// SubframeRx is one decoded subframe.
+	SubframeRx = core.SubframeRx
+	// RTETracker is the real-time channel estimator (Eq. 3).
+	RTETracker = core.RTETracker
+	// Timing parameterizes the sequential-ACK NAV arithmetic.
+	Timing = core.Timing
+	// SideChannelScheme selects the phase-offset CRC granularity.
+	SideChannelScheme = sidechannel.Scheme
+)
+
+// BuildFrame aggregates subframes for up to 8 stations into one Carpool
+// frame (preamble, A-HDR, per-receiver SIG + DATA symbols).
+func BuildFrame(subframes []Subframe, cfg FrameConfig) (*Frame, error) {
+	return core.BuildFrame(subframes, cfg)
+}
+
+// ReceiveFrame runs one station's Carpool receive pipeline: A-HDR check,
+// subframe skipping, RTE decoding of matched subframes.
+func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
+	return core.ReceiveFrame(rx, cfg)
+}
+
+// NewRTETracker returns a fresh real-time channel estimator usable with the
+// single-receiver PHY (TransmitPHY/ReceivePHY) as well.
+func NewRTETracker() *RTETracker { return core.NewRTETracker() }
+
+// DefaultSideChannelScheme is the 2-bit, one-symbol-per-group CRC scheme
+// Carpool ships with (§5.2).
+func DefaultSideChannelScheme() SideChannelScheme { return sidechannel.DefaultScheme() }
+
+// TransmitPHY builds a standard single-receiver 802.11 frame, optionally
+// with the phase-offset side channel.
+func TransmitPHY(payload []byte, cfg phy.TxConfig) (*TxFrame, error) {
+	return phy.Transmit(payload, cfg)
+}
+
+// ReceivePHY decodes a single-receiver frame.
+func ReceivePHY(rx []complex128, cfg phy.RxConfig) (*RxResult, error) {
+	return phy.Receive(rx, cfg)
+}
+
+// PHY configuration aliases.
+type (
+	// PHYTxConfig controls single-receiver transmission.
+	PHYTxConfig = phy.TxConfig
+	// PHYRxConfig controls single-receiver reception.
+	PHYRxConfig = phy.RxConfig
+)
+
+// Sequential ACK arithmetic (§4.2, Eqs. 1-2).
+var (
+	DataNAV     = core.DataNAV
+	ReceiverNAV = core.ReceiverNAV
+	ACKNAV      = core.ACKNAV
+	AckSchedule = core.AckSchedule
+	PlanRTS     = core.PlanRTS
+)
+
+// Channel model types.
+type (
+	// ChannelConfig describes one link.
+	ChannelConfig = channel.Config
+	// Channel is a stateful fading channel.
+	Channel = channel.Model
+	// Location is a receiver position in the synthetic office.
+	Location = channel.Location
+)
+
+// NewChannel builds a channel model.
+func NewChannel(cfg ChannelConfig) (*Channel, error) { return channel.New(cfg) }
+
+// OfficeLocations returns the 30-position testbed layout (Fig. 10).
+func OfficeLocations() []Location { return channel.OfficeLocations() }
+
+// MAC simulation types.
+type (
+	// MACConfig parameterizes one trace-driven MAC simulation.
+	MACConfig = mac.Config
+	// MACResult aggregates one run's metrics.
+	MACResult = mac.Result
+	// Protocol selects the MAC behaviour (Carpool, AMPDU, ...).
+	Protocol = mac.Protocol
+)
+
+// The six MAC behaviours.
+const (
+	Legacy80211   = mac.Legacy80211
+	AMPDU         = mac.AMPDU
+	MUAggregation = mac.MUAggregation
+	WiFox         = mac.WiFox
+	CarpoolMAC    = mac.Carpool
+	AMSDU         = mac.AMSDU
+)
+
+// RunMAC executes one MAC simulation.
+func RunMAC(cfg MACConfig) (*MACResult, error) { return mac.Run(cfg) }
+
+// FrameKind classifies what follows a preamble (§4.3 coexistence).
+type FrameKind = core.FrameKind
+
+// Frame kinds.
+const (
+	KindUnknown = core.KindUnknown
+	KindLegacy  = core.KindLegacy
+	KindCarpool = core.KindCarpool
+)
+
+// ClassifyFrame tells a legacy frame from a Carpool frame by decoding the
+// header region after the preamble, per §4.3's coexistence rule.
+func ClassifyFrame(rx []complex128, knownStart int) (FrameKind, error) {
+	return core.ClassifyFrame(rx, knownStart)
+}
+
+// SelectMCS picks the fastest scheme a link's SNR supports, with fading
+// margin — the per-subframe rate selection §4.1 allows.
+func SelectMCS(snrDB float64) MCS { return core.SelectMCS(snrDB) }
+
+// MU-MIMO extension types (§8, Fig. 18).
+type (
+	// MIMOSubframe is one station's share of a MU-MIMO Carpool frame.
+	MIMOSubframe = mimo.Subframe
+	// MIMOGroup pairs two subframes on one zero-forcing precoder.
+	MIMOGroup = mimo.Group
+	// MIMOFrame is a built two-antenna Carpool frame.
+	MIMOFrame = mimo.Frame
+	// MIMOReceiverConfig configures a station's MU-MIMO receiver.
+	MIMOReceiverConfig = mimo.ReceiverConfig
+	// MIMOFrameRx is a station's view of one MU-MIMO frame.
+	MIMOFrameRx = mimo.FrameRx
+	// CSI is a station's per-antenna frequency response.
+	CSI = mimo.CSI
+)
+
+// BuildMIMOFrame aggregates up to four stations in up to two zero-forcing
+// groups into one two-antenna transmission.
+func BuildMIMOFrame(groups []MIMOGroup, hashes int) (*MIMOFrame, error) {
+	return mimo.BuildFrame(groups, hashes)
+}
+
+// ReceiveMIMOFrame runs a single-antenna station's MU-MIMO pipeline.
+func ReceiveMIMOFrame(rx []complex128, cfg MIMOReceiverConfig) (*MIMOFrameRx, error) {
+	return mimo.ReceiveFrame(rx, cfg)
+}

@@ -1,0 +1,128 @@
+package carpool
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"carpool/internal/phy"
+	"carpool/internal/traffic"
+)
+
+// The facade tests exercise the library exactly as a downstream user would:
+// only through the public package surface.
+
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payloadA := make([]byte, 500)
+	payloadB := make([]byte, 250)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	staA := MAC{2, 0, 0, 0, 0, 1}
+	staB := MAC{2, 0, 0, 0, 0, 2}
+
+	frame, err := BuildFrame([]Subframe{
+		{Receiver: staA, MCS: MCS24, Payload: payloadA},
+		{Receiver: staB, MCS: MCS24, Payload: payloadB},
+	}, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(ChannelConfig{
+		SNRdB: 28, NumTaps: 3, RicianK: 15, TapDecay: 3,
+		CoherenceSymbols: 2000, CFOHz: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	air := ch.Transmit(append(frame.Samples, make([]complex128, 40)...))
+
+	rx, err := ReceiveFrame(air, ReceiverConfig{MAC: staB, UseRTE: true, KnownStart: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.Status != phy.StatusOK || len(rx.Subframes) == 0 {
+		t.Fatalf("status %v, %d subframes", rx.Status, len(rx.Subframes))
+	}
+	if !bytes.Equal(rx.Subframes[0].Payload, payloadB) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestFacadeSingleReceiverPHY(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	payload := make([]byte, 300)
+	rng.Read(payload)
+	scheme := DefaultSideChannelScheme()
+	frame, err := TransmitPHY(payload, PHYTxConfig{MCS: MCS36, SideChannel: &scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReceivePHY(frame.Samples, PHYRxConfig{
+		KnownStart: 0, SideChannel: &scheme, Tracker: NewRTETracker(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != phy.StatusOK || !bytes.Equal(res.Payload, payload) {
+		t.Error("loopback failed")
+	}
+}
+
+func TestFacadeNAVHelpers(t *testing.T) {
+	tm := Timing{SIFS: 10 * time.Microsecond, ACK: 40 * time.Microsecond,
+		CTS: 40 * time.Microsecond, Payload: 400 * time.Microsecond}
+	nav, err := DataNAV(tm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nav != 400*time.Microsecond+4*50*time.Microsecond {
+		t.Errorf("NAV %v", nav)
+	}
+	sched, err := AckSchedule(tm, 4)
+	if err != nil || len(sched) != 4 {
+		t.Fatal("schedule failed")
+	}
+	plan, err := PlanRTS(tm, 2)
+	if err != nil || plan.Total == 0 {
+		t.Fatal("RTS plan failed")
+	}
+	last, err := ACKNAV(tm, 4, 4)
+	if err != nil || last != 0 {
+		t.Error("last ACK NAV should be 0")
+	}
+	if _, err := ReceiverNAV(tm, 0); err == nil {
+		t.Error("accepted position 0")
+	}
+}
+
+func TestFacadeMACSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 12
+	down := make([][]traffic.Arrival, n)
+	for i := range down {
+		down[i] = traffic.CBRFlow(rng, 120, 10*time.Millisecond, 2*time.Second)
+	}
+	for _, p := range []Protocol{Legacy80211, AMPDU, AMSDU, MUAggregation, WiFox, CarpoolMAC} {
+		res, err := RunMAC(MACConfig{
+			Protocol: p, NumSTAs: n, Duration: 2 * time.Second, Seed: int64(p),
+			Downlink: down, SaturatedUplink: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("%v delivered nothing", p)
+		}
+	}
+}
+
+func TestFacadeBloomAndLocations(t *testing.T) {
+	if got := BloomFalsePositiveRate(8, 4); got < 0.05 || got > 0.06 {
+		t.Errorf("FP rate %v", got)
+	}
+	if len(OfficeLocations()) != 30 {
+		t.Error("expected 30 locations")
+	}
+}

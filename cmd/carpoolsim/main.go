@@ -1,0 +1,68 @@
+// Command carpoolsim runs the trace-driven MAC evaluation of §7.2: the VoIP
+// sweep (Fig. 15), the background-traffic sweep (Fig. 16), and the latency
+// and frame-size studies (Fig. 17a/b). It first collects PHY decode traces
+// for the office locations — the expensive offline step — then replays them
+// through the CSMA/CA simulator for every protocol.
+//
+// Usage:
+//
+//	carpoolsim [-scale quick|full] [-fig 15|16|17a|17b|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carpool/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	figFlag := flag.String("fig", "all", "figure to run: 15, 16, 17a, 17b, or all")
+	cacheFlag := flag.String("cache", "", "optional path to cache the PHY decode traces (gob)")
+	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory")
+	flag.Parse()
+
+	scale := experiments.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "carpoolsim: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "carpoolsim: collecting PHY decode traces...")
+	lab, err := experiments.NewMACLabWithCache(scale, *cacheFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carpoolsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	run := func(name string, fn func() error) {
+		if *figFlag != "all" && *figFlag != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "carpoolsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	w := os.Stdout
+	run("15", func() error { return lab.PrintFig15(w) })
+	run("16", func() error { return lab.PrintFig16(w) })
+	run("17a", func() error { return lab.PrintFig17a(w) })
+	run("17b", func() error { return lab.PrintFig17b(w) })
+
+	if *csvDir != "" {
+		if err := lab.ExportMACCSVs(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "carpoolsim: csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "carpoolsim: CSVs written to %s\n", *csvDir)
+	}
+}

@@ -1,0 +1,141 @@
+// Command experiments reproduces the paper end-to-end: every table and
+// figure of the evaluation plus the §4.1 Bloom filter and §8 energy
+// analyses, printed in the order they appear in the paper. Its output is
+// the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-exp <id>|all]
+//
+// Experiment ids: fig1, fig3, table1, fig11, fig12, fig13, fig14,
+// granularity, bloom, fig15, fig16, fig17a, fig17b, fairness, energy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carpool/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	expFlag := flag.String("exp", "all", "experiment id or all")
+	flag.Parse()
+
+	scale := experiments.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	want := func(name string) bool { return *expFlag == "all" || *expFlag == name }
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if want("fig1") {
+		experiments.PrintFig1(w)
+		fmt.Println()
+	}
+	if want("fig3") {
+		if err := experiments.PrintFig3(w, scale); err != nil {
+			fail("fig3", err)
+		}
+		fmt.Println()
+	}
+	if want("table1") {
+		if err := experiments.PrintTable1(w); err != nil {
+			fail("table1", err)
+		}
+		fmt.Println()
+	}
+	if want("fig11") {
+		if err := experiments.PrintFig11(w, scale); err != nil {
+			fail("fig11", err)
+		}
+		fmt.Println()
+	}
+	if want("fig12") {
+		if err := experiments.PrintFig12(w, scale); err != nil {
+			fail("fig12", err)
+		}
+		fmt.Println()
+	}
+	if want("fig13") {
+		if err := experiments.PrintFig13(w, scale); err != nil {
+			fail("fig13", err)
+		}
+		fmt.Println()
+	}
+	if want("fig14") {
+		if err := experiments.PrintFig14(w, scale); err != nil {
+			fail("fig14", err)
+		}
+		fmt.Println()
+	}
+	if want("granularity") {
+		if err := experiments.PrintGranularity(w, scale); err != nil {
+			fail("granularity", err)
+		}
+		fmt.Println()
+	}
+	if want("bloom") {
+		if err := experiments.PrintBloomStudy(w, scale); err != nil {
+			fail("bloom", err)
+		}
+		fmt.Println()
+	}
+
+	needMAC := want("fig15") || want("fig16") || want("fig17a") || want("fig17b") || want("fairness")
+	if needMAC {
+		fmt.Fprintln(os.Stderr, "experiments: collecting PHY decode traces for the MAC study...")
+		lab, err := experiments.NewMACLab(scale)
+		if err != nil {
+			fail("maclab", err)
+		}
+		if want("fig15") {
+			if err := lab.PrintFig15(w); err != nil {
+				fail("fig15", err)
+			}
+			fmt.Println()
+		}
+		if want("fig16") {
+			if err := lab.PrintFig16(w); err != nil {
+				fail("fig16", err)
+			}
+			fmt.Println()
+		}
+		if want("fig17a") {
+			if err := lab.PrintFig17a(w); err != nil {
+				fail("fig17a", err)
+			}
+			fmt.Println()
+		}
+		if want("fig17b") {
+			if err := lab.PrintFig17b(w); err != nil {
+				fail("fig17b", err)
+			}
+			fmt.Println()
+		}
+		if want("fairness") {
+			if err := lab.PrintFairness(w); err != nil {
+				fail("fairness", err)
+			}
+			fmt.Println()
+		}
+	}
+
+	if want("energy") {
+		if err := experiments.PrintEnergyStudy(w); err != nil {
+			fail("energy", err)
+		}
+	}
+}

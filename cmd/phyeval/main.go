@@ -1,0 +1,62 @@
+// Command phyeval regenerates the paper's PHY evaluation: the BER-bias
+// measurement (Fig. 3), the phase-offset side-channel studies (Figs. 11 and
+// 12, Table 1), the real-time channel estimation comparison (Figs. 13 and
+// 14), and the §5.2 CRC granularity study.
+//
+// Usage:
+//
+//	phyeval [-scale quick|full] [-fig 3|11|12|13|14|table1|granularity|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carpool/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	figFlag := flag.String("fig", "all", "figure to run: 3, 11, 12, 13, 14, table1, granularity, or all")
+	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory")
+	flag.Parse()
+
+	scale := experiments.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "phyeval: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		if *figFlag != "all" && *figFlag != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "phyeval: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	w := os.Stdout
+	run("3", func() error { return experiments.PrintFig3(w, scale) })
+	run("table1", func() error { return experiments.PrintTable1(w) })
+	run("11", func() error { return experiments.PrintFig11(w, scale) })
+	run("12", func() error { return experiments.PrintFig12(w, scale) })
+	run("13", func() error { return experiments.PrintFig13(w, scale) })
+	run("14", func() error { return experiments.PrintFig14(w, scale) })
+	run("granularity", func() error { return experiments.PrintGranularity(w, scale) })
+
+	if *csvDir != "" {
+		if err := experiments.ExportPHYCSVs(*csvDir, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "phyeval: csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "phyeval: CSVs written to %s\n", *csvDir)
+	}
+}

@@ -1,0 +1,47 @@
+// Command tracegen synthesizes public-WLAN traffic traces matching the
+// statistics the paper measures in §2 (Fig. 1): concurrent downlink
+// requests, downlink traffic dominance, and the short-frame-heavy size
+// distribution. With -series it also dumps the per-second active-STA count
+// (Fig. 1a) and the frame-size CDF (Fig. 1b).
+//
+// Usage:
+//
+//	tracegen [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carpool/internal/experiments"
+	"carpool/internal/stats"
+	"carpool/internal/traffic"
+)
+
+func main() {
+	series := flag.Bool("series", false, "also dump the Fig. 1a time series and Fig. 1b CDF")
+	flag.Parse()
+
+	experiments.PrintFig1(os.Stdout)
+
+	if !*series {
+		return
+	}
+	tr := traffic.GenerateTrace(traffic.LibraryTraceConfig())
+	fmt.Println("\nFig. 1a — active STAs per second (library trace)")
+	for sec, n := range tr.ActiveSTAs {
+		if sec%10 == 0 {
+			fmt.Printf("t=%3ds active=%d\n", sec, n)
+		}
+	}
+	fmt.Println("\nFig. 1b — downlink frame size CDF (library trace)")
+	sizes := make([]float64, len(tr.Downlink))
+	for i, a := range tr.Downlink {
+		sizes[i] = float64(a.Size)
+	}
+	cdf := stats.NewCDF(sizes)
+	for _, b := range []float64{100, 200, 300, 500, 800, 1000, 1500, 2000} {
+		fmt.Printf("size<=%4.0fB: %.3f\n", b, cdf.At(b))
+	}
+}

@@ -1,0 +1,89 @@
+package carpool_test
+
+import (
+	"fmt"
+	"time"
+
+	"carpool"
+)
+
+// Building a Carpool frame for three stations and reading its shape.
+func ExampleBuildFrame() {
+	frame, err := carpool.BuildFrame([]carpool.Subframe{
+		{Receiver: carpool.MAC{2, 0, 0, 0, 0, 1}, MCS: carpool.MCS24, Payload: make([]byte, 300)},
+		{Receiver: carpool.MAC{2, 0, 0, 0, 0, 2}, MCS: carpool.MCS48, Payload: make([]byte, 150)},
+		{Receiver: carpool.MAC{2, 0, 0, 0, 0, 3}, MCS: carpool.MCS12, Payload: make([]byte, 500)},
+	}, carpool.FrameConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("subframes: %d\n", len(frame.Subframes))
+	fmt.Printf("first subframe starts at symbol %d (after the 2-symbol A-HDR)\n",
+		frame.Subframes[0].StartSymbol)
+	// Output:
+	// subframes: 3
+	// first subframe starts at symbol 2 (after the 2-symbol A-HDR)
+}
+
+// A clean-channel loopback: every station extracts exactly its payload.
+func ExampleReceiveFrame() {
+	sta := carpool.MAC{2, 0, 0, 0, 0, 9}
+	frame, err := carpool.BuildFrame([]carpool.Subframe{
+		{Receiver: sta, MCS: carpool.MCS24, Payload: []byte("hello, carpool")},
+	}, carpool.FrameConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rx, err := carpool.ReceiveFrame(frame.Samples, carpool.ReceiverConfig{
+		MAC: sta, UseRTE: true, KnownStart: 0,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s\n", rx.Subframes[0].Payload)
+	fmt.Printf("decoded %d of %d symbols\n", rx.SymbolsDecoded, rx.SymbolsHeard)
+	// Output:
+	// hello, carpool
+	// decoded 5 of 5 symbols
+}
+
+// The sequential-ACK NAV arithmetic of §4.2 (Eqs. 1-2).
+func ExampleDataNAV() {
+	tm := carpool.Timing{
+		SIFS:    10 * time.Microsecond,
+		ACK:     44 * time.Microsecond,
+		Payload: 500 * time.Microsecond,
+	}
+	nav, _ := carpool.DataNAV(tm, 3)
+	fmt.Println("data frame reserves:", nav)
+	sched, _ := carpool.AckSchedule(tm, 3)
+	for i, at := range sched {
+		fmt.Printf("ACK %d starts %v after the data frame\n", i+1, at)
+	}
+	// Output:
+	// data frame reserves: 662µs
+	// ACK 1 starts 10µs after the data frame
+	// ACK 2 starts 64µs after the data frame
+	// ACK 3 starts 118µs after the data frame
+}
+
+// Rate selection for a per-station SNR estimate.
+func ExampleSelectMCS() {
+	for _, snr := range []float64{6, 16, 31} {
+		fmt.Printf("%2.0f dB -> %v\n", snr, carpool.SelectMCS(snr))
+	}
+	// Output:
+	//  6 dB -> BPSK 1/2
+	// 16 dB -> QPSK 3/4
+	// 31 dB -> QAM64 3/4
+}
+
+// The §4.1 false-positive formula.
+func ExampleBloomFalsePositiveRate() {
+	fmt.Printf("8 receivers, h=4: %.2f%%\n", 100*carpool.BloomFalsePositiveRate(8, 4))
+	// Output:
+	// 8 receivers, h=4: 5.77%
+}

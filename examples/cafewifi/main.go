@@ -1,0 +1,54 @@
+// Cafewifi: the large-audience scenario that motivates the paper. Thirty
+// patrons stream VoIP through one access point while their uplinks keep the
+// channel contended. The example runs the trace-driven MAC simulation for
+// plain 802.11, single-receiver aggregation (A-MSDU), and Carpool, and
+// shows how multi-receiver aggregation rescues the downlink.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"carpool"
+	"carpool/internal/experiments"
+	"carpool/internal/traffic"
+)
+
+func main() {
+	const nSTA = 30
+	const dur = 5 * time.Second
+
+	fmt.Println("collecting PHY decode traces for the office (one-time step)...")
+	lab, err := experiments.NewMACLab(experiments.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	down := make([][]traffic.Arrival, nSTA)
+	for i := range down {
+		down[i] = traffic.CBRFlow(rng, traffic.VoIPFrameBytes, traffic.VoIPFrameInterval, dur)
+	}
+	offered := 0.0
+	for _, f := range down {
+		offered += float64(traffic.TotalBytes(f)) * 8 / dur.Seconds() / 1e6
+	}
+	fmt.Printf("cafe: %d stations, %.2f Mbit/s of downlink VoIP offered, saturated uplink\n\n",
+		nSTA, offered)
+
+	for _, p := range []carpool.Protocol{carpool.Legacy80211, carpool.AMSDU, carpool.CarpoolMAC} {
+		res, err := lab.Run(p, nSTA, down)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s goodput %.2f Mbit/s  mean delay %6.0f ms  p95 %6.0f ms  "+
+			"collisions %d  retries %d\n",
+			p, res.DownlinkGoodputMbps,
+			res.MeanDelay.Seconds()*1e3, res.P95Delay.Seconds()*1e3,
+			res.Collisions, res.Retries)
+	}
+	fmt.Println("\nCarpool serves up to eight patrons per channel access; 802.11 wins the")
+	fmt.Println("channel once per frame and collapses under thirty contenders.")
+}

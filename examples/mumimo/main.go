@@ -1,0 +1,100 @@
+// Mumimo: the §8 MU-MIMO extension (Fig. 18). A two-antenna AP serves four
+// single-antenna stations in ONE transmission: two zero-forcing groups,
+// each carrying two subframes simultaneously on precoded spatial streams,
+// all sharing a single legacy preamble and Bloom-filter A-HDR.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"carpool"
+	"carpool/internal/dsp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// Four stations, each with its own two-antenna channel. The AP knows
+	// the CSI (in deployment: sounding feedback; here: read from the
+	// models).
+	type station struct {
+		mac   carpool.MAC
+		paths [2]*carpool.Channel
+		csi   carpool.CSI
+	}
+	stations := make([]*station, 4)
+	for i := range stations {
+		s := &station{mac: carpool.MAC{2, 0, 0, 0, 0, byte(0xA + i)}}
+		for a := 0; a < 2; a++ {
+			ch, err := carpool.NewChannel(carpool.ChannelConfig{
+				SNRdB: 300, NumTaps: 2, RicianK: 4, TapDecay: 2,
+				Seed: int64(i*10 + a + 1),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.paths[a] = ch
+			s.csi[a] = ch.FrequencyResponse()
+		}
+		stations[i] = s
+	}
+
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		payloads[i] = make([]byte, 300+i*100)
+		rng.Read(payloads[i])
+	}
+
+	// Two groups of two: A+B share precoder 1, C+D share precoder 2.
+	mk := func(i int) carpool.MIMOSubframe {
+		return carpool.MIMOSubframe{
+			Receiver: stations[i].mac, MCS: carpool.MCS12,
+			Payload: payloads[i], CSI: stations[i].csi,
+		}
+	}
+	frame, err := carpool.BuildMIMOFrame([]carpool.MIMOGroup{
+		{mk(0), mk(1)}, {mk(2), mk(3)},
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one MU-MIMO Carpool frame: %d symbols on 2 antennas, 4 receivers, A-HDR %012x\n",
+		frame.NumSymbols(), uint64(frame.Filter))
+
+	for i, s := range stations {
+		// The station hears the sum of both antenna streams through its
+		// own channels, plus receiver noise.
+		rx := make([]complex128, len(frame.Streams[0]))
+		for a := 0; a < 2; a++ {
+			y := s.paths[a].Transmit(frame.Streams[a])
+			for j := range rx {
+				rx[j] += y[j]
+			}
+		}
+		noise := dsp.NewGaussianSource(rand.New(rand.NewSource(int64(100 + i))))
+		noise.AddNoise(rx, dsp.NoiseVarianceForSNR(dsp.MeanPower(rx), 30))
+
+		res, err := carpool.ReceiveMIMOFrame(rx, carpool.MIMOReceiverConfig{
+			MAC: s.mac, KnownStart: 0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := res.Payload != nil && bytes.Equal(res.Payload, payloads[i])
+		fmt.Printf("STA %v: group %d, stream %d, separation %5.1fx, %4d bytes (%s)\n",
+			s.mac, res.GroupIndex, res.Stream, res.StreamSeparation,
+			len(res.Payload), verdict(ok))
+	}
+	fmt.Println("\nStandard MU-MIMO would need two transmissions (two preambles, two")
+	fmt.Println("contention rounds) for these four stations; Carpool needed one.")
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "intact"
+	}
+	return "CORRUPTED"
+}

@@ -1,0 +1,3 @@
+module carpool
+
+go 1.24

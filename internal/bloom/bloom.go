@@ -1,0 +1,185 @@
+// Package bloom implements the coded Bloom filter that Carpool's
+// aggregation header (A-HDR) is built on (paper §4.1). The filter is 48
+// bits — exactly two BPSK-1/2 OFDM symbols — and encodes both *which*
+// stations a Carpool frame addresses and *where* each station's subframe
+// sits: subframe position i hashes the receiver's MAC address with the i-th
+// hash set.
+//
+// Bloom filters admit false positives but never false negatives, so a
+// receiver may occasionally decode a subframe that is not its own (costing
+// a little energy, §8) but can never miss its own subframe.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// FilterBits is the A-HDR capacity: two BPSK OFDM symbols at coding rate
+// 1/2 carry 48 information bits.
+const FilterBits = 48
+
+// MaxReceivers bounds how many stations one Carpool frame may address. The
+// paper limits aggregation to 8 receivers, keeping the false-positive ratio
+// under 5.59% with h = 4.
+const MaxReceivers = 8
+
+// MAC is an IEEE 802 48-bit hardware address.
+type MAC [6]byte
+
+// String formats the address in the usual colon notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Filter is a 48-bit Bloom filter (bits above 47 are always zero).
+type Filter uint64
+
+const filterMask = Filter(1)<<FilterBits - 1
+
+// DefaultHashes is the hash-set size Carpool ships with: the optimum for 8
+// receivers, h = (48/8)·ln2 ≈ 4.
+const DefaultHashes = 4
+
+// OptimalHashes returns the false-positive-minimizing hash count
+// h = (FilterBits/n)·ln2 for n inserted receivers, at least 1.
+func OptimalHashes(n int) int {
+	if n < 1 {
+		return 1
+	}
+	h := int(math.Round(float64(FilterBits) / float64(n) * math.Ln2))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// bitPositions derives the h filter positions for a MAC address hashed with
+// the hash set of subframe position (1-based). It uses Kirsch-Mitzenmacher
+// double hashing over FNV-1a, with the position index folded into the
+// second hash so each subframe slot gets an independent hash set.
+func bitPositions(mac MAC, position, h int, out []int) []int {
+	h1 := fnv.New64a()
+	h1.Write(mac[:])
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write(mac[:])
+	h2.Write([]byte{byte(position)})
+	b := h2.Sum64() | 1 // odd so successive probes differ
+	out = out[:0]
+	for j := 0; j < h; j++ {
+		v := a + uint64(position)*0x9e3779b97f4a7c15 + uint64(j)*b
+		out = append(out, int(v%FilterBits))
+	}
+	return out
+}
+
+// Build inserts each receiver's MAC address with the hash set of its
+// subframe position (receivers[0] is subframe 1, and so on), returning the
+// A-HDR filter.
+func Build(receivers []MAC, h int) (Filter, error) {
+	if len(receivers) == 0 {
+		return 0, fmt.Errorf("bloom: no receivers")
+	}
+	if len(receivers) > MaxReceivers {
+		return 0, fmt.Errorf("bloom: %d receivers exceeds limit %d", len(receivers), MaxReceivers)
+	}
+	if h < 1 || h > FilterBits {
+		return 0, fmt.Errorf("bloom: hash count %d outside 1..%d", h, FilterBits)
+	}
+	var f Filter
+	buf := make([]int, 0, h)
+	for i, mac := range receivers {
+		for _, pos := range bitPositions(mac, i+1, h, buf) {
+			f |= 1 << pos
+		}
+	}
+	return f & filterMask, nil
+}
+
+// InsertAt returns the filter with mac added at the given 1-based subframe
+// position. Build covers the common sequential case; InsertAt lets the
+// MU-MIMO extension give two receivers the same position (Fig. 18).
+func (f Filter) InsertAt(mac MAC, position, h int) Filter {
+	buf := make([]int, 0, h)
+	for _, pos := range bitPositions(mac, position, h, buf) {
+		f |= 1 << pos
+	}
+	return f & filterMask
+}
+
+// Match reports whether the filter may contain mac at subframe position
+// (1-based). False positives are possible; false negatives are not.
+func (f Filter) Match(mac MAC, position, h int) bool {
+	buf := make([]int, 0, h)
+	for _, pos := range bitPositions(mac, position, h, buf) {
+		if f&(1<<pos) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Positions returns every subframe position in 1..maxPositions that matches
+// mac. A receiver decodes all matched subframes (paper §4.1: "decoding with
+// false positives").
+func (f Filter) Positions(mac MAC, maxPositions, h int) []int {
+	var out []int
+	for i := 1; i <= maxPositions; i++ {
+		if f.Match(mac, i, h) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Bits serializes the filter into 48 bits, LSB first, ready for the A-HDR's
+// two BPSK symbols.
+func (f Filter) Bits() []byte {
+	bits := make([]byte, FilterBits)
+	for i := range bits {
+		bits[i] = byte((f >> i) & 1)
+	}
+	return bits
+}
+
+// FromBits reassembles a filter serialized by Bits.
+func FromBits(bits []byte) (Filter, error) {
+	if len(bits) != FilterBits {
+		return 0, fmt.Errorf("bloom: need %d bits, got %d", FilterBits, len(bits))
+	}
+	var f Filter
+	for i, b := range bits {
+		f |= Filter(b&1) << i
+	}
+	return f, nil
+}
+
+// PopCount returns the number of set bits, used by load diagnostics.
+func (f Filter) PopCount() int {
+	n := 0
+	for v := uint64(f); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// FalsePositiveRate is the analytic rate from §4.1:
+// r = (1 - (1 - 1/48)^(h·n))^h for n inserted receivers and h hashes.
+func FalsePositiveRate(n, h int) float64 {
+	if n < 1 || h < 1 {
+		return 0
+	}
+	return math.Pow(1-math.Pow(1-1.0/FilterBits, float64(h*n)), float64(h))
+}
+
+// HeaderOverheadRatio returns the A-HDR size relative to listing all
+// receivers' MAC addresses explicitly: 48 bits vs 48·n bits (§4.1 reports
+// 12.5% for n = 8).
+func HeaderOverheadRatio(n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return 1 / float64(n)
+}

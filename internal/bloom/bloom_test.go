@@ -1,0 +1,235 @@
+package bloom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMAC(rng *rand.Rand) MAC {
+	var m MAC
+	rng.Read(m[:])
+	return m
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("accepted empty receiver list")
+	}
+	if _, err := Build(make([]MAC, 9), 4); err == nil {
+		t.Error("accepted 9 receivers")
+	}
+	if _, err := Build(make([]MAC, 2), 0); err == nil {
+		t.Error("accepted zero hashes")
+	}
+	if _, err := Build(make([]MAC, 2), 49); err == nil {
+		t.Error("accepted too many hashes")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	// The Bloom filter guarantee the whole design leans on: a receiver's
+	// own subframe always matches.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(MaxReceivers)
+		macs := make([]MAC, n)
+		for i := range macs {
+			macs[i] = randomMAC(rng)
+		}
+		filter, err := Build(macs, DefaultHashes)
+		if err != nil {
+			return false
+		}
+		for i, mac := range macs {
+			if !filter.Match(mac, i+1, DefaultHashes) {
+				return false
+			}
+			found := false
+			for _, p := range filter.Positions(mac, n, DefaultHashes) {
+				if p == i+1 {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		filter := Filter(raw) & (1<<FilterBits - 1)
+		got, err := FromBits(filter.Bits())
+		return err == nil && got == filter
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromBits(make([]byte, 47)); err == nil {
+		t.Error("accepted 47 bits")
+	}
+}
+
+func TestFilterStaysWithin48Bits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	macs := make([]MAC, 8)
+	for i := range macs {
+		macs[i] = randomMAC(rng)
+	}
+	filter, err := Build(macs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filter>>FilterBits != 0 {
+		t.Error("filter has bits above position 47")
+	}
+	if filter.PopCount() == 0 {
+		t.Error("filter is empty after 8 insertions")
+	}
+	if filter.PopCount() > 48 {
+		t.Error("impossible popcount")
+	}
+}
+
+func TestPositionSensitivity(t *testing.T) {
+	// The same MAC inserted at position 1 should (almost always) not match
+	// at other positions: position is encoded in the hash-set choice.
+	rng := rand.New(rand.NewSource(2))
+	crossMatches, trials := 0, 2000
+	for i := 0; i < trials; i++ {
+		mac := randomMAC(rng)
+		filter, err := Build([]MAC{mac}, DefaultHashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 2; pos <= MaxReceivers; pos++ {
+			if filter.Match(mac, pos, DefaultHashes) {
+				crossMatches++
+			}
+		}
+	}
+	// With 4 bits set out of 48, a foreign hash set matches with
+	// probability ~(4/48)^4 ≈ 5e-5; even 7 positions x 2000 trials should
+	// see almost none.
+	if crossMatches > 10 {
+		t.Errorf("%d cross-position matches in %d trials", crossMatches, trials)
+	}
+}
+
+func TestOptimalHashes(t *testing.T) {
+	tests := []struct {
+		n, want int
+	}{
+		{1, 33}, {4, 8}, {8, 4}, {12, 3}, {48, 1}, {100, 1}, {0, 1}, {-3, 1},
+	}
+	for _, tt := range tests {
+		if got := OptimalHashes(tt.n); got != tt.want {
+			t.Errorf("OptimalHashes(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestAnalyticFalsePositiveRange(t *testing.T) {
+	// §4.1: "If the number of receivers is 4-8, the false positive ratio
+	// ranges from 0.31% to 5.59%" — each endpoint evaluated at the optimal
+	// h for its receiver count (h = 8 for N = 4, h = 4 for N = 8).
+	lo := FalsePositiveRate(4, OptimalHashes(4))
+	hi := FalsePositiveRate(8, OptimalHashes(8))
+	if lo < 0.002 || lo > 0.006 {
+		t.Errorf("r_FP(4) = %.4f, want ≈ 0.0031", lo)
+	}
+	if hi < 0.045 || hi > 0.065 {
+		t.Errorf("r_FP(8) = %.4f, want ≈ 0.0559", hi)
+	}
+	if FalsePositiveRate(0, 4) != 0 || FalsePositiveRate(4, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	// More receivers -> more false positives.
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		r := FalsePositiveRate(n, DefaultHashes)
+		if r <= prev {
+			t.Errorf("false positive rate not increasing at n=%d", n)
+		}
+		prev = r
+	}
+}
+
+func TestMeasuredFalsePositiveMatchesAnalytic(t *testing.T) {
+	// Monte Carlo: insert n receivers, probe with foreign MACs at every
+	// position, compare to the analytic formula.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 8} {
+		probes, hits := 0, 0
+		for trial := 0; trial < 400; trial++ {
+			macs := make([]MAC, n)
+			for i := range macs {
+				macs[i] = randomMAC(rng)
+			}
+			filter, err := Build(macs, DefaultHashes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < 25; p++ {
+				foreign := randomMAC(rng)
+				for pos := 1; pos <= n; pos++ {
+					probes++
+					if filter.Match(foreign, pos, DefaultHashes) {
+						hits++
+					}
+				}
+			}
+		}
+		got := float64(hits) / float64(probes)
+		want := FalsePositiveRate(n, DefaultHashes)
+		if math.Abs(got-want) > want*0.3+0.001 {
+			t.Errorf("n=%d: measured FP %.4f, analytic %.4f", n, got, want)
+		}
+	}
+}
+
+func TestHeaderOverheadRatio(t *testing.T) {
+	if got := HeaderOverheadRatio(8); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("overhead for 8 receivers = %v, want 0.125 (§4.1)", got)
+	}
+	if HeaderOverheadRatio(0) != 0 {
+		t.Error("degenerate input should give 0")
+	}
+}
+
+func TestDifferentMACsDifferentBits(t *testing.T) {
+	// Hash quality: two different MACs rarely share all h positions.
+	rng := rand.New(rand.NewSource(4))
+	same := 0
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randomMAC(rng), randomMAC(rng)
+		fa, err := Build([]MAC{a}, DefaultHashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := Build([]MAC{b}, DefaultHashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa == fb {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/2000 MAC pairs hashed identically", same)
+	}
+}

@@ -1,0 +1,118 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The paper sweeps the USRP transmission gain through "power magnitude"
+// values 0.0125 .. 0.2 (fractions of the XCVR2450's 20 dBm maximum). The
+// magnitude is an amplitude, so each doubling adds 6 dB. We anchor the top
+// setting (0.2) at 32 dB received SNR for the 3 m reference link, which
+// places every modulation's measured BER in the same decade band the paper
+// reports (QAM64 ~1e-4 .. 1e-2, BPSK at the measurement floor).
+// The 32 dB anchor keeps the whole 30-location office inside QAM64's usable
+// range at full power, as in the paper's testbed.
+const (
+	referencePower = 0.2
+	referenceSNRdB = 32.0
+)
+
+// PowerMagnitudes are the five TX settings used throughout the paper's PHY
+// evaluation (Figs. 11-12).
+var PowerMagnitudes = []float64{0.0125, 0.025, 0.05, 0.1, 0.2}
+
+// SNRForPower converts a USRP power magnitude to the reference-link SNR.
+func SNRForPower(power float64) (float64, error) {
+	if power <= 0 {
+		return 0, fmt.Errorf("channel: power magnitude must be positive, got %v", power)
+	}
+	return referenceSNRdB + 20*math.Log10(power/referencePower), nil
+}
+
+// Location is one receiver position in the synthetic 10 m x 10 m office.
+type Location struct {
+	ID   int
+	X, Y float64 // meters; the transmitter sits at (5, 5)
+}
+
+// Distance returns the TX-RX separation in meters.
+func (l Location) Distance() float64 {
+	dx, dy := l.X-5, l.Y-5
+	return math.Hypot(dx, dy)
+}
+
+// SNRAt returns this location's average SNR for a given TX power magnitude:
+// the calibrated reference SNR adjusted by log-distance path loss relative
+// to the 3 m reference distance, plus a deterministic per-location
+// shadowing term. The shallow exponent (1.4) and small shadowing sigma
+// (1 dB) model a single line-of-sight room: the paper's testbed decoded
+// QAM64 at every one of the 30 positions, so the farthest corners here sit
+// only ~5 dB below the 3 m reference — degraded but usable.
+func (l Location) SNRAt(power float64) (float64, error) {
+	base, err := SNRForPower(power)
+	if err != nil {
+		return 0, err
+	}
+	const pathLossExp = 1.4
+	const refDistance = 3.0
+	d := l.Distance()
+	if d < 0.5 {
+		d = 0.5
+	}
+	loss := 10 * pathLossExp * math.Log10(d/refDistance)
+	shadow := rand.New(rand.NewSource(int64(l.ID)*7919+17)).NormFloat64() * 1.0
+	return base - loss + shadow, nil
+}
+
+// OfficeLocations returns the 30 receiver locations of the testbed layout
+// (Fig. 10): a deterministic jittered grid around the centered transmitter,
+// spanning distances of roughly 1.5 m to 6 m.
+func OfficeLocations() []Location {
+	rng := rand.New(rand.NewSource(42))
+	locs := make([]Location, 0, 30)
+	// 6 columns x 5 rows, excluding the transmitter cell.
+	id := 0
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			x := 1.0 + float64(i)*1.6 + rng.Float64()*0.8
+			y := 1.0 + float64(j)*2.0 + rng.Float64()*0.8
+			// Keep receivers off the transmitter's exact spot.
+			if math.Hypot(x-5, y-5) < 1.0 {
+				x += 1.5
+			}
+			locs = append(locs, Location{ID: id, X: x, Y: y})
+			id++
+		}
+	}
+	return locs
+}
+
+// DefaultCoherenceSymbols is the time-variation scale used by the BER-bias
+// experiments: the paper transmits 4 KB frames in a 2 MHz channel (10x the
+// 20 MHz symbol airtime, so a ~126-symbol frame occupies ~5 ms of air)
+// against indoor coherence times of tens of milliseconds. 2000 symbols at
+// the nominal rate puts the frame-length drift in the same few-percent band.
+const DefaultCoherenceSymbols = 2000
+
+// LinkConfig builds a channel Config for a location at a TX power, with the
+// standard indoor office profile used across the evaluation: 3 taps with a
+// steep (line-of-sight-dominated) decay, Rician K = 15, and the requested
+// coherence time. Frames on one link should share one Model so the fading
+// process persists.
+func LinkConfig(loc Location, power float64, coherenceSymbols, cfoHz float64) (Config, error) {
+	snr, err := loc.SNRAt(power)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		SNRdB:            snr,
+		NumTaps:          3,
+		RicianK:          15,
+		TapDecay:         3,
+		CoherenceSymbols: coherenceSymbols,
+		CFOHz:            cfoHz,
+		Seed:             int64(loc.ID)*104729 + 7,
+	}, nil
+}

@@ -1,0 +1,208 @@
+// Package channel simulates the radio channel between Carpool nodes: a
+// tapped-delay-line multipath model with Rician per-tap fading, first-order
+// Gauss-Markov time variation (the coherence-time effect that causes the
+// paper's BER bias), carrier frequency offset, and AWGN.
+//
+// It also provides the calibration from the paper's USRP "power magnitude"
+// knob (0.0125 .. 0.2) to SNR, and a synthetic 10 m x 10 m office layout
+// with 30 receiver locations mirroring the paper's testbed (Fig. 10).
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"carpool/internal/dsp"
+)
+
+// Config describes one transmitter->receiver link.
+type Config struct {
+	// SNRdB is the average received signal-to-noise ratio.
+	SNRdB float64
+	// NumTaps is the number of multipath taps (>= 1). Tap powers follow an
+	// exponential decay profile.
+	NumTaps int
+	// RicianK is the ratio of line-of-sight to scattered power (linear).
+	// Zero selects pure Rayleigh scattering.
+	RicianK float64
+	// TapDecay is the exponential power-delay decay rate: tap l carries
+	// relative power exp(-TapDecay*l). Zero selects 1.0. Larger values
+	// model more line-of-sight-dominated (flatter) channels.
+	TapDecay float64
+	// CoherenceSymbols controls time variation: the number of OFDM symbols
+	// over which the tap autocorrelation falls to 1/e. Zero or negative
+	// disables time variation (a block-fading channel).
+	CoherenceSymbols float64
+	// CFOHz is the residual carrier frequency offset in Hz at the 20 MHz
+	// nominal sample rate.
+	CFOHz float64
+	// UpdateInterval is the number of samples between fading updates.
+	// Defaults to 80 (one OFDM symbol) when zero.
+	UpdateInterval int
+	// Fading selects the tap time-variation process: the default
+	// Gauss-Markov AR(1), or the Jakes sum-of-sinusoids model with its
+	// Bessel autocorrelation.
+	Fading FadingModel
+	// Seed makes the link deterministic.
+	Seed int64
+}
+
+// Model is a stateful channel instance. Successive Transmit calls continue
+// the same fading process, emulating back-to-back frames on one link.
+type Model struct {
+	cfg     Config
+	rng     *rand.Rand
+	noise   *dsp.GaussianSource
+	taps    []complex128 // current tap gains
+	mean    []complex128 // Rician LoS component per tap
+	sigma   []float64    // scattered std-dev per tap
+	rho     float64      // per-update AR(1) coefficient
+	jakes   []*jakesProcess
+	epsRad  float64 // CFO in radians/sample
+	clock   int     // absolute sample counter across Transmit calls
+	upEvery int
+}
+
+// New validates cfg and builds a channel model.
+func New(cfg Config) (*Model, error) {
+	if cfg.NumTaps < 1 {
+		return nil, fmt.Errorf("channel: NumTaps must be >= 1, got %d", cfg.NumTaps)
+	}
+	if cfg.RicianK < 0 {
+		return nil, fmt.Errorf("channel: RicianK must be >= 0, got %v", cfg.RicianK)
+	}
+	m := &Model{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		epsRad:  2 * math.Pi * cfg.CFOHz / SampleRate,
+		upEvery: cfg.UpdateInterval,
+	}
+	if m.upEvery <= 0 {
+		m.upEvery = 80
+	}
+	m.noise = dsp.NewGaussianSource(m.rng)
+
+	// Exponentially decaying power-delay profile, normalized to unit total
+	// power so SNRdB means what it says.
+	decay := cfg.TapDecay
+	if decay == 0 {
+		decay = 1
+	}
+	profile := make([]float64, cfg.NumTaps)
+	var total float64
+	for l := range profile {
+		profile[l] = math.Exp(-decay * float64(l))
+		total += profile[l]
+	}
+	k := cfg.RicianK
+	m.taps = make([]complex128, cfg.NumTaps)
+	m.mean = make([]complex128, cfg.NumTaps)
+	m.sigma = make([]float64, cfg.NumTaps)
+	for l := range profile {
+		p := profile[l] / total
+		// Split tap power between a fixed LoS part and a scattered part.
+		los := math.Sqrt(p * k / (k + 1))
+		scat := math.Sqrt(p / (k + 1))
+		phase := m.rng.Float64() * 2 * math.Pi
+		m.mean[l] = complex(los*math.Cos(phase), los*math.Sin(phase))
+		m.sigma[l] = scat
+	}
+
+	if cfg.CoherenceSymbols > 0 {
+		updatesPerSymbol := 80.0 / float64(m.upEvery)
+		switch cfg.Fading {
+		case Jakes:
+			m.rho = 1 // jakes drives the scatter instead of AR(1)
+			m.jakes = make([]*jakesProcess, cfg.NumTaps)
+			for l := range m.jakes {
+				m.jakes[l] = newJakesProcess(m.rng, 8, cfg.CoherenceSymbols*updatesPerSymbol)
+			}
+		default:
+			// AR(1): autocorrelation after n updates is rho^n; set rho so
+			// that it reaches 1/e after CoherenceSymbols symbols.
+			m.rho = math.Exp(-1 / (cfg.CoherenceSymbols * updatesPerSymbol))
+		}
+	} else {
+		m.rho = 1 // frozen fading state
+	}
+
+	m.drawInitialTaps()
+	return m, nil
+}
+
+// SampleRate matches the OFDM layer's nominal 20 MHz.
+const SampleRate = 20e6
+
+func (m *Model) drawInitialTaps() {
+	for l := range m.taps {
+		m.taps[l] = m.mean[l] + m.noise.Sample(m.sigma[l]*m.sigma[l])
+	}
+}
+
+// evolve advances every tap one step around its Rician mean: AR(1) by
+// default, or the Jakes sum-of-sinusoids process when configured.
+func (m *Model) evolve() {
+	if m.jakes != nil {
+		for l := range m.taps {
+			m.taps[l] = m.mean[l] + complex(m.sigma[l], 0)*m.jakes[l].step()
+		}
+		return
+	}
+	if m.rho >= 1 {
+		return
+	}
+	drive := math.Sqrt(1 - m.rho*m.rho)
+	for l := range m.taps {
+		scat := m.taps[l] - m.mean[l]
+		scat = complex(m.rho, 0)*scat + complex(drive, 0)*m.noise.Sample(m.sigma[l]*m.sigma[l])
+		m.taps[l] = m.mean[l] + scat
+	}
+}
+
+// Transmit pushes tx through the channel and returns the received samples.
+// The output has the same length as the input (the delay-line tail is
+// truncated, matching a receiver that frame-syncs on the strongest path).
+func (m *Model) Transmit(tx []complex128) []complex128 {
+	sigPower := dsp.MeanPower(tx)
+	rx := make([]complex128, len(tx))
+	for n := range tx {
+		if m.clock%m.upEvery == 0 {
+			m.evolve()
+		}
+		var acc complex128
+		for l := range m.taps {
+			if n-l >= 0 {
+				acc += m.taps[l] * tx[n-l]
+			}
+		}
+		if m.epsRad != 0 {
+			acc *= cmplx.Exp(complex(0, m.epsRad*float64(m.clock)))
+		}
+		rx[n] = acc
+		m.clock++
+	}
+	if sigPower > 0 {
+		m.noise.AddNoise(rx, dsp.NoiseVarianceForSNR(sigPower, m.cfg.SNRdB))
+	}
+	return rx
+}
+
+// FrequencyResponse returns the current 64-bin channel frequency response,
+// mainly for tests and diagnostics.
+func (m *Model) FrequencyResponse() []complex128 {
+	h := make([]complex128, 64)
+	copy(h, m.taps)
+	if err := dsp.FFT(h); err != nil {
+		panic(err) // 64 is a power of two
+	}
+	return h
+}
+
+// Reset rewinds the sample clock and redraws the fading state, keeping the
+// configuration and RNG stream.
+func (m *Model) Reset() {
+	m.clock = 0
+	m.drawInitialTaps()
+}

@@ -1,0 +1,301 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"carpool/internal/dsp"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumTaps: 0}); err == nil {
+		t.Error("accepted zero taps")
+	}
+	if _, err := New(Config{NumTaps: 1, RicianK: -1}); err == nil {
+		t.Error("accepted negative Rician K")
+	}
+	if _, err := New(Config{NumTaps: 3, SNRdB: 20}); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}
+
+func TestTransmitPreservesLength(t *testing.T) {
+	m, err := New(Config{NumTaps: 4, SNRdB: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := make([]complex128, 333)
+	for i := range tx {
+		tx[i] = 1
+	}
+	rx := m.Transmit(tx)
+	if len(rx) != len(tx) {
+		t.Errorf("rx length %d, want %d", len(rx), len(tx))
+	}
+}
+
+func TestTransmitDeterministicBySeed(t *testing.T) {
+	mk := func() []complex128 {
+		m, err := New(Config{NumTaps: 4, SNRdB: 15, Seed: 99, CoherenceSymbols: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := make([]complex128, 200)
+		for i := range tx {
+			tx[i] = complex(1, -1)
+		}
+		return m.Transmit(tx)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different outputs")
+		}
+	}
+}
+
+func TestAchievedSNR(t *testing.T) {
+	// High-K single-tap channel: measure empirical SNR against target.
+	const target = 12.0
+	m, err := New(Config{NumTaps: 1, RicianK: 1e9, SNRdB: target, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 200000
+	tx := make([]complex128, n)
+	for i := range tx {
+		tx[i] = 1
+	}
+	rx := m.Transmit(tx)
+	// The (essentially deterministic) channel gain is the mean of rx.
+	var mean complex128
+	for _, v := range rx {
+		mean += v
+	}
+	mean /= complex(float64(n), 0)
+	var noisePower float64
+	for _, v := range rx {
+		d := v - mean
+		noisePower += real(d)*real(d) + imag(d)*imag(d)
+	}
+	noisePower /= float64(n)
+	sigPower := real(mean)*real(mean) + imag(mean)*imag(mean)
+	got := dsp.DB(sigPower / noisePower)
+	if math.Abs(got-target) > 0.5 {
+		t.Errorf("achieved SNR %.2f dB, want %.2f", got, target)
+	}
+}
+
+func TestUnitAverageChannelGain(t *testing.T) {
+	// Across many independent models, E[sum |h_l|^2] = 1.
+	var total float64
+	const trials = 2000
+	for s := 0; s < trials; s++ {
+		m, err := New(Config{NumTaps: 4, RicianK: 5, SNRdB: 100, Seed: int64(s)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tap := range m.taps {
+			total += real(tap)*real(tap) + imag(tap)*imag(tap)
+		}
+	}
+	avg := total / trials
+	if math.Abs(avg-1) > 0.05 {
+		t.Errorf("mean tap energy %.4f, want 1", avg)
+	}
+}
+
+func TestTimeVariationDecorrelates(t *testing.T) {
+	// With a short coherence time, the frequency response after many
+	// symbols must differ from the initial one; with variation disabled it
+	// must stay identical.
+	run := func(coherence float64) float64 {
+		m, err := New(Config{NumTaps: 4, RicianK: 0, SNRdB: 200, Seed: 11, CoherenceSymbols: coherence})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h0 := m.FrequencyResponse()
+		tx := make([]complex128, 80*100) // 100 symbols
+		for i := range tx {
+			tx[i] = 1
+		}
+		m.Transmit(tx)
+		h1 := m.FrequencyResponse()
+		var diff, ref float64
+		for i := range h0 {
+			d := h1[i] - h0[i]
+			diff += real(d)*real(d) + imag(d)*imag(d)
+			ref += real(h0[i])*real(h0[i]) + imag(h0[i])*imag(h0[i])
+		}
+		return diff / ref
+	}
+	if d := run(0); d != 0 {
+		t.Errorf("frozen channel drifted by %v", d)
+	}
+	if d := run(20); d < 0.1 {
+		t.Errorf("20-symbol coherence channel drifted only %v over 100 symbols", d)
+	}
+	// Longer coherence time drifts less.
+	if run(400) >= run(20) {
+		t.Error("longer coherence time should drift less")
+	}
+}
+
+func TestCFORotatesOutput(t *testing.T) {
+	const cfo = 10e3
+	m, err := New(Config{NumTaps: 1, RicianK: 1e12, SNRdB: 300, CFOHz: cfo, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := make([]complex128, 1000)
+	for i := range tx {
+		tx[i] = 1
+	}
+	rx := m.Transmit(tx)
+	// Phase advance per sample should match 2*pi*cfo/fs.
+	want := 2 * math.Pi * cfo / SampleRate
+	var acc complex128
+	for i := 1; i < len(rx); i++ {
+		acc += rx[i] * cmplx.Conj(rx[i-1])
+	}
+	got := cmplx.Phase(acc)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("per-sample rotation %v, want %v", got, want)
+	}
+}
+
+func TestMultipathIsFrequencySelective(t *testing.T) {
+	m, err := New(Config{NumTaps: 6, RicianK: 0, SNRdB: 300, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.FrequencyResponse()
+	minMag, maxMag := math.Inf(1), 0.0
+	for _, v := range h {
+		mag := cmplx.Abs(v)
+		if mag < minMag {
+			minMag = mag
+		}
+		if mag > maxMag {
+			maxMag = mag
+		}
+	}
+	if maxMag/minMag < 1.5 {
+		t.Errorf("channel too flat: max/min magnitude ratio %.2f", maxMag/minMag)
+	}
+}
+
+func TestResetRestartsClock(t *testing.T) {
+	m, err := New(Config{NumTaps: 2, SNRdB: 20, CFOHz: 1e4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := make([]complex128, 100)
+	for i := range tx {
+		tx[i] = 1
+	}
+	m.Transmit(tx)
+	m.Reset()
+	if m.clock != 0 {
+		t.Error("Reset did not rewind the clock")
+	}
+}
+
+func TestSNRForPowerCalibration(t *testing.T) {
+	got, err := SNRForPower(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-32) > 1e-9 {
+		t.Errorf("SNR(0.2) = %v, want 32", got)
+	}
+	got, err = SNRForPower(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-12) > 1e-9 {
+		t.Errorf("SNR(0.02) = %v, want 12 (20 dB per decade)", got)
+	}
+	if _, err := SNRForPower(0); err == nil {
+		t.Error("accepted zero power")
+	}
+	if _, err := SNRForPower(-1); err == nil {
+		t.Error("accepted negative power")
+	}
+	// Monotonic over the paper's sweep.
+	prev := math.Inf(-1)
+	for _, p := range PowerMagnitudes {
+		snr, err := SNRForPower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snr <= prev {
+			t.Errorf("SNR not increasing at power %v", p)
+		}
+		prev = snr
+	}
+}
+
+func TestOfficeLocations(t *testing.T) {
+	locs := OfficeLocations()
+	if len(locs) != 30 {
+		t.Fatalf("%d locations, want 30", len(locs))
+	}
+	ids := map[int]bool{}
+	for _, l := range locs {
+		if l.X < 0 || l.X > 10 || l.Y < 0 || l.Y > 10 {
+			t.Errorf("location %d at (%.1f, %.1f) outside the office", l.ID, l.X, l.Y)
+		}
+		if d := l.Distance(); d < 0.9 {
+			t.Errorf("location %d only %.2f m from the transmitter", l.ID, d)
+		}
+		if ids[l.ID] {
+			t.Errorf("duplicate location ID %d", l.ID)
+		}
+		ids[l.ID] = true
+	}
+	// Determinism.
+	again := OfficeLocations()
+	for i := range locs {
+		if locs[i] != again[i] {
+			t.Fatal("OfficeLocations is not deterministic")
+		}
+	}
+}
+
+func TestLocationSNRDecreasesWithDistance(t *testing.T) {
+	near := Location{ID: 1, X: 5.5, Y: 6.5} // ~1.6 m
+	far := Location{ID: 1, X: 0.5, Y: 0.5}  // ~6.4 m  (same ID -> same shadowing)
+	snrNear, err := near.SNRAt(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snrFar, err := far.SNRAt(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snrNear <= snrFar {
+		t.Errorf("near SNR %.1f <= far SNR %.1f", snrNear, snrFar)
+	}
+}
+
+func TestLinkConfig(t *testing.T) {
+	loc := OfficeLocations()[3]
+	cfg, err := LinkConfig(loc, 0.1, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumTaps != 3 || cfg.RicianK != 15 || cfg.TapDecay != 3 {
+		t.Error("unexpected default profile")
+	}
+	if cfg.CoherenceSymbols != 100 || cfg.CFOHz != 500 {
+		t.Error("parameters not forwarded")
+	}
+	if _, err := LinkConfig(loc, -1, 0, 0); err == nil {
+		t.Error("accepted negative power")
+	}
+	if _, err := New(cfg); err != nil {
+		t.Errorf("LinkConfig produced invalid Config: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// jakesProcess generates a correlated complex fading process by the
+// sum-of-sinusoids method: N plane waves with uniformly distributed angles
+// of arrival and random phases, whose superposition has the classic Clarke
+// autocorrelation J0(2*pi*fd*tau) and a U-shaped Doppler spectrum. It is an
+// alternative to the default first-order Gauss-Markov tap evolution, for
+// studies that care about the autocorrelation *shape* rather than just the
+// coherence time.
+type jakesProcess struct {
+	// per-sinusoid parameters
+	freq  []float64 // Doppler shift of each path, radians per update
+	phase []float64
+	amp   float64
+	t     float64
+}
+
+// newJakesProcess builds a process whose autocorrelation falls to J0(2) ~
+// 0.22... — conventionally, the coherence window — after coherenceUpdates
+// steps: 2*pi*fd*tau = 1 at tau = coherenceUpdates.
+func newJakesProcess(rng *rand.Rand, numSinusoids int, coherenceUpdates float64) *jakesProcess {
+	if numSinusoids < 4 {
+		numSinusoids = 8
+	}
+	p := &jakesProcess{
+		freq:  make([]float64, numSinusoids),
+		phase: make([]float64, numSinusoids),
+		amp:   1 / math.Sqrt(float64(numSinusoids)),
+	}
+	// Maximum Doppler such that fdMax * coherenceUpdates = 1 radian.
+	fdMax := 1.0 / coherenceUpdates
+	for i := range p.freq {
+		aoa := rng.Float64() * 2 * math.Pi
+		p.freq[i] = fdMax * math.Cos(aoa)
+		p.phase[i] = rng.Float64() * 2 * math.Pi
+	}
+	return p
+}
+
+// step advances one update and returns the unit-power complex gain.
+func (p *jakesProcess) step() complex128 {
+	p.t++
+	var re, im float64
+	for i := range p.freq {
+		theta := p.freq[i]*p.t + p.phase[i]
+		re += math.Cos(theta)
+		im += math.Sin(theta)
+	}
+	return complex(re*p.amp, im*p.amp)
+}
+
+// FadingModel selects the tap time-variation process.
+type FadingModel int
+
+// Fading models.
+const (
+	// GaussMarkov is the default AR(1) evolution (exponential
+	// autocorrelation).
+	GaussMarkov FadingModel = iota
+	// Jakes uses the sum-of-sinusoids process (Clarke/Jakes Bessel
+	// autocorrelation and U-shaped Doppler spectrum).
+	Jakes
+)
+
+// String names the model.
+func (f FadingModel) String() string {
+	switch f {
+	case GaussMarkov:
+		return "gauss-markov"
+	case Jakes:
+		return "jakes"
+	default:
+		return "FadingModel(?)"
+	}
+}

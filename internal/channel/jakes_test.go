@@ -1,0 +1,121 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFadingModelString(t *testing.T) {
+	if GaussMarkov.String() != "gauss-markov" || Jakes.String() != "jakes" {
+		t.Error("wrong names")
+	}
+	if FadingModel(9).String() != "FadingModel(?)" {
+		t.Error("wrong fallback")
+	}
+}
+
+func TestJakesProcessUnitPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := newJakesProcess(rng, 16, 100)
+	var power float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g := p.step()
+		power += real(g)*real(g) + imag(g)*imag(g)
+	}
+	avg := power / n
+	if math.Abs(avg-1) > 0.15 {
+		t.Errorf("mean power %.3f, want ~1", avg)
+	}
+}
+
+func TestJakesProcessCorrelationDecays(t *testing.T) {
+	// Autocorrelation should be near 1 at tiny lags and decay by the
+	// coherence window.
+	rng := rand.New(rand.NewSource(2))
+	const coherence = 200.0
+	p := newJakesProcess(rng, 32, coherence)
+	const n = 20000
+	series := make([]complex128, n)
+	for i := range series {
+		series[i] = p.step()
+	}
+	corr := func(lag int) float64 {
+		var acc complex128
+		var power float64
+		for i := 0; i+lag < n; i++ {
+			acc += series[i+lag] * cmplx.Conj(series[i])
+			power += real(series[i])*real(series[i]) + imag(series[i])*imag(series[i])
+		}
+		return real(acc) / power
+	}
+	if c := corr(5); c < 0.9 {
+		t.Errorf("lag-5 correlation %.3f, want > 0.9", c)
+	}
+	// J0(1) ~ 0.77 at the 1-radian point (coherence updates).
+	if c := corr(int(coherence)); c < 0.4 || c > 0.95 {
+		t.Errorf("lag-coherence correlation %.3f, want ~J0(1)=0.77", c)
+	}
+	// Far beyond coherence the correlation must have fallen well off.
+	if c := corr(int(6 * coherence)); math.Abs(c) > 0.5 {
+		t.Errorf("lag-6x-coherence correlation %.3f, want small", c)
+	}
+}
+
+func TestJakesChannelIntegration(t *testing.T) {
+	// A Jakes-configured channel drifts over time like the AR(1) one.
+	m, err := New(Config{
+		NumTaps: 3, RicianK: 5, SNRdB: 200,
+		CoherenceSymbols: 50, Fading: Jakes, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := m.FrequencyResponse()
+	tx := make([]complex128, 80*500)
+	for i := range tx {
+		tx[i] = 1
+	}
+	m.Transmit(tx)
+	h1 := m.FrequencyResponse()
+	var diff, ref float64
+	for i := range h0 {
+		d := h1[i] - h0[i]
+		diff += real(d)*real(d) + imag(d)*imag(d)
+		ref += real(h0[i])*real(h0[i]) + imag(h0[i])*imag(h0[i])
+	}
+	if diff/ref < 0.01 {
+		t.Errorf("Jakes channel drifted only %.4f over 10x coherence", diff/ref)
+	}
+	// Unit average energy is preserved (statistically).
+	var e float64
+	for _, tap := range m.taps {
+		e += real(tap)*real(tap) + imag(tap)*imag(tap)
+	}
+	if e > 3 {
+		t.Errorf("implausible tap energy %.2f", e)
+	}
+}
+
+func TestJakesDeterministicBySeed(t *testing.T) {
+	mk := func() []complex128 {
+		m, err := New(Config{NumTaps: 2, RicianK: 5, SNRdB: 30,
+			CoherenceSymbols: 100, Fading: Jakes, Seed: 44})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := make([]complex128, 400)
+		for i := range tx {
+			tx[i] = 1
+		}
+		return m.Transmit(tx)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different Jakes outputs")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Timing carries the intervals the NAV arithmetic needs. The MAC package
+// provides the 802.11n values (Table 2); they are parameters here so tests
+// can use round numbers.
+type Timing struct {
+	SIFS    time.Duration
+	ACK     time.Duration // ACK frame airtime
+	CTS     time.Duration // CTS frame airtime
+	Payload time.Duration // aggregated data frame airtime
+}
+
+// DataNAV returns the NAV the aggregated data frame advertises (Eq. 1):
+//
+//	NAV_data = t_payload + N (t_ACK + t_SIFS)
+//
+// reserving the medium for the whole transmission sequence — the data frame
+// itself plus one SIFS+ACK slot per receiver.
+func DataNAV(t Timing, numReceivers int) (time.Duration, error) {
+	if numReceivers < 1 {
+		return 0, fmt.Errorf("core: NAV needs at least one receiver, got %d", numReceivers)
+	}
+	return t.Payload + time.Duration(numReceivers)*(t.ACK+t.SIFS), nil
+}
+
+// ReceiverNAV returns the NAV counter the receiver of the i-th subframe
+// (1-based) loads after the data frame ends (Eq. 2):
+//
+//	NAV_i = (i-1) (t_ACK + t_SIFS)
+//
+// so that it stays silent until the receivers before it have ACKed, then
+// waits its own SIFS and transmits.
+func ReceiverNAV(t Timing, i int) (time.Duration, error) {
+	if i < 1 {
+		return 0, fmt.Errorf("core: subframe position %d out of range", i)
+	}
+	return time.Duration(i-1) * (t.ACK + t.SIFS), nil
+}
+
+// ACKNAV returns the NAV carried by the j-th ACK of an N-receiver sequence:
+// NAV_{N-j+1} per §4.2, announcing how much of the ACK train remains. The
+// last ACK carries NAV_1 = 0, matching a legacy ACK.
+func ACKNAV(t Timing, j, n int) (time.Duration, error) {
+	if n < 1 || j < 1 || j > n {
+		return 0, fmt.Errorf("core: ACK index %d of %d out of range", j, n)
+	}
+	return ReceiverNAV(t, n-j+1)
+}
+
+// AckSchedule returns, for each of n receivers, the time its ACK starts,
+// measured from the end of the data frame. Receiver i waits through i-1
+// earlier (SIFS + ACK) slots plus its own SIFS.
+func AckSchedule(t Timing, n int) ([]time.Duration, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: schedule needs at least one receiver, got %d", n)
+	}
+	out := make([]time.Duration, n)
+	for i := 1; i <= n; i++ {
+		nav, err := ReceiverNAV(t, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i-1] = nav + t.SIFS
+	}
+	return out, nil
+}
+
+// SequenceDuration returns the total airtime of data frame plus the full
+// ACK train — what the medium is blocked for.
+func SequenceDuration(t Timing, n int) (time.Duration, error) {
+	nav, err := DataNAV(t, n)
+	if err != nil {
+		return 0, err
+	}
+	return nav, nil
+}
+
+// RTSPlan lays out the multicast RTS/CTS exchange Carpool uses against
+// hidden terminals (§4.2, Fig. 7): one RTS carrying the A-HDR, then one CTS
+// per receiver separated by SIFS, then the data frame and the sequential
+// ACK train.
+type RTSPlan struct {
+	// CTSStarts[i] is when receiver i's CTS begins, from the RTS end.
+	CTSStarts []time.Duration
+	// DataStart is when the data frame begins, from the RTS end.
+	DataStart time.Duration
+	// Total is the full exchange duration from the RTS end: CTS train,
+	// data frame, and ACK train.
+	Total time.Duration
+}
+
+// PlanRTS computes the RTS/CTS timeline for n receivers.
+func PlanRTS(t Timing, n int) (*RTSPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: RTS plan needs at least one receiver, got %d", n)
+	}
+	plan := &RTSPlan{CTSStarts: make([]time.Duration, n)}
+	cursor := time.Duration(0)
+	for i := 0; i < n; i++ {
+		cursor += t.SIFS
+		plan.CTSStarts[i] = cursor
+		cursor += t.CTS
+	}
+	cursor += t.SIFS
+	plan.DataStart = cursor
+	cursor += t.Payload
+	for i := 0; i < n; i++ {
+		cursor += t.SIFS + t.ACK
+	}
+	plan.Total = cursor
+	return plan, nil
+}

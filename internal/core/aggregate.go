@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"carpool/internal/bloom"
+)
+
+// Pending is one frame waiting in the AP's downlink queue.
+type Pending struct {
+	Dst      bloom.MAC
+	Size     int // payload bytes
+	Arrival  time.Duration
+	Deadline time.Duration // zero means no latency bound
+}
+
+// Policy bounds a single Carpool aggregation (paper §7.2: "the aggregation
+// process is ended when the size of the buffered frames reaches the maximum
+// frame size or the delay of the oldest frame reaches the maximum latency
+// limit").
+type Policy struct {
+	// MaxReceivers caps the number of distinct destinations per frame
+	// (<= bloom.MaxReceivers). Zero selects the maximum.
+	MaxReceivers int
+	// MaxBytes caps total aggregated payload. Zero selects 64 KiB, the
+	// 802.11n aggregate ceiling.
+	MaxBytes int
+}
+
+func (p Policy) maxReceivers() int {
+	if p.MaxReceivers <= 0 || p.MaxReceivers > bloom.MaxReceivers {
+		return bloom.MaxReceivers
+	}
+	return p.MaxReceivers
+}
+
+func (p Policy) maxBytes() int {
+	if p.MaxBytes <= 0 {
+		return 64 << 10
+	}
+	return p.MaxBytes
+}
+
+// Validate reports configuration errors.
+func (p Policy) Validate() error {
+	if p.MaxReceivers < 0 {
+		return fmt.Errorf("core: negative MaxReceivers %d", p.MaxReceivers)
+	}
+	if p.MaxReceivers > bloom.MaxReceivers {
+		return fmt.Errorf("core: MaxReceivers %d exceeds Bloom limit %d", p.MaxReceivers, bloom.MaxReceivers)
+	}
+	if p.MaxBytes < 0 {
+		return fmt.Errorf("core: negative MaxBytes %d", p.MaxBytes)
+	}
+	return nil
+}
+
+// Aggregate selects frames for one Carpool transmission from a FIFO queue.
+// It walks the queue in arrival order (FIFO priority, §8), grouping frames
+// by destination, until either cap is hit. Multiple frames for one
+// destination become one subframe (MAC-level aggregation inside the
+// Carpool subframe), so the receiver count — not the frame count — is what
+// MaxReceivers bounds. It returns the chosen queue indices grouped per
+// destination, in subframe order.
+func (p Policy) Aggregate(queue []Pending) (perDst [][]int, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxRx := p.maxReceivers()
+	maxBytes := p.maxBytes()
+	dstSlot := make(map[bloom.MAC]int)
+	total := 0
+	for i, f := range queue {
+		if f.Size <= 0 {
+			return nil, fmt.Errorf("core: queued frame %d has size %d", i, f.Size)
+		}
+		slot, seen := dstSlot[f.Dst]
+		if !seen && len(perDst) == maxRx {
+			continue // no subframe slot left; later frames may still fit existing slots
+		}
+		if total+f.Size > maxBytes {
+			break
+		}
+		if !seen {
+			slot = len(perDst)
+			dstSlot[f.Dst] = slot
+			perDst = append(perDst, nil)
+		}
+		perDst[slot] = append(perDst[slot], i)
+		total += f.Size
+	}
+	return perDst, nil
+}
+
+// OldestWaiting returns the queue's head-of-line delay at time now, zero
+// for an empty queue.
+func OldestWaiting(queue []Pending, now time.Duration) time.Duration {
+	if len(queue) == 0 {
+		return 0
+	}
+	return now - queue[0].Arrival
+}

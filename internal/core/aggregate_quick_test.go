@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"carpool/internal/bloom"
+	"carpool/internal/phy"
+)
+
+// Property tests on the aggregation policy's invariants.
+
+// quickMCSPool holds the schemes the clean-channel round-trip property
+// samples from.
+var quickMCSPool = []phy.MCS{phy.MCS6, phy.MCS12, phy.MCS24, phy.MCS48, phy.MCS54}
+
+func TestAggregateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nQueue := rng.Intn(60)
+		queue := make([]Pending, nQueue)
+		for i := range queue {
+			queue[i] = Pending{
+				Dst:  mac(byte(rng.Intn(12))),
+				Size: 1 + rng.Intn(1500),
+			}
+		}
+		policy := Policy{
+			MaxReceivers: 1 + rng.Intn(bloom.MaxReceivers),
+			MaxBytes:     500 + rng.Intn(20000),
+		}
+		groups, err := policy.Aggregate(queue)
+		if err != nil {
+			return false
+		}
+		// Invariant 1: receiver cap.
+		if len(groups) > policy.MaxReceivers {
+			return false
+		}
+		total := 0
+		seenIdx := map[int]bool{}
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false // no empty subframes
+			}
+			dst := queue[g[0]].Dst
+			prev := -1
+			for _, idx := range g {
+				// Invariant 2: no frame selected twice.
+				if seenIdx[idx] {
+					return false
+				}
+				seenIdx[idx] = true
+				// Invariant 3: one destination per subframe.
+				if queue[idx].Dst != dst {
+					return false
+				}
+				// Invariant 4: FIFO order within a subframe.
+				if idx <= prev {
+					return false
+				}
+				prev = idx
+				total += queue[idx].Size
+			}
+		}
+		// Invariant 5: byte cap.
+		maxBytes := policy.MaxBytes
+		if maxBytes == 0 {
+			maxBytes = 64 << 10
+		}
+		return total <= maxBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateSubframeOrderMatchesFirstArrival(t *testing.T) {
+	// Subframes appear in the order their first frame arrived — the FIFO
+	// priority §8 describes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		queue := make([]Pending, 20)
+		for i := range queue {
+			queue[i] = Pending{Dst: mac(byte(rng.Intn(5))), Size: 100}
+		}
+		groups, err := Policy{}.Aggregate(queue)
+		if err != nil {
+			return false
+		}
+		prevFirst := -1
+		for _, g := range groups {
+			if g[0] <= prevFirst {
+				return false
+			}
+			prevFirst = g[0]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildReceiveRandomConfigurations(t *testing.T) {
+	// Any valid frame configuration must round-trip over a clean channel
+	// for every addressed station.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		subs := make([]Subframe, n)
+		payloads := make([][]byte, n)
+		for i := range subs {
+			payloads[i] = randomPayload(rng, 50+rng.Intn(300))
+			subs[i] = Subframe{
+				Receiver: mac(byte(seed%200) + byte(i)),
+				MCS:      quickMCSPool[rng.Intn(len(quickMCSPool))],
+				Payload:  payloads[i],
+			}
+		}
+		frame, err := BuildFrame(subs, FrameConfig{})
+		if err != nil {
+			return false
+		}
+		for i := range subs {
+			res, err := ReceiveFrame(frame.Samples, ReceiverConfig{
+				MAC: subs[i].Receiver, UseRTE: true, KnownStart: 0,
+			})
+			if err != nil || res.Dropped {
+				return false
+			}
+			found := false
+			for _, sub := range res.Subframes {
+				if sub.Position == i+1 && string(sub.Payload) == string(payloads[i]) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"carpool/internal/bloom"
+	"carpool/internal/fec"
+	"carpool/internal/modem"
+	"carpool/internal/ofdm"
+)
+
+// The aggregation header occupies two OFDM symbols right after the
+// preamble, coded with the most robust scheme available (BPSK, rate 1/2):
+// 48 information bits -> 96 coded bits -> 2 x 48 BPSK subcarriers.
+const (
+	// AHDRSymbols is the A-HDR length in OFDM symbols.
+	AHDRSymbols = 2
+	ahdrBits    = bloom.FilterBits
+)
+
+// BuildAHDR encodes a Bloom filter into the two A-HDR symbols. The symbols
+// use pilot-polarity indices 0 and 1 (the positions right after the
+// preamble) and never carry an injected phase offset.
+func BuildAHDR(f bloom.Filter) ([]complex128, error) {
+	coded, err := fec.ConvEncode(f.Bits(), fec.Rate1_2)
+	if err != nil {
+		return nil, err
+	}
+	if len(coded) != AHDRSymbols*ofdm.NumData {
+		return nil, fmt.Errorf("core: A-HDR coded length %d, want %d", len(coded), AHDRSymbols*ofdm.NumData)
+	}
+	il, err := fec.NewInterleaver(ofdm.NumData, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, AHDRSymbols*ofdm.SymbolLen)
+	for s := 0; s < AHDRSymbols; s++ {
+		block, err := il.Interleave(coded[s*ofdm.NumData : (s+1)*ofdm.NumData])
+		if err != nil {
+			return nil, err
+		}
+		points, err := modem.Map(modem.BPSK, block)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := ofdm.AssembleSymbol(points, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sym...)
+	}
+	return out, nil
+}
+
+// DecodeAHDR inverts BuildAHDR from the two symbols' equalized,
+// phase-compensated data points (48 per symbol).
+func DecodeAHDR(dataPoints [][]complex128) (bloom.Filter, error) {
+	if len(dataPoints) != AHDRSymbols {
+		return 0, fmt.Errorf("core: A-HDR needs %d symbols, got %d", AHDRSymbols, len(dataPoints))
+	}
+	il, err := fec.NewInterleaver(ofdm.NumData, 1)
+	if err != nil {
+		return 0, err
+	}
+	coded := make([]byte, 0, AHDRSymbols*ofdm.NumData)
+	for _, pts := range dataPoints {
+		block, err := modem.Demap(modem.BPSK, pts)
+		if err != nil {
+			return 0, err
+		}
+		deint, err := il.Deinterleave(block)
+		if err != nil {
+			return 0, err
+		}
+		coded = append(coded, deint...)
+	}
+	bits, err := fec.ViterbiDecode(coded, fec.Rate1_2, ahdrBits)
+	if err != nil {
+		return 0, err
+	}
+	return bloom.FromBits(bits)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"carpool/internal/fec"
+)
+
+// The paper's §4.1: "the MAC data can be either single data unit or
+// aggregation data unit determined in IEEE 802.11 MAC aggregation". This
+// file implements the 802.11n A-MPDU container a Carpool subframe can
+// carry: each MPDU is prefixed by a 4-byte delimiter (length, CRC-8,
+// signature 0x4E) and padded to a 4-byte boundary, so a receiver can
+// re-synchronize on delimiter signatures even after a corrupt stretch.
+
+// ampduSignature marks a valid delimiter ('N').
+const ampduSignature = 0x4E
+
+// maxMPDULen is the largest MPDU length a 12-bit delimiter field encodes.
+const maxMPDULen = 1<<12 - 1
+
+// delimiterCRC8 is CRC-8 with polynomial x^8+x^2+x+1 (0x07), the 802.11n
+// delimiter checksum.
+func delimiterCRC8(b []byte) byte {
+	var crc byte = 0xff
+	for _, x := range b {
+		crc ^= x
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// AggregateMPDUs packs MPDUs into one A-MPDU byte stream suitable for a
+// Carpool subframe payload. Each MPDU gets its own FCS (via
+// fec.AppendFCS), a delimiter, and padding to 4 bytes.
+func AggregateMPDUs(mpdus [][]byte) ([]byte, error) {
+	if len(mpdus) == 0 {
+		return nil, fmt.Errorf("core: no MPDUs to aggregate")
+	}
+	var out []byte
+	for i, m := range mpdus {
+		framed := fec.AppendFCS(m)
+		if len(framed) > maxMPDULen {
+			return nil, fmt.Errorf("core: MPDU %d is %d bytes, exceeds delimiter limit %d",
+				i, len(framed), maxMPDULen)
+		}
+		var delim [4]byte
+		binary.LittleEndian.PutUint16(delim[0:], uint16(len(framed))) // 12-bit length, 4 reserved
+		delim[2] = delimiterCRC8(delim[:2])
+		delim[3] = ampduSignature
+		out = append(out, delim[:]...)
+		out = append(out, framed...)
+		for len(out)%4 != 0 {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}
+
+// DeaggregateMPDUs parses an A-MPDU stream back into MPDUs. Corrupt
+// delimiters trigger a scan for the next plausible delimiter (signature +
+// CRC-8 match on a 4-byte boundary), and MPDUs whose FCS fails are counted
+// but not returned — the 802.11n receiver behaviour that makes per-MPDU
+// retransmission possible.
+func DeaggregateMPDUs(stream []byte) (mpdus [][]byte, fcsFailures int) {
+	i := 0
+	for i+4 <= len(stream) {
+		length := int(binary.LittleEndian.Uint16(stream[i:]) & 0xfff)
+		validDelim := stream[i+3] == ampduSignature &&
+			stream[i+2] == delimiterCRC8(stream[i:i+2]) &&
+			length > 0 && i+4+length <= len(stream)
+		if !validDelim {
+			// Re-synchronize on the next 4-byte boundary with a plausible
+			// delimiter.
+			i += 4
+			continue
+		}
+		framed := stream[i+4 : i+4+length]
+		if payload, ok := fec.CheckFCS(framed); ok {
+			mpdus = append(mpdus, append([]byte(nil), payload...))
+		} else {
+			fcsFailures++
+		}
+		i += 4 + length
+		for i%4 != 0 {
+			i++
+		}
+	}
+	return mpdus, fcsFailures
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+)
+
+// FrameKind classifies what follows a preamble on the air (§4.3).
+type FrameKind int
+
+// Frame kinds.
+const (
+	// KindUnknown means the header region decoded as neither format.
+	KindUnknown FrameKind = iota
+	// KindLegacy is a standard 802.11 frame (including MAC-level A-MPDU /
+	// A-MSDU aggregates, which share the legacy PLCP).
+	KindLegacy
+	// KindCarpool is a Carpool multi-receiver frame.
+	KindCarpool
+)
+
+// String names the kind.
+func (k FrameKind) String() string {
+	switch k {
+	case KindLegacy:
+		return "legacy"
+	case KindCarpool:
+		return "carpool"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyFrame implements §4.3's coexistence rule: a Carpool node decodes
+// the symbol right after the preamble; a valid legacy SIG (parity, zero
+// tail, known rate pattern) marks a legacy frame, otherwise the node treats
+// the first two symbols as an A-HDR. Legacy nodes cannot decode Carpool
+// PLCP at all, so the asymmetric check suffices.
+//
+// rx must contain a synchronizable frame; knownStart below zero triggers
+// packet detection.
+func ClassifyFrame(rx []complex128, knownStart int) (FrameKind, error) {
+	buf, h, _, status := phy.Sync(rx, knownStart)
+	if status != phy.StatusOK {
+		return KindUnknown, nil
+	}
+	if _, _, err := phy.DecodeSIGAt(buf, h, ofdm.PreambleLen, 0); err == nil {
+		return KindLegacy, nil
+	}
+	// Not a legacy SIG: check that the two-symbol region decodes as an
+	// A-HDR (the Viterbi always returns *some* 48 bits, so the real test
+	// is that a legacy SIG did not validate — matching the paper's rule).
+	points := make([][]complex128, 0, AHDRSymbols)
+	for s := 0; s < AHDRSymbols; s++ {
+		off := ofdm.PreambleLen + s*ofdm.SymbolLen
+		if off+ofdm.SymbolLen > len(buf) {
+			return KindUnknown, nil
+		}
+		bins, err := ofdm.SymbolBins(buf[off:])
+		if err != nil {
+			return KindUnknown, err
+		}
+		if err := ofdm.Equalize(bins, h); err != nil {
+			return KindUnknown, err
+		}
+		phase, _ := ofdm.TrackPilotPhase(bins, s)
+		ofdm.CompensatePhase(bins, phase)
+		points = append(points, ofdm.ExtractData(bins))
+	}
+	if _, err := DecodeAHDR(points); err != nil {
+		return KindUnknown, nil
+	}
+	return KindCarpool, nil
+}

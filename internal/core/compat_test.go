@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"carpool/internal/channel"
+	"carpool/internal/phy"
+)
+
+func TestClassifyFrameLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	payload := randomPayload(rng, 300)
+	for _, mcs := range []phy.MCS{phy.MCS6, phy.MCS24, phy.MCS54} {
+		frame, err := phy.Transmit(payload, phy.TxConfig{MCS: mcs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind, err := ClassifyFrame(frame.Samples, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != KindLegacy {
+			t.Errorf("%v legacy frame classified as %v", mcs, kind)
+		}
+	}
+}
+
+func TestClassifyFrameCarpool(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(4)
+		subs := make([]Subframe, n)
+		for i := range subs {
+			subs[i] = Subframe{
+				Receiver: mac(byte(trial*8 + i)), MCS: phy.MCS24,
+				Payload: randomPayload(rng, 100+rng.Intn(400)),
+			}
+		}
+		frame, err := BuildFrame(subs, FrameConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind, err := ClassifyFrame(frame.Samples, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != KindCarpool {
+			t.Errorf("trial %d: Carpool frame classified as %v", trial, kind)
+		}
+	}
+}
+
+func TestClassifyFrameThroughChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	ch := func(seed int64) *channel.Model {
+		m, err := channel.New(channel.Config{
+			SNRdB: 26, NumTaps: 3, RicianK: 15, TapDecay: 3,
+			CoherenceSymbols: 2000, CFOHz: 500, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	legacy, err := phy.Transmit(randomPayload(rng, 200), phy.TxConfig{MCS: phy.MCS12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := ClassifyFrame(ch(1).Transmit(legacy.Samples), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindLegacy {
+		t.Errorf("legacy over channel classified as %v", kind)
+	}
+
+	cf, err := BuildFrame([]Subframe{
+		{Receiver: mac(1), MCS: phy.MCS24, Payload: randomPayload(rng, 300)},
+		{Receiver: mac(2), MCS: phy.MCS24, Payload: randomPayload(rng, 300)},
+	}, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err = ClassifyFrame(ch(2).Transmit(cf.Samples), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindCarpool {
+		t.Errorf("Carpool over channel classified as %v", kind)
+	}
+}
+
+func TestClassifyFrameNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	noise := make([]complex128, 2000)
+	for i := range noise {
+		noise[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	kind, err := ClassifyFrame(noise, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindUnknown {
+		t.Errorf("pure noise classified as %v", kind)
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	if KindLegacy.String() != "legacy" || KindCarpool.String() != "carpool" ||
+		KindUnknown.String() != "unknown" {
+		t.Error("wrong names")
+	}
+}

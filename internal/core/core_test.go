@@ -1,0 +1,537 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"carpool/internal/bloom"
+	"carpool/internal/channel"
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+	"carpool/internal/sidechannel"
+)
+
+func mac(b byte) bloom.MAC { return bloom.MAC{0x02, 0, 0, 0, 0, b} }
+
+func randomPayload(rng *rand.Rand, n int) []byte {
+	p := make([]byte, n)
+	rng.Read(p)
+	return p
+}
+
+func TestBuildAHDRDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		macs := make([]bloom.MAC, 1+rng.Intn(8))
+		for i := range macs {
+			rng.Read(macs[i][:])
+		}
+		filter, err := bloom.Build(macs, bloom.DefaultHashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := BuildAHDR(filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(samples) != AHDRSymbols*80 {
+			t.Fatalf("A-HDR samples %d, want %d", len(samples), AHDRSymbols*80)
+		}
+		// Demodulate through an identity channel.
+		points := make([][]complex128, 0, AHDRSymbols)
+		for s := 0; s < AHDRSymbols; s++ {
+			bins, err := symbolBinsAt(samples, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			points = append(points, bins)
+		}
+		got, err := DecodeAHDR(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != filter {
+			t.Fatalf("A-HDR round trip: got %012x, want %012x", uint64(got), uint64(filter))
+		}
+	}
+}
+
+// symbolBinsAt extracts the 48 data points of symbol s from a run of
+// back-to-back symbols through an identity channel.
+func symbolBinsAt(samples []complex128, s int) ([]complex128, error) {
+	bins, err := ofdm.SymbolBins(samples[s*ofdm.SymbolLen:])
+	if err != nil {
+		return nil, err
+	}
+	return ofdm.ExtractData(bins), nil
+}
+
+func TestDecodeAHDRWrongSymbolCount(t *testing.T) {
+	if _, err := DecodeAHDR(nil); err == nil {
+		t.Error("accepted empty A-HDR")
+	}
+}
+
+func TestBuildFrameValidation(t *testing.T) {
+	if _, err := BuildFrame(nil, FrameConfig{}); err == nil {
+		t.Error("accepted empty frame")
+	}
+	subs := make([]Subframe, 9)
+	for i := range subs {
+		subs[i] = Subframe{Receiver: mac(byte(i)), MCS: phy.MCS12, Payload: []byte{1}}
+	}
+	if _, err := BuildFrame(subs, FrameConfig{}); err == nil {
+		t.Error("accepted 9 subframes")
+	}
+	if _, err := BuildFrame([]Subframe{{Receiver: mac(1), Payload: []byte{1}}}, FrameConfig{}); err == nil {
+		t.Error("accepted invalid MCS")
+	}
+	if _, err := BuildFrame([]Subframe{{Receiver: mac(1), MCS: phy.MCS12}}, FrameConfig{}); err == nil {
+		t.Error("accepted empty payload")
+	}
+}
+
+func TestCarpoolFrameCleanLoopback(t *testing.T) {
+	// The paper's Fig. 2 flow: the AP aggregates frames for three STAs;
+	// each STA extracts exactly its own subframe.
+	rng := rand.New(rand.NewSource(2))
+	payloads := [][]byte{
+		randomPayload(rng, 300),
+		randomPayload(rng, 150),
+		randomPayload(rng, 500),
+	}
+	subs := []Subframe{
+		{Receiver: mac(1), MCS: phy.MCS24, Payload: payloads[0]},
+		{Receiver: mac(2), MCS: phy.MCS48, Payload: payloads[1]},
+		{Receiver: mac(3), MCS: phy.MCS12, Payload: payloads[2]},
+	}
+	frame, err := BuildFrame(subs, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame.Subframes) != 3 {
+		t.Fatalf("%d subframes", len(frame.Subframes))
+	}
+	if frame.Subframes[0].StartSymbol != AHDRSymbols {
+		t.Errorf("first subframe starts at %d", frame.Subframes[0].StartSymbol)
+	}
+
+	for i, sub := range subs {
+		res, err := ReceiveFrame(frame.Samples, ReceiverConfig{
+			MAC: sub.Receiver, UseRTE: true, KnownStart: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != phy.StatusOK {
+			t.Fatalf("STA %d: status %v", i, res.Status)
+		}
+		if res.Dropped {
+			t.Fatalf("STA %d: dropped its own frame (false negative!)", i)
+		}
+		var own *SubframeRx
+		for j := range res.Subframes {
+			if res.Subframes[j].Position == i+1 {
+				own = &res.Subframes[j]
+			}
+		}
+		if own == nil {
+			t.Fatalf("STA %d: own subframe not decoded, matched %v", i, res.Matched)
+		}
+		if !bytes.Equal(own.Payload, payloads[i]) {
+			t.Errorf("STA %d: payload corrupted", i)
+		}
+		if own.SIG.MCS != sub.MCS {
+			t.Errorf("STA %d: SIG MCS %v, want %v", i, own.SIG.MCS, sub.MCS)
+		}
+	}
+}
+
+func TestIrrelevantSTADropsFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	subs := []Subframe{
+		{Receiver: mac(1), MCS: phy.MCS24, Payload: randomPayload(rng, 200)},
+		{Receiver: mac(2), MCS: phy.MCS24, Payload: randomPayload(rng, 200)},
+	}
+	frame, err := BuildFrame(subs, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe with many foreign MACs: the overwhelming majority must drop
+	// the frame after the A-HDR, decoding only 2 symbols.
+	drops, falsePos := 0, 0
+	for i := 0; i < 200; i++ {
+		var foreign bloom.MAC
+		rng.Read(foreign[:])
+		res, err := ReceiveFrame(frame.Samples, ReceiverConfig{MAC: foreign, KnownStart: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dropped {
+			drops++
+			if res.SymbolsDecoded != AHDRSymbols {
+				t.Fatalf("dropped frame decoded %d symbols, want %d", res.SymbolsDecoded, AHDRSymbols)
+			}
+		} else {
+			falsePos++
+		}
+	}
+	if drops < 180 {
+		t.Errorf("only %d/200 foreign STAs dropped the frame (%d false positives)", drops, falsePos)
+	}
+}
+
+func TestSkippedSubframesNotDecoded(t *testing.T) {
+	// STA B (position 2) must decode subframe 1's SIG but skip its payload:
+	// symbols decoded = A-HDR(2) + SIG1(1) + SIG2(1) + data2.
+	rng := rand.New(rand.NewSource(4))
+	subs := []Subframe{
+		{Receiver: mac(1), MCS: phy.MCS12, Payload: randomPayload(rng, 900)},
+		{Receiver: mac(2), MCS: phy.MCS24, Payload: randomPayload(rng, 120)},
+	}
+	frame, err := BuildFrame(subs, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReceiveFrame(frame.Samples, ReceiverConfig{MAC: mac(2), KnownStart: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != phy.StatusOK || len(res.Subframes) == 0 {
+		t.Fatalf("status %v, %d subframes", res.Status, len(res.Subframes))
+	}
+	data2 := phy.MCS24.NumSymbols(120)
+	want := AHDRSymbols + 1 + 1 + data2
+	if res.SymbolsDecoded != want {
+		t.Errorf("decoded %d symbols, want %d (skipping subframe 1's %d data symbols)",
+			res.SymbolsDecoded, want, phy.MCS12.NumSymbols(900))
+	}
+	if res.SymbolsHeard <= res.SymbolsDecoded {
+		t.Errorf("heard %d <= decoded %d", res.SymbolsHeard, res.SymbolsDecoded)
+	}
+}
+
+func TestCarpoolFrameThroughChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	payload := randomPayload(rng, 400)
+	subs := []Subframe{
+		{Receiver: mac(1), MCS: phy.MCS24, Payload: randomPayload(rng, 300)},
+		{Receiver: mac(2), MCS: phy.MCS24, Payload: payload},
+	}
+	frame, err := BuildFrame(subs, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(channel.Config{
+		SNRdB: 26, NumTaps: 3, RicianK: 15, TapDecay: 3, CFOHz: 600, Seed: 7,
+		CoherenceSymbols: channel.DefaultCoherenceSymbols,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := append(make([]complex128, 60), frame.Samples...)
+	tx = append(tx, make([]complex128, 40)...) // post-frame silence
+	rx := ch.Transmit(tx)
+	res, err := ReceiveFrame(rx, ReceiverConfig{MAC: mac(2), UseRTE: true, KnownStart: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != phy.StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	if len(res.Subframes) == 0 || !bytes.Equal(res.Subframes[0].Payload, payload) {
+		t.Error("payload corrupted through 26 dB channel")
+	}
+}
+
+func TestRTEEliminatesBERBias(t *testing.T) {
+	// The headline PHY claim (Figs. 3 and 13): on a time-varying channel,
+	// the tail of a long frame decodes much worse than the head under the
+	// standard preamble-only estimate, and RTE removes most of that bias.
+	rng := rand.New(rand.NewSource(6))
+	payload := randomPayload(rng, 3000) // ~112 symbols at MCS48
+	scheme := sidechannel.DefaultScheme()
+
+	run := func(useRTE bool, seed int64) (headBER, tailBER float64) {
+		var headErr, tailErr, headBits, tailBits int
+		for trial := 0; trial < 8; trial++ {
+			frame, err := phy.Transmit(payload, phy.TxConfig{MCS: phy.MCS48, SideChannel: &scheme})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 30 dB keeps the head of the frame mostly clean (so RTE gets
+			// data pilots) while the coherence time makes the preamble
+			// estimate noticeably stale by the tail of the ~126-symbol
+			// frame — the calibrated office-link regime.
+			ch, err := channel.New(channel.Config{
+				SNRdB: 30, NumTaps: 3, RicianK: 15, TapDecay: 3,
+				CoherenceSymbols: 2000, CFOHz: 400, Seed: seed + int64(trial),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tracker phy.ChannelTracker
+			if useRTE {
+				tracker = NewRTETracker()
+			}
+			res, err := phy.Receive(ch.Transmit(frame.Samples), phy.RxConfig{
+				KnownStart: 0, SkipFEC: true, SideChannel: &scheme, Tracker: tracker,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != phy.StatusOK {
+				continue
+			}
+			errs, bits := phy.CompareBlocks(frame.Blocks, res.Blocks)
+			n := len(errs)
+			for i, e := range errs {
+				if i < n/4 {
+					headErr += e
+					headBits += bits
+				} else if i >= 3*n/4 {
+					tailErr += e
+					tailBits += bits
+				}
+			}
+		}
+		if headBits == 0 || tailBits == 0 {
+			t.Fatal("no symbols measured")
+		}
+		return float64(headErr) / float64(headBits), float64(tailErr) / float64(tailBits)
+	}
+
+	stdHead, stdTail := run(false, 1000)
+	rteHead, rteTail := run(true, 1000)
+	if stdTail < 1e-4 {
+		t.Fatalf("standard tail BER %.2e too low — channel not stressing the estimate", stdTail)
+	}
+	// BER bias exists under the standard estimate (Fig. 3).
+	if stdTail < 3*stdHead {
+		t.Errorf("no BER bias: standard head %.2e, tail %.2e", stdHead, stdTail)
+	}
+	// RTE removes it (Fig. 13).
+	if rteTail > stdTail/2 {
+		t.Errorf("RTE tail BER %.2e, expected at least 2x better than standard %.2e", rteTail, stdTail)
+	}
+	if rteTail > 5*rteHead+1e-4 {
+		t.Errorf("RTE did not flatten the bias: head %.2e, tail %.2e", rteHead, rteTail)
+	}
+}
+
+func TestRTETrackerIgnoresBadSymbols(t *testing.T) {
+	tr := NewRTETracker()
+	h := make([]complex128, 64)
+	for i := range h {
+		h[i] = 1
+	}
+	tr.Init(h, 0)
+	before := append([]complex128(nil), tr.Estimate()...)
+	tr.Observe(0, make([]complex128, 64), 0, make([]byte, 48), false)
+	for i := range before {
+		if tr.Estimate()[i] != before[i] {
+			t.Fatal("estimate changed on an incorrect symbol")
+		}
+	}
+	if tr.Updates() != 0 {
+		t.Error("updates counted for incorrect symbol")
+	}
+	// Malformed inputs are ignored, not fatal.
+	tr.Observe(0, make([]complex128, 10), 0, make([]byte, 48), true)
+	if tr.Updates() != 0 {
+		t.Error("update counted for malformed bins")
+	}
+}
+
+func TestSequentialACKNAV(t *testing.T) {
+	tm := Timing{
+		SIFS:    10 * time.Microsecond,
+		ACK:     44 * time.Microsecond,
+		Payload: 500 * time.Microsecond,
+	}
+	// Eq. 1.
+	nav, err := DataNAV(tm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500*time.Microsecond + 3*(44+10)*time.Microsecond
+	if nav != want {
+		t.Errorf("DataNAV = %v, want %v", nav, want)
+	}
+	// Eq. 2.
+	for i := 1; i <= 3; i++ {
+		nav, err := ReceiverNAV(tm, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := time.Duration(i-1) * (44 + 10) * time.Microsecond
+		if nav != want {
+			t.Errorf("ReceiverNAV(%d) = %v, want %v", i, nav, want)
+		}
+	}
+	// Last ACK carries NAV_1 = 0 — consistent with a legacy ACK.
+	last, err := ACKNAV(tm, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 0 {
+		t.Errorf("last ACK NAV = %v, want 0", last)
+	}
+	first, err := ACKNAV(tm, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2*(44+10)*time.Microsecond {
+		t.Errorf("first ACK NAV = %v", first)
+	}
+	// Validation.
+	if _, err := DataNAV(tm, 0); err == nil {
+		t.Error("accepted zero receivers")
+	}
+	if _, err := ReceiverNAV(tm, 0); err == nil {
+		t.Error("accepted position 0")
+	}
+	if _, err := ACKNAV(tm, 4, 3); err == nil {
+		t.Error("accepted ACK index beyond N")
+	}
+}
+
+func TestAckScheduleNoOverlap(t *testing.T) {
+	tm := Timing{SIFS: 10 * time.Microsecond, ACK: 44 * time.Microsecond}
+	sched, err := AckSchedule(tm, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 5 {
+		t.Fatalf("%d entries", len(sched))
+	}
+	if sched[0] != tm.SIFS {
+		t.Errorf("first ACK at %v, want SIFS", sched[0])
+	}
+	for i := 1; i < len(sched); i++ {
+		gap := sched[i] - (sched[i-1] + tm.ACK)
+		if gap != tm.SIFS {
+			t.Errorf("gap before ACK %d = %v, want SIFS", i+1, gap)
+		}
+	}
+	// The NAV from Eq. 1 covers the entire train.
+	nav, err := DataNAV(tm, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := sched[4] + tm.ACK
+	if end > nav {
+		t.Errorf("ACK train ends at %v, after NAV %v expires", end, nav)
+	}
+	if _, err := AckSchedule(tm, 0); err == nil {
+		t.Error("accepted zero receivers")
+	}
+}
+
+func TestPlanRTS(t *testing.T) {
+	tm := Timing{
+		SIFS: 10 * time.Microsecond, ACK: 44 * time.Microsecond,
+		CTS: 44 * time.Microsecond, Payload: 300 * time.Microsecond,
+	}
+	plan, err := PlanRTS(tm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.CTSStarts) != 3 {
+		t.Fatalf("%d CTS slots", len(plan.CTSStarts))
+	}
+	if plan.CTSStarts[0] != tm.SIFS {
+		t.Errorf("first CTS at %v", plan.CTSStarts[0])
+	}
+	for i := 1; i < 3; i++ {
+		if plan.CTSStarts[i]-plan.CTSStarts[i-1] != tm.SIFS+tm.CTS {
+			t.Errorf("CTS spacing wrong at %d", i)
+		}
+	}
+	if plan.DataStart != plan.CTSStarts[2]+tm.CTS+tm.SIFS {
+		t.Errorf("data starts at %v", plan.DataStart)
+	}
+	wantTotal := plan.DataStart + tm.Payload + 3*(tm.SIFS+tm.ACK)
+	if plan.Total != wantTotal {
+		t.Errorf("total %v, want %v", plan.Total, wantTotal)
+	}
+	if _, err := PlanRTS(tm, 0); err == nil {
+		t.Error("accepted zero receivers")
+	}
+}
+
+func TestAggregatePolicy(t *testing.T) {
+	q := []Pending{
+		{Dst: mac(1), Size: 100}, {Dst: mac(2), Size: 100},
+		{Dst: mac(1), Size: 100}, {Dst: mac(3), Size: 100},
+		{Dst: mac(4), Size: 100},
+	}
+	groups, err := Policy{MaxReceivers: 3}.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("%d destinations, want 3", len(groups))
+	}
+	// STA 1 gets both of its frames in one subframe.
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
+		t.Errorf("subframe 1 indices %v", groups[0])
+	}
+	// STA 4's frame doesn't fit (receiver cap), STA 3 does.
+	if len(groups[2]) != 1 || groups[2][0] != 3 {
+		t.Errorf("subframe 3 indices %v", groups[2])
+	}
+}
+
+func TestAggregateByteCap(t *testing.T) {
+	q := []Pending{
+		{Dst: mac(1), Size: 600}, {Dst: mac(2), Size: 600}, {Dst: mac(3), Size: 600},
+	}
+	groups, err := Policy{MaxBytes: 1300}.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, g := range groups {
+		for _, idx := range g {
+			total += q[idx].Size
+		}
+	}
+	if total > 1300 {
+		t.Errorf("aggregated %d bytes over the 1300 cap", total)
+	}
+	if len(groups) != 2 {
+		t.Errorf("%d destinations, want 2", len(groups))
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := (Policy{MaxReceivers: -1}).Aggregate(nil); err == nil {
+		t.Error("accepted negative receiver cap")
+	}
+	if _, err := (Policy{MaxReceivers: 99}).Aggregate(nil); err == nil {
+		t.Error("accepted receiver cap beyond Bloom limit")
+	}
+	if _, err := (Policy{MaxBytes: -1}).Aggregate(nil); err == nil {
+		t.Error("accepted negative byte cap")
+	}
+	if _, err := (Policy{}).Aggregate([]Pending{{Dst: mac(1), Size: 0}}); err == nil {
+		t.Error("accepted zero-size frame")
+	}
+	groups, err := Policy{}.Aggregate(nil)
+	if err != nil || len(groups) != 0 {
+		t.Error("empty queue should aggregate to nothing")
+	}
+}
+
+func TestOldestWaiting(t *testing.T) {
+	if OldestWaiting(nil, time.Second) != 0 {
+		t.Error("empty queue should have zero wait")
+	}
+	q := []Pending{{Dst: mac(1), Size: 1, Arrival: 100 * time.Millisecond}}
+	if got := OldestWaiting(q, 350*time.Millisecond); got != 250*time.Millisecond {
+		t.Errorf("wait %v", got)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import "carpool/internal/phy"
+
+// SelectMCS picks the fastest 802.11a scheme whose sensitivity the link
+// supports, from the estimated receive SNR. The thresholds are the
+// conventional operating points with ~4-5 dB fading margin so the
+// chosen rate still decodes at the frame tail as the channel drifts; the
+// paper lets every Carpool subframe carry its own MCS (§4.1) and an AP
+// would drive this from per-station SNR feedback.
+func SelectMCS(snrDB float64) phy.MCS {
+	switch {
+	case snrDB >= 30:
+		return phy.MCS54
+	case snrDB >= 27:
+		return phy.MCS48
+	case snrDB >= 23:
+		return phy.MCS36
+	case snrDB >= 19:
+		return phy.MCS24
+	case snrDB >= 15:
+		return phy.MCS18
+	case snrDB >= 12:
+		return phy.MCS12
+	case snrDB >= 9:
+		return phy.MCS9
+	default:
+		return phy.MCS6
+	}
+}

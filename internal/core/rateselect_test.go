@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"carpool/internal/channel"
+	"carpool/internal/phy"
+)
+
+func TestSelectMCSMonotone(t *testing.T) {
+	prev := 0.0
+	for snr := -5.0; snr <= 40; snr += 0.5 {
+		m := SelectMCS(snr)
+		if !m.Valid() {
+			t.Fatalf("invalid MCS at %v dB", snr)
+		}
+		if r := m.DataRateMbps(); r < prev {
+			t.Fatalf("rate decreased at %v dB: %v < %v", snr, r, prev)
+		} else {
+			prev = r
+		}
+	}
+}
+
+func TestSelectMCSEndpoints(t *testing.T) {
+	if SelectMCS(0) != phy.MCS6 {
+		t.Error("0 dB should select the most robust scheme")
+	}
+	if SelectMCS(35) != phy.MCS54 {
+		t.Error("35 dB should select the fastest scheme")
+	}
+}
+
+func randomPayloadForRate(t *testing.T, n int) []byte {
+	t.Helper()
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*37 + 11)
+	}
+	return p
+}
+
+func officeChannel(t *testing.T, snr float64, seed int64) *channel.Model {
+	t.Helper()
+	ch, err := channel.New(channel.Config{
+		SNRdB: snr, NumTaps: 3, RicianK: 15, TapDecay: 3,
+		CoherenceSymbols: channel.DefaultCoherenceSymbols, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestSelectedMCSActuallyDecodes(t *testing.T) {
+	// Property: at each threshold SNR, a frame at the selected rate decodes
+	// through an office-profile channel. (Single seed; the 3 dB margin in
+	// the table absorbs fading realizations.)
+	for _, snr := range []float64{8, 12, 16, 20, 24, 28, 32} {
+		mcs := SelectMCS(snr)
+		payload := randomPayloadForRate(t, 300)
+		frame, err := phy.Transmit(payload, phy.TxConfig{MCS: mcs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := officeChannel(t, snr, 5)
+		res, err := phy.Receive(ch.Transmit(frame.Samples), phy.RxConfig{KnownStart: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != phy.StatusOK {
+			t.Errorf("%v at %v dB: status %v", mcs, snr, res.Status)
+			continue
+		}
+		if string(res.Payload) != string(payload) {
+			t.Errorf("%v at %v dB: payload corrupted", mcs, snr)
+		}
+	}
+}

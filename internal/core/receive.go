@@ -1,0 +1,207 @@
+package core
+
+import (
+	"carpool/internal/bloom"
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+	"carpool/internal/sidechannel"
+)
+
+// ReceiverConfig configures one STA's Carpool receiver.
+type ReceiverConfig struct {
+	// MAC is this station's hardware address, checked against the A-HDR.
+	MAC bloom.MAC
+	// Hashes must match the AP's Bloom configuration; zero selects
+	// bloom.DefaultHashes.
+	Hashes int
+	// SideChannel must match the AP's; the zero value selects the default
+	// scheme. DisableSideChannel turns side-channel decoding (and with it
+	// RTE data pilots) off.
+	SideChannel        sidechannel.Scheme
+	DisableSideChannel bool
+	// UseRTE selects Carpool's real-time channel estimation for the
+	// station's own subframes; false keeps the standard preamble-only
+	// estimate (the MU-Aggregation baseline).
+	UseRTE bool
+	// KnownStart skips packet detection (negative means "detect").
+	KnownStart int
+	// SkipFEC stops each subframe at the demapper, for the BER harness.
+	SkipFEC bool
+}
+
+func (c ReceiverConfig) hashes() int {
+	if c.Hashes == 0 {
+		return bloom.DefaultHashes
+	}
+	return c.Hashes
+}
+
+func (c ReceiverConfig) scheme() *sidechannel.Scheme {
+	if c.DisableSideChannel {
+		return nil
+	}
+	s := c.SideChannel
+	if s == (sidechannel.Scheme{}) {
+		s = sidechannel.DefaultScheme()
+	}
+	return &s
+}
+
+// SubframeRx is one decoded subframe.
+type SubframeRx struct {
+	// Position is the 1-based subframe index within the frame.
+	Position int
+	SIG      phy.SIG
+	// StartSymbol is the absolute symbol index of the subframe's SIG.
+	StartSymbol int
+	// Payload is the FEC-decoded payload (nil with SkipFEC).
+	Payload []byte
+	// Blocks, SideBits, SymbolOK, PilotPhases mirror phy.Segment.
+	Blocks      [][]byte
+	SideBits    [][]byte
+	SymbolOK    []bool
+	PilotPhases []float64
+	// RTEUpdates counts the data-pilot calibrations inside this subframe.
+	RTEUpdates int
+}
+
+// FrameRx is the outcome of one station hearing one Carpool frame.
+type FrameRx struct {
+	Status phy.RxStatus
+	// CFORad is the estimated carrier frequency offset.
+	CFORad float64
+	// Filter is the decoded A-HDR.
+	Filter bloom.Filter
+	// Matched lists the subframe positions the A-HDR matched for this
+	// station (possibly including false positives).
+	Matched []int
+	// Dropped is true when the A-HDR matched nothing: the station dropped
+	// the frame after two symbols without touching the payload.
+	Dropped bool
+	// Subframes are the decoded (matched) subframes.
+	Subframes []SubframeRx
+	// SymbolsHeard is the frame length in symbols the station observed;
+	// SymbolsDecoded is how many it actually demodulated (A-HDR + the SIGs
+	// it walked + matched payloads) — the energy accounting of §8.
+	SymbolsHeard   int
+	SymbolsDecoded int
+}
+
+// ReceiveFrame runs one station's Carpool receive pipeline (paper §3, §4.1):
+// synchronize, decode the A-HDR, drop the frame if no subframe matches,
+// otherwise walk the subframes — decoding only SIGs to skip over other
+// stations' payloads — and decode every matched subframe, with RTE
+// recalibrating the channel estimate inside each one.
+func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
+	buf, h, cfo, status := phy.Sync(rx, cfg.KnownStart)
+	res := &FrameRx{Status: status, CFORad: cfo}
+	if status != phy.StatusOK {
+		return res, nil
+	}
+
+	// A-HDR: two standard-equalized, phase-compensated BPSK symbols.
+	ahdrPoints := make([][]complex128, 0, AHDRSymbols)
+	for s := 0; s < AHDRSymbols; s++ {
+		off := ofdm.PreambleLen + s*ofdm.SymbolLen
+		if off+ofdm.SymbolLen > len(buf) {
+			res.Status = phy.StatusTruncated
+			return res, nil
+		}
+		bins, err := ofdm.SymbolBins(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		if err := ofdm.Equalize(bins, h); err != nil {
+			return nil, err
+		}
+		phase, _ := ofdm.TrackPilotPhase(bins, s)
+		ofdm.CompensatePhase(bins, phase)
+		ahdrPoints = append(ahdrPoints, ofdm.ExtractData(bins))
+	}
+	filter, err := DecodeAHDR(ahdrPoints)
+	if err != nil {
+		res.Status = phy.StatusBadSIG
+		return res, nil
+	}
+	res.Filter = filter
+	res.SymbolsDecoded = AHDRSymbols
+	res.SymbolsHeard = (len(buf) - ofdm.PreambleLen) / ofdm.SymbolLen
+
+	res.Matched = filter.Positions(cfg.MAC, bloom.MaxReceivers, cfg.hashes())
+	if len(res.Matched) == 0 {
+		// Irrelevant frame: drop after the A-HDR without decoding payload.
+		res.Dropped = true
+		return res, nil
+	}
+	maxMatched := res.Matched[len(res.Matched)-1]
+	matched := make(map[int]bool, len(res.Matched))
+	for _, p := range res.Matched {
+		matched[p] = true
+	}
+
+	scheme := cfg.scheme()
+	symIdx := AHDRSymbols
+	for pos := 1; pos <= maxMatched; pos++ {
+		sigOff := ofdm.PreambleLen + symIdx*ofdm.SymbolLen
+		sig, sigPhase, err := phy.DecodeSIGAt(buf, h, sigOff, symIdx)
+		if err != nil {
+			// Without a valid SIG the rest of the frame cannot be located.
+			res.Status = phy.StatusBadSIG
+			return res, nil
+		}
+		res.SymbolsDecoded++
+		sigSymIdx := symIdx
+		symIdx++
+		nsym := sig.MCS.NumSymbols(sig.Length)
+
+		if !matched[pos] {
+			// Skip the whole subframe; only its SIG was decoded.
+			symIdx += nsym
+			continue
+		}
+
+		var tracker phy.ChannelTracker
+		var rte *RTETracker
+		if cfg.UseRTE {
+			rte = NewRTETracker()
+			tracker = rte
+		} else {
+			tracker = phy.NewStandardTracker()
+		}
+		tracker.Init(h, sig.MCS.Mod)
+
+		seg, err := phy.DecodeDataSymbols(buf, ofdm.PreambleLen+symIdx*ofdm.SymbolLen,
+			symIdx, nsym, sig.MCS.Mod, tracker, scheme, sigPhase)
+		if err != nil {
+			return nil, err
+		}
+		if seg.Truncated {
+			res.Status = phy.StatusTruncated
+			return res, nil
+		}
+		res.SymbolsDecoded += nsym
+		sub := SubframeRx{
+			Position:    pos,
+			SIG:         sig,
+			StartSymbol: sigSymIdx,
+			Blocks:      seg.Blocks,
+			SideBits:    seg.SideBits,
+			SymbolOK:    seg.SymbolOK,
+			PilotPhases: seg.PilotPhases,
+		}
+		if rte != nil {
+			sub.RTEUpdates = rte.Updates()
+		}
+		if !cfg.SkipFEC {
+			payload, err := phy.DecodeDataField(seg.Blocks, sig.MCS, sig.Length)
+			if err != nil {
+				return nil, err
+			}
+			sub.Payload = payload
+		}
+		res.Subframes = append(res.Subframes, sub)
+		symIdx += nsym
+	}
+	res.Status = phy.StatusOK
+	return res, nil
+}

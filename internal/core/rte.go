@@ -1,0 +1,140 @@
+// Package core implements Carpool itself: the multi-receiver PHY frame
+// (preamble + Bloom-filter A-HDR + per-receiver subframes), the real-time
+// channel estimator (RTE) that treats correctly decoded symbols as data
+// pilots, the sequential-ACK NAV arithmetic, the aggregation policy, and
+// the MU-MIMO extension.
+package core
+
+import (
+	"math/cmplx"
+
+	"carpool/internal/modem"
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+)
+
+// RTETracker is Carpool's real-time channel estimator (paper §5.1). Every
+// symbol whose side-channel CRC verifies becomes a "data pilot": the
+// receiver re-modulates its known bits, derives a fresh per-subcarrier
+// channel observation, and folds it into the running estimate
+//
+//	H~n = (H~n-1 + Ĥn)/2    if symbol n decoded correctly      (Eq. 3)
+//	H~n = H~n-1             otherwise.
+//
+// Only the 48 data subcarriers are updated; the common phase is measured
+// per-symbol from the pilots anyway, so the update is phase-neutral (the
+// tracked pilot phase is removed from the observation before averaging).
+type RTETracker struct {
+	h   []complex128
+	mod modem.Modulation
+	// updates counts how many symbols contributed data pilots, for
+	// diagnostics and the evaluation harness.
+	updates int
+	rule    UpdateRule
+}
+
+// UpdateRule selects how a fresh observation folds into the estimate — the
+// DESIGN.md ablation of Eq. (3)'s averaging constant.
+type UpdateRule int
+
+// Update rules.
+const (
+	// RuleHalving is the paper's Eq. (3): H~ = (H~ + Ĥ)/2.
+	RuleHalving UpdateRule = iota
+	// RuleReplace trusts each observation fully: H~ = Ĥ. Fast tracking,
+	// no noise averaging.
+	RuleReplace
+	// RuleEMA25 is a slow exponential average: H~ = 0.75 H~ + 0.25 Ĥ.
+	RuleEMA25
+)
+
+// String names the rule.
+func (r UpdateRule) String() string {
+	switch r {
+	case RuleHalving:
+		return "eq3-halving"
+	case RuleReplace:
+		return "replace"
+	case RuleEMA25:
+		return "ema-0.25"
+	default:
+		return "UpdateRule(?)"
+	}
+}
+
+// alpha returns the averaging weight on the fresh observation.
+func (r UpdateRule) alpha() float64 {
+	switch r {
+	case RuleReplace:
+		return 1
+	case RuleEMA25:
+		return 0.25
+	default:
+		return 0.5
+	}
+}
+
+var _ phy.ChannelTracker = (*RTETracker)(nil)
+
+// NewRTETracker returns an estimator using the paper's Eq. (3) rule.
+func NewRTETracker() *RTETracker { return &RTETracker{rule: RuleHalving} }
+
+// NewRTETrackerWithRule returns an estimator with an alternative update
+// rule, used by the ablation benchmarks.
+func NewRTETrackerWithRule(rule UpdateRule) *RTETracker { return &RTETracker{rule: rule} }
+
+// Init seeds the estimate with the preamble (LTF) measurement.
+func (t *RTETracker) Init(h []complex128, mod modem.Modulation) {
+	t.h = append(t.h[:0], h...)
+	t.mod = mod
+	t.updates = 0
+}
+
+// Estimate returns the current calibrated channel estimate.
+func (t *RTETracker) Estimate() []complex128 { return t.h }
+
+// Updates reports how many symbols have calibrated the estimate so far.
+func (t *RTETracker) Updates() int { return t.updates }
+
+// Observe applies Eq. (3): when the symbol's group CRC verified, the
+// demapped bits are re-modulated into the known transmitted points Yn and
+// each data subcarrier's estimate moves halfway toward the fresh
+// observation Ĥn = Dn/Yn.
+func (t *RTETracker) Observe(_ int, rawBins []complex128, pilotPhase float64, codedBits []byte, correct bool) {
+	if !correct || len(t.h) != ofdm.NumSubcarriers || len(rawBins) != ofdm.NumSubcarriers {
+		return
+	}
+	points, err := modem.Map(t.mod, codedBits)
+	if err != nil || len(points) != ofdm.NumData {
+		return
+	}
+	// Remove the tracked common phase so the update never fights the
+	// per-symbol pilot compensation.
+	derot := cmplx.Exp(complex(0, -pilotPhase))
+	for i, k := range ofdm.DataIndices {
+		b := ofdm.Bin(k)
+		obs := rawBins[b] * derot / points[i]
+		// Plausibility gate: a short CRC occasionally passes a symbol that
+		// still has bit errors, and a wrongly re-modulated point yields an
+		// observation far from any credible channel. Genuine channel drift
+		// between updates is a few percent, so observations that jump more
+		// than 50% are discarded for that subcarrier.
+		cur := t.h[b]
+		if d := cmplx.Abs(obs - cur); cmplx.Abs(cur) > 0 && d > 0.5*cmplx.Abs(cur) {
+			continue
+		}
+		// Weight the averaging step by the constellation point's energy:
+		// an observation divided by a low-energy inner point (|Y|^2 down to
+		// 2/42 for 64-QAM) carries proportionally amplified noise, so it
+		// moves the estimate proportionally less. Unit-energy points
+		// reproduce the configured rule exactly (Eq. (3)'s (H~ + Ĥ)/2 by
+		// default).
+		w := real(points[i])*real(points[i]) + imag(points[i])*imag(points[i])
+		if w > 1 {
+			w = 1
+		}
+		alpha := complex(w*t.rule.alpha(), 0)
+		t.h[b] = (1-alpha)*cur + alpha*obs
+	}
+	t.updates++
+}

@@ -1,0 +1,218 @@
+// Package dot11 implements the IEEE 802.11 MAC frame formats Carpool's
+// sequential ACK rides on: the data/management header with its Duration
+// (NAV) field, and the ACK / RTS / CTS control frames. The paper's Eqs. 1-2
+// are values *carried in these headers* — a node that hears any frame
+// updates its virtual carrier sense from the Duration field — so the MAC
+// simulator's NAV arithmetic corresponds to bits a real sniffer would see.
+//
+// Layouts follow IEEE Std 802.11-2012 §8.2/§8.3 (little-endian fields,
+// FCS-terminated). Only the subset the system needs is implemented:
+// data frames with three addresses, and the three control frames.
+package dot11
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"carpool/internal/bloom"
+	"carpool/internal/fec"
+)
+
+// FrameType is the 802.11 Type/Subtype pair, packed as in the Frame Control
+// field's bits 2..7 (type in bits 2-3, subtype in bits 4-7).
+type FrameType byte
+
+// Supported type/subtype combinations.
+const (
+	TypeData FrameType = 0x20 // type 10, subtype 0000
+	TypeQoS  FrameType = 0x22 // type 10, subtype 1000 -> bits: 10 1000
+	TypeACK  FrameType = 0x1D // type 01, subtype 1101
+	TypeRTS  FrameType = 0x1B // type 01, subtype 1011
+	TypeCTS  FrameType = 0x1C // type 01, subtype 1100
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeQoS:
+		return "qos-data"
+	case TypeACK:
+		return "ack"
+	case TypeRTS:
+		return "rts"
+	case TypeCTS:
+		return "cts"
+	default:
+		return fmt.Sprintf("FrameType(%#x)", byte(t))
+	}
+}
+
+// MaxDuration is the largest value the 15-bit Duration field encodes, in
+// microseconds.
+const MaxDuration = 32767 * time.Microsecond
+
+// encodeDuration packs a NAV duration into the 16-bit Duration/ID field
+// (bit 15 clear marks a duration value).
+func encodeDuration(d time.Duration) (uint16, error) {
+	if d < 0 || d > MaxDuration {
+		return 0, fmt.Errorf("dot11: duration %v outside 0..%v", d, MaxDuration)
+	}
+	us := (d + time.Microsecond - 1) / time.Microsecond // round up: NAV must cover the exchange
+	return uint16(us), nil
+}
+
+// DecodeDuration reads a Duration/ID field back as a NAV duration; ok is
+// false for association-ID encodings (bit 15 set).
+func DecodeDuration(field uint16) (time.Duration, bool) {
+	if field&0x8000 != 0 {
+		return 0, false
+	}
+	return time.Duration(field) * time.Microsecond, true
+}
+
+// DataFrame is a three-address 802.11 data MPDU.
+type DataFrame struct {
+	Type     FrameType // TypeData or TypeQoS
+	Duration time.Duration
+	// Addr1 is the receiver, Addr2 the transmitter, Addr3 the BSSID (an
+	// AP-to-STA downlink frame).
+	Addr1, Addr2, Addr3 bloom.MAC
+	// Sequence number (0..4095) and fragment (0..15).
+	Seq, Frag int
+	// MoreData mirrors the frame-control More Data bit — Carpool receivers
+	// can learn more traffic is queued for them.
+	MoreData bool
+	Payload  []byte
+}
+
+const dataHeaderLen = 2 + 2 + 3*6 + 2 // FC + Duration + 3 addresses + SeqCtl
+
+// Marshal serializes the frame including its FCS.
+func (f *DataFrame) Marshal() ([]byte, error) {
+	if f.Type != TypeData && f.Type != TypeQoS {
+		return nil, fmt.Errorf("dot11: %v is not a data frame type", f.Type)
+	}
+	if f.Seq < 0 || f.Seq > 4095 || f.Frag < 0 || f.Frag > 15 {
+		return nil, fmt.Errorf("dot11: sequence %d/%d out of range", f.Seq, f.Frag)
+	}
+	dur, err := encodeDuration(f.Duration)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, dataHeaderLen, dataHeaderLen+len(f.Payload)+4)
+	fc := uint16(f.Type) << 2 // version 00 in bits 0-1
+	if f.MoreData {
+		fc |= 1 << 13
+	}
+	binary.LittleEndian.PutUint16(buf[0:], fc)
+	binary.LittleEndian.PutUint16(buf[2:], dur)
+	copy(buf[4:], f.Addr1[:])
+	copy(buf[10:], f.Addr2[:])
+	copy(buf[16:], f.Addr3[:])
+	binary.LittleEndian.PutUint16(buf[22:], uint16(f.Seq)<<4|uint16(f.Frag))
+	buf = append(buf, f.Payload...)
+	return fec.AppendFCS(buf), nil
+}
+
+// UnmarshalData parses a data frame, verifying the FCS.
+func UnmarshalData(b []byte) (*DataFrame, error) {
+	body, okFCS := fec.CheckFCS(b)
+	if !okFCS {
+		return nil, fmt.Errorf("dot11: FCS check failed")
+	}
+	if len(body) < dataHeaderLen {
+		return nil, fmt.Errorf("dot11: data frame too short (%d bytes)", len(body))
+	}
+	fc := binary.LittleEndian.Uint16(body[0:])
+	ft := FrameType(fc >> 2 & 0x3f)
+	if ft != TypeData && ft != TypeQoS {
+		return nil, fmt.Errorf("dot11: not a data frame (%v)", ft)
+	}
+	dur, okDur := DecodeDuration(binary.LittleEndian.Uint16(body[2:]))
+	if !okDur {
+		return nil, fmt.Errorf("dot11: association-ID in data frame duration")
+	}
+	f := &DataFrame{
+		Type:     ft,
+		Duration: dur,
+		MoreData: fc&(1<<13) != 0,
+	}
+	copy(f.Addr1[:], body[4:])
+	copy(f.Addr2[:], body[10:])
+	copy(f.Addr3[:], body[16:])
+	sc := binary.LittleEndian.Uint16(body[22:])
+	f.Seq = int(sc >> 4)
+	f.Frag = int(sc & 0xf)
+	f.Payload = append([]byte(nil), body[dataHeaderLen:]...)
+	return f, nil
+}
+
+// ControlFrame is an ACK, RTS or CTS.
+type ControlFrame struct {
+	Type     FrameType
+	Duration time.Duration
+	// RA is the receiver address; TA (RTS only) the transmitter.
+	RA, TA bloom.MAC
+}
+
+// Marshal serializes the control frame including its FCS: ACK and CTS are
+// 14 bytes; RTS is 20.
+func (f *ControlFrame) Marshal() ([]byte, error) {
+	dur, err := encodeDuration(f.Duration)
+	if err != nil {
+		return nil, err
+	}
+	var body []byte
+	switch f.Type {
+	case TypeACK, TypeCTS:
+		body = make([]byte, 10)
+	case TypeRTS:
+		body = make([]byte, 16)
+	default:
+		return nil, fmt.Errorf("dot11: %v is not a control frame type", f.Type)
+	}
+	binary.LittleEndian.PutUint16(body[0:], uint16(f.Type)<<2)
+	binary.LittleEndian.PutUint16(body[2:], dur)
+	copy(body[4:], f.RA[:])
+	if f.Type == TypeRTS {
+		copy(body[10:], f.TA[:])
+	}
+	return fec.AppendFCS(body), nil
+}
+
+// UnmarshalControl parses an ACK, RTS or CTS, verifying the FCS.
+func UnmarshalControl(b []byte) (*ControlFrame, error) {
+	body, okFCS := fec.CheckFCS(b)
+	if !okFCS {
+		return nil, fmt.Errorf("dot11: FCS check failed")
+	}
+	if len(body) < 10 {
+		return nil, fmt.Errorf("dot11: control frame too short (%d bytes)", len(body))
+	}
+	fc := binary.LittleEndian.Uint16(body[0:])
+	ft := FrameType(fc >> 2 & 0x3f)
+	f := &ControlFrame{Type: ft}
+	dur, okDur := DecodeDuration(binary.LittleEndian.Uint16(body[2:]))
+	if !okDur {
+		return nil, fmt.Errorf("dot11: association-ID in control frame duration")
+	}
+	f.Duration = dur
+	copy(f.RA[:], body[4:])
+	switch ft {
+	case TypeACK, TypeCTS:
+		if len(body) != 10 {
+			return nil, fmt.Errorf("dot11: %v frame has %d body bytes, want 10", ft, len(body))
+		}
+	case TypeRTS:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("dot11: RTS frame has %d body bytes, want 16", len(body))
+		}
+		copy(f.TA[:], body[10:])
+	default:
+		return nil, fmt.Errorf("dot11: unsupported control type %v", ft)
+	}
+	return f, nil
+}

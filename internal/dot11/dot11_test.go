@@ -1,0 +1,255 @@
+package dot11
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"carpool/internal/bloom"
+	"carpool/internal/core"
+)
+
+func mac(b byte) bloom.MAC { return bloom.MAC{0x02, 0, 0, 0, 0, b} }
+
+func TestFrameTypeString(t *testing.T) {
+	names := map[FrameType]string{
+		TypeData: "data", TypeQoS: "qos-data", TypeACK: "ack",
+		TypeRTS: "rts", TypeCTS: "cts", FrameType(0x3f): "FrameType(0x3f)",
+	}
+	for ft, want := range names {
+		if got := ft.String(); got != want {
+			t.Errorf("%#x -> %q, want %q", byte(ft), got, want)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	f := func(us uint16) bool {
+		us &= 0x7fff
+		d, ok := DecodeDuration(us)
+		if !ok {
+			return false
+		}
+		enc, err := encodeDuration(d)
+		return err == nil && enc == us
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, ok := DecodeDuration(0x8001); ok {
+		t.Error("association ID decoded as duration")
+	}
+	if _, err := encodeDuration(-time.Second); err == nil {
+		t.Error("accepted negative duration")
+	}
+	if _, err := encodeDuration(time.Second); err == nil {
+		t.Error("accepted duration beyond the 15-bit field")
+	}
+}
+
+func TestDurationRoundsUp(t *testing.T) {
+	// NAV must cover the exchange: sub-microsecond remainders round up.
+	enc, err := encodeDuration(10*time.Microsecond + 300*time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != 11 {
+		t.Errorf("encoded %d, want 11", enc)
+	}
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, rng.Intn(500))
+		rng.Read(payload)
+		in := &DataFrame{
+			Type:     TypeQoS,
+			Duration: time.Duration(rng.Intn(32000)) * time.Microsecond,
+			Addr1:    mac(byte(rng.Intn(256))),
+			Addr2:    mac(0xAA),
+			Addr3:    mac(0xAA),
+			Seq:      rng.Intn(4096),
+			Frag:     rng.Intn(16),
+			MoreData: rng.Intn(2) == 1,
+			Payload:  payload,
+		}
+		b, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalData(b)
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Duration == in.Duration &&
+			out.Addr1 == in.Addr1 && out.Addr2 == in.Addr2 && out.Addr3 == in.Addr3 &&
+			out.Seq == in.Seq && out.Frag == in.Frag && out.MoreData == in.MoreData &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataFrameValidation(t *testing.T) {
+	if _, err := (&DataFrame{Type: TypeACK}).Marshal(); err == nil {
+		t.Error("accepted control type as data")
+	}
+	if _, err := (&DataFrame{Type: TypeData, Seq: 5000}).Marshal(); err == nil {
+		t.Error("accepted out-of-range sequence")
+	}
+	if _, err := (&DataFrame{Type: TypeData, Duration: time.Second}).Marshal(); err == nil {
+		t.Error("accepted oversized duration")
+	}
+}
+
+func TestDataFrameFCSDetection(t *testing.T) {
+	frame := &DataFrame{Type: TypeData, Addr1: mac(1), Payload: []byte("hello")}
+	b, err := frame.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(b); i += 5 {
+		bad := append([]byte(nil), b...)
+		bad[i] ^= 0x10
+		if _, err := UnmarshalData(bad); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+	if _, err := UnmarshalData(b[:8]); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestControlFrameSizes(t *testing.T) {
+	// Std 802.11: ACK and CTS are 14 octets, RTS is 20, FCS included.
+	ack, err := (&ControlFrame{Type: TypeACK, RA: mac(1)}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ack) != 14 {
+		t.Errorf("ACK is %d bytes, want 14", len(ack))
+	}
+	cts, err := (&ControlFrame{Type: TypeCTS, RA: mac(1)}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts) != 14 {
+		t.Errorf("CTS is %d bytes, want 14", len(cts))
+	}
+	rts, err := (&ControlFrame{Type: TypeRTS, RA: mac(1), TA: mac(2)}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rts) != 20 {
+		t.Errorf("RTS is %d bytes, want 20", len(rts))
+	}
+}
+
+func TestControlFrameRoundTrip(t *testing.T) {
+	for _, ft := range []FrameType{TypeACK, TypeCTS, TypeRTS} {
+		in := &ControlFrame{Type: ft, Duration: 154 * time.Microsecond, RA: mac(7), TA: mac(9)}
+		b, err := in.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := UnmarshalControl(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Type != ft || out.Duration != in.Duration || out.RA != in.RA {
+			t.Errorf("%v round trip mismatch", ft)
+		}
+		if ft == TypeRTS && out.TA != in.TA {
+			t.Error("RTS TA lost")
+		}
+	}
+	if _, err := (&ControlFrame{Type: TypeData}).Marshal(); err == nil {
+		t.Error("accepted data type as control")
+	}
+	if _, err := UnmarshalControl([]byte{1, 2, 3}); err == nil {
+		t.Error("accepted tiny buffer")
+	}
+}
+
+func TestBuildSequentialACKs(t *testing.T) {
+	tm := core.Timing{SIFS: 10 * time.Microsecond, ACK: 44 * time.Microsecond}
+	acks, err := BuildSequentialACKs(tm, mac(0xAA), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != 4 {
+		t.Fatalf("%d ACKs", len(acks))
+	}
+	// §4.2: the last ACK carries NAV 0 — a legacy ACK.
+	if acks[3].Duration != 0 {
+		t.Errorf("last ACK duration %v", acks[3].Duration)
+	}
+	// Each earlier ACK reserves exactly the remaining train.
+	for j := 0; j < 3; j++ {
+		want := time.Duration(3-j) * (54 * time.Microsecond)
+		if acks[j].Duration != want {
+			t.Errorf("ACK %d duration %v, want %v", j+1, acks[j].Duration, want)
+		}
+	}
+	// The whole train marshals and validates after a round trip.
+	parsed := make([]*ControlFrame, len(acks))
+	for i, a := range acks {
+		b, err := a.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed[i], err = UnmarshalControl(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := ValidateACKTrain(tm, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("validated %d receivers", n)
+	}
+	if _, err := BuildSequentialACKs(tm, mac(1), 0); err == nil {
+		t.Error("accepted zero receivers")
+	}
+}
+
+func TestValidateACKTrainRejectsTampering(t *testing.T) {
+	tm := core.Timing{SIFS: 10 * time.Microsecond, ACK: 44 * time.Microsecond}
+	acks, err := BuildSequentialACKs(tm, mac(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acks[1].Duration += time.Microsecond
+	if _, err := ValidateACKTrain(tm, acks); err == nil {
+		t.Error("tampered NAV accepted")
+	}
+	if _, err := ValidateACKTrain(tm, nil); err == nil {
+		t.Error("empty train accepted")
+	}
+	acks[0].Type = TypeCTS
+	if _, err := ValidateACKTrain(tm, acks[:1]); err == nil {
+		t.Error("non-ACK accepted")
+	}
+}
+
+func TestBuildCarpoolData(t *testing.T) {
+	tm := core.Timing{SIFS: 10 * time.Microsecond, ACK: 44 * time.Microsecond,
+		Payload: 500 * time.Microsecond}
+	f, err := BuildCarpoolData(tm, 3, mac(1), mac(0xAA), 42, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500*time.Microsecond + 3*54*time.Microsecond
+	if f.Duration != want {
+		t.Errorf("NAV %v, want %v (Eq. 1)", f.Duration, want)
+	}
+	if _, err := BuildCarpoolData(tm, 0, mac(1), mac(2), 0, nil); err == nil {
+		t.Error("accepted zero receivers")
+	}
+}

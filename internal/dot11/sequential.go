@@ -1,0 +1,69 @@
+package dot11
+
+import (
+	"fmt"
+
+	"carpool/internal/bloom"
+	"carpool/internal/core"
+)
+
+// BuildSequentialACKs constructs the over-the-air ACK train of §4.2: the
+// j-th receiver's ACK carries NAV_{N-j+1} in its Duration field, announcing
+// how much of the train remains, so the last ACK carries 0 like a legacy
+// ACK. The frames are returned in transmission order.
+func BuildSequentialACKs(tm core.Timing, ap bloom.MAC, numReceivers int) ([]*ControlFrame, error) {
+	if numReceivers < 1 {
+		return nil, fmt.Errorf("dot11: need at least one receiver, got %d", numReceivers)
+	}
+	out := make([]*ControlFrame, numReceivers)
+	for j := 1; j <= numReceivers; j++ {
+		nav, err := core.ACKNAV(tm, j, numReceivers)
+		if err != nil {
+			return nil, err
+		}
+		out[j-1] = &ControlFrame{Type: TypeACK, Duration: nav, RA: ap}
+	}
+	return out, nil
+}
+
+// BuildCarpoolData constructs the downlink data frame of one subframe with
+// the aggregate's NAV from Eq. 1 in its Duration field. Every station that
+// hears it — receiver or not — defers for the whole transmission sequence.
+func BuildCarpoolData(tm core.Timing, numReceivers int,
+	dst, ap bloom.MAC, seq int, payload []byte) (*DataFrame, error) {
+	nav, err := core.DataNAV(tm, numReceivers)
+	if err != nil {
+		return nil, err
+	}
+	return &DataFrame{
+		Type:     TypeQoS,
+		Duration: nav,
+		Addr1:    dst,
+		Addr2:    ap,
+		Addr3:    ap,
+		Seq:      seq,
+	}, nil
+}
+
+// ValidateACKTrain checks a received ACK sequence against §4.2's NAV rule:
+// durations must decrease by exactly one (ACK + SIFS) slot per frame and
+// end at zero. It returns the number of receivers the train covered.
+func ValidateACKTrain(tm core.Timing, acks []*ControlFrame) (int, error) {
+	n := len(acks)
+	if n == 0 {
+		return 0, fmt.Errorf("dot11: empty ACK train")
+	}
+	for j, ack := range acks {
+		if ack.Type != TypeACK {
+			return 0, fmt.Errorf("dot11: frame %d is %v, not an ACK", j, ack.Type)
+		}
+		want, err := core.ACKNAV(tm, j+1, n)
+		if err != nil {
+			return 0, err
+		}
+		if ack.Duration != want {
+			return 0, fmt.Errorf("dot11: ACK %d carries NAV %v, want %v", j+1, ack.Duration, want)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,186 @@
+// Package dsp provides the signal-processing primitives that the OFDM
+// physical layer is built on: complex-vector arithmetic, a radix-2 FFT,
+// correlation utilities, and decibel conversions.
+//
+// All routines operate on []complex128 in place where documented, and are
+// deterministic: any randomness is injected by the caller through an
+// explicit *rand.Rand.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+//
+// The convention matches MATLAB/NumPy: X[k] = sum_n x[n] * exp(-j*2*pi*k*n/N),
+// with no normalization on the forward transform.
+func FFT(x []complex128) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	fftInPlace(x, false)
+	return nil
+}
+
+// IFFT computes the in-place inverse FFT of x with 1/N normalization.
+// len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("dsp: IFFT length %d is not a power of two", n)
+	}
+	fftInPlace(x, true)
+	scale := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+	return nil
+}
+
+// fftInPlace performs the transform. inverse selects the conjugated twiddle
+// factors (no normalization here; IFFT applies 1/N).
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// FFTShift swaps the two halves of x so that the zero-frequency bin moves to
+// the center. It returns a new slice and leaves x untouched.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// Scale multiplies every element of x by the real factor a, in place.
+func Scale(x []complex128, a float64) {
+	c := complex(a, 0)
+	for i := range x {
+		x[i] *= c
+	}
+}
+
+// Energy returns the total energy sum(|x[i]|^2).
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// MeanPower returns the average per-sample power of x, or 0 for empty input.
+func MeanPower(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}
+
+// DotConj returns sum(a[i] * conj(b[i])) over the common prefix of a and b.
+func DotConj(a, b []complex128) complex128 {
+	n := min(len(a), len(b))
+	var s complex128
+	for i := 0; i < n; i++ {
+		s += a[i] * cmplx.Conj(b[i])
+	}
+	return s
+}
+
+// CrossCorrelate computes c[k] = sum_n a[n+k] * conj(b[n]) for
+// k = 0..len(a)-len(b). It panics if b is longer than a or empty.
+func CrossCorrelate(a, b []complex128) []complex128 {
+	if len(b) == 0 || len(b) > len(a) {
+		panic(fmt.Sprintf("dsp: CrossCorrelate needs 0 < len(b) <= len(a), got %d, %d", len(b), len(a)))
+	}
+	out := make([]complex128, len(a)-len(b)+1)
+	for k := range out {
+		out[k] = DotConj(a[k:k+len(b)], b)
+	}
+	return out
+}
+
+// DB converts a linear power ratio to decibels.
+func DB(linear float64) float64 {
+	return 10 * math.Log10(linear)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// WrapPhase maps an angle in radians into (-pi, pi].
+func WrapPhase(theta float64) float64 {
+	for theta > math.Pi {
+		theta -= 2 * math.Pi
+	}
+	for theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// Rotate multiplies every element of x by exp(j*theta), in place.
+func Rotate(x []complex128, theta float64) {
+	r := cmplx.Exp(complex(0, theta))
+	for i := range x {
+		x[i] *= r
+	}
+}
+
+// Conjugate returns a new slice holding the element-wise conjugate of x.
+func Conjugate(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Conj(v)
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPowerOfTwo(t *testing.T) {
+	tests := []struct {
+		n    int
+		want bool
+	}{
+		{0, false}, {1, true}, {2, true}, {3, false}, {4, true},
+		{63, false}, {64, true}, {65, false}, {-4, false}, {1024, true},
+	}
+	for _, tt := range tests {
+		if got := IsPowerOfTwo(tt.n); got != tt.want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 48)); err == nil {
+		t.Error("FFT accepted length 48")
+	}
+	if err := IFFT(make([]complex128, 10)); err == nil {
+		t.Error("IFFT accepted length 10")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// exp(j*2*pi*k0*n/N) concentrates all energy in bin k0.
+	const n, k0 = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k0*i)/float64(n)))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		want := complex(0, 0)
+		if k == k0 {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomVector(rng, 64)
+	b := randomVector(rng, 64)
+	sum := make([]complex128, 64)
+	for i := range sum {
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	mustFFT(t, a)
+	mustFFT(t, b)
+	mustFFT(t, sum)
+	for i := range sum {
+		want := 2*a[i] + 3*b[i]
+		if cmplx.Abs(sum[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d: %v vs %v", i, sum[i], want)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(9)) // 2..1024
+		x := randomVector(rng, n)
+		orig := append([]complex128(nil), x...)
+		if err := FFT(x); err != nil {
+			return false
+		}
+		if err := IFFT(x); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randomVector(rng, 128)
+		timeEnergy := Energy(x)
+		if err := FFT(x); err != nil {
+			return false
+		}
+		freqEnergy := Energy(x) / 128
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", got, want)
+		}
+	}
+	// Odd length: zero bin index 0 moves to the center.
+	x5 := []complex128{0, 1, 2, 3, 4}
+	got5 := FFTShift(x5)
+	want5 := []complex128{3, 4, 0, 1, 2}
+	for i := range want5 {
+		if got5[i] != want5[i] {
+			t.Fatalf("FFTShift odd = %v, want %v", got5, want5)
+		}
+	}
+}
+
+func TestEnergyAndMeanPower(t *testing.T) {
+	x := []complex128{3 + 4i, 0, 1}
+	if got := Energy(x); math.Abs(got-26) > 1e-12 {
+		t.Errorf("Energy = %v, want 26", got)
+	}
+	if got := MeanPower(x); math.Abs(got-26.0/3) > 1e-12 {
+		t.Errorf("MeanPower = %v, want %v", got, 26.0/3)
+	}
+	if got := MeanPower(nil); got != 0 {
+		t.Errorf("MeanPower(nil) = %v, want 0", got)
+	}
+}
+
+func TestScaleAndRotate(t *testing.T) {
+	x := []complex128{1, 1i}
+	Scale(x, 2)
+	if x[0] != 2 || x[1] != 2i {
+		t.Fatalf("Scale result %v", x)
+	}
+	Rotate(x, math.Pi/2)
+	if cmplx.Abs(x[0]-2i) > 1e-12 || cmplx.Abs(x[1]-(-2)) > 1e-12 {
+		t.Fatalf("Rotate result %v", x)
+	}
+}
+
+func TestDotConjAndCrossCorrelate(t *testing.T) {
+	a := []complex128{1, 2, 3, 4}
+	b := []complex128{1, 1}
+	c := CrossCorrelate(a, b)
+	want := []complex128{3, 5, 7}
+	if len(c) != len(want) {
+		t.Fatalf("CrossCorrelate length %d, want %d", len(c), len(want))
+	}
+	for i := range want {
+		if cmplx.Abs(c[i]-want[i]) > 1e-12 {
+			t.Fatalf("CrossCorrelate = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestCrossCorrelatePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for len(b) > len(a)")
+		}
+	}()
+	CrossCorrelate([]complex128{1}, []complex128{1, 2})
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 100) // keep in a sane range
+		return math.Abs(DB(FromDB(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := WrapPhase(tt.in); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("WrapPhase(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestConjugate(t *testing.T) {
+	x := []complex128{1 + 2i, -3i}
+	got := Conjugate(x)
+	if got[0] != 1-2i || got[1] != 3i {
+		t.Fatalf("Conjugate = %v", got)
+	}
+	if x[0] != 1+2i {
+		t.Fatal("Conjugate mutated its input")
+	}
+}
+
+func TestGaussianSourceStatistics(t *testing.T) {
+	src := NewGaussianSource(rand.New(rand.NewSource(7)))
+	const n = 200000
+	const sigma2 = 2.0
+	var sum complex128
+	var power float64
+	for i := 0; i < n; i++ {
+		s := src.Sample(sigma2)
+		sum += s
+		power += real(s)*real(s) + imag(s)*imag(s)
+	}
+	mean := cmplx.Abs(sum) / n
+	if mean > 0.02 {
+		t.Errorf("sample mean magnitude %v too large", mean)
+	}
+	avgPower := power / n
+	if math.Abs(avgPower-sigma2) > 0.05 {
+		t.Errorf("sample power %v, want ~%v", avgPower, sigma2)
+	}
+}
+
+func TestAddNoiseAchievesTargetSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := NewGaussianSource(rng)
+	signal := make([]complex128, 100000)
+	for i := range signal {
+		signal[i] = 1 // unit power
+	}
+	noisy := append([]complex128(nil), signal...)
+	const snrDB = 10.0
+	sigma2 := NoiseVarianceForSNR(1.0, snrDB)
+	src.AddNoise(noisy, sigma2)
+	var noisePower float64
+	for i := range noisy {
+		d := noisy[i] - signal[i]
+		noisePower += real(d)*real(d) + imag(d)*imag(d)
+	}
+	noisePower /= float64(len(noisy))
+	gotSNR := DB(1.0 / noisePower)
+	if math.Abs(gotSNR-snrDB) > 0.2 {
+		t.Errorf("achieved SNR %.2f dB, want %.2f", gotSNR, snrDB)
+	}
+}
+
+func TestNewGaussianSourceNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil rng")
+		}
+	}()
+	NewGaussianSource(nil)
+}
+
+func randomVector(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func mustFFT(t *testing.T, x []complex128) {
+	t.Helper()
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+}

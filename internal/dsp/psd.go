@@ -1,0 +1,68 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// PSD estimates the power spectral density of x by Welch's method:
+// Hann-windowed segments of the given FFT size with 50% overlap, averaged
+// periodograms. The result has fftSize bins in natural FFT order
+// (bin 0 = DC); use FFTShift to center it. Bin values are mean power per
+// bin (the window's coherent gain is compensated).
+func PSD(x []complex128, fftSize int) ([]float64, error) {
+	if !IsPowerOfTwo(fftSize) {
+		return nil, fmt.Errorf("dsp: PSD FFT size %d is not a power of two", fftSize)
+	}
+	if len(x) < fftSize {
+		return nil, fmt.Errorf("dsp: PSD needs at least %d samples, got %d", fftSize, len(x))
+	}
+	window := make([]float64, fftSize)
+	var windowPower float64
+	for i := range window {
+		window[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(fftSize))
+		windowPower += window[i] * window[i]
+	}
+	out := make([]float64, fftSize)
+	seg := make([]complex128, fftSize)
+	segments := 0
+	for start := 0; start+fftSize <= len(x); start += fftSize / 2 {
+		for i := 0; i < fftSize; i++ {
+			seg[i] = x[start+i] * complex(window[i], 0)
+		}
+		if err := FFT(seg); err != nil {
+			return nil, err
+		}
+		for i, v := range seg {
+			out[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		segments++
+	}
+	norm := 1 / (float64(segments) * windowPower)
+	for i := range out {
+		out[i] *= norm
+	}
+	return out, nil
+}
+
+// OccupiedBandwidthBins returns how many PSD bins hold at least the given
+// fraction of the peak bin's power — a crude occupied-bandwidth measure
+// used to sanity-check waveforms.
+func OccupiedBandwidthBins(psd []float64, fractionOfPeak float64) int {
+	peak := 0.0
+	for _, v := range psd {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range psd {
+		if v >= peak*fractionOfPeak {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestPSDValidation(t *testing.T) {
+	if _, err := PSD(make([]complex128, 100), 63); err == nil {
+		t.Error("accepted non-power-of-two FFT size")
+	}
+	if _, err := PSD(make([]complex128, 10), 64); err == nil {
+		t.Error("accepted too-short input")
+	}
+}
+
+func TestPSDSingleTone(t *testing.T) {
+	// A pure tone concentrates its power around one bin.
+	const n, fftSize, bin = 4096, 256, 40
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(bin*i)/float64(fftSize)))
+	}
+	psd, err := PSD(x, fftSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, peakBin := 0.0, -1
+	for i, v := range psd {
+		if v > peak {
+			peak, peakBin = v, i
+		}
+	}
+	if peakBin != bin {
+		t.Errorf("peak at bin %d, want %d", peakBin, bin)
+	}
+	// Energy far from the tone must be tiny (Hann sidelobes < -30 dB).
+	far := psd[(bin+fftSize/2)%fftSize]
+	if far > peak*1e-3 {
+		t.Errorf("far-bin leakage %.2e vs peak %.2e", far, peak)
+	}
+}
+
+func TestPSDWhiteNoiseIsFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewGaussianSource(rng)
+	x := make([]complex128, 1<<15)
+	src.AddNoise(x, 1)
+	psd, err := PSD(x, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range psd {
+		mean += v
+	}
+	mean /= float64(len(psd))
+	for i, v := range psd {
+		if v < mean*0.5 || v > mean*2 {
+			t.Errorf("bin %d power %.3e not within 3 dB of mean %.3e", i, v, mean)
+		}
+	}
+}
+
+func TestOccupiedBandwidthBins(t *testing.T) {
+	psd := []float64{0, 1, 10, 9, 8, 0.5, 0}
+	if got := OccupiedBandwidthBins(psd, 0.5); got != 3 {
+		t.Errorf("got %d bins, want 3", got)
+	}
+	if OccupiedBandwidthBins([]float64{0, 0}, 0.5) != 0 {
+		t.Error("all-zero PSD should occupy nothing")
+	}
+}

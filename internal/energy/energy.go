@@ -1,0 +1,87 @@
+// Package energy implements the paper's §8 energy analysis: the LinkSys
+// WPC55AG device power model from E-MiLi (Zhang & Shin), per-station energy
+// accounting over MAC-simulation airtimes, and the bound on Carpool's extra
+// receive cost from Bloom-filter false positives.
+package energy
+
+import (
+	"fmt"
+	"time"
+
+	"carpool/internal/bloom"
+)
+
+// Device power draw in watts (measured on a LinkSys WPC55AG NIC [27]).
+const (
+	TxPowerW   = 1.71
+	RxPowerW   = 1.66
+	IdlePowerW = 1.22
+)
+
+// Budget is one station's time split across radio states.
+type Budget struct {
+	Tx   time.Duration
+	Rx   time.Duration
+	Idle time.Duration
+}
+
+// Total returns the summed duration.
+func (b Budget) Total() time.Duration { return b.Tx + b.Rx + b.Idle }
+
+// Energy returns the consumed energy in joules.
+func (b Budget) Energy() float64 {
+	return TxPowerW*b.Tx.Seconds() + RxPowerW*b.Rx.Seconds() + IdlePowerW*b.Idle.Seconds()
+}
+
+// MeanPower returns the average draw in watts (idle power for an empty
+// budget).
+func (b Budget) MeanPower() float64 {
+	t := b.Total().Seconds()
+	if t == 0 {
+		return IdlePowerW
+	}
+	return b.Energy() / t
+}
+
+// StationBudget classifies one station's simulation airtimes into a Budget.
+// Overheard frames cost receive power for legacy stations, which must
+// decode every frame to learn it is not theirs; a Carpool station drops
+// foreign frames after the two-symbol A-HDR and idles through the rest.
+// ahdrFraction is the decoded share of each overheard frame (A-HDR symbols
+// over mean frame symbols); pass 1 for legacy behaviour.
+func StationBudget(duration, tx, rxOwn, overhear time.Duration, ahdrFraction float64) (Budget, error) {
+	if ahdrFraction < 0 || ahdrFraction > 1 {
+		return Budget{}, fmt.Errorf("energy: A-HDR fraction %v outside [0,1]", ahdrFraction)
+	}
+	busy := tx + rxOwn
+	overheardRx := time.Duration(float64(overhear) * ahdrFraction)
+	busy += overheardRx
+	if busy > duration {
+		return Budget{}, fmt.Errorf("energy: busy time %v exceeds duration %v", busy, duration)
+	}
+	return Budget{
+		Tx:   tx,
+		Rx:   rxOwn + overheardRx,
+		Idle: duration - busy,
+	}, nil
+}
+
+// FalsePositiveRxOverhead bounds the extra receive power a Carpool station
+// spends decoding irrelevant subframes due to Bloom false positives, as a
+// fraction of its receive power (§8: at most 5.59% for 8 receivers, h = 4).
+func FalsePositiveRxOverhead(numReceivers, hashes int) float64 {
+	return bloom.FalsePositiveRate(numReceivers, hashes)
+}
+
+// NodeEnergyOverhead reproduces the §8 headline bound: for a client whose
+// energy is idleShare in IL with the remaining split evenly between TX and
+// RX (the E-MiLi busy-network profile: >92% of clients spend ~90% idle),
+// the worst-case Carpool overhead is the false-positive ratio applied to
+// the RX share.
+func NodeEnergyOverhead(numReceivers, hashes int, idleShare float64) (float64, error) {
+	if idleShare < 0 || idleShare > 1 {
+		return 0, fmt.Errorf("energy: idle share %v outside [0,1]", idleShare)
+	}
+	rxShare := (1 - idleShare) / 2
+	return FalsePositiveRxOverhead(numReceivers, hashes) * rxShare, nil
+}

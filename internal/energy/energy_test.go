@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"carpool/internal/bloom"
+)
+
+func TestBudgetEnergy(t *testing.T) {
+	b := Budget{Tx: time.Second, Rx: 2 * time.Second, Idle: 7 * time.Second}
+	want := 1.71 + 2*1.66 + 7*1.22
+	if got := b.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy %v, want %v", got, want)
+	}
+	if b.Total() != 10*time.Second {
+		t.Error("total wrong")
+	}
+	if got := b.MeanPower(); math.Abs(got-want/10) > 1e-9 {
+		t.Errorf("mean power %v", got)
+	}
+	if (Budget{}).MeanPower() != IdlePowerW {
+		t.Error("empty budget should draw idle power")
+	}
+}
+
+func TestStationBudget(t *testing.T) {
+	dur := 10 * time.Second
+	// Legacy station decodes every overheard frame.
+	legacy, err := StationBudget(dur, time.Second, time.Second, 4*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Rx != 5*time.Second || legacy.Idle != 4*time.Second {
+		t.Errorf("legacy budget %+v", legacy)
+	}
+	// Carpool station drops foreign frames after ~5% of their airtime.
+	carpool, err := StationBudget(dur, time.Second, time.Second, 4*time.Second, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carpool.Energy() >= legacy.Energy() {
+		t.Error("Carpool A-HDR dropping should save energy")
+	}
+	// Validation.
+	if _, err := StationBudget(dur, time.Second, time.Second, time.Second, 2); err == nil {
+		t.Error("accepted fraction > 1")
+	}
+	if _, err := StationBudget(time.Second, time.Second, time.Second, 0, 1); err == nil {
+		t.Error("accepted busy > duration")
+	}
+}
+
+func TestFalsePositiveRxOverheadBound(t *testing.T) {
+	// §8: limited to 8 receivers with h = 4, the extra RX power is at most
+	// 5.59%.
+	got := FalsePositiveRxOverhead(8, bloom.DefaultHashes)
+	if got > 0.06 || got < 0.05 {
+		t.Errorf("overhead %.4f, want ~0.0559", got)
+	}
+}
+
+func TestNodeEnergyOverheadHeadline(t *testing.T) {
+	// §8: "a Carpool node spent at most 5.59% x 5% = 0.28% more energy
+	// than a standard Wi-Fi node" for clients that are 90% idle.
+	got, err := NodeEnergyOverhead(8, bloom.DefaultHashes, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.0028) > 0.0005 {
+		t.Errorf("node overhead %.4f, want ~0.0028", got)
+	}
+	if _, err := NodeEnergyOverhead(8, 4, 1.5); err == nil {
+		t.Error("accepted idle share > 1")
+	}
+}
+
+func TestPowerModelConstants(t *testing.T) {
+	// The published WPC55AG numbers.
+	if TxPowerW != 1.71 || RxPowerW != 1.66 || IdlePowerW != 1.22 {
+		t.Error("power model constants drifted from the paper")
+	}
+}

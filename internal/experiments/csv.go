@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WriteCSV dumps one figure's rows as a CSV file under dir, for plotting.
+// The header matches the paper's axes.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating CSV directory: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// ExportPHYCSVs regenerates the PHY figures and writes one CSV per figure
+// into dir.
+func ExportPHYCSVs(dir string, scale Scale) error {
+	fig3, err := Fig3(scale)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(fig3))
+	for _, r := range fig3 {
+		rows = append(rows, []string{strconv.Itoa(r.SymbolIndex), ftoa(r.BER)})
+	}
+	if err := writeCSV(dir, "fig3_ber_bias.csv", []string{"symbol", "ber"}, rows); err != nil {
+		return err
+	}
+
+	fig11, err := Fig11(scale)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range fig11 {
+		rows = append(rows, []string{
+			r.Modulation.String(), ftoa(r.Power), ftoa(r.BERStandard), ftoa(r.BERSideChan),
+		})
+	}
+	if err := writeCSV(dir, "fig11_sidechannel_impact.csv",
+		[]string{"modulation", "power", "ber_standard", "ber_sidechannel"}, rows); err != nil {
+		return err
+	}
+
+	fig12, err := Fig12(scale)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range fig12 {
+		rows = append(rows, []string{
+			r.Alphabet.String(), ftoa(r.Power), ftoa(r.SideBER), ftoa(r.DataBER),
+		})
+	}
+	if err := writeCSV(dir, "fig12_sidechannel_reliability.csv",
+		[]string{"alphabet", "power", "side_ber", "data_ber"}, rows); err != nil {
+		return err
+	}
+
+	fig13, err := Fig13(scale)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range fig13 {
+		rows = append(rows, []string{
+			r.Modulation.String(), strconv.Itoa(r.SymbolIndex),
+			ftoa(r.BERStandard), ftoa(r.BERRTE),
+		})
+	}
+	if err := writeCSV(dir, "fig13_rte_bias.csv",
+		[]string{"modulation", "symbol", "ber_standard", "ber_rte"}, rows); err != nil {
+		return err
+	}
+
+	fig14, err := Fig14(scale)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range fig14 {
+		rows = append(rows, []string{
+			ftoa(r.Power), r.Modulation.String(), ftoa(r.BERStandard), ftoa(r.BERRTE),
+		})
+	}
+	return writeCSV(dir, "fig14_rte_modulations.csv",
+		[]string{"power", "modulation", "ber_standard", "ber_rte"}, rows)
+}
+
+// ExportMACCSVs regenerates the MAC figures and writes one CSV per figure
+// into dir.
+func (l *MACLab) ExportMACCSVs(dir string) error {
+	fig15, err := l.Fig15()
+	if err != nil {
+		return err
+	}
+	dump := func(name string, macRows []MACRow) error {
+		rows := make([][]string, 0, len(macRows))
+		for _, r := range macRows {
+			rows = append(rows, []string{
+				strconv.Itoa(r.NumSTAs), r.Protocol.String(),
+				ftoa(r.GoodputMbps), ftoa(r.MeanDelay.Seconds() * 1e3),
+			})
+		}
+		return writeCSV(dir, name, []string{"stas", "protocol", "goodput_mbps", "delay_ms"}, rows)
+	}
+	if err := dump("fig15_voip.csv", fig15); err != nil {
+		return err
+	}
+	fig16, err := l.Fig16()
+	if err != nil {
+		return err
+	}
+	if err := dump("fig16_background.csv", fig16); err != nil {
+		return err
+	}
+
+	fig17a, err := l.Fig17a()
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(fig17a))
+	for _, r := range fig17a {
+		rows = append(rows, []string{
+			strconv.Itoa(int(r.MaxLatency / time.Millisecond)),
+			ftoa(r.Carpool), ftoa(r.AMPDU), ftoa(r.Gain),
+		})
+	}
+	if err := writeCSV(dir, "fig17a_latency.csv",
+		[]string{"latency_ms", "carpool_mbps", "ampdu_mbps", "gain"}, rows); err != nil {
+		return err
+	}
+
+	fig17b, err := l.Fig17b()
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range fig17b {
+		rows = append(rows, []string{
+			strconv.Itoa(r.FrameBytes), ftoa(r.Carpool), ftoa(r.AMPDU), ftoa(r.Legacy),
+		})
+	}
+	return writeCSV(dir, "fig17b_framesize.csv",
+		[]string{"frame_bytes", "carpool_mbps", "ampdu_mbps", "legacy_mbps"}, rows)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExportPHYCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PHY sweeps")
+	}
+	dir := t.TempDir()
+	if err := ExportPHYCSVs(dir, Quick); err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := map[string]int{ // file -> minimum data rows
+		"fig3_ber_bias.csv":                 100,
+		"fig11_sidechannel_impact.csv":      20,
+		"fig12_sidechannel_reliability.csv": 10,
+		"fig13_rte_bias.csv":                100,
+		"fig14_rte_modulations.csv":         8,
+	}
+	for name, minRows := range wantFiles {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		records, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(records) < minRows+1 {
+			t.Errorf("%s: %d rows, want >= %d", name, len(records)-1, minRows)
+		}
+		// Rectangular: every row matches the header width.
+		for i, rec := range records {
+			if len(rec) != len(records[0]) {
+				t.Errorf("%s row %d: %d fields, header has %d", name, i, len(rec), len(records[0]))
+				break
+			}
+		}
+	}
+}
+
+func TestExportMACCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MAC sweeps")
+	}
+	lab, err := NewMACLab(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := lab.ExportMACCSVs(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig15_voip.csv", "fig16_background.csv",
+		"fig17a_latency.csv", "fig17b_framesize.csv",
+	} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		records, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(records) < 3 {
+			t.Errorf("%s: only %d rows", name, len(records))
+		}
+	}
+}
+
+func TestMACLabCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace collection")
+	}
+	cache := filepath.Join(t.TempDir(), "traces.gob")
+	a, err := NewMACLabWithCache(Quick, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	// Second construction loads from disk and produces identical sweeps.
+	b, err := NewMACLabWithCache(Quick, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Fig17a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Fig17a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("cached lab diverged at row %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}

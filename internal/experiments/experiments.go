@@ -1,0 +1,70 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the PHY studies (Figs. 3, 11-14 and the §5.2 granularity
+// study), the trace-driven MAC studies (Figs. 15-17), the traffic
+// characterization (Fig. 1), and the §4.1/§8 analyses. The cmd/ tools and
+// the root benchmark suite are thin wrappers over these functions.
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Scale trades fidelity for runtime.
+type Scale int
+
+// Scales.
+const (
+	// Quick uses few trials/locations — CI-friendly, minutes-long totals.
+	Quick Scale = iota + 1
+	// Full approaches the paper's sample sizes.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// printTable writes an aligned table: header row then rows.
+func printTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// fmtBER renders a BER, marking values below the measurement floor.
+func fmtBER(ber float64, bits int64) string {
+	if ber == 0 {
+		if bits == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("<%.1e", 1/float64(bits))
+	}
+	return fmt.Sprintf("%.2e", ber)
+}

@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"carpool/internal/channel"
+	"carpool/internal/mac"
+	"carpool/internal/phy"
+	"carpool/internal/trace"
+	"carpool/internal/traffic"
+)
+
+// MACLab owns the expensive trace-driven delivery oracle and runs the MAC
+// figures against it. Build it once and reuse across figures.
+type MACLab struct {
+	scale  Scale
+	oracle mac.DeliveryOracle
+	locIDs []int
+	dur    time.Duration
+}
+
+// NewMACLab collects PHY decode traces for a set of office locations
+// (§7.2.1's offline step) and returns a lab ready to run Figs. 15-17.
+func NewMACLab(scale Scale) (*MACLab, error) {
+	return NewMACLabWithCache(scale, "")
+}
+
+// NewMACLabWithCache is NewMACLab with an optional on-disk trace cache:
+// when cachePath names a readable file the traces load from it; otherwise
+// they are collected and, if cachePath is nonempty, saved there.
+func NewMACLabWithCache(scale Scale, cachePath string) (*MACLab, error) {
+	nLocs, trials := 6, 8
+	dur := 5 * time.Second
+	if scale == Full {
+		nLocs, trials = 30, 20
+		dur = 20 * time.Second
+	}
+	locs := channel.OfficeLocations()[:nLocs]
+
+	const traceSeed = 77
+	var model *trace.Model
+	if cachePath != "" {
+		if m, err := trace.LoadFile(cachePath, traceSeed); err == nil {
+			model = m
+		}
+	}
+	if model == nil {
+		// CoherenceSymbols 500 corresponds to the fast end of the paper's
+		// "tens of milliseconds" indoor coherence band (an 8 ms aggregate
+		// spans a quarter of the coherence time) — the regime where long
+		// frames need RTE to stay decodable.
+		m, err := trace.NewModel(locs, trace.Config{
+			Power: 0.2, MCS: phy.MCS48, NumSymbols: 168, Trials: trials,
+			CoherenceSymbols: 500,
+		}, traceSeed)
+		if err != nil {
+			return nil, err
+		}
+		if cachePath != "" {
+			if err := m.SaveFile(cachePath); err != nil {
+				return nil, err
+			}
+		}
+		model = m
+	}
+	// Retries happen within one channel coherence epoch: hold each
+	// location's replayed reception for a stretch of queries.
+	model.SetTrialHold(25)
+	ids := make([]int, len(locs))
+	for i, l := range locs {
+		ids[i] = l.ID
+	}
+	return &MACLab{
+		scale:  scale,
+		oracle: &mac.TraceOracle{Model: model},
+		locIDs: ids,
+		dur:    dur,
+	}, nil
+}
+
+// staLocations assigns each station a trace location round-robin.
+func (l *MACLab) staLocations(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = l.locIDs[i%len(l.locIDs)]
+	}
+	return out
+}
+
+// voipDownlink builds per-STA downlink VoIP at peak rate (96 kbit/s in
+// 120-byte frames). The paper's goodput magnitudes (up to ~2.9 Mbit/s at 30
+// STAs) correspond to every stream at its peak rate, so the sweep drives
+// the ON-period rate continuously; see EXPERIMENTS.md for the discussion.
+func (l *MACLab) voipDownlink(n int, seed int64) [][]traffic.Arrival {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]traffic.Arrival, n)
+	for i := range out {
+		out[i] = traffic.CBRFlow(rng, traffic.VoIPFrameBytes, traffic.VoIPFrameInterval, l.dur)
+	}
+	return out
+}
+
+// backgroundUplink builds per-STA TCP+UDP background streams matching the
+// SIGCOMM'08 statistics (§7.2.2).
+func (l *MACLab) backgroundUplink(n int, seed int64) ([][]traffic.Arrival, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]traffic.Arrival, n)
+	for i := range out {
+		tcp, err := traffic.BackgroundFlow(rng, traffic.TCP, l.dur)
+		if err != nil {
+			return nil, err
+		}
+		udp, err := traffic.BackgroundFlow(rng, traffic.UDP, l.dur)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = traffic.Merge(tcp, udp)
+	}
+	return out, nil
+}
+
+// STACounts returns the station sweep for the lab's scale.
+func (l *MACLab) STACounts() []int {
+	if l.scale == Full {
+		return []int{10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}
+	}
+	return []int{10, 14, 18, 22, 26, 30}
+}
+
+// MACRow is one protocol's result at one operating point.
+type MACRow struct {
+	Protocol    mac.Protocol
+	NumSTAs     int
+	GoodputMbps float64
+	MeanDelay   time.Duration
+}
+
+// runPoint executes one protocol at one configuration.
+func (l *MACLab) runPoint(p mac.Protocol, n int, seed int64, background bool,
+	maxLatency time.Duration, down [][]traffic.Arrival) (MACRow, error) {
+	cfg := mac.Config{
+		Protocol:        p,
+		NumSTAs:         n,
+		Duration:        l.dur,
+		Seed:            seed,
+		Downlink:        down,
+		Oracle:          l.oracle,
+		STALocations:    l.staLocations(n),
+		SaturatedUplink: true,
+		MaxLatency:      maxLatency,
+	}
+	if background {
+		up, err := l.backgroundUplink(n, seed^0xbac)
+		if err != nil {
+			return MACRow{}, err
+		}
+		cfg.Uplink = up
+		// Background mix includes MTU-sized frames, so the saturation
+		// filler uses a mid-sized frame rather than a VoIP one.
+		cfg.UplinkSaturationBytes = 400
+	}
+	res, err := mac.Run(cfg)
+	if err != nil {
+		return MACRow{}, err
+	}
+	return MACRow{
+		Protocol: p, NumSTAs: n,
+		GoodputMbps: res.DownlinkGoodputMbps, MeanDelay: res.MeanDelay,
+	}, nil
+}
+
+// Run executes one protocol against custom downlink traffic using the
+// lab's trace oracle and saturated uplink contention, returning the full
+// simulation result. Examples and ablations use this directly.
+func (l *MACLab) Run(p mac.Protocol, n int, down [][]traffic.Arrival) (*mac.Result, error) {
+	return mac.Run(mac.Config{
+		Protocol:        p,
+		NumSTAs:         n,
+		Duration:        l.dur,
+		Seed:            int64(p)*1009 + int64(n),
+		Downlink:        down,
+		Oracle:          l.oracle,
+		STALocations:    l.staLocations(n),
+		SaturatedUplink: true,
+	})
+}
+
+// Duration returns the lab's simulated time per run.
+func (l *MACLab) Duration() time.Duration { return l.dur }
+
+// Fig15 sweeps VoIP goodput and delay over the station count for all five
+// protocols (no background traffic).
+func (l *MACLab) Fig15() ([]MACRow, error) {
+	return l.sweepSTAs(false, 15)
+}
+
+// Fig16 repeats the sweep with SIGCOMM'08 TCP/UDP uplink background
+// traffic.
+func (l *MACLab) Fig16() ([]MACRow, error) {
+	return l.sweepSTAs(true, 16)
+}
+
+func (l *MACLab) sweepSTAs(background bool, seed int64) ([]MACRow, error) {
+	var rows []MACRow
+	for _, n := range l.STACounts() {
+		down := l.voipDownlink(n, seed*1000+int64(n))
+		for _, p := range mac.AllProtocols() {
+			row, err := l.runPoint(p, n, seed*100+int64(n)*10+int64(p), background, 0, down)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FairnessRow reports a protocol's Jain index at one crowd size.
+type FairnessRow struct {
+	Protocol      mac.Protocol
+	NumSTAs       int
+	FairnessIndex float64
+	GoodputMbps   float64
+}
+
+// Fairness runs the §8 fairness check: with identical offered traffic per
+// station, FIFO-scheduled Carpool should spread goodput evenly (Jain index
+// near 1) even while multiplying the aggregate.
+func (l *MACLab) Fairness() ([]FairnessRow, error) {
+	const n = 30
+	down := l.voipDownlink(n, 88)
+	var rows []FairnessRow
+	for _, p := range mac.AllProtocols() {
+		res, err := l.Run(p, n, down)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FairnessRow{
+			Protocol: p, NumSTAs: n,
+			FairnessIndex: res.FairnessIndex,
+			GoodputMbps:   res.DownlinkGoodputMbps,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFairness renders the fairness study.
+func (l *MACLab) PrintFairness(w io.Writer) error {
+	rows, err := l.Fairness()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "§8 — downlink fairness across stations (Jain index, 30 STAs, equal offered load)")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Protocol.String(),
+			fmt.Sprintf("%.3f", r.FairnessIndex),
+			fmt.Sprintf("%.2f", r.GoodputMbps),
+		})
+	}
+	printTable(w, []string{"protocol", "Jain index", "goodput (Mbit/s)"}, table)
+	return nil
+}
+
+// Fig17aRow compares Carpool and A-MPDU under a latency requirement.
+type Fig17aRow struct {
+	MaxLatency time.Duration
+	Carpool    float64
+	AMPDU      float64
+	Gain       float64
+}
+
+// Fig17a fixes 30 stations with background traffic and sweeps the VoIP
+// latency requirement from 10 to 200 ms.
+func (l *MACLab) Fig17a() ([]Fig17aRow, error) {
+	const n = 30
+	var rows []Fig17aRow
+	for _, lat := range []time.Duration{
+		10 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		150 * time.Millisecond, 200 * time.Millisecond,
+	} {
+		down := l.voipDownlink(n, 1700+int64(lat))
+		cp, err := l.runPoint(mac.Carpool, n, 171+int64(lat), true, lat, down)
+		if err != nil {
+			return nil, err
+		}
+		am, err := l.runPoint(mac.AMPDU, n, 172+int64(lat), true, lat, down)
+		if err != nil {
+			return nil, err
+		}
+		gain := 0.0
+		if am.GoodputMbps > 0 {
+			gain = cp.GoodputMbps / am.GoodputMbps
+		}
+		rows = append(rows, Fig17aRow{
+			MaxLatency: lat, Carpool: cp.GoodputMbps, AMPDU: am.GoodputMbps, Gain: gain,
+		})
+	}
+	return rows, nil
+}
+
+// Fig17bRow compares goodput across downlink frame sizes.
+type Fig17bRow struct {
+	FrameBytes int
+	Carpool    float64
+	AMPDU      float64
+	Legacy     float64
+}
+
+// Fig17b fixes 30 stations and a 10 ms latency requirement and sweeps the
+// downlink frame size from 100 to 1500 bytes.
+func (l *MACLab) Fig17b() ([]Fig17bRow, error) {
+	const n = 30
+	const lat = 10 * time.Millisecond
+	var rows []Fig17bRow
+	for _, size := range []int{100, 200, 400, 800, 1500} {
+		rng := rand.New(rand.NewSource(int64(size)))
+		down := make([][]traffic.Arrival, n)
+		for i := range down {
+			down[i] = traffic.CBRFlow(rng, size, 10*time.Millisecond, l.dur)
+		}
+		row := Fig17bRow{FrameBytes: size}
+		for _, p := range []mac.Protocol{mac.Carpool, mac.AMPDU, mac.Legacy80211} {
+			r, err := l.runPoint(p, n, int64(size)*10+int64(p), true, lat, down)
+			if err != nil {
+				return nil, err
+			}
+			switch p {
+			case mac.Carpool:
+				row.Carpool = r.GoodputMbps
+			case mac.AMPDU:
+				row.AMPDU = r.GoodputMbps
+			default:
+				row.Legacy = r.GoodputMbps
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig15 renders the VoIP sweep.
+func (l *MACLab) PrintFig15(w io.Writer) error {
+	rows, err := l.Fig15()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 15 — VoIP downlink goodput and delay vs number of STAs")
+	return printMACRows(w, rows)
+}
+
+// PrintFig16 renders the background-traffic sweep.
+func (l *MACLab) PrintFig16(w io.Writer) error {
+	rows, err := l.Fig16()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 16 — goodput and delay with TCP/UDP uplink background traffic")
+	return printMACRows(w, rows)
+}
+
+func printMACRows(w io.Writer, rows []MACRow) error {
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			fmt.Sprintf("%d", r.NumSTAs), r.Protocol.String(),
+			fmt.Sprintf("%.2f", r.GoodputMbps),
+			fmt.Sprintf("%.0f", r.MeanDelay.Seconds()*1e3),
+		})
+	}
+	printTable(w, []string{"STAs", "protocol", "goodput (Mbit/s)", "delay (ms)"}, table)
+	return nil
+}
+
+// PrintFig17a renders the latency-requirement sweep.
+func (l *MACLab) PrintFig17a(w io.Writer) error {
+	rows, err := l.Fig17a()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 17a — goodput vs latency requirement (30 STAs)")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			fmt.Sprintf("%d", int(r.MaxLatency.Milliseconds())),
+			fmt.Sprintf("%.2f", r.Carpool), fmt.Sprintf("%.2f", r.AMPDU),
+			fmt.Sprintf("%.1fx", r.Gain),
+		})
+	}
+	printTable(w, []string{"latency (ms)", "Carpool", "A-MPDU", "gain"}, table)
+	return nil
+}
+
+// PrintFig17b renders the frame-size sweep.
+func (l *MACLab) PrintFig17b(w io.Writer) error {
+	rows, err := l.Fig17b()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 17b — goodput vs frame size (30 STAs, 10 ms latency bound)")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			fmt.Sprintf("%d", r.FrameBytes),
+			fmt.Sprintf("%.2f", r.Carpool), fmt.Sprintf("%.2f", r.AMPDU),
+			fmt.Sprintf("%.2f", r.Legacy),
+		})
+	}
+	printTable(w, []string{"frame (B)", "Carpool", "A-MPDU", "802.11"}, table)
+	return nil
+}

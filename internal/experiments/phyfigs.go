@@ -1,0 +1,505 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"carpool/internal/channel"
+	"carpool/internal/core"
+	"carpool/internal/modem"
+	"carpool/internal/phy"
+	"carpool/internal/sidechannel"
+	"carpool/internal/stats"
+)
+
+// referenceLocation is the fixed 3 m transmitter-receiver pair used by the
+// controlled PHY experiments (Figs. 3, 11, 12).
+func referenceLocation() channel.Location {
+	return channel.Location{ID: 100, X: 5, Y: 8} // 3 m north of the AP
+}
+
+// mcsFor maps a bare modulation to the MCS used in PHY BER experiments
+// (coding rate only affects airtime; BER is measured pre-FEC).
+func mcsFor(mod modem.Modulation) phy.MCS {
+	switch mod {
+	case modem.BPSK:
+		return phy.MCS6
+	case modem.QPSK:
+		return phy.MCS12
+	case modem.QAM16:
+		return phy.MCS24
+	default:
+		return phy.MCS48
+	}
+}
+
+// runLink transmits frames over one location's channel and accumulates
+// per-symbol coded-bit errors plus side-channel bit errors.
+type linkRun struct {
+	perSymbol []stats.BERCounter // indexed by symbol position
+	data      stats.BERCounter
+	side      stats.BERCounter
+	lost      int
+}
+
+type linkParams struct {
+	loc       channel.Location
+	power     float64
+	mcs       phy.MCS
+	payloadB  int
+	frames    int
+	scheme    *sidechannel.Scheme // nil = standard PHY
+	useRTE    bool
+	seed      int64
+	coherence float64
+}
+
+func runLink(p linkParams) (*linkRun, error) {
+	chCfg, err := channel.LinkConfig(p.loc, p.power, p.coherence, 400)
+	if err != nil {
+		return nil, err
+	}
+	chCfg.Seed ^= p.seed
+	if p.coherence == 0 {
+		chCfg.CoherenceSymbols = channel.DefaultCoherenceSymbols
+	}
+	ch, err := channel.New(chCfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.seed*2654435761 + 99))
+	payload := make([]byte, p.payloadB)
+	out := &linkRun{}
+	for f := 0; f < p.frames; f++ {
+		rng.Read(payload)
+		frame, err := phy.Transmit(payload, phy.TxConfig{MCS: p.mcs, SideChannel: p.scheme})
+		if err != nil {
+			return nil, err
+		}
+		var tracker phy.ChannelTracker
+		if p.useRTE {
+			tracker = core.NewRTETracker()
+		}
+		res, err := phy.Receive(ch.Transmit(frame.Samples), phy.RxConfig{
+			KnownStart: 0, SkipFEC: true, SideChannel: p.scheme, Tracker: tracker,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != phy.StatusOK {
+			out.lost++
+			continue
+		}
+		errs, bits := phy.CompareBlocks(frame.Blocks, res.Blocks)
+		for i, e := range errs {
+			if i >= len(out.perSymbol) {
+				out.perSymbol = append(out.perSymbol, make([]stats.BERCounter, i-len(out.perSymbol)+1)...)
+			}
+			out.perSymbol[i].Add(e, bits)
+			out.data.Add(e, bits)
+		}
+		if p.scheme != nil {
+			for i := range frame.SideBits {
+				if i >= len(res.SideBits) {
+					break
+				}
+				for j := range frame.SideBits[i] {
+					e := 0
+					if j >= len(res.SideBits[i]) || res.SideBits[i][j] != frame.SideBits[i][j] {
+						e = 1
+					}
+					out.side.Add(e, 1)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig3Row is one point of the BER-bias curve.
+type Fig3Row struct {
+	SymbolIndex int
+	BER         float64
+}
+
+// Fig3 measures the BER bias of long QAM64 frames under the standard
+// preamble-only channel estimate (4 KB frames, 3 m link, full TX power).
+func Fig3(scale Scale) ([]Fig3Row, error) {
+	frames := 40
+	if scale == Full {
+		frames = 200
+	}
+	run, err := runLink(linkParams{
+		loc: referenceLocation(), power: 0.2, mcs: phy.MCS48,
+		payloadB: 4000, frames: frames, seed: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, 0, len(run.perSymbol))
+	for i := range run.perSymbol {
+		rows = append(rows, Fig3Row{SymbolIndex: i + 1, BER: run.perSymbol[i].Rate()})
+	}
+	return rows, nil
+}
+
+// PrintFig3 renders the curve, decimated for readability.
+func PrintFig3(w io.Writer, scale Scale) error {
+	rows, err := Fig3(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 3 — BER bias in a long frame (QAM64, 4 KB, standard estimation)")
+	table := make([][]string, 0, len(rows)/10+1)
+	for i := 0; i < len(rows); i += 10 {
+		table = append(table, []string{
+			fmt.Sprintf("%d", rows[i].SymbolIndex),
+			fmt.Sprintf("%.2e", rows[i].BER),
+		})
+	}
+	printTable(w, []string{"symbol", "BER"}, table)
+	return nil
+}
+
+// Fig11Row compares data BER with and without the side channel.
+type Fig11Row struct {
+	Modulation    modem.Modulation
+	Power         float64
+	BERStandard   float64
+	BERSideChan   float64
+	BitsMeasured  int64
+	RelativeDelta float64 // |with - without| / max(without, floor)
+}
+
+// Fig11 measures the impact of the phase-offset side channel on data
+// decoding across all four modulations and the paper's five power settings.
+func Fig11(scale Scale) ([]Fig11Row, error) {
+	frames := 30
+	if scale == Full {
+		frames = 150
+	}
+	scheme := sidechannel.DefaultScheme()
+	var rows []Fig11Row
+	for _, mod := range modem.Modulations() {
+		for _, power := range channel.PowerMagnitudes {
+			base, err := runLink(linkParams{
+				loc: referenceLocation(), power: power, mcs: mcsFor(mod),
+				payloadB: 1000, frames: frames, seed: 11,
+			})
+			if err != nil {
+				return nil, err
+			}
+			with, err := runLink(linkParams{
+				loc: referenceLocation(), power: power, mcs: mcsFor(mod),
+				payloadB: 1000, frames: frames, seed: 11, scheme: &scheme,
+			})
+			if err != nil {
+				return nil, err
+			}
+			b0, b1 := base.data.Rate(), with.data.Rate()
+			den := b0
+			if den == 0 {
+				den = 1 / float64(base.data.Bits+1)
+			}
+			rows = append(rows, Fig11Row{
+				Modulation: mod, Power: power,
+				BERStandard: b0, BERSideChan: b1,
+				BitsMeasured:  base.data.Bits,
+				RelativeDelta: abs(b1-b0) / den,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig11 renders the comparison.
+func PrintFig11(w io.Writer, scale Scale) error {
+	rows, err := Fig11(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 11 — data BER: standard PHY vs PHY with phase-offset side channel")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Modulation.String(), fmt.Sprintf("%.4f", r.Power),
+			fmtBER(r.BERStandard, r.BitsMeasured), fmtBER(r.BERSideChan, r.BitsMeasured),
+		})
+	}
+	printTable(w, []string{"modulation", "power", "BER w/o side", "BER w/ side"}, table)
+	return nil
+}
+
+// Fig12Row compares the side channel's own BER against the data channel.
+type Fig12Row struct {
+	Alphabet sidechannel.Alphabet
+	Power    float64
+	SideBER  float64
+	DataBER  float64 // BPSK data for 1-bit, QPSK data for 2-bit
+	SideBits int64
+	DataBits int64
+}
+
+// Fig12 measures side-channel reliability: 1-bit phase offset vs BPSK data,
+// 2-bit phase offset vs QPSK data, across the power sweep (1 KB frames).
+func Fig12(scale Scale) ([]Fig12Row, error) {
+	frames := 30
+	if scale == Full {
+		frames = 150
+	}
+	var rows []Fig12Row
+	for _, tt := range []struct {
+		alpha sidechannel.Alphabet
+		mod   modem.Modulation
+	}{
+		{sidechannel.OneBit, modem.BPSK},
+		{sidechannel.TwoBit, modem.QPSK},
+	} {
+		scheme := sidechannel.Scheme{Alphabet: tt.alpha, GroupSize: 1}
+		for _, power := range channel.PowerMagnitudes {
+			run, err := runLink(linkParams{
+				loc: referenceLocation(), power: power, mcs: mcsFor(tt.mod),
+				payloadB: 1000, frames: frames, seed: 12, scheme: &scheme,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig12Row{
+				Alphabet: tt.alpha, Power: power,
+				SideBER: run.side.Rate(), DataBER: run.data.Rate(),
+				SideBits: run.side.Bits, DataBits: run.data.Bits,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig12 renders the comparison.
+func PrintFig12(w io.Writer, scale Scale) error {
+	rows, err := Fig12(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 12 — phase-offset side channel BER vs data channel BER")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Alphabet.String(), fmt.Sprintf("%.4f", r.Power),
+			fmtBER(r.SideBER, r.SideBits), fmtBER(r.DataBER, r.DataBits),
+		})
+	}
+	printTable(w, []string{"side channel", "power", "side BER", "data BER"}, table)
+	return nil
+}
+
+// Fig13Row is one per-symbol point comparing estimators.
+type Fig13Row struct {
+	Modulation  modem.Modulation
+	SymbolIndex int
+	BERStandard float64
+	BERRTE      float64
+}
+
+// Fig13 measures per-symbol BER of 4 KB frames decoded with the standard
+// estimate vs RTE (QAM64 and QAM16, full power, locations varied).
+func Fig13(scale Scale) ([]Fig13Row, error) {
+	frames, nLocs := 8, 4
+	if scale == Full {
+		frames, nLocs = 30, 10
+	}
+	locs := channel.OfficeLocations()[:nLocs]
+	var rows []Fig13Row
+	for _, mod := range []modem.Modulation{modem.QAM64, modem.QAM16} {
+		var std, rte []stats.BERCounter
+		for _, loc := range locs {
+			for i, useRTE := range []bool{false, true} {
+				run, err := runLink(linkParams{
+					loc: loc, power: 0.2, mcs: mcsFor(mod),
+					payloadB: 4000, frames: frames, seed: int64(13 + i),
+					scheme: schemePtr(), useRTE: useRTE,
+				})
+				if err != nil {
+					return nil, err
+				}
+				dst := &std
+				if useRTE {
+					dst = &rte
+				}
+				for k := range run.perSymbol {
+					if k >= len(*dst) {
+						*dst = append(*dst, make([]stats.BERCounter, k-len(*dst)+1)...)
+					}
+					(*dst)[k].Add(int(run.perSymbol[k].Errors), int(run.perSymbol[k].Bits))
+				}
+			}
+		}
+		n := min(len(std), len(rte))
+		for k := 0; k < n; k++ {
+			rows = append(rows, Fig13Row{
+				Modulation: mod, SymbolIndex: k + 1,
+				BERStandard: std[k].Rate(), BERRTE: rte[k].Rate(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func schemePtr() *sidechannel.Scheme {
+	s := sidechannel.DefaultScheme()
+	return &s
+}
+
+// PrintFig13 renders decimated per-symbol curves.
+func PrintFig13(w io.Writer, scale Scale) error {
+	rows, err := Fig13(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 13 — BER bias: RTE vs standard estimation (4 KB frames, power 0.2)")
+	table := make([][]string, 0, len(rows)/10+1)
+	for i := 0; i < len(rows); i += 10 {
+		r := rows[i]
+		table = append(table, []string{
+			r.Modulation.String(), fmt.Sprintf("%d", r.SymbolIndex),
+			fmt.Sprintf("%.2e", r.BERStandard), fmt.Sprintf("%.2e", r.BERRTE),
+		})
+	}
+	printTable(w, []string{"modulation", "symbol", "standard", "RTE"}, table)
+	return nil
+}
+
+// Fig14Row compares whole-frame BER across modulations.
+type Fig14Row struct {
+	Power       float64
+	Modulation  modem.Modulation
+	BERStandard float64
+	BERRTE      float64
+	Bits        int64
+}
+
+// Fig14 measures whole-frame BER for all modulations at power 0.05 and 0.2
+// across office locations, standard vs RTE.
+func Fig14(scale Scale) ([]Fig14Row, error) {
+	frames, nLocs := 5, 6
+	if scale == Full {
+		frames, nLocs = 15, 30
+	}
+	locs := channel.OfficeLocations()[:nLocs]
+	var rows []Fig14Row
+	for _, power := range []float64{0.05, 0.2} {
+		for _, mod := range modem.Modulations() {
+			var std, rte stats.BERCounter
+			for _, loc := range locs {
+				for _, useRTE := range []bool{false, true} {
+					run, err := runLink(linkParams{
+						loc: loc, power: power, mcs: mcsFor(mod),
+						payloadB: 2000, frames: frames, seed: 14,
+						scheme: schemePtr(), useRTE: useRTE,
+					})
+					if err != nil {
+						return nil, err
+					}
+					if useRTE {
+						rte.Add(int(run.data.Errors), int(run.data.Bits))
+					} else {
+						std.Add(int(run.data.Errors), int(run.data.Bits))
+					}
+				}
+			}
+			rows = append(rows, Fig14Row{
+				Power: power, Modulation: mod,
+				BERStandard: std.Rate(), BERRTE: rte.Rate(), Bits: std.Bits,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig14 renders the bars.
+func PrintFig14(w io.Writer, scale Scale) error {
+	rows, err := Fig14(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 14 — whole-frame BER: RTE vs standard estimation across locations")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			fmt.Sprintf("%.2f", r.Power), r.Modulation.String(),
+			fmtBER(r.BERStandard, r.Bits), fmtBER(r.BERRTE, r.Bits),
+		})
+	}
+	printTable(w, []string{"power", "modulation", "standard", "RTE"}, table)
+	return nil
+}
+
+// GranularityRow scores one §5.2 side-channel scheme.
+type GranularityRow struct {
+	Scheme sidechannel.Scheme
+	// TailBER is the RTE-decoded BER over the last quarter of the frame —
+	// lower means the scheme fed the estimator better data pilots.
+	TailBER float64
+	// SideBER is the side channel's own bit error rate.
+	SideBER float64
+}
+
+// Granularity reproduces the §5.2 design study: six CRC granularity schemes
+// (1-/2-bit alphabets x 1-3 symbol groups) scored by how well RTE performs
+// when driven by each scheme. The paper concludes the 2-bit/1-symbol scheme
+// wins, and Carpool defaults to it.
+func Granularity(scale Scale) ([]GranularityRow, error) {
+	frames, nLocs := 6, 4
+	if scale == Full {
+		frames, nLocs = 20, 10
+	}
+	locs := channel.OfficeLocations()[:nLocs]
+	var rows []GranularityRow
+	for _, alpha := range []sidechannel.Alphabet{sidechannel.OneBit, sidechannel.TwoBit} {
+		for g := 1; g <= 3; g++ {
+			scheme := sidechannel.Scheme{Alphabet: alpha, GroupSize: g}
+			var tail, side stats.BERCounter
+			for _, loc := range locs {
+				run, err := runLink(linkParams{
+					loc: loc, power: 0.1, mcs: phy.MCS48,
+					payloadB: 3000, frames: frames, seed: 52,
+					scheme: &scheme, useRTE: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				n := len(run.perSymbol)
+				for k := 3 * n / 4; k < n; k++ {
+					tail.Add(int(run.perSymbol[k].Errors), int(run.perSymbol[k].Bits))
+				}
+				side.Add(int(run.side.Errors), int(run.side.Bits))
+			}
+			rows = append(rows, GranularityRow{Scheme: scheme, TailBER: tail.Rate(), SideBER: side.Rate()})
+		}
+	}
+	return rows, nil
+}
+
+// PrintGranularity renders the study.
+func PrintGranularity(w io.Writer, scale Scale) error {
+	rows, err := Granularity(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "§5.2 — side-channel CRC granularity study (QAM64, RTE, tail-quarter BER)")
+	table := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Scheme.String(), fmt.Sprintf("%.2e", r.TailBER), fmt.Sprintf("%.2e", r.SideBER),
+		})
+	}
+	printTable(w, []string{"scheme", "tail BER (RTE)", "side-channel BER"}, table)
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

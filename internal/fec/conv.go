@@ -1,0 +1,234 @@
+// Package fec implements the IEEE 802.11 OFDM forward-error-correction
+// chain: the frame-synchronous scrambler, the K=7 rate-1/2 convolutional
+// code with puncturing to rates 2/3 and 3/4, a hard-decision Viterbi
+// decoder, the two-permutation block interleaver, and the CRC family used by
+// Carpool (CRC-32 frame FCS plus the tiny CRC-1/CRC-2 symbol-level
+// checksums carried on the phase-offset side channel).
+package fec
+
+import "fmt"
+
+// The 802.11 convolutional code: constraint length 7, generator polynomials
+// g0 = 133 (octal), g1 = 171 (octal).
+//
+// The shift register here keeps the newest input bit at the LSB, so the
+// generator masks below are the bit-reversals of the standard's MSB-first
+// octal constants (133 -> 155, 171 -> 117). The emitted code is exactly the
+// standard one: the impulse response of output A is 1011011 and of output B
+// is 1111001, current bit first.
+const (
+	constraintLen = 7
+	numStates     = 1 << (constraintLen - 1) // 64
+	genA          = 0o155
+	genB          = 0o117
+)
+
+// CodeRate identifies a puncturing pattern applied to the rate-1/2 mother
+// code.
+type CodeRate int
+
+// Supported coding rates. Values start at 1 so the zero value is invalid.
+const (
+	Rate1_2 CodeRate = iota + 1
+	Rate2_3
+	Rate3_4
+)
+
+// String returns the conventional fraction.
+func (r CodeRate) String() string {
+	switch r {
+	case Rate1_2:
+		return "1/2"
+	case Rate2_3:
+		return "2/3"
+	case Rate3_4:
+		return "3/4"
+	default:
+		return fmt.Sprintf("CodeRate(%d)", int(r))
+	}
+}
+
+// Valid reports whether r is a supported rate.
+func (r CodeRate) Valid() bool { return r >= Rate1_2 && r <= Rate3_4 }
+
+// Ratio returns the information/coded bit ratio, e.g. 0.75 for rate 3/4.
+func (r CodeRate) Ratio() float64 {
+	switch r {
+	case Rate1_2:
+		return 0.5
+	case Rate2_3:
+		return 2.0 / 3.0
+	case Rate3_4:
+		return 0.75
+	default:
+		return 0
+	}
+}
+
+// puncturePattern returns, for a rate, the boolean keep-mask over the
+// rate-1/2 output stream (pairs A0 B0 A1 B1 ...), in the order defined by
+// 802.11-2012 §18.3.5.6.
+func (r CodeRate) puncturePattern() []bool {
+	switch r {
+	case Rate1_2:
+		return []bool{true, true}
+	case Rate2_3:
+		// Period: 2 input bits -> 4 mother bits, drop B1.
+		return []bool{true, true, true, false}
+	case Rate3_4:
+		// Period: 3 input bits -> 6 mother bits, drop B1 and A2.
+		return []bool{true, true, true, false, false, true}
+	default:
+		return nil
+	}
+}
+
+// parity64 returns the parity of the lower 7 bits of x.
+func parity7(x uint32) byte {
+	x &= 0x7f
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// ConvEncode encodes bits with the 802.11 rate-1/2 mother code, then
+// punctures to the requested rate. Input bits must be 0/1.
+//
+// The encoder starts in the all-zero state. Callers who need trellis
+// termination should append six zero tail bits themselves (the PHY layer in
+// this repository does so per the 802.11 TAIL field).
+func ConvEncode(bits []byte, rate CodeRate) ([]byte, error) {
+	if !rate.Valid() {
+		return nil, fmt.Errorf("fec: invalid code rate %v", rate)
+	}
+	pattern := rate.puncturePattern()
+	mother := make([]byte, 0, 2*len(bits))
+	var state uint32
+	for _, b := range bits {
+		state = ((state << 1) | uint32(b&1)) & 0x7f
+		mother = append(mother, parity7(state&genA), parity7(state&genB))
+	}
+	out := make([]byte, 0, len(mother))
+	for i, b := range mother {
+		if pattern[i%len(pattern)] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// depuncture re-inserts erasures (value 2) where punctured bits were
+// dropped, recovering the mother-code stream length 2*numInfoBits.
+func depuncture(coded []byte, rate CodeRate, numInfoBits int) ([]byte, error) {
+	pattern := rate.puncturePattern()
+	mother := make([]byte, 0, 2*numInfoBits)
+	src := 0
+	for len(mother) < 2*numInfoBits {
+		for _, keep := range pattern {
+			if len(mother) == 2*numInfoBits {
+				break
+			}
+			if keep {
+				if src >= len(coded) {
+					return nil, fmt.Errorf("fec: coded stream too short: have %d bits, need more for %d info bits at rate %v",
+						len(coded), numInfoBits, rate)
+				}
+				mother = append(mother, coded[src])
+				src++
+			} else {
+				mother = append(mother, 2) // erasure
+			}
+		}
+	}
+	return mother, nil
+}
+
+// ViterbiDecode performs maximum-likelihood hard-decision decoding of a
+// punctured convolutional stream. numInfoBits is the number of information
+// bits the caller expects (including any tail bits it appended at encode
+// time). Erasures introduced by depuncturing contribute zero branch metric.
+func ViterbiDecode(coded []byte, rate CodeRate, numInfoBits int) ([]byte, error) {
+	if !rate.Valid() {
+		return nil, fmt.Errorf("fec: invalid code rate %v", rate)
+	}
+	if numInfoBits <= 0 {
+		return nil, fmt.Errorf("fec: numInfoBits must be positive, got %d", numInfoBits)
+	}
+	mother, err := depuncture(coded, rate, numInfoBits)
+	if err != nil {
+		return nil, err
+	}
+
+	const inf = int32(1) << 29
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for i := 1; i < numStates; i++ {
+		metric[i] = inf
+	}
+	// survivors[t][s] holds the predecessor state and input bit packed as
+	// (prev << 1) | bit.
+	survivors := make([][]uint16, numInfoBits)
+
+	// Precompute branch outputs: for state s (6 bits of history) and input
+	// bit b, the encoder register is ((s << 1) | b) & 0x7f.
+	type branch struct{ outA, outB byte }
+	branches := [numStates][2]branch{}
+	for s := 0; s < numStates; s++ {
+		for b := 0; b < 2; b++ {
+			reg := uint32((s<<1)|b) & 0x7f
+			branches[s][b] = branch{parity7(reg & genA), parity7(reg & genB)}
+		}
+	}
+
+	for t := 0; t < numInfoBits; t++ {
+		rxA, rxB := mother[2*t], mother[2*t+1]
+		surv := make([]uint16, numStates)
+		for i := range next {
+			next[i] = inf
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				br := branches[s][b]
+				cost := m
+				if rxA != 2 && rxA != br.outA {
+					cost++
+				}
+				if rxB != 2 && rxB != br.outB {
+					cost++
+				}
+				ns := ((s << 1) | b) & (numStates - 1)
+				if cost < next[ns] {
+					next[ns] = cost
+					surv[ns] = uint16(s<<1 | b)
+				}
+			}
+		}
+		metric, next = next, metric
+		survivors[t] = surv
+	}
+
+	// Traceback from the best final state. When the caller terminated the
+	// trellis with tail bits, state 0 wins naturally.
+	best := 0
+	for s := 1; s < numStates; s++ {
+		if metric[s] < metric[best] {
+			best = s
+		}
+	}
+	out := make([]byte, numInfoBits)
+	state := best
+	for t := numInfoBits - 1; t >= 0; t-- {
+		packed := survivors[t][state]
+		out[t] = byte(packed & 1)
+		state = int(packed >> 1)
+	}
+	return out, nil
+}
+
+// TailBits is the number of zero bits appended to terminate the trellis.
+const TailBits = constraintLen - 1

@@ -1,0 +1,58 @@
+package fec
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// FCS32 computes the 802.11 frame check sequence (CRC-32/IEEE) over data.
+func FCS32(data []byte) uint32 {
+	return crc32.ChecksumIEEE(data)
+}
+
+// AppendFCS returns data with its 4-byte little-endian FCS appended,
+// matching the 802.11 over-the-air order.
+func AppendFCS(data []byte) []byte {
+	out := make([]byte, len(data)+4)
+	copy(out, data)
+	binary.LittleEndian.PutUint32(out[len(data):], FCS32(data))
+	return out
+}
+
+// CheckFCS verifies a frame produced by AppendFCS and returns the payload
+// with the FCS stripped. ok is false when the frame is too short or the
+// checksum mismatches.
+func CheckFCS(frame []byte) (payload []byte, ok bool) {
+	if len(frame) < 4 {
+		return nil, false
+	}
+	payload = frame[:len(frame)-4]
+	want := binary.LittleEndian.Uint32(frame[len(frame)-4:])
+	return payload, FCS32(payload) == want
+}
+
+// CRC2 computes a 2-bit cyclic redundancy checksum over a bit slice using
+// the polynomial x^2 + x + 1 (0b111). This is the symbol-level checksum
+// Carpool carries on the 2-bit phase-offset side channel: with one OFDM
+// symbol per CRC group it flags symbol decoding errors with probability 3/4.
+func CRC2(bits []byte) byte {
+	var reg byte // 2-bit register
+	for _, b := range bits {
+		fb := ((reg >> 1) ^ (b & 1)) & 1
+		reg = ((reg << 1) & 0b11)
+		if fb != 0 {
+			reg ^= 0b11 // poly taps x^1, x^0
+		}
+	}
+	return reg & 0b11
+}
+
+// CRC1 computes a single parity bit over a bit slice — the checksum used
+// with the 1-bit phase-offset modulation.
+func CRC1(bits []byte) byte {
+	var p byte
+	for _, b := range bits {
+		p ^= b & 1
+	}
+	return p
+}

@@ -1,0 +1,437 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBits(rng *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+func withTail(bits []byte) []byte {
+	return append(append([]byte{}, bits...), make([]byte, TailBits)...)
+}
+
+func TestCodeRateStringAndRatio(t *testing.T) {
+	tests := []struct {
+		r     CodeRate
+		str   string
+		ratio float64
+	}{
+		{Rate1_2, "1/2", 0.5},
+		{Rate2_3, "2/3", 2.0 / 3.0},
+		{Rate3_4, "3/4", 0.75},
+	}
+	for _, tt := range tests {
+		if tt.r.String() != tt.str {
+			t.Errorf("String() = %q, want %q", tt.r.String(), tt.str)
+		}
+		if tt.r.Ratio() != tt.ratio {
+			t.Errorf("Ratio() = %v, want %v", tt.r.Ratio(), tt.ratio)
+		}
+	}
+	if CodeRate(0).Valid() || CodeRate(9).Valid() {
+		t.Error("invalid rates reported valid")
+	}
+	if CodeRate(9).Ratio() != 0 {
+		t.Error("invalid rate should have zero ratio")
+	}
+	if CodeRate(9).String() != "CodeRate(9)" {
+		t.Errorf("got %q", CodeRate(9).String())
+	}
+}
+
+func TestConvEncodeKnownVector(t *testing.T) {
+	// The all-zero input produces the all-zero codeword.
+	out, err := ConvEncode(make([]byte, 16), Rate1_2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range out {
+		if b != 0 {
+			t.Fatal("all-zero input must encode to all-zero output")
+		}
+	}
+	// A single 1 produces the generator impulse response 11 10 11 11 01 01 11 ...
+	in := make([]byte, 8)
+	in[0] = 1
+	out, err = ConvEncode(in, Rate1_2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g0=133o=1011011b, g1=171o=1111001b. Impulse response pairs (A,B) for
+	// shifts 0..6: A taps {6,4,3,1,0}->1,0,1,1,0,1,1 ; B taps {6,5,4,3,0}->1,1,1,1,0,0,1
+	wantA := []byte{1, 0, 1, 1, 0, 1, 1, 0}
+	wantB := []byte{1, 1, 1, 1, 0, 0, 1, 0}
+	for i := 0; i < 8; i++ {
+		if out[2*i] != wantA[i] || out[2*i+1] != wantB[i] {
+			t.Fatalf("impulse response mismatch at step %d: got (%d,%d), want (%d,%d)",
+				i, out[2*i], out[2*i+1], wantA[i], wantB[i])
+		}
+	}
+}
+
+func TestConvEncodeOutputLengths(t *testing.T) {
+	tests := []struct {
+		rate CodeRate
+		in   int
+		out  int
+	}{
+		{Rate1_2, 24, 48},
+		{Rate2_3, 24, 36},
+		{Rate3_4, 24, 32},
+	}
+	for _, tt := range tests {
+		got, err := ConvEncode(make([]byte, tt.in), tt.rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != tt.out {
+			t.Errorf("rate %v: %d in -> %d out, want %d", tt.rate, tt.in, len(got), tt.out)
+		}
+	}
+}
+
+func TestConvEncodeInvalidRate(t *testing.T) {
+	if _, err := ConvEncode([]byte{1}, CodeRate(0)); err == nil {
+		t.Error("expected error for invalid rate")
+	}
+	if _, err := ViterbiDecode([]byte{1, 1}, CodeRate(0), 1); err == nil {
+		t.Error("expected error for invalid rate")
+	}
+	if _, err := ViterbiDecode([]byte{1, 1}, Rate1_2, 0); err == nil {
+		t.Error("expected error for non-positive numInfoBits")
+	}
+	if _, err := ViterbiDecode([]byte{1, 1}, Rate1_2, 100); err == nil {
+		t.Error("expected error for truncated coded stream")
+	}
+}
+
+func TestViterbiCleanChannelRoundTrip(t *testing.T) {
+	for _, rate := range []CodeRate{Rate1_2, Rate2_3, Rate3_4} {
+		rate := rate
+		t.Run(rate.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				n := 24 + rng.Intn(200)
+				// Keep a multiple of the puncturing period to avoid partial
+				// trailing groups, as the PHY padding rules guarantee.
+				n -= n % 6
+				info := withTail(randomBits(rng, n))
+				coded, err := ConvEncode(info, rate)
+				if err != nil {
+					return false
+				}
+				dec, err := ViterbiDecode(coded, rate, len(info))
+				if err != nil {
+					return false
+				}
+				return bytes.Equal(dec, info)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestViterbiCorrectsScatteredErrors(t *testing.T) {
+	// Rate 1/2 with free distance 10 corrects any pattern of up to 4
+	// sufficiently separated channel errors.
+	rng := rand.New(rand.NewSource(11))
+	info := withTail(randomBits(rng, 240))
+	coded, err := ConvEncode(info, Rate1_2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		corrupted := append([]byte(nil), coded...)
+		// Flip 8 bits spaced at least 30 positions apart.
+		pos := rng.Intn(20)
+		for i := 0; i < 8 && pos < len(corrupted); i++ {
+			corrupted[pos] ^= 1
+			pos += 30 + rng.Intn(10)
+		}
+		dec, err := ViterbiDecode(corrupted, Rate1_2, len(info))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, info) {
+			t.Fatalf("trial %d: scattered errors not corrected", trial)
+		}
+	}
+}
+
+func TestViterbiRandomErrorPerformance(t *testing.T) {
+	// At 2% random coded-bit error rate, rate-1/2 Viterbi output should be
+	// dramatically cleaner than the channel.
+	rng := rand.New(rand.NewSource(5))
+	info := withTail(randomBits(rng, 2000))
+	coded, err := ConvEncode(info, Rate1_2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), coded...)
+	for i := range corrupted {
+		if rng.Float64() < 0.02 {
+			corrupted[i] ^= 1
+		}
+	}
+	dec, err := ViterbiDecode(corrupted, Rate1_2, len(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range info {
+		if dec[i] != info[i] {
+			errs++
+		}
+	}
+	if ber := float64(errs) / float64(len(info)); ber > 0.001 {
+		t.Errorf("post-Viterbi BER %.5f, want < 0.001", ber)
+	}
+}
+
+func TestScramblerSelfInverse(t *testing.T) {
+	f := func(seed int64, scramblerSeed byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := randomBits(rng, 500)
+		orig := append([]byte(nil), bits...)
+		NewScrambler(scramblerSeed).Apply(bits)
+		NewScrambler(scramblerSeed).Apply(bits)
+		return bytes.Equal(bits, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScramblerKnownSequence(t *testing.T) {
+	// Std 802.11: with the all-ones seed the first 16 scrambler output bits
+	// are 0000 1110 1111 0010.
+	s := NewScrambler(0x7f)
+	want := []byte{0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0}
+	for i, w := range want {
+		if got := s.NextBit(); got != w {
+			t.Fatalf("scrambler bit %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestScramblerPeriod(t *testing.T) {
+	// A maximal-length 7-bit LFSR has period 127.
+	s := NewScrambler(0x7f)
+	first := make([]byte, 127)
+	for i := range first {
+		first[i] = s.NextBit()
+	}
+	for i := 0; i < 127; i++ {
+		if s.NextBit() != first[i] {
+			t.Fatalf("scrambler sequence not periodic with period 127 at offset %d", i)
+		}
+	}
+	ones := 0
+	for _, b := range first {
+		ones += int(b)
+	}
+	if ones != 64 {
+		t.Errorf("m-sequence balance: %d ones in one period, want 64", ones)
+	}
+}
+
+func TestScramblerZeroSeedCoerced(t *testing.T) {
+	s := NewScrambler(0)
+	anyOne := false
+	for i := 0; i < 20; i++ {
+		if s.NextBit() == 1 {
+			anyOne = true
+		}
+	}
+	if !anyOne {
+		t.Error("zero seed produced an all-zero sequence")
+	}
+}
+
+func TestScrambleCopyLeavesInput(t *testing.T) {
+	in := []byte{1, 0, 1, 1, 0}
+	orig := append([]byte(nil), in...)
+	out := ScrambleCopy(in, 0x5d)
+	if !bytes.Equal(in, orig) {
+		t.Error("ScrambleCopy mutated input")
+	}
+	if bytes.Equal(out, orig) {
+		t.Error("ScrambleCopy returned unscrambled data")
+	}
+}
+
+func TestInterleaverGeometries(t *testing.T) {
+	// The four 802.11a geometries: (ncbps, nbpsc).
+	geoms := [][2]int{{48, 1}, {96, 2}, {192, 4}, {288, 6}}
+	for _, g := range geoms {
+		il, err := NewInterleaver(g[0], g[1])
+		if err != nil {
+			t.Fatalf("geometry %v: %v", g, err)
+		}
+		if il.BlockSize() != g[0] {
+			t.Errorf("BlockSize = %d, want %d", il.BlockSize(), g[0])
+		}
+		rng := rand.New(rand.NewSource(int64(g[0])))
+		in := randomBits(rng, g[0])
+		mid, err := il.Interleave(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := il.Deinterleave(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(in, out) {
+			t.Errorf("geometry %v: round trip failed", g)
+		}
+	}
+}
+
+func TestInterleaverIsPermutation(t *testing.T) {
+	il, err := NewInterleaver(288, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 288)
+	for _, j := range il.fwd {
+		if j < 0 || j >= 288 || seen[j] {
+			t.Fatal("fwd is not a permutation")
+		}
+		seen[j] = true
+	}
+}
+
+func TestInterleaverSpreadsAdjacentBits(t *testing.T) {
+	// Adjacent coded bits must land at least several subcarriers apart —
+	// that is the interleaver's whole purpose.
+	il, err := NewInterleaver(192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k+1 < 192; k++ {
+		scA := il.fwd[k] / 4
+		scB := il.fwd[k+1] / 4
+		d := scA - scB
+		if d < 0 {
+			d = -d
+		}
+		if d != 0 && d < 3 {
+			t.Fatalf("adjacent bits %d,%d land on close subcarriers %d,%d", k, k+1, scA, scB)
+		}
+	}
+}
+
+func TestInterleaverErrors(t *testing.T) {
+	if _, err := NewInterleaver(50, 1); err == nil {
+		t.Error("accepted ncbps not multiple of 16")
+	}
+	if _, err := NewInterleaver(0, 1); err == nil {
+		t.Error("accepted zero ncbps")
+	}
+	il, _ := NewInterleaver(48, 1)
+	if _, err := il.Interleave(make([]byte, 47)); err == nil {
+		t.Error("accepted wrong block size")
+	}
+	if _, err := il.Deinterleave(make([]byte, 49)); err == nil {
+		t.Error("accepted wrong block size")
+	}
+}
+
+func TestFCSRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		framed := AppendFCS(data)
+		payload, ok := CheckFCS(framed)
+		return ok && bytes.Equal(payload, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFCSDetectsCorruption(t *testing.T) {
+	framed := AppendFCS([]byte("carpool frame payload"))
+	for i := range framed {
+		bad := append([]byte(nil), framed...)
+		bad[i] ^= 0x40
+		if _, ok := CheckFCS(bad); ok {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestCheckFCSShortFrame(t *testing.T) {
+	if _, ok := CheckFCS([]byte{1, 2, 3}); ok {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestCRC2Properties(t *testing.T) {
+	// Deterministic, 2-bit range, detects single-bit flips.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		bits := randomBits(rng, 48+rng.Intn(240))
+		c := CRC2(bits)
+		if c > 3 {
+			t.Fatalf("CRC2 out of range: %d", c)
+		}
+		if CRC2(bits) != c {
+			t.Fatal("CRC2 not deterministic")
+		}
+		// Single-bit error detection: CRC polynomial x^2+x+1 has no factor
+		// x^k, so any single flip changes the checksum.
+		pos := rng.Intn(len(bits))
+		bits[pos] ^= 1
+		if CRC2(bits) == c {
+			t.Fatalf("single-bit flip at %d undetected", pos)
+		}
+	}
+}
+
+func TestCRC2RandomErrorMissRate(t *testing.T) {
+	// For random multi-bit corruption, a 2-bit CRC should miss about 1/4 of
+	// the time — the granularity/reliability tradeoff §5.2 discusses.
+	rng := rand.New(rand.NewSource(22))
+	misses, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		bits := randomBits(rng, 288)
+		c := CRC2(bits)
+		bad := append([]byte(nil), bits...)
+		nflips := 2 + rng.Intn(10)
+		for j := 0; j < nflips; j++ {
+			bad[rng.Intn(len(bad))] ^= 1
+		}
+		if bytes.Equal(bad, bits) {
+			continue
+		}
+		if CRC2(bad) == c {
+			misses++
+		}
+	}
+	rate := float64(misses) / float64(trials)
+	if rate < 0.20 || rate > 0.30 {
+		t.Errorf("CRC2 miss rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestCRC1Parity(t *testing.T) {
+	if CRC1([]byte{1, 1, 0, 1}) != 1 {
+		t.Error("parity of three ones should be 1")
+	}
+	if CRC1([]byte{1, 1}) != 0 {
+		t.Error("parity of two ones should be 0")
+	}
+	if CRC1(nil) != 0 {
+		t.Error("parity of empty should be 0")
+	}
+}

@@ -1,0 +1,78 @@
+package fec
+
+import "fmt"
+
+// Interleaver implements the 802.11 two-permutation block interleaver
+// (Std 802.11-2012 §18.3.5.7). It operates on one OFDM symbol's worth of
+// coded bits at a time.
+//
+//	ncbps: coded bits per OFDM symbol (48, 96, 192 or 288)
+//	nbpsc: coded bits per subcarrier (1, 2, 4 or 6)
+type Interleaver struct {
+	ncbps, nbpsc int
+	fwd, inv     []int // fwd[k] = final index of input bit k
+}
+
+// NewInterleaver builds the permutation tables for the given block geometry.
+func NewInterleaver(ncbps, nbpsc int) (*Interleaver, error) {
+	if ncbps <= 0 || nbpsc <= 0 || ncbps%16 != 0 {
+		return nil, fmt.Errorf("fec: bad interleaver geometry ncbps=%d nbpsc=%d", ncbps, nbpsc)
+	}
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	fwd := make([]int, ncbps)
+	inv := make([]int, ncbps)
+	for k := 0; k < ncbps; k++ {
+		// First permutation: adjacent coded bits map onto nonadjacent
+		// subcarriers.
+		i := (ncbps/16)*(k%16) + k/16
+		// Second permutation: adjacent bits alternate between less and more
+		// significant constellation bits.
+		j := s*(i/s) + (i+ncbps-(16*i)/ncbps)%s
+		fwd[k] = j
+		inv[j] = k
+	}
+	return &Interleaver{ncbps: ncbps, nbpsc: nbpsc, fwd: fwd, inv: inv}, nil
+}
+
+// BlockSize returns the number of bits per interleaved block.
+func (il *Interleaver) BlockSize() int { return il.ncbps }
+
+// Interleave permutes one block. len(in) must equal BlockSize().
+func (il *Interleaver) Interleave(in []byte) ([]byte, error) {
+	if len(in) != il.ncbps {
+		return nil, fmt.Errorf("fec: interleave block length %d, want %d", len(in), il.ncbps)
+	}
+	out := make([]byte, il.ncbps)
+	for k, j := range il.fwd {
+		out[j] = in[k]
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(in []byte) ([]byte, error) {
+	if len(in) != il.ncbps {
+		return nil, fmt.Errorf("fec: deinterleave block length %d, want %d", len(in), il.ncbps)
+	}
+	out := make([]byte, il.ncbps)
+	for j, k := range il.inv {
+		out[k] = in[j]
+	}
+	return out, nil
+}
+
+// DeinterleaveFloats applies the inverse permutation to per-bit soft values
+// (LLRs), for the soft-decision receive path.
+func (il *Interleaver) DeinterleaveFloats(in []float64) ([]float64, error) {
+	if len(in) != il.ncbps {
+		return nil, fmt.Errorf("fec: deinterleave block length %d, want %d", len(in), il.ncbps)
+	}
+	out := make([]float64, il.ncbps)
+	for j, k := range il.inv {
+		out[k] = in[j]
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package fec
+
+// Scrambler implements the 802.11 frame-synchronous scrambler with
+// generator polynomial S(x) = x^7 + x^4 + 1 (Std 802.11-2012 §18.3.5.5).
+// The same structure descrambles, so one type serves both directions.
+type Scrambler struct {
+	state byte // 7-bit shift register
+}
+
+// NewScrambler returns a scrambler seeded with the given 7-bit initial
+// state. A zero seed would emit an all-zero sequence, so it is coerced to
+// the conventional all-ones state.
+func NewScrambler(seed byte) *Scrambler {
+	seed &= 0x7f
+	if seed == 0 {
+		seed = 0x7f
+	}
+	return &Scrambler{state: seed}
+}
+
+// NextBit advances the register and returns the next scrambling bit.
+func (s *Scrambler) NextBit() byte {
+	// Feedback is x^7 XOR x^4: bits 6 and 3 of the register.
+	fb := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | fb) & 0x7f
+	return fb
+}
+
+// Apply XORs the scrambling sequence onto bits in place and returns bits for
+// convenience. Applying twice with identically-seeded scramblers restores
+// the original data.
+func (s *Scrambler) Apply(bits []byte) []byte {
+	for i := range bits {
+		bits[i] = (bits[i] ^ s.NextBit()) & 1
+	}
+	return bits
+}
+
+// ScramblerFromOutputs reconstructs a scrambler from its first seven output
+// bits, the trick the 802.11 receiver uses: the SERVICE field's first seven
+// bits are transmitted as zeros, so their scrambled values expose the
+// scrambling sequence and hence the register state. The returned scrambler
+// continues the sequence from bit eight onward.
+func ScramblerFromOutputs(outputs []byte) *Scrambler {
+	if len(outputs) < 7 {
+		panic("fec: ScramblerFromOutputs needs 7 bits")
+	}
+	var state byte
+	for _, o := range outputs[:7] {
+		state = ((state << 1) | (o & 1)) & 0x7f
+	}
+	return &Scrambler{state: state}
+}
+
+// ScrambleCopy returns a scrambled copy of bits using a fresh scrambler with
+// the given seed, leaving the input untouched.
+func ScrambleCopy(bits []byte, seed byte) []byte {
+	out := make([]byte, len(bits))
+	copy(out, bits)
+	return NewScrambler(seed).Apply(out)
+}

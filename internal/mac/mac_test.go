@@ -1,0 +1,381 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"carpool/internal/traffic"
+)
+
+func TestTable2Parameters(t *testing.T) {
+	// Table 2 of the paper.
+	if SlotTime != 9*time.Microsecond {
+		t.Error("slot time")
+	}
+	if SIFS != 10*time.Microsecond {
+		t.Error("SIFS")
+	}
+	if DIFS != 28*time.Microsecond {
+		t.Error("DIFS")
+	}
+	if CWMin != 15 || CWMax != 1023 {
+		t.Error("contention windows")
+	}
+	if PLCPTime != 28*time.Microsecond {
+		t.Error("PLCP header")
+	}
+	if PropDelay != time.Microsecond {
+		t.Error("propagation delay")
+	}
+}
+
+func TestAirtimeComputation(t *testing.T) {
+	r := DefaultRates()
+	// 65 Mbit/s -> 260 bits/symbol. A 120-byte VoIP frame:
+	// 16 + (28+120+4)*8 + 6 = 1238 bits -> 5 symbols.
+	if got := DataSymbols(MACHeaderBytes+120+FCSBytes, r.DataMbps); got != 5 {
+		t.Errorf("VoIP data symbols %d, want 5", got)
+	}
+	want := PLCPTime + 5*SymbolTime + PropDelay
+	if got := FrameAirtime(120, r); got != want {
+		t.Errorf("frame airtime %v, want %v", got, want)
+	}
+	// ACK: 16 + 14*8 + 6 = 134 bits at 96 bits/sym -> 2 symbols.
+	if got := ACKAirtime(r); got != PLCPTime+2*SymbolTime+PropDelay {
+		t.Errorf("ACK airtime %v", got)
+	}
+	if BlockACKAirtime(r) <= ACKAirtime(r) {
+		t.Error("block ACK should be longer than ACK")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	names := map[Protocol]string{
+		Legacy80211: "802.11", AMPDU: "A-MPDU", MUAggregation: "MU-Aggregation",
+		WiFox: "WiFox", Carpool: "Carpool", AMSDU: "A-MSDU", Protocol(9): "Protocol(9)",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("%d -> %q, want %q", int(p), got, want)
+		}
+	}
+	if len(Protocols()) != 5 {
+		t.Error("expected 5 comparison protocols")
+	}
+	if len(AllProtocols()) != 6 {
+		t.Error("expected 6 implemented protocols")
+	}
+	if Protocol(0).Valid() || Protocol(7).Valid() {
+		t.Error("invalid protocols reported valid")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Protocol: Carpool},
+		{Protocol: Carpool, NumSTAs: 5},
+		{Protocol: Carpool, NumSTAs: 2, Duration: time.Second,
+			Downlink: make([][]traffic.Arrival, 5)},
+		{Protocol: Carpool, NumSTAs: 2, Duration: time.Second,
+			STALocations: []int{0}},
+		{Protocol: Protocol(9), NumSTAs: 2, Duration: time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFixedOracle(t *testing.T) {
+	if _, err := NewFixedOracle(-0.1, 1); err == nil {
+		t.Error("accepted negative probability")
+	}
+	if _, err := NewFixedOracle(1.5, 1); err == nil {
+		t.Error("accepted probability > 1")
+	}
+	o, err := NewFixedOracle(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ok, err := o.SubframeOK(0, false, 0, 5)
+		if err != nil || !ok {
+			t.Fatal("lossless oracle failed a subframe")
+		}
+	}
+	half, err := NewFixedOracle(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount := 0
+	for i := 0; i < 1000; i++ {
+		if ok, _ := half.SubframeOK(0, false, 0, 5); ok {
+			okCount++
+		}
+	}
+	if okCount < 430 || okCount > 570 {
+		t.Errorf("p=0.5 oracle delivered %d/1000", okCount)
+	}
+}
+
+func TestBiasedOracle(t *testing.T) {
+	o := NewBiasedOracle(0.01, 3)
+	// RTE always succeeds.
+	for i := 0; i < 10; i++ {
+		if ok, _ := o.SubframeOK(0, true, 90, 10); !ok {
+			t.Fatal("RTE span failed")
+		}
+	}
+	// Early spans mostly succeed, late spans mostly fail.
+	early, late := 0, 0
+	for i := 0; i < 500; i++ {
+		if ok, _ := o.SubframeOK(0, false, 0, 4); ok {
+			early++
+		}
+		if ok, _ := o.SubframeOK(0, false, 90, 10); ok {
+			late++
+		}
+	}
+	if early < 450 {
+		t.Errorf("early spans delivered %d/500", early)
+	}
+	if late > 200 {
+		t.Errorf("late spans delivered %d/500", late)
+	}
+}
+
+// cbrScenario builds the paper's large-audience regime: VoIP-rate downlink
+// per STA and saturated uplink contention.
+func cbrScenario(t *testing.T, proto Protocol, nSTA int, seed int64) Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const dur = 3 * time.Second
+	down := make([][]traffic.Arrival, nSTA)
+	for i := range down {
+		down[i] = traffic.CBRFlow(rng, 120, 10*time.Millisecond, dur)
+	}
+	return Config{
+		Protocol:        proto,
+		NumSTAs:         nSTA,
+		Duration:        dur,
+		Seed:            seed,
+		Downlink:        down,
+		SaturatedUplink: true,
+	}
+}
+
+func TestRunProducesSaneMetrics(t *testing.T) {
+	res, err := Run(cbrScenario(t, Legacy80211, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.DownlinkGoodputMbps <= 0 || res.DownlinkGoodputMbps > 65 {
+		t.Errorf("goodput %v Mbps implausible", res.DownlinkGoodputMbps)
+	}
+	if res.MeanDelay <= 0 {
+		t.Error("mean delay should be positive")
+	}
+	if res.P95Delay < res.MeanDelay/4 {
+		t.Error("P95 delay implausibly small")
+	}
+	if res.BusyTime <= 0 || res.BusyTime > 3*time.Second {
+		t.Errorf("busy time %v", res.BusyTime)
+	}
+	if res.APTransmissions == 0 || res.STATransmissions == 0 {
+		t.Error("no transmissions recorded")
+	}
+	if len(res.STATxTime) != 5 {
+		t.Error("per-STA accounting missing")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(cbrScenario(t, Carpool, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cbrScenario(t, Carpool, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.DownlinkGoodputMbps != b.DownlinkGoodputMbps ||
+		a.Collisions != b.Collisions {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestCarpoolBeatsLegacyUnderContention(t *testing.T) {
+	// The core MAC claim: with many contending STAs, Carpool's multi-user
+	// aggregation delivers several times the goodput of one-frame-per-
+	// access 802.11, at lower delay.
+	nSTA := 25
+	legacy, err := Run(cbrScenario(t, Legacy80211, nSTA, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	carpool, err := Run(cbrScenario(t, Carpool, nSTA, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carpool.DownlinkGoodputMbps < 2*legacy.DownlinkGoodputMbps {
+		t.Errorf("Carpool %.2f Mbps not >= 2x legacy %.2f Mbps",
+			carpool.DownlinkGoodputMbps, legacy.DownlinkGoodputMbps)
+	}
+	if carpool.MeanDelay > legacy.MeanDelay {
+		t.Errorf("Carpool delay %v worse than legacy %v", carpool.MeanDelay, legacy.MeanDelay)
+	}
+}
+
+func TestCarpoolBeatsAMPDUAcrossSTAs(t *testing.T) {
+	ampdu, err := Run(cbrScenario(t, AMPDU, 25, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	carpool, err := Run(cbrScenario(t, Carpool, 25, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carpool.DownlinkGoodputMbps <= ampdu.DownlinkGoodputMbps {
+		t.Errorf("Carpool %.2f Mbps not above A-MPDU %.2f Mbps",
+			carpool.DownlinkGoodputMbps, ampdu.DownlinkGoodputMbps)
+	}
+}
+
+func TestRTEMattersForLongAggregates(t *testing.T) {
+	// With a BER-biased oracle, Carpool (RTE) sustains aggregation while
+	// MU-Aggregation loses its long-frame tails.
+	mkCfg := func(proto Protocol) Config {
+		cfg := cbrScenario(t, proto, 20, 17)
+		cfg.Oracle = NewBiasedOracle(0.01, 17)
+		return cfg
+	}
+	mu, err := Run(mkCfg(MUAggregation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	carpool, err := Run(mkCfg(Carpool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carpool.DownlinkGoodputMbps <= mu.DownlinkGoodputMbps {
+		t.Errorf("Carpool %.2f Mbps not above MU-Aggregation %.2f under BER bias",
+			carpool.DownlinkGoodputMbps, mu.DownlinkGoodputMbps)
+	}
+}
+
+func TestWiFoxPrioritizesDownlink(t *testing.T) {
+	legacy, err := Run(cbrScenario(t, Legacy80211, 20, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifox, err := Run(cbrScenario(t, WiFox, 20, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wifox.DownlinkGoodputMbps <= legacy.DownlinkGoodputMbps {
+		t.Errorf("WiFox %.2f Mbps not above legacy %.2f Mbps",
+			wifox.DownlinkGoodputMbps, legacy.DownlinkGoodputMbps)
+	}
+}
+
+func TestMaxLatencyExpiresFrames(t *testing.T) {
+	cfg := cbrScenario(t, Legacy80211, 25, 23)
+	cfg.MaxLatency = 50 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expired == 0 {
+		t.Error("saturated queue with 50 ms deadline expired nothing")
+	}
+	if res.MeanDelay > 60*time.Millisecond {
+		t.Errorf("mean delay %v exceeds the deadline", res.MeanDelay)
+	}
+}
+
+func TestLossyOracleCausesRetries(t *testing.T) {
+	// At 25 saturated STAs the channel is the bottleneck, so a 30%
+	// subframe loss must cost goodput, not just retries.
+	cfg := cbrScenario(t, Legacy80211, 25, 29)
+	oracle, err := NewFixedOracle(0.7, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Oracle = oracle
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Error("30% loss caused no retries")
+	}
+	clean, err := Run(cbrScenario(t, Legacy80211, 25, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownlinkGoodputMbps >= clean.DownlinkGoodputMbps {
+		t.Error("loss did not reduce goodput")
+	}
+}
+
+func TestCollisionsGrowWithContention(t *testing.T) {
+	few, err := Run(cbrScenario(t, Legacy80211, 3, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(cbrScenario(t, Legacy80211, 28, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Collisions <= few.Collisions {
+		t.Errorf("collisions %d (28 STAs) <= %d (3 STAs)", many.Collisions, few.Collisions)
+	}
+}
+
+func TestEmptySimulationTerminates(t *testing.T) {
+	res, err := Run(Config{Protocol: Carpool, NumSTAs: 3, Duration: time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 || res.BusyTime != 0 {
+		t.Error("idle network produced activity")
+	}
+}
+
+func TestAMPDUAggregatesPerSTA(t *testing.T) {
+	// One STA receiving bursts of frames: A-MPDU should drain each burst
+	// in far fewer channel acquisitions than legacy.
+	mk := func(proto Protocol) Config {
+		var burst []traffic.Arrival
+		for t := time.Duration(0); t < time.Second; t += 20 * time.Millisecond {
+			for i := 0; i < 20; i++ {
+				burst = append(burst, traffic.Arrival{Time: t, Size: 1000})
+			}
+		}
+		return Config{
+			Protocol: proto, NumSTAs: 1, Duration: 2 * time.Second, Seed: 37,
+			Downlink: [][]traffic.Arrival{burst},
+		}
+	}
+	legacy, err := Run(mk(Legacy80211))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ampdu, err := Run(mk(AMPDU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ampdu.Delivered < legacy.Delivered {
+		t.Error("A-MPDU delivered less than legacy")
+	}
+	if ampdu.APTransmissions >= legacy.APTransmissions {
+		t.Errorf("A-MPDU used %d acquisitions vs legacy %d",
+			ampdu.APTransmissions, legacy.APTransmissions)
+	}
+}

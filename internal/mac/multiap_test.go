@@ -1,0 +1,109 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"carpool/internal/traffic"
+)
+
+func TestTwoAPsShareTheChannel(t *testing.T) {
+	// The paper's simulation topology: two APs in one carrier-sense range.
+	// Stations split between them; both must deliver.
+	cfg := cbrScenario(t, Carpool, 20, 81)
+	cfg.NumAPs = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered with two APs")
+	}
+	// Every station is served: stations of AP 0 (even) and AP 1 (odd).
+	evenBytes, oddBytes := 0.0, 0.0
+	for i, r := range res.PerSTAGoodputMbps {
+		if i%2 == 0 {
+			evenBytes += r
+		} else {
+			oddBytes += r
+		}
+	}
+	if evenBytes == 0 || oddBytes == 0 {
+		t.Errorf("one AP starved: even %.2f, odd %.2f Mbit/s", evenBytes, oddBytes)
+	}
+}
+
+func TestTwoAPsCarpoolStillBeatsLegacy(t *testing.T) {
+	mk := func(p Protocol) Config {
+		cfg := cbrScenario(t, p, 24, 83)
+		cfg.NumAPs = 2
+		return cfg
+	}
+	legacy, err := Run(mk(Legacy80211))
+	if err != nil {
+		t.Fatal(err)
+	}
+	carpool, err := Run(mk(Carpool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carpool.DownlinkGoodputMbps < 2*legacy.DownlinkGoodputMbps {
+		t.Errorf("with two APs, Carpool %.2f not >= 2x legacy %.2f",
+			carpool.DownlinkGoodputMbps, legacy.DownlinkGoodputMbps)
+	}
+}
+
+func TestNumAPsValidation(t *testing.T) {
+	if _, err := Run(Config{Protocol: Carpool, NumSTAs: 2, Duration: time.Second,
+		NumAPs: 5}); err == nil {
+		t.Error("accepted more APs than STAs")
+	}
+	if _, err := Run(Config{Protocol: Carpool, NumSTAs: 2, Duration: time.Second,
+		NumAPs: -1}); err == nil {
+		t.Error("accepted negative AP count")
+	}
+}
+
+func TestSingleAPUnchangedByRefactor(t *testing.T) {
+	// NumAPs zero and one are the same configuration.
+	a, err := Run(cbrScenario(t, AMPDU, 10, 85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cbrScenario(t, AMPDU, 10, 85)
+	cfg.NumAPs = 1
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.DownlinkGoodputMbps != b.DownlinkGoodputMbps {
+		t.Error("explicit NumAPs=1 diverged from the default")
+	}
+}
+
+func TestTwoAPsAggregateIndependently(t *testing.T) {
+	// A Carpool AP may only aggregate frames from its own queue: with
+	// stations 0..3 on AP0 and 4..7 on AP1 (round robin: even/odd), no
+	// subframe may mix stations across APs. Verified indirectly: drive
+	// only odd stations and check AP0 never transmits.
+	const n = 8
+	down := make([][]traffic.Arrival, n)
+	for i := 1; i < n; i += 2 {
+		down[i] = []traffic.Arrival{{Time: 0, Size: 200}, {Time: 0, Size: 200}}
+	}
+	res, err := Run(Config{
+		Protocol: Carpool, NumSTAs: n, NumAPs: 2, Duration: 100 * time.Millisecond,
+		Seed: 87, Downlink: down,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 2 {
+		if res.PerSTAGoodputMbps[i] != 0 {
+			t.Errorf("even station %d received traffic that belongs to AP1's stations", i)
+		}
+	}
+	if res.Delivered != n/2*2 {
+		t.Errorf("delivered %d frames, want %d", res.Delivered, n)
+	}
+}

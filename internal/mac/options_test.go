@@ -1,0 +1,189 @@
+package mac
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimultaneousACKHurtsCarpool(t *testing.T) {
+	// The §4.2 ablation: without sequential ACKs, multi-receiver frames
+	// lose most of their confirmations to ACK collisions.
+	seq, err := Run(cbrScenario(t, Carpool, 25, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cbrScenario(t, Carpool, 25, 41)
+	cfg.SimultaneousACK = true
+	sim, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.DownlinkGoodputMbps >= seq.DownlinkGoodputMbps {
+		t.Errorf("simultaneous ACK %.2f Mbps not below sequential %.2f",
+			sim.DownlinkGoodputMbps, seq.DownlinkGoodputMbps)
+	}
+	if sim.Retries <= seq.Retries {
+		t.Errorf("simultaneous ACK retries %d not above sequential %d",
+			sim.Retries, seq.Retries)
+	}
+}
+
+func TestSimultaneousACKNoEffectOnSingleReceiver(t *testing.T) {
+	// With one receiver per frame there is nothing to collide.
+	base, err := Run(cbrScenario(t, Legacy80211, 10, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cbrScenario(t, Legacy80211, 10, 43)
+	cfg.SimultaneousACK = true
+	same, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Delivered != same.Delivered {
+		t.Errorf("single-receiver delivery changed: %d vs %d", base.Delivered, same.Delivered)
+	}
+}
+
+func TestRTSCTSCostsAirtime(t *testing.T) {
+	// RTS/CTS shields hidden terminals at an airtime cost; with everyone
+	// in carrier-sense range (this simulator's topology) it can only
+	// reduce goodput.
+	plain, err := Run(cbrScenario(t, Carpool, 25, 47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cbrScenario(t, Carpool, 25, 47)
+	cfg.UseRTSCTS = true
+	shielded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shielded.BusyTime <= plain.BusyTime &&
+		shielded.DownlinkGoodputMbps >= plain.DownlinkGoodputMbps {
+		t.Error("RTS/CTS cost no airtime")
+	}
+	// The protection must not break delivery outright.
+	if shielded.DownlinkGoodputMbps < plain.DownlinkGoodputMbps/2 {
+		t.Errorf("RTS/CTS goodput %.2f collapsed vs %.2f",
+			shielded.DownlinkGoodputMbps, plain.DownlinkGoodputMbps)
+	}
+}
+
+func TestAMSDUTapersUnderContention(t *testing.T) {
+	// The single-FCS baseline loses whole aggregates as they grow — the
+	// paper's Fig. 15 taper. Compare against per-MPDU A-MPDU on the same
+	// biased channel.
+	mk := func(proto Protocol) Config {
+		cfg := cbrScenario(t, proto, 25, 53)
+		cfg.Oracle = NewBiasedOracle(0.004, 53)
+		return cfg
+	}
+	ampdu, err := Run(mk(AMPDU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	amsdu, err := Run(mk(AMSDU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amsdu.DownlinkGoodputMbps >= ampdu.DownlinkGoodputMbps {
+		t.Errorf("A-MSDU %.2f Mbps not below A-MPDU %.2f under BER bias",
+			amsdu.DownlinkGoodputMbps, ampdu.DownlinkGoodputMbps)
+	}
+}
+
+func TestPlanAMSDUCeiling(t *testing.T) {
+	s := &simulator{cfg: Config{Protocol: AMSDU, NumSTAs: 1, NumAPs: 1,
+		Rates: DefaultRates(), MaxAggBytes: 64 << 10}, aps: make([]apState, 1)}
+	for i := 0; i < 20; i++ {
+		s.aps[0].queue = append(s.aps[0].queue, frame{sta: 0, size: 1400})
+	}
+	plan := s.buildAPPlan(&s.aps[0])
+	if plan == nil || len(plan.subs) != 1 {
+		t.Fatal("no plan")
+	}
+	total := 0
+	for _, f := range plan.subs[0].frames {
+		total += f.size
+	}
+	if total > AMSDUMaxBytes {
+		t.Errorf("aggregate %d bytes exceeds the %d ceiling", total, AMSDUMaxBytes)
+	}
+	if !plan.subs[0].sharedFate {
+		t.Error("A-MSDU subframe must be shared-fate")
+	}
+	if len(s.aps[0].queue) != 20-len(plan.subs[0].frames) {
+		t.Error("queue accounting wrong")
+	}
+}
+
+func TestCarpoolFairness(t *testing.T) {
+	// §8: FIFO aggregation serves every station; Jain's index over
+	// per-station goodput should be near 1 when all stations are offered
+	// identical traffic.
+	res, err := Run(cbrScenario(t, Carpool, 20, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSTAGoodputMbps) != 20 {
+		t.Fatalf("%d per-STA entries", len(res.PerSTAGoodputMbps))
+	}
+	if res.FairnessIndex < 0.9 {
+		t.Errorf("Carpool fairness index %.3f, want >= 0.9", res.FairnessIndex)
+	}
+	var total float64
+	for _, r := range res.PerSTAGoodputMbps {
+		total += r
+	}
+	if diff := total - res.DownlinkGoodputMbps; diff < -0.01 || diff > 0.01 {
+		t.Errorf("per-STA goodput sums to %.3f, aggregate %.3f", total, res.DownlinkGoodputMbps)
+	}
+}
+
+func TestFairnessIndexZeroWhenNothingDelivered(t *testing.T) {
+	res, err := Run(Config{Protocol: Carpool, NumSTAs: 3, Duration: time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FairnessIndex != 0 {
+		t.Errorf("idle network fairness %v, want 0", res.FairnessIndex)
+	}
+}
+
+func TestPlanMultiUserSharedFateSpans(t *testing.T) {
+	s := &simulator{cfg: Config{Protocol: Carpool, NumSTAs: 3, NumAPs: 1,
+		Rates: DefaultRates(), MaxAggBytes: 64 << 10, MaxReceivers: 8}, aps: make([]apState, 1)}
+	s.aps[0].queue = []frame{
+		{sta: 0, size: 120}, {sta: 1, size: 120}, {sta: 0, size: 120}, {sta: 2, size: 500},
+	}
+	plan := s.buildAPPlan(&s.aps[0])
+	if plan == nil || len(plan.subs) != 3 {
+		t.Fatalf("expected 3 subframes, got %+v", plan)
+	}
+	if !plan.rte {
+		t.Error("Carpool plan must use RTE")
+	}
+	for _, sub := range plan.subs {
+		if !sub.sharedFate {
+			t.Error("Carpool subframes are the retransmission unit (shared fate)")
+		}
+		for i := 1; i < len(sub.spans); i++ {
+			if sub.spans[i] != sub.spans[0] {
+				t.Error("frames within a subframe must share its span")
+			}
+		}
+	}
+	// Subframe 1 holds STA 0's two frames, in order.
+	if len(plan.subs[0].frames) != 2 || plan.subs[0].frames[0].sta != 0 {
+		t.Error("FIFO grouping wrong")
+	}
+	// Spans are sequential: each subframe starts after the previous.
+	prevEnd := 0
+	for _, sub := range plan.subs {
+		if sub.spans[0][0] < prevEnd {
+			t.Error("subframe spans overlap")
+		}
+		prevEnd = sub.spans[0][0] + sub.spans[0][1]
+	}
+}

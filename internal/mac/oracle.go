@@ -1,0 +1,92 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"carpool/internal/fec"
+	"carpool/internal/trace"
+)
+
+// DeliveryOracle decides whether a (sub)frame spanning a run of OFDM
+// symbols survives the channel and FEC. Implementations: TraceOracle
+// (trace-driven, the paper's methodology) and FixedOracle (tests).
+type DeliveryOracle interface {
+	// SubframeOK reports delivery of a subframe occupying symbols
+	// [startSym, startSym+numSym) of a frame heard by the station at
+	// location locID, decoded with (rte) or without real-time estimation.
+	SubframeOK(locID int, rte bool, startSym, numSym int) (bool, error)
+}
+
+// TraceOracle adapts a trace.Model. The PHY traces are collected at QAM64
+// rate 2/3 (the closest 802.11a scheme to the paper's 65 Mbit/s 802.11n
+// MCS 7); symbol indices map one-to-one.
+type TraceOracle struct {
+	Model *trace.Model
+}
+
+var _ DeliveryOracle = (*TraceOracle)(nil)
+
+// SubframeOK queries the trace model.
+func (o *TraceOracle) SubframeOK(locID int, rte bool, startSym, numSym int) (bool, error) {
+	est := trace.Standard
+	if rte {
+		est = trace.RTE
+	}
+	return o.Model.SubframeOK(locID, est, startSym, numSym, fec.Rate2_3)
+}
+
+// FixedOracle delivers subframes with a fixed success probability,
+// independent of position — used by unit tests and ideal-channel baselines.
+type FixedOracle struct {
+	// P is the per-subframe success probability (1 = lossless).
+	P   float64
+	rng *rand.Rand
+}
+
+var _ DeliveryOracle = (*FixedOracle)(nil)
+
+// NewFixedOracle validates p and seeds the oracle.
+func NewFixedOracle(p float64, seed int64) (*FixedOracle, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("mac: success probability %v outside [0,1]", p)
+	}
+	return &FixedOracle{P: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// SubframeOK draws one Bernoulli sample.
+func (o *FixedOracle) SubframeOK(int, bool, int, int) (bool, error) {
+	if o.P >= 1 {
+		return true, nil
+	}
+	return o.rng.Float64() < o.P, nil
+}
+
+// BiasedOracle makes later symbol spans fail more — a cheap stand-in for
+// the BER bias when tests want position sensitivity without PHY traces.
+// Failure probability grows linearly with the span midpoint unless rte.
+type BiasedOracle struct {
+	// PerSymbol is the per-symbol failure slope for non-RTE decoding.
+	PerSymbol float64
+	rng       *rand.Rand
+}
+
+var _ DeliveryOracle = (*BiasedOracle)(nil)
+
+// NewBiasedOracle seeds the oracle.
+func NewBiasedOracle(perSymbol float64, seed int64) *BiasedOracle {
+	return &BiasedOracle{PerSymbol: perSymbol, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SubframeOK fails long-tail spans under standard estimation.
+func (o *BiasedOracle) SubframeOK(_ int, rte bool, startSym, numSym int) (bool, error) {
+	if rte {
+		return true, nil
+	}
+	mid := float64(startSym) + float64(numSym)/2
+	pFail := o.PerSymbol * mid
+	if pFail > 1 {
+		pFail = 1
+	}
+	return o.rng.Float64() >= pFail, nil
+}

@@ -1,0 +1,152 @@
+// Package mac implements the trace-driven event-based MAC simulator of the
+// paper's §7.2: a CSMA/CA DCF medium shared by one AP and N stations, with
+// five protocol behaviours — plain IEEE 802.11, 802.11n A-MPDU aggregation,
+// multi-user aggregation without RTE, WiFox downlink prioritization, and
+// Carpool. Frame delivery is decided by the PHY decode traces
+// (internal/trace), mirroring the paper's methodology.
+package mac
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// PHY/MAC parameters of Table 2.
+const (
+	SlotTime  = 9 * time.Microsecond
+	SIFS      = 10 * time.Microsecond
+	DIFS      = 28 * time.Microsecond
+	CWMin     = 15   // slots
+	CWMax     = 1023 // slots
+	PLCPTime  = 28 * time.Microsecond
+	PropDelay = 1 * time.Microsecond
+
+	// SymbolTime is the OFDM symbol duration.
+	SymbolTime = 4 * time.Microsecond
+
+	// Frame overheads in bytes.
+	MACHeaderBytes = 28
+	FCSBytes       = 4
+	ACKBytes       = 14
+	BlockACKBytes  = 32
+	RTSBytes       = 20
+	CTSBytes       = 14
+
+	// AMPDUDelimiterBytes separates MPDUs inside an A-MPDU.
+	AMPDUDelimiterBytes = 4
+
+	// AHDRSymbols is Carpool's aggregation header length.
+	AHDRSymbols = 2
+	// SIGSymbols per Carpool subframe.
+	SIGSymbols = 1
+
+	// DefaultRetryLimit is the 802.11 long retry limit.
+	DefaultRetryLimit = 7
+)
+
+// Rates groups the PHY rates a simulation uses.
+type Rates struct {
+	// DataMbps is the payload rate (65 Mbit/s in the paper's MAC study).
+	DataMbps float64
+	// ControlMbps is the rate for ACK/RTS/CTS and legacy headers.
+	ControlMbps float64
+}
+
+// DefaultRates matches §7.2.2.
+func DefaultRates() Rates { return Rates{DataMbps: 65, ControlMbps: 24} }
+
+// dataBitsPerSymbol returns N_DBPS at a rate (rate Mbit/s x 4 µs).
+func dataBitsPerSymbol(mbps float64) int {
+	return int(math.Round(mbps * 4))
+}
+
+// DataSymbols returns the DATA-field length in OFDM symbols for a MAC
+// payload of the given size: SERVICE(16) + bits + TAIL(6), padded.
+func DataSymbols(payloadBytes int, mbps float64) int {
+	bits := 16 + 8*payloadBytes + 6
+	ndbps := dataBitsPerSymbol(mbps)
+	return (bits + ndbps - 1) / ndbps
+}
+
+// FrameAirtime is the airtime of one MAC frame (header + payload + FCS) at
+// the data rate, including PLCP and propagation.
+func FrameAirtime(payloadBytes int, r Rates) time.Duration {
+	n := DataSymbols(MACHeaderBytes+payloadBytes+FCSBytes, r.DataMbps)
+	return PLCPTime + time.Duration(n)*SymbolTime + PropDelay
+}
+
+// ControlAirtime is the airtime of a control frame at the control rate.
+func ControlAirtime(bytes int, r Rates) time.Duration {
+	n := DataSymbols(bytes, r.ControlMbps)
+	return PLCPTime + time.Duration(n)*SymbolTime + PropDelay
+}
+
+// ACKAirtime is a normal ACK's airtime.
+func ACKAirtime(r Rates) time.Duration { return ControlAirtime(ACKBytes, r) }
+
+// BlockACKAirtime is an 802.11n block ACK's airtime.
+func BlockACKAirtime(r Rates) time.Duration { return ControlAirtime(BlockACKBytes, r) }
+
+// Protocol selects the MAC behaviour under study.
+type Protocol int
+
+// The five protocols of the evaluation.
+const (
+	// Legacy80211 transmits one MAC frame per channel access.
+	Legacy80211 Protocol = iota + 1
+	// AMPDU aggregates queued frames for a single station (802.11n).
+	AMPDU
+	// MUAggregation aggregates frames for multiple stations but decodes
+	// with the standard (preamble-only) channel estimate and lists every
+	// receiver's MAC address in a low-rate PHY header.
+	MUAggregation
+	// WiFox prioritizes the AP's channel access when its queue backs up,
+	// without aggregation.
+	WiFox
+	// Carpool aggregates for multiple stations with the Bloom-filter A-HDR
+	// and decodes with real-time channel estimation.
+	Carpool
+	// AMSDU aggregates queued frames for a single station under one frame
+	// check sequence (802.11n MSDU aggregation): any error loses the whole
+	// aggregate. The paper's VoIP discussion (§7.2.2) describes this
+	// shared-fate behaviour for its single-receiver aggregation baseline.
+	AMSDU
+)
+
+// String names the protocol as it appears in the figures.
+func (p Protocol) String() string {
+	switch p {
+	case Legacy80211:
+		return "802.11"
+	case AMPDU:
+		return "A-MPDU"
+	case MUAggregation:
+		return "MU-Aggregation"
+	case WiFox:
+		return "WiFox"
+	case Carpool:
+		return "Carpool"
+	case AMSDU:
+		return "A-MSDU"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the five protocols.
+func (p Protocol) Valid() bool { return p >= Legacy80211 && p <= AMSDU }
+
+// Protocols lists the paper's five comparison protocols in the figures'
+// order. AMSDU is available separately as a sixth behaviour.
+func Protocols() []Protocol {
+	return []Protocol{Carpool, MUAggregation, AMPDU, Legacy80211, WiFox}
+}
+
+// AllProtocols lists every implemented behaviour, including A-MSDU.
+func AllProtocols() []Protocol {
+	return []Protocol{Carpool, MUAggregation, AMPDU, AMSDU, Legacy80211, WiFox}
+}
+
+// AMSDUMaxBytes is the 802.11n HT A-MSDU size ceiling.
+const AMSDUMaxBytes = 7935

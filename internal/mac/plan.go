@@ -1,0 +1,222 @@
+package mac
+
+import "time"
+
+// buildAPPlan removes the frames of one transmission from the AP queue and
+// lays them out as the protocol's PHY frame, computing per-MPDU symbol
+// spans for the delivery oracle. It returns nil when nothing is sendable.
+func (s *simulator) buildAPPlan(ap *apState) *txPlan {
+	if len(ap.queue) == 0 {
+		return nil
+	}
+	switch s.cfg.Protocol {
+	case Legacy80211, WiFox:
+		return s.planSingle(ap)
+	case AMPDU:
+		return s.planAMPDU(ap)
+	case AMSDU:
+		return s.planAMSDU(ap)
+	case MUAggregation, Carpool:
+		return s.planMultiUser(ap, s.cfg.Protocol == Carpool)
+	default:
+		return nil
+	}
+}
+
+// take removes the frames at the selected queue indices (ascending order).
+func take(ap *apState, selected []int) []frame {
+	out := make([]frame, 0, len(selected))
+	sel := make(map[int]bool, len(selected))
+	for _, i := range selected {
+		sel[i] = true
+		out = append(out, ap.queue[i])
+	}
+	kept := ap.queue[:0]
+	for i, f := range ap.queue {
+		if !sel[i] {
+			kept = append(kept, f)
+		}
+	}
+	ap.queue = kept
+	return out
+}
+
+// mpduSymbols returns the symbol count of one MPDU (header+payload+FCS).
+func (s *simulator) mpduSymbols(size int) int {
+	return DataSymbols(MACHeaderBytes+size+FCSBytes, s.cfg.Rates.DataMbps)
+}
+
+// planSingle sends the head frame alone (802.11 / WiFox).
+func (s *simulator) planSingle(ap *apState) *txPlan {
+	f := take(ap, []int{0})[0]
+	n := s.mpduSymbols(f.size)
+	return &txPlan{
+		subs: []txSub{{
+			sta:    f.sta,
+			frames: []frame{f},
+			spans:  [][2]int{{0, n}},
+		}},
+		airtime: PLCPTime + time.Duration(n)*SymbolTime + PropDelay,
+		ackTime: SIFS + ACKAirtime(s.cfg.Rates),
+	}
+}
+
+// planAMPDU aggregates the head frame's station's whole backlog (802.11n
+// A-MPDU): one receiver, per-MPDU delimiters and spans, one block ACK.
+func (s *simulator) planAMPDU(ap *apState) *txPlan {
+	sta := ap.queue[0].sta
+	var selected []int
+	bytes := 0
+	for i, f := range ap.queue {
+		if f.sta != sta {
+			continue
+		}
+		if bytes+f.size > s.cfg.MaxAggBytes {
+			break
+		}
+		selected = append(selected, i)
+		bytes += f.size
+	}
+	frames := take(ap, selected)
+	sub := txSub{sta: sta}
+	ndbps := dataBitsPerSymbol(s.cfg.Rates.DataMbps)
+	cumBits := 16 // SERVICE
+	for _, f := range frames {
+		bits := 8 * (AMPDUDelimiterBytes + MACHeaderBytes + f.size + FCSBytes)
+		start := cumBits / ndbps
+		cumBits += bits
+		end := (cumBits + ndbps - 1) / ndbps
+		sub.frames = append(sub.frames, f)
+		sub.spans = append(sub.spans, [2]int{start, end - start})
+	}
+	totalSym := (cumBits + 6 + ndbps - 1) / ndbps
+	return &txPlan{
+		subs:    []txSub{sub},
+		airtime: PLCPTime + time.Duration(totalSym)*SymbolTime + PropDelay,
+		ackTime: SIFS + BlockACKAirtime(s.cfg.Rates),
+	}
+}
+
+// planAMSDU aggregates the head station's backlog under a single frame
+// check sequence (802.11n A-MSDU, 7935-byte ceiling): one span covers the
+// whole aggregate and one bad symbol group loses every contained frame.
+func (s *simulator) planAMSDU(ap *apState) *txPlan {
+	sta := ap.queue[0].sta
+	var selected []int
+	bytes := 0
+	cap := min(s.cfg.MaxAggBytes, AMSDUMaxBytes)
+	for i, f := range ap.queue {
+		if f.sta != sta {
+			continue
+		}
+		if bytes+f.size > cap {
+			break
+		}
+		selected = append(selected, i)
+		bytes += f.size
+	}
+	frames := take(ap, selected)
+	// One MAC header + per-MSDU subheaders (14 bytes each) + one FCS.
+	total := MACHeaderBytes + FCSBytes
+	for _, f := range frames {
+		total += 14 + f.size
+	}
+	nsym := DataSymbols(total, s.cfg.Rates.DataMbps)
+	sub := txSub{sta: sta, sharedFate: true}
+	for _, f := range frames {
+		sub.frames = append(sub.frames, f)
+		sub.spans = append(sub.spans, [2]int{0, nsym})
+	}
+	return &txPlan{
+		subs:    []txSub{sub},
+		airtime: PLCPTime + time.Duration(nsym)*SymbolTime + PropDelay,
+		ackTime: SIFS + ACKAirtime(s.cfg.Rates),
+	}
+}
+
+// planMultiUser aggregates the FIFO backlog across up to MaxReceivers
+// stations (§4.1): Carpool pays a 2-symbol A-HDR plus one SIG per subframe
+// and decodes with RTE; MU-Aggregation pays one 48-bit MAC address per
+// receiver at the control rate and decodes with the standard estimate.
+// Both return one ACK slot per receiver (sequential ACK, §4.2).
+func (s *simulator) planMultiUser(ap *apState, carpool bool) *txPlan {
+	staSlot := make(map[int]int)
+	var groups [][]int // queue indices per subframe
+	bytes := 0
+	for i, f := range ap.queue {
+		slot, seen := staSlot[f.sta]
+		if !seen && len(groups) == s.cfg.MaxReceivers {
+			continue
+		}
+		if bytes+f.size > s.cfg.MaxAggBytes {
+			break
+		}
+		if !seen {
+			slot = len(groups)
+			staSlot[f.sta] = slot
+			groups = append(groups, nil)
+		}
+		groups[slot] = append(groups[slot], i)
+		bytes += f.size
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	var selected []int
+	for _, g := range groups {
+		selected = append(selected, g...)
+	}
+	// take() requires ascending indices; groups preserve FIFO within a
+	// subframe but interleave across subframes, so sort.
+	sortInts(selected)
+	taken := take(ap, selected)
+	byIdx := make(map[int]frame, len(taken))
+	for j, i := range selected {
+		byIdx[i] = taken[j]
+	}
+
+	plan := &txPlan{rte: carpool}
+	ndbps := dataBitsPerSymbol(s.cfg.Rates.DataMbps)
+	cursor := 0
+	if carpool {
+		cursor = AHDRSymbols
+	} else {
+		// Explicit receiver list at the control rate (the §3 overhead
+		// example: 48 bits per receiver).
+		hdrBits := 48 * len(groups)
+		cursor = (hdrBits + dataBitsPerSymbol(s.cfg.Rates.ControlMbps) - 1) /
+			dataBitsPerSymbol(s.cfg.Rates.ControlMbps)
+	}
+	for _, g := range groups {
+		// One FCS and one sequential-ACK slot per subframe: the subframe
+		// is the retransmission unit, so every contained frame shares the
+		// whole subframe's symbol span and fate (§4.2).
+		sub := txSub{sta: byIdx[g[0]].sta, sharedFate: true}
+		if carpool {
+			cursor += SIGSymbols
+		}
+		cumBits := 16
+		for _, i := range g {
+			f := byIdx[i]
+			cumBits += 8 * (MACHeaderBytes + f.size + FCSBytes)
+			sub.frames = append(sub.frames, f)
+		}
+		subSyms := (cumBits + 6 + ndbps - 1) / ndbps
+		for range sub.frames {
+			sub.spans = append(sub.spans, [2]int{cursor, subSyms})
+		}
+		cursor += subSyms
+		plan.subs = append(plan.subs, sub)
+	}
+	plan.airtime = PLCPTime + time.Duration(cursor)*SymbolTime + PropDelay
+	plan.ackTime = time.Duration(len(plan.subs)) * (SIFS + ACKAirtime(s.cfg.Rates))
+	return plan
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

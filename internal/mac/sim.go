@@ -1,0 +1,665 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"carpool/internal/stats"
+	"carpool/internal/traffic"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Protocol Protocol
+	// NumSTAs is the number of stations associated with the AP(s).
+	NumSTAs int
+	// NumAPs is the number of access points sharing the carrier-sense
+	// range (the paper's simulation uses two). Station i associates with
+	// AP i mod NumAPs. Zero selects 1.
+	NumAPs int
+	// Duration of simulated time.
+	Duration time.Duration
+	Seed     int64
+	// Rates: zero value selects DefaultRates().
+	Rates Rates
+	// MaxAggBytes caps one aggregate's total payload (default 64 KiB).
+	MaxAggBytes int
+	// MaxReceivers caps Carpool/MU-Aggregation destinations (default 8).
+	MaxReceivers int
+	// MaxLatency, when nonzero, drops downlink frames that waited longer
+	// (the latency requirement of Fig. 17a).
+	MaxLatency time.Duration
+	// RetryLimit per frame (default 7).
+	RetryLimit int
+	// QueueCap bounds each queue in frames (default 300); overflow drops.
+	QueueCap int
+	// Downlink[i] and Uplink[i] are station i's traffic.
+	Downlink [][]traffic.Arrival
+	Uplink   [][]traffic.Arrival
+	// Oracle decides PHY delivery; nil is lossless.
+	Oracle DeliveryOracle
+	// STALocations[i] is station i's trace location ID (nil: all zero).
+	STALocations []int
+	// WiFoxBacklogThreshold switches the AP to high priority (default 10).
+	WiFoxBacklogThreshold int
+	// SaturatedUplink models every station as always having an uplink
+	// frame pending (the Bianchi saturation assumption the paper's MAC
+	// emulation leans on): stations contend in every round, which is what
+	// starves a fair-DCF AP in large audience environments. Uplink frames
+	// sent this way carry UplinkSaturationBytes and count only toward
+	// uplink goodput.
+	SaturatedUplink bool
+	// UplinkSaturationBytes sizes synthetic saturated-uplink frames
+	// (default 120, VoIP-sized).
+	UplinkSaturationBytes int
+	// SimultaneousACK ablates §4.2's sequential ACK: all receivers of a
+	// multi-receiver frame answer in the same SIFS slot, so with more than
+	// one receiver the ACKs collide and the AP — hearing at most one
+	// captured ACK — must retransmit everyone else's subframes.
+	SimultaneousACK bool
+	// UseRTSCTS protects AP transmissions with the multicast RTS / CTS
+	// train of §4.2 (Fig. 7): one RTS carrying the A-HDR, then one CTS per
+	// receiver separated by SIFS. It costs airtime up front but would
+	// shield against hidden terminals.
+	UseRTSCTS bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if !c.Protocol.Valid() {
+		return c, fmt.Errorf("mac: invalid protocol %v", c.Protocol)
+	}
+	if c.NumSTAs < 1 {
+		return c, fmt.Errorf("mac: need at least one STA, got %d", c.NumSTAs)
+	}
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("mac: non-positive duration %v", c.Duration)
+	}
+	if c.Rates == (Rates{}) {
+		c.Rates = DefaultRates()
+	}
+	if c.MaxAggBytes == 0 {
+		c.MaxAggBytes = 64 << 10
+	}
+	if c.MaxReceivers == 0 {
+		c.MaxReceivers = 8
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = DefaultRetryLimit
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 300
+	}
+	if c.WiFoxBacklogThreshold == 0 {
+		c.WiFoxBacklogThreshold = 10
+	}
+	if c.UplinkSaturationBytes == 0 {
+		c.UplinkSaturationBytes = 120
+	}
+	if c.NumAPs == 0 {
+		c.NumAPs = 1
+	}
+	if c.NumAPs < 0 || c.NumAPs > c.NumSTAs {
+		return c, fmt.Errorf("mac: NumAPs %d outside 1..NumSTAs", c.NumAPs)
+	}
+	if len(c.Downlink) > c.NumSTAs || len(c.Uplink) > c.NumSTAs {
+		return c, fmt.Errorf("mac: traffic for %d/%d STAs exceeds NumSTAs %d",
+			len(c.Downlink), len(c.Uplink), c.NumSTAs)
+	}
+	if c.STALocations != nil && len(c.STALocations) < c.NumSTAs {
+		return c, fmt.Errorf("mac: %d locations for %d STAs", len(c.STALocations), c.NumSTAs)
+	}
+	return c, nil
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Protocol Protocol
+	// DownlinkGoodputMbps counts delivered downlink payload bits per
+	// second of simulated time; UplinkGoodputMbps likewise.
+	DownlinkGoodputMbps float64
+	UplinkGoodputMbps   float64
+	// MeanDelay is the mean queueing+service delay of delivered downlink
+	// frames; P95Delay the 95th percentile.
+	MeanDelay time.Duration
+	P95Delay  time.Duration
+	// Delivered / Dropped / Expired count downlink frames: dropped ones
+	// hit the retry limit or a full queue; expired ones exceeded
+	// MaxLatency before transmission.
+	Delivered, Dropped, Expired int
+	// Collisions counts collision events; APTransmissions and
+	// STATransmissions successful channel acquisitions.
+	Collisions, APTransmissions, STATransmissions int
+	Retries                                       int
+	// BusyTime is total channel occupancy (data + ACKs).
+	BusyTime time.Duration
+	// PerSTAGoodputMbps is each station's delivered downlink rate, and
+	// FairnessIndex the Jain index over those rates (1 = perfectly fair):
+	// the §8 fairness discussion notes Carpool's FIFO serves stations
+	// evenly while starvation shows up as a low index.
+	PerSTAGoodputMbps []float64
+	FairnessIndex     float64
+	// Energy-accounting inputs (§8): per-station airtime by role.
+	APTxTime     time.Duration
+	STATxTime    []time.Duration
+	STARxOwnTime []time.Duration
+	STAOverhear  []time.Duration
+}
+
+// frame is one queued MAC frame.
+type frame struct {
+	sta     int
+	size    int
+	arrival time.Duration
+	retries int
+}
+
+// txSub is one receiver's share of a planned transmission.
+type txSub struct {
+	sta    int
+	frames []frame
+	// spans[i] is the symbol range of frames[i] within the whole PHY
+	// frame, for the delivery oracle.
+	spans [][2]int
+	// sharedFate marks a subframe protected by a single FCS (A-MSDU): one
+	// oracle draw decides every contained frame.
+	sharedFate bool
+}
+
+// txPlan is one AP transmission.
+type txPlan struct {
+	subs    []txSub
+	airtime time.Duration
+	ackTime time.Duration
+	rte     bool
+}
+
+// apState is one access point's queue and contention state.
+type apState struct {
+	queue   []frame
+	cw      int
+	backoff int
+	pending bool
+}
+
+type simulator struct {
+	cfg    Config
+	rng    *rand.Rand
+	oracle DeliveryOracle
+	now    time.Duration
+
+	// Per-AP downlink state; perSTACnt caps each station's backlog.
+	aps       []apState
+	perSTACnt []int
+	// Uplink queues.
+	upQueues [][]frame
+	staCW    []int
+	staBkoff []int
+	staPend  []bool
+	// Arrival cursors.
+	dIdx, uIdx []int
+
+	res         Result
+	delays      []float64
+	delaySum    time.Duration
+	downBytes   int64
+	upBytes     int64
+	perSTABytes []int64
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	oracle := cfg.Oracle
+	if oracle == nil {
+		oracle, err = NewFixedOracle(1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &simulator{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		oracle:      oracle,
+		aps:         make([]apState, cfg.NumAPs),
+		perSTACnt:   make([]int, cfg.NumSTAs),
+		upQueues:    make([][]frame, cfg.NumSTAs),
+		staCW:       make([]int, cfg.NumSTAs),
+		staBkoff:    make([]int, cfg.NumSTAs),
+		staPend:     make([]bool, cfg.NumSTAs),
+		dIdx:        make([]int, cfg.NumSTAs),
+		uIdx:        make([]int, cfg.NumSTAs),
+		perSTABytes: make([]int64, cfg.NumSTAs),
+	}
+	for a := range s.aps {
+		s.aps[a].cw = CWMin
+	}
+	for i := range s.staCW {
+		s.staCW[i] = CWMin
+	}
+	s.res = Result{
+		Protocol:     cfg.Protocol,
+		STATxTime:    make([]time.Duration, cfg.NumSTAs),
+		STARxOwnTime: make([]time.Duration, cfg.NumSTAs),
+		STAOverhear:  make([]time.Duration, cfg.NumSTAs),
+	}
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	s.finish()
+	return &s.res, nil
+}
+
+// apOf returns the AP a station associates with.
+func (s *simulator) apOf(sta int) int { return sta % s.cfg.NumAPs }
+
+func (s *simulator) locOf(sta int) int {
+	if s.cfg.STALocations == nil {
+		return 0
+	}
+	return s.cfg.STALocations[sta]
+}
+
+// ingest moves arrivals at or before now into the queues.
+func (s *simulator) ingest() {
+	for sta := 0; sta < s.cfg.NumSTAs; sta++ {
+		if sta < len(s.cfg.Downlink) {
+			flow := s.cfg.Downlink[sta]
+			for s.dIdx[sta] < len(flow) && flow[s.dIdx[sta]].Time <= s.now {
+				a := flow[s.dIdx[sta]]
+				s.dIdx[sta]++
+				if s.perSTACnt[sta] >= s.cfg.QueueCap {
+					s.res.Dropped++
+					continue
+				}
+				s.perSTACnt[sta]++
+				ap := &s.aps[s.apOf(sta)]
+				ap.queue = append(ap.queue, frame{sta: sta, size: a.Size, arrival: a.Time})
+			}
+		}
+		if sta < len(s.cfg.Uplink) {
+			flow := s.cfg.Uplink[sta]
+			for s.uIdx[sta] < len(flow) && flow[s.uIdx[sta]].Time <= s.now {
+				a := flow[s.uIdx[sta]]
+				s.uIdx[sta]++
+				if len(s.upQueues[sta]) >= s.cfg.QueueCap {
+					continue // uplink overflow is not a downlink metric
+				}
+				s.upQueues[sta] = append(s.upQueues[sta], frame{sta: sta, size: a.Size, arrival: a.Time})
+			}
+		}
+	}
+}
+
+// nextArrival returns the earliest future arrival.
+func (s *simulator) nextArrival() (time.Duration, bool) {
+	best := time.Duration(-1)
+	consider := func(t time.Duration) {
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	for sta := 0; sta < s.cfg.NumSTAs; sta++ {
+		if sta < len(s.cfg.Downlink) && s.dIdx[sta] < len(s.cfg.Downlink[sta]) {
+			consider(s.cfg.Downlink[sta][s.dIdx[sta]].Time)
+		}
+		if sta < len(s.cfg.Uplink) && s.uIdx[sta] < len(s.cfg.Uplink[sta]) {
+			consider(s.cfg.Uplink[sta][s.uIdx[sta]].Time)
+		}
+	}
+	return best, best >= 0
+}
+
+// expireAPQueues drops downlink frames older than MaxLatency.
+func (s *simulator) expireAPQueues() {
+	if s.cfg.MaxLatency <= 0 {
+		return
+	}
+	for a := range s.aps {
+		ap := &s.aps[a]
+		kept := ap.queue[:0]
+		for _, f := range ap.queue {
+			if s.now-f.arrival > s.cfg.MaxLatency {
+				s.perSTACnt[f.sta]--
+				s.res.Expired++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		ap.queue = kept
+	}
+}
+
+func (s *simulator) apCWForDraw(ap *apState) int {
+	if s.cfg.Protocol != WiFox {
+		return ap.cw
+	}
+	// WiFox: adaptive priority — the more backlogged the AP, the smaller
+	// its contention window. The levels are moderate (CW 7 and 5 rather
+	// than near-zero) to mirror WiFox's design goal of boosting the AP
+	// without starving uplink stations.
+	backlog := len(ap.queue)
+	switch {
+	case backlog > 4*s.cfg.WiFoxBacklogThreshold:
+		return 5
+	case backlog > s.cfg.WiFoxBacklogThreshold:
+		return 7
+	default:
+		return ap.cw
+	}
+}
+
+func (s *simulator) loop() error {
+	for s.now < s.cfg.Duration {
+		s.ingest()
+		s.expireAPQueues()
+
+		anyAP := false
+		for a := range s.aps {
+			ap := &s.aps[a]
+			has := len(ap.queue) > 0
+			if has && !ap.pending {
+				ap.backoff = s.rng.Intn(s.apCWForDraw(ap) + 1)
+				ap.pending = true
+			}
+			if !has {
+				ap.pending = false
+			}
+			anyAP = anyAP || has
+		}
+		anySTA := false
+		for sta := 0; sta < s.cfg.NumSTAs; sta++ {
+			has := len(s.upQueues[sta]) > 0 || s.cfg.SaturatedUplink
+			if has && !s.staPend[sta] {
+				s.staBkoff[sta] = s.rng.Intn(s.staCW[sta] + 1)
+				s.staPend[sta] = true
+			}
+			if !has {
+				s.staPend[sta] = false
+			}
+			anySTA = anySTA || has
+		}
+
+		if !anyAP && !anySTA {
+			t, ok := s.nextArrival()
+			if !ok {
+				return nil
+			}
+			if t >= s.cfg.Duration {
+				s.now = s.cfg.Duration
+				return nil
+			}
+			s.now = t
+			continue
+		}
+
+		// Contention: the minimum backoff wins after DIFS + slots.
+		minB := -1
+		for a := range s.aps {
+			if s.aps[a].pending && (minB < 0 || s.aps[a].backoff < minB) {
+				minB = s.aps[a].backoff
+			}
+		}
+		for sta := 0; sta < s.cfg.NumSTAs; sta++ {
+			if s.staPend[sta] && (minB < 0 || s.staBkoff[sta] < minB) {
+				minB = s.staBkoff[sta]
+			}
+		}
+		s.now += DIFS + time.Duration(minB)*SlotTime
+
+		var apWinners []int
+		for a := range s.aps {
+			if s.aps[a].pending {
+				if s.aps[a].backoff == minB {
+					apWinners = append(apWinners, a)
+				} else {
+					s.aps[a].backoff -= minB
+				}
+			}
+		}
+		var staWinners []int
+		for sta := 0; sta < s.cfg.NumSTAs; sta++ {
+			if s.staPend[sta] {
+				if s.staBkoff[sta] == minB {
+					staWinners = append(staWinners, sta)
+				} else {
+					s.staBkoff[sta] -= minB
+				}
+			}
+		}
+
+		nWinners := len(staWinners) + len(apWinners)
+		switch {
+		case nWinners == 1 && len(apWinners) == 1:
+			if err := s.apTransmit(apWinners[0]); err != nil {
+				return err
+			}
+		case nWinners == 1:
+			if err := s.staTransmit(staWinners[0]); err != nil {
+				return err
+			}
+		default:
+			s.collision(apWinners, staWinners)
+		}
+	}
+	return nil
+}
+
+// collision occupies the channel for the longest colliding frame plus an
+// ACK timeout, doubles every collider's window and redraws backoffs.
+func (s *simulator) collision(apWinners, staWinners []int) {
+	s.res.Collisions++
+	longest := time.Duration(0)
+	for _, a := range apWinners {
+		ap := &s.aps[a]
+		// Compute the collided frame's airtime without consuming the
+		// queue: the AP retries the same frames after backoff.
+		saved := append([]frame(nil), ap.queue...)
+		plan := s.buildAPPlan(ap)
+		ap.queue = saved
+		if plan != nil && plan.airtime > longest {
+			longest = plan.airtime
+		}
+		ap.cw = min(2*ap.cw+1, CWMax)
+		ap.backoff = s.rng.Intn(s.apCWForDraw(ap) + 1)
+	}
+	for _, sta := range staWinners {
+		size := s.cfg.UplinkSaturationBytes
+		if len(s.upQueues[sta]) > 0 {
+			size = s.upQueues[sta][0].size
+		}
+		if a := FrameAirtime(size, s.cfg.Rates); a > longest {
+			longest = a
+		}
+		s.staCW[sta] = min(2*s.staCW[sta]+1, CWMax)
+		s.staBkoff[sta] = s.rng.Intn(s.staCW[sta] + 1)
+	}
+	occupancy := longest + SIFS + ACKAirtime(s.cfg.Rates) // ACK timeout
+	s.now += occupancy
+	s.res.BusyTime += occupancy
+	s.res.Retries++
+}
+
+// staTransmit sends one uplink frame.
+func (s *simulator) staTransmit(sta int) error {
+	q := s.upQueues[sta]
+	synthetic := len(q) == 0 // saturated-uplink filler frame
+	var f frame
+	if synthetic {
+		f = frame{sta: sta, size: s.cfg.UplinkSaturationBytes, arrival: s.now}
+	} else {
+		f = q[0]
+	}
+	airtime := FrameAirtime(f.size, s.cfg.Rates)
+	nsym := DataSymbols(MACHeaderBytes+f.size+FCSBytes, s.cfg.Rates.DataMbps)
+	ok, err := s.oracle.SubframeOK(s.locOf(sta), false, 0, nsym)
+	if err != nil {
+		return err
+	}
+	occupancy := airtime + SIFS + ACKAirtime(s.cfg.Rates)
+	s.now += occupancy
+	s.res.BusyTime += occupancy
+	s.res.STATransmissions++
+	s.res.STATxTime[sta] += airtime
+
+	switch {
+	case ok && synthetic:
+		s.upBytes += int64(f.size)
+		s.staCW[sta] = CWMin
+	case ok:
+		s.upQueues[sta] = q[1:]
+		s.upBytes += int64(f.size)
+		s.staCW[sta] = CWMin
+	case synthetic:
+		s.res.Retries++
+		s.staCW[sta] = min(2*s.staCW[sta]+1, CWMax)
+	default:
+		f.retries++
+		s.res.Retries++
+		if f.retries > s.cfg.RetryLimit {
+			s.upQueues[sta] = q[1:]
+		} else {
+			q[0] = f
+		}
+		s.staCW[sta] = min(2*s.staCW[sta]+1, CWMax)
+	}
+	s.staPend[sta] = false
+	return nil
+}
+
+// apTransmit builds the protocol's plan, transmits it, applies the oracle
+// per subframe span, and requeues failures.
+func (s *simulator) apTransmit(apIdx int) error {
+	ap := &s.aps[apIdx]
+	plan := s.buildAPPlan(ap)
+	if plan == nil {
+		ap.pending = false
+		return nil
+	}
+	if s.cfg.SimultaneousACK && len(plan.subs) > 1 {
+		// All ACKs share one slot (and collide there).
+		plan.ackTime = SIFS + ACKAirtime(s.cfg.Rates)
+	}
+	occupancy := plan.airtime + plan.ackTime
+	if s.cfg.UseRTSCTS {
+		// RTS (with A-HDR for multi-receiver frames) + one CTS per
+		// receiver + the SIFS gaps (Fig. 7).
+		rts := ControlAirtime(RTSBytes, s.cfg.Rates)
+		if len(plan.subs) > 1 {
+			rts += AHDRSymbols * SymbolTime
+		}
+		occupancy += rts + time.Duration(len(plan.subs))*(SIFS+ControlAirtime(CTSBytes, s.cfg.Rates)) + SIFS
+	}
+	s.now += occupancy
+	s.res.BusyTime += occupancy
+	s.res.APTransmissions++
+	s.res.APTxTime += plan.airtime
+
+	inPlan := make(map[int]bool, len(plan.subs))
+	for _, sub := range plan.subs {
+		inPlan[sub.sta] = true
+	}
+	for sta := 0; sta < s.cfg.NumSTAs; sta++ {
+		if inPlan[sta] {
+			s.res.STARxOwnTime[sta] += plan.airtime
+		} else {
+			s.res.STAOverhear[sta] += plan.airtime
+		}
+	}
+
+	// Sequential-ACK ablation: with simultaneous ACKs and multiple
+	// receivers, the AP captures at most one ACK; all other subframes are
+	// treated as unconfirmed and retransmitted.
+	captured := -1
+	if s.cfg.SimultaneousACK && len(plan.subs) > 1 {
+		captured = s.rng.Intn(len(plan.subs))
+	}
+
+	anySuccess := false
+	var requeue []frame
+	for subIdx, sub := range plan.subs {
+		loc := s.locOf(sub.sta)
+		sharedOK := false
+		if sub.sharedFate && len(sub.frames) > 0 {
+			var err error
+			sharedOK, err = s.oracle.SubframeOK(loc, plan.rte, sub.spans[0][0], sub.spans[0][1])
+			if err != nil {
+				return err
+			}
+		}
+		for i, f := range sub.frames {
+			ok := sharedOK
+			if !sub.sharedFate {
+				var err error
+				ok, err = s.oracle.SubframeOK(loc, plan.rte, sub.spans[i][0], sub.spans[i][1])
+				if err != nil {
+					return err
+				}
+			}
+			if captured >= 0 && subIdx != captured {
+				ok = false // ACK collided; the AP never learns of delivery
+			}
+			if ok {
+				anySuccess = true
+				s.deliver(f)
+				continue
+			}
+			f.retries++
+			s.res.Retries++
+			if f.retries > s.cfg.RetryLimit {
+				s.res.Dropped++
+				s.perSTACnt[f.sta]--
+				continue
+			}
+			requeue = append(requeue, f)
+		}
+	}
+	// Failed frames go back to the queue head, preserving FIFO order.
+	if len(requeue) > 0 {
+		ap.queue = append(requeue, ap.queue...)
+	}
+	if anySuccess {
+		ap.cw = CWMin
+	} else {
+		ap.cw = min(2*ap.cw+1, CWMax)
+	}
+	ap.pending = false
+	return nil
+}
+
+func (s *simulator) deliver(f frame) {
+	s.res.Delivered++
+	s.perSTACnt[f.sta]--
+	s.downBytes += int64(f.size)
+	s.perSTABytes[f.sta] += int64(f.size)
+	d := s.now - f.arrival
+	s.delaySum += d
+	s.delays = append(s.delays, d.Seconds())
+}
+
+func (s *simulator) finish() {
+	dur := s.cfg.Duration.Seconds()
+	s.res.DownlinkGoodputMbps = float64(s.downBytes) * 8 / dur / 1e6
+	s.res.UplinkGoodputMbps = float64(s.upBytes) * 8 / dur / 1e6
+	if s.res.Delivered > 0 {
+		s.res.MeanDelay = s.delaySum / time.Duration(s.res.Delivered)
+		cdf := stats.NewCDF(s.delays)
+		s.res.P95Delay = time.Duration(cdf.Quantile(0.95) * float64(time.Second))
+	}
+	s.res.PerSTAGoodputMbps = make([]float64, s.cfg.NumSTAs)
+	var sum, sumSq float64
+	for i, b := range s.perSTABytes {
+		r := float64(b) * 8 / dur / 1e6
+		s.res.PerSTAGoodputMbps[i] = r
+		sum += r
+		sumSq += r * r
+	}
+	// Jain's index over stations that were offered traffic.
+	n := float64(len(s.cfg.Downlink))
+	if n > 0 && sumSq > 0 {
+		s.res.FairnessIndex = sum * sum / (n * sumSq)
+	}
+}

@@ -1,0 +1,361 @@
+// Package mimo implements the paper's §8 MU-MIMO extension (Fig. 18): a
+// two-antenna Carpool AP aggregates four stations' downlink into a single
+// transmission. Stations are paired into spatial groups — the Bloom filter
+// assigns A and B subframe index 1, C and D index 2 — and each group's two
+// subframes ride simultaneously on two zero-forcing-precoded spatial
+// streams. All four stations share one legacy preamble and one A-HDR; each
+// group has its own VHT-style training field so receivers can estimate
+// their post-precoding effective channels.
+//
+// The implementation reuses the scalar OFDM building blocks: per-subcarrier
+// 2x2 precoding wraps the same 64-point IFFT symbols, and each station's
+// receive path is the standard equalize-and-demap chain against its
+// effective (precoded) channel.
+package mimo
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"carpool/internal/bloom"
+	"carpool/internal/fec"
+	"carpool/internal/modem"
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+)
+
+// NumAntennas is the AP antenna count (and spatial streams per group).
+const NumAntennas = 2
+
+// CSI is one station's frequency response from each AP antenna: CSI[a][k]
+// is the channel from antenna a on FFT bin k. The paper's AP obtains this
+// via standard sounding feedback; the simulator reads it from the channel
+// models ("genie" CSI — see DESIGN.md).
+type CSI [NumAntennas][]complex128
+
+// Validate checks bin counts.
+func (c CSI) Validate() error {
+	for a := range c {
+		if len(c[a]) != ofdm.NumSubcarriers {
+			return fmt.Errorf("mimo: antenna %d CSI has %d bins, want %d",
+				a, len(c[a]), ofdm.NumSubcarriers)
+		}
+	}
+	return nil
+}
+
+// Subframe is one station's share of a MU-MIMO Carpool frame.
+type Subframe struct {
+	Receiver bloom.MAC
+	MCS      phy.MCS
+	Payload  []byte
+	// CSI is the AP's channel knowledge toward this receiver.
+	CSI CSI
+}
+
+// Group pairs two subframes that share a zero-forcing precoder and fly
+// simultaneously on the two spatial streams.
+type Group [NumAntennas]Subframe
+
+// precoder computes the per-subcarrier zero-forcing weights for a group:
+// W[k] = H[k]^-1 with rows of H[k] being each receiver's channel vector,
+// normalized so the total transmit power per subcarrier stays 1.
+func precoder(g Group) ([][NumAntennas][NumAntennas]complex128, error) {
+	for i := range g {
+		if err := g[i].CSI.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][NumAntennas][NumAntennas]complex128, ofdm.NumSubcarriers)
+	for k := 0; k < ofdm.NumSubcarriers; k++ {
+		a := g[0].CSI[0][k]
+		b := g[0].CSI[1][k]
+		c := g[1].CSI[0][k]
+		d := g[1].CSI[1][k]
+		det := a*d - b*c
+		if cmplx.Abs(det) < 1e-9 {
+			// Rank-deficient bin (both users see collinear channels):
+			// fall back to identity; the bin decodes poorly but the frame
+			// survives, matching how a real precoder regularizes.
+			out[k] = [NumAntennas][NumAntennas]complex128{{1, 0}, {0, 1}}
+			continue
+		}
+		inv := [NumAntennas][NumAntennas]complex128{
+			{d / det, -b / det},
+			{-c / det, a / det},
+		}
+		// Normalize columns jointly to unit average TX power.
+		var p float64
+		for r := 0; r < NumAntennas; r++ {
+			for s := 0; s < NumAntennas; s++ {
+				p += real(inv[r][s])*real(inv[r][s]) + imag(inv[r][s])*imag(inv[r][s])
+			}
+		}
+		scale := complex(1, 0)
+		if p > 0 {
+			scale = complex(1/sqrt(p/NumAntennas), 0)
+		}
+		for r := 0; r < NumAntennas; r++ {
+			for s := 0; s < NumAntennas; s++ {
+				inv[r][s] *= scale
+			}
+		}
+		out[k] = inv
+	}
+	return out, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Frame is a built MU-MIMO Carpool frame: one sample stream per antenna.
+type Frame struct {
+	Streams [NumAntennas][]complex128
+	Filter  bloom.Filter
+	Groups  []Group
+	// groupLayout records where each group's training and data symbols
+	// start, in symbols after the A-HDR.
+	layout []groupLayout
+}
+
+// groupLayout locates one group inside the frame.
+type groupLayout struct {
+	trainStart int // absolute symbol index of the 2 VHT training symbols
+	dataStart  int // absolute symbol index of the data run
+	dataSyms   int
+	blocks     [NumAntennas][][]byte
+}
+
+// NumSymbols returns the frame length in OFDM symbols after the preamble.
+func (f *Frame) NumSymbols() int {
+	if len(f.Streams[0]) == 0 {
+		return 0
+	}
+	return (len(f.Streams[0]) - ofdm.PreambleLen) / ofdm.SymbolLen
+}
+
+// trainingPoints returns the known VHT training constellation (the LTF
+// sequence mapped onto the 48 data subcarriers).
+func trainingPoints() []complex128 {
+	pts := make([]complex128, ofdm.NumData)
+	for i, k := range ofdm.DataIndices {
+		pts[i] = complex(ofdm.LTFValue(k), 0)
+	}
+	return pts
+}
+
+// pMatrix is the 2-stream orthogonal training map (VHT-LTF P matrix).
+var pMatrix = [NumAntennas][NumAntennas]complex128{{1, 1}, {1, -1}}
+
+// sigAMCS is the nominal rate field stored in SIG-A symbols (unused by the
+// receiver, which only reads the Length field).
+var sigAMCS = phy.MCS6
+
+// BuildFrame assembles a MU-MIMO Carpool frame from up to four stations in
+// up to two groups. The legacy preamble and A-HDR go out on antenna 0 only
+// (receivers synchronize on them); each group then contributes two training
+// symbols and its precoded data run.
+func BuildFrame(groups []Group, hashes int) (*Frame, error) {
+	if len(groups) == 0 || len(groups) > 2 {
+		return nil, fmt.Errorf("mimo: need 1 or 2 groups, got %d", len(groups))
+	}
+	if hashes == 0 {
+		hashes = bloom.DefaultHashes
+	}
+	// Bloom filter: both members of group i get subframe index i+1
+	// (Fig. 18: "the indices of A,B are 1, and the indices of C,D are 2").
+	var filter bloom.Filter
+	for gi, g := range groups {
+		for _, sf := range g {
+			filter = filter.InsertAt(sf.Receiver, gi+1, hashes)
+		}
+	}
+
+	// Validate subframes and compute each group's padded data length so
+	// the SIG-A fields (below) can announce group boundaries.
+	groupSyms := make([]int, len(groups))
+	for gi, g := range groups {
+		for s := 0; s < NumAntennas; s++ {
+			if len(g[s].Payload) == 0 {
+				return nil, fmt.Errorf("mimo: empty payload in group %d", gi)
+			}
+			if !g[s].MCS.Valid() {
+				return nil, fmt.Errorf("mimo: invalid MCS in group %d", gi)
+			}
+			if n := g[s].MCS.NumSymbols(len(g[s].Payload)); n > groupSyms[gi] {
+				groupSyms[gi] = n
+			}
+		}
+	}
+
+	frame := &Frame{Filter: filter, Groups: groups}
+	preamble := ofdm.GeneratePreamble()
+	ahdr, err := buildAHDRSamples(filter)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < NumAntennas; a++ {
+		frame.Streams[a] = make([]complex128, 0, len(preamble)+len(ahdr))
+		if a == 0 {
+			frame.Streams[a] = append(frame.Streams[a], preamble...)
+			frame.Streams[a] = append(frame.Streams[a], ahdr...)
+		} else {
+			frame.Streams[a] = append(frame.Streams[a], make([]complex128, len(preamble)+len(ahdr))...)
+		}
+	}
+	symIdx := 2 // A-HDR used indices 0,1
+
+	// One robust SIG-A per group, antenna 0 only (the VHT-SIG-A analogue):
+	// its Length field carries the group's padded data-symbol count so any
+	// station can locate any group without touching precoded symbols.
+	for gi := range groups {
+		sigA, err := phy.BuildSIGSymbol(phy.SIG{MCS: sigAMCS, Length: groupSyms[gi]}, symIdx)
+		if err != nil {
+			return nil, err
+		}
+		frame.Streams[0] = append(frame.Streams[0], sigA...)
+		frame.Streams[1] = append(frame.Streams[1], make([]complex128, ofdm.SymbolLen)...)
+		symIdx++
+	}
+
+	train := trainingPoints()
+	for _, g := range groups {
+		w, err := precoder(g)
+		if err != nil {
+			return nil, err
+		}
+		lay := groupLayout{trainStart: symIdx}
+
+		// Two orthogonal training symbols through the precoder.
+		for t := 0; t < NumAntennas; t++ {
+			var perStream [NumAntennas][]complex128
+			for s := 0; s < NumAntennas; s++ {
+				pts := make([]complex128, ofdm.NumData)
+				for i := range pts {
+					pts[i] = train[i] * pMatrix[s][t]
+				}
+				perStream[s] = pts
+			}
+			if err := appendPrecodedSymbol(frame, perStream, w, symIdx); err != nil {
+				return nil, err
+			}
+			symIdx++
+		}
+
+		// One SIG symbol: each stream carries its own subframe's SIG
+		// simultaneously, so every station (member or not) can learn the
+		// group's length and skip over it.
+		var sigPoints [NumAntennas][]complex128
+		for s := 0; s < NumAntennas; s++ {
+			pts, err := phy.BuildSIGPoints(phy.SIG{MCS: g[s].MCS, Length: len(g[s].Payload)})
+			if err != nil {
+				return nil, err
+			}
+			sigPoints[s] = pts
+		}
+		if err := appendPrecodedSymbol(frame, sigPoints, w, symIdx); err != nil {
+			return nil, err
+		}
+		symIdx++
+
+		// Encode both subframes; pad the shorter to the longer run.
+		var blocks [NumAntennas][][]byte
+		maxSyms := 0
+		for s := 0; s < NumAntennas; s++ {
+			b, err := phy.EncodeDataField(g[s].Payload, g[s].MCS, 0x5d)
+			if err != nil {
+				return nil, err
+			}
+			blocks[s] = b
+			if len(b) > maxSyms {
+				maxSyms = len(b)
+			}
+		}
+		lay.dataStart = symIdx
+		lay.dataSyms = maxSyms
+		lay.blocks = blocks
+
+		for n := 0; n < maxSyms; n++ {
+			var perStream [NumAntennas][]complex128
+			for s := 0; s < NumAntennas; s++ {
+				if n < len(blocks[s]) {
+					pts, err := modem.Map(g[s].MCS.Mod, blocks[s][n])
+					if err != nil {
+						return nil, err
+					}
+					perStream[s] = pts
+				} else {
+					perStream[s] = make([]complex128, ofdm.NumData) // padding
+				}
+			}
+			if err := appendPrecodedSymbol(frame, perStream, w, symIdx); err != nil {
+				return nil, err
+			}
+			symIdx++
+		}
+		frame.layout = append(frame.layout, lay)
+	}
+	return frame, nil
+}
+
+// appendPrecodedSymbol maps per-stream data points through the precoder
+// into per-antenna OFDM symbols and appends them to the frame.
+func appendPrecodedSymbol(frame *Frame, perStream [NumAntennas][]complex128,
+	w [][NumAntennas][NumAntennas]complex128, symIdx int) error {
+	var antennaPoints [NumAntennas][]complex128
+	for a := 0; a < NumAntennas; a++ {
+		antennaPoints[a] = make([]complex128, ofdm.NumData)
+	}
+	for i, k := range ofdm.DataIndices {
+		bin := ofdm.Bin(k)
+		for a := 0; a < NumAntennas; a++ {
+			var acc complex128
+			for s := 0; s < NumAntennas; s++ {
+				acc += w[bin][a][s] * perStream[s][i]
+			}
+			antennaPoints[a][i] = acc
+		}
+	}
+	for a := 0; a < NumAntennas; a++ {
+		sym, err := ofdm.AssembleSymbol(antennaPoints[a], symIdx, 0)
+		if err != nil {
+			return err
+		}
+		frame.Streams[a] = append(frame.Streams[a], sym...)
+	}
+	return nil
+}
+
+// buildAHDRSamples reuses the scalar A-HDR construction.
+func buildAHDRSamples(f bloom.Filter) ([]complex128, error) {
+	coded, err := fec.ConvEncode(f.Bits(), fec.Rate1_2)
+	if err != nil {
+		return nil, err
+	}
+	il, err := fec.NewInterleaver(ofdm.NumData, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, 2*ofdm.SymbolLen)
+	for s := 0; s < 2; s++ {
+		block, err := il.Interleave(coded[s*ofdm.NumData : (s+1)*ofdm.NumData])
+		if err != nil {
+			return nil, err
+		}
+		points, err := modem.Map(modem.BPSK, block)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := ofdm.AssembleSymbol(points, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sym...)
+	}
+	return out, nil
+}

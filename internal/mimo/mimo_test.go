@@ -1,0 +1,265 @@
+package mimo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"carpool/internal/bloom"
+	"carpool/internal/channel"
+	"carpool/internal/dsp"
+	"carpool/internal/phy"
+)
+
+// staLink bundles one station's two per-antenna channels and its genie CSI.
+type staLink struct {
+	mac   bloom.MAC
+	paths [NumAntennas]*channel.Model
+	csi   CSI
+}
+
+func newLink(t *testing.T, id byte, seed int64) *staLink {
+	t.Helper()
+	l := &staLink{mac: bloom.MAC{0x02, 0, 0, 0, 0, id}}
+	for a := 0; a < NumAntennas; a++ {
+		ch, err := channel.New(channel.Config{
+			// Noiseless static multipath: test noise is added once, after
+			// the two antenna paths are summed.
+			SNRdB: 300, NumTaps: 2, RicianK: 4, TapDecay: 2,
+			Seed: seed*10 + int64(a),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.paths[a] = ch
+		l.csi[a] = ch.FrequencyResponse()
+	}
+	return l
+}
+
+// hear combines the two antenna streams through the station's channels and
+// adds receiver noise at the given SNR.
+func (l *staLink) hear(t *testing.T, streams [NumAntennas][]complex128, snrDB float64, seed int64) []complex128 {
+	t.Helper()
+	rx := make([]complex128, len(streams[0]))
+	var sigPower float64
+	for a := 0; a < NumAntennas; a++ {
+		y := l.paths[a].Transmit(streams[a])
+		l.paths[a].Reset() // keep the channel (and CSI) static across frames
+		for i := range rx {
+			rx[i] += y[i]
+		}
+	}
+	sigPower = dsp.MeanPower(rx)
+	noise := dsp.NewGaussianSource(rand.New(rand.NewSource(seed)))
+	noise.AddNoise(rx, dsp.NoiseVarianceForSNR(sigPower, snrDB))
+	return rx
+}
+
+func buildTestGroups(t *testing.T, rng *rand.Rand) ([]Group, []*staLink, [][]byte) {
+	t.Helper()
+	links := []*staLink{
+		newLink(t, 0xA, 1), newLink(t, 0xB, 2), newLink(t, 0xC, 3), newLink(t, 0xD, 4),
+	}
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		payloads[i] = make([]byte, 200+i*80)
+		rng.Read(payloads[i])
+	}
+	mk := func(i int, mcs phy.MCS) Subframe {
+		return Subframe{Receiver: links[i].mac, MCS: mcs, Payload: payloads[i], CSI: links[i].csi}
+	}
+	// Rate selection mirrors what a real AP would do: group 2's channel
+	// matrix is less well-conditioned, so its members run a more robust
+	// MCS against the zero-forcing noise enhancement.
+	groups := []Group{
+		{mk(0, phy.MCS24), mk(1, phy.MCS12)},
+		{mk(2, phy.MCS24), mk(3, phy.MCS12)},
+	}
+	return groups, links, payloads
+}
+
+func TestBuildFrameValidation(t *testing.T) {
+	if _, err := BuildFrame(nil, 0); err == nil {
+		t.Error("accepted zero groups")
+	}
+	if _, err := BuildFrame(make([]Group, 3), 0); err == nil {
+		t.Error("accepted three groups")
+	}
+	var g Group
+	if _, err := BuildFrame([]Group{g}, 0); err == nil {
+		t.Error("accepted empty subframes")
+	}
+}
+
+func TestCSIValidate(t *testing.T) {
+	var c CSI
+	if err := c.Validate(); err == nil {
+		t.Error("accepted empty CSI")
+	}
+	for a := range c {
+		c[a] = make([]complex128, 64)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("rejected valid CSI: %v", err)
+	}
+}
+
+func TestFourStationsOneTransmission(t *testing.T) {
+	// The Fig. 18 scenario: four stations, two ZF groups, one frame.
+	rng := rand.New(rand.NewSource(5))
+	groups, links, payloads := buildTestGroups(t, rng)
+	frame, err := BuildFrame(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame.Streams[0]) != len(frame.Streams[1]) {
+		t.Fatal("antenna streams differ in length")
+	}
+	for i, link := range links {
+		rx := link.hear(t, frame.Streams, 30, int64(100+i))
+		res, err := ReceiveFrame(rx, ReceiverConfig{MAC: link.mac, KnownStart: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != phy.StatusOK {
+			t.Fatalf("STA %d: status %v", i, res.Status)
+		}
+		wantGroup := i/2 + 1
+		if res.GroupIndex != wantGroup {
+			t.Errorf("STA %d: group %d, want %d", i, res.GroupIndex, wantGroup)
+		}
+		if !bytes.Equal(res.Payload, payloads[i]) {
+			t.Errorf("STA %d: payload corrupted", i)
+		}
+		if res.StreamSeparation < 3 {
+			t.Errorf("STA %d: stream separation %.1f too low — zero-forcing failed",
+				i, res.StreamSeparation)
+		}
+	}
+}
+
+func TestStreamsCarryDistinctData(t *testing.T) {
+	// Members of one group must land on different spatial streams.
+	rng := rand.New(rand.NewSource(6))
+	groups, links, _ := buildTestGroups(t, rng)
+	frame, err := BuildFrame(groups[:1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		rx := links[i].hear(t, frame.Streams, 32, int64(200+i))
+		res, err := ReceiveFrame(rx, ReceiverConfig{MAC: links[i].mac, KnownStart: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != phy.StatusOK {
+			t.Fatalf("STA %d: status %v", i, res.Status)
+		}
+		if seen[res.Stream] {
+			t.Errorf("both stations decoded stream %d", res.Stream)
+		}
+		seen[res.Stream] = true
+	}
+}
+
+func TestForeignStationDrops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	groups, links, _ := buildTestGroups(t, rng)
+	frame, err := BuildFrame(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := newLink(t, 0xEE, 99)
+	rx := foreign.hear(t, frame.Streams, 30, 300)
+	res, err := ReceiveFrame(rx, ReceiverConfig{MAC: foreign.mac, KnownStart: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dropped {
+		t.Error("foreign station did not drop the frame")
+	}
+	_ = links
+}
+
+func TestAggregationHalvesTransmissions(t *testing.T) {
+	// §8: standard MU-MIMO needs two transmissions (two preambles, two
+	// contention rounds) for four stations; Carpool MU-MIMO needs one.
+	rng := rand.New(rand.NewSource(8))
+	groups, _, _ := buildTestGroups(t, rng)
+	combined, err := BuildFrame(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := BuildFrame(groups[:1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := BuildFrame(groups[1:], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	separate := len(first.Streams[0]) + len(second.Streams[0])
+	if len(combined.Streams[0]) >= separate {
+		t.Errorf("combined frame %d samples, separate %d — aggregation saved nothing",
+			len(combined.Streams[0]), separate)
+	}
+}
+
+func TestLongFrameSurvivesCFOResidual(t *testing.T) {
+	// Regression: without per-symbol pilot derotation, the noise-driven
+	// CFO-estimate error (~hundreds of Hz) rotates the second group's data
+	// by ~1 rad relative to its training symbols on a long frame.
+	rng := rand.New(rand.NewSource(10))
+	links := []*staLink{
+		newLink(t, 0x1, 21), newLink(t, 0x2, 22), newLink(t, 0x3, 23), newLink(t, 0x4, 24),
+	}
+	payloads := make([][]byte, 4)
+	for i := range payloads {
+		payloads[i] = make([]byte, 700)
+		rng.Read(payloads[i])
+	}
+	mk := func(i int) Subframe {
+		return Subframe{Receiver: links[i].mac, MCS: phy.MCS12,
+			Payload: payloads[i], CSI: links[i].csi}
+	}
+	frame, err := BuildFrame([]Group{{mk(0), mk(1)}, {mk(2), mk(3)}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last station in the last group is the most exposed.
+	for i := 2; i < 4; i++ {
+		rx := links[i].hear(t, frame.Streams, 30, int64(400+i))
+		res, err := ReceiveFrame(rx, ReceiverConfig{MAC: links[i].mac, KnownStart: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != phy.StatusOK || !bytes.Equal(res.Payload, payloads[i]) {
+			t.Errorf("STA %d: long-frame decode failed (status %v)", i, res.Status)
+		}
+	}
+}
+
+func TestBloomGroupIndices(t *testing.T) {
+	// Fig. 18: A and B share index 1, C and D share index 2.
+	rng := rand.New(rand.NewSource(9))
+	groups, links, _ := buildTestGroups(t, rng)
+	frame, err := BuildFrame(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, link := range links {
+		positions := frame.Filter.Positions(link.mac, 2, bloom.DefaultHashes)
+		wantPos := i/2 + 1
+		found := false
+		for _, p := range positions {
+			if p == wantPos {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("STA %d: positions %v missing group index %d", i, positions, wantPos)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package mimo
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"carpool/internal/bloom"
+	"carpool/internal/core"
+	"carpool/internal/modem"
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+)
+
+// ReceiverConfig configures one single-antenna station's MU-MIMO receiver.
+type ReceiverConfig struct {
+	MAC    bloom.MAC
+	Hashes int
+	// KnownStart skips packet detection (negative: detect).
+	KnownStart int
+}
+
+func (c ReceiverConfig) hashes() int {
+	if c.Hashes == 0 {
+		return bloom.DefaultHashes
+	}
+	return c.Hashes
+}
+
+// FrameRx is a station's view of one MU-MIMO Carpool frame.
+type FrameRx struct {
+	Status phy.RxStatus
+	Filter bloom.Filter
+	// Dropped is true when the A-HDR matched nothing for this station.
+	Dropped bool
+	// GroupIndex (1-based) and Stream identify where the station found its
+	// subframe; SIG and Payload are its decoded share.
+	GroupIndex int
+	Stream     int
+	SIG        phy.SIG
+	Payload    []byte
+	// StreamSeparation is |heff_own| / |heff_other| averaged over
+	// subcarriers — a diagnostic of how well zero-forcing isolated the
+	// station's stream.
+	StreamSeparation float64
+}
+
+// ReceiveFrame runs a station's MU-MIMO pipeline: synchronize on the
+// antenna-0 legacy preamble, decode the A-HDR, estimate the group's
+// effective (precoded) per-stream channels from its VHT training symbols,
+// identify the own stream (zero-forcing leaves it dominant), and decode.
+func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
+	buf, h, _, status := phy.Sync(rx, cfg.KnownStart)
+	res := &FrameRx{Status: status}
+	if status != phy.StatusOK {
+		return res, nil
+	}
+
+	// A-HDR: two standard-equalized BPSK symbols.
+	points := make([][]complex128, 0, 2)
+	for s := 0; s < 2; s++ {
+		off := ofdm.PreambleLen + s*ofdm.SymbolLen
+		if off+ofdm.SymbolLen > len(buf) {
+			res.Status = phy.StatusTruncated
+			return res, nil
+		}
+		bins, err := ofdm.SymbolBins(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		if err := ofdm.Equalize(bins, h); err != nil {
+			return nil, err
+		}
+		phase, _ := ofdm.TrackPilotPhase(bins, s)
+		ofdm.CompensatePhase(bins, phase)
+		points = append(points, ofdm.ExtractData(bins))
+	}
+	filter, err := core.DecodeAHDR(points)
+	if err != nil {
+		res.Status = phy.StatusBadSIG
+		return res, nil
+	}
+	res.Filter = filter
+
+	matched := filter.Positions(cfg.MAC, maxGroups, cfg.hashes())
+	if len(matched) == 0 {
+		res.Dropped = true
+		return res, nil
+	}
+	target := matched[0]
+	res.GroupIndex = target
+
+	// SIG-A fields: one robust antenna-0 symbol per group announcing its
+	// padded data-symbol count. With them, any station can jump straight
+	// to its group without decoding precoded symbols.
+	symIdx := 2
+	groupSyms := make([]int, 0, maxGroups)
+	for g := 0; g < maxGroups; g++ {
+		off := ofdm.PreambleLen + symIdx*ofdm.SymbolLen
+		sigA, _, err := phy.DecodeSIGAt(buf, h, off, symIdx)
+		if err != nil {
+			// Fewer groups than the maximum: the first group's training
+			// follows immediately. At least one SIG-A must decode.
+			break
+		}
+		groupSyms = append(groupSyms, sigA.Length)
+		symIdx++
+	}
+	if len(groupSyms) < target {
+		res.Status = phy.StatusBadSIG
+		return res, nil
+	}
+
+	// Skip over the groups before the target.
+	for g := 0; g < target-1; g++ {
+		symIdx += NumAntennas + 1 + groupSyms[g] // training + SIG + data
+	}
+
+	// Effective channel estimation from the target group's training.
+	heff, err := estimateEffective(buf, symIdx)
+	if err != nil {
+		res.Status = phy.StatusTruncated
+		return res, nil
+	}
+	symIdx += NumAntennas
+
+	// The member's own stream is the one zero-forcing left dominant; the
+	// partner's stream is nulled at this station's antenna.
+	own := dominantStream(heff)
+	res.Stream = own
+	res.StreamSeparation = separation(heff, own)
+
+	sigSym, err := dataPointsAt(buf, symIdx)
+	if err != nil {
+		res.Status = phy.StatusTruncated
+		return res, nil
+	}
+	symIdx++
+	eq := make([]complex128, ofdm.NumData)
+	for i := range eq {
+		eq[i] = safeDiv(sigSym[i], heff[own][i])
+	}
+	sig, err := phy.DecodeSIGPoints(eq)
+	if err != nil {
+		res.Status = phy.StatusBadSIG
+		return res, nil
+	}
+	res.SIG = sig
+
+	nsym := sig.MCS.NumSymbols(sig.Length)
+	blocks := make([][]byte, 0, nsym)
+	for n := 0; n < nsym; n++ {
+		pts, err := dataPointsAt(buf, symIdx+n)
+		if err != nil {
+			res.Status = phy.StatusTruncated
+			return res, nil
+		}
+		eqd := make([]complex128, ofdm.NumData)
+		for i := range eqd {
+			eqd[i] = safeDiv(pts[i], heff[own][i])
+		}
+		block, err := demapPoints(sig.MCS, eqd)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, block)
+	}
+	payload, err := phy.DecodeDataField(blocks, sig.MCS, sig.Length)
+	if err != nil {
+		return nil, err
+	}
+	res.Payload = payload
+	res.Status = phy.StatusOK
+	return res, nil
+}
+
+// maxGroups bounds the groups per frame (two with a 2-antenna AP).
+const maxGroups = 2
+
+// estimateEffective recovers both streams' effective channels on the 48
+// data subcarriers from the two P-matrix training symbols.
+func estimateEffective(buf []complex128, symIdx int) ([NumAntennas][]complex128, error) {
+	var y [NumAntennas][]complex128
+	for t := 0; t < NumAntennas; t++ {
+		pts, err := dataPointsAt(buf, symIdx+t)
+		if err != nil {
+			return [NumAntennas][]complex128{}, err
+		}
+		y[t] = pts
+	}
+	train := trainingPoints()
+	var heff [NumAntennas][]complex128
+	for s := 0; s < NumAntennas; s++ {
+		heff[s] = make([]complex128, ofdm.NumData)
+	}
+	for i := range train {
+		t := train[i]
+		if t == 0 {
+			continue
+		}
+		// P = [[1,1],[1,-1]]: y0 = (h1+h2)T, y1 = (h1-h2)T.
+		heff[0][i] = (y[0][i] + y[1][i]) / (2 * t)
+		heff[1][i] = (y[0][i] - y[1][i]) / (2 * t)
+	}
+	return heff, nil
+}
+
+// dataPointsAt extracts the 48 data points of the OFDM symbol at index
+// symIdx (counting from the end of the preamble), derotated by the symbol's
+// raw pilot phase. Both antennas transmit identical standard pilots, so the
+// pilots see one fixed effective channel; their per-symbol phase therefore
+// isolates residual-CFO drift, which would otherwise rotate the groups far
+// from their training symbols (no per-symbol equalizer phase-tracks here as
+// in the scalar receiver).
+func dataPointsAt(buf []complex128, symIdx int) ([]complex128, error) {
+	off := ofdm.PreambleLen + symIdx*ofdm.SymbolLen
+	if off+ofdm.SymbolLen > len(buf) {
+		return nil, fmt.Errorf("mimo: buffer ends before symbol %d", symIdx)
+	}
+	bins, err := ofdm.SymbolBins(buf[off:])
+	if err != nil {
+		return nil, err
+	}
+	phase, _ := ofdm.TrackPilotPhase(bins, symIdx)
+	ofdm.CompensatePhase(bins, phase)
+	return ofdm.ExtractData(bins), nil
+}
+
+func safeDiv(a, b complex128) complex128 {
+	if cmplx.Abs(b) < 1e-9 {
+		return 0
+	}
+	return a / b
+}
+
+// dominantStream picks the stream with the larger mean magnitude.
+func dominantStream(heff [NumAntennas][]complex128) int {
+	best, bestMag := 0, -1.0
+	for s := 0; s < NumAntennas; s++ {
+		var m float64
+		for _, v := range heff[s] {
+			m += cmplx.Abs(v)
+		}
+		if m > bestMag {
+			bestMag, best = m, s
+		}
+	}
+	return best
+}
+
+// separation returns the mean magnitude ratio between the own stream and
+// the strongest other stream.
+func separation(heff [NumAntennas][]complex128, own int) float64 {
+	mean := func(s int) float64 {
+		var m float64
+		for _, v := range heff[s] {
+			m += cmplx.Abs(v)
+		}
+		return m / float64(len(heff[s]))
+	}
+	ownMag := mean(own)
+	other := 0.0
+	for s := 0; s < NumAntennas; s++ {
+		if s != own {
+			if m := mean(s); m > other {
+				other = m
+			}
+		}
+	}
+	if other == 0 {
+		return 0
+	}
+	return ownMag / other
+}
+
+// demapPoints hard-demaps 48 equalized points with the subframe's
+// modulation.
+func demapPoints(mcs phy.MCS, points []complex128) ([]byte, error) {
+	return modem.Demap(mcs.Mod, points)
+}

@@ -1,0 +1,197 @@
+// Package modem implements the IEEE 802.11 OFDM subcarrier modulations:
+// Gray-coded BPSK, QPSK, 16-QAM and 64-QAM with the standard normalization
+// factors (Std 802.11-2012 Table 18-7), plus hard-decision demapping.
+package modem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation identifies a subcarrier constellation.
+type Modulation int
+
+// Supported constellations. Values start at 1 so the zero value is invalid.
+const (
+	BPSK Modulation = iota + 1
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String returns the conventional name of the modulation.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "QAM16"
+	case QAM64:
+		return "QAM64"
+	default:
+		return fmt.Sprintf("Modulation(%d)", int(m))
+	}
+}
+
+// BitsPerSymbol returns the number of bits carried by one subcarrier.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether m is one of the supported constellations.
+func (m Modulation) Valid() bool {
+	return m >= BPSK && m <= QAM64
+}
+
+// Kmod returns the 802.11 normalization factor so that the average
+// constellation energy is 1.
+func (m Modulation) Kmod() float64 {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 1 / math.Sqrt2
+	case QAM16:
+		return 1 / math.Sqrt(10)
+	case QAM64:
+		return 1 / math.Sqrt(42)
+	default:
+		return 0
+	}
+}
+
+// Modulations lists every supported constellation in increasing order.
+func Modulations() []Modulation {
+	return []Modulation{BPSK, QPSK, QAM16, QAM64}
+}
+
+// grayAxis maps groups of bits to one PAM axis level per 802.11:
+// for 1 bit: 0->-1, 1->+1; for 2 bits (Gray): 00->-3, 01->-1, 11->+1, 10->+3;
+// for 3 bits (Gray): 000->-7 ... 100->+7.
+func grayAxis(bits []byte) float64 {
+	switch len(bits) {
+	case 1:
+		return float64(2*int(bits[0]) - 1)
+	case 2:
+		table := [4]float64{-3, -1, 3, 1} // index b0<<1|b1
+		return table[bits[0]<<1|bits[1]]
+	case 3:
+		table := [8]float64{-7, -5, -1, -3, 7, 5, 1, 3} // index b0<<2|b1<<1|b2
+		return table[bits[0]<<2|bits[1]<<1|bits[2]]
+	default:
+		panic(fmt.Sprintf("modem: unsupported axis width %d", len(bits)))
+	}
+}
+
+// grayAxisDecode inverts grayAxis by nearest-level slicing, writing the
+// decided bits into out.
+func grayAxisDecode(v float64, out []byte) {
+	switch len(out) {
+	case 1:
+		out[0] = boolBit(v > 0)
+	case 2:
+		// Levels -3,-1,1,3 with Gray labels 00,01,11,10.
+		switch {
+		case v < -2:
+			out[0], out[1] = 0, 0
+		case v < 0:
+			out[0], out[1] = 0, 1
+		case v < 2:
+			out[0], out[1] = 1, 1
+		default:
+			out[0], out[1] = 1, 0
+		}
+	case 3:
+		// Levels -7..7 with Gray labels 000,001,011,010,110,111,101,100.
+		labels := [8][3]byte{
+			{0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {0, 1, 0},
+			{1, 1, 0}, {1, 1, 1}, {1, 0, 1}, {1, 0, 0},
+		}
+		// Decision boundaries sit at the even midpoints -6,-4,...,6.
+		idx := int(math.Floor((v + 8) / 2))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > 7 {
+			idx = 7
+		}
+		copy(out, labels[idx][:])
+	default:
+		panic(fmt.Sprintf("modem: unsupported axis width %d", len(out)))
+	}
+}
+
+func boolBit(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Map converts a bit slice (values 0/1) into constellation points. The
+// number of bits must be a multiple of m.BitsPerSymbol().
+func Map(m Modulation, bits []byte) ([]complex128, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("modem: %d bits is not a multiple of %d (%v)", len(bits), bps, m)
+	}
+	k := m.Kmod()
+	out := make([]complex128, len(bits)/bps)
+	for i := range out {
+		chunk := bits[i*bps : (i+1)*bps]
+		var re, im float64
+		if m == BPSK {
+			re, im = grayAxis(chunk), 0
+		} else {
+			half := bps / 2
+			re = grayAxis(chunk[:half])
+			im = grayAxis(chunk[half:])
+		}
+		out[i] = complex(re*k, im*k)
+	}
+	return out, nil
+}
+
+// Demap hard-decides each constellation point back into bits. The output
+// length is len(points) * m.BitsPerSymbol().
+func Demap(m Modulation, points []complex128) ([]byte, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	invK := 1 / m.Kmod()
+	out := make([]byte, len(points)*bps)
+	for i, p := range points {
+		chunk := out[i*bps : (i+1)*bps]
+		if m == BPSK {
+			grayAxisDecode(real(p)*invK, chunk)
+			continue
+		}
+		half := bps / 2
+		grayAxisDecode(real(p)*invK, chunk[:half])
+		grayAxisDecode(imag(p)*invK, chunk[half:])
+	}
+	return out, nil
+}
+
+// MinDistance returns the minimum Euclidean distance between any two points
+// of the normalized constellation. Useful for analytic BER sanity checks.
+func (m Modulation) MinDistance() float64 {
+	return 2 * m.Kmod()
+}

@@ -1,0 +1,208 @@
+package modem
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsPerSymbol(t *testing.T) {
+	tests := []struct {
+		m    Modulation
+		want int
+	}{
+		{BPSK, 1}, {QPSK, 2}, {QAM16, 4}, {QAM64, 6}, {Modulation(0), 0}, {Modulation(9), 0},
+	}
+	for _, tt := range tests {
+		if got := tt.m.BitsPerSymbol(); got != tt.want {
+			t.Errorf("%v.BitsPerSymbol() = %d, want %d", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if BPSK.String() != "BPSK" || QAM64.String() != "QAM64" {
+		t.Error("unexpected String values")
+	}
+	if Modulation(42).String() != "Modulation(42)" {
+		t.Errorf("got %q", Modulation(42).String())
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, m := range Modulations() {
+		if !m.Valid() {
+			t.Errorf("%v should be valid", m)
+		}
+	}
+	if Modulation(0).Valid() || Modulation(5).Valid() {
+		t.Error("invalid modulations reported valid")
+	}
+}
+
+func TestUnitAveragePower(t *testing.T) {
+	// With Kmod normalization, the average energy over all constellation
+	// points must be exactly 1.
+	for _, m := range Modulations() {
+		bps := m.BitsPerSymbol()
+		n := 1 << bps
+		var total float64
+		for v := 0; v < n; v++ {
+			bits := make([]byte, bps)
+			for i := 0; i < bps; i++ {
+				bits[i] = byte((v >> (bps - 1 - i)) & 1)
+			}
+			pts, err := Map(m, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += real(pts[0])*real(pts[0]) + imag(pts[0])*imag(pts[0])
+		}
+		avg := total / float64(n)
+		if math.Abs(avg-1) > 1e-12 {
+			t.Errorf("%v: average constellation power %v, want 1", m, avg)
+		}
+	}
+}
+
+func TestMapDemapRoundTrip(t *testing.T) {
+	for _, m := range Modulations() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				n := m.BitsPerSymbol() * (1 + rng.Intn(100))
+				bits := make([]byte, n)
+				for i := range bits {
+					bits[i] = byte(rng.Intn(2))
+				}
+				pts, err := Map(m, bits)
+				if err != nil {
+					return false
+				}
+				got, err := Demap(m, pts)
+				if err != nil {
+					return false
+				}
+				if len(got) != len(bits) {
+					return false
+				}
+				for i := range bits {
+					if got[i] != bits[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestGrayMappingAdjacency(t *testing.T) {
+	// Gray property: nearest-neighbour constellation points differ in
+	// exactly one bit. Check along the real axis for QAM64.
+	for _, m := range []Modulation{QAM16, QAM64} {
+		bps := m.BitsPerSymbol()
+		n := 1 << bps
+		type pt struct {
+			bits []byte
+			c    complex128
+		}
+		pts := make([]pt, 0, n)
+		for v := 0; v < n; v++ {
+			bits := make([]byte, bps)
+			for i := 0; i < bps; i++ {
+				bits[i] = byte((v >> (bps - 1 - i)) & 1)
+			}
+			mapped, err := Map(m, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, pt{bits, mapped[0]})
+		}
+		minD := m.MinDistance()
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				d := cmplx.Abs(pts[i].c - pts[j].c)
+				if d < minD*1.0001 { // nearest neighbours
+					diff := 0
+					for k := range pts[i].bits {
+						if pts[i].bits[k] != pts[j].bits[k] {
+							diff++
+						}
+					}
+					if diff != 1 {
+						t.Fatalf("%v: neighbours %v and %v differ in %d bits",
+							m, pts[i].bits, pts[j].bits, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMapRejectsBadInput(t *testing.T) {
+	if _, err := Map(QPSK, []byte{1}); err == nil {
+		t.Error("Map accepted odd bit count for QPSK")
+	}
+	if _, err := Map(Modulation(0), []byte{1}); err == nil {
+		t.Error("Map accepted invalid modulation")
+	}
+	if _, err := Demap(Modulation(99), nil); err == nil {
+		t.Error("Demap accepted invalid modulation")
+	}
+}
+
+func TestDemapNoiseTolerance(t *testing.T) {
+	// Small perturbations (below half the minimum distance) never flip bits.
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range Modulations() {
+		bits := make([]byte, m.BitsPerSymbol()*64)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		pts, err := Map(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := m.MinDistance() * 0.45
+		for i := range pts {
+			theta := rng.Float64() * 2 * math.Pi
+			pts[i] += complex(eps*math.Cos(theta), eps*math.Sin(theta))
+		}
+		got, err := Demap(m, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%v: bit %d flipped under %.3f perturbation", m, i, eps)
+			}
+		}
+	}
+}
+
+func TestKmodValues(t *testing.T) {
+	tests := []struct {
+		m    Modulation
+		want float64
+	}{
+		{BPSK, 1},
+		{QPSK, 1 / math.Sqrt2},
+		{QAM16, 1 / math.Sqrt(10)},
+		{QAM64, 1 / math.Sqrt(42)},
+	}
+	for _, tt := range tests {
+		if got := tt.m.Kmod(); math.Abs(got-tt.want) > 1e-15 {
+			t.Errorf("%v.Kmod() = %v, want %v", tt.m, got, tt.want)
+		}
+	}
+	if Modulation(0).Kmod() != 0 {
+		t.Error("invalid modulation should have Kmod 0")
+	}
+}

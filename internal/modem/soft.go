@@ -1,0 +1,82 @@
+package modem
+
+import (
+	"fmt"
+	"math"
+)
+
+// DemapSoft computes per-bit log-likelihood ratios for each constellation
+// point using the max-log approximation:
+//
+//	LLR_j = ( min_{s: bit_j(s)=1} |y-s|^2  -  min_{s: bit_j(s)=0} |y-s|^2 ) / N0
+//
+// Positive LLR means bit 0 is more likely. noiseVar is the per-point
+// complex noise variance N0; it scales confidence only, so any positive
+// value yields correct hard decisions.
+//
+// Soft demapping feeds the soft-decision Viterbi decoder
+// (fec.ViterbiDecodeSoft), the repository's "future work" extension over
+// the paper's hard-decision prototype.
+func DemapSoft(m Modulation, points []complex128, noiseVar float64) ([]float64, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	if noiseVar <= 0 {
+		return nil, fmt.Errorf("modem: noise variance must be positive, got %v", noiseVar)
+	}
+	ref, err := constellation(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(points)*bps)
+	for i, y := range points {
+		for j := 0; j < bps; j++ {
+			min0, min1 := math.Inf(1), math.Inf(1)
+			for v, s := range ref {
+				d := y - s
+				dist := real(d)*real(d) + imag(d)*imag(d)
+				if (v>>(bps-1-j))&1 == 0 {
+					if dist < min0 {
+						min0 = dist
+					}
+				} else if dist < min1 {
+					min1 = dist
+				}
+			}
+			out[i*bps+j] = (min1 - min0) / noiseVar
+		}
+	}
+	return out, nil
+}
+
+// constellation enumerates the mapped point for every bit pattern, indexed
+// by the pattern value (MSB-first bit order, matching Map's input order).
+func constellation(m Modulation) ([]complex128, error) {
+	bps := m.BitsPerSymbol()
+	n := 1 << bps
+	out := make([]complex128, n)
+	bits := make([]byte, bps)
+	for v := 0; v < n; v++ {
+		for j := 0; j < bps; j++ {
+			bits[j] = byte((v >> (bps - 1 - j)) & 1)
+		}
+		pts, err := Map(m, bits)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = pts[0]
+	}
+	return out, nil
+}
+
+// HardFromLLR converts LLRs back to hard bits (LLR > 0 -> 0).
+func HardFromLLR(llrs []float64) []byte {
+	out := make([]byte, len(llrs))
+	for i, l := range llrs {
+		if l < 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

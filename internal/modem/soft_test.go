@@ -1,0 +1,101 @@
+package modem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDemapSoftValidation(t *testing.T) {
+	if _, err := DemapSoft(Modulation(0), nil, 1); err == nil {
+		t.Error("accepted invalid modulation")
+	}
+	if _, err := DemapSoft(BPSK, nil, 0); err == nil {
+		t.Error("accepted zero noise variance")
+	}
+	if _, err := DemapSoft(BPSK, nil, -1); err == nil {
+		t.Error("accepted negative noise variance")
+	}
+}
+
+func TestDemapSoftHardDecisionsMatchDemap(t *testing.T) {
+	// On clean points, sign(LLR) must reproduce the hard demapper exactly.
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range Modulations() {
+		bits := make([]byte, m.BitsPerSymbol()*64)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		pts, err := Map(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llrs, err := DemapSoft(m, pts, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hard := HardFromLLR(llrs)
+		want, err := Demap(m, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if hard[i] != want[i] {
+				t.Fatalf("%v: soft hard-decision differs at bit %d", m, i)
+			}
+		}
+	}
+}
+
+func TestDemapSoftConfidenceScalesWithDistance(t *testing.T) {
+	// A point near a decision boundary must produce a smaller |LLR| than a
+	// point deep inside a region.
+	deep, err := DemapSoft(BPSK, []complex128{1.0}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := DemapSoft(BPSK, []complex128{0.05}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(near[0]) >= abs(deep[0]) {
+		t.Errorf("boundary point LLR %v not weaker than deep point %v", near[0], deep[0])
+	}
+	// The 802.11 BPSK mapping sends bit 1 as +1, so a received +1 favors
+	// bit 1 (negative LLR in the log(P0/P1) convention).
+	if deep[0] >= 0 {
+		t.Error("clean +1 should favor bit 1")
+	}
+}
+
+func TestDemapSoftNoiseVarianceScaling(t *testing.T) {
+	a, err := DemapSoft(QPSK, []complex128{0.7 + 0.7i}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DemapSoft(QPSK, []complex128{0.7 + 0.7i}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if abs(a[i]-2*b[i]) > 1e-9 {
+			t.Fatalf("LLRs do not scale inversely with noise variance: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestHardFromLLR(t *testing.T) {
+	got := HardFromLLR([]float64{1.5, -0.2, 0, -9})
+	want := []byte{0, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,84 @@
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Equalize divides each occupied bin of a received symbol by the channel
+// estimate, in place. Bins whose channel magnitude is below a small floor
+// are left untouched (they carry no usable signal anyway).
+func Equalize(bins, channel []complex128) error {
+	if len(bins) != NumSubcarriers || len(channel) != NumSubcarriers {
+		return fmt.Errorf("ofdm: Equalize needs %d bins, got %d and %d",
+			NumSubcarriers, len(bins), len(channel))
+	}
+	const floor = 1e-9
+	for k := -26; k <= 26; k++ {
+		b := Bin(k)
+		if cmplx.Abs(channel[b]) > floor {
+			bins[b] /= channel[b]
+		}
+	}
+	return nil
+}
+
+// TrackPilotPhase measures the common phase rotation of one equalized symbol
+// from its four pilots, relative to their known transmitted values for
+// symbol index symIndex. The returned angle includes residual-CFO phase
+// drift plus any phase offset the transmitter injected (the Carpool side
+// channel). weight is the summed pilot magnitude, usable as a confidence.
+func TrackPilotPhase(bins []complex128, symIndex int) (theta float64, weight float64) {
+	pilots := ExtractPilots(bins)
+	expected := PilotValues(symIndex)
+	var acc complex128
+	for i := range pilots {
+		acc += pilots[i] * cmplx.Conj(expected[i])
+	}
+	return cmplx.Phase(acc), cmplx.Abs(acc)
+}
+
+// CompensatePhase rotates all bins by -theta, in place.
+func CompensatePhase(bins []complex128, theta float64) {
+	r := cmplx.Exp(complex(0, -theta))
+	for i := range bins {
+		bins[i] *= r
+	}
+}
+
+// ResidualCFOSlope fits a per-symbol phase drift from a sequence of tracked
+// pilot phases. It is used by diagnostics and tests, not the main decode
+// path (which compensates each symbol independently).
+func ResidualCFOSlope(phases []float64) float64 {
+	if len(phases) < 2 {
+		return 0
+	}
+	// Unwrap, then least-squares slope.
+	unwrapped := make([]float64, len(phases))
+	unwrapped[0] = phases[0]
+	for i := 1; i < len(phases); i++ {
+		d := phases[i] - phases[i-1]
+		for d > math.Pi {
+			d -= 2 * math.Pi
+		}
+		for d < -math.Pi {
+			d += 2 * math.Pi
+		}
+		unwrapped[i] = unwrapped[i-1] + d
+	}
+	n := float64(len(unwrapped))
+	var sx, sy, sxx, sxy float64
+	for i, y := range unwrapped {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

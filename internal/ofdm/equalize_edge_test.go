@@ -1,0 +1,100 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestEqualizeSkipsDeadBins(t *testing.T) {
+	// Bins with a (near-)zero channel estimate are left untouched instead
+	// of blowing up to infinity.
+	bins := make([]complex128, NumSubcarriers)
+	channel := make([]complex128, NumSubcarriers)
+	for k := -26; k <= 26; k++ {
+		bins[Bin(k)] = 1
+		channel[Bin(k)] = 2
+	}
+	dead := Bin(-7)
+	channel[dead] = 0
+	if err := Equalize(bins, channel); err != nil {
+		t.Fatal(err)
+	}
+	if bins[dead] != 1 {
+		t.Errorf("dead bin modified to %v", bins[dead])
+	}
+	if cmplx.Abs(bins[Bin(5)]-0.5) > 1e-12 {
+		t.Errorf("live bin not equalized: %v", bins[Bin(5)])
+	}
+	if cmplx.IsInf(bins[dead]) || cmplx.IsNaN(bins[dead]) {
+		t.Error("division by zero leaked")
+	}
+}
+
+func TestTrackPilotPhaseWeightReflectsPower(t *testing.T) {
+	// Stronger pilots give a larger confidence weight.
+	strong := make([]complex128, NumSubcarriers)
+	weak := make([]complex128, NumSubcarriers)
+	for i, k := range PilotIndices {
+		strong[Bin(k)] = PilotValues(0)[i] * 2
+		weak[Bin(k)] = PilotValues(0)[i] * 0.1
+	}
+	_, ws := TrackPilotPhase(strong, 0)
+	_, ww := TrackPilotPhase(weak, 0)
+	if ws <= ww {
+		t.Errorf("strong pilot weight %v not above weak %v", ws, ww)
+	}
+}
+
+func TestTrackPilotPhaseWrapsCleanly(t *testing.T) {
+	// Phases near ±180° must come back wrapped, not aliased away.
+	bins := make([]complex128, NumSubcarriers)
+	theta := math.Pi - 0.05
+	r := cmplx.Exp(complex(0, theta))
+	for i, k := range PilotIndices {
+		bins[Bin(k)] = PilotValues(3)[i] * r
+	}
+	got, _ := TrackPilotPhase(bins, 3)
+	if math.Abs(got-theta) > 1e-9 {
+		t.Errorf("tracked %v, want %v", got, theta)
+	}
+}
+
+func TestCompensatePhaseInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bins := make([]complex128, NumSubcarriers)
+	for i := range bins {
+		bins[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	orig := append([]complex128(nil), bins...)
+	CompensatePhase(bins, 1.234)
+	CompensatePhase(bins, -1.234)
+	for i := range bins {
+		if cmplx.Abs(bins[i]-orig[i]) > 1e-12 {
+			t.Fatalf("bin %d not restored", i)
+		}
+	}
+}
+
+func TestDetectPacketTooShortBuffer(t *testing.T) {
+	if _, ok := DetectPacket(make([]complex128, 100)); ok {
+		t.Error("detected a packet in a 100-sample buffer")
+	}
+}
+
+func TestPilotValuesFlipWithPolarity(t *testing.T) {
+	// Symbol indices with opposite polarity produce negated pilots.
+	var flipped bool
+	base := PilotValues(0)
+	for n := 1; n < 127; n++ {
+		v := PilotValues(n)
+		if v[0] == -base[0] && v[3] == -base[3] {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Error("polarity never flips across the sequence")
+	}
+}

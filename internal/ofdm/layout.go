@@ -1,0 +1,123 @@
+// Package ofdm implements the IEEE 802.11a/g/n 20 MHz OFDM waveform layer:
+// the 64-subcarrier layout with 48 data and 4 pilot subcarriers, the
+// short/long training fields, cyclic-prefix symbol assembly, packet
+// detection, carrier-frequency-offset estimation and correction, LTF channel
+// estimation, and pilot-based common phase tracking.
+//
+// Everything operates on complex baseband samples at the nominal 20 MHz
+// sample rate (64 samples per FFT period, 16-sample cyclic prefix, 80
+// samples per symbol).
+package ofdm
+
+import (
+	"math"
+
+	"carpool/internal/fec"
+)
+
+// Core 802.11 OFDM dimensions.
+const (
+	NumSubcarriers  = 64                               // FFT size
+	NumData         = 48                               // data subcarriers per symbol
+	NumPilots       = 4                                // pilot subcarriers per symbol
+	CyclicPrefixLen = 16                               // samples
+	SymbolLen       = NumSubcarriers + CyclicPrefixLen // 80 samples
+
+	// SampleRate is the nominal bandwidth in samples per second.
+	SampleRate = 20e6
+	// SymbolDuration is the airtime of one OFDM symbol (4 µs at 20 MHz).
+	SymbolDuration = float64(SymbolLen) / SampleRate
+)
+
+// PilotIndices are the logical subcarrier indices carrying pilots.
+var PilotIndices = [NumPilots]int{-21, -7, 7, 21}
+
+// pilotBase holds the un-rotated pilot values P(-21,-7,7,21).
+var pilotBase = [NumPilots]float64{1, 1, 1, -1}
+
+// DataIndices lists the 48 logical data subcarrier indices in increasing
+// order (-26..26 without DC and pilots).
+var DataIndices = buildDataIndices()
+
+func buildDataIndices() [NumData]int {
+	var out [NumData]int
+	isPilot := map[int]bool{-21: true, -7: true, 7: true, 21: true}
+	n := 0
+	for k := -26; k <= 26; k++ {
+		if k == 0 || isPilot[k] {
+			continue
+		}
+		out[n] = k
+		n++
+	}
+	return out
+}
+
+// Bin converts a logical subcarrier index (-32..31) to an FFT bin (0..63).
+func Bin(idx int) int {
+	return (idx + NumSubcarriers) % NumSubcarriers
+}
+
+// PilotPolarity returns the 802.11 pilot polarity p_n in {-1, +1} for OFDM
+// symbol n (n = 0 is the SIG symbol). The sequence is the output of the
+// all-ones-seeded frame scrambler mapped 0 -> +1, 1 -> -1, with period 127.
+func PilotPolarity(n int) float64 {
+	return pilotPolaritySeq[n%len(pilotPolaritySeq)]
+}
+
+var pilotPolaritySeq = buildPilotPolarity()
+
+func buildPilotPolarity() [127]float64 {
+	var seq [127]float64
+	s := fec.NewScrambler(0x7f)
+	for i := range seq {
+		if s.NextBit() == 0 {
+			seq[i] = 1
+		} else {
+			seq[i] = -1
+		}
+	}
+	return seq
+}
+
+// PilotValues returns the four transmitted pilot points for symbol n.
+func PilotValues(n int) [NumPilots]complex128 {
+	p := PilotPolarity(n)
+	var out [NumPilots]complex128
+	for i, v := range pilotBase {
+		out[i] = complex(v*p, 0)
+	}
+	return out
+}
+
+// ltfSequence is the frequency-domain long training sequence L(-26..26).
+var ltfSequence = [53]float64{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// LTFValue returns L(k) for logical subcarrier k in -26..26, else 0.
+func LTFValue(k int) float64 {
+	if k < -26 || k > 26 {
+		return 0
+	}
+	return ltfSequence[k+26]
+}
+
+// stfLoaded maps the 12 loaded STF subcarriers to their (un-normalized)
+// QPSK-corner values.
+var stfLoaded = map[int]complex128{
+	-24: 1 + 1i, -20: -1 - 1i, -16: 1 + 1i, -12: -1 - 1i, -8: -1 - 1i, -4: 1 + 1i,
+	4: -1 - 1i, 8: -1 - 1i, 12: 1 + 1i, 16: 1 + 1i, 20: 1 + 1i, 24: 1 + 1i,
+}
+
+// STFValue returns S(k) for logical subcarrier k, including the sqrt(13/6)
+// power normalization.
+func STFValue(k int) complex128 {
+	v, ok := stfLoaded[k]
+	if !ok {
+		return 0
+	}
+	return v * complex(math.Sqrt(13.0/6.0), 0)
+}

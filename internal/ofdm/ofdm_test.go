@@ -1,0 +1,454 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"carpool/internal/dsp"
+	"carpool/internal/modem"
+)
+
+func TestLayoutCounts(t *testing.T) {
+	if len(DataIndices) != 48 {
+		t.Fatalf("%d data indices, want 48", len(DataIndices))
+	}
+	seen := map[int]bool{}
+	for _, k := range DataIndices {
+		if k == 0 {
+			t.Error("DC bin used as data")
+		}
+		if k < -26 || k > 26 {
+			t.Errorf("data index %d out of range", k)
+		}
+		for _, p := range PilotIndices {
+			if k == p {
+				t.Errorf("pilot index %d used as data", k)
+			}
+		}
+		if seen[k] {
+			t.Errorf("duplicate data index %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestBinMapping(t *testing.T) {
+	tests := []struct{ idx, bin int }{
+		{0, 0}, {1, 1}, {26, 26}, {-1, 63}, {-26, 38}, {31, 31}, {-32, 32},
+	}
+	for _, tt := range tests {
+		if got := Bin(tt.idx); got != tt.bin {
+			t.Errorf("Bin(%d) = %d, want %d", tt.idx, got, tt.bin)
+		}
+	}
+}
+
+func TestPilotPolarityMatchesStandard(t *testing.T) {
+	// First 16 values of the published 802.11 polarity sequence.
+	want := []float64{1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1}
+	for i, w := range want {
+		if got := PilotPolarity(i); got != w {
+			t.Errorf("PilotPolarity(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if PilotPolarity(127) != PilotPolarity(0) {
+		t.Error("polarity sequence should have period 127")
+	}
+}
+
+func TestLTFSequenceProperties(t *testing.T) {
+	if LTFValue(0) != 0 {
+		t.Error("DC must be null in LTF")
+	}
+	if LTFValue(-27) != 0 || LTFValue(27) != 0 {
+		t.Error("guard bins must be null in LTF")
+	}
+	count := 0
+	for k := -26; k <= 26; k++ {
+		v := LTFValue(k)
+		if v != 0 && v != 1 && v != -1 {
+			t.Errorf("LTF(%d) = %v not in {-1,0,1}", k, v)
+		}
+		if v != 0 {
+			count++
+		}
+	}
+	if count != 52 {
+		t.Errorf("%d occupied LTF bins, want 52", count)
+	}
+}
+
+func TestSTFOccupiesEveryFourth(t *testing.T) {
+	for k := -26; k <= 26; k++ {
+		v := STFValue(k)
+		if v != 0 && k%4 != 0 {
+			t.Errorf("STF loads subcarrier %d not divisible by 4", k)
+		}
+	}
+	// 12 loaded tones at the documented power normalization.
+	var energy float64
+	n := 0
+	for k := -26; k <= 26; k++ {
+		if v := STFValue(k); v != 0 {
+			energy += real(v)*real(v) + imag(v)*imag(v)
+			n++
+		}
+	}
+	if n != 12 {
+		t.Fatalf("%d loaded STF tones, want 12", n)
+	}
+	if math.Abs(energy-12*2*13.0/6.0) > 1e-9 {
+		t.Errorf("STF energy %v unexpected", energy)
+	}
+}
+
+func TestSTFPeriodicity(t *testing.T) {
+	stf := GenerateSTF()
+	if len(stf) != STFLen {
+		t.Fatalf("STF length %d, want %d", len(stf), STFLen)
+	}
+	// Only every 4th subcarrier is loaded -> 16-sample periodicity.
+	for i := 0; i+16 < len(stf); i++ {
+		if cmplx.Abs(stf[i]-stf[i+16]) > 1e-9 {
+			t.Fatalf("STF not 16-periodic at sample %d", i)
+		}
+	}
+}
+
+func TestLTFStructure(t *testing.T) {
+	ltf := GenerateLTF()
+	if len(ltf) != LTFLen {
+		t.Fatalf("LTF length %d, want %d", len(ltf), LTFLen)
+	}
+	// The two training symbols are identical.
+	for i := 0; i < NumSubcarriers; i++ {
+		if cmplx.Abs(ltf[LTFGuardLen+i]-ltf[LTFGuardLen+NumSubcarriers+i]) > 1e-9 {
+			t.Fatalf("LTF symbols differ at %d", i)
+		}
+	}
+	// The guard is the cyclic tail of the symbol.
+	for i := 0; i < LTFGuardLen; i++ {
+		if cmplx.Abs(ltf[i]-ltf[LTFGuardLen+NumSubcarriers-LTFGuardLen+i]) > 1e-9 {
+			t.Fatalf("LTF guard not cyclic at %d", i)
+		}
+	}
+}
+
+func TestAssembleSymbolRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]byte, NumData*2)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		data, err := modem.Map(modem.QPSK, bits)
+		if err != nil {
+			return false
+		}
+		sym, err := AssembleSymbol(data, 3, 0)
+		if err != nil {
+			return false
+		}
+		if len(sym) != SymbolLen {
+			return false
+		}
+		bins, err := SymbolBins(sym)
+		if err != nil {
+			return false
+		}
+		got := ExtractData(bins)
+		for i := range data {
+			if cmplx.Abs(got[i]-data[i]) > 1e-9 {
+				return false
+			}
+		}
+		pilots := ExtractPilots(bins)
+		want := PilotValues(3)
+		for i := range pilots {
+			if cmplx.Abs(pilots[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleSymbolCyclicPrefix(t *testing.T) {
+	data := make([]complex128, NumData)
+	for i := range data {
+		data[i] = complex(1, 0)
+	}
+	sym, err := AssembleSymbol(data, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < CyclicPrefixLen; i++ {
+		if cmplx.Abs(sym[i]-sym[NumSubcarriers+i]) > 1e-12 {
+			t.Fatalf("cyclic prefix mismatch at %d", i)
+		}
+	}
+}
+
+func TestAssembleSymbolBadInput(t *testing.T) {
+	if _, err := AssembleSymbol(make([]complex128, 47), 0, 0); err == nil {
+		t.Error("accepted 47 data points")
+	}
+	if _, err := SymbolBins(make([]complex128, 10)); err == nil {
+		t.Error("accepted short symbol")
+	}
+}
+
+func TestInjectedPhaseVisibleOnPilots(t *testing.T) {
+	data := make([]complex128, NumData)
+	for i := range data {
+		data[i] = 1
+	}
+	const inject = math.Pi / 4
+	sym, err := AssembleSymbol(data, 1, inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, err := SymbolBins(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, weight := TrackPilotPhase(bins, 1)
+	if weight <= 0 {
+		t.Fatal("zero pilot weight")
+	}
+	if math.Abs(dsp.WrapPhase(theta-inject)) > 1e-9 {
+		t.Errorf("tracked phase %v, want %v", theta, inject)
+	}
+	// After compensation the data comes back clean: the side channel does
+	// not disturb payload decoding.
+	CompensatePhase(bins, theta)
+	got := ExtractData(bins)
+	for i := range got {
+		if cmplx.Abs(got[i]-1) > 1e-9 {
+			t.Fatalf("data point %d = %v after compensation", i, got[i])
+		}
+	}
+}
+
+func TestDetectPacketCleanSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	noise := dsp.NewGaussianSource(rng)
+	for _, offset := range []int{0, 13, 200} {
+		rx := make([]complex128, offset)
+		noise.AddNoise(rx, 1e-6)
+		rx = append(rx, GeneratePreamble()...)
+		// Trailing payload-ish samples.
+		tail := make([]complex128, 400)
+		noise.AddNoise(tail, 0.05)
+		rx = append(rx, tail...)
+		start, ok := DetectPacket(rx)
+		if !ok {
+			t.Fatalf("offset %d: packet not detected", offset)
+		}
+		if start != offset {
+			t.Errorf("offset %d: detected start %d", offset, start)
+		}
+	}
+}
+
+func TestDetectPacketNoisySignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	noise := dsp.NewGaussianSource(rng)
+	preamble := GeneratePreamble()
+	sigPower := dsp.MeanPower(preamble)
+	const offset = 57
+	detected := 0
+	for trial := 0; trial < 20; trial++ {
+		rx := make([]complex128, offset+len(preamble)+100)
+		copy(rx[offset:], preamble)
+		noise.AddNoise(rx, dsp.NoiseVarianceForSNR(sigPower, 10))
+		start, ok := DetectPacket(rx)
+		if ok && abs(start-offset) <= 1 {
+			detected++
+		}
+	}
+	if detected < 18 {
+		t.Errorf("detected %d/20 at 10 dB SNR", detected)
+	}
+}
+
+func TestDetectPacketPureNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	noise := dsp.NewGaussianSource(rng)
+	falsePositives := 0
+	for trial := 0; trial < 10; trial++ {
+		rx := make([]complex128, 1000)
+		noise.AddNoise(rx, 1)
+		if _, ok := DetectPacket(rx); ok {
+			falsePositives++
+		}
+	}
+	if falsePositives > 2 {
+		t.Errorf("%d/10 false detections on pure noise", falsePositives)
+	}
+}
+
+func TestEstimateCFOAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	noise := dsp.NewGaussianSource(rng)
+	preamble := GeneratePreamble()
+	sigPower := dsp.MeanPower(preamble)
+	for _, epsHz := range []float64{0, 1e3, -5e3, 20e3, -50e3} {
+		eps := 2 * math.Pi * epsHz / SampleRate
+		rx := append([]complex128(nil), preamble...)
+		for i := range rx {
+			rx[i] *= cmplx.Exp(complex(0, eps*float64(i)))
+		}
+		noise.AddNoise(rx, dsp.NoiseVarianceForSNR(sigPower, 25))
+		got := EstimateCFO(rx, 0)
+		gotHz := got * SampleRate / (2 * math.Pi)
+		// The Cramér-Rao bound for a 64-sample correlation at 25 dB SNR is
+		// ~350 Hz; anything inside ~3 sigma is a correct estimator.
+		if math.Abs(gotHz-epsHz) > 1000 {
+			t.Errorf("CFO %v Hz estimated as %.1f Hz", epsHz, gotHz)
+		}
+	}
+}
+
+func TestCorrectCFORemovesRotation(t *testing.T) {
+	preamble := GeneratePreamble()
+	const eps = 0.002
+	rx := append([]complex128(nil), preamble...)
+	for i := range rx {
+		rx[i] *= cmplx.Exp(complex(0, eps*float64(i)))
+	}
+	CorrectCFO(rx, eps, 0)
+	for i := range rx {
+		if cmplx.Abs(rx[i]-preamble[i]) > 1e-9 {
+			t.Fatalf("sample %d not restored", i)
+		}
+	}
+}
+
+func TestEstimateChannelFlat(t *testing.T) {
+	// Through an identity channel the estimate is 1 on all occupied bins.
+	rx := GeneratePreamble()
+	h, err := EstimateChannel(rx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		if cmplx.Abs(h[Bin(k)]-1) > 1e-9 {
+			t.Errorf("H(%d) = %v, want 1", k, h[Bin(k)])
+		}
+	}
+}
+
+func TestEstimateChannelScaledAndRotated(t *testing.T) {
+	rx := GeneratePreamble()
+	g := complex(0.5, 0.5)
+	for i := range rx {
+		rx[i] *= g
+	}
+	h, err := EstimateChannel(rx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		if cmplx.Abs(h[Bin(k)]-g) > 1e-9 {
+			t.Errorf("H(%d) = %v, want %v", k, h[Bin(k)], g)
+		}
+	}
+}
+
+func TestEstimateChannelShortInput(t *testing.T) {
+	if _, err := EstimateChannel(make([]complex128, 10), 0); err == nil {
+		t.Error("accepted short input")
+	}
+}
+
+func TestEqualizeInvertsChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	bits := make([]byte, NumData*2)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	data, err := modem.Map(modem.QPSK, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := AssembleSymbol(data, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply a per-bin channel in frequency domain by time-domain circular
+	// convolution equivalence: simplest is to pass through a one-tap gain.
+	g := complex(0.3, -0.8)
+	for i := range sym {
+		sym[i] *= g
+	}
+	bins, err := SymbolBins(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	channel := make([]complex128, NumSubcarriers)
+	for i := range channel {
+		channel[i] = g
+	}
+	if err := Equalize(bins, channel); err != nil {
+		t.Fatal(err)
+	}
+	got := ExtractData(bins)
+	for i := range data {
+		if cmplx.Abs(got[i]-data[i]) > 1e-9 {
+			t.Fatalf("data %d not equalized: %v vs %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestEqualizeBadLengths(t *testing.T) {
+	if err := Equalize(make([]complex128, 10), make([]complex128, 64)); err == nil {
+		t.Error("accepted short bins")
+	}
+	if err := Equalize(make([]complex128, 64), make([]complex128, 63)); err == nil {
+		t.Error("accepted short channel")
+	}
+}
+
+func TestResidualCFOSlope(t *testing.T) {
+	// Perfect linear drift with wrapping.
+	const slope = 0.3
+	phases := make([]float64, 40)
+	for i := range phases {
+		phases[i] = dsp.WrapPhase(slope * float64(i))
+	}
+	if got := ResidualCFOSlope(phases); math.Abs(got-slope) > 1e-9 {
+		t.Errorf("slope %v, want %v", got, slope)
+	}
+	if got := ResidualCFOSlope(nil); got != 0 {
+		t.Errorf("empty slope %v, want 0", got)
+	}
+	if got := ResidualCFOSlope([]float64{1}); got != 0 {
+		t.Errorf("single-point slope %v, want 0", got)
+	}
+}
+
+func TestSymbolDurationIs4Microseconds(t *testing.T) {
+	if math.Abs(SymbolDuration-4e-6) > 1e-12 {
+		t.Errorf("symbol duration %v, want 4 µs", SymbolDuration)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

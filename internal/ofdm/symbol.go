@@ -1,0 +1,67 @@
+package ofdm
+
+import (
+	"fmt"
+
+	"carpool/internal/dsp"
+)
+
+// AssembleSymbol builds one time-domain OFDM symbol (80 samples including
+// the cyclic prefix) from 48 data constellation points. symIndex selects the
+// pilot polarity (0 = SIG). An optional extra phase rotation, applied to all
+// data AND pilot subcarriers, implements the Carpool phase-offset side
+// channel; pass 0 for a standard symbol.
+func AssembleSymbol(data []complex128, symIndex int, injectedPhase float64) ([]complex128, error) {
+	if len(data) != NumData {
+		return nil, fmt.Errorf("ofdm: symbol needs %d data points, got %d", NumData, len(data))
+	}
+	bins := make([]complex128, NumSubcarriers)
+	for i, k := range DataIndices {
+		bins[Bin(k)] = data[i]
+	}
+	for i, k := range PilotIndices {
+		bins[Bin(k)] = PilotValues(symIndex)[i]
+	}
+	if injectedPhase != 0 {
+		dsp.Rotate(bins, injectedPhase)
+	}
+	if err := dsp.IFFT(bins); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, SymbolLen)
+	copy(out, bins[NumSubcarriers-CyclicPrefixLen:])
+	copy(out[CyclicPrefixLen:], bins)
+	return out, nil
+}
+
+// SymbolBins strips the cyclic prefix from one received 80-sample symbol and
+// returns its 64 frequency-domain bins.
+func SymbolBins(samples []complex128) ([]complex128, error) {
+	if len(samples) < SymbolLen {
+		return nil, fmt.Errorf("ofdm: need %d samples per symbol, got %d", SymbolLen, len(samples))
+	}
+	bins := make([]complex128, NumSubcarriers)
+	copy(bins, samples[CyclicPrefixLen:SymbolLen])
+	if err := dsp.FFT(bins); err != nil {
+		return nil, err
+	}
+	return bins, nil
+}
+
+// ExtractData picks the 48 equalized data points out of 64 bins.
+func ExtractData(bins []complex128) []complex128 {
+	out := make([]complex128, NumData)
+	for i, k := range DataIndices {
+		out[i] = bins[Bin(k)]
+	}
+	return out
+}
+
+// ExtractPilots picks the 4 received pilot points out of 64 bins.
+func ExtractPilots(bins []complex128) [NumPilots]complex128 {
+	var out [NumPilots]complex128
+	for i, k := range PilotIndices {
+		out[i] = bins[Bin(k)]
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package phy
+
+// BytesToBits expands bytes into bits, LSB first within each byte, matching
+// the 802.11 over-the-air bit ordering.
+func BytesToBits(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			out = append(out, (b>>i)&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bits (LSB first) back into bytes. Trailing bits that do
+// not fill a byte are dropped.
+func BitsToBytes(bits []byte) []byte {
+	out := make([]byte, len(bits)/8)
+	for i := range out {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b |= (bits[i*8+j] & 1) << j
+		}
+		out[i] = b
+	}
+	return out
+}

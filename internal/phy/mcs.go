@@ -1,0 +1,93 @@
+// Package phy implements the complete IEEE 802.11a/g OFDM transceiver that
+// Carpool's prototype is built on: PLCP framing (preamble, SIG field, DATA
+// field with service/tail/pad bits), the scramble -> convolutional-encode ->
+// interleave -> map -> IFFT transmit chain, and the synchronize -> CFO ->
+// equalize -> phase-track -> demap -> Viterbi -> descramble receive chain.
+//
+// The receiver takes a pluggable ChannelTracker so Carpool's real-time
+// channel estimation (internal/core) can replace the standard
+// preamble-only estimate, and an optional phase-offset side channel
+// (internal/sidechannel) that carries symbol-level CRCs.
+package phy
+
+import (
+	"fmt"
+
+	"carpool/internal/fec"
+	"carpool/internal/modem"
+	"carpool/internal/ofdm"
+)
+
+// MCS is one 802.11a modulation-and-coding scheme.
+type MCS struct {
+	Mod  modem.Modulation
+	Rate fec.CodeRate
+}
+
+// The eight 802.11a MCSs.
+var (
+	MCS6  = MCS{modem.BPSK, fec.Rate1_2}  // 6 Mbit/s
+	MCS9  = MCS{modem.BPSK, fec.Rate3_4}  // 9 Mbit/s
+	MCS12 = MCS{modem.QPSK, fec.Rate1_2}  // 12 Mbit/s
+	MCS18 = MCS{modem.QPSK, fec.Rate3_4}  // 18 Mbit/s
+	MCS24 = MCS{modem.QAM16, fec.Rate1_2} // 24 Mbit/s
+	MCS36 = MCS{modem.QAM16, fec.Rate3_4} // 36 Mbit/s
+	MCS48 = MCS{modem.QAM64, fec.Rate2_3} // 48 Mbit/s
+	MCS54 = MCS{modem.QAM64, fec.Rate3_4} // 54 Mbit/s
+)
+
+// AllMCS lists every scheme in increasing rate order.
+func AllMCS() []MCS {
+	return []MCS{MCS6, MCS9, MCS12, MCS18, MCS24, MCS36, MCS48, MCS54}
+}
+
+// rateBits maps each MCS to its SIG RATE field (Std 802.11-2012 Table 18-6),
+// MSB first.
+var rateBits = map[MCS]byte{
+	MCS6: 0b1101, MCS9: 0b1111, MCS12: 0b0101, MCS18: 0b0111,
+	MCS24: 0b1001, MCS36: 0b1011, MCS48: 0b0001, MCS54: 0b0011,
+}
+
+var mcsByRateBits = invertRateBits()
+
+func invertRateBits() map[byte]MCS {
+	out := make(map[byte]MCS, len(rateBits))
+	for m, b := range rateBits {
+		out[b] = m
+	}
+	return out
+}
+
+// Valid reports whether m is one of the eight standard schemes.
+func (m MCS) Valid() bool {
+	_, ok := rateBits[m]
+	return ok
+}
+
+// String names the scheme, e.g. "QAM64 3/4".
+func (m MCS) String() string {
+	return fmt.Sprintf("%v %v", m.Mod, m.Rate)
+}
+
+// CodedBitsPerSymbol returns N_CBPS for this scheme (48..288).
+func (m MCS) CodedBitsPerSymbol() int {
+	return ofdm.NumData * m.Mod.BitsPerSymbol()
+}
+
+// DataBitsPerSymbol returns N_DBPS: information bits per OFDM symbol.
+func (m MCS) DataBitsPerSymbol() int {
+	return int(float64(m.CodedBitsPerSymbol())*m.Rate.Ratio() + 0.5)
+}
+
+// DataRateMbps returns the nominal PHY rate (N_DBPS per 4 µs symbol).
+func (m MCS) DataRateMbps() float64 {
+	return float64(m.DataBitsPerSymbol()) / 4.0
+}
+
+// NumSymbols returns the number of OFDM data symbols needed for a payload
+// of n bytes (service + tail + padding included).
+func (m MCS) NumSymbols(n int) int {
+	bits := serviceBits + 8*n + fec.TailBits
+	ndbps := m.DataBitsPerSymbol()
+	return (bits + ndbps - 1) / ndbps
+}

@@ -1,0 +1,423 @@
+package phy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"carpool/internal/channel"
+	"carpool/internal/sidechannel"
+)
+
+func randomPayload(rng *rand.Rand, n int) []byte {
+	p := make([]byte, n)
+	rng.Read(p)
+	return p
+}
+
+func TestBytesToBitsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesToBitsLSBFirst(t *testing.T) {
+	bits := BytesToBits([]byte{0x01, 0x80})
+	want := []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	if !bytes.Equal(bits, want) {
+		t.Errorf("got %v, want %v", bits, want)
+	}
+}
+
+func TestMCSTable(t *testing.T) {
+	tests := []struct {
+		mcs   MCS
+		ncbps int
+		ndbps int
+		mbps  float64
+	}{
+		{MCS6, 48, 24, 6}, {MCS9, 48, 36, 9}, {MCS12, 96, 48, 12}, {MCS18, 96, 72, 18},
+		{MCS24, 192, 96, 24}, {MCS36, 192, 144, 36}, {MCS48, 288, 192, 48}, {MCS54, 288, 216, 54},
+	}
+	for _, tt := range tests {
+		if got := tt.mcs.CodedBitsPerSymbol(); got != tt.ncbps {
+			t.Errorf("%v: NCBPS %d, want %d", tt.mcs, got, tt.ncbps)
+		}
+		if got := tt.mcs.DataBitsPerSymbol(); got != tt.ndbps {
+			t.Errorf("%v: NDBPS %d, want %d", tt.mcs, got, tt.ndbps)
+		}
+		if got := tt.mcs.DataRateMbps(); got != tt.mbps {
+			t.Errorf("%v: rate %v, want %v", tt.mcs, got, tt.mbps)
+		}
+		if !tt.mcs.Valid() {
+			t.Errorf("%v should be valid", tt.mcs)
+		}
+	}
+	if (MCS{}).Valid() {
+		t.Error("zero MCS should be invalid")
+	}
+	if len(AllMCS()) != 8 {
+		t.Error("expected 8 MCSs")
+	}
+}
+
+func TestMCSNumSymbols(t *testing.T) {
+	// 100 bytes at MCS54: 16+800+6 = 822 bits / 216 = 3.8 -> 4 symbols.
+	if got := MCS54.NumSymbols(100); got != 4 {
+		t.Errorf("NumSymbols(100) = %d, want 4", got)
+	}
+	// 1 byte at MCS6: 30 bits / 24 -> 2 symbols.
+	if got := MCS6.NumSymbols(1); got != 2 {
+		t.Errorf("NumSymbols(1) = %d, want 2", got)
+	}
+}
+
+func TestSIGBitsRoundTrip(t *testing.T) {
+	for _, mcs := range AllMCS() {
+		for _, length := range []int{1, 100, 1500, 4095} {
+			s := SIG{MCS: mcs, Length: length}
+			bits, err := encodeSIGBits(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := decodeSIGBits(bits)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", mcs, length, err)
+			}
+			if got != s {
+				t.Errorf("round trip %+v -> %+v", s, got)
+			}
+		}
+	}
+}
+
+func TestSIGBitsValidation(t *testing.T) {
+	if _, err := encodeSIGBits(SIG{MCS: MCS{}, Length: 10}); err == nil {
+		t.Error("accepted invalid MCS")
+	}
+	if _, err := encodeSIGBits(SIG{MCS: MCS6, Length: 0}); err == nil {
+		t.Error("accepted zero length")
+	}
+	if _, err := encodeSIGBits(SIG{MCS: MCS6, Length: 4096}); err == nil {
+		t.Error("accepted oversized length")
+	}
+	bits, err := encodeSIGBits(SIG{MCS: MCS12, Length: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parity flip detected.
+	bad := append([]byte(nil), bits...)
+	bad[2] ^= 1
+	if _, err := decodeSIGBits(bad); err == nil {
+		t.Error("accepted parity violation")
+	}
+	// Nonzero tail detected.
+	bad = append([]byte(nil), bits...)
+	bad[20] ^= 1
+	if _, err := decodeSIGBits(bad); err == nil {
+		t.Error("accepted nonzero tail")
+	}
+	if _, err := decodeSIGBits(bits[:10]); err == nil {
+		t.Error("accepted short bit vector")
+	}
+}
+
+func TestEncodeDecodeDataField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mcs := range AllMCS() {
+		payload := randomPayload(rng, 300)
+		blocks, err := EncodeDataField(payload, mcs, 0x35)
+		if err != nil {
+			t.Fatalf("%v: %v", mcs, err)
+		}
+		if len(blocks) != mcs.NumSymbols(len(payload)) {
+			t.Errorf("%v: %d blocks, want %d", mcs, len(blocks), mcs.NumSymbols(len(payload)))
+		}
+		for _, b := range blocks {
+			if len(b) != mcs.CodedBitsPerSymbol() {
+				t.Fatalf("%v: block size %d, want %d", mcs, len(b), mcs.CodedBitsPerSymbol())
+			}
+		}
+		got, err := DecodeDataField(blocks, mcs, len(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("%v: payload corrupted through clean encode/decode", mcs)
+		}
+	}
+}
+
+func TestEncodeDataFieldValidation(t *testing.T) {
+	if _, err := EncodeDataField(nil, MCS6, 0); err == nil {
+		t.Error("accepted empty payload")
+	}
+	if _, err := EncodeDataField([]byte{1}, MCS{}, 0); err == nil {
+		t.Error("accepted invalid MCS")
+	}
+	if _, err := DecodeDataField(nil, MCS6, 10); err == nil {
+		t.Error("accepted missing blocks")
+	}
+	if _, err := DecodeDataField(nil, MCS{}, 10); err == nil {
+		t.Error("accepted invalid MCS")
+	}
+	if _, err := DecodeDataField(nil, MCS6, 0); err == nil {
+		t.Error("accepted zero payload length")
+	}
+}
+
+func TestScramblerSeedRecovery(t *testing.T) {
+	// Different seeds at the transmitter must be transparent to the
+	// receiver, which recovers the state from the SERVICE field.
+	rng := rand.New(rand.NewSource(2))
+	payload := randomPayload(rng, 64)
+	for _, seed := range []byte{0x7f, 0x01, 0x35, 0x5a, 0} {
+		blocks, err := EncodeDataField(payload, MCS12, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDataField(blocks, MCS12, len(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("seed %#x: payload corrupted", seed)
+		}
+	}
+}
+
+func TestTransmitFrameShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	payload := randomPayload(rng, 200)
+	frame, err := Transmit(payload, TxConfig{MCS: MCS24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSyms := MCS24.NumSymbols(200)
+	if frame.NumDataSymbols() != wantSyms {
+		t.Errorf("%d data symbols, want %d", frame.NumDataSymbols(), wantSyms)
+	}
+	wantSamples := 320 + (1+wantSyms)*80
+	if len(frame.Samples) != wantSamples {
+		t.Errorf("%d samples, want %d", len(frame.Samples), wantSamples)
+	}
+	if frame.SideBits != nil {
+		t.Error("side bits present without side channel")
+	}
+	wantAirtime := float64(wantSamples) / 20e6
+	if frame.AirtimeSeconds() != wantAirtime {
+		t.Errorf("airtime %v, want %v", frame.AirtimeSeconds(), wantAirtime)
+	}
+}
+
+func TestTransmitRejectsOversizedPayload(t *testing.T) {
+	if _, err := Transmit(make([]byte, 5000), TxConfig{MCS: MCS54}); err == nil {
+		t.Error("accepted payload beyond SIG limit")
+	}
+}
+
+func TestLoopbackCleanChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, mcs := range AllMCS() {
+		payload := randomPayload(rng, 400)
+		frame, err := Transmit(payload, TxConfig{MCS: mcs, ScramblerSeed: 0x11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Receive(frame.Samples, RxConfig{KnownStart: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != StatusOK {
+			t.Fatalf("%v: status %v", mcs, res.Status)
+		}
+		if res.SIG != frame.SIG {
+			t.Errorf("%v: SIG %+v, want %+v", mcs, res.SIG, frame.SIG)
+		}
+		if !bytes.Equal(res.Payload, payload) {
+			t.Errorf("%v: payload corrupted over clean channel", mcs)
+		}
+	}
+}
+
+func TestLoopbackWithSideChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	scheme := sidechannel.DefaultScheme()
+	payload := randomPayload(rng, 600)
+	frame, err := Transmit(payload, TxConfig{MCS: MCS48, SideChannel: &scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame.SideBits) != frame.NumDataSymbols() {
+		t.Fatalf("side bits for %d symbols, want %d", len(frame.SideBits), frame.NumDataSymbols())
+	}
+	res, err := Receive(frame.Samples, RxConfig{KnownStart: 0, SideChannel: &scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Error("payload corrupted")
+	}
+	// Every side-channel bit decodes cleanly, every symbol verdict is OK.
+	for i := range frame.SideBits {
+		if !bytes.Equal(res.SideBits[i], frame.SideBits[i]) {
+			t.Fatalf("side bits of symbol %d: got %v, want %v", i, res.SideBits[i], frame.SideBits[i])
+		}
+		if !res.SymbolOK[i] {
+			t.Errorf("symbol %d flagged incorrect on a clean channel", i)
+		}
+	}
+}
+
+func TestLoopbackAllGranularitySchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	payload := randomPayload(rng, 500)
+	for _, a := range []sidechannel.Alphabet{sidechannel.OneBit, sidechannel.TwoBit} {
+		for g := 1; g <= 3; g++ {
+			scheme := sidechannel.Scheme{Alphabet: a, GroupSize: g}
+			frame, err := Transmit(payload, TxConfig{MCS: MCS24, SideChannel: &scheme})
+			if err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+			res, err := Receive(frame.Samples, RxConfig{KnownStart: 0, SideChannel: &scheme})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != StatusOK || !bytes.Equal(res.Payload, payload) {
+				t.Errorf("%v: loopback failed", scheme)
+			}
+			for i, ok := range res.SymbolOK {
+				if !ok {
+					t.Errorf("%v: symbol %d flagged incorrect", scheme, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReceiveThroughBenignChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	payload := randomPayload(rng, 500)
+	scheme := sidechannel.DefaultScheme()
+	frame, err := Transmit(payload, TxConfig{MCS: MCS24, SideChannel: &scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(channel.Config{
+		SNRdB: 28, NumTaps: 3, RicianK: 10, CFOHz: 800, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepend idle noise so detection has to work.
+	rx := make([]complex128, 150)
+	rx = append(rx, frame.Samples...)
+	rx = append(rx, make([]complex128, 50)...)
+	res, err := Receive(ch.Transmit(rx), RxConfig{KnownStart: -1, SideChannel: &scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	if !bytes.Equal(res.Payload, payload) {
+		t.Error("payload corrupted through 28 dB channel")
+	}
+}
+
+func TestReceiveNoPacket(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	noise := make([]complex128, 2000)
+	for i := range noise {
+		noise[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	res, err := Receive(noise, RxConfig{KnownStart: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == StatusOK {
+		t.Error("decoded a frame from pure noise")
+	}
+}
+
+func TestReceiveTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	payload := randomPayload(rng, 800)
+	frame, err := Transmit(payload, TxConfig{MCS: MCS6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Receive(frame.Samples[:len(frame.Samples)/2], RxConfig{KnownStart: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusTruncated {
+		t.Errorf("status %v, want truncated", res.Status)
+	}
+}
+
+func TestReceiveSkipFEC(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	payload := randomPayload(rng, 300)
+	frame, err := Transmit(payload, TxConfig{MCS: MCS36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Receive(frame.Samples, RxConfig{KnownStart: 0, SkipFEC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Payload != nil {
+		t.Error("payload decoded despite SkipFEC")
+	}
+	errs, bits := CompareBlocks(frame.Blocks, res.Blocks)
+	if bits != MCS36.CodedBitsPerSymbol() {
+		t.Errorf("bits per symbol %d", bits)
+	}
+	for i, e := range errs {
+		if e != 0 {
+			t.Errorf("symbol %d has %d bit errors on a clean channel", i, e)
+		}
+	}
+}
+
+func TestCompareBlocksCountsErrors(t *testing.T) {
+	tx := [][]byte{{0, 0, 0, 0}, {1, 1, 1, 1}}
+	rx := [][]byte{{0, 1, 0, 1}, {1, 1, 1, 1}}
+	errs, bits := CompareBlocks(tx, rx)
+	if bits != 4 || errs[0] != 2 || errs[1] != 0 {
+		t.Errorf("errs=%v bits=%d", errs, bits)
+	}
+}
+
+func TestPhaseUnwrapDiff(t *testing.T) {
+	if PhaseUnwrapDiff([]float64{1}) != nil {
+		t.Error("single phase should yield nil")
+	}
+	d := PhaseUnwrapDiff([]float64{0, 1, -3})
+	if len(d) != 2 {
+		t.Fatalf("got %d diffs", len(d))
+	}
+}
+
+func TestRxStatusString(t *testing.T) {
+	for s, want := range map[RxStatus]string{
+		StatusOK: "ok", StatusNoPreamble: "no-preamble",
+		StatusBadSIG: "bad-sig", StatusTruncated: "truncated",
+		RxStatus(99): "RxStatus(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

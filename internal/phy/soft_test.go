@@ -1,0 +1,91 @@
+package phy_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"carpool/internal/channel"
+	"carpool/internal/phy"
+)
+
+func TestSoftFECCleanLoopback(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, mcs := range []phy.MCS{phy.MCS6, phy.MCS24, phy.MCS54} {
+		payload := make([]byte, 300)
+		rng.Read(payload)
+		frame, err := phy.Transmit(payload, phy.TxConfig{MCS: mcs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := phy.Receive(frame.Samples, phy.RxConfig{KnownStart: 0, SoftFEC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != phy.StatusOK || !bytes.Equal(res.Payload, payload) {
+			t.Errorf("%v: soft loopback failed", mcs)
+		}
+	}
+}
+
+func TestSoftFECBeatsHardAtLowSNR(t *testing.T) {
+	// Sweep a marginal SNR band: the soft receiver must recover strictly
+	// more frames than the hard one.
+	rng := rand.New(rand.NewSource(81))
+	payload := make([]byte, 500)
+	var hardOK, softOK int
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		rng.Read(payload)
+		frame, err := phy.Transmit(payload, phy.TxConfig{MCS: phy.MCS24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkCh := func() *channel.Model {
+			ch, err := channel.New(channel.Config{
+				SNRdB: 11.5, NumTaps: 3, RicianK: 15, TapDecay: 3,
+				Seed: int64(trial) + 500,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ch
+		}
+		rxHard, err := phy.Receive(mkCh().Transmit(frame.Samples),
+			phy.RxConfig{KnownStart: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rxSoft, err := phy.Receive(mkCh().Transmit(frame.Samples),
+			phy.RxConfig{KnownStart: 0, SoftFEC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rxHard.Status == phy.StatusOK && bytes.Equal(rxHard.Payload, payload) {
+			hardOK++
+		}
+		if rxSoft.Status == phy.StatusOK && bytes.Equal(rxSoft.Payload, payload) {
+			softOK++
+		}
+	}
+	t.Logf("hard %d/%d, soft %d/%d", hardOK, trials, softOK, trials)
+	if hardOK == trials {
+		t.Skip("channel too clean to separate decoders")
+	}
+	if softOK <= hardOK {
+		t.Errorf("soft decoding (%d/%d) not better than hard (%d/%d)",
+			softOK, trials, hardOK, trials)
+	}
+}
+
+func TestDecodeDataFieldSoftValidation(t *testing.T) {
+	if _, err := phy.DecodeDataFieldSoft(nil, phy.MCS{}, 10); err == nil {
+		t.Error("accepted invalid MCS")
+	}
+	if _, err := phy.DecodeDataFieldSoft(nil, phy.MCS24, 0); err == nil {
+		t.Error("accepted zero payload length")
+	}
+	if _, err := phy.DecodeDataFieldSoft(nil, phy.MCS24, 100); err == nil {
+		t.Error("accepted missing LLR blocks")
+	}
+}

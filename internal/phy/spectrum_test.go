@@ -1,0 +1,54 @@
+package phy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"carpool/internal/dsp"
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+)
+
+func TestTransmitSpectrumOccupancy(t *testing.T) {
+	// The transmitted waveform must occupy the 52 loaded subcarriers and
+	// leave the DC bin and the guard band quiet — a waveform-level check
+	// that the whole TX chain maps onto the right bins.
+	rng := rand.New(rand.NewSource(95))
+	payload := make([]byte, 1500)
+	rng.Read(payload)
+	frame, err := phy.Transmit(payload, phy.TxConfig{MCS: phy.MCS48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PSD over the DATA field only (the preamble's STF loads fewer bins).
+	data := frame.Samples[ofdm.PreambleLen:]
+	psd, err := dsp.PSD(data, ofdm.NumSubcarriers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, v := range psd {
+		if v > peak {
+			peak = v
+		}
+	}
+	// Loaded bins carry real power.
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		if psd[ofdm.Bin(k)] < peak*0.05 {
+			t.Errorf("subcarrier %d nearly empty (%.2e vs peak %.2e)",
+				k, psd[ofdm.Bin(k)], peak)
+		}
+	}
+	// Deep guard bins stay far below the in-band level. (The 80-sample
+	// symbol period is not the 64-sample FFT period, so the cyclic prefix
+	// smears some energy into adjacent bins; the far guard must still sit
+	// well down.)
+	for _, k := range []int{-31, -30, 30, 31} {
+		if psd[ofdm.Bin(k)] > peak*0.2 {
+			t.Errorf("guard bin %d too hot: %.2e vs peak %.2e", k, psd[ofdm.Bin(k)], peak)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package phy
+
+import "carpool/internal/modem"
+
+// ChannelTracker abstracts how the receiver maintains its channel estimate
+// across the DATA symbols of a frame. The standard 802.11 receiver freezes
+// the preamble (LTF) estimate; Carpool's real-time estimator
+// (internal/core) keeps calibrating from correctly decoded symbols.
+type ChannelTracker interface {
+	// Init hands the tracker the LTF channel estimate and the DATA-field
+	// modulation before the first symbol.
+	Init(preambleEstimate []complex128, mod modem.Modulation)
+	// Estimate returns the 64-bin channel estimate to equalize the next
+	// symbol with. Callers must not mutate the result.
+	Estimate() []complex128
+	// Observe reports one decoded DATA symbol: its index (0-based within
+	// the DATA field), the raw (CFO-corrected, unequalized) FFT bins, the
+	// tracked common pilot phase, the hard-demapped interleaved coded
+	// bits, and whether the symbol's group passed its side-channel CRC.
+	Observe(symIdx int, rawBins []complex128, pilotPhase float64, codedBits []byte, correct bool)
+}
+
+// StandardTracker is the baseline preamble-only estimator: the LTF estimate
+// is used unchanged for every symbol of the frame, however long.
+type StandardTracker struct {
+	h []complex128
+}
+
+var _ ChannelTracker = (*StandardTracker)(nil)
+
+// NewStandardTracker returns a fresh baseline tracker.
+func NewStandardTracker() *StandardTracker { return &StandardTracker{} }
+
+// Init stores the preamble estimate.
+func (t *StandardTracker) Init(h []complex128, _ modem.Modulation) {
+	t.h = append(t.h[:0], h...)
+}
+
+// Estimate returns the frozen preamble estimate.
+func (t *StandardTracker) Estimate() []complex128 { return t.h }
+
+// Observe ignores everything: the standard receiver never recalibrates.
+func (t *StandardTracker) Observe(int, []complex128, float64, []byte, bool) {}

@@ -1,0 +1,180 @@
+// Package sidechannel implements Carpool's phase-offset side channel: a few
+// free bits per OFDM symbol carried as an extra constellation rotation that
+// the receiver's pilot-based phase tracking measures and compensates anyway,
+// so payload decoding is untouched (paper §5.2, Table 1).
+//
+// Bits are differentially encoded in the *difference* between consecutive
+// symbols' total phase offsets, which makes the channel immune to the
+// unbounded phase accumulation caused by residual CFO.
+package sidechannel
+
+import (
+	"fmt"
+	"math"
+
+	"carpool/internal/dsp"
+)
+
+// Alphabet selects the phase-offset modulation (Table 1).
+type Alphabet int
+
+// Supported alphabets. Values start at 1 so the zero value is invalid.
+const (
+	// OneBit maps 1 -> +90° and 0 -> -90°.
+	OneBit Alphabet = iota + 1
+	// TwoBit maps 11 -> +45°, 01 -> +135°, 00 -> -135°, 10 -> -45°.
+	TwoBit
+)
+
+// String names the alphabet.
+func (a Alphabet) String() string {
+	switch a {
+	case OneBit:
+		return "1-bit"
+	case TwoBit:
+		return "2-bit"
+	default:
+		return fmt.Sprintf("Alphabet(%d)", int(a))
+	}
+}
+
+// Valid reports whether a is usable.
+func (a Alphabet) Valid() bool { return a == OneBit || a == TwoBit }
+
+// BitsPerSymbol returns how many side-channel bits one OFDM symbol carries.
+func (a Alphabet) BitsPerSymbol() int {
+	switch a {
+	case OneBit:
+		return 1
+	case TwoBit:
+		return 2
+	default:
+		return 0
+	}
+}
+
+const deg = math.Pi / 180
+
+// PhaseForBits returns the phase-offset difference (radians) encoding the
+// given bits (Table 1). len(bits) must equal BitsPerSymbol().
+func (a Alphabet) PhaseForBits(bits []byte) (float64, error) {
+	switch a {
+	case OneBit:
+		if len(bits) != 1 {
+			return 0, fmt.Errorf("sidechannel: 1-bit alphabet needs 1 bit, got %d", len(bits))
+		}
+		if bits[0]&1 == 1 {
+			return 90 * deg, nil
+		}
+		return -90 * deg, nil
+	case TwoBit:
+		if len(bits) != 2 {
+			return 0, fmt.Errorf("sidechannel: 2-bit alphabet needs 2 bits, got %d", len(bits))
+		}
+		switch bits[0]&1<<1 | bits[1]&1 {
+		case 0b11:
+			return 45 * deg, nil
+		case 0b01:
+			return 135 * deg, nil
+		case 0b00:
+			return -135 * deg, nil
+		default: // 0b10
+			return -45 * deg, nil
+		}
+	default:
+		return 0, fmt.Errorf("sidechannel: invalid alphabet %v", a)
+	}
+}
+
+// BitsForPhase hard-decides a measured phase-offset difference back into
+// bits by nearest alphabet point.
+func (a Alphabet) BitsForPhase(delta float64) ([]byte, error) {
+	delta = dsp.WrapPhase(delta)
+	switch a {
+	case OneBit:
+		if delta >= 0 {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case TwoBit:
+		switch {
+		case delta >= 0 && delta < 90*deg:
+			return []byte{1, 1}, nil
+		case delta >= 90*deg:
+			return []byte{0, 1}, nil
+		case delta < -90*deg:
+			return []byte{0, 0}, nil
+		default:
+			return []byte{1, 0}, nil
+		}
+	default:
+		return nil, fmt.Errorf("sidechannel: invalid alphabet %v", a)
+	}
+}
+
+// Encoder turns a per-symbol bit stream into the cumulative phase offsets to
+// inject. It is stateful: offsets accumulate across symbols so that the
+// *difference* carries the data (Fig. 8(b)).
+type Encoder struct {
+	alphabet Alphabet
+	current  float64 // cumulative injected offset
+}
+
+// NewEncoder returns an encoder for the given alphabet.
+func NewEncoder(a Alphabet) (*Encoder, error) {
+	if !a.Valid() {
+		return nil, fmt.Errorf("sidechannel: invalid alphabet %v", a)
+	}
+	return &Encoder{alphabet: a}, nil
+}
+
+// Next consumes BitsPerSymbol bits and returns the absolute phase offset to
+// inject into the next OFDM symbol.
+func (e *Encoder) Next(bits []byte) (float64, error) {
+	d, err := e.alphabet.PhaseForBits(bits)
+	if err != nil {
+		return 0, err
+	}
+	e.current = dsp.WrapPhase(e.current + d)
+	return e.current, nil
+}
+
+// Decoder recovers side-channel bits from the sequence of total phase
+// offsets tracked by the receiver's pilots. The inherent (residual-CFO)
+// drift between adjacent symbols is small, so the nearest alphabet point to
+// each difference is the transmitted value.
+type Decoder struct {
+	alphabet Alphabet
+	prev     float64
+	primed   bool
+}
+
+// NewDecoder returns a decoder for the given alphabet.
+func NewDecoder(a Alphabet) (*Decoder, error) {
+	if !a.Valid() {
+		return nil, fmt.Errorf("sidechannel: invalid alphabet %v", a)
+	}
+	return &Decoder{alphabet: a}, nil
+}
+
+// Prime sets the phase reference without emitting bits; call it with the
+// tracked phase of the symbol preceding the side-channel payload (e.g. the
+// SIG symbol, which carries no injected offset).
+func (d *Decoder) Prime(phase float64) {
+	d.prev = phase
+	d.primed = true
+}
+
+// Next consumes the tracked total phase of one symbol and returns the
+// decoded bits. The first call after construction (without Prime) only
+// establishes the reference and returns nil.
+func (d *Decoder) Next(phase float64) ([]byte, error) {
+	if !d.primed {
+		d.prev = phase
+		d.primed = true
+		return nil, nil
+	}
+	delta := dsp.WrapPhase(phase - d.prev)
+	d.prev = phase
+	return d.alphabet.BitsForPhase(delta)
+}

@@ -1,0 +1,326 @@
+package sidechannel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"carpool/internal/dsp"
+)
+
+func TestAlphabetBasics(t *testing.T) {
+	if OneBit.BitsPerSymbol() != 1 || TwoBit.BitsPerSymbol() != 2 {
+		t.Error("wrong bits per symbol")
+	}
+	if Alphabet(0).BitsPerSymbol() != 0 {
+		t.Error("invalid alphabet should carry 0 bits")
+	}
+	if OneBit.String() != "1-bit" || TwoBit.String() != "2-bit" {
+		t.Error("wrong names")
+	}
+	if Alphabet(7).String() != "Alphabet(7)" {
+		t.Error("wrong fallback name")
+	}
+	if Alphabet(0).Valid() || Alphabet(3).Valid() {
+		t.Error("invalid alphabets reported valid")
+	}
+}
+
+func TestTable1Mapping(t *testing.T) {
+	// Exactly the paper's Table 1.
+	deg := math.Pi / 180
+	tests := []struct {
+		a     Alphabet
+		bits  []byte
+		phase float64
+	}{
+		{OneBit, []byte{1}, 90 * deg},
+		{OneBit, []byte{0}, -90 * deg},
+		{TwoBit, []byte{1, 1}, 45 * deg},
+		{TwoBit, []byte{0, 1}, 135 * deg},
+		{TwoBit, []byte{0, 0}, -135 * deg},
+		{TwoBit, []byte{1, 0}, -45 * deg},
+	}
+	for _, tt := range tests {
+		got, err := tt.a.PhaseForBits(tt.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.phase) > 1e-12 {
+			t.Errorf("%v %v -> %v, want %v", tt.a, tt.bits, got, tt.phase)
+		}
+		back, err := tt.a.BitsForPhase(tt.phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tt.bits {
+			if back[i] != tt.bits[i] {
+				t.Errorf("%v: phase %v decoded to %v, want %v", tt.a, tt.phase, back, tt.bits)
+			}
+		}
+	}
+}
+
+func TestPhaseForBitsErrors(t *testing.T) {
+	if _, err := OneBit.PhaseForBits([]byte{1, 0}); err == nil {
+		t.Error("accepted 2 bits for 1-bit alphabet")
+	}
+	if _, err := TwoBit.PhaseForBits([]byte{1}); err == nil {
+		t.Error("accepted 1 bit for 2-bit alphabet")
+	}
+	if _, err := Alphabet(0).PhaseForBits([]byte{1}); err == nil {
+		t.Error("accepted invalid alphabet")
+	}
+	if _, err := Alphabet(0).BitsForPhase(1); err == nil {
+		t.Error("accepted invalid alphabet")
+	}
+}
+
+func TestBitsForPhaseToleratesDrift(t *testing.T) {
+	// Up to ±40° of inherent drift must not flip a 2-bit decision (decision
+	// regions are 90° wide).
+	deg := math.Pi / 180
+	for _, tt := range []struct {
+		ideal float64
+		bits  []byte
+	}{
+		{45 * deg, []byte{1, 1}},
+		{135 * deg, []byte{0, 1}},
+		{-135 * deg, []byte{0, 0}},
+		{-45 * deg, []byte{1, 0}},
+	} {
+		for _, drift := range []float64{-40 * deg, -10 * deg, 0, 10 * deg, 40 * deg} {
+			got, err := TwoBit.BitsForPhase(tt.ideal + drift)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != tt.bits[0] || got[1] != tt.bits[1] {
+				t.Errorf("phase %v+%v decoded to %v, want %v", tt.ideal, drift, got, tt.bits)
+			}
+		}
+	}
+}
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	for _, a := range []Alphabet{OneBit, TwoBit} {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				enc, err := NewEncoder(a)
+				if err != nil {
+					return false
+				}
+				dec, err := NewDecoder(a)
+				if err != nil {
+					return false
+				}
+				dec.Prime(0) // reference phase of the unrotated SIG symbol
+				inherentDrift := 0.0
+				for sym := 0; sym < 200; sym++ {
+					bits := make([]byte, a.BitsPerSymbol())
+					for i := range bits {
+						bits[i] = byte(rng.Intn(2))
+					}
+					offset, err := enc.Next(bits)
+					if err != nil {
+						return false
+					}
+					// The receiver's pilots track injected offset + slowly
+					// accumulating residual-CFO drift + small noise.
+					inherentDrift += 0.01
+					measured := dsp.WrapPhase(offset + inherentDrift + (rng.Float64()-0.5)*0.1)
+					got, err := dec.Next(measured)
+					if err != nil {
+						return false
+					}
+					for i := range bits {
+						if got[i] != bits[i] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestDecoderFirstSymbolPrimesReference(t *testing.T) {
+	dec, err := NewDecoder(OneBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := dec.Next(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != nil {
+		t.Error("unprimed decoder should return nil on first symbol")
+	}
+	bits, err = dec.Next(0.3 + math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 1 || bits[0] != 1 {
+		t.Errorf("got %v, want [1]", bits)
+	}
+}
+
+func TestEncoderPhaseAccumulates(t *testing.T) {
+	// Paper example (Fig. 8b): to send "110" with 1-bit encoding, inject
+	// 90°, 180°, 90°.
+	enc, err := NewEncoder(OneBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := math.Pi / 180
+	want := []float64{90 * deg, 180 * deg, 90 * deg}
+	for i, b := range []byte{1, 1, 0} {
+		got, err := enc.Next([]byte{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dsp.WrapPhase(got-want[i])) > 1e-12 {
+			t.Errorf("symbol %d: offset %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestNewEncoderDecoderRejectInvalid(t *testing.T) {
+	if _, err := NewEncoder(Alphabet(0)); err == nil {
+		t.Error("NewEncoder accepted invalid alphabet")
+	}
+	if _, err := NewDecoder(Alphabet(9)); err == nil {
+		t.Error("NewDecoder accepted invalid alphabet")
+	}
+}
+
+func TestCRCKWidths(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0, 0, 1}
+	for _, k := range []int{1, 2, 3, 4, 6} {
+		c, err := CRCK(bits, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= 1<<k {
+			t.Errorf("CRC-%d out of range: %d", k, c)
+		}
+		// Single-bit flips are always detected.
+		for pos := range bits {
+			bad := append([]byte(nil), bits...)
+			bad[pos] ^= 1
+			c2, err := CRCK(bad, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c2 == c {
+				t.Errorf("CRC-%d missed single flip at %d", k, pos)
+			}
+		}
+	}
+	if _, err := CRCK(bits, 5); err == nil {
+		t.Error("accepted unsupported width 5")
+	}
+}
+
+func TestSchemeValidation(t *testing.T) {
+	if err := DefaultScheme().Validate(); err != nil {
+		t.Errorf("default scheme invalid: %v", err)
+	}
+	if DefaultScheme().CRCWidth() != 2 {
+		t.Error("default scheme should be CRC-2")
+	}
+	bad := []Scheme{
+		{Alphabet: Alphabet(0), GroupSize: 1},
+		{Alphabet: OneBit, GroupSize: 0},
+		{Alphabet: OneBit, GroupSize: 4},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scheme %+v accepted", s)
+		}
+	}
+	// The six studied schemes are all valid... except widths without a
+	// polynomial. 1-bit x {1,2,3} -> CRC-1,2,3; 2-bit x {1,2,3} -> CRC-2,4,6.
+	for _, a := range []Alphabet{OneBit, TwoBit} {
+		for g := 1; g <= 3; g++ {
+			s := Scheme{Alphabet: a, GroupSize: g}
+			if err := s.Validate(); err != nil {
+				t.Errorf("studied scheme %v rejected: %v", s, err)
+			}
+		}
+	}
+}
+
+func TestSchemeChecksumSplitsAcrossSymbols(t *testing.T) {
+	s := Scheme{Alphabet: TwoBit, GroupSize: 3} // CRC-6 across 3 symbols
+	bits := []byte{1, 1, 0, 1, 0, 0, 1, 0, 1, 1}
+	chunks, err := s.Checksum(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("%d chunks, want 3", len(chunks))
+	}
+	var reassembled uint32
+	for _, ch := range chunks {
+		if len(ch) != 2 {
+			t.Fatalf("chunk size %d, want 2", len(ch))
+		}
+		for _, b := range ch {
+			reassembled = reassembled<<1 | uint32(b)
+		}
+	}
+	want, err := CRCK(bits, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reassembled != want {
+		t.Errorf("reassembled CRC %06b, want %06b", reassembled, want)
+	}
+}
+
+func TestSchemeVerify(t *testing.T) {
+	s := DefaultScheme()
+	bits := []byte{1, 0, 1, 1, 1, 0, 0, 1}
+	chunks, err := s.Checksum(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Verify(bits, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("correct checksum rejected")
+	}
+	// Corrupt the data: must fail.
+	bad := append([]byte(nil), bits...)
+	bad[3] ^= 1
+	ok, err = s.Verify(bad, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("corrupted data accepted")
+	}
+	// Wrong chunk geometry: error.
+	if _, err := s.Verify(bits, nil); err == nil {
+		t.Error("accepted missing chunks")
+	}
+	if _, err := s.Verify(bits, [][]byte{{1, 0, 1}}); err == nil {
+		t.Error("accepted oversized chunk")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	s := Scheme{Alphabet: TwoBit, GroupSize: 1}
+	if got := s.String(); got != "2-bit x 1-symbol group (CRC-2)" {
+		t.Errorf("String() = %q", got)
+	}
+}

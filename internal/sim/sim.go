@@ -1,0 +1,102 @@
+// Package sim is a minimal deterministic discrete-event engine: a
+// monotonic clock plus a stable priority queue of callbacks. The MAC
+// simulator drives its traffic arrivals and timeouts through it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event executor. The zero value is ready to use.
+type Engine struct {
+	pq  eventHeap
+	now time.Duration
+	seq uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: that
+// is always a simulator bug, not a recoverable condition.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn after the given delay.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// PeekTime returns the time of the next event; ok is false when empty.
+func (e *Engine) PeekTime() (time.Duration, bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
+}
+
+// Step executes the next event, advancing the clock. It reports whether an
+// event was executed.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue empties or the next event lies
+// beyond the horizon; the clock then rests at min(horizon, last event time).
+func (e *Engine) RunUntil(horizon time.Duration) {
+	for {
+		t, ok := e.PeekTime()
+		if !ok || t > horizon {
+			if e.now < horizon && ok {
+				e.now = horizon
+			}
+			return
+		}
+		e.Step()
+	}
+}
+
+// AdvanceTo moves the clock forward without executing anything — the MAC
+// round loop uses it for channel-occupancy intervals. Moving backwards
+// panics.
+func (e *Engine) AdvanceTo(t time.Duration) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: advancing to %v before now %v", t, e.now))
+	}
+	e.now = t
+}

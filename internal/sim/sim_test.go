@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.RunUntil(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("clock at %v", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.RunUntil(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var e Engine
+	fired := time.Duration(0)
+	e.At(5*time.Millisecond, func() {
+		e.After(3*time.Millisecond, func() { fired = e.Now() })
+	})
+	e.RunUntil(time.Second)
+	if fired != 8*time.Millisecond {
+		t.Errorf("nested event at %v, want 8ms", fired)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(2*time.Second, func() { ran = true })
+	e.RunUntil(time.Second)
+	if ran {
+		t.Error("event beyond horizon executed")
+	}
+	if e.Now() != time.Second {
+		t.Errorf("clock at %v, want horizon", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("%d pending", e.Pending())
+	}
+}
+
+func TestStepAndPeek(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue reported execution")
+	}
+	if _, ok := e.PeekTime(); ok {
+		t.Error("PeekTime on empty queue reported an event")
+	}
+	e.At(time.Millisecond, func() {})
+	if at, ok := e.PeekTime(); !ok || at != time.Millisecond {
+		t.Error("PeekTime wrong")
+	}
+	if !e.Step() {
+		t.Error("Step did not execute")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.AdvanceTo(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.At(time.Millisecond, func() {})
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	var e Engine
+	e.AdvanceTo(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e.AdvanceTo(time.Millisecond)
+}

@@ -1,0 +1,117 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness uses: running moments, empirical CDFs, and BER counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates mean and variance online (Welford's algorithm).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval on the mean.
+func (r *Running) CI95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return 1.96 * r.Std() / math.Sqrt(float64(r.n))
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the samples.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile for q in [0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)))
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// BERCounter tallies bit errors against bits observed.
+type BERCounter struct {
+	Errors int64
+	Bits   int64
+}
+
+// Add folds in a batch.
+func (b *BERCounter) Add(errors, bits int) {
+	b.Errors += int64(errors)
+	b.Bits += int64(bits)
+}
+
+// Rate returns the observed bit error rate (0 when no bits were counted).
+func (b *BERCounter) Rate() float64 {
+	if b.Bits == 0 {
+		return 0
+	}
+	return float64(b.Errors) / float64(b.Bits)
+}
+
+// String formats the rate in scientific notation with the sample size.
+func (b *BERCounter) String() string {
+	return fmt.Sprintf("%.3e (%d/%d)", b.Rate(), b.Errors, b.Bits)
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.CI95() != 0 {
+		t.Error("zero value should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean %v, want 5", r.Mean())
+	}
+	// Unbiased variance of that classic sample is 32/7.
+	if math.Abs(r.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var %v, want %v", r.Var(), 32.0/7)
+	}
+	if r.CI95() <= 0 {
+		t.Error("CI should be positive")
+	}
+}
+
+func TestRunningMatchesBatchOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var r Running
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		r.Add(xs[i])
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs) - 1)
+	if math.Abs(r.Mean()-mean) > 1e-9 || math.Abs(r.Var()-v) > 1e-9 {
+		t.Error("running moments disagree with batch computation")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Errorf("median %v", got)
+	}
+	if c.Quantile(0) != 1 || c.Quantile(1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	empty := NewCDF(nil)
+	if empty.At(1) != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty CDF should report zeros")
+	}
+}
+
+func TestCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewCDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestBERCounter(t *testing.T) {
+	var b BERCounter
+	if b.Rate() != 0 {
+		t.Error("empty counter rate should be 0")
+	}
+	b.Add(3, 1000)
+	b.Add(0, 1000)
+	if math.Abs(b.Rate()-0.0015) > 1e-12 {
+		t.Errorf("rate %v", b.Rate())
+	}
+	if b.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"carpool/internal/channel"
+	"carpool/internal/fec"
+)
+
+// viterbiThreshold is the coded-BER waterfall midpoint of the hard-decision
+// Viterbi decoder per puncturing rate, calibrated on ~1500-byte frames with
+// this repository's decoder: a frame whose span-average coded BER exceeds
+// the threshold almost always fails FEC, and almost always survives below
+// it.
+var viterbiThreshold = map[fec.CodeRate]float64{
+	fec.Rate1_2: 0.030,
+	fec.Rate2_3: 0.012,
+	fec.Rate3_4: 0.008,
+}
+
+// Model is the trace-driven frame-delivery oracle the MAC simulator
+// queries. It holds one Trace per (location, estimation scheme).
+//
+// TrialHold adds temporal correlation: consecutive queries for one location
+// replay the same recorded reception for TrialHold queries before switching
+// to a fresh one. This models the fact that a retransmission a few
+// milliseconds after a loss sees the same fading state, so a station in a
+// bad channel epoch keeps failing rather than getting an independent draw.
+// The default (1) keeps queries independent.
+type Model struct {
+	cfg       Config
+	traces    map[int]map[Estimation]*Trace
+	rng       *rand.Rand
+	trialHold int
+	holdState map[int]*holdState
+}
+
+type holdState struct {
+	trial     int
+	remaining int
+}
+
+// SetTrialHold configures the per-location correlation length (minimum 1).
+func (m *Model) SetTrialHold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.trialHold = n
+}
+
+// currentTrial returns the trial index to replay for a location.
+func (m *Model) currentTrial(locID, numTrials int) int {
+	if m.trialHold <= 1 {
+		return m.rng.Intn(numTrials)
+	}
+	st, ok := m.holdState[locID]
+	if !ok {
+		st = &holdState{}
+		m.holdState[locID] = st
+		st.remaining = 0
+	}
+	if st.remaining == 0 {
+		st.trial = m.rng.Intn(numTrials)
+		st.remaining = m.trialHold
+	}
+	st.remaining--
+	return st.trial
+}
+
+// newEmptyModel builds a model shell ready to receive traces.
+func newEmptyModel(cfg Config, seed int64) *Model {
+	return &Model{
+		cfg:       cfg,
+		traces:    make(map[int]map[Estimation]*Trace),
+		rng:       rand.New(rand.NewSource(seed)),
+		trialHold: 1,
+		holdState: make(map[int]*holdState),
+	}
+}
+
+// NewModel collects traces for every location with both estimation schemes.
+// This runs the full PHY simulator (2 x len(locs) x cfg.Trials long frames)
+// and is the expensive, do-once step of the methodology. Save/Load persist
+// the result so tools can skip recollection.
+func NewModel(locs []channel.Location, cfg Config, seed int64) (*Model, error) {
+	cfg = cfg.withDefaults()
+	m := newEmptyModel(cfg, seed)
+	for _, loc := range locs {
+		byScheme := make(map[Estimation]*Trace, 2)
+		for _, est := range []Estimation{Standard, RTE} {
+			tr, err := Collect(loc, est, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("trace: collecting location %d %v: %w", loc.ID, est, err)
+			}
+			byScheme[est] = tr
+		}
+		m.traces[loc.ID] = byScheme
+	}
+	return m, nil
+}
+
+// NumSymbols returns the trace frame length — the longest span the model
+// can answer for.
+func (m *Model) NumSymbols() int { return m.cfg.NumSymbols }
+
+// Locations returns the location IDs the model covers.
+func (m *Model) Locations() []int {
+	out := make([]int, 0, len(m.traces))
+	for id := range m.traces {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SubframeOK replays one random recorded reception and reports whether a
+// subframe spanning symbols [startSym, startSym+numSym) at the given coding
+// rate would survive FEC: its span-average raw coded BER must stay under
+// the Viterbi waterfall threshold.
+func (m *Model) SubframeOK(locID int, est Estimation, startSym, numSym int, rate fec.CodeRate) (bool, error) {
+	byScheme, ok := m.traces[locID]
+	if !ok {
+		return false, fmt.Errorf("trace: unknown location %d", locID)
+	}
+	tr, ok := byScheme[est]
+	if !ok {
+		return false, fmt.Errorf("trace: no %v trace for location %d", est, locID)
+	}
+	thr, ok := viterbiThreshold[rate]
+	if !ok {
+		return false, fmt.Errorf("trace: no threshold for rate %v", rate)
+	}
+	if numSym < 1 {
+		return false, fmt.Errorf("trace: non-positive span %d", numSym)
+	}
+	row := tr.Errors[m.currentTrial(locID, len(tr.Errors))]
+	end := startSym + numSym
+	if startSym < 0 {
+		startSym = 0
+	}
+	if end > len(row) {
+		// Spans beyond the trace reuse the tail region, which is the
+		// worst-case (most drifted) part of the recording.
+		shift := end - len(row)
+		startSym -= shift
+		if startSym < 0 {
+			startSym = 0
+		}
+		end = len(row)
+	}
+	total := 0
+	for _, e := range row[startSym:end] {
+		total += int(e)
+	}
+	ber := float64(total) / float64((end-startSym)*tr.BitsPerSym)
+	return ber <= thr, nil
+}
+
+// MeanBER returns the whole-trace BER for one location and scheme — the
+// bars of Fig. 14.
+func (m *Model) MeanBER(locID int, est Estimation) (float64, error) {
+	byScheme, ok := m.traces[locID]
+	if !ok {
+		return 0, fmt.Errorf("trace: unknown location %d", locID)
+	}
+	tr, ok := byScheme[est]
+	if !ok {
+		return 0, fmt.Errorf("trace: no %v trace for location %d", est, locID)
+	}
+	var total, bits int
+	for _, row := range tr.Errors {
+		for _, e := range row {
+			total += int(e)
+			bits += tr.BitsPerSym
+		}
+	}
+	if bits == 0 {
+		return 0, nil
+	}
+	return float64(total) / float64(bits), nil
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The trace collection step runs the full PHY simulator thousands of times;
+// Save/Load let the MAC tools cache it on disk, mirroring how the paper's
+// USRP traces were recorded once and replayed many times.
+
+// persistedModel is the on-disk representation.
+type persistedModel struct {
+	Version int
+	Cfg     Config
+	Traces  map[int]map[Estimation]*Trace
+}
+
+const persistVersion = 1
+
+// Save writes the model's traces to w.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(persistedModel{
+		Version: persistVersion,
+		Cfg:     m.cfg,
+		Traces:  m.traces,
+	})
+}
+
+// SaveFile writes the model's traces to a file, creating parent
+// directories.
+func (m *Model) SaveFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: creating cache directory: %w", err)
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".trace-*")
+	if err != nil {
+		return fmt.Errorf("trace: creating cache file: %w", err)
+	}
+	defer os.Remove(f.Name())
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// Load reads a model saved by Save. The replay RNG is seeded fresh.
+func Load(r io.Reader, seed int64) (*Model, error) {
+	var p persistedModel
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("trace: decoding cache: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("trace: cache version %d, want %d", p.Version, persistVersion)
+	}
+	if len(p.Traces) == 0 {
+		return nil, fmt.Errorf("trace: cache holds no traces")
+	}
+	m := newEmptyModel(p.Cfg, seed)
+	m.traces = p.Traces
+	return m, nil
+}
+
+// LoadFile reads a model saved by SaveFile.
+func LoadFile(path string, seed int64) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, seed)
+}

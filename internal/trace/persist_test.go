@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"carpool/internal/channel"
+	"carpool/internal/fec"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	locs := []channel.Location{nearLocation()}
+	m, err := NewModel(locs, testConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSymbols() != m.NumSymbols() {
+		t.Errorf("NumSymbols %d, want %d", loaded.NumSymbols(), m.NumSymbols())
+	}
+	// Identical traces: the same seeded replay gives the same verdicts.
+	for i := 0; i < 50; i++ {
+		a, err := m.SubframeOK(3, Standard, 60, 10, fec.Rate2_3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.SubframeOK(3, Standard, 60, 10, fec.Rate2_3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("loaded model replays differently with the same seed")
+		}
+	}
+	// Mean BER must match exactly.
+	ma, err := m.MeanBER(3, RTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := loaded.MeanBER(3, RTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma != mb {
+		t.Errorf("mean BER %v vs %v", ma, mb)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	locs := []channel.Location{nearLocation()}
+	m, err := NewModel(locs, testConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache", "traces.gob")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Locations()) != 1 {
+		t.Error("locations lost")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob"), 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob")), 1); err == nil {
+		t.Error("garbage accepted")
+	}
+	var empty bytes.Buffer
+	if _, err := Load(&empty, 1); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

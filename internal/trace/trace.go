@@ -1,0 +1,178 @@
+// Package trace implements the paper's trace-driven MAC emulation
+// methodology (§7.2.1): the PHY simulator is run offline for each receiver
+// location — once decoding with the standard preamble-only channel estimate
+// and once with Carpool's real-time estimation — recording per-symbol bit
+// error counts for long frames. The MAC simulator then replays these traces
+// to decide whether each (sub)frame, occupying some span of symbols at some
+// coding rate, would have survived forward error correction.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"carpool/internal/channel"
+	"carpool/internal/core"
+	"carpool/internal/fec"
+	"carpool/internal/phy"
+	"carpool/internal/sidechannel"
+)
+
+// Estimation selects the channel-estimation scheme a trace was decoded with.
+type Estimation int
+
+// Estimation schemes.
+const (
+	// Standard is the 802.11 preamble-only estimate (A-MPDU,
+	// MU-Aggregation and plain 802.11 baselines).
+	Standard Estimation = iota + 1
+	// RTE is Carpool's real-time data-pilot estimation.
+	RTE
+)
+
+// String names the scheme.
+func (e Estimation) String() string {
+	switch e {
+	case Standard:
+		return "standard"
+	case RTE:
+		return "RTE"
+	default:
+		return fmt.Sprintf("Estimation(%d)", int(e))
+	}
+}
+
+// Config shapes trace collection.
+type Config struct {
+	// Power is the TX power magnitude (paper's USRP units).
+	Power float64
+	// MCS is the modulation/coding the trace frames use.
+	MCS phy.MCS
+	// NumSymbols is the trace frame length in OFDM symbols; subframe spans
+	// queried later must fit inside it.
+	NumSymbols int
+	// Trials is the number of recorded frames per (location, scheme).
+	Trials int
+	// CoherenceSymbols and CFOHz parameterize the channel (zero
+	// CoherenceSymbols selects channel.DefaultCoherenceSymbols).
+	CoherenceSymbols float64
+	CFOHz            float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CoherenceSymbols == 0 {
+		c.CoherenceSymbols = channel.DefaultCoherenceSymbols
+	}
+	if c.CFOHz == 0 {
+		c.CFOHz = 400
+	}
+	if c.Trials == 0 {
+		c.Trials = 20
+	}
+	if c.NumSymbols == 0 {
+		c.NumSymbols = 160
+	}
+	if c.Power == 0 {
+		c.Power = 0.2
+	}
+	return c
+}
+
+// Trace holds per-symbol error counts for repeated long-frame receptions on
+// one link with one estimation scheme.
+type Trace struct {
+	Location   channel.Location
+	Scheme     Estimation
+	MCS        phy.MCS
+	BitsPerSym int
+	// Errors[trial][sym] is the raw (pre-FEC) bit error count of that
+	// symbol; a lost frame (sync failure) records every symbol as fully
+	// errored.
+	Errors [][]uint16
+}
+
+// Collect runs the PHY once per trial over the location's channel and
+// records the per-symbol error counts.
+func Collect(loc channel.Location, est Estimation, cfg Config) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.MCS.Valid() {
+		return nil, fmt.Errorf("trace: invalid MCS")
+	}
+	if est != Standard && est != RTE {
+		return nil, fmt.Errorf("trace: invalid estimation scheme %v", est)
+	}
+	// Payload sized to fill at least NumSymbols symbols.
+	payloadBytes := (cfg.NumSymbols*cfg.MCS.DataBitsPerSymbol() - 16 - fec.TailBits) / 8
+	if payloadBytes > 4095 {
+		payloadBytes = 4095
+	}
+	chCfg, err := channel.LinkConfig(loc, cfg.Power, cfg.CoherenceSymbols, cfg.CFOHz)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.New(chCfg)
+	if err != nil {
+		return nil, err
+	}
+	scheme := sidechannel.DefaultScheme()
+	rng := rand.New(rand.NewSource(chCfg.Seed ^ 0x5eed))
+	payload := make([]byte, payloadBytes)
+
+	tr := &Trace{
+		Location:   loc,
+		Scheme:     est,
+		MCS:        cfg.MCS,
+		BitsPerSym: cfg.MCS.CodedBitsPerSymbol(),
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng.Read(payload)
+		frame, err := phy.Transmit(payload, phy.TxConfig{MCS: cfg.MCS, SideChannel: &scheme})
+		if err != nil {
+			return nil, err
+		}
+		var tracker phy.ChannelTracker
+		if est == RTE {
+			tracker = core.NewRTETracker()
+		}
+		res, err := phy.Receive(ch.Transmit(frame.Samples), phy.RxConfig{
+			KnownStart: 0, SkipFEC: true, SideChannel: &scheme, Tracker: tracker,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nsym := len(frame.Blocks)
+		row := make([]uint16, nsym)
+		if res.Status != phy.StatusOK {
+			for i := range row {
+				row[i] = uint16(tr.BitsPerSym)
+			}
+		} else {
+			errs, _ := phy.CompareBlocks(frame.Blocks, res.Blocks)
+			for i, e := range errs {
+				row[i] = uint16(e)
+			}
+		}
+		tr.Errors = append(tr.Errors, row)
+	}
+	return tr, nil
+}
+
+// MeanBERBySymbol returns the across-trial BER per symbol index — the curve
+// of Figs. 3 and 13.
+func (t *Trace) MeanBERBySymbol() []float64 {
+	if len(t.Errors) == 0 {
+		return nil
+	}
+	n := len(t.Errors[0])
+	out := make([]float64, n)
+	for _, row := range t.Errors {
+		for i, e := range row {
+			out[i] += float64(e)
+		}
+	}
+	denom := float64(len(t.Errors) * t.BitsPerSym)
+	for i := range out {
+		out[i] /= denom
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"testing"
+
+	"carpool/internal/channel"
+	"carpool/internal/fec"
+	"carpool/internal/phy"
+)
+
+// testConfig keeps trace collection fast in unit tests.
+func testConfig() Config {
+	return Config{Power: 0.2, MCS: phy.MCS48, NumSymbols: 80, Trials: 4}
+}
+
+func nearLocation() channel.Location {
+	return channel.Location{ID: 3, X: 6.5, Y: 6.5} // ~2.1 m from the AP
+}
+
+func TestEstimationString(t *testing.T) {
+	if Standard.String() != "standard" || RTE.String() != "RTE" {
+		t.Error("wrong names")
+	}
+	if Estimation(7).String() != "Estimation(7)" {
+		t.Error("wrong fallback")
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	tr, err := Collect(nearLocation(), Standard, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Errors) != 4 {
+		t.Fatalf("%d trials", len(tr.Errors))
+	}
+	if tr.BitsPerSym != 288 {
+		t.Errorf("bits per symbol %d", tr.BitsPerSym)
+	}
+	for _, row := range tr.Errors {
+		if len(row) < 80 {
+			t.Fatalf("trace row only %d symbols", len(row))
+		}
+		for _, e := range row {
+			if int(e) > tr.BitsPerSym {
+				t.Fatal("impossible error count")
+			}
+		}
+	}
+	ber := tr.MeanBERBySymbol()
+	if len(ber) != len(tr.Errors[0]) {
+		t.Error("BER curve length mismatch")
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MCS = phy.MCS{}
+	if _, err := Collect(nearLocation(), Standard, cfg); err == nil {
+		t.Error("accepted invalid MCS")
+	}
+	if _, err := Collect(nearLocation(), Estimation(0), testConfig()); err == nil {
+		t.Error("accepted invalid estimation scheme")
+	}
+}
+
+func TestRTETraceBeatsStandardAtTail(t *testing.T) {
+	cfg := testConfig()
+	cfg.Trials = 8
+	cfg.NumSymbols = 140
+	loc := nearLocation()
+	std, err := Collect(loc, Standard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rte, err := Collect(loc, RTE, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := func(tr *Trace) float64 {
+		curve := tr.MeanBERBySymbol()
+		var sum float64
+		n := len(curve)
+		for _, v := range curve[3*n/4:] {
+			sum += v
+		}
+		return sum / float64(n-3*n/4)
+	}
+	if tail(rte) >= tail(std) && tail(std) > 1e-5 {
+		t.Errorf("RTE tail BER %.2e not better than standard %.2e", tail(rte), tail(std))
+	}
+}
+
+func TestModelSubframeOK(t *testing.T) {
+	locs := []channel.Location{nearLocation(), {ID: 9, X: 1.0, Y: 1.2}}
+	m, err := NewModel(locs, testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSymbols() != 80 {
+		t.Errorf("NumSymbols %d", m.NumSymbols())
+	}
+	if len(m.Locations()) != 2 {
+		t.Errorf("%d locations", len(m.Locations()))
+	}
+	// Near location, short frame at the head: should essentially always
+	// survive.
+	okCount := 0
+	for i := 0; i < 100; i++ {
+		ok, err := m.SubframeOK(3, RTE, 0, 4, fec.Rate2_3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			okCount++
+		}
+	}
+	if okCount < 90 {
+		t.Errorf("near head subframe survived only %d/100", okCount)
+	}
+	// Unknown location and malformed spans error out.
+	if _, err := m.SubframeOK(77, RTE, 0, 4, fec.Rate2_3); err == nil {
+		t.Error("accepted unknown location")
+	}
+	if _, err := m.SubframeOK(3, Estimation(5), 0, 4, fec.Rate2_3); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+	if _, err := m.SubframeOK(3, RTE, 0, 0, fec.Rate2_3); err == nil {
+		t.Error("accepted empty span")
+	}
+	if _, err := m.SubframeOK(3, RTE, 0, 4, fec.CodeRate(9)); err == nil {
+		t.Error("accepted unknown rate")
+	}
+	// Spans beyond the trace length are clamped into the tail, not errors.
+	if _, err := m.SubframeOK(3, RTE, 70, 40, fec.Rate2_3); err != nil {
+		t.Errorf("overlong span rejected: %v", err)
+	}
+}
+
+func TestModelMeanBER(t *testing.T) {
+	locs := []channel.Location{nearLocation()}
+	m, err := NewModel(locs, testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := m.MeanBER(3, Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rte, err := m.MeanBER(3, RTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std < 0 || std > 0.5 || rte < 0 || rte > 0.5 {
+		t.Errorf("implausible BERs: std %.2e rte %.2e", std, rte)
+	}
+	if _, err := m.MeanBER(42, Standard); err == nil {
+		t.Error("accepted unknown location")
+	}
+}
+
+func TestFarLocationWorseThanNear(t *testing.T) {
+	cfg := testConfig()
+	near := channel.Location{ID: 1, X: 5.8, Y: 6.2} // ~1.4 m
+	far := channel.Location{ID: 2, X: 0.6, Y: 0.8}  // ~6.1 m
+	cfg.Power = 0.05                                // lower power separates them
+	trNear, err := Collect(near, Standard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trFar, err := Collect(far, Standard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(tr *Trace) float64 {
+		var sum float64
+		curve := tr.MeanBERBySymbol()
+		for _, v := range curve {
+			sum += v
+		}
+		return sum / float64(len(curve))
+	}
+	if mean(trFar) <= mean(trNear) {
+		t.Errorf("far BER %.2e not worse than near %.2e", mean(trFar), mean(trNear))
+	}
+}

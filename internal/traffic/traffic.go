@@ -1,0 +1,161 @@
+// Package traffic synthesizes the workloads of the paper's evaluation:
+// Brady-model VoIP streams (§7.2.2), TCP/UDP background traffic matching
+// the SIGCOMM'08 trace statistics (mean inter-arrivals of 47 ms and 88 ms),
+// the heavily short-frame size distribution of public WLANs (Fig. 1b), and
+// whole-WLAN trace statistics (Fig. 1).
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Arrival is one frame entering a queue.
+type Arrival struct {
+	Time time.Duration
+	Size int // payload bytes
+}
+
+// VoIP parameters from the IEEE 802.11n usage models [24] and Brady's
+// ON/OFF speech model [25]: 96 kbit/s peak rate in 120-byte frames (one
+// every 10 ms during a talkspurt), exponentially distributed talkspurts
+// (mean 1.0 s) and silences (mean 1.35 s).
+const (
+	VoIPFrameBytes    = 120
+	VoIPFrameInterval = 10 * time.Millisecond
+	voipTalkMean      = 1000 * time.Millisecond
+	voipSilenceMean   = 1350 * time.Millisecond
+)
+
+// VoIPFlow generates one Brady ON/OFF VoIP stream over the given duration.
+func VoIPFlow(rng *rand.Rand, duration time.Duration) []Arrival {
+	var out []Arrival
+	now := time.Duration(0)
+	// Start in a random phase of the ON/OFF cycle.
+	on := rng.Float64() < voipTalkMean.Seconds()/(voipTalkMean+voipSilenceMean).Seconds()
+	for now < duration {
+		if on {
+			end := now + expDuration(rng, voipTalkMean)
+			for t := now; t < end && t < duration; t += VoIPFrameInterval {
+				out = append(out, Arrival{Time: t, Size: VoIPFrameBytes})
+			}
+			now = end
+		} else {
+			now += expDuration(rng, voipSilenceMean)
+		}
+		on = !on
+	}
+	return out
+}
+
+// Background traffic statistics measured on the SIGCOMM'08 trace (§7.2.2).
+const (
+	TCPInterArrival = 47 * time.Millisecond
+	UDPInterArrival = 88 * time.Millisecond
+)
+
+// BackgroundKind selects the background transport mix.
+type BackgroundKind int
+
+// Background transports.
+const (
+	TCP BackgroundKind = iota + 1
+	UDP
+)
+
+// String names the transport.
+func (k BackgroundKind) String() string {
+	switch k {
+	case TCP:
+		return "TCP"
+	case UDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("BackgroundKind(%d)", int(k))
+	}
+}
+
+// BackgroundFlow generates one uplink background stream with exponential
+// inter-arrivals at the SIGCOMM'08 mean for the transport and frame sizes
+// drawn from the public-WLAN size distribution.
+func BackgroundFlow(rng *rand.Rand, kind BackgroundKind, duration time.Duration) ([]Arrival, error) {
+	var mean time.Duration
+	switch kind {
+	case TCP:
+		mean = TCPInterArrival
+	case UDP:
+		mean = UDPInterArrival
+	default:
+		return nil, fmt.Errorf("traffic: unknown background kind %v", kind)
+	}
+	var out []Arrival
+	now := expDuration(rng, mean)
+	for now < duration {
+		out = append(out, Arrival{Time: now, Size: FrameSize(rng)})
+		now += expDuration(rng, mean)
+	}
+	return out, nil
+}
+
+// FrameSize draws one frame size from the public-WLAN distribution of
+// Fig. 1(b): the SIGCOMM and library traces show >50% and >90% of downlink
+// frames under 300 bytes respectively, with the rest spread up to the
+// 1500-byte MTU. This sampler uses a piecewise mixture fitted to the
+// SIGCOMM'08 curve: ~55% tiny control/ACK-sized frames, ~25% small data,
+// and a 20% tail that includes full-MTU frames.
+func FrameSize(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < 0.55:
+		// 40..300 bytes, skewed low.
+		return 40 + int(260*rng.Float64()*rng.Float64())
+	case u < 0.80:
+		// 300..1000 bytes.
+		return 300 + rng.Intn(700)
+	case u < 0.93:
+		// Full-MTU bulk transfer frames.
+		return 1500
+	default:
+		// 1000..1500 bytes.
+		return 1000 + rng.Intn(500)
+	}
+}
+
+// CBRFlow generates a constant-bit-rate stream of fixed-size frames, used
+// by the latency/frame-size sweeps of Fig. 17.
+func CBRFlow(rng *rand.Rand, frameBytes int, interval, duration time.Duration) []Arrival {
+	if interval <= 0 {
+		return nil
+	}
+	var out []Arrival
+	// Random phase so flows across STAs do not synchronize.
+	for t := time.Duration(rng.Int63n(int64(interval))); t < duration; t += interval {
+		out = append(out, Arrival{Time: t, Size: frameBytes})
+	}
+	return out
+}
+
+// Merge combines several arrival streams into one time-sorted stream.
+func Merge(flows ...[]Arrival) []Arrival {
+	var out []Arrival
+	for _, f := range flows {
+		out = append(out, f...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// TotalBytes sums the payload bytes of a stream.
+func TotalBytes(flow []Arrival) int {
+	total := 0
+	for _, a := range flow {
+		total += a.Size
+	}
+	return total
+}
+
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}

@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestVoIPFlowRateAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const dur = 200 * time.Second
+	flow := VoIPFlow(rng, dur)
+	if len(flow) == 0 {
+		t.Fatal("empty flow")
+	}
+	for i, a := range flow {
+		if a.Size != VoIPFrameBytes {
+			t.Fatalf("frame %d size %d", i, a.Size)
+		}
+		if a.Time < 0 || a.Time >= dur {
+			t.Fatalf("frame %d at %v outside capture", i, a.Time)
+		}
+		if i > 0 && a.Time < flow[i-1].Time {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	// Average rate = peak rate x ON fraction = 96 kbit/s x 1.0/2.35.
+	gotRate := float64(TotalBytes(flow)) * 8 / dur.Seconds()
+	wantRate := 96e3 * 1.0 / 2.35
+	if math.Abs(gotRate-wantRate) > wantRate*0.25 {
+		t.Errorf("average rate %.0f bit/s, want ~%.0f", gotRate, wantRate)
+	}
+	// During talkspurts frames are exactly 10 ms apart.
+	backToBack := 0
+	for i := 1; i < len(flow); i++ {
+		if flow[i].Time-flow[i-1].Time == VoIPFrameInterval {
+			backToBack++
+		}
+	}
+	if float64(backToBack)/float64(len(flow)) < 0.8 {
+		t.Error("too few 10 ms gaps — ON periods not contiguous")
+	}
+}
+
+func TestBackgroundFlowInterArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const dur = 500 * time.Second
+	for _, tt := range []struct {
+		kind BackgroundKind
+		mean time.Duration
+	}{{TCP, TCPInterArrival}, {UDP, UDPInterArrival}} {
+		flow, err := BackgroundFlow(rng, tt.kind, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMean := dur.Seconds() / float64(len(flow))
+		if math.Abs(gotMean-tt.mean.Seconds()) > tt.mean.Seconds()*0.15 {
+			t.Errorf("%v: mean inter-arrival %.1f ms, want %.0f",
+				tt.kind, gotMean*1e3, tt.mean.Seconds()*1e3)
+		}
+	}
+	if _, err := BackgroundFlow(rng, BackgroundKind(0), dur); err == nil {
+		t.Error("accepted unknown kind")
+	}
+}
+
+func TestBackgroundKindString(t *testing.T) {
+	if TCP.String() != "TCP" || UDP.String() != "UDP" {
+		t.Error("wrong names")
+	}
+	if BackgroundKind(9).String() != "BackgroundKind(9)" {
+		t.Error("wrong fallback")
+	}
+}
+
+func TestFrameSizeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 50000
+	short, mtu := 0, 0
+	for i := 0; i < n; i++ {
+		s := FrameSize(rng)
+		if s < 40 || s > 1500 {
+			t.Fatalf("size %d outside 40..1500", s)
+		}
+		if s <= 300 {
+			short++
+		}
+		if s == 1500 {
+			mtu++
+		}
+	}
+	shortFrac := float64(short) / n
+	// Fig. 1(b): >50% of SIGCOMM frames under 300 B.
+	if shortFrac < 0.50 || shortFrac > 0.65 {
+		t.Errorf("short-frame fraction %.2f, want 0.50..0.65", shortFrac)
+	}
+	if mtuFrac := float64(mtu) / n; mtuFrac < 0.08 || mtuFrac > 0.20 {
+		t.Errorf("MTU fraction %.2f", mtuFrac)
+	}
+}
+
+func TestCBRFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	flow := CBRFlow(rng, 500, 10*time.Millisecond, time.Second)
+	if len(flow) < 95 || len(flow) > 100 {
+		t.Errorf("%d frames, want ~100", len(flow))
+	}
+	for i := 1; i < len(flow); i++ {
+		if flow[i].Time-flow[i-1].Time != 10*time.Millisecond {
+			t.Fatal("CBR spacing wrong")
+		}
+	}
+	if CBRFlow(rng, 500, 0, time.Second) != nil {
+		t.Error("zero interval should yield nil")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Arrival{{Time: 1, Size: 1}, {Time: 5, Size: 1}}
+	b := []Arrival{{Time: 3, Size: 2}}
+	m := Merge(a, b)
+	if len(m) != 3 || m[0].Time != 1 || m[1].Time != 3 || m[2].Time != 5 {
+		t.Errorf("merge result %v", m)
+	}
+}
+
+func TestGenerateTraceStatistics(t *testing.T) {
+	tr := GenerateTrace(LibraryTraceConfig())
+	// Fig. 1(c): library downlink ratio 89.2%.
+	if r := tr.DownlinkRatio(); math.Abs(r-0.892) > 0.03 {
+		t.Errorf("downlink ratio %.3f, want ~0.892", r)
+	}
+	// Fig. 1(a): mean active STAs 7.63.
+	if m := tr.MeanActiveSTAs(); math.Abs(m-7.63) > 2.0 {
+		t.Errorf("mean active STAs %.2f, want ~7.63", m)
+	}
+	if len(tr.ActiveSTAs) != 300 {
+		t.Errorf("%d seconds, want 300", len(tr.ActiveSTAs))
+	}
+	// Fig. 1(b): a majority of downlink frames are short.
+	if f := tr.ShortFrameFraction(300); f < 0.45 {
+		t.Errorf("short-frame fraction %.2f too low", f)
+	}
+	// Sorted streams.
+	for i := 1; i < len(tr.Downlink); i++ {
+		if tr.Downlink[i].Time < tr.Downlink[i-1].Time {
+			t.Fatal("downlink not sorted")
+		}
+	}
+}
+
+func TestGenerateTraceSIGCOMM(t *testing.T) {
+	tr := GenerateTrace(SIGCOMM08TraceConfig())
+	if r := tr.DownlinkRatio(); math.Abs(r-0.834) > 0.03 {
+		t.Errorf("downlink ratio %.3f, want ~0.834", r)
+	}
+}
+
+func TestGenerateTraceDegenerate(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{})
+	if tr.DownlinkRatio() != 0 || tr.MeanActiveSTAs() != 0 || tr.ShortFrameFraction(300) != 0 {
+		t.Error("empty trace should report zeros")
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	a := GenerateTrace(LibraryTraceConfig())
+	b := GenerateTrace(LibraryTraceConfig())
+	if len(a.Downlink) != len(b.Downlink) || a.DownlinkRatio() != b.DownlinkRatio() {
+		t.Error("trace generation not deterministic")
+	}
+}
