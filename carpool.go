@@ -103,6 +103,14 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 	return core.ReceiveFrame(rx, cfg)
 }
 
+// ReceiveFrameAll runs ReceiveFrame for every station concurrently across
+// GOMAXPROCS workers — the natural shape of a Carpool downlink, where one
+// transmission is decoded by many independent receivers. Results are
+// bit-identical to calling ReceiveFrame in a sequential loop.
+func ReceiveFrameAll(rxs [][]complex128, cfgs []ReceiverConfig) ([]*FrameRx, error) {
+	return core.ReceiveFrameAll(rxs, cfgs)
+}
+
 // NewRTETracker returns a fresh real-time channel estimator usable with the
 // single-receiver PHY (TransmitPHY/ReceivePHY) as well.
 func NewRTETracker() *RTETracker { return core.NewRTETracker() }

@@ -1,0 +1,139 @@
+// Command benchdiff runs the repository's hot-path benchmark suite —
+// BenchmarkFFT64, BenchmarkViterbiDecode1500B, BenchmarkCarpoolFrameReceive
+// and BenchmarkMACSimulationSecond — parses the `go test -bench` output, and
+// writes the results to BENCH_<date>.json so successive runs can be diffed.
+//
+// Usage:
+//
+//	benchdiff [-dir repo-root] [-out file.json] [-count n] [-bench regexp]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is the default benchmark set: the size-64 FFT kernel, the Viterbi
+// decoder on a full 1500-byte MPDU, one station's whole-frame Carpool
+// receive, and one simulated second of the MAC.
+var suite = []string{
+	"BenchmarkFFT64",
+	"BenchmarkViterbiDecode1500B",
+	"BenchmarkCarpoolFrameReceive",
+	"BenchmarkMACSimulationSecond",
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the file layout of BENCH_<date>.json.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Bench     string   `json:"bench_regexp"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches the leading fields of go test -bench output, e.g.
+//
+//	BenchmarkFFT64-8   2599786   458.7 ns/op   0 B/op   0 allocs/op
+//
+// Extra metrics such as MB/s may appear between ns/op and the -benchmem
+// columns, so those are matched separately.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	bytesCol  = regexp.MustCompile(`(\d+) B/op`)
+	allocsCol = regexp.MustCompile(`(\d+) allocs/op`)
+)
+
+func main() {
+	dir := flag.String("dir", ".", "repository root to benchmark")
+	out := flag.String("out", "", "output file (default BENCH_<date>.json in -dir)")
+	count := flag.Int("count", 1, "benchmark repetitions (-count)")
+	bench := flag.String("bench", "^("+strings.Join(suite, "|")+")$", "benchmark regexp (-bench)")
+	flag.Parse()
+
+	report, raw, err := run(*dir, *bench, *count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = filepath.Join(*dir, "BENCH_"+time.Now().Format("2006-01-02")+".json")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-32s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+}
+
+// run executes the benchmark suite and parses its output.
+func run(dir, bench string, count int) (*Report, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), ".")
+	cmd.Dir = dir
+	rawBytes, err := cmd.CombinedOutput()
+	raw := string(rawBytes)
+	if err != nil {
+		return nil, raw, fmt.Errorf("go test -bench: %w", err)
+	}
+	report := &Report{
+		Date:      time.Now().Format(time.RFC3339),
+		GoVersion: goVersion(),
+		Bench:     bench,
+	}
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if b := bytesCol.FindStringSubmatch(line); b != nil {
+			r.BytesPerOp, _ = strconv.ParseInt(b[1], 10, 64)
+		}
+		if a := allocsCol.FindStringSubmatch(line); a != nil {
+			r.AllocsPerOp, _ = strconv.ParseInt(a[1], 10, 64)
+		}
+		report.Results = append(report.Results, r)
+	}
+	if len(report.Results) == 0 {
+		return nil, raw, fmt.Errorf("no benchmark lines in output")
+	}
+	return report, raw, nil
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

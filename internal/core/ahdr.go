@@ -29,25 +29,23 @@ func BuildAHDR(f bloom.Filter) ([]complex128, error) {
 	if len(coded) != AHDRSymbols*ofdm.NumData {
 		return nil, fmt.Errorf("core: A-HDR coded length %d, want %d", len(coded), AHDRSymbols*ofdm.NumData)
 	}
-	il, err := fec.NewInterleaver(ofdm.NumData, 1)
+	il, err := fec.CachedInterleaver(ofdm.NumData, 1)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]complex128, 0, AHDRSymbols*ofdm.SymbolLen)
+	out := make([]complex128, AHDRSymbols*ofdm.SymbolLen)
+	var block [ofdm.NumData]byte
+	var points [ofdm.NumData]complex128
 	for s := 0; s < AHDRSymbols; s++ {
-		block, err := il.Interleave(coded[s*ofdm.NumData : (s+1)*ofdm.NumData])
-		if err != nil {
+		if err := il.InterleaveInto(block[:], coded[s*ofdm.NumData:(s+1)*ofdm.NumData]); err != nil {
 			return nil, err
 		}
-		points, err := modem.Map(modem.BPSK, block)
-		if err != nil {
+		if err := modem.MapInto(points[:], modem.BPSK, block[:]); err != nil {
 			return nil, err
 		}
-		sym, err := ofdm.AssembleSymbol(points, s, 0)
-		if err != nil {
+		if err := ofdm.AssembleSymbolInto(out[s*ofdm.SymbolLen:(s+1)*ofdm.SymbolLen], points[:], s, 0); err != nil {
 			return nil, err
 		}
-		out = append(out, sym...)
 	}
 	return out, nil
 }
@@ -58,23 +56,21 @@ func DecodeAHDR(dataPoints [][]complex128) (bloom.Filter, error) {
 	if len(dataPoints) != AHDRSymbols {
 		return 0, fmt.Errorf("core: A-HDR needs %d symbols, got %d", AHDRSymbols, len(dataPoints))
 	}
-	il, err := fec.NewInterleaver(ofdm.NumData, 1)
+	il, err := fec.CachedInterleaver(ofdm.NumData, 1)
 	if err != nil {
 		return 0, err
 	}
-	coded := make([]byte, 0, AHDRSymbols*ofdm.NumData)
-	for _, pts := range dataPoints {
-		block, err := modem.Demap(modem.BPSK, pts)
-		if err != nil {
+	var block [ofdm.NumData]byte
+	var coded [AHDRSymbols * ofdm.NumData]byte
+	for s, pts := range dataPoints {
+		if err := modem.DemapInto(block[:], modem.BPSK, pts); err != nil {
 			return 0, err
 		}
-		deint, err := il.Deinterleave(block)
-		if err != nil {
+		if err := il.DeinterleaveInto(coded[s*ofdm.NumData:(s+1)*ofdm.NumData], block[:]); err != nil {
 			return 0, err
 		}
-		coded = append(coded, deint...)
 	}
-	bits, err := fec.ViterbiDecode(coded, fec.Rate1_2, ahdrBits)
+	bits, err := fec.ViterbiDecode(coded[:], fec.Rate1_2, ahdrBits)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"carpool/internal/sim"
+)
+
+// ReceiveFrameAll runs ReceiveFrame for every station concurrently: rxs[i]
+// is station i's received sample stream and cfgs[i] its receiver
+// configuration. This is the natural shape of a Carpool downlink — one
+// transmission, many independent receivers — so the per-STA decodes fan out
+// across GOMAXPROCS workers.
+//
+// ReceiveFrame touches no mutable shared state (package-level caches hold
+// only immutable tables), so each result is bit-identical to what a
+// sequential loop would produce; only wall-clock time changes. The first
+// per-station error, if any, is reported (lowest station index wins, so the
+// error too is deterministic); results[i] is nil for stations at or after an
+// error.
+func ReceiveFrameAll(rxs [][]complex128, cfgs []ReceiverConfig) ([]*FrameRx, error) {
+	if len(rxs) != len(cfgs) {
+		return nil, fmt.Errorf("core: %d sample streams but %d receiver configs", len(rxs), len(cfgs))
+	}
+	results := make([]*FrameRx, len(rxs))
+	errs := make([]error, len(rxs))
+	sim.ParallelFor(len(rxs), func(i int) {
+		results[i], errs[i] = ReceiveFrame(rxs[i], cfgs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			for j := i; j < len(results); j++ {
+				results[j] = nil
+			}
+			return results, fmt.Errorf("core: station %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"carpool/internal/channel"
+	"carpool/internal/phy"
+)
+
+// TestReceiveFrameAllMatchesSequential is the determinism contract of the
+// parallel fan-out: per-station results must be byte-identical to a plain
+// sequential loop, regardless of scheduling.
+func TestReceiveFrameAllMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	subs := []Subframe{
+		{Receiver: mac(1), MCS: phy.MCS24, Payload: randomPayload(rng, 300)},
+		{Receiver: mac(2), MCS: phy.MCS48, Payload: randomPayload(rng, 150)},
+		{Receiver: mac(3), MCS: phy.MCS12, Payload: randomPayload(rng, 500)},
+		{Receiver: mac(4), MCS: phy.MCS24, Payload: randomPayload(rng, 80)},
+	}
+	frame, err := BuildFrame(subs, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each station hears the frame through its own channel realization.
+	rxs := make([][]complex128, len(subs))
+	cfgs := make([]ReceiverConfig, len(subs))
+	for i, sub := range subs {
+		ch, err := channel.New(channel.Config{
+			SNRdB: 24, NumTaps: 3, RicianK: 12, TapDecay: 3, CFOHz: 400,
+			Seed: int64(100 + i), CoherenceSymbols: channel.DefaultCoherenceSymbols,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := append(make([]complex128, 60), frame.Samples...)
+		tx = append(tx, make([]complex128, 40)...)
+		rxs[i] = ch.Transmit(tx)
+		cfgs[i] = ReceiverConfig{MAC: sub.Receiver, UseRTE: i%2 == 0, KnownStart: -1}
+	}
+
+	want := make([]*FrameRx, len(subs))
+	for i := range subs {
+		want[i], err = ReceiveFrame(rxs[i], cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		got, err := ReceiveFrameAll(rxs, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("trial %d: station %d parallel result differs from sequential", trial, i)
+			}
+		}
+	}
+}
+
+func TestReceiveFrameAllLengthMismatch(t *testing.T) {
+	if _, err := ReceiveFrameAll(make([][]complex128, 2), make([]ReceiverConfig, 1)); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}

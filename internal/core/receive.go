@@ -99,26 +99,31 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 		return res, nil
 	}
 
-	// A-HDR: two standard-equalized, phase-compensated BPSK symbols.
-	ahdrPoints := make([][]complex128, 0, AHDRSymbols)
+	// A-HDR: two standard-equalized, phase-compensated BPSK symbols. The
+	// demodulation scratch lives on the stack; only the slice headers into
+	// the flat point buffer reach DecodeAHDR.
+	var bins [ofdm.NumSubcarriers]complex128
+	var ahdrFlat [AHDRSymbols * ofdm.NumData]complex128
+	var ahdrPoints [AHDRSymbols][]complex128
 	for s := 0; s < AHDRSymbols; s++ {
 		off := ofdm.PreambleLen + s*ofdm.SymbolLen
 		if off+ofdm.SymbolLen > len(buf) {
 			res.Status = phy.StatusTruncated
 			return res, nil
 		}
-		bins, err := ofdm.SymbolBins(buf[off:])
-		if err != nil {
+		if err := ofdm.SymbolBinsInto(bins[:], buf[off:]); err != nil {
 			return nil, err
 		}
-		if err := ofdm.Equalize(bins, h); err != nil {
+		if err := ofdm.Equalize(bins[:], h); err != nil {
 			return nil, err
 		}
-		phase, _ := ofdm.TrackPilotPhase(bins, s)
-		ofdm.CompensatePhase(bins, phase)
-		ahdrPoints = append(ahdrPoints, ofdm.ExtractData(bins))
+		phase, _ := ofdm.TrackPilotPhase(bins[:], s)
+		ofdm.CompensatePhase(bins[:], phase)
+		pts := ahdrFlat[s*ofdm.NumData : (s+1)*ofdm.NumData]
+		ofdm.ExtractDataInto(pts, bins[:])
+		ahdrPoints[s] = pts
 	}
-	filter, err := DecodeAHDR(ahdrPoints)
+	filter, err := DecodeAHDR(ahdrPoints[:])
 	if err != nil {
 		res.Status = phy.StatusBadSIG
 		return res, nil

@@ -104,8 +104,11 @@ func (t *RTETracker) Observe(_ int, rawBins []complex128, pilotPhase float64, co
 	if !correct || len(t.h) != ofdm.NumSubcarriers || len(rawBins) != ofdm.NumSubcarriers {
 		return
 	}
-	points, err := modem.Map(t.mod, codedBits)
-	if err != nil || len(points) != ofdm.NumData {
+	if len(codedBits) != ofdm.NumData*t.mod.BitsPerSymbol() {
+		return
+	}
+	var points [ofdm.NumData]complex128
+	if err := modem.MapInto(points[:], t.mod, codedBits); err != nil {
 		return
 	}
 	// Remove the tracked common phase so the update never fights the

@@ -28,6 +28,10 @@ func FFT(x []complex128) error {
 	if !IsPowerOfTwo(n) {
 		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
 	}
+	if n == 64 {
+		fft64(x, false)
+		return nil
+	}
 	fftInPlace(x, false)
 	return nil
 }
@@ -39,7 +43,11 @@ func IFFT(x []complex128) error {
 	if !IsPowerOfTwo(n) {
 		return fmt.Errorf("dsp: IFFT length %d is not a power of two", n)
 	}
-	fftInPlace(x, true)
+	if n == 64 {
+		fft64(x, true)
+	} else {
+		fftInPlace(x, true)
+	}
 	scale := complex(1/float64(n), 0)
 	for i := range x {
 		x[i] *= scale

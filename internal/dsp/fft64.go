@@ -1,0 +1,94 @@
+package dsp
+
+import "math"
+
+// This file holds the specialized size-64 transform kernel. Every OFDM
+// symbol in the 20 MHz 802.11 waveform costs one 64-point transform on each
+// side of the air interface, so this single size dominates the simulator's
+// FFT budget. The kernel differs from the generic radix-2 path in three
+// ways: the twiddle factors and the bit-reversal permutation are precomputed
+// at package init (no cmplx.Exp, no recurrence error accumulation), the
+// first two butterfly stages are specialized for their trivial twiddles
+// (1 and ±i), and the stage loops are bounded by constants so the compiler
+// can eliminate bounds checks. The generic fftInPlace remains the fallback
+// for every other power-of-two size and the correctness oracle in tests.
+
+// fft64Fwd[k] = exp(-2πi·k/64); fft64Inv is its conjugate. Only the first
+// half-period is needed: stage s uses entries k·(64>>s).
+var (
+	fft64Fwd [32]complex128
+	fft64Inv [32]complex128
+	// swaps64 lists the 28 index pairs (i, rev(i)) with i < rev(i), so the
+	// permutation runs without per-element branching.
+	swaps64 [28][2]uint8
+)
+
+func init() {
+	for k := 0; k < 32; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / 64)
+		fft64Fwd[k] = complex(c, s)
+		fft64Inv[k] = complex(c, -s)
+	}
+	n := 0
+	for i := 0; i < 64; i++ {
+		j := 0
+		for b := 0; b < 6; b++ {
+			if i&(1<<b) != 0 {
+				j |= 1 << (5 - b)
+			}
+		}
+		if i < j {
+			swaps64[n] = [2]uint8{uint8(i), uint8(j)}
+			n++
+		}
+	}
+	if n != len(swaps64) {
+		panic("dsp: bit-reversal swap count mismatch")
+	}
+}
+
+// fft64 is the specialized 64-point in-place transform. Semantics match
+// fftInPlace(x, inverse) exactly: no normalization (IFFT applies 1/N).
+func fft64(x []complex128, inverse bool) {
+	x = x[:64:64]
+
+	for _, p := range &swaps64 {
+		i, j := p[0], p[1]
+		x[i], x[j] = x[j], x[i]
+	}
+
+	// Stages 1+2 fused into 4-point butterflies. All twiddles are trivial:
+	// 1 and -i (forward) / +i (inverse), so no complex multiplies yet.
+	sign := 1.0
+	if inverse {
+		sign = -1.0
+	}
+	for i := 0; i < 64; i += 4 {
+		a, b, c, d := x[i], x[i+1], x[i+2], x[i+3]
+		t0, t1 := a+b, a-b
+		t2, cd := c+d, c-d
+		t3 := complex(sign*imag(cd), -sign*real(cd)) // (c-d) * ∓i
+		x[i], x[i+2] = t0+t2, t0-t2
+		x[i+1], x[i+3] = t1+t3, t1-t3
+	}
+
+	tw := &fft64Fwd
+	if inverse {
+		tw = &fft64Inv
+	}
+	// Stages 3..6 (lengths 8, 16, 32, 64) with table twiddles.
+	for _, length := range [4]int{8, 16, 32, 64} {
+		half := length >> 1
+		step := 64 / length
+		for i := 0; i < 64; i += length {
+			ti := 0
+			for j := i; j < i+half; j++ {
+				v := x[j+half] * tw[ti]
+				u := x[j]
+				x[j] = u + v
+				x[j+half] = u - v
+				ti += step
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The generic radix-2 kernel is the correctness oracle for the specialized
+// size-64 kernel: both must agree to floating-point tolerance on random
+// vectors, in both directions.
+func TestFFT64MatchesGenericKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]complex128, 64)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		for _, inverse := range []bool{false, true} {
+			fast := append([]complex128(nil), x...)
+			ref := append([]complex128(nil), x...)
+			fft64(fast, inverse)
+			fftInPlace(ref, inverse)
+			for i := range ref {
+				if d := fast[i] - ref[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+					t.Fatalf("trial %d inverse=%v bin %d: kernel %v, oracle %v",
+						trial, inverse, i, fast[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFFT64RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	y := append([]complex128(nil), x...)
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if d := y[i] - x[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("round trip bin %d: got %v, want %v", i, y[i], x[i])
+		}
+	}
+}
+
+// TestFFT64KnownBasis checks a pure tone lands in exactly one bin — a sanity
+// check independent of the generic kernel.
+func TestFFT64KnownBasis(t *testing.T) {
+	const k = 5
+	x := make([]complex128, 64)
+	for n := range x {
+		ang := 2 * math.Pi * float64(k) * float64(n) / 64
+		x[n] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := 0.0
+		if i == k {
+			want = 64
+		}
+		if math.Abs(real(v)-want) > 1e-9 || math.Abs(imag(v)) > 1e-9 {
+			t.Fatalf("bin %d: got %v, want %.0f", i, v, want)
+		}
+	}
+}
+
+func TestFFT64ZeroAllocs(t *testing.T) {
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i), -float64(i))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("FFT64+IFFT64 allocated %.1f times per op, want 0", n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"carpool/internal/modem"
 	"carpool/internal/phy"
 	"carpool/internal/sidechannel"
+	"carpool/internal/sim"
 	"carpool/internal/stats"
 )
 
@@ -389,22 +390,32 @@ func Fig14(scale Scale) ([]Fig14Row, error) {
 	var rows []Fig14Row
 	for _, power := range []float64{0.05, 0.2} {
 		for _, mod := range modem.Modulations() {
+			// Fan the (location × estimator) grid across workers: every
+			// runLink call is self-seeded and independent, and the counters
+			// merge in index order afterwards, so the result is identical to
+			// the sequential double loop.
+			type cell struct {
+				run *linkRun
+				err error
+			}
+			cells := make([]cell, 2*len(locs))
+			sim.ParallelFor(len(cells), func(i int) {
+				run, err := runLink(linkParams{
+					loc: locs[i/2], power: power, mcs: mcsFor(mod),
+					payloadB: 2000, frames: frames, seed: 14,
+					scheme: schemePtr(), useRTE: i%2 == 1,
+				})
+				cells[i] = cell{run: run, err: err}
+			})
 			var std, rte stats.BERCounter
-			for _, loc := range locs {
-				for _, useRTE := range []bool{false, true} {
-					run, err := runLink(linkParams{
-						loc: loc, power: power, mcs: mcsFor(mod),
-						payloadB: 2000, frames: frames, seed: 14,
-						scheme: schemePtr(), useRTE: useRTE,
-					})
-					if err != nil {
-						return nil, err
-					}
-					if useRTE {
-						rte.Add(int(run.data.Errors), int(run.data.Bits))
-					} else {
-						std.Add(int(run.data.Errors), int(run.data.Bits))
-					}
+			for i, c := range cells {
+				if c.err != nil {
+					return nil, c.err
+				}
+				if i%2 == 1 {
+					rte.Add(int(c.run.data.Errors), int(c.run.data.Bits))
+				} else {
+					std.Add(int(c.run.data.Errors), int(c.run.data.Bits))
 				}
 			}
 			rows = append(rows, Fig14Row{

@@ -92,6 +92,22 @@ func parity7(x uint32) byte {
 	return byte(x & 1)
 }
 
+// branchOut[s][b] packs the two coded output bits (outA<<1 | outB) emitted
+// when input bit b is shifted into state s. The table depends only on the
+// generator pair, so it is built once at package init instead of inside
+// every ViterbiDecode call.
+var branchOut = buildBranchTable(genA, genB)
+
+func buildBranchTable(ga, gb uint32) (t [numStates][2]byte) {
+	for s := 0; s < numStates; s++ {
+		for b := 0; b < 2; b++ {
+			reg := uint32((s<<1)|b) & 0x7f
+			t[s][b] = parity7(reg&ga)<<1 | parity7(reg&gb)
+		}
+	}
+	return t
+}
+
 // ConvEncode encodes bits with the 802.11 rate-1/2 mother code, then
 // punctures to the requested rate. Input bits must be 0/1.
 //
@@ -148,6 +164,13 @@ func depuncture(coded []byte, rate CodeRate, numInfoBits int) ([]byte, error) {
 // punctured convolutional stream. numInfoBits is the number of information
 // bits the caller expects (including any tail bits it appended at encode
 // time). Erasures introduced by depuncturing contribute zero branch metric.
+//
+// The trellis walk is organized around next states: state ns (whose LSB is
+// the input bit) has exactly two predecessors, ns>>1 and (ns>>1)|32, so one
+// survivor bit per state per step suffices — survivors pack into a single
+// uint64 per trellis step instead of a per-step slice, and the add-compare-
+// select loop reads the init-time branchOut table through a per-step 4-entry
+// cost table.
 func ViterbiDecode(coded []byte, rate CodeRate, numInfoBits int) ([]byte, error) {
 	if !rate.Valid() {
 		return nil, fmt.Errorf("fec: invalid code rate %v", rate)
@@ -155,61 +178,61 @@ func ViterbiDecode(coded []byte, rate CodeRate, numInfoBits int) ([]byte, error)
 	if numInfoBits <= 0 {
 		return nil, fmt.Errorf("fec: numInfoBits must be positive, got %d", numInfoBits)
 	}
-	mother, err := depuncture(coded, rate, numInfoBits)
-	if err != nil {
-		return nil, err
+	mother := coded
+	if rate != Rate1_2 {
+		var err error
+		mother, err = depuncture(coded, rate, numInfoBits)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(coded) < 2*numInfoBits {
+		// Rate 1/2 punctures nothing: the coded stream is the mother stream.
+		return nil, fmt.Errorf("fec: coded stream too short: have %d bits, need more for %d info bits at rate %v",
+			len(coded), numInfoBits, rate)
 	}
 
 	const inf = int32(1) << 29
-	metric := make([]int32, numStates)
-	next := make([]int32, numStates)
+	var m0, m1 [numStates]int32
+	metric, next := &m0, &m1
 	for i := 1; i < numStates; i++ {
 		metric[i] = inf
 	}
-	// survivors[t][s] holds the predecessor state and input bit packed as
-	// (prev << 1) | bit.
-	survivors := make([][]uint16, numInfoBits)
-
-	// Precompute branch outputs: for state s (6 bits of history) and input
-	// bit b, the encoder register is ((s << 1) | b) & 0x7f.
-	type branch struct{ outA, outB byte }
-	branches := [numStates][2]branch{}
-	for s := 0; s < numStates; s++ {
-		for b := 0; b < 2; b++ {
-			reg := uint32((s<<1)|b) & 0x7f
-			branches[s][b] = branch{parity7(reg & genA), parity7(reg & genB)}
-		}
-	}
+	// survivors[t] bit ns is set when state ns's winning predecessor at step
+	// t was (ns>>1)|32 rather than ns>>1.
+	survivors := make([]uint64, numInfoBits)
 
 	for t := 0; t < numInfoBits; t++ {
 		rxA, rxB := mother[2*t], mother[2*t+1]
-		surv := make([]uint16, numStates)
-		for i := range next {
-			next[i] = inf
-		}
-		for s := 0; s < numStates; s++ {
-			m := metric[s]
-			if m >= inf {
-				continue
+		// cost[o] is the branch metric of emitting packed output o against
+		// the received pair; erasures (value 2) cost nothing either way.
+		var cost [4]int32
+		for o := 0; o < 4; o++ {
+			oa, ob := byte(o>>1), byte(o&1)
+			var c int32
+			if rxA != 2 && rxA != oa {
+				c++
 			}
-			for b := 0; b < 2; b++ {
-				br := branches[s][b]
-				cost := m
-				if rxA != 2 && rxA != br.outA {
-					cost++
-				}
-				if rxB != 2 && rxB != br.outB {
-					cost++
-				}
-				ns := ((s << 1) | b) & (numStates - 1)
-				if cost < next[ns] {
-					next[ns] = cost
-					surv[ns] = uint16(s<<1 | b)
-				}
+			if rxB != 2 && rxB != ob {
+				c++
+			}
+			cost[o] = c
+		}
+		var bits uint64
+		for ns := 0; ns < numStates; ns++ {
+			b := ns & 1
+			p0 := ns >> 1
+			p1 := p0 | numStates/2
+			c0 := metric[p0] + cost[branchOut[p0][b]]
+			c1 := metric[p1] + cost[branchOut[p1][b]]
+			if c1 < c0 {
+				next[ns] = c1
+				bits |= 1 << uint(ns)
+			} else {
+				next[ns] = c0
 			}
 		}
+		survivors[t] = bits
 		metric, next = next, metric
-		survivors[t] = surv
 	}
 
 	// Traceback from the best final state. When the caller terminated the
@@ -223,9 +246,8 @@ func ViterbiDecode(coded []byte, rate CodeRate, numInfoBits int) ([]byte, error)
 	out := make([]byte, numInfoBits)
 	state := best
 	for t := numInfoBits - 1; t >= 0; t-- {
-		packed := survivors[t][state]
-		out[t] = byte(packed & 1)
-		state = int(packed >> 1)
+		out[t] = byte(state & 1)
+		state = state>>1 | int((survivors[t]>>uint(state))&1)<<5
 	}
 	return out, nil
 }

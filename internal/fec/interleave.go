@@ -1,6 +1,9 @@
 package fec
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Interleaver implements the 802.11 two-permutation block interleaver
 // (Std 802.11-2012 §18.3.5.7). It operates on one OFDM symbol's worth of
@@ -37,42 +40,98 @@ func NewInterleaver(ncbps, nbpsc int) (*Interleaver, error) {
 	return &Interleaver{ncbps: ncbps, nbpsc: nbpsc, fwd: fwd, inv: inv}, nil
 }
 
+// interleaverCache shares Interleaver instances per geometry: the tables are
+// immutable after construction, so one instance serves all goroutines, and
+// hot paths skip rebuilding the permutations on every symbol run.
+var interleaverCache sync.Map // key: ncbps<<8 | nbpsc -> *Interleaver
+
+// CachedInterleaver returns a shared, immutable Interleaver for the given
+// geometry, building it on first use.
+func CachedInterleaver(ncbps, nbpsc int) (*Interleaver, error) {
+	key := ncbps<<8 | nbpsc
+	if il, ok := interleaverCache.Load(key); ok {
+		return il.(*Interleaver), nil
+	}
+	il, err := NewInterleaver(ncbps, nbpsc)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := interleaverCache.LoadOrStore(key, il)
+	return actual.(*Interleaver), nil
+}
+
 // BlockSize returns the number of bits per interleaved block.
 func (il *Interleaver) BlockSize() int { return il.ncbps }
 
 // Interleave permutes one block. len(in) must equal BlockSize().
 func (il *Interleaver) Interleave(in []byte) ([]byte, error) {
-	if len(in) != il.ncbps {
-		return nil, fmt.Errorf("fec: interleave block length %d, want %d", len(in), il.ncbps)
-	}
 	out := make([]byte, il.ncbps)
-	for k, j := range il.fwd {
-		out[j] = in[k]
+	if err := il.InterleaveInto(out, in); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// InterleaveInto is Interleave writing into a caller-provided BlockSize()
+// buffer, allocation-free. in and out must not alias.
+func (il *Interleaver) InterleaveInto(out, in []byte) error {
+	if len(in) != il.ncbps {
+		return fmt.Errorf("fec: interleave block length %d, want %d", len(in), il.ncbps)
+	}
+	if len(out) != il.ncbps {
+		return fmt.Errorf("fec: interleave output length %d, want %d", len(out), il.ncbps)
+	}
+	for k, j := range il.fwd {
+		out[j] = in[k]
+	}
+	return nil
+}
+
 // Deinterleave inverts Interleave.
 func (il *Interleaver) Deinterleave(in []byte) ([]byte, error) {
-	if len(in) != il.ncbps {
-		return nil, fmt.Errorf("fec: deinterleave block length %d, want %d", len(in), il.ncbps)
-	}
 	out := make([]byte, il.ncbps)
+	if err := il.DeinterleaveInto(out, in); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeinterleaveInto is Deinterleave writing into a caller-provided
+// BlockSize() buffer, allocation-free. in and out must not alias.
+func (il *Interleaver) DeinterleaveInto(out, in []byte) error {
+	if len(in) != il.ncbps {
+		return fmt.Errorf("fec: deinterleave block length %d, want %d", len(in), il.ncbps)
+	}
+	if len(out) != il.ncbps {
+		return fmt.Errorf("fec: deinterleave output length %d, want %d", len(out), il.ncbps)
+	}
 	for j, k := range il.inv {
 		out[k] = in[j]
 	}
-	return out, nil
+	return nil
 }
 
 // DeinterleaveFloats applies the inverse permutation to per-bit soft values
 // (LLRs), for the soft-decision receive path.
 func (il *Interleaver) DeinterleaveFloats(in []float64) ([]float64, error) {
-	if len(in) != il.ncbps {
-		return nil, fmt.Errorf("fec: deinterleave block length %d, want %d", len(in), il.ncbps)
-	}
 	out := make([]float64, il.ncbps)
+	if err := il.DeinterleaveFloatsInto(out, in); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeinterleaveFloatsInto is DeinterleaveFloats writing into a
+// caller-provided BlockSize() buffer, allocation-free.
+func (il *Interleaver) DeinterleaveFloatsInto(out, in []float64) error {
+	if len(in) != il.ncbps {
+		return fmt.Errorf("fec: deinterleave block length %d, want %d", len(in), il.ncbps)
+	}
+	if len(out) != il.ncbps {
+		return fmt.Errorf("fec: deinterleave output length %d, want %d", len(out), il.ncbps)
+	}
 	for j, k := range il.inv {
 		out[k] = in[j]
 	}
-	return out, nil
+	return nil
 }

@@ -15,27 +15,27 @@ func ViterbiDecodeSoft(llrs []float64, rate CodeRate, numInfoBits int) ([]byte, 
 	if numInfoBits <= 0 {
 		return nil, fmt.Errorf("fec: numInfoBits must be positive, got %d", numInfoBits)
 	}
-	mother, err := depunctureSoft(llrs, rate, numInfoBits)
-	if err != nil {
-		return nil, err
+	mother := llrs
+	if rate != Rate1_2 {
+		var err error
+		mother, err = depunctureSoft(llrs, rate, numInfoBits)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(llrs) < 2*numInfoBits {
+		return nil, fmt.Errorf("fec: LLR stream too short: have %d, need more for %d info bits at rate %v",
+			len(llrs), numInfoBits, rate)
 	}
 
 	const inf = 1e18
-	metric := make([]float64, numStates)
-	next := make([]float64, numStates)
+	var m0, m1 [numStates]float64
+	metric, next := &m0, &m1
 	for i := 1; i < numStates; i++ {
 		metric[i] = inf
 	}
-	survivors := make([][]uint16, numInfoBits)
-
-	type branch struct{ outA, outB byte }
-	var branches [numStates][2]branch
-	for s := 0; s < numStates; s++ {
-		for b := 0; b < 2; b++ {
-			reg := uint32((s<<1)|b) & 0x7f
-			branches[s][b] = branch{parity7(reg & genA), parity7(reg & genB)}
-		}
-	}
+	// One survivor bit per state per step, as in ViterbiDecode: bit ns set
+	// means the winning predecessor was (ns>>1)|32.
+	survivors := make([]uint64, numInfoBits)
 
 	// cost of transmitting coded bit c against received LLR l: choosing the
 	// less likely bit costs |l|; agreeing costs 0.
@@ -51,27 +51,26 @@ func ViterbiDecodeSoft(llrs []float64, rate CodeRate, numInfoBits int) ([]byte, 
 
 	for t := 0; t < numInfoBits; t++ {
 		la, lb := mother[2*t], mother[2*t+1]
-		surv := make([]uint16, numStates)
-		for i := range next {
-			next[i] = inf
+		var cost [4]float64
+		for o := 0; o < 4; o++ {
+			cost[o] = bitCost(byte(o>>1), la) + bitCost(byte(o&1), lb)
 		}
-		for s := 0; s < numStates; s++ {
-			m := metric[s]
-			if m >= inf {
-				continue
-			}
-			for b := 0; b < 2; b++ {
-				br := branches[s][b]
-				cost := m + bitCost(br.outA, la) + bitCost(br.outB, lb)
-				ns := ((s << 1) | b) & (numStates - 1)
-				if cost < next[ns] {
-					next[ns] = cost
-					surv[ns] = uint16(s<<1 | b)
-				}
+		var bits uint64
+		for ns := 0; ns < numStates; ns++ {
+			b := ns & 1
+			p0 := ns >> 1
+			p1 := p0 | numStates/2
+			c0 := metric[p0] + cost[branchOut[p0][b]]
+			c1 := metric[p1] + cost[branchOut[p1][b]]
+			if c1 < c0 {
+				next[ns] = c1
+				bits |= 1 << uint(ns)
+			} else {
+				next[ns] = c0
 			}
 		}
+		survivors[t] = bits
 		metric, next = next, metric
-		survivors[t] = surv
 	}
 
 	best := 0
@@ -83,9 +82,8 @@ func ViterbiDecodeSoft(llrs []float64, rate CodeRate, numInfoBits int) ([]byte, 
 	out := make([]byte, numInfoBits)
 	state := best
 	for t := numInfoBits - 1; t >= 0; t-- {
-		packed := survivors[t][state]
-		out[t] = byte(packed & 1)
-		state = int(packed >> 1)
+		out[t] = byte(state & 1)
+		state = state>>1 | int((survivors[t]>>uint(state))&1)<<5
 	}
 	return out, nil
 }

@@ -151,9 +151,28 @@ func Map(m Modulation, bits []byte) ([]complex128, error) {
 	if len(bits)%bps != 0 {
 		return nil, fmt.Errorf("modem: %d bits is not a multiple of %d (%v)", len(bits), bps, m)
 	}
-	k := m.Kmod()
 	out := make([]complex128, len(bits)/bps)
-	for i := range out {
+	if err := MapInto(out, m, bits); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapInto is Map writing into a caller-provided buffer of exactly
+// len(bits)/BitsPerSymbol points, allocation-free.
+func MapInto(dst []complex128, m Modulation, bits []byte) error {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	if len(bits)%bps != 0 {
+		return fmt.Errorf("modem: %d bits is not a multiple of %d (%v)", len(bits), bps, m)
+	}
+	if len(dst) != len(bits)/bps {
+		return fmt.Errorf("modem: point buffer needs %d entries, got %d", len(bits)/bps, len(dst))
+	}
+	k := m.Kmod()
+	for i := range dst {
 		chunk := bits[i*bps : (i+1)*bps]
 		var re, im float64
 		if m == BPSK {
@@ -163,9 +182,9 @@ func Map(m Modulation, bits []byte) ([]complex128, error) {
 			re = grayAxis(chunk[:half])
 			im = grayAxis(chunk[half:])
 		}
-		out[i] = complex(re*k, im*k)
+		dst[i] = complex(re*k, im*k)
 	}
-	return out, nil
+	return nil
 }
 
 // Demap hard-decides each constellation point back into bits. The output
@@ -175,10 +194,26 @@ func Demap(m Modulation, points []complex128) ([]byte, error) {
 	if bps == 0 {
 		return nil, fmt.Errorf("modem: invalid modulation %v", m)
 	}
-	invK := 1 / m.Kmod()
 	out := make([]byte, len(points)*bps)
+	if err := DemapInto(out, m, points); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DemapInto is Demap writing into a caller-provided buffer of exactly
+// len(points)*BitsPerSymbol bits, allocation-free.
+func DemapInto(dst []byte, m Modulation, points []complex128) error {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	if len(dst) != len(points)*bps {
+		return fmt.Errorf("modem: bit buffer needs %d entries, got %d", len(points)*bps, len(dst))
+	}
+	invK := 1 / m.Kmod()
 	for i, p := range points {
-		chunk := out[i*bps : (i+1)*bps]
+		chunk := dst[i*bps : (i+1)*bps]
 		if m == BPSK {
 			grayAxisDecode(real(p)*invK, chunk)
 			continue
@@ -187,7 +222,7 @@ func Demap(m Modulation, points []complex128) ([]byte, error) {
 		grayAxisDecode(real(p)*invK, chunk[:half])
 		grayAxisDecode(imag(p)*invK, chunk[half:])
 	}
-	return out, nil
+	return nil
 }
 
 // MinDistance returns the minimum Euclidean distance between any two points

@@ -22,14 +22,27 @@ func DemapSoft(m Modulation, points []complex128, noiseVar float64) ([]float64, 
 	if bps == 0 {
 		return nil, fmt.Errorf("modem: invalid modulation %v", m)
 	}
-	if noiseVar <= 0 {
-		return nil, fmt.Errorf("modem: noise variance must be positive, got %v", noiseVar)
-	}
-	ref, err := constellation(m)
-	if err != nil {
+	out := make([]float64, len(points)*bps)
+	if err := DemapSoftInto(out, m, points, noiseVar); err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(points)*bps)
+	return out, nil
+}
+
+// DemapSoftInto is DemapSoft writing into a caller-provided buffer of
+// exactly len(points)*BitsPerSymbol LLRs, allocation-free.
+func DemapSoftInto(dst []float64, m Modulation, points []complex128, noiseVar float64) error {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	if noiseVar <= 0 {
+		return fmt.Errorf("modem: noise variance must be positive, got %v", noiseVar)
+	}
+	if len(dst) != len(points)*bps {
+		return fmt.Errorf("modem: LLR buffer needs %d entries, got %d", len(points)*bps, len(dst))
+	}
+	ref := constellations[m]
 	for i, y := range points {
 		for j := 0; j < bps; j++ {
 			min0, min1 := math.Inf(1), math.Inf(1)
@@ -44,15 +57,29 @@ func DemapSoft(m Modulation, points []complex128, noiseVar float64) ([]float64, 
 					min1 = dist
 				}
 			}
-			out[i*bps+j] = (min1 - min0) / noiseVar
+			dst[i*bps+j] = (min1 - min0) / noiseVar
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// constellation enumerates the mapped point for every bit pattern, indexed
-// by the pattern value (MSB-first bit order, matching Map's input order).
-func constellation(m Modulation) ([]complex128, error) {
+// constellations caches, per modulation, the mapped point for every bit
+// pattern, indexed by the pattern value (MSB-first bit order, matching Map's
+// input order). Built once at init; DemapSoft used to re-enumerate this
+// table on every call.
+var constellations = buildConstellations()
+
+func buildConstellations() map[Modulation][]complex128 {
+	out := make(map[Modulation][]complex128, len(Modulations()))
+	for _, m := range Modulations() {
+		out[m] = constellation(m)
+	}
+	return out
+}
+
+// constellation enumerates the mapped point for every bit pattern of a valid
+// modulation.
+func constellation(m Modulation) []complex128 {
 	bps := m.BitsPerSymbol()
 	n := 1 << bps
 	out := make([]complex128, n)
@@ -63,11 +90,11 @@ func constellation(m Modulation) ([]complex128, error) {
 		}
 		pts, err := Map(m, bits)
 		if err != nil {
-			return nil, err
+			panic(err) // unreachable: m is valid and bits sized to bps
 		}
 		out[v] = pts[0]
 	}
-	return out, nil
+	return out
 }
 
 // HardFromLLR converts LLRs back to hard bits (LLR > 0 -> 0).

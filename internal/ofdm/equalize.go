@@ -6,6 +6,18 @@ import (
 	"math/cmplx"
 )
 
+// occupiedBins are the physical bins of the 53 occupied subcarriers
+// (-26..26 including DC), precomputed for the equalizer's per-symbol loop.
+var occupiedBins = buildOccupiedBins()
+
+func buildOccupiedBins() [53]int {
+	var out [53]int
+	for k := -26; k <= 26; k++ {
+		out[k+26] = Bin(k)
+	}
+	return out
+}
+
 // Equalize divides each occupied bin of a received symbol by the channel
 // estimate, in place. Bins whose channel magnitude is below a small floor
 // are left untouched (they carry no usable signal anyway).
@@ -14,11 +26,11 @@ func Equalize(bins, channel []complex128) error {
 		return fmt.Errorf("ofdm: Equalize needs %d bins, got %d and %d",
 			NumSubcarriers, len(bins), len(channel))
 	}
-	const floor = 1e-9
-	for k := -26; k <= 26; k++ {
-		b := Bin(k)
-		if cmplx.Abs(channel[b]) > floor {
-			bins[b] /= channel[b]
+	const floorSq = 1e-18 // (1e-9)^2, compared against |H|^2 to skip cmplx.Abs
+	for _, b := range &occupiedBins {
+		h := channel[b]
+		if real(h)*real(h)+imag(h)*imag(h) > floorSq {
+			bins[b] /= h
 		}
 	}
 	return nil

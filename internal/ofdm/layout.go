@@ -58,6 +58,19 @@ func Bin(idx int) int {
 	return (idx + NumSubcarriers) % NumSubcarriers
 }
 
+// dataBins and pilotBins are the physical FFT bins of the data and pilot
+// subcarriers, precomputed so the per-symbol loops skip the Bin() modulo.
+var dataBins = buildBins(DataIndices[:])
+var pilotBins = buildBins(PilotIndices[:])
+
+func buildBins(logical []int) []int {
+	out := make([]int, len(logical))
+	for i, k := range logical {
+		out[i] = Bin(k)
+	}
+	return out
+}
+
 // PilotPolarity returns the 802.11 pilot polarity p_n in {-1, +1} for OFDM
 // symbol n (n = 0 is the SIG symbol). The sequence is the output of the
 // all-ones-seeded frame scrambler mapped 0 -> +1, 1 -> -1, with period 127.
@@ -80,14 +93,24 @@ func buildPilotPolarity() [127]float64 {
 	return seq
 }
 
+// pilotValuesPos/Neg are the two polarity variants of the transmitted pilot
+// points, precomputed once: every symbol uses one or the other.
+var pilotValuesPos, pilotValuesNeg = buildPilotValues()
+
+func buildPilotValues() (pos, neg [NumPilots]complex128) {
+	for i, v := range pilotBase {
+		pos[i] = complex(v, 0)
+		neg[i] = complex(-v, 0)
+	}
+	return pos, neg
+}
+
 // PilotValues returns the four transmitted pilot points for symbol n.
 func PilotValues(n int) [NumPilots]complex128 {
-	p := PilotPolarity(n)
-	var out [NumPilots]complex128
-	for i, v := range pilotBase {
-		out[i] = complex(v*p, 0)
+	if PilotPolarity(n) >= 0 {
+		return pilotValuesPos
 	}
-	return out
+	return pilotValuesNeg
 }
 
 // ltfSequence is the frequency-domain long training sequence L(-26..26).

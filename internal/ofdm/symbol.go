@@ -12,56 +12,91 @@ import (
 // data AND pilot subcarriers, implements the Carpool phase-offset side
 // channel; pass 0 for a standard symbol.
 func AssembleSymbol(data []complex128, symIndex int, injectedPhase float64) ([]complex128, error) {
+	out := make([]complex128, SymbolLen)
+	if err := AssembleSymbolInto(out, data, symIndex, injectedPhase); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssembleSymbolInto is AssembleSymbol writing into a caller-provided
+// SymbolLen-sample buffer, allocation-free. dst[CyclicPrefixLen:] doubles as
+// the IFFT workspace; its previous contents are overwritten.
+func AssembleSymbolInto(dst, data []complex128, symIndex int, injectedPhase float64) error {
+	if len(dst) != SymbolLen {
+		return fmt.Errorf("ofdm: symbol buffer needs %d samples, got %d", SymbolLen, len(dst))
+	}
 	if len(data) != NumData {
-		return nil, fmt.Errorf("ofdm: symbol needs %d data points, got %d", NumData, len(data))
+		return fmt.Errorf("ofdm: symbol needs %d data points, got %d", NumData, len(data))
 	}
-	bins := make([]complex128, NumSubcarriers)
-	for i, k := range DataIndices {
-		bins[Bin(k)] = data[i]
+	bins := dst[CyclicPrefixLen:]
+	for i := range bins {
+		bins[i] = 0
 	}
-	for i, k := range PilotIndices {
-		bins[Bin(k)] = PilotValues(symIndex)[i]
+	for i, b := range dataBins {
+		bins[b] = data[i]
+	}
+	pilots := PilotValues(symIndex)
+	for i, b := range pilotBins {
+		bins[b] = pilots[i]
 	}
 	if injectedPhase != 0 {
 		dsp.Rotate(bins, injectedPhase)
 	}
 	if err := dsp.IFFT(bins); err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]complex128, SymbolLen)
-	copy(out, bins[NumSubcarriers-CyclicPrefixLen:])
-	copy(out[CyclicPrefixLen:], bins)
-	return out, nil
+	copy(dst[:CyclicPrefixLen], bins[NumSubcarriers-CyclicPrefixLen:])
+	return nil
 }
 
 // SymbolBins strips the cyclic prefix from one received 80-sample symbol and
 // returns its 64 frequency-domain bins.
 func SymbolBins(samples []complex128) ([]complex128, error) {
-	if len(samples) < SymbolLen {
-		return nil, fmt.Errorf("ofdm: need %d samples per symbol, got %d", SymbolLen, len(samples))
-	}
 	bins := make([]complex128, NumSubcarriers)
-	copy(bins, samples[CyclicPrefixLen:SymbolLen])
-	if err := dsp.FFT(bins); err != nil {
+	if err := SymbolBinsInto(bins, samples); err != nil {
 		return nil, err
 	}
 	return bins, nil
 }
 
+// SymbolBinsInto is SymbolBins writing into a caller-provided
+// NumSubcarriers-bin buffer, allocation-free.
+func SymbolBinsInto(bins, samples []complex128) error {
+	if len(bins) != NumSubcarriers {
+		return fmt.Errorf("ofdm: bin buffer needs %d entries, got %d", NumSubcarriers, len(bins))
+	}
+	if len(samples) < SymbolLen {
+		return fmt.Errorf("ofdm: need %d samples per symbol, got %d", SymbolLen, len(samples))
+	}
+	copy(bins, samples[CyclicPrefixLen:SymbolLen])
+	return dsp.FFT(bins)
+}
+
 // ExtractData picks the 48 equalized data points out of 64 bins.
 func ExtractData(bins []complex128) []complex128 {
 	out := make([]complex128, NumData)
-	for i, k := range DataIndices {
-		out[i] = bins[Bin(k)]
-	}
+	ExtractDataInto(out, bins)
 	return out
+}
+
+// ExtractDataInto is ExtractData writing into a caller-provided NumData-point
+// buffer, allocation-free. It panics on wrong buffer sizes (programmer
+// error, like a slice index).
+func ExtractDataInto(dst, bins []complex128) {
+	if len(dst) != NumData {
+		panic(fmt.Sprintf("ofdm: ExtractDataInto dst needs %d points, got %d", NumData, len(dst)))
+	}
+	for i, b := range dataBins {
+		dst[i] = bins[b]
+	}
 }
 
 // ExtractPilots picks the 4 received pilot points out of 64 bins.
 func ExtractPilots(bins []complex128) [NumPilots]complex128 {
 	var out [NumPilots]complex128
-	for i, k := range PilotIndices {
-		out[i] = bins[Bin(k)]
+	for i, b := range pilotBins {
+		out[i] = bins[b]
 	}
 	return out
 }

@@ -1,0 +1,83 @@
+package phy
+
+import (
+	"testing"
+
+	"carpool/internal/modem"
+	"carpool/internal/ofdm"
+)
+
+// TestDecodeDataSymbolsSteadyStateAllocs pins the per-symbol allocation
+// budget of the receive hot loop: DecodeDataSymbolsOpts allocates only the
+// flat buffers the Segment retains (O(1) allocations per call), never per
+// symbol. Doubling the symbol count must therefore not increase the
+// allocation count.
+func TestDecodeDataSymbolsSteadyStateAllocs(t *testing.T) {
+	frame, err := Transmit(make([]byte, 1500), TxConfig{MCS: MCS24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, h, _, status := Sync(frame.Samples, 0)
+	if status != StatusOK {
+		t.Fatalf("sync status %v", status)
+	}
+	nsym := frame.NumDataSymbols()
+	tracker := NewStandardTracker()
+
+	decode := func(n int) {
+		tracker.Init(h, MCS24.Mod)
+		seg, err := DecodeDataSymbols(buf, ofdm.PreambleLen+ofdm.SymbolLen, 1, n,
+			MCS24.Mod, tracker, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seg.Blocks) != n {
+			t.Fatalf("decoded %d symbols, want %d", len(seg.Blocks), n)
+		}
+	}
+	half := testing.AllocsPerRun(20, func() { decode(nsym / 2) })
+	full := testing.AllocsPerRun(20, func() { decode(nsym) })
+	if full > half {
+		t.Errorf("allocations grow with symbol count: %v for %d symbols vs %v for %d — the per-symbol loop is allocating",
+			full, nsym, half, nsym/2)
+	}
+	// The flat-buffer setup itself is a handful of allocations.
+	if full > 12 {
+		t.Errorf("DecodeDataSymbols made %v allocations for one call, want O(1) setup only", full)
+	}
+}
+
+// TestDemodSymbolZeroAllocs drives the exact per-symbol demod sequence the
+// decoder runs — bins, equalize, pilot phase, extract, demap — and requires
+// it to be allocation-free.
+func TestDemodSymbolZeroAllocs(t *testing.T) {
+	frame, err := Transmit(make([]byte, 300), TxConfig{MCS: MCS24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, h, _, status := Sync(frame.Samples, 0)
+	if status != StatusOK {
+		t.Fatalf("sync status %v", status)
+	}
+	off := ofdm.PreambleLen + ofdm.SymbolLen
+	var bins [ofdm.NumSubcarriers]complex128
+	var points [ofdm.NumData]complex128
+	block := make([]byte, MCS24.CodedBitsPerSymbol())
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ofdm.SymbolBinsInto(bins[:], buf[off:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ofdm.Equalize(bins[:], h); err != nil {
+			t.Fatal(err)
+		}
+		phase, _ := ofdm.TrackPilotPhase(bins[:], 1)
+		ofdm.CompensatePhase(bins[:], phase)
+		ofdm.ExtractDataInto(points[:], bins[:])
+		if err := modem.DemapInto(block, MCS24.Mod, points[:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("per-symbol demod sequence allocates %v times, want 0", allocs)
+	}
+}

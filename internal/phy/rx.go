@@ -119,16 +119,18 @@ func DecodeSIGAt(buf, h []complex128, offset, symIdx int) (SIG, float64, error) 
 	if offset+ofdm.SymbolLen > len(buf) {
 		return SIG{}, 0, fmt.Errorf("phy: buffer ends before SIG symbol")
 	}
-	bins, err := ofdm.SymbolBins(buf[offset:])
-	if err != nil {
+	var bins [ofdm.NumSubcarriers]complex128
+	if err := ofdm.SymbolBinsInto(bins[:], buf[offset:]); err != nil {
 		return SIG{}, 0, err
 	}
-	if err := ofdm.Equalize(bins, h); err != nil {
+	if err := ofdm.Equalize(bins[:], h); err != nil {
 		return SIG{}, 0, err
 	}
-	phase, _ := ofdm.TrackPilotPhase(bins, symIdx)
-	ofdm.CompensatePhase(bins, phase)
-	sig, err := decodeSIGSymbol(ofdm.ExtractData(bins))
+	phase, _ := ofdm.TrackPilotPhase(bins[:], symIdx)
+	ofdm.CompensatePhase(bins[:], phase)
+	var dataPoints [ofdm.NumData]complex128
+	ofdm.ExtractDataInto(dataPoints[:], bins[:])
+	sig, err := decodeSIGSymbol(dataPoints[:])
 	return sig, phase, err
 }
 
@@ -166,18 +168,32 @@ func DecodeDataSymbols(buf []complex128, offset, baseSymIdx, nsym int, mod modem
 // DecodeDataSymbolsOpts is DecodeDataSymbols with soft-output collection:
 // when collectLLRs is set, each symbol's per-bit LLRs (weighted by channel
 // gain) are stored in Segment.LLRs for soft FEC decoding.
+//
+// All per-symbol storage the Segment retains (coded blocks, side bits, LLRs)
+// is carved out of flat buffers sized once up front, and the demodulation
+// workspace lives in a scratch struct reused across symbols, so the
+// steady-state symbol loop performs zero heap allocations.
 func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod modem.Modulation,
 	tracker ChannelTracker, scheme *sidechannel.Scheme, primePhase float64,
 	collectLLRs bool) (*Segment, error) {
 	if tracker == nil {
 		return nil, fmt.Errorf("phy: DecodeDataSymbols requires a tracker")
 	}
+	if !mod.Valid() {
+		return nil, fmt.Errorf("phy: invalid modulation %v", mod)
+	}
+	if nsym < 0 {
+		nsym = 0
+	}
+	ncbps := mod.BitsPerSymbol() * ofdm.NumData
 	seg := &Segment{
 		Blocks:      make([][]byte, 0, nsym),
 		PilotPhases: make([]float64, 0, nsym),
 	}
 	var sideDecoder *sidechannel.Decoder
 	groupSize := 1
+	sideBps := 0
+	var sideBuf []byte
 	if scheme != nil {
 		if err := scheme.Validate(); err != nil {
 			return nil, err
@@ -189,8 +205,26 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 		}
 		sideDecoder.Prime(primePhase)
 		groupSize = scheme.GroupSize
+		sideBps = scheme.Alphabet.BitsPerSymbol()
+		sideBuf = make([]byte, nsym*sideBps)
 		seg.SideBits = make([][]byte, 0, nsym)
 		seg.SymbolOK = make([]bool, 0, nsym)
+	}
+
+	// Flat backing stores for everything the Segment keeps, plus reusable
+	// demodulation workspace. rawRing holds one raw-bin buffer per group
+	// position: a symbol's raw bins are needed only until its group flushes
+	// into tracker.Observe, so groupSize buffers suffice.
+	var scratch struct {
+		eq     [ofdm.NumSubcarriers]complex128
+		points [ofdm.NumData]complex128
+	}
+	blockBuf := make([]byte, nsym*ncbps)
+	rawRing := make([]complex128, groupSize*ofdm.NumSubcarriers)
+	var llrBuf []float64
+	if collectLLRs {
+		llrBuf = make([]float64, nsym*ncbps)
+		seg.LLRs = make([][]float64, 0, nsym)
 	}
 
 	type symRecord struct {
@@ -198,9 +232,9 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 		rawBins []complex128
 		phase   float64
 		block   []byte
-		side    []byte
 	}
-	var group []symRecord
+	group := make([]symRecord, 0, groupSize)
+	groupBits := make([]byte, 0, groupSize*ncbps)
 	flushGroup := func() error {
 		if len(group) == 0 {
 			return nil
@@ -209,13 +243,12 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 		if sideDecoder != nil {
 			sub := *scheme
 			sub.GroupSize = len(group)
-			var groupBits []byte
-			chunks := make([][]byte, 0, len(group))
+			groupBits = groupBits[:0]
 			for _, r := range group {
 				groupBits = append(groupBits, r.block...)
-				chunks = append(chunks, r.side)
 			}
-			ok, err := sub.Verify(groupBits, chunks)
+			first, last := group[0].idx, group[len(group)-1].idx
+			ok, err := sub.VerifyFlat(groupBits, sideBuf[first*sideBps:(last+1)*sideBps])
 			if err != nil {
 				return err
 			}
@@ -237,41 +270,38 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 			seg.Truncated = true
 			break
 		}
-		rawBins, err := ofdm.SymbolBins(buf[symOff:])
-		if err != nil {
+		rawBins := rawRing[len(group)*ofdm.NumSubcarriers:][:ofdm.NumSubcarriers]
+		if err := ofdm.SymbolBinsInto(rawBins, buf[symOff:]); err != nil {
 			return nil, err
 		}
-		eq := append([]complex128(nil), rawBins...)
-		if err := ofdm.Equalize(eq, tracker.Estimate()); err != nil {
+		copy(scratch.eq[:], rawBins)
+		if err := ofdm.Equalize(scratch.eq[:], tracker.Estimate()); err != nil {
 			return nil, err
 		}
-		phase, _ := ofdm.TrackPilotPhase(eq, baseSymIdx+i)
-		ofdm.CompensatePhase(eq, phase)
-		dataPoints := ofdm.ExtractData(eq)
-		block, err := modem.Demap(mod, dataPoints)
-		if err != nil {
+		phase, _ := ofdm.TrackPilotPhase(scratch.eq[:], baseSymIdx+i)
+		ofdm.CompensatePhase(scratch.eq[:], phase)
+		ofdm.ExtractDataInto(scratch.points[:], scratch.eq[:])
+		block := blockBuf[i*ncbps : (i+1)*ncbps]
+		if err := modem.DemapInto(block, mod, scratch.points[:]); err != nil {
 			return nil, err
 		}
 		seg.Blocks = append(seg.Blocks, block)
 		seg.PilotPhases = append(seg.PilotPhases, phase)
 		if collectLLRs {
-			llrs, err := weightedLLRs(mod, dataPoints, tracker.Estimate())
-			if err != nil {
+			llrs := llrBuf[i*ncbps : (i+1)*ncbps]
+			if err := weightedLLRsInto(llrs, mod, scratch.points[:], tracker.Estimate()); err != nil {
 				return nil, err
 			}
 			seg.LLRs = append(seg.LLRs, llrs)
 		}
-
-		rec := symRecord{idx: i, rawBins: rawBins, phase: phase, block: block}
 		if sideDecoder != nil {
-			bits, err := sideDecoder.Next(phase)
-			if err != nil {
+			sbits := sideBuf[i*sideBps : (i+1)*sideBps]
+			if _, err := sideDecoder.NextInto(sbits, phase); err != nil {
 				return nil, err
 			}
-			rec.side = bits
-			seg.SideBits = append(seg.SideBits, bits)
+			seg.SideBits = append(seg.SideBits, sbits)
 		}
-		group = append(group, rec)
+		group = append(group, symRecord{idx: i, rawBins: rawBins, phase: phase, block: block})
 		if len(group) == groupSize {
 			if err := flushGroup(); err != nil {
 				return nil, err
@@ -336,24 +366,24 @@ func Receive(rx []complex128, cfg RxConfig) (*RxResult, error) {
 	return res, nil
 }
 
-// weightedLLRs computes per-bit LLRs for one equalized symbol, scaling each
-// subcarrier's confidence by |H|^2: post-equalization noise grows as
-// 1/|H|^2, so faded bins contribute proportionally weaker opinions to the
-// soft Viterbi. The overall scale is irrelevant to the decoder.
-func weightedLLRs(mod modem.Modulation, dataPoints, h []complex128) ([]float64, error) {
-	llrs, err := modem.DemapSoft(mod, dataPoints, 1)
-	if err != nil {
-		return nil, err
+// weightedLLRsInto computes per-bit LLRs for one equalized symbol into a
+// caller-provided buffer, scaling each subcarrier's confidence by |H|^2:
+// post-equalization noise grows as 1/|H|^2, so faded bins contribute
+// proportionally weaker opinions to the soft Viterbi. The overall scale is
+// irrelevant to the decoder.
+func weightedLLRsInto(dst []float64, mod modem.Modulation, dataPoints, h []complex128) error {
+	if err := modem.DemapSoftInto(dst, mod, dataPoints, 1); err != nil {
+		return err
 	}
 	bps := mod.BitsPerSymbol()
 	for i, k := range ofdm.DataIndices {
 		g := h[ofdm.Bin(k)]
 		w := real(g)*real(g) + imag(g)*imag(g)
 		for j := 0; j < bps; j++ {
-			llrs[i*bps+j] *= w
+			dst[i*bps+j] *= w
 		}
 	}
-	return llrs, nil
+	return nil
 }
 
 // CompareBlocks counts bit errors between transmitted and received coded

@@ -99,7 +99,7 @@ func BuildSIGSymbol(s SIG, symIndex int) ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
-	il, err := fec.NewInterleaver(sigMCS.CodedBitsPerSymbol(), sigMCS.Mod.BitsPerSymbol())
+	il, err := fec.CachedInterleaver(sigMCS.CodedBitsPerSymbol(), sigMCS.Mod.BitsPerSymbol())
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func BuildSIGPoints(s SIG) ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
-	il, err := fec.NewInterleaver(sigMCS.CodedBitsPerSymbol(), sigMCS.Mod.BitsPerSymbol())
+	il, err := fec.CachedInterleaver(sigMCS.CodedBitsPerSymbol(), sigMCS.Mod.BitsPerSymbol())
 	if err != nil {
 		return nil, err
 	}
@@ -143,21 +143,21 @@ func DecodeSIGPoints(points []complex128) (SIG, error) {
 }
 
 // decodeSIGSymbol inverts BuildSIGSymbol from equalized, phase-compensated
-// bins.
+// bins. Carpool decodes one SIG per subframe per receiver, so the demap and
+// deinterleave scratch lives on the stack.
 func decodeSIGSymbol(dataPoints []complex128) (SIG, error) {
-	block, err := modem.Demap(sigMCS.Mod, dataPoints)
+	var block, coded [ofdm.NumData]byte // BPSK: ncbps == NumData
+	if err := modem.DemapInto(block[:], sigMCS.Mod, dataPoints); err != nil {
+		return SIG{}, err
+	}
+	il, err := fec.CachedInterleaver(sigMCS.CodedBitsPerSymbol(), sigMCS.Mod.BitsPerSymbol())
 	if err != nil {
 		return SIG{}, err
 	}
-	il, err := fec.NewInterleaver(sigMCS.CodedBitsPerSymbol(), sigMCS.Mod.BitsPerSymbol())
-	if err != nil {
+	if err := il.DeinterleaveInto(coded[:], block[:]); err != nil {
 		return SIG{}, err
 	}
-	coded, err := il.Deinterleave(block)
-	if err != nil {
-		return SIG{}, err
-	}
-	bits, err := fec.ViterbiDecode(coded, fec.Rate1_2, sigBitCount)
+	bits, err := fec.ViterbiDecode(coded[:], fec.Rate1_2, sigBitCount)
 	if err != nil {
 		return SIG{}, err
 	}

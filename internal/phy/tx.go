@@ -71,14 +71,15 @@ func EncodeDataField(payload []byte, mcs MCS, seed byte) ([][]byte, error) {
 	if len(coded) != nsym*ncbps {
 		return nil, fmt.Errorf("phy: internal: coded length %d, want %d", len(coded), nsym*ncbps)
 	}
-	il, err := fec.NewInterleaver(ncbps, mcs.Mod.BitsPerSymbol())
+	il, err := fec.CachedInterleaver(ncbps, mcs.Mod.BitsPerSymbol())
 	if err != nil {
 		return nil, err
 	}
+	blockBuf := make([]byte, nsym*ncbps)
 	blocks := make([][]byte, nsym)
 	for i := range blocks {
-		blocks[i], err = il.Interleave(coded[i*ncbps : (i+1)*ncbps])
-		if err != nil {
+		blocks[i] = blockBuf[i*ncbps : (i+1)*ncbps]
+		if err := il.InterleaveInto(blocks[i], coded[i*ncbps:(i+1)*ncbps]); err != nil {
 			return nil, err
 		}
 	}
@@ -100,17 +101,15 @@ func DecodeDataField(blocks [][]byte, mcs MCS, payloadLen int) ([]byte, error) {
 		return nil, fmt.Errorf("phy: %d symbol blocks, need %d for %d bytes", len(blocks), nsym, payloadLen)
 	}
 	ncbps := mcs.CodedBitsPerSymbol()
-	il, err := fec.NewInterleaver(ncbps, mcs.Mod.BitsPerSymbol())
+	il, err := fec.CachedInterleaver(ncbps, mcs.Mod.BitsPerSymbol())
 	if err != nil {
 		return nil, err
 	}
-	coded := make([]byte, 0, nsym*ncbps)
+	coded := make([]byte, nsym*ncbps)
 	for i := 0; i < nsym; i++ {
-		blk, err := il.Deinterleave(blocks[i])
-		if err != nil {
+		if err := il.DeinterleaveInto(coded[i*ncbps:(i+1)*ncbps], blocks[i]); err != nil {
 			return nil, err
 		}
-		coded = append(coded, blk...)
 	}
 	info, err := fec.ViterbiDecode(coded, mcs.Rate, nsym*mcs.DataBitsPerSymbol())
 	if err != nil {
@@ -139,17 +138,15 @@ func DecodeDataFieldSoft(llrBlocks [][]float64, mcs MCS, payloadLen int) ([]byte
 		return nil, fmt.Errorf("phy: %d LLR blocks, need %d for %d bytes", len(llrBlocks), nsym, payloadLen)
 	}
 	ncbps := mcs.CodedBitsPerSymbol()
-	il, err := fec.NewInterleaver(ncbps, mcs.Mod.BitsPerSymbol())
+	il, err := fec.CachedInterleaver(ncbps, mcs.Mod.BitsPerSymbol())
 	if err != nil {
 		return nil, err
 	}
-	llrs := make([]float64, 0, nsym*ncbps)
+	llrs := make([]float64, nsym*ncbps)
 	for i := 0; i < nsym; i++ {
-		blk, err := il.DeinterleaveFloats(llrBlocks[i])
-		if err != nil {
+		if err := il.DeinterleaveFloatsInto(llrs[i*ncbps:(i+1)*ncbps], llrBlocks[i]); err != nil {
 			return nil, err
 		}
-		llrs = append(llrs, blk...)
 	}
 	info, err := fec.ViterbiDecodeSoft(llrs, mcs.Rate, nsym*mcs.DataBitsPerSymbol())
 	if err != nil {
@@ -205,10 +202,10 @@ func BuildDataSymbols(blocks [][]byte, mod modem.Modulation, baseSymIdx int,
 			return nil, nil, err
 		}
 	}
-	samples = make([]complex128, 0, len(blocks)*ofdm.SymbolLen)
+	samples = make([]complex128, len(blocks)*ofdm.SymbolLen)
+	var points [ofdm.NumData]complex128
 	for i, block := range blocks {
-		points, err := modem.Map(mod, block)
-		if err != nil {
+		if err := modem.MapInto(points[:], mod, block); err != nil {
 			return nil, nil, err
 		}
 		inject := 0.0
@@ -218,11 +215,10 @@ func BuildDataSymbols(blocks [][]byte, mod modem.Modulation, baseSymIdx int,
 				return nil, nil, err
 			}
 		}
-		sym, err := ofdm.AssembleSymbol(points, baseSymIdx+i, inject)
-		if err != nil {
+		dst := samples[i*ofdm.SymbolLen : (i+1)*ofdm.SymbolLen]
+		if err := ofdm.AssembleSymbolInto(dst, points[:], baseSymIdx+i, inject); err != nil {
 			return nil, nil, err
 		}
-		samples = append(samples, sym...)
 	}
 	return samples, sideBits, nil
 }

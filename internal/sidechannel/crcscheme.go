@@ -102,6 +102,30 @@ func (s Scheme) Checksum(groupBits []byte) ([][]byte, error) {
 	return out, nil
 }
 
+// VerifyFlat is Verify for side-channel bits stored contiguously — GroupSize
+// chunks of BitsPerSymbol bits each, concatenated most significant chunk
+// first (the order Checksum emits). It recomputes nothing but the CRC, so it
+// is allocation-free.
+func (s Scheme) VerifyFlat(groupBits, sideBits []byte) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	w := s.CRCWidth()
+	if len(sideBits) != w {
+		return false, fmt.Errorf("sidechannel: got %d side bits, want %d", len(sideBits), w)
+	}
+	crc, err := CRCK(groupBits, w)
+	if err != nil {
+		return false, err
+	}
+	for j := 0; j < w; j++ {
+		if byte((crc>>(w-1-j))&1) != sideBits[j]&1 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // Verify recomputes the checksum over received groupBits and compares it to
 // the side-channel chunks decoded from the group's symbols.
 func (s Scheme) Verify(groupBits []byte, sideChunks [][]byte) (bool, error) {

@@ -89,26 +89,43 @@ func (a Alphabet) PhaseForBits(bits []byte) (float64, error) {
 // BitsForPhase hard-decides a measured phase-offset difference back into
 // bits by nearest alphabet point.
 func (a Alphabet) BitsForPhase(delta float64) ([]byte, error) {
+	out := make([]byte, a.BitsPerSymbol())
+	if err := a.BitsForPhaseInto(out, delta); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BitsForPhaseInto is BitsForPhase writing into a caller-provided
+// BitsPerSymbol-bit buffer, allocation-free.
+func (a Alphabet) BitsForPhaseInto(dst []byte, delta float64) error {
+	if len(dst) != a.BitsPerSymbol() {
+		return fmt.Errorf("sidechannel: bit buffer needs %d entries for %v, got %d",
+			a.BitsPerSymbol(), a, len(dst))
+	}
 	delta = dsp.WrapPhase(delta)
 	switch a {
 	case OneBit:
 		if delta >= 0 {
-			return []byte{1}, nil
+			dst[0] = 1
+		} else {
+			dst[0] = 0
 		}
-		return []byte{0}, nil
+		return nil
 	case TwoBit:
 		switch {
 		case delta >= 0 && delta < 90*deg:
-			return []byte{1, 1}, nil
+			dst[0], dst[1] = 1, 1
 		case delta >= 90*deg:
-			return []byte{0, 1}, nil
+			dst[0], dst[1] = 0, 1
 		case delta < -90*deg:
-			return []byte{0, 0}, nil
+			dst[0], dst[1] = 0, 0
 		default:
-			return []byte{1, 0}, nil
+			dst[0], dst[1] = 1, 0
 		}
+		return nil
 	default:
-		return nil, fmt.Errorf("sidechannel: invalid alphabet %v", a)
+		return fmt.Errorf("sidechannel: invalid alphabet %v", a)
 	}
 }
 
@@ -177,4 +194,22 @@ func (d *Decoder) Next(phase float64) ([]byte, error) {
 	delta := dsp.WrapPhase(phase - d.prev)
 	d.prev = phase
 	return d.alphabet.BitsForPhase(delta)
+}
+
+// NextInto is Next writing the decoded bits into a caller-provided
+// BitsPerSymbol-bit buffer, allocation-free. It returns the number of bits
+// written: zero when this call only established the phase reference (the
+// first call on an unprimed decoder).
+func (d *Decoder) NextInto(dst []byte, phase float64) (int, error) {
+	if !d.primed {
+		d.prev = phase
+		d.primed = true
+		return 0, nil
+	}
+	delta := dsp.WrapPhase(phase - d.prev)
+	d.prev = phase
+	if err := d.alphabet.BitsForPhaseInto(dst, delta); err != nil {
+		return 0, err
+	}
+	return len(dst), nil
 }

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(i) for every i in [0, n) across up to GOMAXPROCS
+// goroutines, using an atomic counter for work stealing so uneven task costs
+// balance automatically. It returns once every index has completed.
+//
+// fn must not assume any ordering between indices, and must confine its
+// writes to per-index state (e.g. results[i]): that makes the outcome
+// independent of the worker schedule, so parallel runs are byte-identical to
+// sequential ones. With one usable CPU (or n <= 1) the loop simply runs
+// inline.
+func ParallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// splitMix64 is the SplitMix64 output function: a bijective avalanche mix
+// good enough to turn (seed, index) pairs into independent RNG streams.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps a base seed and a task index to a decorrelated per-task
+// seed. Tasks seeded this way get independent streams that depend only on
+// (seed, i) — never on which worker ran them or in what order — which keeps
+// ParallelForSeeded results schedule-independent.
+func DeriveSeed(seed int64, i int) int64 {
+	return int64(splitMix64(splitMix64(uint64(seed)) ^ splitMix64(uint64(i)+0x6a09e667f3bcc909)))
+}
+
+// ParallelForSeeded is ParallelFor with a deterministic per-index RNG: each
+// task receives its own *rand.Rand seeded by DeriveSeed(seed, i), so results
+// are bit-identical regardless of worker count or scheduling.
+func ParallelForSeeded(n int, seed int64, fn func(i int, rng *rand.Rand)) {
+	ParallelFor(n, func(i int) {
+		fn(i, rand.New(rand.NewSource(DeriveSeed(seed, i))))
+	})
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int, n)
+		ParallelFor(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times, want 1", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForUnevenWork(t *testing.T) {
+	const n = 64
+	out := make([]int, n)
+	ParallelFor(n, func(i int) {
+		// Make early indices much more expensive than late ones so work
+		// stealing actually redistributes.
+		iters := 1
+		if i < 4 {
+			iters = 100000
+		}
+		s := 0
+		for k := 0; k < iters; k++ {
+			s += k
+		}
+		out[i] = i + min(s, 0)
+	})
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("index %d got %d", i, v)
+		}
+	}
+}
+
+func TestParallelForSeededMatchesSequential(t *testing.T) {
+	const n, seed = 40, 12345
+	draw := func(workers int) []float64 {
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		out := make([]float64, n)
+		ParallelForSeeded(n, seed, func(i int, rng *rand.Rand) {
+			// Consume a varying amount of randomness per index.
+			for k := 0; k <= i%5; k++ {
+				out[i] = rng.Float64()
+			}
+		})
+		return out
+	}
+	seq := draw(1)
+	par := draw(runtime.NumCPU())
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %v != parallel %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestDeriveSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]bool)
+	for _, seed := range []int64{0, 1, 42} {
+		for i := 0; i < 1000; i++ {
+			s := DeriveSeed(seed, i)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d i=%d", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+	if DeriveSeed(7, 3) != DeriveSeed(7, 3) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+}
