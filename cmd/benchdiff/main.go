@@ -3,9 +3,16 @@
 // and BenchmarkMACSimulationSecond — parses the `go test -bench` output, and
 // writes the results to BENCH_<date>.json so successive runs can be diffed.
 //
+// When a prior BENCH_*.json exists (the newest one in -dir, or the file
+// named by -baseline), benchdiff prints per-benchmark deltas in ns/op and
+// allocs/op against it. With -fail-over=<pct> it exits non-zero when any
+// benchmark regresses by more than pct percent in either column, so CI can
+// gate on the disabled-observability overhead staying flat.
+//
 // Usage:
 //
 //	benchdiff [-dir repo-root] [-out file.json] [-count n] [-bench regexp]
+//	          [-benchtime t] [-baseline file.json] [-fail-over pct]
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -65,9 +73,12 @@ func main() {
 	out := flag.String("out", "", "output file (default BENCH_<date>.json in -dir)")
 	count := flag.Int("count", 1, "benchmark repetitions (-count)")
 	bench := flag.String("bench", "^("+strings.Join(suite, "|")+")$", "benchmark regexp (-bench)")
+	benchtime := flag.String("benchtime", "", "per-benchmark time or iterations (-benchtime), e.g. 0.3s for a smoke run")
+	baseline := flag.String("baseline", "", "prior BENCH_*.json to diff against (default: newest in -dir)")
+	failOver := flag.Float64("fail-over", 0, "exit non-zero when ns/op or allocs/op regress by more than this percentage (0 disables gating)")
 	flag.Parse()
 
-	report, raw, err := run(*dir, *bench, *count)
+	report, raw, err := run(*dir, *bench, *count, *benchtime)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n%s", err, raw)
 		os.Exit(1)
@@ -76,6 +87,13 @@ func main() {
 	if path == "" {
 		path = filepath.Join(*dir, "BENCH_"+time.Now().Format("2006-01-02")+".json")
 	}
+
+	prev, prevPath, err := loadBaseline(*dir, *baseline, path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
@@ -90,12 +108,106 @@ func main() {
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+
+	if prev == nil {
+		if *failOver > 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: no prior BENCH_*.json to gate against")
+		}
+		return
+	}
+	regressions := printDeltas(report, prev, prevPath, *failOver)
+	if *failOver > 0 && regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n",
+			regressions, *failOver)
+		os.Exit(2)
+	}
+}
+
+// loadBaseline picks the report to diff against: the explicit -baseline
+// file, or the newest BENCH_*.json in dir other than the output path.
+// A missing implicit baseline is not an error — first runs have nothing to
+// diff against.
+func loadBaseline(dir, explicit, outPath string) (*Report, string, error) {
+	path := explicit
+	if path == "" {
+		matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return nil, "", err
+		}
+		outAbs, _ := filepath.Abs(outPath)
+		sort.Strings(matches) // BENCH_<ISO date>.json sorts chronologically
+		for i := len(matches) - 1; i >= 0; i-- {
+			abs, _ := filepath.Abs(matches[i])
+			if abs != outAbs {
+				path = matches[i]
+				break
+			}
+		}
+		if path == "" {
+			return nil, "", nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, "", fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &r, path, nil
+}
+
+// printDeltas renders the per-benchmark change against prev and returns how
+// many benchmarks regressed beyond failOver percent (in ns/op or allocs/op).
+// With failOver <= 0 nothing counts as a regression.
+func printDeltas(cur, prev *Report, prevPath string, failOver float64) int {
+	prior := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		prior[r.Name] = r
+	}
+	fmt.Printf("\ndeltas vs %s (%s):\n", prevPath, prev.Date)
+	regressions := 0
+	for _, r := range cur.Results {
+		p, ok := prior[r.Name]
+		if !ok {
+			fmt.Printf("%-32s (no baseline entry)\n", r.Name)
+			continue
+		}
+		nsPct := pctChange(p.NsPerOp, r.NsPerOp)
+		allocPct := pctChange(float64(p.AllocsPerOp), float64(r.AllocsPerOp))
+		flag := ""
+		if failOver > 0 && (nsPct > failOver || allocPct > failOver) {
+			flag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-32s %12.1f -> %12.1f ns/op (%+6.1f%%) %6d -> %6d allocs/op (%+6.1f%%)%s\n",
+			r.Name, p.NsPerOp, r.NsPerOp, nsPct, p.AllocsPerOp, r.AllocsPerOp, allocPct, flag)
+	}
+	return regressions
+}
+
+// pctChange returns the percent increase from old to cur; a zero baseline
+// regresses only if the current value is nonzero.
+func pctChange(old, cur float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - old) / old * 100
 }
 
 // run executes the benchmark suite and parses its output.
-func run(dir, bench string, count int) (*Report, string, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), ".")
+func run(dir, bench string, count int, benchtime string) (*Report, string, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	rawBytes, err := cmd.CombinedOutput()
 	raw := string(rawBytes)

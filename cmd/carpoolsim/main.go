@@ -7,6 +7,13 @@
 // Usage:
 //
 //	carpoolsim [-scale quick|full] [-fig 15|16|17a|17b|all]
+//	           [-debug-addr host:port] [-trace file.json]
+//
+// -debug-addr serves live introspection (expvar registry snapshot at
+// /debug/vars and /debug/metrics, pprof at /debug/pprof/) while the run is
+// in flight. -trace records PHY/MAC events and writes them as Chrome
+// trace_event JSON on exit. Either flag enables observation, which also
+// makes -csv emit a *.metrics.json sidecar per figure.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 
 	"carpool/internal/experiments"
+	"carpool/internal/obs"
 )
 
 func main() {
@@ -22,7 +30,39 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to run: 15, 16, 17a, 17b, or all")
 	cacheFlag := flag.String("cache", "", "optional path to cache the PHY decode traces (gob)")
 	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (enables observation)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (enables observation)")
 	flag.Parse()
+
+	if *debugAddr != "" || *traceOut != "" {
+		sink := obs.NewDefaultSink(0)
+		obs.Enable(sink)
+		if *debugAddr != "" {
+			ds, err := obs.StartDebugServer(*debugAddr, obs.Default)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "carpoolsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer ds.Close()
+			fmt.Fprintf(os.Stderr, "carpoolsim: debug endpoints on http://%s/debug/\n", ds.Addr())
+		}
+		if *traceOut != "" {
+			defer func() {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "carpoolsim: trace: %v\n", err)
+					return
+				}
+				defer f.Close()
+				if err := sink.Tracer.WriteChromeTrace(f); err != nil {
+					fmt.Fprintf(os.Stderr, "carpoolsim: trace: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "carpoolsim: wrote %d trace events to %s (%d dropped)\n",
+					sink.Tracer.Len(), *traceOut, sink.Tracer.Dropped())
+			}()
+		}
+	}
 
 	scale := experiments.Quick
 	switch *scaleFlag {

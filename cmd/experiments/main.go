@@ -6,9 +6,15 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-exp <id>|all]
+//	            [-debug-addr host:port] [-trace file.json]
 //
 // Experiment ids: fig1, fig3, table1, fig11, fig12, fig13, fig14,
 // granularity, bloom, fig15, fig16, fig17a, fig17b, fairness, energy.
+//
+// -debug-addr serves live introspection (expvar registry snapshot at
+// /debug/vars and /debug/metrics, pprof at /debug/pprof/) while the run is
+// in flight. -trace records PHY/MAC events and writes them as Chrome
+// trace_event JSON on exit. Either flag enables observation.
 package main
 
 import (
@@ -17,12 +23,45 @@ import (
 	"os"
 
 	"carpool/internal/experiments"
+	"carpool/internal/obs"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	expFlag := flag.String("exp", "all", "experiment id or all")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (enables observation)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (enables observation)")
 	flag.Parse()
+
+	if *debugAddr != "" || *traceOut != "" {
+		sink := obs.NewDefaultSink(0)
+		obs.Enable(sink)
+		if *debugAddr != "" {
+			ds, err := obs.StartDebugServer(*debugAddr, obs.Default)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			defer ds.Close()
+			fmt.Fprintf(os.Stderr, "experiments: debug endpoints on http://%s/debug/\n", ds.Addr())
+		}
+		if *traceOut != "" {
+			defer func() {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+					return
+				}
+				defer f.Close()
+				if err := sink.Tracer.WriteChromeTrace(f); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "experiments: wrote %d trace events to %s (%d dropped)\n",
+					sink.Tracer.Len(), *traceOut, sink.Tracer.Dropped())
+			}()
+		}
+	}
 
 	scale := experiments.Quick
 	switch *scaleFlag {

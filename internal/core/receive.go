@@ -2,6 +2,7 @@ package core
 
 import (
 	"carpool/internal/bloom"
+	"carpool/internal/obs"
 	"carpool/internal/ofdm"
 	"carpool/internal/phy"
 	"carpool/internal/sidechannel"
@@ -93,6 +94,8 @@ type FrameRx struct {
 // stations' payloads — and decode every matched subframe, with RTE
 // recalibrating the channel estimate inside each one.
 func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
+	sink := obs.Active()
+	sink.Counter("core.frames_rx").Inc()
 	buf, h, cfo, status := phy.Sync(rx, cfg.KnownStart)
 	res := &FrameRx{Status: status, CFORad: cfo}
 	if status != phy.StatusOK {
@@ -136,7 +139,15 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 	if len(res.Matched) == 0 {
 		// Irrelevant frame: drop after the A-HDR without decoding payload.
 		res.Dropped = true
+		sink.Counter("core.ahdr_drop").Inc()
+		if sink != nil {
+			sink.Tracer.Emit(obs.EvAHDRDrop, 0, 0)
+		}
 		return res, nil
+	}
+	sink.Counter("core.ahdr_match").Inc()
+	if sink != nil {
+		sink.Tracer.Emit(obs.EvAHDRMatch, int64(len(res.Matched)), 0)
 	}
 	maxMatched := res.Matched[len(res.Matched)-1]
 	matched := make(map[int]bool, len(res.Matched))
@@ -162,8 +173,10 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 		if !matched[pos] {
 			// Skip the whole subframe; only its SIG was decoded.
 			symIdx += nsym
+			sink.Counter("core.symbols_skipped").Add(int64(nsym))
 			continue
 		}
+		sink.Counter("core.subframes_decoded").Inc()
 
 		var tracker phy.ChannelTracker
 		var rte *RTETracker

@@ -9,6 +9,7 @@ import (
 	"math/cmplx"
 
 	"carpool/internal/modem"
+	"carpool/internal/obs"
 	"carpool/internal/ofdm"
 	"carpool/internal/phy"
 )
@@ -31,6 +32,11 @@ type RTETracker struct {
 	// diagnostics and the evaluation harness.
 	updates int
 	rule    UpdateRule
+	// Observability handles, resolved once per Init so the per-symbol
+	// Observe path never touches the registry; nil when observation is
+	// off.
+	obsUpdates *obs.Counter
+	obsTracer  *obs.Tracer
 }
 
 // UpdateRule selects how a fresh observation folds into the estimate — the
@@ -88,6 +94,13 @@ func (t *RTETracker) Init(h []complex128, mod modem.Modulation) {
 	t.h = append(t.h[:0], h...)
 	t.mod = mod
 	t.updates = 0
+	if sink := obs.Active(); sink != nil {
+		t.obsUpdates = sink.Counter("rte.updates")
+		t.obsTracer = sink.Tracer
+	} else {
+		t.obsUpdates = nil
+		t.obsTracer = nil
+	}
 }
 
 // Estimate returns the current calibrated channel estimate.
@@ -100,7 +113,7 @@ func (t *RTETracker) Updates() int { return t.updates }
 // demapped bits are re-modulated into the known transmitted points Yn and
 // each data subcarrier's estimate moves halfway toward the fresh
 // observation Ĥn = Dn/Yn.
-func (t *RTETracker) Observe(_ int, rawBins []complex128, pilotPhase float64, codedBits []byte, correct bool) {
+func (t *RTETracker) Observe(symIdx int, rawBins []complex128, pilotPhase float64, codedBits []byte, correct bool) {
 	if !correct || len(t.h) != ofdm.NumSubcarriers || len(rawBins) != ofdm.NumSubcarriers {
 		return
 	}
@@ -116,14 +129,14 @@ func (t *RTETracker) Observe(_ int, rawBins []complex128, pilotPhase float64, co
 	derot := cmplx.Exp(complex(0, -pilotPhase))
 	for i, k := range ofdm.DataIndices {
 		b := ofdm.Bin(k)
-		obs := rawBins[b] * derot / points[i]
+		fresh := rawBins[b] * derot / points[i]
 		// Plausibility gate: a short CRC occasionally passes a symbol that
 		// still has bit errors, and a wrongly re-modulated point yields an
 		// observation far from any credible channel. Genuine channel drift
 		// between updates is a few percent, so observations that jump more
 		// than 50% are discarded for that subcarrier.
 		cur := t.h[b]
-		if d := cmplx.Abs(obs - cur); cmplx.Abs(cur) > 0 && d > 0.5*cmplx.Abs(cur) {
+		if d := cmplx.Abs(fresh - cur); cmplx.Abs(cur) > 0 && d > 0.5*cmplx.Abs(cur) {
 			continue
 		}
 		// Weight the averaging step by the constellation point's energy:
@@ -137,7 +150,9 @@ func (t *RTETracker) Observe(_ int, rawBins []complex128, pilotPhase float64, co
 			w = 1
 		}
 		alpha := complex(w*t.rule.alpha(), 0)
-		t.h[b] = (1-alpha)*cur + alpha*obs
+		t.h[b] = (1-alpha)*cur + alpha*fresh
 	}
 	t.updates++
+	t.obsUpdates.Inc()
+	t.obsTracer.Emit(obs.EvRTEUpdate, int64(symIdx), int64(t.updates))
 }

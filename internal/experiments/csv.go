@@ -6,7 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
+
+	"carpool/internal/obs"
 )
 
 // WriteCSV dumps one figure's rows as a CSV file under dir, for plotting.
@@ -33,9 +36,38 @@ func writeCSV(dir, name string, header []string, rows [][]string) error {
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
+// obsSnapshot captures the enabled registry's state before one figure runs;
+// it returns a zero snapshot (and writeMetricsSidecar a no-op) when
+// observation is off.
+func obsSnapshot() obs.Snapshot {
+	if sink := obs.Active(); sink != nil && sink.Registry != nil {
+		return sink.Registry.Snapshot()
+	}
+	return obs.Snapshot{}
+}
+
+// writeMetricsSidecar attributes the registry delta since before to one
+// figure and writes it as <csvName minus .csv>.metrics.json next to the
+// figure's CSV. With observation off it does nothing.
+func writeMetricsSidecar(dir, csvName string, before obs.Snapshot) error {
+	sink := obs.Active()
+	if sink == nil || sink.Registry == nil {
+		return nil
+	}
+	diff := sink.Registry.Snapshot().Diff(before)
+	name := strings.TrimSuffix(csvName, ".csv") + ".metrics.json"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("experiments: metrics sidecar: %w", err)
+	}
+	defer f.Close()
+	return diff.WriteJSON(f)
+}
+
 // ExportPHYCSVs regenerates the PHY figures and writes one CSV per figure
 // into dir.
 func ExportPHYCSVs(dir string, scale Scale) error {
+	pre := obsSnapshot()
 	fig3, err := Fig3(scale)
 	if err != nil {
 		return err
@@ -47,7 +79,11 @@ func ExportPHYCSVs(dir string, scale Scale) error {
 	if err := writeCSV(dir, "fig3_ber_bias.csv", []string{"symbol", "ber"}, rows); err != nil {
 		return err
 	}
+	if err := writeMetricsSidecar(dir, "fig3_ber_bias.csv", pre); err != nil {
+		return err
+	}
 
+	pre = obsSnapshot()
 	fig11, err := Fig11(scale)
 	if err != nil {
 		return err
@@ -62,7 +98,11 @@ func ExportPHYCSVs(dir string, scale Scale) error {
 		[]string{"modulation", "power", "ber_standard", "ber_sidechannel"}, rows); err != nil {
 		return err
 	}
+	if err := writeMetricsSidecar(dir, "fig11_sidechannel_impact.csv", pre); err != nil {
+		return err
+	}
 
+	pre = obsSnapshot()
 	fig12, err := Fig12(scale)
 	if err != nil {
 		return err
@@ -77,7 +117,11 @@ func ExportPHYCSVs(dir string, scale Scale) error {
 		[]string{"alphabet", "power", "side_ber", "data_ber"}, rows); err != nil {
 		return err
 	}
+	if err := writeMetricsSidecar(dir, "fig12_sidechannel_reliability.csv", pre); err != nil {
+		return err
+	}
 
+	pre = obsSnapshot()
 	fig13, err := Fig13(scale)
 	if err != nil {
 		return err
@@ -93,7 +137,11 @@ func ExportPHYCSVs(dir string, scale Scale) error {
 		[]string{"modulation", "symbol", "ber_standard", "ber_rte"}, rows); err != nil {
 		return err
 	}
+	if err := writeMetricsSidecar(dir, "fig13_rte_bias.csv", pre); err != nil {
+		return err
+	}
 
+	pre = obsSnapshot()
 	fig14, err := Fig14(scale)
 	if err != nil {
 		return err
@@ -104,13 +152,17 @@ func ExportPHYCSVs(dir string, scale Scale) error {
 			ftoa(r.Power), r.Modulation.String(), ftoa(r.BERStandard), ftoa(r.BERRTE),
 		})
 	}
-	return writeCSV(dir, "fig14_rte_modulations.csv",
-		[]string{"power", "modulation", "ber_standard", "ber_rte"}, rows)
+	if err := writeCSV(dir, "fig14_rte_modulations.csv",
+		[]string{"power", "modulation", "ber_standard", "ber_rte"}, rows); err != nil {
+		return err
+	}
+	return writeMetricsSidecar(dir, "fig14_rte_modulations.csv", pre)
 }
 
 // ExportMACCSVs regenerates the MAC figures and writes one CSV per figure
 // into dir.
 func (l *MACLab) ExportMACCSVs(dir string) error {
+	pre := obsSnapshot()
 	fig15, err := l.Fig15()
 	if err != nil {
 		return err
@@ -128,6 +180,10 @@ func (l *MACLab) ExportMACCSVs(dir string) error {
 	if err := dump("fig15_voip.csv", fig15); err != nil {
 		return err
 	}
+	if err := writeMetricsSidecar(dir, "fig15_voip.csv", pre); err != nil {
+		return err
+	}
+	pre = obsSnapshot()
 	fig16, err := l.Fig16()
 	if err != nil {
 		return err
@@ -135,7 +191,11 @@ func (l *MACLab) ExportMACCSVs(dir string) error {
 	if err := dump("fig16_background.csv", fig16); err != nil {
 		return err
 	}
+	if err := writeMetricsSidecar(dir, "fig16_background.csv", pre); err != nil {
+		return err
+	}
 
+	pre = obsSnapshot()
 	fig17a, err := l.Fig17a()
 	if err != nil {
 		return err
@@ -151,7 +211,11 @@ func (l *MACLab) ExportMACCSVs(dir string) error {
 		[]string{"latency_ms", "carpool_mbps", "ampdu_mbps", "gain"}, rows); err != nil {
 		return err
 	}
+	if err := writeMetricsSidecar(dir, "fig17a_latency.csv", pre); err != nil {
+		return err
+	}
 
+	pre = obsSnapshot()
 	fig17b, err := l.Fig17b()
 	if err != nil {
 		return err
@@ -162,6 +226,9 @@ func (l *MACLab) ExportMACCSVs(dir string) error {
 			strconv.Itoa(r.FrameBytes), ftoa(r.Carpool), ftoa(r.AMPDU), ftoa(r.Legacy),
 		})
 	}
-	return writeCSV(dir, "fig17b_framesize.csv",
-		[]string{"frame_bytes", "carpool_mbps", "ampdu_mbps", "legacy_mbps"}, rows)
+	if err := writeCSV(dir, "fig17b_framesize.csv",
+		[]string{"frame_bytes", "carpool_mbps", "ampdu_mbps", "legacy_mbps"}, rows); err != nil {
+		return err
+	}
+	return writeMetricsSidecar(dir, "fig17b_framesize.csv", pre)
 }

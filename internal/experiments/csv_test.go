@@ -2,10 +2,55 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"carpool/internal/obs"
 )
+
+func TestMetricsSidecar(t *testing.T) {
+	sink := &obs.Sink{Registry: obs.NewRegistry()}
+	obs.Enable(sink)
+	defer obs.Disable()
+
+	sink.Registry.Counter("phy.symbols_decoded").Add(7)
+	pre := obsSnapshot()
+	sink.Registry.Counter("phy.symbols_decoded").Add(5)
+	sink.Registry.Counter("mac.collisions").Add(3)
+
+	dir := t.TempDir()
+	if err := writeMetricsSidecar(dir, "fig99_test.csv", pre); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig99_test.metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	// The sidecar holds the delta since pre, not absolute totals.
+	if got := snap.Counters["phy.symbols_decoded"]; got != 5 {
+		t.Errorf("phy.symbols_decoded delta = %d, want 5", got)
+	}
+	if got := snap.Counters["mac.collisions"]; got != 3 {
+		t.Errorf("mac.collisions delta = %d, want 3", got)
+	}
+}
+
+func TestMetricsSidecarDisabledIsNoop(t *testing.T) {
+	obs.Disable()
+	dir := t.TempDir()
+	if err := writeMetricsSidecar(dir, "fig99_test.csv", obsSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig99_test.metrics.json")); !os.IsNotExist(err) {
+		t.Errorf("sidecar written with observation off (stat err: %v)", err)
+	}
+}
 
 func TestExportPHYCSVs(t *testing.T) {
 	if testing.Short() {

@@ -139,6 +139,27 @@ func TestCarpoolFairness(t *testing.T) {
 	if diff := total - res.DownlinkGoodputMbps; diff < -0.01 || diff > 0.01 {
 		t.Errorf("per-STA goodput sums to %.3f, aggregate %.3f", total, res.DownlinkGoodputMbps)
 	}
+
+	// Byte-based fairness from the per-station obs counters must agree:
+	// goodput is delivered bytes scaled by a shared constant, so the Jain
+	// indices are mathematically identical.
+	if res.ByteFairnessIndex < 0.9 {
+		t.Errorf("Carpool byte fairness index %.3f, want >= 0.9", res.ByteFairnessIndex)
+	}
+	if d := res.ByteFairnessIndex - res.FairnessIndex; d < -1e-9 || d > 1e-9 {
+		t.Errorf("byte fairness %.6f differs from rate fairness %.6f", res.ByteFairnessIndex, res.FairnessIndex)
+	}
+	if len(res.DeliveredBytesPerSTA) != 20 {
+		t.Fatalf("%d per-STA byte entries", len(res.DeliveredBytesPerSTA))
+	}
+	var bytes int64
+	for _, b := range res.DeliveredBytesPerSTA {
+		bytes += b
+	}
+	wantMbps := float64(bytes) * 8 / cbrScenario(t, Carpool, 20, 61).Duration.Seconds() / 1e6
+	if d := wantMbps - res.DownlinkGoodputMbps; d < -0.01 || d > 0.01 {
+		t.Errorf("counter bytes imply %.3f Mbit/s, aggregate %.3f", wantMbps, res.DownlinkGoodputMbps)
+	}
 }
 
 func TestFairnessIndexZeroWhenNothingDelivered(t *testing.T) {

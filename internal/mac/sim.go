@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"carpool/internal/obs"
 	"carpool/internal/stats"
 	"carpool/internal/traffic"
 )
@@ -63,6 +64,12 @@ type Config struct {
 	// receiver separated by SIFS. It costs airtime up front but would
 	// shield against hidden terminals.
 	UseRTSCTS bool
+	// Obs receives MAC counters, the delay histogram, and simulator trace
+	// events (stamped with simulated time). Nil falls back to the globally
+	// enabled sink (obs.Active); when that is also nil the touch points are
+	// no-ops. Per-station delivered-byte counters always run on a private
+	// registry — they feed ByteFairnessIndex.
+	Obs *obs.Sink
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -139,6 +146,12 @@ type Result struct {
 	// evenly while starvation shows up as a low index.
 	PerSTAGoodputMbps []float64
 	FairnessIndex     float64
+	// DeliveredBytesPerSTA is each station's delivered downlink byte
+	// total, read back from the per-run `mac.sta.<i>.delivered_bytes` obs
+	// counters, and ByteFairnessIndex the Jain index over those totals —
+	// the duration-independent form of FairnessIndex.
+	DeliveredBytesPerSTA []int64
+	ByteFairnessIndex    float64
 	// Energy-accounting inputs (§8): per-station airtime by role.
 	APTxTime     time.Duration
 	STATxTime    []time.Duration
@@ -182,11 +195,61 @@ type apState struct {
 	pending bool
 }
 
+// simObs holds the simulator's observability handles, resolved once per
+// Run. With no sink every handle is nil and the nil-safe metric methods
+// make each touch point a cheap no-op.
+type simObs struct {
+	backoffDraws *obs.Counter
+	collisions   *obs.Counter
+	apTx         *obs.Counter
+	staTx        *obs.Counter
+	aggSubframes *obs.Counter
+	seqAcks      *obs.Counter
+	delivered    *obs.Counter
+	dropped      *obs.Counter
+	expired      *obs.Counter
+	retries      *obs.Counter
+	delayMs      *obs.Histogram
+	queueDepth   *obs.Gauge
+	tracer       *obs.Tracer
+}
+
+// delayBucketsMs spans the Fig. 17a latency-requirement sweep (10-200 ms).
+var delayBucketsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+func resolveSimObs(sink *obs.Sink) simObs {
+	if sink == nil {
+		return simObs{}
+	}
+	return simObs{
+		backoffDraws: sink.Counter("mac.backoff_draws"),
+		collisions:   sink.Counter("mac.collisions"),
+		apTx:         sink.Counter("mac.ap_tx"),
+		staTx:        sink.Counter("mac.sta_tx"),
+		aggSubframes: sink.Counter("mac.agg_subframes"),
+		seqAcks:      sink.Counter("mac.seq_acks"),
+		delivered:    sink.Counter("mac.delivered"),
+		dropped:      sink.Counter("mac.dropped"),
+		expired:      sink.Counter("mac.expired"),
+		retries:      sink.Counter("mac.retries"),
+		delayMs:      sink.Histogram("mac.delay_ms", delayBucketsMs),
+		queueDepth:   sink.Gauge("mac.queue_depth"),
+		tracer:       sink.Tracer,
+	}
+}
+
 type simulator struct {
 	cfg    Config
 	rng    *rand.Rand
 	oracle DeliveryOracle
 	now    time.Duration
+
+	// mobs are the resolved external observability handles; staDelivered
+	// are the per-station delivered-byte counters on a private per-run
+	// registry (they always run — finish() derives ByteFairnessIndex from
+	// them).
+	mobs         simObs
+	staDelivered []*obs.Counter
 
 	// Per-AP downlink state; perSTACnt caps each station's backlog.
 	aps       []apState
@@ -220,19 +283,30 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	sink := cfg.Obs
+	if sink == nil {
+		sink = obs.Active()
+	}
+	priv := obs.NewRegistry()
+	staDelivered := make([]*obs.Counter, cfg.NumSTAs)
+	for i := range staDelivered {
+		staDelivered[i] = priv.Counter(fmt.Sprintf("mac.sta.%d.delivered_bytes", i))
+	}
 	s := &simulator{
-		cfg:         cfg,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		oracle:      oracle,
-		aps:         make([]apState, cfg.NumAPs),
-		perSTACnt:   make([]int, cfg.NumSTAs),
-		upQueues:    make([][]frame, cfg.NumSTAs),
-		staCW:       make([]int, cfg.NumSTAs),
-		staBkoff:    make([]int, cfg.NumSTAs),
-		staPend:     make([]bool, cfg.NumSTAs),
-		dIdx:        make([]int, cfg.NumSTAs),
-		uIdx:        make([]int, cfg.NumSTAs),
-		perSTABytes: make([]int64, cfg.NumSTAs),
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		oracle:       oracle,
+		mobs:         resolveSimObs(sink),
+		staDelivered: staDelivered,
+		aps:          make([]apState, cfg.NumAPs),
+		perSTACnt:    make([]int, cfg.NumSTAs),
+		upQueues:     make([][]frame, cfg.NumSTAs),
+		staCW:        make([]int, cfg.NumSTAs),
+		staBkoff:     make([]int, cfg.NumSTAs),
+		staPend:      make([]bool, cfg.NumSTAs),
+		dIdx:         make([]int, cfg.NumSTAs),
+		uIdx:         make([]int, cfg.NumSTAs),
+		perSTABytes:  make([]int64, cfg.NumSTAs),
 	}
 	for a := range s.aps {
 		s.aps[a].cw = CWMin
@@ -251,6 +325,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	s.finish()
 	return &s.res, nil
+}
+
+// noteBackoff records one contention backoff draw: who is the station
+// index, or -1-apIdx for an access point.
+func (s *simulator) noteBackoff(who, slots int) {
+	s.mobs.backoffDraws.Inc()
+	s.mobs.tracer.EmitAt(int64(s.now), obs.EvBackoffDraw, int64(who), int64(slots))
 }
 
 // apOf returns the AP a station associates with.
@@ -273,6 +354,7 @@ func (s *simulator) ingest() {
 				s.dIdx[sta]++
 				if s.perSTACnt[sta] >= s.cfg.QueueCap {
 					s.res.Dropped++
+					s.mobs.dropped.Inc()
 					continue
 				}
 				s.perSTACnt[sta]++
@@ -325,6 +407,8 @@ func (s *simulator) expireAPQueues() {
 			if s.now-f.arrival > s.cfg.MaxLatency {
 				s.perSTACnt[f.sta]--
 				s.res.Expired++
+				s.mobs.expired.Inc()
+				s.mobs.tracer.EmitAt(int64(s.now), obs.EvQueueExpiry, int64(f.sta), 0)
 				continue
 			}
 			kept = append(kept, f)
@@ -364,6 +448,7 @@ func (s *simulator) loop() error {
 			if has && !ap.pending {
 				ap.backoff = s.rng.Intn(s.apCWForDraw(ap) + 1)
 				ap.pending = true
+				s.noteBackoff(-1-a, ap.backoff)
 			}
 			if !has {
 				ap.pending = false
@@ -376,6 +461,7 @@ func (s *simulator) loop() error {
 			if has && !s.staPend[sta] {
 				s.staBkoff[sta] = s.rng.Intn(s.staCW[sta] + 1)
 				s.staPend[sta] = true
+				s.noteBackoff(sta, s.staBkoff[sta])
 			}
 			if !has {
 				s.staPend[sta] = false
@@ -452,6 +538,8 @@ func (s *simulator) loop() error {
 // ACK timeout, doubles every collider's window and redraws backoffs.
 func (s *simulator) collision(apWinners, staWinners []int) {
 	s.res.Collisions++
+	s.mobs.collisions.Inc()
+	s.mobs.tracer.EmitAt(int64(s.now), obs.EvCollision, int64(len(apWinners)+len(staWinners)), 0)
 	longest := time.Duration(0)
 	for _, a := range apWinners {
 		ap := &s.aps[a]
@@ -465,6 +553,7 @@ func (s *simulator) collision(apWinners, staWinners []int) {
 		}
 		ap.cw = min(2*ap.cw+1, CWMax)
 		ap.backoff = s.rng.Intn(s.apCWForDraw(ap) + 1)
+		s.noteBackoff(-1-a, ap.backoff)
 	}
 	for _, sta := range staWinners {
 		size := s.cfg.UplinkSaturationBytes
@@ -476,11 +565,13 @@ func (s *simulator) collision(apWinners, staWinners []int) {
 		}
 		s.staCW[sta] = min(2*s.staCW[sta]+1, CWMax)
 		s.staBkoff[sta] = s.rng.Intn(s.staCW[sta] + 1)
+		s.noteBackoff(sta, s.staBkoff[sta])
 	}
 	occupancy := longest + SIFS + ACKAirtime(s.cfg.Rates) // ACK timeout
 	s.now += occupancy
 	s.res.BusyTime += occupancy
 	s.res.Retries++
+	s.mobs.retries.Inc()
 }
 
 // staTransmit sends one uplink frame.
@@ -504,6 +595,7 @@ func (s *simulator) staTransmit(sta int) error {
 	s.res.BusyTime += occupancy
 	s.res.STATransmissions++
 	s.res.STATxTime[sta] += airtime
+	s.mobs.staTx.Inc()
 
 	switch {
 	case ok && synthetic:
@@ -515,10 +607,12 @@ func (s *simulator) staTransmit(sta int) error {
 		s.staCW[sta] = CWMin
 	case synthetic:
 		s.res.Retries++
+		s.mobs.retries.Inc()
 		s.staCW[sta] = min(2*s.staCW[sta]+1, CWMax)
 	default:
 		f.retries++
 		s.res.Retries++
+		s.mobs.retries.Inc()
 		if f.retries > s.cfg.RetryLimit {
 			s.upQueues[sta] = q[1:]
 		} else {
@@ -557,6 +651,23 @@ func (s *simulator) apTransmit(apIdx int) error {
 	s.res.BusyTime += occupancy
 	s.res.APTransmissions++
 	s.res.APTxTime += plan.airtime
+	s.mobs.apTx.Inc()
+	s.mobs.aggSubframes.Add(int64(len(plan.subs)))
+	s.mobs.queueDepth.Set(float64(len(ap.queue)))
+	if !s.cfg.SimultaneousACK && len(plan.subs) > 1 {
+		// §4.2 sequential ACK: one SIFS-separated slot per receiver.
+		s.mobs.seqAcks.Add(int64(len(plan.subs)))
+		s.mobs.tracer.EmitAt(int64(s.now), obs.EvSeqACK, int64(len(plan.subs)), 0)
+	}
+	if s.mobs.tracer != nil {
+		var payload int64
+		for _, sub := range plan.subs {
+			for _, f := range sub.frames {
+				payload += int64(f.size)
+			}
+		}
+		s.mobs.tracer.EmitAt(int64(s.now), obs.EvAggTX, int64(len(plan.subs)), payload)
+	}
 
 	inPlan := make(map[int]bool, len(plan.subs))
 	for _, sub := range plan.subs {
@@ -609,8 +720,10 @@ func (s *simulator) apTransmit(apIdx int) error {
 			}
 			f.retries++
 			s.res.Retries++
+			s.mobs.retries.Inc()
 			if f.retries > s.cfg.RetryLimit {
 				s.res.Dropped++
+				s.mobs.dropped.Inc()
 				s.perSTACnt[f.sta]--
 				continue
 			}
@@ -635,9 +748,12 @@ func (s *simulator) deliver(f frame) {
 	s.perSTACnt[f.sta]--
 	s.downBytes += int64(f.size)
 	s.perSTABytes[f.sta] += int64(f.size)
+	s.staDelivered[f.sta].Add(int64(f.size))
 	d := s.now - f.arrival
 	s.delaySum += d
 	s.delays = append(s.delays, d.Seconds())
+	s.mobs.delivered.Inc()
+	s.mobs.delayMs.Observe(d.Seconds() * 1e3)
 }
 
 func (s *simulator) finish() {
@@ -661,5 +777,17 @@ func (s *simulator) finish() {
 	n := float64(len(s.cfg.Downlink))
 	if n > 0 && sumSq > 0 {
 		s.res.FairnessIndex = sum * sum / (n * sumSq)
+	}
+	// Byte-based fairness, read back from the per-station obs counters.
+	s.res.DeliveredBytesPerSTA = make([]int64, s.cfg.NumSTAs)
+	var bSum, bSumSq float64
+	for i, c := range s.staDelivered {
+		b := c.Load()
+		s.res.DeliveredBytesPerSTA[i] = b
+		bSum += float64(b)
+		bSumSq += float64(b) * float64(b)
+	}
+	if n > 0 && bSumSq > 0 {
+		s.res.ByteFairnessIndex = bSum * bSum / (n * bSumSq)
 	}
 }

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and tests may start several debug servers.
+var publishOnce sync.Once
+
+// DebugServer serves live introspection endpoints for a registry:
+//
+//	/debug/vars        expvar, including a "carpool" map holding the
+//	                   registry snapshot (counters and gauges)
+//	/debug/pprof/...   the standard pprof handlers
+//	/debug/metrics     the full registry snapshot as indented JSON
+//	                   (counters, gauges, histograms)
+type DebugServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060") and serves the
+// registry's debug endpoints in a background goroutine. It returns once
+// the listener is bound, so the endpoints are immediately reachable.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: debug server needs a registry")
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("carpool", expvar.Func(func() any {
+			s := Default.Snapshot()
+			return map[string]any{"counters": s.Counters, "gauges": s.Gauges}
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	ds := &DebugServer{srv: &http.Server{Handler: mux}, addr: ln.Addr()}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.addr }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestDebugServerEndpoints starts the server on an ephemeral port and
+// checks expvar, the metrics snapshot, and the pprof index respond.
+func TestDebugServerEndpoints(t *testing.T) {
+	Default.Counter("debugtest.hits").Add(3)
+	ds, err := StartDebugServer("127.0.0.1:0", Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr().String()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var vars struct {
+		Carpool struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"carpool"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if vars.Carpool.Counters["debugtest.hits"] != 3 {
+		t.Errorf("expvar counters %v, want debugtest.hits=3", vars.Carpool.Counters)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Counters["debugtest.hits"] != 3 {
+		t.Errorf("snapshot counters %v, want debugtest.hits=3", snap.Counters)
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Error("pprof index empty")
+	}
+}

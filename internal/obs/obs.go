@@ -1,0 +1,63 @@
+package obs
+
+import "sync/atomic"
+
+// Sink bundles the metric registry and event tracer that instrumented
+// packages write into. Either field may be nil: a metrics-only sink skips
+// tracing and vice versa.
+type Sink struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// Counter resolves a named counter on the sink's registry (nil-safe).
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Counter(name)
+}
+
+// Gauge resolves a named gauge on the sink's registry (nil-safe).
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Gauge(name)
+}
+
+// Histogram resolves a named histogram on the sink's registry (nil-safe).
+func (s *Sink) Histogram(name string, bounds []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Histogram(name, bounds)
+}
+
+// Default is the process-wide registry served by the debug endpoint and
+// used by NewDefaultSink.
+var Default = NewRegistry()
+
+// active is the globally installed sink; nil means observation is off and
+// every instrumented touch point reduces to one atomic load + nil check.
+var active atomic.Pointer[Sink]
+
+// Enable installs s as the process-wide sink. Install before starting the
+// work to observe: hot paths cache the sink per call, and flipping it while
+// they run only affects subsequent calls.
+func Enable(s *Sink) { active.Store(s) }
+
+// Disable turns global observation off.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed sink, or nil when observation is off.
+func Active() *Sink { return active.Load() }
+
+// NewDefaultSink returns a sink on the Default registry with a fresh
+// tracer of the given capacity (<=0 selects 1<<16 events).
+func NewDefaultSink(traceCapacity int) *Sink {
+	if traceCapacity <= 0 {
+		traceCapacity = 1 << 16
+	}
+	return &Sink{Registry: Default, Tracer: NewTracer(traceCapacity)}
+}

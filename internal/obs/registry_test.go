@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounterHammer drives one counter from many goroutines and
+// checks nothing is lost; run under -race this also proves the counter is
+// data-race free.
+func TestConcurrentCounterHammer(t *testing.T) {
+	const workers, perWorker = 16, 10000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer.count")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hammer.count").Load(); got != workers*perWorker {
+		t.Errorf("counter %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestConcurrentHistogramHammer checks concurrent Observe keeps count, sum
+// and bucket totals consistent.
+func TestConcurrentHistogramHammer(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	r := NewRegistry()
+	bounds := []float64{1, 10, 100}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Histogram("hammer.hist", bounds)
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot().Histograms["hammer.hist"]
+	if s.Count != workers*perWorker {
+		t.Errorf("count %d, want %d", s.Count, workers*perWorker)
+	}
+	var inBuckets int64
+	for _, b := range s.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+	// Each worker observes 0..199 repeating: per 200 observations the sum
+	// is 199*200/2.
+	wantSum := float64(workers) * float64(perWorker/200) * (199 * 200 / 2)
+	if s.Sum != wantSum {
+		t.Errorf("sum %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramBucketing pins the bucket edge convention: v <= bound.
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.1, 10, 11} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["edges"]
+	want := []int64{2, 2, 1} // (<=1)=0.5,1  (<=10)=1.1,10  overflow=11
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, b, want[i], s.Buckets)
+		}
+	}
+}
+
+// TestSnapshotDiff checks counter and histogram subtraction and that
+// metrics born between snapshots count from zero.
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	h := r.Histogram("h", []float64{5})
+	c.Add(3)
+	h.Observe(1)
+	before := r.Snapshot()
+
+	c.Add(4)
+	h.Observe(2)
+	h.Observe(7)
+	r.Counter("born.later").Add(9)
+	r.Gauge("g").Set(2.5)
+	diff := r.Snapshot().Diff(before)
+
+	if diff.Counters["a"] != 4 {
+		t.Errorf("diff a = %d, want 4", diff.Counters["a"])
+	}
+	if diff.Counters["born.later"] != 9 {
+		t.Errorf("diff born.later = %d, want 9", diff.Counters["born.later"])
+	}
+	if diff.Gauges["g"] != 2.5 {
+		t.Errorf("diff gauge = %v, want 2.5", diff.Gauges["g"])
+	}
+	dh := diff.Histograms["h"]
+	if dh.Count != 2 || dh.Sum != 9 {
+		t.Errorf("diff hist count=%d sum=%v, want 2 and 9", dh.Count, dh.Sum)
+	}
+	if dh.Buckets[0] != 1 || dh.Buckets[1] != 1 {
+		t.Errorf("diff hist buckets %v, want [1 1]", dh.Buckets)
+	}
+}
+
+// TestSnapshotJSONRoundTrip checks WriteJSON emits decodable JSON.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(7)
+	r.Gauge("y").Set(1.5)
+	r.Histogram("z", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["x"] != 7 || back.Gauges["y"] != 1.5 || back.Histograms["z"].Count != 1 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+// TestNilSafety checks the disabled path: nil registries and metrics are
+// inert, and a nil sink resolves nil metrics.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	if n := len(r.Snapshot().Counters); n != 0 {
+		t.Errorf("nil registry snapshot has %d counters", n)
+	}
+	var s *Sink
+	if s.Counter("c") != nil || s.Gauge("g") != nil || s.Histogram("h", nil) != nil {
+		t.Error("nil sink must resolve nil metrics")
+	}
+	var tr *Tracer
+	tr.Emit(EvCollision, 0, 0)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer must be inert")
+	}
+}
+
+// TestEnableDisable checks the global gate.
+func TestEnableDisable(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("observation unexpectedly on at test start")
+	}
+	s := &Sink{Registry: NewRegistry()}
+	Enable(s)
+	t.Cleanup(Disable)
+	if Active() != s {
+		t.Error("Active() did not return the enabled sink")
+	}
+	Disable()
+	if Active() != nil {
+		t.Error("Disable() left a sink installed")
+	}
+}
+
+// TestCounterResolutionStable checks hot paths may cache metric pointers.
+func TestCounterResolutionStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("same") != r.Counter("same") {
+		t.Error("repeated Counter() returned different pointers")
+	}
+}

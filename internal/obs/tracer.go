@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind identifies one instrumented event type. The taxonomy covers the
+// PHY receive pipeline (per-symbol decode outcomes, RTE calibration,
+// side-channel verdicts, A-HDR routing) and the MAC simulator (contention,
+// collisions, aggregated transmissions, sequential ACKs, queue expiry).
+type EventKind uint8
+
+// Event kinds. PHY events first, MAC events after.
+const (
+	// EvSymbolDecode is one DATA symbol demodulated; A is the symbol
+	// index, B is 1 when its side-channel group CRC verified, 0 otherwise
+	// (or when no side channel ran).
+	EvSymbolDecode EventKind = iota + 1
+	// EvRTEUpdate is one data-pilot fold-in (Eq. 3); A is the symbol
+	// index, B the total updates so far in this subframe.
+	EvRTEUpdate
+	// EvSideVerdict is one side-channel group CRC check; A is the group's
+	// first symbol index, B is 1 on match.
+	EvSideVerdict
+	// EvAHDRMatch is an A-HDR Bloom filter hit; A is the number of matched
+	// subframe positions.
+	EvAHDRMatch
+	// EvAHDRDrop is a frame dropped after the A-HDR matched nothing.
+	EvAHDRDrop
+	// EvBackoffDraw is one contention backoff draw; A is the station index
+	// (-1 for an AP), B the drawn slot count.
+	EvBackoffDraw
+	// EvCollision is a MAC collision; A is the number of colliding
+	// transmitters.
+	EvCollision
+	// EvAggTX is one aggregated AP transmission; A is the number of
+	// subframes, B the total payload bytes.
+	EvAggTX
+	// EvSeqACK is the sequential-ACK train of one AP transmission; A is
+	// the number of ACK slots.
+	EvSeqACK
+	// EvQueueExpiry is a downlink frame dropped for exceeding MaxLatency;
+	// A is the station index.
+	EvQueueExpiry
+)
+
+// String names the kind, used as the Chrome trace event name.
+func (k EventKind) String() string {
+	switch k {
+	case EvSymbolDecode:
+		return "phy.symbol_decode"
+	case EvRTEUpdate:
+		return "rte.update"
+	case EvSideVerdict:
+		return "side.verdict"
+	case EvAHDRMatch:
+		return "ahdr.match"
+	case EvAHDRDrop:
+		return "ahdr.drop"
+	case EvBackoffDraw:
+		return "mac.backoff_draw"
+	case EvCollision:
+		return "mac.collision"
+	case EvAggTX:
+		return "mac.agg_tx"
+	case EvSeqACK:
+		return "mac.seq_ack"
+	case EvQueueExpiry:
+		return "mac.queue_expiry"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// category groups kinds into Chrome trace categories.
+func (k EventKind) category() string {
+	switch k {
+	case EvBackoffDraw, EvCollision, EvAggTX, EvSeqACK, EvQueueExpiry:
+		return "mac"
+	default:
+		return "phy"
+	}
+}
+
+// Event is one fixed-size trace record. TS is nanoseconds — wall-clock for
+// PHY events (Emit), simulated time for MAC events (EmitAt).
+type Event struct {
+	TS   int64
+	Kind EventKind
+	A, B int64
+}
+
+// Tracer records events into a fixed-capacity ring buffer. Emit claims a
+// slot with one atomic add and writes it without locking: concurrent
+// emitters write distinct slots as long as the buffer does not lap an
+// in-flight writer, which a capacity much larger than the emitter count
+// guarantees. Read the buffer (Events, WriteChromeTrace, WriteCSV) only
+// after emitters quiesce.
+type Tracer struct {
+	ring []Event
+	mask uint64
+	pos  atomic.Uint64
+}
+
+// NewTracer returns a tracer holding the most recent events; capacity is
+// rounded up to a power of two (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{ring: make([]Event, n), mask: uint64(n) - 1}
+}
+
+// Emit records an event stamped with the wall clock. Nil tracers are
+// no-ops, so disabled call sites stay allocation- and branch-cheap.
+func (t *Tracer) Emit(kind EventKind, a, b int64) {
+	if t == nil {
+		return
+	}
+	t.EmitAt(time.Now().UnixNano(), kind, a, b)
+}
+
+// EmitAt records an event with an explicit timestamp (the MAC simulator
+// stamps simulated time).
+func (t *Tracer) EmitAt(tsNanos int64, kind EventKind, a, b int64) {
+	if t == nil {
+		return
+	}
+	i := t.pos.Add(1) - 1
+	t.ring[i&t.mask] = Event{TS: tsNanos, Kind: kind, A: a, B: b}
+}
+
+// Len returns how many events are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.pos.Load()
+	if n > uint64(len(t.ring)) {
+		return len(t.ring)
+	}
+	return int(n)
+}
+
+// Dropped returns how many events were overwritten by wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	n := t.pos.Load()
+	if n <= uint64(len(t.ring)) {
+		return 0
+	}
+	return int64(n - uint64(len(t.ring)))
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := t.pos.Load()
+	if n <= uint64(len(t.ring)) {
+		return append([]Event(nil), t.ring[:n]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	start := n & t.mask
+	out = append(out, t.ring[start:]...)
+	out = append(out, t.ring[:start]...)
+	return out
+}
+
+// Reset discards all recorded events.
+func (t *Tracer) Reset() {
+	if t != nil {
+		t.pos.Store(0)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace_event format.
+type chromeEvent struct {
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat"`
+	Phase string           `json:"ph"`
+	TS    float64          `json:"ts"` // microseconds
+	PID   int              `json:"pid"`
+	TID   int              `json:"tid"`
+	Scope string           `json:"s"`
+	Args  map[string]int64 `json:"args"`
+}
+
+// WriteChromeTrace exports the retained events as Chrome trace_event JSON
+// ({"traceEvents": [...]}), loadable in chrome://tracing or Perfetto.
+// Events become thread-scoped instants; the tid is the event kind so each
+// kind gets its own track.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, 0, len(evs))}
+	for _, e := range evs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  e.Kind.String(),
+			Cat:   e.Kind.category(),
+			Phase: "i",
+			TS:    float64(e.TS) / 1e3,
+			PID:   1,
+			TID:   int(e.Kind),
+			Scope: "t",
+			Args:  map[string]int64{"a": e.A, "b": e.B},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteCSV exports the retained events as ts_ns,kind,a,b rows.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ts_ns", "kind", "a", "b"}); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		rec := []string{
+			strconv.FormatInt(e.TS, 10),
+			e.Kind.String(),
+			strconv.FormatInt(e.A, 10),
+			strconv.FormatInt(e.B, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

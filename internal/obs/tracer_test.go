@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestTracerWraparoundOrdering fills a small ring past capacity and checks
+// the retained window is the most recent events, oldest-first.
+func TestTracerWraparoundOrdering(t *testing.T) {
+	tr := NewTracer(16)
+	const emitted = 41
+	for i := 0; i < emitted; i++ {
+		tr.EmitAt(int64(i), EvSymbolDecode, int64(i), 0)
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("Len %d, want 16", tr.Len())
+	}
+	if tr.Dropped() != emitted-16 {
+		t.Errorf("Dropped %d, want %d", tr.Dropped(), emitted-16)
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		want := int64(emitted - 16 + i)
+		if e.A != want || e.TS != want {
+			t.Fatalf("event %d = %+v, want A=TS=%d", i, e, want)
+		}
+	}
+}
+
+// TestTracerBelowCapacity checks the unwrapped read path.
+func TestTracerBelowCapacity(t *testing.T) {
+	tr := NewTracer(64)
+	tr.EmitAt(1, EvCollision, 2, 3)
+	tr.EmitAt(2, EvAggTX, 4, 5)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != EvCollision || evs[1].Kind != EvAggTX {
+		t.Fatalf("events %+v", evs)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped %d, want 0", tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Errorf("Len after Reset = %d", tr.Len())
+	}
+}
+
+// TestTracerConcurrentEmit hammers Emit from many goroutines (ring large
+// enough not to wrap) and checks every event arrived exactly once. Under
+// -race this also exercises the slot-claim protocol.
+func TestTracerConcurrentEmit(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	tr := NewTracer(workers * perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.EmitAt(int64(i), EvBackoffDraw, int64(w), int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != workers*perWorker {
+		t.Fatalf("%d events, want %d", len(evs), workers*perWorker)
+	}
+	seen := make(map[[2]int64]bool, len(evs))
+	for _, e := range evs {
+		key := [2]int64{e.A, e.B}
+		if seen[key] {
+			t.Fatalf("duplicate event %+v", e)
+		}
+		seen[key] = true
+	}
+}
+
+// TestChromeTraceExport checks the trace_event JSON shape Perfetto needs.
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(16)
+	tr.EmitAt(1500, EvAHDRMatch, 2, 0)
+	tr.EmitAt(3000, EvCollision, 3, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string           `json:"name"`
+			Cat   string           `json:"cat"`
+			Phase string           `json:"ph"`
+			TS    float64          `json:"ts"`
+			Args  map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("%d trace events, want 2", len(out.TraceEvents))
+	}
+	e := out.TraceEvents[0]
+	if e.Name != "ahdr.match" || e.Cat != "phy" || e.Phase != "i" || e.TS != 1.5 || e.Args["a"] != 2 {
+		t.Errorf("first event %+v", e)
+	}
+	if out.TraceEvents[1].Cat != "mac" {
+		t.Errorf("collision category %q, want mac", out.TraceEvents[1].Cat)
+	}
+}
+
+// TestCSVExport checks the CSV layout.
+func TestCSVExport(t *testing.T) {
+	tr := NewTracer(16)
+	tr.EmitAt(7, EvRTEUpdate, 1, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	want := []string{"7", "rte.update", "1", "2"}
+	for i, v := range want {
+		if rows[1][i] != v {
+			t.Errorf("row %v, want %v", rows[1], want)
+			break
+		}
+	}
+}
+
+// TestEmitZeroAlloc pins the enabled emit path: claiming a slot and writing
+// the record must not allocate.
+func TestEmitZeroAlloc(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.EmitAt(42, EvSymbolDecode, 1, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("EmitAt allocates %v times, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"carpool/internal/modem"
+	"carpool/internal/obs"
 	"carpool/internal/ofdm"
 )
 
@@ -79,5 +80,54 @@ func TestDemodSymbolZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("per-symbol demod sequence allocates %v times, want 0", allocs)
+	}
+}
+
+// TestDecodeAllocsUnchangedByObservation pins the observability contract on
+// the receive hot loop: with no sink enabled the instrumented decoder must
+// allocate exactly as much as before instrumentation (the disabled path is
+// one atomic load plus nil checks), and with a sink enabled the counter
+// handles are hoisted per call, so allocations still must not grow with the
+// symbol count.
+func TestDecodeAllocsUnchangedByObservation(t *testing.T) {
+	frame, err := Transmit(make([]byte, 1500), TxConfig{MCS: MCS24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, h, _, status := Sync(frame.Samples, 0)
+	if status != StatusOK {
+		t.Fatalf("sync status %v", status)
+	}
+	nsym := frame.NumDataSymbols()
+	tracker := NewStandardTracker()
+	decode := func(n int) {
+		tracker.Init(h, MCS24.Mod)
+		if _, err := DecodeDataSymbols(buf, ofdm.PreambleLen+ofdm.SymbolLen, 1, n,
+			MCS24.Mod, tracker, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	obs.Disable()
+	off := testing.AllocsPerRun(20, func() { decode(nsym) })
+
+	// Registry-only sink: counters resolve once per DecodeDataSymbols call
+	// (map hits after warmup, no allocation), so full vs half symbol counts
+	// must still allocate identically.
+	obs.Enable(&obs.Sink{Registry: obs.NewRegistry()})
+	defer obs.Disable()
+	decode(nsym) // warm up the registry so the names exist
+	onHalf := testing.AllocsPerRun(20, func() { decode(nsym / 2) })
+	onFull := testing.AllocsPerRun(20, func() { decode(nsym) })
+
+	if off > 12 {
+		t.Errorf("disabled-observation decode made %v allocations, want the O(1) setup budget", off)
+	}
+	if onFull > onHalf {
+		t.Errorf("with observation on, allocations grow with symbol count: %v vs %v — per-symbol instrumentation is allocating",
+			onFull, onHalf)
+	}
+	if onFull > off {
+		t.Errorf("enabling a registry sink raised per-call allocations from %v to %v", off, onFull)
 	}
 }

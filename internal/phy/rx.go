@@ -5,6 +5,7 @@ import (
 
 	"carpool/internal/dsp"
 	"carpool/internal/modem"
+	"carpool/internal/obs"
 	"carpool/internal/ofdm"
 	"carpool/internal/sidechannel"
 )
@@ -89,15 +90,18 @@ type RxResult struct {
 // estimate, and the CFO. The status is StatusOK, StatusNoPreamble, or
 // StatusTruncated.
 func Sync(rx []complex128, knownStart int) (buf []complex128, h []complex128, cfoRad float64, status RxStatus) {
+	sink := obs.Active()
 	start := knownStart
 	if start < 0 {
 		var found bool
 		start, found = ofdm.DetectPacket(rx)
 		if !found {
+			sink.Counter("phy.sync_fail").Inc()
 			return nil, nil, 0, StatusNoPreamble
 		}
 	}
 	if start+ofdm.PreambleLen+ofdm.SymbolLen > len(rx) {
+		sink.Counter("phy.sync_fail").Inc()
 		return nil, nil, 0, StatusTruncated
 	}
 	buf = append([]complex128(nil), rx[start:]...)
@@ -105,8 +109,10 @@ func Sync(rx []complex128, knownStart int) (buf []complex128, h []complex128, cf
 	ofdm.CorrectCFO(buf, cfoRad, 0)
 	h, err := ofdm.EstimateChannel(buf, 0)
 	if err != nil {
+		sink.Counter("phy.sync_fail").Inc()
 		return nil, nil, cfoRad, StatusTruncated
 	}
+	sink.Counter("phy.sync_ok").Inc()
 	return buf, h, cfoRad, StatusOK
 }
 
@@ -185,6 +191,19 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 	if nsym < 0 {
 		nsym = 0
 	}
+	// Observability: resolve the hot-loop metrics once per call. With no
+	// sink installed every handle is nil and the per-symbol touch points
+	// reduce to inlined nil checks — zero allocations, no atomics.
+	var (
+		ctrSymbols, ctrCRCOK, ctrCRCFail *obs.Counter
+		tracer                           *obs.Tracer
+	)
+	if sink := obs.Active(); sink != nil {
+		ctrSymbols = sink.Counter("phy.symbols_decoded")
+		ctrCRCOK = sink.Counter("phy.symbols_crc_ok")
+		ctrCRCFail = sink.Counter("phy.symbols_crc_fail")
+		tracer = sink.Tracer
+	}
 	ncbps := mod.BitsPerSymbol() * ofdm.NumData
 	seg := &Segment{
 		Blocks:      make([][]byte, 0, nsym),
@@ -256,6 +275,23 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 			for range group {
 				seg.SymbolOK = append(seg.SymbolOK, ok)
 			}
+			verdict := int64(0)
+			if ok {
+				verdict = 1
+				ctrCRCOK.Add(int64(len(group)))
+			} else {
+				ctrCRCFail.Add(int64(len(group)))
+			}
+			tracer.Emit(obs.EvSideVerdict, int64(group[0].idx), verdict)
+		}
+		if tracer != nil {
+			verdict := int64(0)
+			if correct {
+				verdict = 1
+			}
+			for _, r := range group {
+				tracer.Emit(obs.EvSymbolDecode, int64(r.idx), verdict)
+			}
 		}
 		for _, r := range group {
 			tracker.Observe(r.idx, r.rawBins, r.phase, r.block, correct)
@@ -287,6 +323,7 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 		}
 		seg.Blocks = append(seg.Blocks, block)
 		seg.PilotPhases = append(seg.PilotPhases, phase)
+		ctrSymbols.Inc()
 		if collectLLRs {
 			llrs := llrBuf[i*ncbps : (i+1)*ncbps]
 			if err := weightedLLRsInto(llrs, mod, scratch.points[:], tracker.Estimate()); err != nil {

@@ -1,6 +1,23 @@
 package sidechannel
 
-import "fmt"
+import (
+	"fmt"
+
+	"carpool/internal/obs"
+)
+
+// noteVerdict counts one group CRC check on the global sink, when enabled.
+func noteVerdict(ok bool) {
+	sink := obs.Active()
+	if sink == nil {
+		return
+	}
+	if ok {
+		sink.Counter("side.verify_ok").Inc()
+	} else {
+		sink.Counter("side.verify_fail").Inc()
+	}
+}
 
 // crcPolys maps a checksum width to its generator polynomial (implicit
 // leading term), chosen so every width detects all single-bit errors.
@@ -120,9 +137,11 @@ func (s Scheme) VerifyFlat(groupBits, sideBits []byte) (bool, error) {
 	}
 	for j := 0; j < w; j++ {
 		if byte((crc>>(w-1-j))&1) != sideBits[j]&1 {
+			noteVerdict(false)
 			return false, nil
 		}
 	}
+	noteVerdict(true)
 	return true, nil
 }
 
@@ -143,9 +162,11 @@ func (s Scheme) Verify(groupBits []byte, sideChunks [][]byte) (bool, error) {
 		}
 		for j := range want[i] {
 			if sideChunks[i][j]&1 != want[i][j] {
+				noteVerdict(false)
 				return false, nil
 			}
 		}
 	}
+	noteVerdict(true)
 	return true, nil
 }
