@@ -545,6 +545,94 @@ func BenchmarkViterbiDecode1500B(b *testing.B) {
 	b.SetBytes(1500)
 }
 
+// softBenchLLRs builds the shared input of the soft-decode benchmarks: a
+// 1500-byte MPDU's worth of rate-1/2 coded bits as mildly noisy LLRs.
+func softBenchLLRs(b *testing.B) ([]float64, int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(15))
+	info := make([]byte, 12000)
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	coded, err := fec.ConvEncode(info, fec.Rate1_2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sigma = 0.35 // ~high SNR; the decode cost is data-independent
+	llrs := make([]float64, len(coded))
+	for j, c := range coded {
+		y := 1.0 - 2.0*float64(c) + rng.NormFloat64()*sigma
+		llrs[j] = 2 * y / (sigma * sigma)
+	}
+	return llrs, len(info)
+}
+
+func BenchmarkViterbiDecodeSoft1500B(b *testing.B) {
+	llrs, numInfo := softBenchLLRs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fec.ViterbiDecodeSoft(llrs, fec.Rate1_2, numInfo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1500)
+}
+
+func BenchmarkViterbiDecodeSoftQ1500B(b *testing.B) {
+	llrs, numInfo := softBenchLLRs(b)
+	qllrs := make([]int8, len(llrs))
+	fec.QuantizeLLRsInto(qllrs, llrs, 1)
+	var dec fec.SoftDecoder
+	dst := make([]byte, numInfo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.DecodeInto(dst, qllrs, fec.Rate1_2, numInfo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1500)
+}
+
+// benchPHYSoftReceive measures the soft-decision receive of a full
+// 1500-byte frame at the top rate, either through the float64 oracle chain
+// or the quantized int8 fast path (the SoftFEC default).
+func benchPHYSoftReceive(b *testing.B, float64Oracle bool) {
+	rng := rand.New(rand.NewSource(19))
+	payload := make([]byte, 1500)
+	rng.Read(payload)
+	frame, err := phy.Transmit(payload, phy.TxConfig{MCS: phy.MCS54})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := NewChannel(ChannelConfig{
+		SNRdB: 30, NumTaps: 3, RicianK: 15, TapDecay: 3, Seed: 19,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := ch.Transmit(frame.Samples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := phy.Receive(rx, phy.RxConfig{
+			KnownStart: 0, SoftFEC: true, SoftFloat64: float64Oracle,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != phy.StatusOK {
+			b.Fatal("reception failed")
+		}
+	}
+	b.SetBytes(1500)
+}
+
+func BenchmarkPHYReceiveSoftFloat1500B(b *testing.B) { benchPHYSoftReceive(b, true) }
+
+func BenchmarkPHYReceiveSoftQ1500B(b *testing.B) { benchPHYSoftReceive(b, false) }
+
 func BenchmarkCarpoolFrameBuild(b *testing.B) {
 	rng := rand.New(rand.NewSource(16))
 	subs := make([]Subframe, 4)

@@ -1,7 +1,8 @@
 // Command benchdiff runs the repository's hot-path benchmark suite —
-// BenchmarkFFT64, BenchmarkViterbiDecode1500B, BenchmarkCarpoolFrameReceive
-// and BenchmarkMACSimulationSecond — parses the `go test -bench` output, and
-// writes the results to BENCH_<date>.json so successive runs can be diffed.
+// BenchmarkFFT64, the hard/soft/quantized Viterbi decoders on a 1500-byte
+// MPDU, BenchmarkCarpoolFrameReceive and BenchmarkMACSimulationSecond —
+// parses the `go test -bench` output, and writes the results to
+// BENCH_<date>.json so successive runs can be diffed.
 //
 // When a prior BENCH_*.json exists (the newest one in -dir, or the file
 // named by -baseline), benchdiff prints per-benchmark deltas in ns/op and
@@ -30,11 +31,14 @@ import (
 )
 
 // suite is the default benchmark set: the size-64 FFT kernel, the Viterbi
-// decoder on a full 1500-byte MPDU, one station's whole-frame Carpool
-// receive, and one simulated second of the MAC.
+// decoders on a full 1500-byte MPDU (hard, float64 soft, and the quantized
+// int8 fast path), one station's whole-frame Carpool receive, and one
+// simulated second of the MAC.
 var suite = []string{
 	"BenchmarkFFT64",
 	"BenchmarkViterbiDecode1500B",
+	"BenchmarkViterbiDecodeSoft1500B",
+	"BenchmarkViterbiDecodeSoftQ1500B",
 	"BenchmarkCarpoolFrameReceive",
 	"BenchmarkMACSimulationSecond",
 }

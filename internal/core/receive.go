@@ -1,11 +1,14 @@
 package core
 
 import (
+	"sync"
+
 	"carpool/internal/bloom"
 	"carpool/internal/obs"
 	"carpool/internal/ofdm"
 	"carpool/internal/phy"
 	"carpool/internal/sidechannel"
+	"carpool/internal/sim"
 )
 
 // ReceiverConfig configures one STA's Carpool receiver.
@@ -28,6 +31,10 @@ type ReceiverConfig struct {
 	KnownStart int
 	// SkipFEC stops each subframe at the demapper, for the BER harness.
 	SkipFEC bool
+	// SoftFEC decodes matched subframes with channel-gain-weighted soft
+	// decisions through the quantized int8 Viterbi fast path
+	// (fec.SoftDecoder) instead of hard decisions.
+	SoftFEC bool
 }
 
 func (c ReceiverConfig) hashes() int {
@@ -155,15 +162,22 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 		matched[p] = true
 	}
 
+	// Phase 1: walk the SIG chain sequentially — each SIG's sample position
+	// depends on the previous subframe's length, so locating is inherently
+	// serial — recording where every matched subframe's payload lives.
+	// Payload decoding is deferred to phase 2 so independent subframes can
+	// decode concurrently.
 	scheme := cfg.scheme()
 	symIdx := AHDRSymbols
+	badSIG := false
+	var jobs []subframeJob
 	for pos := 1; pos <= maxMatched; pos++ {
 		sigOff := ofdm.PreambleLen + symIdx*ofdm.SymbolLen
 		sig, sigPhase, err := phy.DecodeSIGAt(buf, h, sigOff, symIdx)
 		if err != nil {
 			// Without a valid SIG the rest of the frame cannot be located.
-			res.Status = phy.StatusBadSIG
-			return res, nil
+			badSIG = true
+			break
 		}
 		res.SymbolsDecoded++
 		sigSymIdx := symIdx
@@ -177,49 +191,118 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 			continue
 		}
 		sink.Counter("core.subframes_decoded").Inc()
-
-		var tracker phy.ChannelTracker
-		var rte *RTETracker
-		if cfg.UseRTE {
-			rte = NewRTETracker()
-			tracker = rte
-		} else {
-			tracker = phy.NewStandardTracker()
+		jobs = append(jobs, subframeJob{
+			pos: pos, sigSymIdx: sigSymIdx, dataSymIdx: symIdx, nsym: nsym,
+			sig: sig, sigPhase: sigPhase,
+		})
+		if ofdm.PreambleLen+(symIdx+nsym)*ofdm.SymbolLen > len(buf) {
+			// The DATA field runs past the buffer. The job still decodes
+			// (partially) in phase 2 for its tracker and counter side
+			// effects, but the chain cannot be located past the hole.
+			break
 		}
-		tracker.Init(h, sig.MCS.Mod)
+		symIdx += nsym
+	}
 
-		seg, err := phy.DecodeDataSymbols(buf, ofdm.PreambleLen+symIdx*ofdm.SymbolLen,
-			symIdx, nsym, sig.MCS.Mod, tracker, scheme, sigPhase)
-		if err != nil {
-			return nil, err
+	// Phase 2: located subframes are independent — their trackers, side
+	// channels and FEC state are all per-subframe — so decode them
+	// concurrently, each worker confining writes to its own slot.
+	subs := make([]SubframeRx, len(jobs))
+	truncs := make([]bool, len(jobs))
+	errs := make([]error, len(jobs))
+	sim.ParallelFor(len(jobs), func(i int) {
+		subs[i], truncs[i], errs[i] = decodeSubframe(buf, h, jobs[i], scheme, cfg)
+	})
+	for i := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if seg.Truncated {
+		if truncs[i] {
+			// Only the final job can truncate (the walk stops at the hole).
 			res.Status = phy.StatusTruncated
 			return res, nil
 		}
-		res.SymbolsDecoded += nsym
-		sub := SubframeRx{
-			Position:    pos,
-			SIG:         sig,
-			StartSymbol: sigSymIdx,
-			Blocks:      seg.Blocks,
-			SideBits:    seg.SideBits,
-			SymbolOK:    seg.SymbolOK,
-			PilotPhases: seg.PilotPhases,
-		}
-		if rte != nil {
-			sub.RTEUpdates = rte.Updates()
-		}
-		if !cfg.SkipFEC {
-			payload, err := phy.DecodeDataField(seg.Blocks, sig.MCS, sig.Length)
-			if err != nil {
-				return nil, err
-			}
-			sub.Payload = payload
-		}
-		res.Subframes = append(res.Subframes, sub)
-		symIdx += nsym
+		res.SymbolsDecoded += jobs[i].nsym
+		res.Subframes = append(res.Subframes, subs[i])
+	}
+	if badSIG {
+		res.Status = phy.StatusBadSIG
+		return res, nil
 	}
 	res.Status = phy.StatusOK
 	return res, nil
+}
+
+// subframeJob locates one matched subframe inside a synchronized buffer:
+// everything phase 2 needs to decode it independently of its neighbors.
+type subframeJob struct {
+	pos, sigSymIdx, dataSymIdx, nsym int
+
+	sig      phy.SIG
+	sigPhase float64
+}
+
+// softQPool recycles quantized soft-decode workspaces across subframes and
+// frames; each phase-2 worker checks one out for the duration of a decode.
+var softQPool = sync.Pool{New: func() any { return new(phy.SoftQDecoder) }}
+
+// decodeSubframe demodulates and (unless SkipFEC) FEC-decodes one located
+// subframe. It touches only per-call state plus atomic obs counters, so
+// distinct jobs decode safely in parallel. The bool result reports
+// truncation: the buffer ended inside the subframe's DATA field.
+func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Scheme, cfg ReceiverConfig) (SubframeRx, bool, error) {
+	var tracker phy.ChannelTracker
+	var rte *RTETracker
+	if cfg.UseRTE {
+		rte = NewRTETracker()
+		tracker = rte
+	} else {
+		tracker = phy.NewStandardTracker()
+	}
+	tracker.Init(h, job.sig.MCS.Mod)
+
+	dataOff := ofdm.PreambleLen + job.dataSymIdx*ofdm.SymbolLen
+	soft := cfg.SoftFEC && !cfg.SkipFEC
+	var seg *phy.Segment
+	var err error
+	if soft {
+		seg, err = phy.DecodeDataSymbolsQ(buf, dataOff, job.dataSymIdx, job.nsym,
+			job.sig.MCS.Mod, tracker, scheme, job.sigPhase)
+	} else {
+		seg, err = phy.DecodeDataSymbols(buf, dataOff, job.dataSymIdx, job.nsym,
+			job.sig.MCS.Mod, tracker, scheme, job.sigPhase)
+	}
+	if err != nil {
+		return SubframeRx{}, false, err
+	}
+	if seg.Truncated {
+		return SubframeRx{}, true, nil
+	}
+	sub := SubframeRx{
+		Position:    job.pos,
+		SIG:         job.sig,
+		StartSymbol: job.sigSymIdx,
+		Blocks:      seg.Blocks,
+		SideBits:    seg.SideBits,
+		SymbolOK:    seg.SymbolOK,
+		PilotPhases: seg.PilotPhases,
+	}
+	if rte != nil {
+		sub.RTEUpdates = rte.Updates()
+	}
+	if !cfg.SkipFEC {
+		var payload []byte
+		if soft {
+			dec := softQPool.Get().(*phy.SoftQDecoder)
+			payload, err = dec.DecodeDataField(seg.LLRQs, job.sig.MCS, job.sig.Length)
+			softQPool.Put(dec)
+		} else {
+			payload, err = phy.DecodeDataField(seg.Blocks, job.sig.MCS, job.sig.Length)
+		}
+		if err != nil {
+			return SubframeRx{}, false, err
+		}
+		sub.Payload = payload
+	}
+	return sub, false, nil
 }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"carpool/internal/channel"
+	"carpool/internal/phy"
+)
+
+// multiMatchFrame builds a frame where mac(1) owns three of the four
+// subframes, so one reception decodes several independent payloads.
+func multiMatchFrame(t *testing.T, rng *rand.Rand) (*Frame, [][]byte) {
+	t.Helper()
+	payloads := [][]byte{
+		randomPayload(rng, 400),
+		randomPayload(rng, 250),
+		randomPayload(rng, 600),
+		randomPayload(rng, 120),
+	}
+	subs := []Subframe{
+		{Receiver: mac(1), MCS: phy.MCS24, Payload: payloads[0]},
+		{Receiver: mac(2), MCS: phy.MCS48, Payload: payloads[1]},
+		{Receiver: mac(1), MCS: phy.MCS12, Payload: payloads[2]},
+		{Receiver: mac(1), MCS: phy.MCS36, Payload: payloads[3]},
+	}
+	frame, err := BuildFrame(subs, FrameConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame, payloads
+}
+
+// TestReceiveFrameParallelBitIdentical pins the phase-2 concurrency
+// contract: decoding matched subframes across several workers must produce
+// exactly the result of the sequential walk, field for field.
+func TestReceiveFrameParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	frame, _ := multiMatchFrame(t, rng)
+	for _, soft := range []bool{false, true} {
+		cfg := ReceiverConfig{MAC: mac(1), UseRTE: true, KnownStart: 0, SoftFEC: soft}
+
+		prev := runtime.GOMAXPROCS(1)
+		seq, errSeq := ReceiveFrame(frame.Samples, cfg)
+		runtime.GOMAXPROCS(4)
+		par, errPar := ReceiveFrame(frame.Samples, cfg)
+		runtime.GOMAXPROCS(prev)
+
+		if errSeq != nil || errPar != nil {
+			t.Fatalf("soft=%v: sequential err %v, parallel err %v", soft, errSeq, errPar)
+		}
+		if seq.Status != phy.StatusOK || len(seq.Subframes) != 3 {
+			t.Fatalf("soft=%v: status %v with %d subframes", soft, seq.Status, len(seq.Subframes))
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("soft=%v: parallel decode diverged from sequential", soft)
+		}
+	}
+}
+
+// TestReceiveFrameSoftFECQuantized runs the quantized soft path end to end:
+// clean loopback must recover every matched payload, and through a noisy
+// channel the soft receiver must do at least as well as the hard one.
+func TestReceiveFrameSoftFECQuantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	frame, payloads := multiMatchFrame(t, rng)
+	res, err := ReceiveFrame(frame.Samples, ReceiverConfig{
+		MAC: mac(1), UseRTE: true, KnownStart: 0, SoftFEC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != phy.StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	want := map[int][]byte{1: payloads[0], 3: payloads[2], 4: payloads[3]}
+	for _, sub := range res.Subframes {
+		exp, ok := want[sub.Position]
+		if !ok {
+			t.Fatalf("unexpected subframe position %d", sub.Position)
+		}
+		if !bytes.Equal(sub.Payload, exp) {
+			t.Errorf("position %d: quantized soft decode corrupted payload", sub.Position)
+		}
+	}
+	if len(res.Subframes) != len(want) {
+		t.Fatalf("decoded %d subframes, want %d", len(res.Subframes), len(want))
+	}
+
+	// Noisy channel: count payload failures over a few trials per mode.
+	fails := func(soft bool) int {
+		n := 0
+		for trial := 0; trial < 6; trial++ {
+			ch, err := channel.New(channel.Config{
+				SNRdB: 17, NumTaps: 3, RicianK: 12, TapDecay: 3, CFOHz: 500,
+				Seed: 100 + int64(trial), CoherenceSymbols: channel.DefaultCoherenceSymbols,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ReceiveFrame(ch.Transmit(frame.Samples), ReceiverConfig{
+				MAC: mac(1), UseRTE: true, KnownStart: 0, SoftFEC: soft,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != phy.StatusOK {
+				n += len(want)
+				continue
+			}
+			got := map[int][]byte{}
+			for _, sub := range res.Subframes {
+				got[sub.Position] = sub.Payload
+			}
+			for pos, exp := range want {
+				if !bytes.Equal(got[pos], exp) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	hard, soft := fails(false), fails(true)
+	if soft > hard {
+		t.Errorf("quantized soft path failed %d payloads vs %d hard — soft decisions should not hurt", soft, hard)
+	}
+}
+
+// TestReceiveFrameSubframePathAllocs pins the per-reception allocation
+// budget of the located-subframe decode path, so regressions in the pooled
+// decoder workspaces or the flat Segment buffers show up.
+func TestReceiveFrameSubframePathAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	frame, _ := multiMatchFrame(t, rng)
+	cfg := ReceiverConfig{MAC: mac(1), UseRTE: true, KnownStart: 0, SoftFEC: true}
+	if _, err := ReceiveFrame(frame.Samples, cfg); err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1) // inline phase 2: measure allocations, not goroutine setup
+	defer runtime.GOMAXPROCS(prev)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ReceiveFrame(frame.Samples, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The remaining allocations are the result structures the caller keeps
+	// (FrameRx, Segments, payloads, sync buffer) plus per-subframe trackers;
+	// the decode workspaces themselves are pooled or flat.
+	const budget = 90
+	if allocs > budget {
+		t.Errorf("ReceiveFrame allocates %.0f/op on the subframe path, budget %d", allocs, budget)
+	}
+}

@@ -65,19 +65,27 @@ func (r CodeRate) Ratio() float64 {
 	}
 }
 
-// puncturePattern returns, for a rate, the boolean keep-mask over the
-// rate-1/2 output stream (pairs A0 B0 A1 B1 ...), in the order defined by
-// 802.11-2012 §18.3.5.6.
+// Puncture keep-masks over the rate-1/2 output stream (pairs A0 B0 A1 B1
+// ...), in the order defined by 802.11-2012 §18.3.5.6. Package-level so the
+// hot decode paths never allocate a pattern slice.
+var (
+	pattern1_2 = []bool{true, true}
+	// Period: 2 input bits -> 4 mother bits, drop B1.
+	pattern2_3 = []bool{true, true, true, false}
+	// Period: 3 input bits -> 6 mother bits, drop B1 and A2.
+	pattern3_4 = []bool{true, true, true, false, false, true}
+)
+
+// puncturePattern returns the rate's shared keep-mask. Callers must not
+// mutate it.
 func (r CodeRate) puncturePattern() []bool {
 	switch r {
 	case Rate1_2:
-		return []bool{true, true}
+		return pattern1_2
 	case Rate2_3:
-		// Period: 2 input bits -> 4 mother bits, drop B1.
-		return []bool{true, true, true, false}
+		return pattern2_3
 	case Rate3_4:
-		// Period: 3 input bits -> 6 mother bits, drop B1 and A2.
-		return []bool{true, true, true, false, false, true}
+		return pattern3_4
 	default:
 		return nil
 	}

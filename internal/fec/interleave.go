@@ -135,3 +135,18 @@ func (il *Interleaver) DeinterleaveFloatsInto(out, in []float64) error {
 	}
 	return nil
 }
+
+// DeinterleaveLLRInto applies the inverse permutation to quantized int8
+// LLRs, for the quantized soft receive path. Allocation-free.
+func (il *Interleaver) DeinterleaveLLRInto(out, in []int8) error {
+	if len(in) != il.ncbps {
+		return fmt.Errorf("fec: deinterleave block length %d, want %d", len(in), il.ncbps)
+	}
+	if len(out) != il.ncbps {
+		return fmt.Errorf("fec: deinterleave output length %d, want %d", len(out), il.ncbps)
+	}
+	for j, k := range il.inv {
+		out[k] = in[j]
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantized soft decoding.
+//
+// The int8 LLR convention matches modem.DemapSoft: positive means coded bit
+// 0 is more likely, magnitude is confidence, and 0 is an erasure (punctured
+// positions are re-inserted as zeros). The decoder is invariant to any
+// positive scaling of its inputs, so the quantizer upstream is free to pick
+// whatever scale fills the int8 range; modem.LLRQScale documents the choice
+// the demapper makes.
+//
+// SoftDecoder replaces the float64 ViterbiDecodeSoft chain on the receive
+// hot path. Three things make it fast:
+//
+//  1. uint16 path metrics with periodic renormalization. Branch metrics are
+//     at most 256 per step (|la|+|lb| of two int8 LLRs), and the metric
+//     spread across the 64 states is bounded by 6*256 = 1536 once every
+//     state is reachable (any state is 6 hops from the minimum-metric
+//     state). Subtracting the running minimum every renormInterval steps
+//     therefore keeps every metric below 1536 + 64*256 = 17920, safely
+//     inside the < 2^15 headroom the SWAR comparison below requires.
+//
+//  2. A 256-entry cost LUT indexed by the quantized LLR's bit pattern
+//     (sign/magnitude): pairCost[uint8(l)] packs cost(coded bit 0) in the
+//     low half-word and cost(coded bit 1) in the high half-word, so the
+//     per-step 4-entry output-pair cost table is built from two loads and
+//     four adds with no per-bit branches and no precision loss.
+//
+//  3. A SWAR add-compare-select: the trellis is walked as 16 butterflies of
+//     4 next states whose path metrics are packed 4-per-uint64 (16-bit
+//     lanes). The two candidate metric vectors are formed with shifts, the
+//     branch costs come from a 16-entry per-step table of packed cost words
+//     (indexed by the two butterfly branch outputs, with the complemented
+//     layout at index^15 — the K=7 generators both have their newest- and
+//     oldest-bit taps set, so the second predecessor's outputs are always
+//     the bitwise complement), and the four lane-wise compare/selects
+//     resolve in a handful of word ops using the high-bit borrow trick.
+//
+// Tie-breaking matches ViterbiDecode and ViterbiDecodeSoft: on equal
+// metrics the low predecessor (state>>1) wins, so all three decoders walk
+// identical survivor paths on identical-decision inputs.
+const (
+	renormInterval = 64
+	// initialMetric handicaps the 63 non-zero start states. It only needs
+	// to exceed the largest 6-step path cost (6*256 = 1536) for paths
+	// seeded at an invalid state to lose every merge against genuine
+	// paths, exactly as the float64 decoder's +Inf initialization does.
+	initialMetric = 0x3000
+	swarHigh      = 0x8000800080008000
+	swarOnes      = 0x0001000100010001
+)
+
+// pairCost packs, for the int8 LLR with bit pattern i, the branch cost of
+// the transmitter having sent coded bit 0 (low 16 bits) and coded bit 1
+// (high 16 bits): disagreeing with the LLR's sign costs its magnitude.
+var pairCost = buildPairCost()
+
+func buildPairCost() (t [256]uint32) {
+	for i := range t {
+		l := int(int8(i))
+		var c0, c1 int
+		if l < 0 {
+			c0 = -l
+		} else {
+			c1 = l
+		}
+		t[i] = uint32(c0) | uint32(c1)<<16
+	}
+	return t
+}
+
+// butterflyOut[j] packs the branch outputs of the two low predecessors
+// feeding next states 4j..4j+3: branchOut[2j][0]<<2 | branchOut[2j+1][0].
+// The other six branches of the butterfly follow by complement (^3).
+var butterflyOut = buildButterflyOut()
+
+func buildButterflyOut() (t [16]uint8) {
+	for j := range t {
+		t[j] = branchOut[2*j][0]<<2 | branchOut[2*j+1][0]
+	}
+	// The SWAR kernel relies on two symmetries of the generator pair: both
+	// polynomials tap the newest bit (input-bit complement) and the oldest
+	// bit (high-predecessor complement). They hold for the 802.11 133/171
+	// pair; guard against table edits.
+	for s := 0; s < numStates; s++ {
+		if branchOut[s][1] != branchOut[s][0]^3 {
+			panic("fec: branch table lost input-bit complement symmetry")
+		}
+		if s < numStates/2 {
+			for b := 0; b < 2; b++ {
+				if branchOut[s+numStates/2][b] != branchOut[s][b]^3 {
+					panic("fec: branch table lost high-predecessor complement symmetry")
+				}
+			}
+		}
+	}
+	return t
+}
+
+// SoftDecoder is a reusable quantized soft-decision Viterbi decoder. The
+// zero value is ready to use; after the first call of a given frame size,
+// DecodeInto performs zero heap allocations. A SoftDecoder must not be
+// shared between goroutines (use one per worker, or a sync.Pool).
+type SoftDecoder struct {
+	metrics   [2][numStates]uint16
+	survivors []uint64
+	scratch   []int8 // depunctured mother stream for rates 2/3 and 3/4
+}
+
+// Decode is DecodeInto with an allocated output slice.
+func (d *SoftDecoder) Decode(llrs []int8, rate CodeRate, numInfoBits int) ([]byte, error) {
+	if numInfoBits <= 0 {
+		return nil, fmt.Errorf("fec: numInfoBits must be positive, got %d", numInfoBits)
+	}
+	out := make([]byte, numInfoBits)
+	if err := d.DecodeInto(out, llrs, rate, numInfoBits); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto maximum-likelihood-decodes a punctured stream of quantized
+// LLRs into dst (one 0/1 byte per information bit, len(dst) ==
+// numInfoBits). It is the int8 counterpart of ViterbiDecodeSoft and decodes
+// the same path on inputs that quantize without saturation; in steady state
+// it allocates nothing.
+func (d *SoftDecoder) DecodeInto(dst []byte, llrs []int8, rate CodeRate, numInfoBits int) error {
+	if !rate.Valid() {
+		return fmt.Errorf("fec: invalid code rate %v", rate)
+	}
+	if numInfoBits <= 0 {
+		return fmt.Errorf("fec: numInfoBits must be positive, got %d", numInfoBits)
+	}
+	if len(dst) != numInfoBits {
+		return fmt.Errorf("fec: output buffer needs %d entries, got %d", numInfoBits, len(dst))
+	}
+	mother := llrs
+	if rate != Rate1_2 {
+		need := 2 * numInfoBits
+		if cap(d.scratch) < need {
+			d.scratch = make([]int8, need)
+		}
+		mother = d.scratch[:need]
+		if err := depunctureQInto(mother, llrs, rate); err != nil {
+			return err
+		}
+	} else if len(llrs) < 2*numInfoBits {
+		return fmt.Errorf("fec: LLR stream too short: have %d, need more for %d info bits at rate %v",
+			len(llrs), numInfoBits, rate)
+	}
+
+	if cap(d.survivors) < numInfoBits {
+		d.survivors = make([]uint64, numInfoBits)
+	}
+	surv := d.survivors[:numInfoBits]
+
+	metric, next := &d.metrics[0], &d.metrics[1]
+	metric[0] = 0
+	for i := 1; i < numStates; i++ {
+		metric[i] = initialMetric
+	}
+
+	for t := 0; t < numInfoBits; t++ {
+		ca := pairCost[uint8(mother[2*t])]
+		cb := pairCost[uint8(mother[2*t+1])]
+		c0, c1 := uint64(ca&0xffff), uint64(ca>>16)
+		e0, e1 := uint64(cb&0xffff), uint64(cb>>16)
+		// cost[o] is the branch metric of emitting packed output o = A<<1|B.
+		var cost [4]uint64
+		cost[0] = c0 + e0
+		cost[1] = c0 + e1
+		cost[2] = c1 + e0
+		cost[3] = c1 + e1
+		// packed[idx] lays cost[o0], cost[o0^3], cost[o1], cost[o1^3] into
+		// four 16-bit lanes for butterfly output pair idx = o0<<2|o1; the
+		// high-predecessor cost word is packed[idx^15] by the complement
+		// symmetry.
+		var packed [16]uint64
+		for idx := range packed {
+			o0, o1 := idx>>2, idx&3
+			packed[idx] = cost[o0] | cost[o0^3]<<16 | cost[o1]<<32 | cost[o1^3]<<48
+		}
+		var sbits uint64
+		for j := 0; j < 16; j++ {
+			// Next states 4j..4j+3 draw from predecessors 2j, 2j+1 (lanes
+			// a,a,b,b) and 2j+32, 2j+33.
+			a, b := uint64(metric[2*j]), uint64(metric[2*j+1])
+			x := a | a<<16 | b<<32 | b<<48
+			g, h := uint64(metric[2*j+32]), uint64(metric[2*j+33])
+			y := g | g<<16 | h<<32 | h<<48
+			idx := butterflyOut[j]
+			x += packed[idx]
+			y += packed[idx^15]
+			// Lane-wise strict compare: lane bit of m set iff y < x (the
+			// high predecessor strictly wins; ties keep the low one, as in
+			// the scalar decoders). Values stay below 2^15, so ORing the
+			// lane sign bit into x and subtracting y+1 cannot borrow across
+			// lanes, and the sign bit survives exactly when x >= y+1.
+			diff := (x | swarHigh) - (y + swarOnes)
+			m := (diff & swarHigh) >> 15
+			mask := m * 0xffff
+			mn := (y & mask) | (x &^ mask)
+			next[4*j] = uint16(mn)
+			next[4*j+1] = uint16(mn >> 16)
+			next[4*j+2] = uint16(mn >> 32)
+			next[4*j+3] = uint16(mn >> 48)
+			sbits |= (m&1 | m>>15&2 | m>>30&4 | m>>45&8) << (4 * j)
+		}
+		surv[t] = sbits
+		metric, next = next, metric
+		if t%renormInterval == renormInterval-1 {
+			lo := metric[0]
+			for i := 1; i < numStates; i++ {
+				if metric[i] < lo {
+					lo = metric[i]
+				}
+			}
+			for i := 0; i < numStates; i++ {
+				metric[i] -= lo
+			}
+		}
+	}
+
+	best := 0
+	for s := 1; s < numStates; s++ {
+		if metric[s] < metric[best] {
+			best = s
+		}
+	}
+	state := best
+	for t := numInfoBits - 1; t >= 0; t-- {
+		dst[t] = byte(state & 1)
+		state = state>>1 | int((surv[t]>>uint(state))&1)<<5
+	}
+	return nil
+}
+
+// ViterbiDecodeSoftQ is a convenience wrapper allocating a throwaway
+// SoftDecoder; hot paths should hold a SoftDecoder and call DecodeInto.
+func ViterbiDecodeSoftQ(llrs []int8, rate CodeRate, numInfoBits int) ([]byte, error) {
+	var d SoftDecoder
+	return d.Decode(llrs, rate, numInfoBits)
+}
+
+// depunctureQInto re-inserts zero-LLR erasures where bits were punctured,
+// filling dst (length 2*numInfoBits) without allocating.
+func depunctureQInto(dst, llrs []int8, rate CodeRate) error {
+	pattern := rate.puncturePattern()
+	src, n := 0, 0
+	for n < len(dst) {
+		for _, keep := range pattern {
+			if n == len(dst) {
+				break
+			}
+			if keep {
+				if src >= len(llrs) {
+					return fmt.Errorf("fec: LLR stream too short: have %d, need more for %d info bits at rate %v",
+						len(llrs), len(dst)/2, rate)
+				}
+				dst[n] = llrs[src]
+				src++
+			} else {
+				dst[n] = 0
+			}
+			n++
+		}
+	}
+	return nil
+}
+
+// SatLLR8 saturates a float LLR (already multiplied by the caller's chosen
+// quantization scale) to the symmetric int8 range [-127, 127]. Non-finite
+// inputs quantize to 0 — an erasure — so pathological channel weights
+// degrade gracefully instead of poisoning the trellis.
+func SatLLR8(v float64) int8 {
+	switch {
+	case v >= 127:
+		return 127
+	case v <= -127:
+		return -127
+	case math.IsNaN(v):
+		return 0
+	default:
+		return int8(math.Round(v))
+	}
+}
+
+// QuantizeLLRsInto saturates scale*src[i] into dst. len(dst) must equal
+// len(src).
+func QuantizeLLRsInto(dst []int8, src []float64, scale float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("fec: quantize buffer needs %d entries, got %d", len(src), len(dst))
+	}
+	for i, l := range src {
+		dst[i] = SatLLR8(l * scale)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"carpool/internal/traffic"
+)
+
+// TestRunAllocBudget pins the simulator's allocation behavior after the
+// scratch-buffer purge: one 400 ms carpool run with lossy delivery (the
+// retry/requeue-heavy path) must stay within a small fixed budget, where it
+// previously allocated per contention slot and per transmission. The budget
+// leaves headroom for setup (per-run registries, result slices) and
+// amortized queue/delay growth, while sitting far below the purged regime.
+func TestRunAllocBudget(t *testing.T) {
+	rng := newGoldenRNG(41)
+	const dur = 400 * time.Millisecond
+	down := make([][]traffic.Arrival, 10)
+	for i := range down {
+		down[i] = traffic.CBRFlow(rng, 400, 3*time.Millisecond, dur)
+	}
+	oracle, err := NewFixedOracle(0.9, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Protocol: Carpool, NumSTAs: 10, Duration: dur, Seed: 41,
+		Downlink: down, SaturatedUplink: true, Oracle: oracle,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 400
+	if allocs > budget {
+		t.Errorf("Run allocates %.0f/op, budget %d", allocs, budget)
+	}
+}

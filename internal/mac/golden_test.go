@@ -1,0 +1,119 @@
+package mac
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"carpool/internal/traffic"
+)
+
+func newGoldenRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// goldenCapture prints the current Results as Go literals instead of
+// comparing, for regenerating the table below after an intentional
+// behavioral change: go test ./internal/mac -run Golden -capture-golden -v
+var goldenCapture = flag.Bool("capture-golden", false, "print golden MAC results instead of comparing")
+
+// goldenConfigs exercises every protocol plan builder plus the latency,
+// retry, multi-AP and ablation paths with fixed seeds, so any change to the
+// simulator's arithmetic or RNG consumption order shows up as a golden
+// mismatch. The allocation-purge refactor must keep all of these
+// bit-identical.
+func goldenConfigs() map[string]Config {
+	mk := func(seed int64, n int, bytes int, every time.Duration, dur time.Duration) [][]traffic.Arrival {
+		rng := newGoldenRNG(seed)
+		out := make([][]traffic.Arrival, n)
+		for i := range out {
+			out[i] = traffic.CBRFlow(rng, bytes, every, dur)
+		}
+		return out
+	}
+	const dur = 400 * time.Millisecond
+	cfgs := map[string]Config{
+		"legacy": {
+			Protocol: Legacy80211, NumSTAs: 4, Duration: dur, Seed: 3,
+			Downlink: mk(3, 4, 400, 4*time.Millisecond, dur),
+			Uplink:   mk(4, 2, 200, 9*time.Millisecond, dur),
+		},
+		"wifox": {
+			Protocol: WiFox, NumSTAs: 8, Duration: dur, Seed: 5,
+			Downlink: mk(5, 8, 600, 3*time.Millisecond, dur),
+			SaturatedUplink: true,
+		},
+		"ampdu": {
+			Protocol: AMPDU, NumSTAs: 6, Duration: dur, Seed: 11,
+			Downlink: mk(11, 6, 1200, 5*time.Millisecond, dur),
+			Uplink:   mk(12, 6, 120, 20*time.Millisecond, dur),
+		},
+		"amsdu": {
+			Protocol: AMSDU, NumSTAs: 6, Duration: dur, Seed: 13,
+			Downlink: mk(13, 6, 900, 5*time.Millisecond, dur),
+			SaturatedUplink: true,
+		},
+		"muagg-rtscts": {
+			Protocol: MUAggregation, NumSTAs: 10, Duration: dur, Seed: 17,
+			Downlink: mk(17, 10, 500, 6*time.Millisecond, dur),
+			SaturatedUplink: true, UseRTSCTS: true,
+		},
+		"carpool": {
+			Protocol: Carpool, NumSTAs: 12, NumAPs: 2, Duration: dur, Seed: 7,
+			Downlink: mk(7, 12, 300, 5*time.Millisecond, dur),
+			SaturatedUplink: true, MaxLatency: 60 * time.Millisecond,
+		},
+		"carpool-simack": {
+			Protocol: Carpool, NumSTAs: 9, Duration: dur, Seed: 23,
+			Downlink: mk(23, 9, 700, 4*time.Millisecond, dur),
+			SaturatedUplink: true, SimultaneousACK: true,
+		},
+	}
+	// Lossy oracles force the retry/requeue paths.
+	for name, p := range map[string]float64{
+		"legacy": 0.92, "ampdu": 0.9, "carpool": 0.88, "muagg-rtscts": 0.95,
+	} {
+		cfg := cfgs[name]
+		oracle, err := NewFixedOracle(p, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Oracle = oracle
+		cfgs[name] = cfg
+	}
+	return cfgs
+}
+
+// TestGoldenSeedResults pins every Result field of the fixed-seed runs
+// above. The values were captured before the allocation-purge refactor of
+// the simulator; the purge must not change a single field.
+func TestGoldenSeedResults(t *testing.T) {
+	cfgs := goldenConfigs()
+	if *goldenCapture {
+		for name, cfg := range cfgs {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("%q: %#v,\n", name, *res)
+		}
+		t.Skip("captured")
+	}
+	for name, want := range goldenResults {
+		cfg, ok := cfgs[name]
+		if !ok {
+			t.Fatalf("golden entry %q has no config", name)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(*res, want) {
+			t.Errorf("%s: Result diverged from golden capture\n got %#v\nwant %#v", name, *res, want)
+		}
+	}
+	if len(goldenResults) != len(cfgs) {
+		t.Errorf("golden table has %d entries for %d configs", len(goldenResults), len(cfgs))
+	}
+}

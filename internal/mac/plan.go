@@ -5,6 +5,12 @@ import "time"
 // buildAPPlan removes the frames of one transmission from the AP queue and
 // lays them out as the protocol's PHY frame, computing per-MPDU symbol
 // spans for the delivery oracle. It returns nil when nothing is sendable.
+//
+// The returned plan and everything it references live in simulator scratch:
+// exactly one plan is alive at a time, and the next buildAPPlan call
+// recycles its storage. Frame ordering within and across subframes is
+// byte-identical to the historical map-based planners (the golden-seed
+// tests pin every Result field).
 func (s *simulator) buildAPPlan(ap *apState) *txPlan {
 	if len(ap.queue) == 0 {
 		return nil
@@ -23,22 +29,36 @@ func (s *simulator) buildAPPlan(ap *apState) *txPlan {
 	}
 }
 
-// take removes the frames at the selected queue indices (ascending order).
-func take(ap *apState, selected []int) []frame {
-	out := make([]frame, 0, len(selected))
-	sel := make(map[int]bool, len(selected))
+// resetPlan clears the shared plan and its flat frame/span backing for a
+// new transmission.
+func (s *simulator) resetPlan() *txPlan {
+	s.planFrames = s.planFrames[:0]
+	s.planSpans = s.planSpans[:0]
+	p := &s.plan
+	p.subs = p.subs[:0]
+	p.airtime, p.ackTime, p.rte = 0, 0, false
+	return p
+}
+
+// takeAscending copies the frames at the selected queue indices (ascending
+// order) into the plan's flat frame scratch and compacts the queue in
+// place. The returned slice stays valid until the next plan is built.
+func (s *simulator) takeAscending(ap *apState, selected []int) []frame {
+	start := len(s.planFrames)
 	for _, i := range selected {
-		sel[i] = true
-		out = append(out, ap.queue[i])
+		s.planFrames = append(s.planFrames, ap.queue[i])
 	}
 	kept := ap.queue[:0]
+	si := 0
 	for i, f := range ap.queue {
-		if !sel[i] {
-			kept = append(kept, f)
+		if si < len(selected) && selected[si] == i {
+			si++
+			continue
 		}
+		kept = append(kept, f)
 	}
 	ap.queue = kept
-	return out
+	return s.planFrames[start:]
 }
 
 // mpduSymbols returns the symbol count of one MPDU (header+payload+FCS).
@@ -48,24 +68,27 @@ func (s *simulator) mpduSymbols(size int) int {
 
 // planSingle sends the head frame alone (802.11 / WiFox).
 func (s *simulator) planSingle(ap *apState) *txPlan {
-	f := take(ap, []int{0})[0]
+	f := ap.queue[0]
+	ap.queue = ap.queue[:copy(ap.queue, ap.queue[1:])]
 	n := s.mpduSymbols(f.size)
-	return &txPlan{
-		subs: []txSub{{
-			sta:    f.sta,
-			frames: []frame{f},
-			spans:  [][2]int{{0, n}},
-		}},
-		airtime: PLCPTime + time.Duration(n)*SymbolTime + PropDelay,
-		ackTime: SIFS + ACKAirtime(s.cfg.Rates),
-	}
+	plan := s.resetPlan()
+	s.planFrames = append(s.planFrames, f)
+	s.planSpans = append(s.planSpans, [2]int{0, n})
+	plan.subs = append(plan.subs, txSub{
+		sta:    f.sta,
+		frames: s.planFrames,
+		spans:  s.planSpans,
+	})
+	plan.airtime = PLCPTime + time.Duration(n)*SymbolTime + PropDelay
+	plan.ackTime = SIFS + ACKAirtime(s.cfg.Rates)
+	return plan
 }
 
 // planAMPDU aggregates the head frame's station's whole backlog (802.11n
 // A-MPDU): one receiver, per-MPDU delimiters and spans, one block ACK.
 func (s *simulator) planAMPDU(ap *apState) *txPlan {
 	sta := ap.queue[0].sta
-	var selected []int
+	selected := s.selected[:0]
 	bytes := 0
 	for i, f := range ap.queue {
 		if f.sta != sta {
@@ -77,8 +100,10 @@ func (s *simulator) planAMPDU(ap *apState) *txPlan {
 		selected = append(selected, i)
 		bytes += f.size
 	}
-	frames := take(ap, selected)
-	sub := txSub{sta: sta}
+	s.selected = selected
+	plan := s.resetPlan()
+	frames := s.takeAscending(ap, selected)
+	sub := txSub{sta: sta, frames: frames}
 	ndbps := dataBitsPerSymbol(s.cfg.Rates.DataMbps)
 	cumBits := 16 // SERVICE
 	for _, f := range frames {
@@ -86,15 +111,14 @@ func (s *simulator) planAMPDU(ap *apState) *txPlan {
 		start := cumBits / ndbps
 		cumBits += bits
 		end := (cumBits + ndbps - 1) / ndbps
-		sub.frames = append(sub.frames, f)
-		sub.spans = append(sub.spans, [2]int{start, end - start})
+		s.planSpans = append(s.planSpans, [2]int{start, end - start})
 	}
+	sub.spans = s.planSpans
 	totalSym := (cumBits + 6 + ndbps - 1) / ndbps
-	return &txPlan{
-		subs:    []txSub{sub},
-		airtime: PLCPTime + time.Duration(totalSym)*SymbolTime + PropDelay,
-		ackTime: SIFS + BlockACKAirtime(s.cfg.Rates),
-	}
+	plan.subs = append(plan.subs, sub)
+	plan.airtime = PLCPTime + time.Duration(totalSym)*SymbolTime + PropDelay
+	plan.ackTime = SIFS + BlockACKAirtime(s.cfg.Rates)
+	return plan
 }
 
 // planAMSDU aggregates the head station's backlog under a single frame
@@ -102,7 +126,7 @@ func (s *simulator) planAMPDU(ap *apState) *txPlan {
 // whole aggregate and one bad symbol group loses every contained frame.
 func (s *simulator) planAMSDU(ap *apState) *txPlan {
 	sta := ap.queue[0].sta
-	var selected []int
+	selected := s.selected[:0]
 	bytes := 0
 	cap := min(s.cfg.MaxAggBytes, AMSDUMaxBytes)
 	for i, f := range ap.queue {
@@ -115,23 +139,24 @@ func (s *simulator) planAMSDU(ap *apState) *txPlan {
 		selected = append(selected, i)
 		bytes += f.size
 	}
-	frames := take(ap, selected)
+	s.selected = selected
+	plan := s.resetPlan()
+	frames := s.takeAscending(ap, selected)
 	// One MAC header + per-MSDU subheaders (14 bytes each) + one FCS.
 	total := MACHeaderBytes + FCSBytes
 	for _, f := range frames {
 		total += 14 + f.size
 	}
 	nsym := DataSymbols(total, s.cfg.Rates.DataMbps)
-	sub := txSub{sta: sta, sharedFate: true}
-	for _, f := range frames {
-		sub.frames = append(sub.frames, f)
-		sub.spans = append(sub.spans, [2]int{0, nsym})
+	sub := txSub{sta: sta, sharedFate: true, frames: frames}
+	for range frames {
+		s.planSpans = append(s.planSpans, [2]int{0, nsym})
 	}
-	return &txPlan{
-		subs:    []txSub{sub},
-		airtime: PLCPTime + time.Duration(nsym)*SymbolTime + PropDelay,
-		ackTime: SIFS + ACKAirtime(s.cfg.Rates),
-	}
+	sub.spans = s.planSpans
+	plan.subs = append(plan.subs, sub)
+	plan.airtime = PLCPTime + time.Duration(nsym)*SymbolTime + PropDelay
+	plan.ackTime = SIFS + ACKAirtime(s.cfg.Rates)
+	return plan
 }
 
 // planMultiUser aggregates the FIFO backlog across up to MaxReceivers
@@ -140,42 +165,48 @@ func (s *simulator) planAMSDU(ap *apState) *txPlan {
 // receiver at the control rate and decodes with the standard estimate.
 // Both return one ACK slot per receiver (sequential ACK, §4.2).
 func (s *simulator) planMultiUser(ap *apState, carpool bool) *txPlan {
-	staSlot := make(map[int]int)
-	var groups [][]int // queue indices per subframe
+	// groups[slot] collects one subframe's queue indices; the slot lookup
+	// is a per-STA array (reset below, lazily sized for hand-built
+	// simulators) and the inner index slices are recycled across calls.
+	if len(s.staSlot) < s.cfg.NumSTAs {
+		s.staSlot = make([]int, s.cfg.NumSTAs)
+		for i := range s.staSlot {
+			s.staSlot[i] = -1
+		}
+	}
+	groups := s.groups[:0]
 	bytes := 0
 	for i, f := range ap.queue {
-		slot, seen := staSlot[f.sta]
-		if !seen && len(groups) == s.cfg.MaxReceivers {
+		slot := s.staSlot[f.sta]
+		if slot < 0 && len(groups) == s.cfg.MaxReceivers {
 			continue
 		}
 		if bytes+f.size > s.cfg.MaxAggBytes {
 			break
 		}
-		if !seen {
+		if slot < 0 {
 			slot = len(groups)
-			staSlot[f.sta] = slot
-			groups = append(groups, nil)
+			s.staSlot[f.sta] = slot
+			if len(groups) < cap(groups) {
+				groups = groups[:slot+1]
+				groups[slot] = groups[slot][:0]
+			} else {
+				groups = append(groups, nil)
+			}
 		}
 		groups[slot] = append(groups[slot], i)
 		bytes += f.size
 	}
+	s.groups = groups
+	for _, g := range groups {
+		s.staSlot[ap.queue[g[0]].sta] = -1
+	}
 	if len(groups) == 0 {
 		return nil
 	}
-	var selected []int
-	for _, g := range groups {
-		selected = append(selected, g...)
-	}
-	// take() requires ascending indices; groups preserve FIFO within a
-	// subframe but interleave across subframes, so sort.
-	sortInts(selected)
-	taken := take(ap, selected)
-	byIdx := make(map[int]frame, len(taken))
-	for j, i := range selected {
-		byIdx[i] = taken[j]
-	}
 
-	plan := &txPlan{rte: carpool}
+	plan := s.resetPlan()
+	plan.rte = carpool
 	ndbps := dataBitsPerSymbol(s.cfg.Rates.DataMbps)
 	cursor := 0
 	if carpool {
@@ -190,33 +221,58 @@ func (s *simulator) planMultiUser(ap *apState, carpool bool) *txPlan {
 	for _, g := range groups {
 		// One FCS and one sequential-ACK slot per subframe: the subframe
 		// is the retransmission unit, so every contained frame shares the
-		// whole subframe's symbol span and fate (§4.2).
-		sub := txSub{sta: byIdx[g[0]].sta, sharedFate: true}
+		// whole subframe's symbol span and fate (§4.2). Frames are read
+		// from the queue before the compaction below invalidates indices.
+		sub := txSub{sta: ap.queue[g[0]].sta, sharedFate: true}
 		if carpool {
 			cursor += SIGSymbols
 		}
 		cumBits := 16
+		fStart := len(s.planFrames)
 		for _, i := range g {
-			f := byIdx[i]
+			f := ap.queue[i]
 			cumBits += 8 * (MACHeaderBytes + f.size + FCSBytes)
-			sub.frames = append(sub.frames, f)
+			s.planFrames = append(s.planFrames, f)
 		}
+		sub.frames = s.planFrames[fStart:]
 		subSyms := (cumBits + 6 + ndbps - 1) / ndbps
+		spStart := len(s.planSpans)
 		for range sub.frames {
-			sub.spans = append(sub.spans, [2]int{cursor, subSyms})
+			s.planSpans = append(s.planSpans, [2]int{cursor, subSyms})
 		}
+		sub.spans = s.planSpans[spStart:]
 		cursor += subSyms
 		plan.subs = append(plan.subs, sub)
 	}
+	s.removeGrouped(ap, groups)
 	plan.airtime = PLCPTime + time.Duration(cursor)*SymbolTime + PropDelay
 	plan.ackTime = time.Duration(len(plan.subs)) * (SIFS + ACKAirtime(s.cfg.Rates))
 	return plan
 }
 
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
+// removeGrouped compacts the AP queue, dropping every index captured in
+// groups, in one pass over a reusable bitset (indices interleave across
+// subframes, so the ascending-walk compaction does not apply).
+func (s *simulator) removeGrouped(ap *apState, groups [][]int) {
+	nw := (len(ap.queue) + 63) / 64
+	if cap(s.qBits) < nw {
+		s.qBits = make([]uint64, nw)
+	}
+	bits := s.qBits[:nw]
+	for i := range bits {
+		bits[i] = 0
+	}
+	for _, g := range groups {
+		for _, i := range g {
+			bits[i>>6] |= 1 << (i & 63)
 		}
 	}
+	kept := ap.queue[:0]
+	for i, f := range ap.queue {
+		if bits[i>>6]>>(i&63)&1 == 1 {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	ap.queue = kept
 }

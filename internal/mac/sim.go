@@ -268,6 +268,21 @@ type simulator struct {
 	downBytes   int64
 	upBytes     int64
 	perSTABytes []int64
+
+	// Scratch storage reused across slots and transmissions — the
+	// simulator's allocation purge. Only ever read between one reset and
+	// the next; nothing reachable from Result aliases it.
+	apWin, staWin []int     // per-slot contention winners
+	savedQueue    []frame   // collision airtime probe snapshot
+	requeue       []frame   // failed frames headed back to the queue
+	inPlan        []bool    // per-STA membership of the current plan
+	staSlot       []int     // per-STA subframe slot (-1 = none), multi-user planner
+	groups        [][]int   // queue indices per subframe, inner slices recycled
+	selected      []int     // ascending queue indices for single-receiver planners
+	qBits         []uint64  // queue-compaction bitset, multi-user planner
+	planFrames    []frame   // flat backing for every sub's frames
+	planSpans     [][2]int  // flat backing for every sub's spans
+	plan          txPlan    // the one plan alive at a time
 }
 
 // Run executes one simulation.
@@ -307,6 +322,11 @@ func Run(cfg Config) (*Result, error) {
 		dIdx:         make([]int, cfg.NumSTAs),
 		uIdx:         make([]int, cfg.NumSTAs),
 		perSTABytes:  make([]int64, cfg.NumSTAs),
+		inPlan:       make([]bool, cfg.NumSTAs),
+		staSlot:      make([]int, cfg.NumSTAs),
+	}
+	for i := range s.staSlot {
+		s.staSlot[i] = -1
 	}
 	for a := range s.aps {
 		s.aps[a].cw = CWMin
@@ -496,7 +516,7 @@ func (s *simulator) loop() error {
 		}
 		s.now += DIFS + time.Duration(minB)*SlotTime
 
-		var apWinners []int
+		apWinners := s.apWin[:0]
 		for a := range s.aps {
 			if s.aps[a].pending {
 				if s.aps[a].backoff == minB {
@@ -506,7 +526,7 @@ func (s *simulator) loop() error {
 				}
 			}
 		}
-		var staWinners []int
+		staWinners := s.staWin[:0]
 		for sta := 0; sta < s.cfg.NumSTAs; sta++ {
 			if s.staPend[sta] {
 				if s.staBkoff[sta] == minB {
@@ -516,6 +536,7 @@ func (s *simulator) loop() error {
 				}
 			}
 		}
+		s.apWin, s.staWin = apWinners, staWinners
 
 		nWinners := len(staWinners) + len(apWinners)
 		switch {
@@ -544,10 +565,12 @@ func (s *simulator) collision(apWinners, staWinners []int) {
 	for _, a := range apWinners {
 		ap := &s.aps[a]
 		// Compute the collided frame's airtime without consuming the
-		// queue: the AP retries the same frames after backoff.
-		saved := append([]frame(nil), ap.queue...)
+		// queue: the AP retries the same frames after backoff. The plan
+		// builder compacts the queue in place, so snapshot it into scratch
+		// and copy it back (the backing array keeps its capacity).
+		s.savedQueue = append(s.savedQueue[:0], ap.queue...)
 		plan := s.buildAPPlan(ap)
-		ap.queue = saved
+		ap.queue = append(ap.queue[:0], s.savedQueue...)
 		if plan != nil && plan.airtime > longest {
 			longest = plan.airtime
 		}
@@ -669,16 +692,21 @@ func (s *simulator) apTransmit(apIdx int) error {
 		s.mobs.tracer.EmitAt(int64(s.now), obs.EvAggTX, int64(len(plan.subs)), payload)
 	}
 
-	inPlan := make(map[int]bool, len(plan.subs))
+	if len(s.inPlan) < s.cfg.NumSTAs {
+		s.inPlan = make([]bool, s.cfg.NumSTAs)
+	}
 	for _, sub := range plan.subs {
-		inPlan[sub.sta] = true
+		s.inPlan[sub.sta] = true
 	}
 	for sta := 0; sta < s.cfg.NumSTAs; sta++ {
-		if inPlan[sta] {
+		if s.inPlan[sta] {
 			s.res.STARxOwnTime[sta] += plan.airtime
 		} else {
 			s.res.STAOverhear[sta] += plan.airtime
 		}
+	}
+	for _, sub := range plan.subs {
+		s.inPlan[sub.sta] = false
 	}
 
 	// Sequential-ACK ablation: with simultaneous ACKs and multiple
@@ -690,7 +718,7 @@ func (s *simulator) apTransmit(apIdx int) error {
 	}
 
 	anySuccess := false
-	var requeue []frame
+	requeue := s.requeue[:0]
 	for subIdx, sub := range plan.subs {
 		loc := s.locOf(sub.sta)
 		sharedOK := false
@@ -730,10 +758,16 @@ func (s *simulator) apTransmit(apIdx int) error {
 			requeue = append(requeue, f)
 		}
 	}
-	// Failed frames go back to the queue head, preserving FIFO order.
-	if len(requeue) > 0 {
-		ap.queue = append(requeue, ap.queue...)
+	// Failed frames go back to the queue head, preserving FIFO order: grow
+	// the queue in place, shift the survivors right (copy is memmove-safe
+	// for overlapping slices), and write the requeued frames at the front.
+	if n := len(requeue); n > 0 {
+		old := len(ap.queue)
+		ap.queue = append(ap.queue, requeue...)
+		copy(ap.queue[n:], ap.queue[:old])
+		copy(ap.queue, requeue)
 	}
+	s.requeue = requeue[:0]
 	if anySuccess {
 		ap.cw = CWMin
 	} else {

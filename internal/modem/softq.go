@@ -1,0 +1,124 @@
+package modem
+
+import (
+	"fmt"
+	"math"
+
+	"carpool/internal/fec"
+)
+
+// LLRQScale sets the resolution of the quantized demapper: the squared
+// distance of one nearest-neighbor constellation step (4*Kmod^2) maps to
+// LLRQScale int8 counts. The soft Viterbi decoder is invariant to positive
+// scaling, so the absolute value only trades quantization granularity
+// against int8 saturation: 16 leaves ~3 bits of sub-step resolution for
+// noisy points while saturating only LLRs more than ~8 steps confident,
+// where extra magnitude carries no decision information.
+const LLRQScale = 16
+
+// llrqScales[m] is the factor applied to a max-log squared-distance
+// difference before saturating to int8. The noise variance the float path
+// divides by is folded back in (see DemapSoftQInto), so the factor reduces
+// to LLRQScale normalized by the modulation's nearest-neighbor energy.
+var llrqScales = buildLLRQScales()
+
+func buildLLRQScales() map[Modulation]float64 {
+	out := make(map[Modulation]float64, len(Modulations()))
+	for _, m := range Modulations() {
+		k := m.Kmod()
+		out[m] = LLRQScale / (4 * k * k)
+	}
+	return out
+}
+
+// DemapSoftQ is the quantized counterpart of DemapSoft, emitting saturating
+// int8 LLRs ready for fec.SoftDecoder (positive means bit 0, zero is an
+// erasure).
+//
+// The quantizer scale is chosen from noiseVar so that it cancels the float
+// demapper's 1/noiseVar confidence normalization: the emitted value is the
+// max-log squared-distance difference times LLRQScale/(4*Kmod^2),
+// independent of SNR. The decoder is scale-invariant, so this loses nothing
+// versus the float chain beyond int8 rounding and saturation, and it keeps
+// the quantization step aligned with the constellation geometry at every
+// operating point instead of drifting with the noise estimate.
+func DemapSoftQ(m Modulation, points []complex128, noiseVar float64) ([]int8, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	out := make([]int8, len(points)*bps)
+	if err := DemapSoftQInto(out, m, points, noiseVar); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DemapSoftQInto is DemapSoftQ writing into a caller-provided buffer of
+// exactly len(points)*BitsPerSymbol entries, allocation-free.
+func DemapSoftQInto(dst []int8, m Modulation, points []complex128, noiseVar float64) error {
+	if noiseVar <= 0 {
+		return fmt.Errorf("modem: noise variance must be positive, got %v", noiseVar)
+	}
+	return demapSoftQ(dst, m, points, nil)
+}
+
+// DemapSoftQWeightedInto quantizes per-bit LLRs with a per-point positive
+// weight applied before saturation — the receive path passes each
+// subcarrier's channel gain |H|^2 so faded bins contribute proportionally
+// weaker opinions, exactly as the float chain's weighted LLRs do, without
+// materializing a float64 LLR slice. len(weights) must equal len(points).
+// Non-finite weights degrade gracefully: NaN quantizes to an erasure,
+// infinities saturate.
+func DemapSoftQWeightedInto(dst []int8, m Modulation, points []complex128, weights []float64) error {
+	if len(weights) != len(points) {
+		return fmt.Errorf("modem: weight buffer needs %d entries, got %d", len(points), len(weights))
+	}
+	return demapSoftQ(dst, m, points, weights)
+}
+
+func demapSoftQ(dst []int8, m Modulation, points []complex128, weights []float64) error {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	if len(dst) != len(points)*bps {
+		return fmt.Errorf("modem: LLR buffer needs %d entries, got %d", len(points)*bps, len(dst))
+	}
+	ref := constellations[m]
+	scale := llrqScales[m]
+	for i, y := range points {
+		w := scale
+		if weights != nil {
+			w *= weights[i]
+		}
+		for j := 0; j < bps; j++ {
+			min0, min1 := math.Inf(1), math.Inf(1)
+			for v, s := range ref {
+				d := y - s
+				dist := real(d)*real(d) + imag(d)*imag(d)
+				if (v>>(bps-1-j))&1 == 0 {
+					if dist < min0 {
+						min0 = dist
+					}
+				} else if dist < min1 {
+					min1 = dist
+				}
+			}
+			dst[i*bps+j] = fec.SatLLR8((min1 - min0) * w)
+		}
+	}
+	return nil
+}
+
+// HardFromLLRQ converts quantized LLRs back to hard bits (LLR > 0 -> 0, as
+// in HardFromLLR; an erasure maps to 0 by the same convention).
+func HardFromLLRQ(llrs []int8) []byte {
+	out := make([]byte, len(llrs))
+	for i, l := range llrs {
+		if l < 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDemapSoftQSignsMatchFloat checks, for every modulation over noisy
+// points, that the quantized LLR never disagrees in sign with the float LLR
+// (it may flush small values to the zero erasure).
+func TestDemapSoftQSignsMatchFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, m := range Modulations() {
+		bps := m.BitsPerSymbol()
+		bits := make([]byte, 48*bps)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		points, err := Map(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range points {
+			points[i] += complex(rng.NormFloat64()*0.05, rng.NormFloat64()*0.05)
+		}
+		noiseVar := 0.005
+		fl, err := DemapSoft(m, points, noiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := DemapSoftQ(m, points, noiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range q {
+			if q[i] > 0 && fl[i] < 0 || q[i] < 0 && fl[i] > 0 {
+				t.Fatalf("%v bit %d: quantized LLR %d contradicts float LLR %g", m, i, q[i], fl[i])
+			}
+		}
+		// Clean constellation points must produce confidently signed LLRs.
+		clean, err := Map(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DemapSoftQInto(q, m, clean, noiseVar); err != nil {
+			t.Fatal(err)
+		}
+		hard := HardFromLLRQ(q)
+		for i := range bits {
+			if q[i] == 0 {
+				t.Fatalf("%v bit %d: clean point quantized to erasure", m, i)
+			}
+			if hard[i] != bits[i] {
+				t.Fatalf("%v bit %d: hard decision from quantized LLR = %d, want %d", m, i, hard[i], bits[i])
+			}
+		}
+	}
+}
+
+func TestDemapSoftQWeighted(t *testing.T) {
+	m := QPSK
+	bits := []byte{0, 1, 1, 0}
+	points, err := Map(m, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]int8, len(bits))
+	weights := []float64{1, 0}
+	if err := DemapSoftQWeightedInto(q, m, points, weights); err != nil {
+		t.Fatal(err)
+	}
+	if q[0] == 0 || q[1] == 0 {
+		t.Error("unit-weight point quantized to erasure")
+	}
+	if q[2] != 0 || q[3] != 0 {
+		t.Errorf("zero-weight point should erase, got %d %d", q[2], q[3])
+	}
+	weights[1] = math.NaN()
+	if err := DemapSoftQWeightedInto(q, m, points, weights); err != nil {
+		t.Fatal(err)
+	}
+	if q[2] != 0 || q[3] != 0 {
+		t.Errorf("NaN-weight point should erase, got %d %d", q[2], q[3])
+	}
+	weights[1] = math.Inf(1)
+	if err := DemapSoftQWeightedInto(q, m, points, weights); err != nil {
+		t.Fatal(err)
+	}
+	if q[2] != 127 && q[2] != -127 {
+		t.Errorf("infinite-weight point should saturate, got %d", q[2])
+	}
+}
+
+func TestDemapSoftQErrors(t *testing.T) {
+	pts := make([]complex128, 2)
+	if _, err := DemapSoftQ(Modulation(0), pts, 1); err == nil {
+		t.Error("invalid modulation accepted")
+	}
+	if _, err := DemapSoftQ(BPSK, pts, 0); err == nil {
+		t.Error("zero noise variance accepted")
+	}
+	if err := DemapSoftQInto(make([]int8, 1), BPSK, pts, 1); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := DemapSoftQWeightedInto(make([]int8, 2), BPSK, pts, []float64{1}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+}
+
+func TestDemapSoftQIntoZeroAllocs(t *testing.T) {
+	for _, m := range Modulations() {
+		bps := m.BitsPerSymbol()
+		bits := make([]byte, 48*bps)
+		points, err := Map(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]int8, len(bits))
+		weights := make([]float64, len(points))
+		for i := range weights {
+			weights[i] = 1
+		}
+		if a := testing.AllocsPerRun(10, func() {
+			if err := DemapSoftQInto(dst, m, points, 0.1); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("%v: DemapSoftQInto allocates %.1f/op, want 0", m, a)
+		}
+		if a := testing.AllocsPerRun(10, func() {
+			if err := DemapSoftQWeightedInto(dst, m, points, weights); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("%v: DemapSoftQWeightedInto allocates %.1f/op, want 0", m, a)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package phy_test
+
+import (
+	"bytes"
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"carpool/internal/modem"
+	"carpool/internal/phy"
+)
+
+// awgnPoints maps one coded-bit block to constellation points and adds the
+// given unit-variance complex noise scaled to noiseVar (Es/N0 with the
+// unit-energy 802.11 constellations).
+func awgnPoints(t *testing.T, mod modem.Modulation, block []byte,
+	noise []complex128, noiseVar float64) []complex128 {
+	t.Helper()
+	pts, err := modem.Map(mod, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := math.Sqrt(noiseVar / 2)
+	for i := range pts {
+		pts[i] += noise[i] * complex(sigma, 0)
+	}
+	return pts
+}
+
+// payloadBitErrors counts bit differences between a decoded payload and the
+// transmitted one; a decode error charges every bit.
+func payloadBitErrors(got []byte, err error, want []byte) int {
+	if err != nil || len(got) != len(want) {
+		return 8 * len(want)
+	}
+	n := 0
+	for i := range want {
+		n += bits.OnesCount8(got[i] ^ want[i])
+	}
+	return n
+}
+
+// TestQuantizedSoftLossWithinTenthDB pins the int8 quantizer's acceptance
+// bound across every MCS: the quantized decoder at SNR must be at least as
+// good as the float64 oracle handicapped by 0.1 dB, i.e. the quantization
+// penalty is below 0.1 dB everywhere on the rate table. Both paths see the
+// same noise realization (only the noise scale differs), so the comparison
+// isolates the quantizer rather than sampling luck. Each operating point
+// sits on the waterfall: the float oracle must record errors for the trial
+// to count, which keeps the bound from passing vacuously.
+func TestQuantizedSoftLossWithinTenthDB(t *testing.T) {
+	const handicapDB = 0.1
+	cases := []struct {
+		mcs   phy.MCS
+		snrdB float64
+	}{
+		{phy.MCS6, -1.0},
+		{phy.MCS9, 1.0},
+		{phy.MCS12, 2.0},
+		{phy.MCS18, 4.0},
+		{phy.MCS24, 8.0},
+		{phy.MCS36, 10.5},
+		{phy.MCS48, 14.0},
+		{phy.MCS54, 15.5},
+	}
+	const payloadLen = 300
+	const trials = 12
+	for ci, tc := range cases {
+		rng := rand.New(rand.NewSource(900 + int64(ci)))
+		payload := make([]byte, payloadLen)
+		rng.Read(payload)
+		blocks, err := phy.EncodeDataField(payload, tc.mcs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pointsPerSym := len(blocks[0]) / tc.mcs.Mod.BitsPerSymbol()
+		nvFloat := math.Pow(10, -(tc.snrdB-handicapDB)/10)
+		nvQuant := math.Pow(10, -tc.snrdB/10)
+
+		var floatErrs, quantErrs, total int
+		noise := make([]complex128, pointsPerSym)
+		for trial := 0; trial < trials; trial++ {
+			llrBlocks := make([][]float64, len(blocks))
+			llrqBlocks := make([][]int8, len(blocks))
+			for i, block := range blocks {
+				for j := range noise {
+					noise[j] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				ptsF := awgnPoints(t, tc.mcs.Mod, block, noise, nvFloat)
+				ptsQ := awgnPoints(t, tc.mcs.Mod, block, noise, nvQuant)
+				if llrBlocks[i], err = modem.DemapSoft(tc.mcs.Mod, ptsF, nvFloat); err != nil {
+					t.Fatal(err)
+				}
+				if llrqBlocks[i], err = modem.DemapSoftQ(tc.mcs.Mod, ptsQ, nvQuant); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gotF, errF := phy.DecodeDataFieldSoft(llrBlocks, tc.mcs, payloadLen)
+			gotQ, errQ := phy.DecodeDataFieldSoftQ(llrqBlocks, tc.mcs, payloadLen)
+			floatErrs += payloadBitErrors(gotF, errF, payload)
+			quantErrs += payloadBitErrors(gotQ, errQ, payload)
+			total += 8 * payloadLen
+		}
+		t.Logf("%v @ %.1f dB: float(-%.1f dB) BER %.2e, quantized BER %.2e",
+			tc.mcs, tc.snrdB, handicapDB,
+			float64(floatErrs)/float64(total), float64(quantErrs)/float64(total))
+		if floatErrs == 0 {
+			t.Errorf("%v @ %.1f dB: float oracle error-free — operating point off the waterfall, bound is vacuous", tc.mcs, tc.snrdB)
+		}
+		if quantErrs > floatErrs {
+			t.Errorf("%v: quantized decoder (%d bit errors) worse than float64 handicapped by %.1f dB (%d) — quantization loss exceeds %.1f dB",
+				tc.mcs, quantErrs, handicapDB, floatErrs, handicapDB)
+		}
+	}
+}
+
+// TestHardSoftAgreementHighSNR checks that at high SNR — where every demap
+// decision is unambiguous — the hard-decision chain and the quantized soft
+// chain recover identical payloads for every MCS. Soft decoding must
+// converge to hard decoding when the channel stops being marginal.
+func TestHardSoftAgreementHighSNR(t *testing.T) {
+	const snrdB = 30.0
+	nv := math.Pow(10, -snrdB/10)
+	rng := rand.New(rand.NewSource(77))
+	for _, mcs := range phy.AllMCS() {
+		payload := make([]byte, 200)
+		rng.Read(payload)
+		blocks, err := phy.EncodeDataField(payload, mcs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hardBlocks := make([][]byte, len(blocks))
+		llrqBlocks := make([][]int8, len(blocks))
+		noise := make([]complex128, len(blocks[0])/mcs.Mod.BitsPerSymbol())
+		for i, block := range blocks {
+			for j := range noise {
+				noise[j] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			pts := awgnPoints(t, mcs.Mod, block, noise, nv)
+			if hardBlocks[i], err = modem.Demap(mcs.Mod, pts); err != nil {
+				t.Fatal(err)
+			}
+			if llrqBlocks[i], err = modem.DemapSoftQ(mcs.Mod, pts, nv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotHard, err := phy.DecodeDataField(hardBlocks, mcs, len(payload))
+		if err != nil {
+			t.Fatalf("%v: hard decode: %v", mcs, err)
+		}
+		gotSoft, err := phy.DecodeDataFieldSoftQ(llrqBlocks, mcs, len(payload))
+		if err != nil {
+			t.Fatalf("%v: quantized soft decode: %v", mcs, err)
+		}
+		if !bytes.Equal(gotHard, payload) {
+			t.Errorf("%v: hard decode corrupted payload at %.0f dB", mcs, snrdB)
+		}
+		if !bytes.Equal(gotSoft, gotHard) {
+			t.Errorf("%v: quantized soft decode disagrees with hard decode at %.0f dB", mcs, snrdB)
+		}
+	}
+}

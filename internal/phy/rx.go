@@ -61,8 +61,17 @@ type RxConfig struct {
 	// SoftFEC decodes the DATA field with per-bit log-likelihood ratios
 	// and the soft-decision Viterbi instead of hard decisions, weighting
 	// each subcarrier's confidence by its channel gain. Roughly a 2 dB
-	// sensitivity gain over the paper's hard-decision prototype.
+	// sensitivity gain over the paper's hard-decision prototype. The
+	// default implementation is the quantized int8 fast path
+	// (fec.SoftDecoder); see SoftFloat64.
 	SoftFEC bool
+	// SoftFloat64 selects the float64 soft chain (modem.DemapSoft +
+	// fec.ViterbiDecodeSoft) instead of the quantized fast path. It is the
+	// reference oracle the quantized path is validated against, and the
+	// fallback for inputs outside the quantizer's envelope (e.g. externally
+	// supplied LLRs at scales the int8 range cannot represent). Only
+	// meaningful with SoftFEC.
+	SoftFloat64 bool
 }
 
 // RxResult carries everything a reception produced.
@@ -154,6 +163,10 @@ type Segment struct {
 	// requested; each bit's confidence is weighted by its subcarrier's
 	// channel gain.
 	LLRs [][]float64
+	// LLRQs per symbol: quantized int8 LLRs (modem.DemapSoftQ convention,
+	// channel-gain weighted), populated only when requested. The fast-path
+	// input of fec.SoftDecoder.
+	LLRQs [][]int8
 	// Truncated is true when the buffer ended early; the slices above then
 	// cover only the symbols that fit.
 	Truncated bool
@@ -174,14 +187,31 @@ func DecodeDataSymbols(buf []complex128, offset, baseSymIdx, nsym int, mod modem
 // DecodeDataSymbolsOpts is DecodeDataSymbols with soft-output collection:
 // when collectLLRs is set, each symbol's per-bit LLRs (weighted by channel
 // gain) are stored in Segment.LLRs for soft FEC decoding.
+func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod modem.Modulation,
+	tracker ChannelTracker, scheme *sidechannel.Scheme, primePhase float64,
+	collectLLRs bool) (*Segment, error) {
+	return decodeDataSymbols(buf, offset, baseSymIdx, nsym, mod, tracker, scheme, primePhase,
+		collectLLRs, false)
+}
+
+// DecodeDataSymbolsQ is DecodeDataSymbols collecting quantized int8 LLRs
+// (Segment.LLRQs) for the integer soft-decode fast path instead of float64
+// LLRs.
+func DecodeDataSymbolsQ(buf []complex128, offset, baseSymIdx, nsym int, mod modem.Modulation,
+	tracker ChannelTracker, scheme *sidechannel.Scheme, primePhase float64) (*Segment, error) {
+	return decodeDataSymbols(buf, offset, baseSymIdx, nsym, mod, tracker, scheme, primePhase,
+		false, true)
+}
+
+// decodeDataSymbols is the shared DATA-symbol demodulation loop.
 //
 // All per-symbol storage the Segment retains (coded blocks, side bits, LLRs)
 // is carved out of flat buffers sized once up front, and the demodulation
 // workspace lives in a scratch struct reused across symbols, so the
 // steady-state symbol loop performs zero heap allocations.
-func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod modem.Modulation,
+func decodeDataSymbols(buf []complex128, offset, baseSymIdx, nsym int, mod modem.Modulation,
 	tracker ChannelTracker, scheme *sidechannel.Scheme, primePhase float64,
-	collectLLRs bool) (*Segment, error) {
+	collectLLRs, collectLLRQs bool) (*Segment, error) {
 	if tracker == nil {
 		return nil, fmt.Errorf("phy: DecodeDataSymbols requires a tracker")
 	}
@@ -235,8 +265,9 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 	// position: a symbol's raw bins are needed only until its group flushes
 	// into tracker.Observe, so groupSize buffers suffice.
 	var scratch struct {
-		eq     [ofdm.NumSubcarriers]complex128
-		points [ofdm.NumData]complex128
+		eq      [ofdm.NumSubcarriers]complex128
+		points  [ofdm.NumData]complex128
+		weights [ofdm.NumData]float64
 	}
 	blockBuf := make([]byte, nsym*ncbps)
 	rawRing := make([]complex128, groupSize*ofdm.NumSubcarriers)
@@ -244,6 +275,11 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 	if collectLLRs {
 		llrBuf = make([]float64, nsym*ncbps)
 		seg.LLRs = make([][]float64, 0, nsym)
+	}
+	var llrqBuf []int8
+	if collectLLRQs {
+		llrqBuf = make([]int8, nsym*ncbps)
+		seg.LLRQs = make([][]int8, 0, nsym)
 	}
 
 	type symRecord struct {
@@ -331,6 +367,14 @@ func DecodeDataSymbolsOpts(buf []complex128, offset, baseSymIdx, nsym int, mod m
 			}
 			seg.LLRs = append(seg.LLRs, llrs)
 		}
+		if collectLLRQs {
+			llrqs := llrqBuf[i*ncbps : (i+1)*ncbps]
+			channelWeightsInto(scratch.weights[:], tracker.Estimate())
+			if err := modem.DemapSoftQWeightedInto(llrqs, mod, scratch.points[:], scratch.weights[:]); err != nil {
+				return nil, err
+			}
+			seg.LLRQs = append(seg.LLRQs, llrqs)
+		}
 		if sideDecoder != nil {
 			sbits := sideBuf[i*sideBps : (i+1)*sideBps]
 			if _, err := sideDecoder.NextInto(sbits, phase); err != nil {
@@ -373,8 +417,10 @@ func Receive(rx []complex128, cfg RxConfig) (*RxResult, error) {
 	tracker.Init(h, sig.MCS.Mod)
 
 	nsym := sig.MCS.NumSymbols(sig.Length)
-	seg, err := DecodeDataSymbolsOpts(buf, ofdm.PreambleLen+ofdm.SymbolLen, 1, nsym,
-		sig.MCS.Mod, tracker, cfg.SideChannel, sigPhase, cfg.SoftFEC && !cfg.SkipFEC)
+	soft := cfg.SoftFEC && !cfg.SkipFEC
+	seg, err := decodeDataSymbols(buf, ofdm.PreambleLen+ofdm.SymbolLen, 1, nsym,
+		sig.MCS.Mod, tracker, cfg.SideChannel, sigPhase,
+		soft && cfg.SoftFloat64, soft && !cfg.SoftFloat64)
 	if err != nil {
 		return nil, err
 	}
@@ -390,9 +436,12 @@ func Receive(rx []complex128, cfg RxConfig) (*RxResult, error) {
 	res.Status = StatusOK
 	if !cfg.SkipFEC {
 		var payload []byte
-		if cfg.SoftFEC {
+		switch {
+		case cfg.SoftFEC && cfg.SoftFloat64:
 			payload, err = DecodeDataFieldSoft(seg.LLRs, sig.MCS, sig.Length)
-		} else {
+		case cfg.SoftFEC:
+			payload, err = DecodeDataFieldSoftQ(seg.LLRQs, sig.MCS, sig.Length)
+		default:
 			payload, err = DecodeDataField(res.Blocks, sig.MCS, sig.Length)
 		}
 		if err != nil {
@@ -421,6 +470,16 @@ func weightedLLRsInto(dst []float64, mod modem.Modulation, dataPoints, h []compl
 		}
 	}
 	return nil
+}
+
+// channelWeightsInto fills dst (length ofdm.NumData) with |H|^2 per data
+// subcarrier — the confidence weights the quantized demapper applies before
+// saturation, matching weightedLLRsInto's scaling of the float chain.
+func channelWeightsInto(dst []float64, h []complex128) {
+	for i, k := range ofdm.DataIndices {
+		g := h[ofdm.Bin(k)]
+		dst[i] = real(g)*real(g) + imag(g)*imag(g)
+	}
 }
 
 // CompareBlocks counts bit errors between transmitted and received coded

@@ -1,0 +1,70 @@
+package phy
+
+import (
+	"fmt"
+
+	"carpool/internal/fec"
+)
+
+// SoftQDecoder bundles the quantized soft Viterbi decoder with the
+// deinterleave and info-bit workspaces the DATA-field decode needs, so a
+// reused instance (one per worker goroutine, or a sync.Pool entry) decodes
+// frames with no steady-state allocations beyond the returned payload. The
+// zero value is ready to use. Not safe for concurrent use.
+type SoftQDecoder struct {
+	dec  fec.SoftDecoder
+	llrs []int8
+	info []byte
+}
+
+// DecodeDataField is the quantized counterpart of DecodeDataFieldSoft: it
+// consumes per-symbol int8 LLR blocks (interleaved order, the
+// modem.DemapSoftQ convention) and decodes with the integer fast-path
+// Viterbi. It decodes the same path as the float64 chain on inputs that
+// quantize without saturation; the float64 chain remains available as the
+// reference oracle (RxConfig.SoftFloat64).
+func (d *SoftQDecoder) DecodeDataField(llrqBlocks [][]int8, mcs MCS, payloadLen int) ([]byte, error) {
+	if !mcs.Valid() {
+		return nil, fmt.Errorf("phy: invalid MCS %v", mcs)
+	}
+	if payloadLen <= 0 {
+		return nil, fmt.Errorf("phy: non-positive payload length %d", payloadLen)
+	}
+	nsym := mcs.NumSymbols(payloadLen)
+	if len(llrqBlocks) < nsym {
+		return nil, fmt.Errorf("phy: %d LLR blocks, need %d for %d bytes", len(llrqBlocks), nsym, payloadLen)
+	}
+	ncbps := mcs.CodedBitsPerSymbol()
+	il, err := fec.CachedInterleaver(ncbps, mcs.Mod.BitsPerSymbol())
+	if err != nil {
+		return nil, err
+	}
+	if cap(d.llrs) < nsym*ncbps {
+		d.llrs = make([]int8, nsym*ncbps)
+	}
+	llrs := d.llrs[:nsym*ncbps]
+	for i := 0; i < nsym; i++ {
+		if err := il.DeinterleaveLLRInto(llrs[i*ncbps:(i+1)*ncbps], llrqBlocks[i]); err != nil {
+			return nil, err
+		}
+	}
+	numInfo := nsym * mcs.DataBitsPerSymbol()
+	if cap(d.info) < numInfo {
+		d.info = make([]byte, numInfo)
+	}
+	info := d.info[:numInfo]
+	if err := d.dec.DecodeInto(info, llrs, mcs.Rate, numInfo); err != nil {
+		return nil, err
+	}
+	descrambler := fec.ScramblerFromOutputs(info[:7])
+	descrambler.Apply(info[7:])
+	payloadBits := info[serviceBits : serviceBits+8*payloadLen]
+	return BitsToBytes(payloadBits), nil
+}
+
+// DecodeDataFieldSoftQ decodes quantized LLR blocks with a throwaway
+// workspace; hot paths should hold a SoftQDecoder and call its method.
+func DecodeDataFieldSoftQ(llrqBlocks [][]int8, mcs MCS, payloadLen int) ([]byte, error) {
+	var d SoftQDecoder
+	return d.DecodeDataField(llrqBlocks, mcs, payloadLen)
+}
