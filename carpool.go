@@ -81,6 +81,9 @@ type (
 	ReceiverConfig = core.ReceiverConfig
 	// FrameRx is the outcome of one station hearing one Carpool frame.
 	FrameRx = core.FrameRx
+	// ErrTruncatedSubframe reports a sample buffer that ended inside a
+	// matched subframe's DATA field, with the position and symbol index.
+	ErrTruncatedSubframe = core.ErrTruncatedSubframe
 	// SubframeRx is one decoded subframe.
 	SubframeRx = core.SubframeRx
 	// RTETracker is the real-time channel estimator (Eq. 3).

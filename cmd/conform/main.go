@@ -1,0 +1,137 @@
+// Command conform runs the differential conformance suite: every
+// fast-path/oracle pair in the codebase, driven through a matrix of
+// injected faults, asserting bit-identity or each pair's documented
+// divergence bound.
+//
+// Usage:
+//
+//	conform [-matrix short|full] [-pairs a,b] [-seed N] [-shrink] [-v]
+//	conform -replay 'viterbi-soft|seed=3|cfo(0.004,0.3)'
+//	conform -list
+//
+// Exit status 0 when every check conforms, 1 on any divergence, 2 on
+// usage errors. Failures print replayable tokens; -replay re-runs one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"carpool/internal/conform"
+	"carpool/internal/faults"
+	"carpool/internal/obs"
+)
+
+func main() {
+	var (
+		matrixName = flag.String("matrix", "short", `scenario matrix: "short" (PR gate) or "full" (nightly sweep)`)
+		pairNames  = flag.String("pairs", "", "comma-separated pair names to run (default: all)")
+		seedShift  = flag.Int64("seed", 0, "offset added to every scenario seed (varies fixture payloads)")
+		shrink     = flag.Bool("shrink", true, "minimize failing scenarios before reporting")
+		inject     = flag.String("inject", "", `arm a deliberate bug (e.g. "llrsign") to validate the harness`)
+		replay     = flag.String("replay", "", `re-run one failure token: "<pair>|seed=N|imp(...)|..."`)
+		list       = flag.Bool("list", false, "list pairs and impairment kinds, then exit")
+		verbose    = flag.Bool("v", false, "log every check")
+	)
+	flag.Parse()
+	os.Exit(run(*matrixName, *pairNames, *seedShift, *shrink, *inject, *replay, *list, *verbose))
+}
+
+func run(matrixName, pairNames string, seedShift int64, shrink bool, inject, replay string, list, verbose bool) int {
+	if list {
+		fmt.Println("differential pairs:")
+		for _, p := range conform.Pairs() {
+			fmt.Printf("  %-16s %s (bound: %s)\n", p.Name, p.Desc, p.Bound)
+		}
+		fmt.Printf("impairment kinds: %s\n", strings.Join(faults.Kinds(), ", "))
+		return 0
+	}
+	if err := conform.InjectBug(inject); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if replay != "" {
+		return runReplay(replay)
+	}
+
+	pairs, code := selectPairs(pairNames)
+	if code != 0 {
+		return code
+	}
+	matrix, err := conform.MatrixByName(matrixName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for i := range matrix {
+		matrix[i].Seed += seedShift
+	}
+
+	reg := obs.NewRegistry()
+	obs.Enable(&obs.Sink{Registry: reg})
+	defer obs.Disable()
+
+	opt := conform.Options{Shrink: shrink}
+	if verbose {
+		opt.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	failures := conform.Run(pairs, matrix, opt)
+
+	snap := reg.Snapshot()
+	fmt.Printf("conform: %d pairs x %d scenarios = %d checks, %d divergences\n",
+		len(pairs), len(matrix), snap.Counters["conform.checks"], snap.Counters["conform.divergences"])
+	if len(failures) == 0 {
+		return 0
+	}
+	for _, f := range failures {
+		fmt.Printf("FAIL %-16s %s\n     replay: %q\n", f.Pair, f.ShrunkDetail, f.Replay())
+	}
+	return 1
+}
+
+func selectPairs(names string) ([]conform.Pair, int) {
+	if names == "" {
+		return conform.Pairs(), 0
+	}
+	var pairs []conform.Pair
+	for _, name := range strings.Split(names, ",") {
+		p, ok := conform.PairByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "conform: unknown pair %q (try -list)\n", name)
+			return nil, 2
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, 0
+}
+
+func runReplay(token string) int {
+	pairName, scStr, found := strings.Cut(token, "|")
+	if !found {
+		fmt.Fprintf(os.Stderr, "conform: replay token %q is not \"<pair>|<scenario>\"\n", token)
+		return 2
+	}
+	p, ok := conform.PairByName(pairName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "conform: unknown pair %q (try -list)\n", pairName)
+		return 2
+	}
+	sc, err := faults.ParseScenario(scStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	detail, err := p.Check(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conform: harness error: %v\n", err)
+		return 1
+	}
+	if detail != "" {
+		fmt.Printf("FAIL %s under %q: %s\n", p.Name, sc.String(), detail)
+		return 1
+	}
+	fmt.Printf("ok   %s under %q (bound: %s)\n", p.Name, sc.String(), p.Bound)
+	return 0
+}

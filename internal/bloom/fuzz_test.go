@@ -1,0 +1,60 @@
+package bloom
+
+import "testing"
+
+// FuzzFilterNoFalseNegatives fuzzes the A-HDR filter's two load-bearing
+// invariants over arbitrary receiver sets: no false negatives (every
+// inserted MAC matches at its own subframe position — the property §4.1's
+// decode-with-false-positives argument rests on), and the 48-bit
+// serialization round-trips exactly. Byte 0 picks the receiver count,
+// byte 1 the hash count; the rest seeds the MAC addresses.
+func FuzzFilterNoFalseNegatives(f *testing.F) {
+	f.Add([]byte{1, 4, 0x02, 0xaa, 0xbb, 0xcc, 0xdd, 0x01})
+	f.Add([]byte{8, 1, 0xff})
+	f.Add([]byte{3, 6, 0x02, 0xca, 0x90, 0x00, 0x00, 0x01, 0x02, 0xca, 0x90, 0x00, 0x00, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := 1 + int(data[0])%MaxReceivers
+		h := 1 + int(data[1])%8
+		body := data[2:]
+		macs := make([]MAC, n)
+		for i := range macs {
+			for j := 0; j < 6; j++ {
+				macs[i][j] = body[(i*6+j)%len(body)]
+			}
+		}
+
+		filter, err := Build(macs, h)
+		if err != nil {
+			t.Fatalf("Build(%d receivers, h=%d): %v", n, h, err)
+		}
+		if filter != filter&(1<<FilterBits-1) {
+			t.Fatalf("filter %#x has bits above %d set", uint64(filter), FilterBits)
+		}
+		for i, mac := range macs {
+			if !filter.Match(mac, i+1, h) {
+				t.Fatalf("false negative: %v not matched at its own position %d (h=%d)", mac, i+1, h)
+			}
+			found := false
+			for _, pos := range filter.Positions(mac, n, h) {
+				if pos == i+1 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Positions(%v) omits the true position %d", mac, i+1)
+			}
+		}
+
+		bits := filter.Bits()
+		rt, err := FromBits(bits)
+		if err != nil {
+			t.Fatalf("FromBits(Bits()): %v", err)
+		}
+		if rt != filter {
+			t.Fatalf("serialization round-trip changed filter: %#x -> %#x", uint64(filter), uint64(rt))
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package conform is the differential conformance harness: it runs every
+// fast-path/oracle pair in the codebase through matrices of injected
+// faults (internal/faults) and asserts bit-identity or a documented
+// divergence bound per pair.
+//
+// The five differential pairs:
+//
+//   - demap-quant:    modem.DemapSoft (float64 weighted LLRs) vs
+//     modem.DemapSoftQWeightedInto (saturating int8) — bound: ≤ 1 int8
+//     count per LLR (rounding-order slack of the quantizer).
+//   - viterbi-soft:   fec.ViterbiDecodeSoft (float64 oracle) vs
+//     fec.SoftDecoder.DecodeInto (SWAR int8 fast path) — bit-identical on
+//     inputs representable in int8.
+//   - receive-seq-par: sequential (GOMAXPROCS=1) vs parallel
+//     core.ReceiveFrame, and a sequential loop vs core.ReceiveFrameAll —
+//     bit-identical, including errors.
+//   - mac-sim:        mac.Run re-run with an identical config, and run
+//     again with an obs sink attached — bit-identical Results
+//     (scratch-reuse and observation must not leak into outcomes).
+//   - scratch-fresh:  every *Into/pooled-workspace path vs its
+//     fresh-allocation twin — bit-identical.
+//
+// On divergence the harness shrinks the scenario (impairment removal,
+// then per-impairment mildening) to a minimal failing case and prints a
+// replayable "pair + scenario string" token; cmd/conform -replay runs it.
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"carpool/internal/bloom"
+	"carpool/internal/core"
+	"carpool/internal/faults"
+	"carpool/internal/obs"
+	"carpool/internal/phy"
+)
+
+// Pair is one fast-path-vs-oracle differential check.
+type Pair struct {
+	// Name identifies the pair in replay tokens and -pairs filters.
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Bound documents the accepted divergence ("bit-identical" or the
+	// quantitative bound).
+	Bound string
+	// run executes both implementations under the scenario. It returns a
+	// non-empty human-readable detail when they diverge beyond Bound, and
+	// a hard error only when the harness itself cannot run (which is also
+	// treated as a failure by the runner).
+	run func(sc faults.Scenario) (detail string, err error)
+}
+
+// Check runs the pair under one scenario, reporting divergence detail
+// ("" = conforms) and harness errors.
+func (p Pair) Check(sc faults.Scenario) (string, error) { return p.run(sc) }
+
+// Failure is one divergence found by Run, with its shrunk reproduction.
+type Failure struct {
+	Pair     string
+	Scenario faults.Scenario
+	Detail   string
+	// Shrunk is the minimized failing scenario (equal to Scenario when
+	// shrinking was disabled or could not reduce it) and ShrunkDetail the
+	// divergence it produces.
+	Shrunk       faults.Scenario
+	ShrunkDetail string
+}
+
+// Replay renders the token that reproduces the shrunk failure:
+// "<pair>|<scenario>". cmd/conform -replay accepts it verbatim.
+func (f Failure) Replay() string { return f.Pair + "|" + f.Shrunk.String() }
+
+// Options configures a matrix run.
+type Options struct {
+	// Shrink minimizes every failing scenario before reporting.
+	Shrink bool
+	// MaxShrinkChecks bounds the number of pair evaluations one shrink
+	// may spend (<= 0 selects 200).
+	MaxShrinkChecks int
+	// Logf, when non-nil, receives one line per check.
+	Logf func(format string, args ...any)
+}
+
+// Run drives every pair through every scenario and returns the failures.
+// Checks and divergences are counted under conform.* obs scopes.
+func Run(pairs []Pair, matrix []faults.Scenario, opt Options) []Failure {
+	sink := obs.Active()
+	var failures []Failure
+	for _, p := range pairs {
+		for _, sc := range matrix {
+			sink.Counter("conform.checks").Inc()
+			detail, err := p.Check(sc)
+			if err != nil {
+				detail = "harness error: " + err.Error()
+			}
+			if opt.Logf != nil {
+				verdict := "ok"
+				if detail != "" {
+					verdict = "DIVERGED: " + detail
+				}
+				opt.Logf("%-16s %-60s %s", p.Name, sc.String(), verdict)
+			}
+			if detail == "" {
+				continue
+			}
+			sink.Counter("conform.divergences").Inc()
+			f := Failure{Pair: p.Name, Scenario: sc, Detail: detail, Shrunk: sc, ShrunkDetail: detail}
+			if opt.Shrink {
+				f.Shrunk, f.ShrunkDetail = Shrink(p, sc, opt.MaxShrinkChecks)
+				if opt.Logf != nil {
+					opt.Logf("%-16s shrunk to %q (%d impairments)", p.Name, f.Replay(), len(f.Shrunk.Impairments))
+				}
+			}
+			failures = append(failures, f)
+		}
+	}
+	return failures
+}
+
+// PairByName finds a pair in Pairs(); ok is false for unknown names.
+func PairByName(name string) (Pair, bool) {
+	for _, p := range Pairs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pair{}, false
+}
+
+// fixtureMAC returns the conformance fixture's station b address.
+func fixtureMAC(b byte) bloom.MAC { return bloom.MAC{0x02, 0xca, 0x90, 0, 0, b} }
+
+// fixtureFrame builds the deterministic multi-MCS Carpool frame every
+// sample-domain pair decodes: four subframes across four MCSs, three of
+// them owned by station 1 so one reception decodes several payloads.
+// Frames are memoized per seed — scenarios impair copies, never the
+// original.
+func fixtureFrame(seed int64) (*core.Frame, error) {
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := fixtureCache[seed]; ok {
+		return f, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	payload := func(n int) []byte {
+		p := make([]byte, n)
+		rng.Read(p)
+		return p
+	}
+	subs := []core.Subframe{
+		{Receiver: fixtureMAC(1), MCS: phy.MCS24, Payload: payload(300)},
+		{Receiver: fixtureMAC(2), MCS: phy.MCS48, Payload: payload(150)},
+		{Receiver: fixtureMAC(1), MCS: phy.MCS12, Payload: payload(400)},
+		{Receiver: fixtureMAC(1), MCS: phy.MCS36, Payload: payload(120)},
+	}
+	frame, err := core.BuildFrame(subs, core.FrameConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("conform: building fixture frame: %w", err)
+	}
+	if fixtureCache == nil {
+		fixtureCache = map[int64]*core.Frame{}
+	}
+	fixtureCache[seed] = frame
+	return frame, nil
+}
+
+var (
+	fixtureMu    sync.Mutex
+	fixtureCache map[int64]*core.Frame
+)
+
+// dump renders any value in a NaN-tolerant canonical form for equality
+// comparison: fmt's %#v prints NaN as a literal, so two structurally
+// identical results compare equal even where reflect.DeepEqual's float
+// semantics would not.
+func dump(v any) string { return fmt.Sprintf("%#v", v) }

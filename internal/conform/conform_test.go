@@ -1,0 +1,191 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"carpool/internal/faults"
+	"carpool/internal/obs"
+)
+
+// TestShortMatrixConforms is the harness's own health check: on an
+// unmodified build, every differential pair must conform over the whole
+// PR-gating matrix.
+func TestShortMatrixConforms(t *testing.T) {
+	matrix := ShortMatrix()
+	if testing.Short() {
+		matrix = matrix[:6]
+	}
+	failures := Run(Pairs(), matrix, Options{})
+	for _, f := range failures {
+		t.Errorf("%s under %q: %s", f.Pair, f.Scenario.String(), f.Detail)
+	}
+}
+
+// TestShortMatrixCoversAllKinds pins the acceptance requirement that the
+// short matrix exercises at least five distinct impairment kinds.
+func TestShortMatrixCoversAllKinds(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range ShortMatrix() {
+		for _, imp := range sc.Impairments {
+			seen[imp.Kind()] = true
+		}
+	}
+	for _, kind := range faults.Kinds() {
+		if !seen[kind] {
+			t.Errorf("short matrix never applies impairment kind %q", kind)
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("short matrix covers %d impairment kinds, want >= 5", len(seen))
+	}
+}
+
+// TestInjectedBugCaughtAndShrunk proves the harness end to end: arming the
+// LLR-sign-flip bug must make the int8 fast-path pairs diverge, the
+// shrinker must reduce the reproduction to at most 3 impairments, and the
+// replay token must reproduce the divergence while the bug is armed and
+// conform once disarmed.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	if err := InjectBug(BugLLRSign); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := InjectBug(""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	for _, name := range []string{"demap-quant", "viterbi-soft"} {
+		p, ok := PairByName(name)
+		if !ok {
+			t.Fatalf("pair %q missing", name)
+		}
+		failures := Run([]Pair{p}, ShortMatrix()[:4], Options{Shrink: true})
+		if len(failures) == 0 {
+			t.Fatalf("%s: injected %s bug not caught", name, BugLLRSign)
+		}
+		f := failures[0]
+		if n := len(f.Shrunk.Impairments); n > 3 {
+			t.Errorf("%s: shrunk scenario still has %d impairments (> 3): %q", name, n, f.Replay())
+		}
+		if f.ShrunkDetail == "" {
+			t.Errorf("%s: shrunk scenario carries no divergence detail", name)
+		}
+
+		// Replay the token exactly as cmd/conform -replay would.
+		pairName, scStr, found := strings.Cut(f.Replay(), "|")
+		if !found || pairName != name {
+			t.Fatalf("%s: malformed replay token %q", name, f.Replay())
+		}
+		sc, err := faults.ParseScenario(scStr)
+		if err != nil {
+			t.Fatalf("%s: replay token does not parse: %v", name, err)
+		}
+		detail, err := p.Check(sc)
+		if err != nil {
+			t.Fatalf("%s: replay errored: %v", name, err)
+		}
+		if detail == "" {
+			t.Errorf("%s: replay of %q no longer diverges", name, f.Replay())
+		}
+	}
+
+	// Disarmed, the shrunk scenarios must conform again.
+	if err := InjectBug(""); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"demap-quant", "viterbi-soft"} {
+		p, _ := PairByName(name)
+		if detail, err := p.Check(faults.Scenario{Seed: 1}); err != nil || detail != "" {
+			t.Errorf("%s: clean build diverges after disarm: %q err %v", name, detail, err)
+		}
+	}
+}
+
+// TestInjectBugRejectsUnknown pins the injection API's error contract.
+func TestInjectBugRejectsUnknown(t *testing.T) {
+	if err := InjectBug("no-such-bug"); err == nil {
+		t.Fatal("unknown bug name accepted")
+	}
+	if got := InjectedBug(); got != "" {
+		t.Fatalf("failed InjectBug armed %q", got)
+	}
+}
+
+// TestShrinkReducesComposite checks the shrinker actually minimizes: a
+// 3-impairment scenario that fails only because of the armed bug (which
+// fails even with zero impairments) must shrink to the empty scenario.
+func TestShrinkReducesComposite(t *testing.T) {
+	if err := InjectBug(BugLLRSign); err != nil {
+		t.Fatal(err)
+	}
+	defer InjectBug("")
+	p, _ := PairByName("viterbi-soft")
+	sc := faults.Scenario{Seed: 11, Impairments: []faults.Impairment{
+		faults.AWGN{SNRdB: 22},
+		faults.CFO{EpsRad: 0.003},
+		faults.PhaseJitter{SigmaRad: 0.02},
+	}}
+	shrunk, detail := Shrink(p, sc, 0)
+	if len(shrunk.Impairments) != 0 {
+		t.Errorf("shrunk to %d impairments (%q), want 0", len(shrunk.Impairments), shrunk.String())
+	}
+	if detail == "" {
+		t.Error("shrunk scenario has no divergence detail")
+	}
+}
+
+// TestRunCountsChecks verifies the conform.* obs counters.
+func TestRunCountsChecks(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(&obs.Sink{Registry: reg})
+	defer obs.Disable()
+
+	p, _ := PairByName("demap-quant")
+	matrix := ShortMatrix()[:3]
+	Run([]Pair{p}, matrix, Options{})
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["conform.checks"]; got != int64(len(matrix)) {
+		t.Errorf("conform.checks = %d, want %d", got, len(matrix))
+	}
+	if got := snap.Counters["conform.divergences"]; got != 0 {
+		t.Errorf("conform.divergences = %d, want 0", got)
+	}
+}
+
+// TestMatrixByName pins the name->matrix mapping and its error.
+func TestMatrixByName(t *testing.T) {
+	short, err := MatrixByName("short")
+	if err != nil || len(short) == 0 {
+		t.Fatalf("short matrix: %v", err)
+	}
+	full, err := MatrixByName("full")
+	if err != nil || len(full) <= len(short) {
+		t.Fatalf("full matrix should extend short: %d vs %d (%v)", len(full), len(short), err)
+	}
+	if _, err := MatrixByName("weekly"); err == nil {
+		t.Fatal("unknown matrix name accepted")
+	}
+}
+
+// TestPairByName checks lookup and the five-pair roster.
+func TestPairByName(t *testing.T) {
+	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh"}
+	if got := Pairs(); len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(got), len(want))
+	}
+	for _, name := range want {
+		p, ok := PairByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("PairByName(%q) = %v, %v", name, p.Name, ok)
+		}
+		if p.Bound == "" || p.Desc == "" {
+			t.Errorf("pair %q missing Bound/Desc documentation", name)
+		}
+	}
+	if _, ok := PairByName("nope"); ok {
+		t.Error("unknown pair name resolved")
+	}
+}

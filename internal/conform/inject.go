@@ -1,0 +1,46 @@
+package conform
+
+import "fmt"
+
+// Injectable bugs. The harness can deliberately corrupt one side of a
+// differential pair to prove, end to end, that a real fast-path defect is
+// caught by the matrix and shrinks to a small replayable scenario. The
+// corruption lives entirely inside this package — production decode paths
+// carry no hook.
+const (
+	// BugLLRSign flips the sign of every quantized LLR handed to the
+	// int8 fast paths (demap-quant and viterbi-soft pairs), the classic
+	// "inverted soft-bit convention" defect.
+	BugLLRSign = "llrsign"
+)
+
+// injectedBug is the currently armed bug ("" = none). The runner is
+// single-threaded, so a plain variable suffices.
+var injectedBug string
+
+// InjectBug arms a deliberate fast-path corruption for subsequent checks;
+// an empty name disarms. Unknown names error.
+func InjectBug(name string) error {
+	switch name {
+	case "", BugLLRSign:
+		injectedBug = name
+		return nil
+	default:
+		return fmt.Errorf("conform: unknown injectable bug %q (have %q)", name, BugLLRSign)
+	}
+}
+
+// InjectedBug reports the armed bug name.
+func InjectedBug() string { return injectedBug }
+
+// corruptLLRQs applies the armed bug to a fast-path int8 LLR buffer.
+func corruptLLRQs(llrs []int8) {
+	if injectedBug != BugLLRSign {
+		return
+	}
+	for i, l := range llrs {
+		if l > -128 {
+			llrs[i] = -l
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package conform
+
+import (
+	"fmt"
+
+	"carpool/internal/faults"
+	"carpool/internal/ofdm"
+)
+
+// fixtureCutSample is a sample index inside the DATA field of the
+// fixture's third subframe (symbols 38..105 of a 114-symbol frame) — the
+// canonical mid-subframe truncation point for the short matrix.
+const fixtureCutSample = ofdm.PreambleLen + 70*ofdm.SymbolLen + ofdm.SymbolLen/2
+
+// ShortMatrix is the PR-gating scenario set: one clean baseline plus at
+// least one instance of every impairment kind, individually mild enough
+// that every pair's bound holds on a healthy build, and a few stacked
+// combinations. Seeds vary so the fixture payloads do too.
+func ShortMatrix() []faults.Scenario {
+	return []faults.Scenario{
+		{Seed: 1},
+		{Seed: 2, Impairments: []faults.Impairment{faults.AWGN{SNRdB: 24}}},
+		{Seed: 3, Impairments: []faults.Impairment{faults.CFO{EpsRad: 0.004, Phase0: 0.3}}},
+		{Seed: 4, Impairments: []faults.Impairment{faults.Clip{Level: 1.8}}},
+		{Seed: 5, Impairments: []faults.Impairment{faults.Burst{Start: 2000, Len: 160, GainDB: -3}}},
+		{Seed: 6, Impairments: []faults.Impairment{faults.SymbolNoise{Sym: 0, Count: 2, Amp: 0.12}}}, // A-HDR
+		{Seed: 7, Impairments: []faults.Impairment{faults.SymbolNoise{Sym: 2, Count: 1, Amp: 0.15}}}, // first SIG
+		{Seed: 8, Impairments: []faults.Impairment{faults.PhaseJitter{SigmaRad: 0.03}}},
+		{Seed: 9, Impairments: []faults.Impairment{faults.Dropout{Start: 4200, Len: 40}}},
+		{Seed: 10, Impairments: []faults.Impairment{faults.Truncate{At: fixtureCutSample}}},
+		{Seed: 11, Impairments: []faults.Impairment{
+			faults.AWGN{SNRdB: 22},
+			faults.CFO{EpsRad: 0.003, Phase0: 0},
+			faults.PhaseJitter{SigmaRad: 0.02},
+		}},
+		{Seed: 12, Impairments: []faults.Impairment{
+			faults.Clip{Level: 2.2},
+			faults.Burst{Start: 5000, Len: 200, GainDB: -6},
+			faults.Truncate{At: fixtureCutSample + 3*ofdm.SymbolLen},
+		}},
+	}
+}
+
+// FullMatrix is the nightly sweep: the short matrix plus a programmatic
+// grid over seeds, impairment severities, and pairwise compositions.
+func FullMatrix() []faults.Scenario {
+	out := ShortMatrix()
+	seed := int64(100)
+	next := func(imps ...faults.Impairment) {
+		out = append(out, faults.Scenario{Seed: seed, Impairments: imps})
+		seed++
+	}
+	for _, snr := range []float64{30, 25, 20, 16} {
+		next(faults.AWGN{SNRdB: snr})
+	}
+	for _, eps := range []float64{0.001, 0.003, 0.006, 0.01} {
+		next(faults.CFO{EpsRad: eps, Phase0: 0.5})
+	}
+	for _, lvl := range []float64{2.5, 2.0, 1.6, 1.3} {
+		next(faults.Clip{Level: lvl})
+	}
+	for _, gain := range []float64{-9, -6, -3, 0} {
+		next(faults.Burst{Start: 1500, Len: 240, GainDB: gain})
+	}
+	for sym := 0; sym < 8; sym += 2 {
+		next(faults.SymbolNoise{Sym: sym, Count: 2, Amp: 0.1})
+	}
+	for _, sig := range []float64{0.01, 0.02, 0.04, 0.08} {
+		next(faults.PhaseJitter{SigmaRad: sig})
+	}
+	for _, start := range []int{800, 3000, 6000, 8600} {
+		next(faults.Dropout{Start: start, Len: 60})
+	}
+	for _, at := range []int{
+		ofdm.PreambleLen + 40*ofdm.SymbolLen + 11,
+		fixtureCutSample,
+		ofdm.PreambleLen + 100*ofdm.SymbolLen + 50,
+	} {
+		next(faults.Truncate{At: at})
+	}
+	// Pairwise compositions of one representative per kind.
+	reps := []faults.Impairment{
+		faults.AWGN{SNRdB: 24},
+		faults.CFO{EpsRad: 0.004, Phase0: 0.2},
+		faults.Clip{Level: 2.0},
+		faults.Burst{Start: 2500, Len: 160, GainDB: -6},
+		faults.SymbolNoise{Sym: 2, Count: 1, Amp: 0.1},
+		faults.PhaseJitter{SigmaRad: 0.02},
+		faults.Dropout{Start: 5200, Len: 40},
+	}
+	for i := 0; i < len(reps); i++ {
+		for j := i + 1; j < len(reps); j++ {
+			next(reps[i], reps[j])
+		}
+	}
+	return out
+}
+
+// MatrixByName resolves "short" or "full".
+func MatrixByName(name string) ([]faults.Scenario, error) {
+	switch name {
+	case "short":
+		return ShortMatrix(), nil
+	case "full":
+		return FullMatrix(), nil
+	default:
+		return nil, fmt.Errorf(`conform: unknown matrix %q (want "short" or "full")`, name)
+	}
+}

@@ -1,0 +1,429 @@
+package conform
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"carpool/internal/core"
+	"carpool/internal/faults"
+	"carpool/internal/fec"
+	"carpool/internal/mac"
+	"carpool/internal/modem"
+	"carpool/internal/obs"
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+	"carpool/internal/traffic"
+)
+
+// Pairs returns every differential pair, in stable order.
+func Pairs() []Pair {
+	return []Pair{
+		{
+			Name:  "demap-quant",
+			Desc:  "float64 weighted soft demap vs saturating int8 demap",
+			Bound: "per-LLR divergence <= 1 int8 count",
+			run:   runDemapQuant,
+		},
+		{
+			Name:  "viterbi-soft",
+			Desc:  "float64 soft Viterbi oracle vs SWAR int8 SoftDecoder",
+			Bound: "bit-identical decoded info bits",
+			run:   runViterbiSoft,
+		},
+		{
+			Name:  "receive-seq-par",
+			Desc:  "sequential vs parallel ReceiveFrame / ReceiveFrameAll",
+			Bound: "bit-identical results and errors",
+			run:   runReceiveSeqPar,
+		},
+		{
+			Name:  "mac-sim",
+			Desc:  "MAC simulator re-run and obs-attached run vs first run",
+			Bound: "bit-identical Result",
+			run:   runMACSim,
+		},
+		{
+			Name:  "scratch-fresh",
+			Desc:  "pooled/reused decode workspaces vs fresh allocations",
+			Bound: "bit-identical outputs",
+			run:   runScratchFresh,
+		},
+	}
+}
+
+// syncFixture impairs the fixture frame with sc and runs the shared
+// front-end. A non-OK status conforms trivially for sample-domain pairs:
+// both sides of every pair sit behind the same Sync.
+func syncFixture(sc faults.Scenario) (frame *core.Frame, buf, h []complex128, ok bool, err error) {
+	frame, err = fixtureFrame(sc.Seed)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	imp := sc.Apply(frame.Samples)
+	buf, h, _, status := phy.Sync(imp, 0)
+	return frame, buf, h, status == phy.StatusOK, nil
+}
+
+// segmentsFor demodulates one subframe's DATA symbols from the impaired
+// buffer with ground-truth geometry (no SIG decode in the loop), once per
+// requested LLR flavor, with identical fresh trackers.
+func segmentsFor(buf, h []complex128, sub core.SubframeTx, wantFloat, wantQuant bool) (segF, segQ *phy.Segment, err error) {
+	dataOff := ofdm.PreambleLen + (sub.StartSymbol+1)*ofdm.SymbolLen
+	nsym := len(sub.Blocks)
+	if wantFloat {
+		tr := phy.NewStandardTracker()
+		tr.Init(h, sub.MCS.Mod)
+		segF, err = phy.DecodeDataSymbolsOpts(buf, dataOff, sub.StartSymbol+1, nsym,
+			sub.MCS.Mod, tr, nil, 0, true)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if wantQuant {
+		tr := phy.NewStandardTracker()
+		tr.Init(h, sub.MCS.Mod)
+		segQ, err = phy.DecodeDataSymbolsQ(buf, dataOff, sub.StartSymbol+1, nsym,
+			sub.MCS.Mod, tr, nil, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return segF, segQ, nil
+}
+
+// runDemapQuant checks, bit position by bit position, that the quantized
+// demapper agrees with quantizing the float chain's weighted LLRs — the
+// divergence bound is one int8 count, the rounding-order slack between
+// (d*w)*scale and d*(scale*w).
+func runDemapQuant(sc faults.Scenario) (string, error) {
+	frame, buf, h, ok, err := syncFixture(sc)
+	if err != nil || !ok {
+		return "", err
+	}
+	for _, sub := range frame.Subframes {
+		segF, segQ, err := segmentsFor(buf, h, sub, true, true)
+		if err != nil {
+			return "", err
+		}
+		k := sub.MCS.Mod.Kmod()
+		scale := modem.LLRQScale / (4 * k * k)
+		if len(segF.LLRs) != len(segQ.LLRQs) {
+			return fmt.Sprintf("subframe %d: float chain demodulated %d symbols, quantized %d",
+				sub.StartSymbol, len(segF.LLRs), len(segQ.LLRQs)), nil
+		}
+		for s := range segQ.LLRQs {
+			q := append([]int8(nil), segQ.LLRQs[s]...)
+			corruptLLRQs(q)
+			for b := range q {
+				want := fec.SatLLR8(segF.LLRs[s][b] * scale)
+				diff := int(q[b]) - int(want)
+				if diff < -1 || diff > 1 {
+					return fmt.Sprintf("subframe at symbol %d, data symbol %d bit %d: quantized LLR %d vs float-derived %d (float %.4g)",
+						sub.StartSymbol, s, b, q[b], want, segF.LLRs[s][b]), nil
+				}
+			}
+		}
+	}
+	return "", nil
+}
+
+// runViterbiSoft feeds identical LLR information — the quantized stream,
+// and its exact float64 image — to the SWAR int8 decoder and the float64
+// oracle. The decoders document bit-identical survivor paths on identical
+// decisions, so any payload mismatch is a fast-path defect.
+func runViterbiSoft(sc faults.Scenario) (string, error) {
+	frame, buf, h, ok, err := syncFixture(sc)
+	if err != nil || !ok {
+		return "", err
+	}
+	var dec fec.SoftDecoder
+	for _, sub := range frame.Subframes {
+		_, segQ, err := segmentsFor(buf, h, sub, false, true)
+		if err != nil {
+			return "", err
+		}
+		nsym := len(segQ.LLRQs)
+		if nsym == 0 {
+			continue
+		}
+		ncbps := sub.MCS.CodedBitsPerSymbol()
+		il, err := fec.CachedInterleaver(ncbps, sub.MCS.Mod.BitsPerSymbol())
+		if err != nil {
+			return "", err
+		}
+		llrq := make([]int8, nsym*ncbps)
+		for s := 0; s < nsym; s++ {
+			if err := il.DeinterleaveLLRInto(llrq[s*ncbps:(s+1)*ncbps], segQ.LLRQs[s]); err != nil {
+				return "", err
+			}
+		}
+		floats := make([]float64, len(llrq))
+		for i, l := range llrq {
+			floats[i] = float64(l)
+		}
+		corruptLLRQs(llrq) // injected-bug hook: fast-path input only
+
+		numInfo := nsym * sub.MCS.DataBitsPerSymbol()
+		oracle, err := fec.ViterbiDecodeSoft(floats, sub.MCS.Rate, numInfo)
+		if err != nil {
+			return "", err
+		}
+		fast := make([]byte, numInfo)
+		if err := dec.DecodeInto(fast, llrq, sub.MCS.Rate, numInfo); err != nil {
+			return "", err
+		}
+		if !bytes.Equal(oracle, fast) {
+			first, n := -1, 0
+			for i := range oracle {
+				if oracle[i] != fast[i] {
+					n++
+					if first < 0 {
+						first = i
+					}
+				}
+			}
+			return fmt.Sprintf("subframe at symbol %d (%v): %d/%d info bits differ, first at %d",
+				sub.StartSymbol, sub.MCS, n, numInfo, first), nil
+		}
+	}
+	return "", nil
+}
+
+// runReceiveSeqPar compares the full receive pipeline between an inline
+// phase-2 (GOMAXPROCS=1) and the parallel fan-out, per station, and the
+// sequential station loop against ReceiveFrameAll — results and errors.
+func runReceiveSeqPar(sc faults.Scenario) (string, error) {
+	frame, err := fixtureFrame(sc.Seed)
+	if err != nil {
+		return "", err
+	}
+	imp := sc.Apply(frame.Samples)
+	cfgs := []core.ReceiverConfig{
+		{MAC: fixtureMAC(1), UseRTE: true, KnownStart: 0, SoftFEC: true},
+		{MAC: fixtureMAC(2), KnownStart: 0},
+		{MAC: fixtureMAC(9), UseRTE: true, KnownStart: 0}, // not addressed: drop path
+	}
+	rxs := make([][]complex128, len(cfgs))
+	for i := range rxs {
+		rxs[i] = imp
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	seqRes := make([]*core.FrameRx, len(cfgs))
+	seqErr := make([]error, len(cfgs))
+	for i, cfg := range cfgs {
+		seqRes[i], seqErr[i] = core.ReceiveFrame(imp, cfg)
+	}
+	runtime.GOMAXPROCS(4)
+	parDiff := ""
+	for i, cfg := range cfgs {
+		res, err := core.ReceiveFrame(imp, cfg)
+		if dump(res) != dump(seqRes[i]) || fmt.Sprint(err) != fmt.Sprint(seqErr[i]) {
+			parDiff = fmt.Sprintf("station %d: parallel ReceiveFrame diverged from sequential (err %v vs %v)",
+				i, err, seqErr[i])
+			break
+		}
+	}
+	allRes, allErr := core.ReceiveFrameAll(rxs, cfgs)
+	runtime.GOMAXPROCS(prev)
+	if parDiff != "" {
+		return parDiff, nil
+	}
+
+	// ReceiveFrameAll reports the lowest-station error and nils the
+	// results from that station on; mirror that on the sequential side.
+	wantRes := append([]*core.FrameRx(nil), seqRes...)
+	var wantErr error
+	for i, err := range seqErr {
+		if err != nil {
+			for j := i; j < len(wantRes); j++ {
+				wantRes[j] = nil
+			}
+			wantErr = fmt.Errorf("core: station %d: %w", i, err)
+			break
+		}
+	}
+	if fmt.Sprint(allErr) != fmt.Sprint(wantErr) {
+		return fmt.Sprintf("ReceiveFrameAll error %v, sequential loop implies %v", allErr, wantErr), nil
+	}
+	if len(allRes) != len(wantRes) {
+		return fmt.Sprintf("ReceiveFrameAll returned %d results, want %d", len(allRes), len(wantRes)), nil
+	}
+	for i := range allRes {
+		// dump dereferences only top-level pointers, so compare per station.
+		if dump(allRes[i]) != dump(wantRes[i]) {
+			return fmt.Sprintf("ReceiveFrameAll station %d diverged from sequential loop", i), nil
+		}
+	}
+	return "", nil
+}
+
+// macConfig derives a deterministic simulator configuration from the
+// scenario: sample-domain impairments cannot apply inside the
+// discrete-event MAC, so the scenario's identity is folded into the
+// delivery oracle's severity and the ablation toggles instead. Every call
+// rebuilds traffic and oracle from scratch — both hold RNG state.
+func macConfig(sc faults.Scenario) mac.Config {
+	hsh := fnv.New64a()
+	hsh.Write([]byte(sc.String()))
+	h := hsh.Sum64()
+	const dur = 120 * time.Millisecond
+	rng := rand.New(rand.NewSource(sc.Seed))
+	down := make([][]traffic.Arrival, 6)
+	for i := range down {
+		down[i] = traffic.CBRFlow(rng, 300+40*i, time.Duration(3+i)*time.Millisecond, dur)
+	}
+	cfg := mac.Config{
+		Protocol: mac.Carpool, NumSTAs: 6, Duration: dur, Seed: sc.Seed,
+		Downlink: down, SaturatedUplink: true,
+		SimultaneousACK: h&1 != 0,
+		UseRTSCTS:       h&2 != 0,
+	}
+	if h&4 != 0 {
+		cfg.MaxLatency = 40 * time.Millisecond
+	}
+	cfg.Oracle = mac.NewBiasedOracle(0.002+float64(h%7)*0.0015, sc.Seed)
+	return cfg
+}
+
+// runMACSim checks the simulator's differential contract: a re-run with an
+// identically rebuilt config, and a run with an obs sink attached, must
+// both reproduce the first Result bit for bit. Scratch reuse inside the
+// simulator and observation hooks must never leak into outcomes.
+func runMACSim(sc faults.Scenario) (string, error) {
+	resA, err := mac.Run(macConfig(sc))
+	if err != nil {
+		return "", err
+	}
+	resB, err := mac.Run(macConfig(sc))
+	if err != nil {
+		return "", err
+	}
+	if dump(resA) != dump(resB) {
+		return "re-run with identical config produced a different Result", nil
+	}
+	cfg := macConfig(sc)
+	cfg.Obs = &obs.Sink{Registry: obs.NewRegistry(), Tracer: obs.NewTracer(1 << 12)}
+	resC, err := mac.Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	if dump(resA) != dump(resC) {
+		return "attaching an obs sink changed the Result", nil
+	}
+	return "", nil
+}
+
+// runScratchFresh pits every reused-workspace decode path against its
+// fresh-allocation twin on the same impaired input.
+func runScratchFresh(sc faults.Scenario) (string, error) {
+	frame, err := fixtureFrame(sc.Seed)
+	if err != nil {
+		return "", err
+	}
+	imp := sc.Apply(frame.Samples)
+
+	// Back-to-back full receptions share package pools (softQPool, fec
+	// caches); the second must reproduce the first exactly.
+	cfg := core.ReceiverConfig{MAC: fixtureMAC(1), UseRTE: true, KnownStart: 0, SoftFEC: true}
+	resA, errA := core.ReceiveFrame(imp, cfg)
+	resB, errB := core.ReceiveFrame(imp, cfg)
+	if dump(resA) != dump(resB) || fmt.Sprint(errA) != fmt.Sprint(errB) {
+		return "second ReceiveFrame over warm pools diverged from the first", nil
+	}
+
+	buf, h, _, status := phy.Sync(imp, 0)
+	if status != phy.StatusOK {
+		return "", nil
+	}
+
+	// A SoftQDecoder dirtied by a larger decode must match a throwaway
+	// decoder on the target subframe, error for error.
+	big, target := frame.Subframes[2], frame.Subframes[0]
+	_, segBig, err := segmentsFor(buf, h, big, false, true)
+	if err != nil {
+		return "", err
+	}
+	_, segTgt, err := segmentsFor(buf, h, target, false, true)
+	if err != nil {
+		return "", err
+	}
+	reused := &phy.SoftQDecoder{}
+	_, _ = reused.DecodeDataField(segBig.LLRQs, big.MCS, len(big.Payload))
+	gotP, gotErr := reused.DecodeDataField(segTgt.LLRQs, target.MCS, len(target.Payload))
+	wantP, wantErr := phy.DecodeDataFieldSoftQ(segTgt.LLRQs, target.MCS, len(target.Payload))
+	if !bytes.Equal(gotP, wantP) || fmt.Sprint(gotErr) != fmt.Sprint(wantErr) {
+		return "reused SoftQDecoder diverged from fresh decode", nil
+	}
+
+	// Same for the bare fec.SoftDecoder across frame sizes.
+	if len(segTgt.LLRQs) > 0 {
+		ncbps := target.MCS.CodedBitsPerSymbol()
+		il, err := fec.CachedInterleaver(ncbps, target.MCS.Mod.BitsPerSymbol())
+		if err != nil {
+			return "", err
+		}
+		flat := make([]int8, len(segTgt.LLRQs)*ncbps)
+		for s := range segTgt.LLRQs {
+			if err := il.DeinterleaveLLRInto(flat[s*ncbps:(s+1)*ncbps], segTgt.LLRQs[s]); err != nil {
+				return "", err
+			}
+		}
+		numInfo := len(segTgt.LLRQs) * target.MCS.DataBitsPerSymbol()
+		var d fec.SoftDecoder
+		bigInfo := make([]byte, 2*numInfo)
+		bigLLR := make([]int8, 4*numInfo)
+		copy(bigLLR, flat)
+		if err := d.DecodeInto(bigInfo, bigLLR, fec.Rate1_2, 2*numInfo); err != nil {
+			return "", err
+		}
+		gotBits := make([]byte, numInfo)
+		if err := d.DecodeInto(gotBits, flat, target.MCS.Rate, numInfo); err != nil {
+			return "", err
+		}
+		wantBits, err := fec.ViterbiDecodeSoftQ(flat, target.MCS.Rate, numInfo)
+		if err != nil {
+			return "", err
+		}
+		if !bytes.Equal(gotBits, wantBits) {
+			return "reused fec.SoftDecoder diverged from throwaway decoder", nil
+		}
+	}
+
+	// Quantized demap into a dirty caller buffer vs fresh allocation.
+	if len(buf) >= ofdm.PreambleLen+ofdm.SymbolLen {
+		bins, err := ofdm.SymbolBins(buf[ofdm.PreambleLen:])
+		if err != nil {
+			return "", err
+		}
+		points := ofdm.ExtractData(bins)
+		const noiseVar = 0.7
+		fresh, err := modem.DemapSoftQ(modem.QAM64, points, noiseVar)
+		if err != nil {
+			return "", err
+		}
+		dirty := make([]int8, len(fresh))
+		for i := range dirty {
+			dirty[i] = 0x55
+		}
+		if err := modem.DemapSoftQInto(dirty, modem.QAM64, points, noiseVar); err != nil {
+			return "", err
+		}
+		if !bytes.Equal(int8Bytes(dirty), int8Bytes(fresh)) {
+			return "DemapSoftQInto into a dirty buffer diverged from DemapSoftQ", nil
+		}
+	}
+	return "", nil
+}
+
+func int8Bytes(s []int8) []byte {
+	out := make([]byte, len(s))
+	for i, v := range s {
+		out[i] = byte(v)
+	}
+	return out
+}

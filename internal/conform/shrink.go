@@ -1,0 +1,72 @@
+package conform
+
+import "carpool/internal/faults"
+
+// Shrink minimizes a failing scenario for the pair in two greedy passes —
+// drop whole impairments, then replace survivors with milder variants —
+// re-checking after each candidate edit and keeping only edits that still
+// diverge. maxChecks bounds the total pair evaluations (<= 0 selects 200).
+// The returned scenario always still fails, with its divergence detail.
+func Shrink(p Pair, sc faults.Scenario, maxChecks int) (faults.Scenario, string) {
+	if maxChecks <= 0 {
+		maxChecks = 200
+	}
+	checks := 0
+	// fails re-runs the pair, charging the budget. Harness errors count as
+	// divergence here exactly as in Run, so shrinking never "fixes" a
+	// scenario by trading a divergence for a crash.
+	fails := func(cand faults.Scenario) (string, bool) {
+		if checks >= maxChecks {
+			return "", false
+		}
+		checks++
+		detail, err := p.Check(cand)
+		if err != nil {
+			return "harness error: " + err.Error(), true
+		}
+		return detail, detail != ""
+	}
+
+	best := sc
+	detail := ""
+	if d, bad := fails(sc); bad {
+		detail = d
+	} else {
+		// Not reproducible within budget (or flaky): return as-is.
+		return sc, ""
+	}
+
+	// Pass 1: drop impairments, scanning until a full sweep removes none.
+	for removed := true; removed; {
+		removed = false
+		for i := 0; i < len(best.Impairments); i++ {
+			cand := best.Without(i)
+			if d, bad := fails(cand); bad {
+				best, detail = cand, d
+				removed = true
+				i--
+			}
+		}
+	}
+
+	// Pass 2: milden surviving impairments, repeatedly, while any milder
+	// variant still reproduces the divergence.
+	for mildened := true; mildened; {
+		mildened = false
+		for i, imp := range best.Impairments {
+			m, ok := imp.(faults.Milder)
+			if !ok {
+				continue
+			}
+			for _, v := range m.MilderVariants() {
+				cand := best.Replace(i, v)
+				if d, bad := fails(cand); bad {
+					best, detail = cand, d
+					mildened = true
+					break
+				}
+			}
+		}
+	}
+	return best, detail
+}

@@ -1,0 +1,23 @@
+package core
+
+import "fmt"
+
+// ErrTruncatedSubframe reports that the sample buffer ended inside a
+// matched subframe's DATA field: the receiver located the subframe via its
+// SIG but could not demodulate all of its symbols. ReceiveFrame returns it
+// alongside a FrameRx whose Status is phy.StatusTruncated, so callers can
+// distinguish a mid-payload cut (and learn exactly where it happened) from
+// the benign truncations — buffer ending before the A-HDR or at a SIG
+// boundary — that surface through Status alone.
+type ErrTruncatedSubframe struct {
+	// Position is the 1-based subframe position whose DATA field was cut.
+	Position int
+	// Symbol is the absolute OFDM symbol index (A-HDR = 0,1) of the first
+	// DATA symbol that no longer fit in the buffer.
+	Symbol int
+}
+
+func (e *ErrTruncatedSubframe) Error() string {
+	return fmt.Sprintf("core: buffer truncated inside subframe %d's data field at symbol %d",
+		e.Position, e.Symbol)
+}

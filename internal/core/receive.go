@@ -208,7 +208,7 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 	// channels and FEC state are all per-subframe — so decode them
 	// concurrently, each worker confining writes to its own slot.
 	subs := make([]SubframeRx, len(jobs))
-	truncs := make([]bool, len(jobs))
+	truncs := make([]int, len(jobs))
 	errs := make([]error, len(jobs))
 	sim.ParallelFor(len(jobs), func(i int) {
 		subs[i], truncs[i], errs[i] = decodeSubframe(buf, h, jobs[i], scheme, cfg)
@@ -217,10 +217,13 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
-		if truncs[i] {
+		if truncs[i] >= 0 {
 			// Only the final job can truncate (the walk stops at the hole).
+			// The typed error pins which subframe was cut and where, while
+			// Status keeps reporting the reception outcome for callers that
+			// treat a truncated frame as a loss rather than a fault.
 			res.Status = phy.StatusTruncated
-			return res, nil
+			return res, &ErrTruncatedSubframe{Position: jobs[i].pos, Symbol: truncs[i]}
 		}
 		res.SymbolsDecoded += jobs[i].nsym
 		res.Subframes = append(res.Subframes, subs[i])
@@ -248,9 +251,10 @@ var softQPool = sync.Pool{New: func() any { return new(phy.SoftQDecoder) }}
 
 // decodeSubframe demodulates and (unless SkipFEC) FEC-decodes one located
 // subframe. It touches only per-call state plus atomic obs counters, so
-// distinct jobs decode safely in parallel. The bool result reports
-// truncation: the buffer ended inside the subframe's DATA field.
-func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Scheme, cfg ReceiverConfig) (SubframeRx, bool, error) {
+// distinct jobs decode safely in parallel. The int result reports
+// truncation: -1 for a complete subframe, otherwise the absolute symbol
+// index of the first DATA symbol the buffer ended inside of.
+func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Scheme, cfg ReceiverConfig) (SubframeRx, int, error) {
 	var tracker phy.ChannelTracker
 	var rte *RTETracker
 	if cfg.UseRTE {
@@ -273,10 +277,10 @@ func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Sc
 			job.sig.MCS.Mod, tracker, scheme, job.sigPhase)
 	}
 	if err != nil {
-		return SubframeRx{}, false, err
+		return SubframeRx{}, -1, err
 	}
 	if seg.Truncated {
-		return SubframeRx{}, true, nil
+		return SubframeRx{}, job.dataSymIdx + len(seg.Blocks), nil
 	}
 	sub := SubframeRx{
 		Position:    job.pos,
@@ -300,9 +304,9 @@ func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Sc
 			payload, err = phy.DecodeDataField(seg.Blocks, job.sig.MCS, job.sig.Length)
 		}
 		if err != nil {
-			return SubframeRx{}, false, err
+			return SubframeRx{}, -1, err
 		}
 		sub.Payload = payload
 	}
-	return sub, false, nil
+	return sub, -1, nil
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"carpool/internal/ofdm"
+	"carpool/internal/phy"
+
+	"math/rand"
+)
+
+// truncatedInsideSubframe cuts a multi-match frame's samples in the middle
+// of the data field of the third subframe (position 3, owned by mac(1)),
+// returning the cut buffer and the absolute symbol index of the first DATA
+// symbol that no longer fits.
+func truncatedInsideSubframe(t *testing.T) ([]complex128, int, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	frame, _ := multiMatchFrame(t, rng)
+	sub := frame.Subframes[2] // position 3, matched by mac(1)
+	dataStart := sub.StartSymbol + 1
+	// Keep the SIG and the first two DATA symbols plus half of the third.
+	cutSym := dataStart + 2
+	cut := ofdm.PreambleLen + cutSym*ofdm.SymbolLen + ofdm.SymbolLen/2
+	return frame.Samples[:cut], 3, cutSym
+}
+
+// TestReceiveFrameTruncatedSubframeTyped pins the typed-truncation
+// contract on both the sequential (GOMAXPROCS=1, phase 2 runs inline) and
+// parallel paths: ReceiveFrame must return StatusTruncated plus an
+// *ErrTruncatedSubframe naming the cut subframe and symbol, identically in
+// both modes.
+func TestReceiveFrameTruncatedSubframeTyped(t *testing.T) {
+	samples, wantPos, wantSym := truncatedInsideSubframe(t)
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		res, err := ReceiveFrame(samples, ReceiverConfig{MAC: mac(1), UseRTE: true, KnownStart: 0})
+		runtime.GOMAXPROCS(prev)
+
+		if res == nil || res.Status != phy.StatusTruncated {
+			t.Fatalf("procs=%d: status %v, want truncated", procs, res.Status)
+		}
+		var te *ErrTruncatedSubframe
+		if !errors.As(err, &te) {
+			t.Fatalf("procs=%d: error %v (%T), want *ErrTruncatedSubframe", procs, err, err)
+		}
+		if te.Position != wantPos || te.Symbol != wantSym {
+			t.Fatalf("procs=%d: truncated at subframe %d symbol %d, want subframe %d symbol %d",
+				procs, te.Position, te.Symbol, wantPos, wantSym)
+		}
+	}
+}
+
+// TestReceiveFrameTruncationSeqParIdentical asserts the sequential and
+// parallel paths agree on every field of the truncated result, not just
+// the error.
+func TestReceiveFrameTruncationSeqParIdentical(t *testing.T) {
+	samples, _, _ := truncatedInsideSubframe(t)
+	cfg := ReceiverConfig{MAC: mac(1), UseRTE: true, KnownStart: 0, SoftFEC: true}
+
+	prev := runtime.GOMAXPROCS(1)
+	seqRes, seqErr := ReceiveFrame(samples, cfg)
+	runtime.GOMAXPROCS(4)
+	parRes, parErr := ReceiveFrame(samples, cfg)
+	runtime.GOMAXPROCS(prev)
+
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Error("sequential and parallel truncated results differ")
+	}
+	if !reflect.DeepEqual(seqErr, parErr) {
+		t.Errorf("sequential error %v, parallel error %v", seqErr, parErr)
+	}
+}
+
+// TestErrTruncatedSubframeMessage pins the error text's replay-relevant
+// fields.
+func TestErrTruncatedSubframeMessage(t *testing.T) {
+	err := &ErrTruncatedSubframe{Position: 3, Symbol: 17}
+	want := "core: buffer truncated inside subframe 3's data field at symbol 17"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestReceiveFrameAllPropagatesTruncation checks that the fan-out wraps
+// the typed error with the station index while errors.As still reaches it.
+func TestReceiveFrameAllPropagatesTruncation(t *testing.T) {
+	samples, wantPos, wantSym := truncatedInsideSubframe(t)
+	rxs := [][]complex128{samples, samples}
+	cfgs := []ReceiverConfig{
+		{MAC: mac(2), KnownStart: 0}, // matches position 2 only: completes
+		{MAC: mac(1), KnownStart: 0}, // matches the cut subframe
+	}
+	results, err := ReceiveFrameAll(rxs, cfgs)
+	var te *ErrTruncatedSubframe
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v, want wrapped *ErrTruncatedSubframe", err)
+	}
+	if te.Position != wantPos || te.Symbol != wantSym {
+		t.Fatalf("truncation at subframe %d symbol %d, want %d/%d",
+			te.Position, te.Symbol, wantPos, wantSym)
+	}
+	if results[0] == nil || results[0].Status != phy.StatusOK {
+		t.Error("station 0 (before the error) should have completed")
+	}
+	if results[1] != nil {
+		t.Error("station 1 (the erroring one) should be nil")
+	}
+}

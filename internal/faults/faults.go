@@ -1,0 +1,116 @@
+// Package faults is the deterministic fault-injection layer of the
+// conformance stack: composable, seed-reproducible impairments applied to a
+// complex-baseband sample stream between transmitter and receiver, beyond
+// what the channel package's fading models cover.
+//
+// Each impairment implements the Impairment interface and registers a
+// parser under a short kind name, so any combination serializes to a
+// replayable scenario string like
+//
+//	seed=7|cfo(0.00015,0.3)|clip(1.2)|trunc(6000)
+//
+// and parses back to the identical scenario. The same seed always yields
+// the same distorted samples, which is what lets the conformance harness
+// (internal/conform) shrink a failing scenario and print a replay token.
+//
+// Applications emit obs counters under the faults.* scope: one per applied
+// scenario (faults.scenarios), one per impairment application
+// (faults.impairments), and one per kind (faults.<kind>).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"carpool/internal/obs"
+)
+
+// Impairment distorts a sample stream. Implementations must be
+// deterministic given the rng stream they are handed, and must confine all
+// randomness to that rng so a scenario replays bit-identically.
+type Impairment interface {
+	// Kind is the registered short name ("cfo", "clip", ...).
+	Kind() string
+	// Token renders the impairment as its scenario token, e.g.
+	// "cfo(0.00015,0.3)". Parsing the token yields an equal impairment.
+	Token() string
+	// Apply distorts samples, mutating in place where possible, and
+	// returns the resulting buffer (shorter than the input for truncating
+	// impairments). rng is the scenario's deterministic stream.
+	Apply(rng *rand.Rand, samples []complex128) []complex128
+}
+
+// Milder is optionally implemented by impairments that can propose
+// strictly less severe variants of themselves; the conformance shrinker
+// uses it to minimize failing scenarios beyond plain impairment removal.
+type Milder interface {
+	// MilderVariants returns zero or more candidate replacements, each
+	// strictly milder than the receiver. Returning nil ends shrinking on
+	// this impairment.
+	MilderVariants() []Impairment
+}
+
+// Scenario is a seeded, ordered list of impairments: the unit of
+// fault injection the conformance harness runs, shrinks and replays.
+type Scenario struct {
+	Seed        int64
+	Impairments []Impairment
+}
+
+// Apply runs every impairment over a copy of tx (the caller's buffer is
+// never mutated) using a deterministic rng derived from the scenario seed,
+// and returns the impaired samples. A scenario with no impairments returns
+// a plain copy.
+func (s Scenario) Apply(tx []complex128) []complex128 {
+	sink := obs.Active()
+	sink.Counter("faults.scenarios").Inc()
+	out := append([]complex128(nil), tx...)
+	rng := rand.New(rand.NewSource(s.Seed))
+	for _, imp := range s.Impairments {
+		out = imp.Apply(rng, out)
+		sink.Counter("faults.impairments").Inc()
+		sink.Counter("faults." + imp.Kind()).Inc()
+	}
+	return out
+}
+
+// String renders the scenario as its replay token: "seed=N" followed by
+// one token per impairment, pipe-separated.
+func (s Scenario) String() string {
+	parts := make([]string, 0, 1+len(s.Impairments))
+	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	for _, imp := range s.Impairments {
+		parts = append(parts, imp.Token())
+	}
+	return strings.Join(parts, "|")
+}
+
+// With returns a copy of the scenario with imps appended; the receiver is
+// unchanged (the impairment slice is cloned, not shared).
+func (s Scenario) With(imps ...Impairment) Scenario {
+	out := Scenario{Seed: s.Seed}
+	out.Impairments = append(append([]Impairment(nil), s.Impairments...), imps...)
+	return out
+}
+
+// Without returns a copy of the scenario with the impairment at index i
+// removed.
+func (s Scenario) Without(i int) Scenario {
+	out := Scenario{Seed: s.Seed}
+	for j, imp := range s.Impairments {
+		if j != i {
+			out.Impairments = append(out.Impairments, imp)
+		}
+	}
+	return out
+}
+
+// Replace returns a copy of the scenario with the impairment at index i
+// replaced by imp.
+func (s Scenario) Replace(i int, imp Impairment) Scenario {
+	out := Scenario{Seed: s.Seed}
+	out.Impairments = append([]Impairment(nil), s.Impairments...)
+	out.Impairments[i] = imp
+	return out
+}

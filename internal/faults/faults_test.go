@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"carpool/internal/obs"
+	"carpool/internal/ofdm"
+)
+
+func testSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+// allKindsScenario composes one impairment of every registered kind.
+func allKindsScenario(seed int64) Scenario {
+	return Scenario{Seed: seed, Impairments: []Impairment{
+		CFO{EpsRad: 1.5e-4, Phase0: 0.3},
+		Clip{Level: 1.1},
+		Burst{Start: 500, Len: 200, GainDB: -2},
+		AWGN{SNRdB: 18},
+		SymbolNoise{Sym: 0, Count: 2, Amp: 0.7},
+		PhaseJitter{SigmaRad: 0.06},
+		Dropout{Start: 900, Len: 60},
+		Truncate{At: 1800},
+	}}
+}
+
+// TestScenarioDeterministic is the replay contract: the same scenario over
+// the same input yields bit-identical samples, run after run.
+func TestScenarioDeterministic(t *testing.T) {
+	tx := testSignal(2400, 1)
+	sc := allKindsScenario(42)
+	a := sc.Apply(tx)
+	b := sc.Apply(tx)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("scenario replay is not bit-identical")
+	}
+	// The input buffer must never be mutated.
+	if !reflect.DeepEqual(tx, testSignal(2400, 1)) {
+		t.Fatal("Apply mutated the caller's buffer")
+	}
+	// A different seed must change the noise-driven output.
+	c := Scenario{Seed: 43, Impairments: sc.Impairments}.Apply(tx)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical impaired samples")
+	}
+}
+
+// TestScenarioStringRoundTrip pins the replay-token grammar: String ->
+// ParseScenario -> String must be a fixed point for every registered kind.
+func TestScenarioStringRoundTrip(t *testing.T) {
+	sc := allKindsScenario(-7)
+	if len(sc.Impairments) != len(Kinds()) {
+		t.Fatalf("scenario covers %d kinds, registry has %d — extend allKindsScenario",
+			len(sc.Impairments), len(Kinds()))
+	}
+	s1 := sc.String()
+	parsed, err := ParseScenario(s1)
+	if err != nil {
+		t.Fatalf("ParseScenario(%q): %v", s1, err)
+	}
+	if s2 := parsed.String(); s2 != s1 {
+		t.Fatalf("round trip changed token:\n  %s\n  %s", s1, s2)
+	}
+	tx := testSignal(2400, 2)
+	if !reflect.DeepEqual(sc.Apply(tx), parsed.Apply(tx)) {
+		t.Fatal("parsed scenario applies differently from the original")
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "cfo(1,2)", "seed=x", "seed=1|nope(3)", "seed=1|cfo(1)",
+		"seed=1|cfo(1,2", "seed=1|clip(a)",
+	} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestTruncateShortens(t *testing.T) {
+	tx := testSignal(1000, 3)
+	got := Scenario{Seed: 1, Impairments: []Impairment{Truncate{At: 640}}}.Apply(tx)
+	if len(got) != 640 {
+		t.Fatalf("truncated to %d samples, want 640", len(got))
+	}
+	if !reflect.DeepEqual(got, tx[:640]) {
+		t.Fatal("truncation altered surviving samples")
+	}
+	if n := len(Scenario{Impairments: []Impairment{Truncate{At: -5}}}.Apply(tx)); n != 0 {
+		t.Fatalf("negative At kept %d samples", n)
+	}
+	if n := len(Scenario{Impairments: []Impairment{Truncate{At: 5000}}}.Apply(tx)); n != 1000 {
+		t.Fatalf("over-long At changed length to %d", n)
+	}
+}
+
+func TestClipBoundsMagnitude(t *testing.T) {
+	tx := testSignal(2000, 4)
+	out := Scenario{Impairments: []Impairment{Clip{Level: 0.5}}}.Apply(tx)
+	var rms float64
+	for _, s := range tx {
+		rms += real(s)*real(s) + imag(s)*imag(s)
+	}
+	rms = math.Sqrt(rms / float64(len(tx)))
+	limit := 0.5*rms + 1e-12
+	clipped := 0
+	for i, s := range out {
+		if cmplx.Abs(s) > limit {
+			t.Fatalf("sample %d magnitude %v exceeds clip limit %v", i, cmplx.Abs(s), limit)
+		}
+		if s != tx[i] {
+			clipped++
+		}
+	}
+	if clipped == 0 {
+		t.Fatal("Level=0.5 clipped nothing")
+	}
+}
+
+func TestDropoutAndBurstConfineToWindow(t *testing.T) {
+	tx := testSignal(1000, 5)
+	out := Scenario{Seed: 9, Impairments: []Impairment{
+		Dropout{Start: 100, Len: 50},
+		Burst{Start: 400, Len: 80, GainDB: 3},
+	}}.Apply(tx)
+	for i := range out {
+		in := (i >= 100 && i < 150) || (i >= 400 && i < 480)
+		if in == (out[i] == tx[i]) {
+			// Inside a window the sample must change (dropout zeroes it,
+			// burst adds continuous noise); outside it must not.
+			t.Fatalf("sample %d: window=%v changed=%v", i, in, out[i] != tx[i])
+		}
+	}
+	for i := 100; i < 150; i++ {
+		if out[i] != 0 {
+			t.Fatalf("dropout left sample %d nonzero", i)
+		}
+	}
+}
+
+func TestSymbolNoiseTargetsSymbols(t *testing.T) {
+	n := ofdm.PreambleLen + 6*ofdm.SymbolLen
+	tx := testSignal(n, 6)
+	out := Scenario{Seed: 3, Impairments: []Impairment{
+		SymbolNoise{Sym: 2, Count: 1, Amp: 1},
+	}}.Apply(tx)
+	lo := ofdm.PreambleLen + 2*ofdm.SymbolLen
+	hi := lo + ofdm.SymbolLen
+	for i := range out {
+		changed := out[i] != tx[i]
+		if changed != (i >= lo && i < hi) {
+			t.Fatalf("sample %d changed=%v, window [%d,%d)", i, changed, lo, hi)
+		}
+	}
+}
+
+// TestMilderVariantsAreFinite walks every shrinkable impairment's milder
+// chain to a fixed point, guarding the conformance shrinker against loops.
+func TestMilderVariantsAreFinite(t *testing.T) {
+	for _, imp := range allKindsScenario(1).Impairments {
+		frontier := []Impairment{imp}
+		for depth := 0; len(frontier) > 0; depth++ {
+			if depth > 64 {
+				t.Fatalf("%s: milder chain exceeds depth 64", imp.Kind())
+			}
+			var next []Impairment
+			for _, f := range frontier {
+				if m, ok := f.(Milder); ok {
+					next = append(next, m.MilderVariants()...)
+				}
+			}
+			frontier = next
+		}
+	}
+}
+
+// TestObsCounters checks the faults.* counter contract.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.Enable(&obs.Sink{Registry: reg})
+	defer obs.Disable()
+	tx := testSignal(500, 7)
+	Scenario{Seed: 1, Impairments: []Impairment{Clip{Level: 1}, AWGN{SNRdB: 20}}}.Apply(tx)
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"faults.scenarios": 1, "faults.impairments": 2,
+		"faults.clip": 1, "faults.awgn": 1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package faults
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"carpool/internal/dsp"
+	"carpool/internal/ofdm"
+)
+
+// CFO applies a residual carrier-frequency offset as a phase ramp:
+// sample n is rotated by Phase0 + EpsRad*n radians. It models the part of
+// the oscillator offset the receiver's CFO estimator did not remove, plus
+// a constant phase bias.
+type CFO struct {
+	// EpsRad is the residual offset in radians per sample.
+	EpsRad float64
+	// Phase0 is the initial phase of the ramp in radians.
+	Phase0 float64
+}
+
+func (c CFO) Kind() string { return "cfo" }
+
+func (c CFO) Token() string { return token("cfo", ftoa(c.EpsRad), ftoa(c.Phase0)) }
+
+func (c CFO) Apply(_ *rand.Rand, samples []complex128) []complex128 {
+	for n := range samples {
+		samples[n] *= cmplx.Exp(complex(0, c.Phase0+c.EpsRad*float64(n)))
+	}
+	return samples
+}
+
+func (c CFO) MilderVariants() []Impairment {
+	if math.Abs(c.EpsRad) < 1e-6 && math.Abs(c.Phase0) < 1e-3 {
+		return nil
+	}
+	return []Impairment{CFO{EpsRad: c.EpsRad / 2, Phase0: c.Phase0 / 2}}
+}
+
+// Clip saturates sample magnitudes at Level times the stream's RMS
+// amplitude, modeling AGC overdrive / ADC clipping. Level <= 1 clips hard
+// into the signal body; levels above ~3 touch only rare peaks.
+type Clip struct {
+	// Level is the clip threshold as a multiple of RMS amplitude.
+	Level float64
+}
+
+func (c Clip) Kind() string { return "clip" }
+
+func (c Clip) Token() string { return token("clip", ftoa(c.Level)) }
+
+func (c Clip) Apply(_ *rand.Rand, samples []complex128) []complex128 {
+	rms := math.Sqrt(dsp.MeanPower(samples))
+	if rms == 0 {
+		return samples
+	}
+	limit := c.Level * rms
+	for n, s := range samples {
+		if a := cmplx.Abs(s); a > limit {
+			samples[n] = s * complex(limit/a, 0)
+		}
+	}
+	return samples
+}
+
+func (c Clip) MilderVariants() []Impairment {
+	if c.Level >= 4 {
+		return nil
+	}
+	return []Impairment{Clip{Level: c.Level * 2}}
+}
+
+// Burst adds impulsive Gaussian interference over the sample window
+// [Start, Start+Len): a microwave-oven or co-channel burst. GainDB sets the
+// interference power relative to the signal (0 dB = equal power, positive
+// = stronger than the signal).
+type Burst struct {
+	Start, Len int
+	GainDB     float64
+}
+
+func (b Burst) Kind() string { return "burst" }
+
+func (b Burst) Token() string { return token("burst", itoa(b.Start), itoa(b.Len), ftoa(b.GainDB)) }
+
+func (b Burst) Apply(rng *rand.Rand, samples []complex128) []complex128 {
+	lo, hi := clampRange(b.Start, b.Len, len(samples))
+	if lo >= hi {
+		return samples
+	}
+	sigma2 := dsp.MeanPower(samples) * math.Pow(10, b.GainDB/10)
+	dsp.NewGaussianSource(rng).AddNoise(samples[lo:hi], sigma2)
+	return samples
+}
+
+func (b Burst) MilderVariants() []Impairment {
+	var out []Impairment
+	if b.Len > 40 {
+		out = append(out, Burst{Start: b.Start, Len: b.Len / 2, GainDB: b.GainDB})
+	}
+	if b.GainDB > -12 {
+		out = append(out, Burst{Start: b.Start, Len: b.Len, GainDB: b.GainDB - 6})
+	}
+	return out
+}
+
+// Truncate cuts the stream after At samples: the tail of the frame never
+// reaches the receiver, as when the radio retunes or an interferer captures
+// the AGC mid-frame.
+type Truncate struct {
+	// At is the number of leading samples kept.
+	At int
+}
+
+func (t Truncate) Kind() string { return "trunc" }
+
+func (t Truncate) Token() string { return token("trunc", itoa(t.At)) }
+
+func (t Truncate) Apply(_ *rand.Rand, samples []complex128) []complex128 {
+	if t.At < 0 {
+		return samples[:0]
+	}
+	if t.At < len(samples) {
+		return samples[:t.At]
+	}
+	return samples
+}
+
+// AWGN adds white Gaussian noise at the given SNR relative to the current
+// stream power, independent of whatever the channel model already added.
+type AWGN struct {
+	SNRdB float64
+}
+
+func (a AWGN) Kind() string { return "awgn" }
+
+func (a AWGN) Token() string { return token("awgn", ftoa(a.SNRdB)) }
+
+func (a AWGN) Apply(rng *rand.Rand, samples []complex128) []complex128 {
+	p := dsp.MeanPower(samples)
+	if p == 0 {
+		return samples
+	}
+	dsp.NewGaussianSource(rng).AddNoise(samples, dsp.NoiseVarianceForSNR(p, a.SNRdB))
+	return samples
+}
+
+func (a AWGN) MilderVariants() []Impairment {
+	if a.SNRdB >= 40 {
+		return nil
+	}
+	return []Impairment{AWGN{SNRdB: a.SNRdB + 6}}
+}
+
+// SymbolNoise corrupts Count whole OFDM symbols starting at absolute
+// symbol index Sym (0 = the first symbol after the preamble), adding
+// Gaussian noise with amplitude Amp relative to the signal's RMS. This is
+// the targeted-corruption primitive: Sym=0,Count=2 hits the A-HDR, Sym at
+// a subframe's StartSymbol hits its SIG, and a span inside a DATA field
+// attacks the symbol-CRC side channel's group.
+type SymbolNoise struct {
+	Sym, Count int
+	// Amp scales the noise amplitude relative to RMS (1 = noise as strong
+	// as the signal).
+	Amp float64
+}
+
+func (s SymbolNoise) Kind() string { return "symnoise" }
+
+func (s SymbolNoise) Token() string {
+	return token("symnoise", itoa(s.Sym), itoa(s.Count), ftoa(s.Amp))
+}
+
+func (s SymbolNoise) Apply(rng *rand.Rand, samples []complex128) []complex128 {
+	start := ofdm.PreambleLen + s.Sym*ofdm.SymbolLen
+	lo, hi := clampRange(start, s.Count*ofdm.SymbolLen, len(samples))
+	if lo >= hi {
+		return samples
+	}
+	sigma2 := dsp.MeanPower(samples) * s.Amp * s.Amp
+	dsp.NewGaussianSource(rng).AddNoise(samples[lo:hi], sigma2)
+	return samples
+}
+
+func (s SymbolNoise) MilderVariants() []Impairment {
+	var out []Impairment
+	if s.Amp > 0.05 {
+		out = append(out, SymbolNoise{Sym: s.Sym, Count: s.Count, Amp: s.Amp / 2})
+	}
+	if s.Count > 1 {
+		out = append(out, SymbolNoise{Sym: s.Sym, Count: s.Count / 2, Amp: s.Amp})
+	}
+	return out
+}
+
+// PhaseJitter rotates every OFDM symbol after the preamble by an
+// independent Gaussian common phase (std dev SigmaRad). The data symbols
+// still demodulate — the pilots track common phase — but the injected
+// phase-offset side channel rides exactly on that quantity, so jitter
+// stresses the symbol-CRC side channel specifically.
+type PhaseJitter struct {
+	SigmaRad float64
+}
+
+func (p PhaseJitter) Kind() string { return "phasejitter" }
+
+func (p PhaseJitter) Token() string { return token("phasejitter", ftoa(p.SigmaRad)) }
+
+func (p PhaseJitter) Apply(rng *rand.Rand, samples []complex128) []complex128 {
+	for off := ofdm.PreambleLen; off < len(samples); off += ofdm.SymbolLen {
+		rot := cmplx.Exp(complex(0, rng.NormFloat64()*p.SigmaRad))
+		hi := off + ofdm.SymbolLen
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		for n := off; n < hi; n++ {
+			samples[n] *= rot
+		}
+	}
+	return samples
+}
+
+func (p PhaseJitter) MilderVariants() []Impairment {
+	if p.SigmaRad < 0.01 {
+		return nil
+	}
+	return []Impairment{PhaseJitter{SigmaRad: p.SigmaRad / 2}}
+}
+
+// Dropout zeroes the sample window [Start, Start+Len): a receive chain
+// blanking out entirely, e.g. during an AGC retrain.
+type Dropout struct {
+	Start, Len int
+}
+
+func (d Dropout) Kind() string { return "dropout" }
+
+func (d Dropout) Token() string { return token("dropout", itoa(d.Start), itoa(d.Len)) }
+
+func (d Dropout) Apply(_ *rand.Rand, samples []complex128) []complex128 {
+	lo, hi := clampRange(d.Start, d.Len, len(samples))
+	for n := lo; n < hi; n++ {
+		samples[n] = 0
+	}
+	return samples
+}
+
+func (d Dropout) MilderVariants() []Impairment {
+	if d.Len <= 20 {
+		return nil
+	}
+	return []Impairment{Dropout{Start: d.Start, Len: d.Len / 2}}
+}
+
+// clampRange intersects [start, start+length) with [0, n).
+func clampRange(start, length, n int) (lo, hi int) {
+	lo, hi = start, start+length
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

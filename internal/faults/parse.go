@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Builder constructs an impairment from the numeric arguments of its
+// scenario token. It must reject the wrong argument count.
+type Builder func(args []float64) (Impairment, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Register installs a builder for a new impairment kind, making it
+// composable in scenario strings. Registering a duplicate kind panics:
+// that is always a wiring bug.
+func Register(kind string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic("faults: duplicate impairment kind " + kind)
+	}
+	registry[kind] = b
+}
+
+// Kinds lists the registered impairment kinds, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("cfo", arity(2, func(a []float64) Impairment { return CFO{EpsRad: a[0], Phase0: a[1]} }))
+	Register("clip", arity(1, func(a []float64) Impairment { return Clip{Level: a[0]} }))
+	Register("burst", arity(3, func(a []float64) Impairment {
+		return Burst{Start: int(a[0]), Len: int(a[1]), GainDB: a[2]}
+	}))
+	Register("trunc", arity(1, func(a []float64) Impairment { return Truncate{At: int(a[0])} }))
+	Register("awgn", arity(1, func(a []float64) Impairment { return AWGN{SNRdB: a[0]} }))
+	Register("symnoise", arity(3, func(a []float64) Impairment {
+		return SymbolNoise{Sym: int(a[0]), Count: int(a[1]), Amp: a[2]}
+	}))
+	Register("phasejitter", arity(1, func(a []float64) Impairment { return PhaseJitter{SigmaRad: a[0]} }))
+	Register("dropout", arity(2, func(a []float64) Impairment {
+		return Dropout{Start: int(a[0]), Len: int(a[1])}
+	}))
+}
+
+func arity(n int, build func([]float64) Impairment) Builder {
+	return func(args []float64) (Impairment, error) {
+		if len(args) != n {
+			return nil, fmt.Errorf("faults: want %d args, got %d", n, len(args))
+		}
+		return build(args), nil
+	}
+}
+
+// ParseScenario inverts Scenario.String: "seed=N|kind(a,b)|kind(c)".
+// Whitespace around tokens is ignored. The parsed scenario's String
+// round-trips to an equivalent token (numeric formatting is canonical).
+func ParseScenario(s string) (Scenario, error) {
+	var sc Scenario
+	parts := strings.Split(s, "|")
+	if len(parts) == 0 {
+		return sc, fmt.Errorf("faults: empty scenario")
+	}
+	head := strings.TrimSpace(parts[0])
+	if !strings.HasPrefix(head, "seed=") {
+		return sc, fmt.Errorf("faults: scenario must start with seed=N, got %q", head)
+	}
+	seed, err := strconv.ParseInt(strings.TrimPrefix(head, "seed="), 10, 64)
+	if err != nil {
+		return sc, fmt.Errorf("faults: bad seed in %q: %v", head, err)
+	}
+	sc.Seed = seed
+	for _, tok := range parts[1:] {
+		imp, err := ParseImpairment(strings.TrimSpace(tok))
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Impairments = append(sc.Impairments, imp)
+	}
+	return sc, nil
+}
+
+// ParseImpairment parses one "kind(arg,...)" token through the registry.
+func ParseImpairment(tok string) (Impairment, error) {
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return nil, fmt.Errorf("faults: malformed impairment token %q", tok)
+	}
+	kind := tok[:open]
+	regMu.RLock()
+	build := registry[kind]
+	regMu.RUnlock()
+	if build == nil {
+		return nil, fmt.Errorf("faults: unknown impairment kind %q (have %v)", kind, Kinds())
+	}
+	body := tok[open+1 : len(tok)-1]
+	var args []float64
+	if body != "" {
+		for _, f := range strings.Split(body, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad argument in %q: %v", tok, err)
+			}
+			args = append(args, v)
+		}
+	}
+	imp, err := build(args)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %q: %w", tok, err)
+	}
+	return imp, nil
+}
+
+// token renders "kind(a,b,c)".
+func token(kind string, args ...string) string {
+	return kind + "(" + strings.Join(args, ",") + ")"
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,65 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSoftDecoderMatchesOracle fuzzes the differential contract the
+// conformance suite's viterbi-soft pair relies on: on any int8 LLR stream,
+// the SWAR SoftDecoder must walk the identical survivor path as the
+// float64 ViterbiDecodeSoft oracle fed the exact same decisions. Byte 0
+// selects the code rate; the rest is the punctured LLR stream.
+func FuzzSoftDecoderMatchesOracle(f *testing.F) {
+	f.Add([]byte{0, 0x7f, 0x81, 0x10, 0xf0, 0x00, 0x01})
+	f.Add([]byte{1, 0x40, 0x40, 0xc0, 0xc0, 0x40, 0xc0, 0x00, 0x7f, 0x81})
+	f.Add([]byte{2, 0x01, 0xff, 0x02, 0xfe, 0x03, 0xfd, 0x04, 0xfc, 0x7f, 0x80, 0x00, 0x55})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		var rate CodeRate
+		var infoStep, codedStep int
+		switch data[0] % 3 {
+		case 0:
+			rate, infoStep, codedStep = Rate1_2, 1, 2
+		case 1:
+			rate, infoStep, codedStep = Rate2_3, 2, 3
+		default:
+			rate, infoStep, codedStep = Rate3_4, 3, 4
+		}
+		body := data[1:]
+		k := len(body) / codedStep
+		if k == 0 {
+			return
+		}
+		if k > 1024 {
+			k = 1024 // bound trellis length, not input acceptance
+		}
+		numInfo := k * infoStep
+		llrs := make([]int8, k*codedStep)
+		floats := make([]float64, len(llrs))
+		for i := range llrs {
+			llrs[i] = int8(body[i])
+			floats[i] = float64(llrs[i])
+		}
+
+		oracle, err := ViterbiDecodeSoft(floats, rate, numInfo)
+		if err != nil {
+			t.Fatalf("oracle rejected well-formed input: %v", err)
+		}
+		var d SoftDecoder
+		fast := make([]byte, numInfo)
+		if err := d.DecodeInto(fast, llrs, rate, numInfo); err != nil {
+			t.Fatalf("SoftDecoder rejected well-formed input: %v", err)
+		}
+		if !bytes.Equal(oracle, fast) {
+			for i := range oracle {
+				if oracle[i] != fast[i] {
+					t.Fatalf("rate %v, %d info bits: decoders diverge first at bit %d (oracle %d, fast %d)",
+						rate, numInfo, i, oracle[i], fast[i])
+				}
+			}
+		}
+	})
+}

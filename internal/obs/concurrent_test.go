@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotUnderConcurrentWriters hammers one registry from many
+// goroutines — counters, gauges, histograms, and metric creation — while
+// snapshots are taken concurrently, then checks exact totals after the
+// writers drain. Run with -race; the conformance CI job repeats it.
+func TestSnapshotUnderConcurrentWriters(t *testing.T) {
+	const (
+		writers       = 8
+		incsPerWriter = 1998 // divisible by 6: i%6 fills buckets evenly
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			// Mid-flight totals must never exceed the final tally or go
+			// negative; exact values are checked after the drain.
+			if v := s.Counters["shared"]; v < 0 || v > writers*incsPerWriter {
+				t.Errorf("mid-flight shared counter %d out of range", v)
+				return
+			}
+			if h, ok := s.Histograms["lat"]; ok {
+				var n int64
+				for _, b := range h.Buckets {
+					n += b
+				}
+				if n != h.Count {
+					t.Errorf("mid-flight histogram buckets sum %d != count %d", n, h.Count)
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve through the registry every time: lookup itself must
+			// be race-free with concurrent creation and snapshots.
+			for i := 0; i < incsPerWriter; i++ {
+				r.Counter("shared").Inc()
+				r.Counter("per.writer").Add(2)
+				r.Gauge("gauge").Set(float64(w))
+				r.Histogram("lat", []float64{1, 2, 4}).Observe(float64(i % 6))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	s := r.Snapshot()
+	if got, want := s.Counters["shared"], int64(writers*incsPerWriter); got != want {
+		t.Errorf("shared counter = %d, want %d", got, want)
+	}
+	if got, want := s.Counters["per.writer"], int64(2*writers*incsPerWriter); got != want {
+		t.Errorf("per.writer counter = %d, want %d", got, want)
+	}
+	if g := s.Gauges["gauge"]; g < 0 || g >= writers {
+		t.Errorf("gauge = %v, want one of the written values 0..%d", g, writers-1)
+	}
+	h := s.Histograms["lat"]
+	if got, want := h.Count, int64(writers*incsPerWriter); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	var n int64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	if n != h.Count {
+		t.Errorf("histogram buckets sum to %d, count says %d", n, h.Count)
+	}
+	// i%6 over 0..5: values {0,1} -> bucket 0, {2} -> bucket 1, {3,4} ->
+	// bucket 2, {5} -> overflow. Each writer contributes evenly.
+	per := int64(writers * incsPerWriter / 6)
+	wantBuckets := []int64{2 * per, per, 2 * per, per}
+	for i, want := range wantBuckets {
+		if h.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, h.Buckets[i], want)
+		}
+	}
+	if got, want := h.Sum, float64(writers*incsPerWriter/6)*(0+1+2+3+4+5); got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+// TestDiffUnderConcurrentWriters takes a baseline snapshot while writers
+// are mid-flight and verifies the final Diff accounts for exactly the
+// increments not yet visible at baseline time.
+func TestDiffUnderConcurrentWriters(t *testing.T) {
+	const total = 10000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release
+			for i := 0; i < total/4; i++ {
+				r.Counter("work").Inc()
+				r.Histogram("h", []float64{10}).Observe(1)
+			}
+		}()
+	}
+	close(release)
+	base := r.Snapshot() // racing with the writers on purpose
+	wg.Wait()
+	diff := r.Snapshot().Diff(base)
+
+	if got := diff.Counters["work"] + base.Counters["work"]; got != total {
+		t.Errorf("baseline %d + diff %d = %d, want %d",
+			base.Counters["work"], diff.Counters["work"], got, total)
+	}
+	if h := diff.Histograms["h"]; h.Count+base.Histograms["h"].Count != total {
+		t.Errorf("histogram baseline %d + diff %d != %d",
+			base.Histograms["h"].Count, h.Count, total)
+	}
+}
+
+// TestHistogramBucketEdges pins the boundary convention: bucket i counts
+// v <= Bounds[i], the overflow bucket the rest.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", []float64{1, 2, 4})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{-1, 0}, {0, 0}, {0.999, 0}, {1, 0}, // at the bound counts in
+		{1.0000001, 1}, {2, 1},
+		{2.5, 2}, {4, 2},
+		{4.000001, 3}, {1e9, 3}, // overflow
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := r.Snapshot().Histograms["edges"]
+	want := make([]int64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if snap.Buckets[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (bounds %v)", i, snap.Buckets[i], want[i], snap.Bounds)
+		}
+	}
+	if snap.Count != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", snap.Count, len(cases))
+	}
+}
+
+// TestHistogramUnsortedBounds checks registration sorts the bounds, so
+// call sites cannot accidentally shift the bucket meaning.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("unsorted", []float64{4, 1, 2})
+	if got := h.Bounds(); got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("bounds not sorted: %v", got)
+	}
+	h.Observe(1.5)
+	if b := r.Snapshot().Histograms["unsorted"].Buckets; b[1] != 1 {
+		t.Errorf("1.5 landed in buckets %v, want bucket 1", b)
+	}
+}
+
+// TestHistogramFirstRegistrationWins pins that later bounds are ignored.
+func TestHistogramFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("same", []float64{1, 2})
+	b := r.Histogram("same", []float64{100})
+	if a != b {
+		t.Fatal("same name resolved to different histograms")
+	}
+	if got := b.Bounds(); len(got) != 2 || got[0] != 1 {
+		t.Errorf("second registration changed bounds: %v", got)
+	}
+}

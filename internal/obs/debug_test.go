@@ -10,7 +10,11 @@ import (
 // TestDebugServerEndpoints starts the server on an ephemeral port and
 // checks expvar, the metrics snapshot, and the pprof index respond.
 func TestDebugServerEndpoints(t *testing.T) {
+	// Snapshot-relative so repeated runs (-count=N) against the shared
+	// Default registry still see exactly +3.
+	before := Default.Counter("debugtest.hits").Load()
 	Default.Counter("debugtest.hits").Add(3)
+	want := before + 3
 	ds, err := StartDebugServer("127.0.0.1:0", Default)
 	if err != nil {
 		t.Fatal(err)
@@ -42,16 +46,16 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
 		t.Fatalf("expvar JSON: %v", err)
 	}
-	if vars.Carpool.Counters["debugtest.hits"] != 3 {
-		t.Errorf("expvar counters %v, want debugtest.hits=3", vars.Carpool.Counters)
+	if vars.Carpool.Counters["debugtest.hits"] != want {
+		t.Errorf("expvar counters %v, want debugtest.hits=%d", vars.Carpool.Counters, want)
 	}
 
 	var snap Snapshot
 	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
 		t.Fatalf("metrics JSON: %v", err)
 	}
-	if snap.Counters["debugtest.hits"] != 3 {
-		t.Errorf("snapshot counters %v, want debugtest.hits=3", snap.Counters)
+	if snap.Counters["debugtest.hits"] != want {
+		t.Errorf("snapshot counters %v, want debugtest.hits=%d", snap.Counters, want)
 	}
 
 	if body := get("/debug/pprof/"); len(body) == 0 {

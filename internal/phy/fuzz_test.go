@@ -1,0 +1,66 @@
+package phy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSIGRoundTrip fuzzes the per-subframe PLCP header over the full SIG
+// domain: every valid (MCS, length) pair must survive the
+// encode -> interleave -> map -> demap -> Viterbi -> parse loop exactly.
+func FuzzSIGRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 0})
+	f.Add([]byte{6, 0xff, 0x0f})
+	f.Add([]byte{3, 0x2c, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		s := SIG{
+			MCS:    AllMCS()[int(data[0])%8],
+			Length: 1 + (int(data[1])|int(data[2])<<8)%maxSIGLen,
+		}
+		points, err := BuildSIGPoints(s)
+		if err != nil {
+			t.Fatalf("BuildSIGPoints(%+v): %v", s, err)
+		}
+		got, err := DecodeSIGPoints(points)
+		if err != nil {
+			t.Fatalf("DecodeSIGPoints of clean points: %v", err)
+		}
+		if got != s {
+			t.Fatalf("SIG round trip: sent %+v, decoded %+v", s, got)
+		}
+	})
+}
+
+// FuzzSIGBitsParse fuzzes the raw 24-bit SIG parser with arbitrary bit
+// patterns — the adversarial input a receiver sees when it demodulates
+// noise or a foreign frame. The parser must never panic, and anything it
+// accepts must re-encode to the exact bits it parsed (no two distinct
+// headers may alias one decoded SIG).
+func FuzzSIGBitsParse(f *testing.F) {
+	f.Add([]byte{1, 1, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xfe, 0x80, 0x01, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31, 33, 35, 37, 39, 41})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < sigBitCount {
+			return
+		}
+		bits := make([]byte, sigBitCount)
+		for i := range bits {
+			bits[i] = data[i] & 1
+		}
+		s, err := decodeSIGBits(bits)
+		if err != nil {
+			return // rejection is fine; panics and aliasing are not
+		}
+		enc, err := encodeSIGBits(s)
+		if err != nil {
+			t.Fatalf("accepted SIG %+v does not re-encode: %v", s, err)
+		}
+		if !bytes.Equal(enc, bits) {
+			t.Fatalf("parse/encode aliasing: bits %v decode to %+v which encodes to %v", bits, s, enc)
+		}
+	})
+}
