@@ -8,6 +8,7 @@ package carpool
 // benchmarks quantify the design choices called out in DESIGN.md §5.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -705,4 +706,63 @@ func BenchmarkMACSimulationSecond(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Real-time engine benchmarks (internal/engine, behind cmd/carpoold).
+
+// BenchmarkEngineDeterministicSecond replays one simulated second of
+// 8-station Poisson downlink (≈40k frames) through the deterministic
+// engine — admission, aggregation planning, oracle delivery, retry and
+// latency accounting — end to end.
+func BenchmarkEngineDeterministicSecond(b *testing.B) {
+	flows := make([][]traffic.Arrival, 8)
+	for sta := range flows {
+		rng := rand.New(rand.NewSource(int64(sta) + 1))
+		flows[sta] = traffic.PoissonFlow(rng, 5000, 1200, time.Second)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := RunEngineDeterministic(context.Background(), EngineConfig{
+			NumSTAs:  8,
+			QueueCap: 1 << 16,
+		}, flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Pending != 0 {
+			b.Fatal("deterministic run left backlog")
+		}
+	}
+}
+
+// BenchmarkEngineSubmitDrain10k measures the concurrent serving path: 10k
+// size-only frames admitted through the mutex-guarded ingest, aggregated
+// and delivered by the worker pool, then drained.
+func BenchmarkEngineSubmitDrain10k(b *testing.B) {
+	const frames = 10_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(EngineConfig{NumSTAs: 8, QueueCap: 1 << 14, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < frames; k++ {
+			if err := e.SubmitSize(k%8, 1200); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.Drain(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if st := e.Stats(); st.Delivered != frames {
+			b.Fatalf("delivered %d of %d", st.Delivered, frames)
+		}
+	}
+	b.ReportMetric(float64(frames), "frames/op")
 }

@@ -15,7 +15,9 @@
 //     complete simulated 802.11 OFDM PHY,
 //   - the channel models used to evaluate them (ChannelConfig, NewChannel),
 //   - the trace-driven MAC simulator (MACConfig, RunMAC) with all six
-//     protocol behaviours, and
+//     protocol behaviours,
+//   - the real-time AP aggregation engine (EngineConfig, NewEngine,
+//     RunEngineDeterministic) behind cmd/carpoold, and
 //   - the sequential-ACK NAV arithmetic (DataNAV, ReceiverNAV, ACKNAV).
 //
 // See examples/ for runnable end-to-end scenarios, DESIGN.md for the system
@@ -23,13 +25,17 @@
 package carpool
 
 import (
+	"context"
+
 	"carpool/internal/bloom"
 	"carpool/internal/channel"
 	"carpool/internal/core"
+	"carpool/internal/engine"
 	"carpool/internal/mac"
 	"carpool/internal/mimo"
 	"carpool/internal/phy"
 	"carpool/internal/sidechannel"
+	"carpool/internal/traffic"
 )
 
 // MAC is an IEEE 802 48-bit hardware address.
@@ -188,6 +194,30 @@ const (
 
 // RunMAC executes one MAC simulation.
 func RunMAC(cfg MACConfig) (*MACResult, error) { return mac.Run(cfg) }
+
+// Real-time AP aggregation engine (internal/engine): the serving-path
+// counterpart of the simulator, behind cmd/carpoold.
+type (
+	// Engine is a running AP downlink aggregation engine.
+	Engine = engine.Engine
+	// EngineConfig parameterizes an engine.
+	EngineConfig = engine.Config
+	// EngineStats is a point-in-time account of an engine run.
+	EngineStats = engine.Stats
+)
+
+// NewEngine validates cfg and returns an engine ready for Start.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// Arrival is one scheduled traffic frame (internal/traffic), the unit of
+// MACConfig.Downlink flows and deterministic engine workloads.
+type Arrival = traffic.Arrival
+
+// RunEngineDeterministic executes the engine single-threaded under a
+// virtual clock; results are replayable and comparable to RunMAC.
+func RunEngineDeterministic(ctx context.Context, cfg EngineConfig, flows [][]Arrival) (*EngineStats, error) {
+	return engine.RunDeterministic(ctx, cfg, flows)
+}
 
 // FrameKind classifies what follows a preamble (§4.3 coexistence).
 type FrameKind = core.FrameKind

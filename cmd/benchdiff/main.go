@@ -1,7 +1,9 @@
 // Command benchdiff runs the repository's hot-path benchmark suite —
 // BenchmarkFFT64, the hard/soft/quantized Viterbi decoders on a 1500-byte
-// MPDU, BenchmarkCarpoolFrameReceive and BenchmarkMACSimulationSecond —
-// parses the `go test -bench` output, and writes the results to
+// MPDU, BenchmarkCarpoolFrameReceive, BenchmarkMACSimulationSecond, and
+// the real-time engine pair (deterministic second, concurrent
+// submit+drain) — parses the `go test -bench` output, and writes the
+// results to
 // BENCH_<date>.json so successive runs can be diffed.
 //
 // When a prior BENCH_*.json exists (the newest one in -dir, or the file
@@ -32,8 +34,9 @@ import (
 
 // suite is the default benchmark set: the size-64 FFT kernel, the Viterbi
 // decoders on a full 1500-byte MPDU (hard, float64 soft, and the quantized
-// int8 fast path), one station's whole-frame Carpool receive, and one
-// simulated second of the MAC.
+// int8 fast path), one station's whole-frame Carpool receive, one
+// simulated second of the MAC, and the real-time engine's deterministic
+// second and concurrent submit+drain.
 var suite = []string{
 	"BenchmarkFFT64",
 	"BenchmarkViterbiDecode1500B",
@@ -41,6 +44,8 @@ var suite = []string{
 	"BenchmarkViterbiDecodeSoftQ1500B",
 	"BenchmarkCarpoolFrameReceive",
 	"BenchmarkMACSimulationSecond",
+	"BenchmarkEngineDeterministicSecond",
+	"BenchmarkEngineSubmitDrain10k",
 }
 
 // Result is one parsed benchmark line.

@@ -1,0 +1,185 @@
+// Command carpoold runs the real-time AP aggregation engine behind a
+// length-prefixed TCP (and optionally UDP) frontend. Clients stream
+// frames for stations over the wire protocol in internal/engine/wire.go;
+// the engine aggregates them into Carpool transmissions under the A-HDR
+// receiver cap, per-STA MCS, and an airtime budget, and delivers through
+// either a loss oracle (the fast serving path) or the full TX→channel→RX
+// PHY pipeline.
+//
+// Usage:
+//
+//	carpoold [-listen host:port] [-udp host:port] [-stas N] [-queue-cap N]
+//	         [-max-receivers N] [-agg-bytes N] [-airtime-budget dur]
+//	         [-max-latency dur] [-workers N] [-dead-locs 1,3]
+//	         [-phy] [-phy-seed N] [-pace] [-debug-addr host:port]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: new submissions are
+// rejected, queued frames finish (or exhaust retries), and the final
+// stats print to stderr. A second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"carpool/internal/engine"
+	"carpool/internal/mac"
+	"carpool/internal/obs"
+	"carpool/internal/phy"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9048", "TCP listen address")
+	udp := flag.String("udp", "", "optional UDP listen address")
+	stas := flag.Int("stas", 8, "number of stations served")
+	queueCap := flag.Int("queue-cap", 300, "per-STA queue capacity (frames)")
+	maxRecv := flag.Int("max-receivers", 0, "receivers per transmission (0 = A-HDR capacity)")
+	aggBytes := flag.Int("agg-bytes", 0, "aggregate payload ceiling in bytes (0 = 64 KiB, or the 4095 B PLCP limit with -phy)")
+	airtime := flag.Duration("airtime-budget", 0, "per-transmission airtime budget (0 = unlimited)")
+	maxLatency := flag.Duration("max-latency", 0, "queue expiry bound (0 = none)")
+	workers := flag.Int("workers", 0, "delivery workers (0 = 1)")
+	deadLocs := flag.String("dead-locs", "", "comma-separated station indexes whose subframes always fail (loss model)")
+	usePHY := flag.Bool("phy", false, "deliver through the full PHY pipeline instead of the oracle")
+	phySeed := flag.Int64("phy-seed", 1, "PHY transport impairment seed")
+	pace := flag.Bool("pace", false, "pace workers by computed airtime")
+	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (enables observation)")
+	flag.Parse()
+
+	if *debugAddr != "" {
+		obs.Enable(obs.NewDefaultSink(0))
+		ds, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "carpoold: debug endpoints on http://%s/debug/\n", ds.Addr())
+	}
+
+	cfg := engine.Config{
+		NumSTAs:       *stas,
+		QueueCap:      *queueCap,
+		MaxReceivers:  *maxRecv,
+		MaxAggBytes:   *aggBytes,
+		AirtimeBudget: *airtime,
+		MaxLatency:    *maxLatency,
+		Workers:       *workers,
+		PaceAirtime:   *pace,
+	}
+	switch {
+	case *usePHY:
+		cfg.Transport = &engine.PHYTransport{Seed: *phySeed}
+		cfg.RetainPayloads = true
+		// The 12-bit PLCP LENGTH field caps what one SIG can announce;
+		// an uncapped aggregate would build unbuildable subframes under
+		// deep queues and burn every retry. The loss-oracle paths keep
+		// the simulator's 64 KiB default.
+		if cfg.MaxAggBytes == 0 {
+			cfg.MaxAggBytes = phy.MaxPayloadBytes
+		}
+	case *deadLocs != "":
+		locs, err := parseInts(*deadLocs)
+		if err != nil {
+			fatalf("-dead-locs: %v", err)
+		}
+		cfg.Transport = &engine.OracleTransport{
+			Oracle:    mac.NewLossyLocOracle(locs...),
+			Locations: identityLocations(*stas),
+		}
+	}
+
+	eng, err := engine.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng.Start(ctx); err != nil {
+		fatalf("%v", err)
+	}
+
+	srv := engine.NewServer(eng)
+	srvCtx, srvCancel := context.WithCancel(ctx)
+	defer srvCancel()
+	errc := make(chan error, 2)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "carpoold: serving %d stations on tcp://%s\n", *stas, ln.Addr())
+	go func() { errc <- srv.Serve(srvCtx, ln) }()
+
+	if *udp != "" {
+		pc, err := net.ListenPacket("udp", *udp)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "carpoold: serving udp://%s\n", pc.LocalAddr())
+		go func() { errc <- srv.ServeUDP(srvCtx, pc) }()
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sigc:
+		fmt.Fprintln(os.Stderr, "carpoold: draining (signal again to abort)")
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "carpoold: aborting")
+			cancel()
+		}()
+		drainCtx, drainCancel := context.WithTimeout(ctx, 30*time.Second)
+		defer drainCancel()
+		if err := eng.Drain(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "carpoold: drain: %v\n", err)
+		}
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "carpoold: serve: %v\n", err)
+		}
+		eng.Close()
+	}
+	srvCancel()
+
+	st := eng.Stats()
+	doc, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Fprintf(os.Stderr, "carpoold: final stats\n%s\n", doc)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func identityLocations(n int) []int {
+	locs := make([]int, n)
+	for i := range locs {
+		locs[i] = i
+	}
+	return locs
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "carpoold: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command carpoolload is the open-loop load generator for carpoold. It
+// offers a seeded Poisson frame schedule over the wire protocol, asks the
+// server to drain, and reports client-side send rate plus the engine's
+// delivered throughput, drop rate, and latency percentiles.
+//
+// Usage:
+//
+//	carpoolload [-addr host:port] [-net tcp|udp] [-stas N] [-rate fps]
+//	            [-bytes N] [-duration dur] [-seed N] [-payload]
+//	            [-open-loop] [-json]
+//
+// Without -open-loop the schedule is offered as fast as the connection
+// accepts it — the throughput-ceiling probe used by the CI soak job.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"carpool/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9048", "carpoold address")
+	network := flag.String("net", "tcp", "transport: tcp or udp")
+	stas := flag.Int("stas", 8, "stations to spread load over")
+	rate := flag.Float64("rate", 50_000, "aggregate offered frames per second")
+	frameBytes := flag.Int("bytes", 1400, "frame payload size")
+	duration := flag.Duration("duration", time.Second, "offered schedule length")
+	seed := flag.Int64("seed", 1, "arrival schedule seed")
+	payload := flag.Bool("payload", false, "send real payload bytes instead of size-only records")
+	openLoop := flag.Bool("open-loop", false, "pace arrivals against the wall clock")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		cancel()
+	}()
+
+	rep, err := engine.RunLoad(ctx, engine.LoadConfig{
+		Addr:       *addr,
+		Network:    *network,
+		NumSTAs:    *stas,
+		RatePerSec: *rate,
+		FrameBytes: *frameBytes,
+		Duration:   *duration,
+		Seed:       *seed,
+		Payload:    *payload,
+		OpenLoop:   *openLoop,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carpoolload: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		doc, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(doc))
+		return
+	}
+	s := rep.Server
+	fmt.Printf("offered   %d frames (%d sent) in %v — %.0f frames/s sent, %.0f end to end\n",
+		rep.Offered, rep.Sent, rep.TotalElapsed.Round(time.Millisecond), rep.SendRate, rep.EndToEndRate)
+	fmt.Printf("engine    accepted %d  rejected %d  delivered %d  dropped %d  expired %d\n",
+		s.Accepted, s.Rejected, s.Delivered, s.Dropped, s.Expired)
+	fmt.Printf("carpool   %d tx, %.2f subframes/tx, %d seq-ACK slots, airtime %v\n",
+		s.Transmissions, s.MeanGroupSize, s.SeqACKs, s.AirtimeBusy.Round(time.Microsecond))
+	fmt.Printf("goodput   %.1f Mbit/s wall, %.1f Mbit/s airtime, drop rate %.4f\n",
+		s.GoodputMbps, s.AirtimeGoodputMbps, s.DropRate)
+	fmt.Printf("latency   p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  fairness %.4f\n",
+		s.LatencyP50Ms, s.LatencyP95Ms, s.LatencyP99Ms, s.ByteFairnessIndex)
+}

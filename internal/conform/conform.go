@@ -3,7 +3,7 @@
 // faults (internal/faults) and asserts bit-identity or a documented
 // divergence bound per pair.
 //
-// The five differential pairs:
+// The six differential pairs:
 //
 //   - demap-quant:    modem.DemapSoft (float64 weighted LLRs) vs
 //     modem.DemapSoftQWeightedInto (saturating int8) — bound: ≤ 1 int8
@@ -19,6 +19,9 @@
 //     (scratch-reuse and observation must not leak into outcomes).
 //   - scratch-fresh:  every *Into/pooled-workspace path vs its
 //     fresh-allocation twin — bit-identical.
+//   - engine-vs-macsim: the real-time engine's deterministic mode vs
+//     mac.Run under a shared location-pure loss oracle — identical
+//     delivered bytes per STA and Jain byte-fairness.
 //
 // On divergence the harness shrinks the scenario (impairment removal,
 // then per-impairment mildening) to a minimal failing case and prints a

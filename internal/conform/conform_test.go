@@ -172,7 +172,7 @@ func TestMatrixByName(t *testing.T) {
 
 // TestPairByName checks lookup and the five-pair roster.
 func TestPairByName(t *testing.T) {
-	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh"}
+	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh", "engine-vs-macsim"}
 	if got := Pairs(); len(got) != len(want) {
 		t.Fatalf("%d pairs, want %d", len(got), len(want))
 	}

@@ -2,6 +2,7 @@ package conform
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"carpool/internal/core"
+	"carpool/internal/engine"
 	"carpool/internal/faults"
 	"carpool/internal/fec"
 	"carpool/internal/mac"
@@ -51,6 +53,12 @@ func Pairs() []Pair {
 			Desc:  "pooled/reused decode workspaces vs fresh allocations",
 			Bound: "bit-identical outputs",
 			run:   runScratchFresh,
+		},
+		{
+			Name:  "engine-vs-macsim",
+			Desc:  "deterministic real-time engine vs discrete-event MAC simulator",
+			Bound: "identical delivered bytes per STA and Jain byte-fairness",
+			run:   runEngineVsMACSim,
 		},
 	}
 }
@@ -416,6 +424,81 @@ func runScratchFresh(sc faults.Scenario) (string, error) {
 		if !bytes.Equal(int8Bytes(dirty), int8Bytes(fresh)) {
 			return "DemapSoftQInto into a dirty buffer diverged from DemapSoftQ", nil
 		}
+	}
+	return "", nil
+}
+
+// engineScenario derives the shared engine/simulator workload from the
+// scenario identity: sample-domain impairments cannot run inside either
+// scheduler, so the scenario hash selects the dead-location set and the
+// seed drives the Poisson arrivals. More impairments → more dead
+// stations, which keeps shrinking meaningful.
+func engineScenario(sc faults.Scenario) (flows [][]traffic.Arrival, dead []int, locs []int) {
+	const numSTAs = 6
+	hsh := fnv.New64a()
+	hsh.Write([]byte(sc.String()))
+	h := hsh.Sum64()
+	nDead := len(sc.Impairments)
+	if nDead > numSTAs-1 {
+		nDead = numSTAs - 1
+	}
+	for i := 0; i < nDead; i++ {
+		dead = append(dead, int((h>>uint(8*i))%numSTAs))
+	}
+	flows = make([][]traffic.Arrival, numSTAs)
+	for sta := range flows {
+		rng := rand.New(rand.NewSource(sc.Seed + int64(sta)*7919))
+		flows[sta] = traffic.PoissonFlow(rng, 350, 500+20*sta, 80*time.Millisecond)
+	}
+	locs = make([]int, numSTAs)
+	for i := range locs {
+		locs[i] = i
+	}
+	return flows, dead, locs
+}
+
+// runEngineVsMACSim pits the real-time engine's deterministic mode
+// against the discrete-event MAC simulator on the same workload and the
+// same location-pure loss oracle. The two schedulers differ in timing and
+// contention, but with delivery a pure function of station location and a
+// workload that fully drains, per-frame retry exhaustion — and therefore
+// delivered bytes per STA and byte-fairness — must agree exactly.
+func runEngineVsMACSim(sc faults.Scenario) (string, error) {
+	flows, dead, locs := engineScenario(sc)
+	numSTAs := len(locs)
+
+	engStats, err := engine.RunDeterministic(context.Background(), engine.Config{
+		NumSTAs: numSTAs,
+		Transport: &engine.OracleTransport{
+			Oracle:    mac.NewLossyLocOracle(dead...),
+			Locations: locs,
+		},
+	}, flows)
+	if err != nil {
+		return "", err
+	}
+	if engStats.Pending != 0 {
+		return fmt.Sprintf("engine left %d frames pending after a drained deterministic run", engStats.Pending), nil
+	}
+
+	macRes, err := mac.Run(mac.Config{
+		Protocol: mac.Carpool, NumSTAs: numSTAs, Duration: 2 * time.Second,
+		Seed: sc.Seed, Downlink: flows,
+		Oracle: mac.NewLossyLocOracle(dead...), STALocations: locs,
+	})
+	if err != nil {
+		return "", err
+	}
+
+	for sta := range locs {
+		if engStats.DeliveredBytesPerSTA[sta] != macRes.DeliveredBytesPerSTA[sta] {
+			return fmt.Sprintf("station %d delivered bytes: engine %d, macsim %d (dead=%v)",
+				sta, engStats.DeliveredBytesPerSTA[sta], macRes.DeliveredBytesPerSTA[sta], dead), nil
+		}
+	}
+	if d := engStats.ByteFairnessIndex - macRes.ByteFairnessIndex; d > 1e-12 || d < -1e-12 {
+		return fmt.Sprintf("byte-fairness: engine %.15f, macsim %.15f",
+			engStats.ByteFairnessIndex, macRes.ByteFairnessIndex), nil
 	}
 	return "", nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"carpool/internal/sim"
@@ -19,14 +20,26 @@ import (
 // error too is deterministic); results[i] is nil for stations at or after an
 // error.
 func ReceiveFrameAll(rxs [][]complex128, cfgs []ReceiverConfig) ([]*FrameRx, error) {
+	return ReceiveFrameAllCtx(context.Background(), rxs, cfgs)
+}
+
+// ReceiveFrameAllCtx is ReceiveFrameAll with cooperative cancellation: a
+// cancelled ctx stops dispatching further stations and returns ctx.Err().
+// Stations already decoding complete normally (their results are kept), and
+// no worker goroutine outlives the call — the cancellation contract the
+// real-time engine's worker pool relies on during shutdown.
+func ReceiveFrameAllCtx(ctx context.Context, rxs [][]complex128, cfgs []ReceiverConfig) ([]*FrameRx, error) {
 	if len(rxs) != len(cfgs) {
 		return nil, fmt.Errorf("core: %d sample streams but %d receiver configs", len(rxs), len(cfgs))
 	}
 	results := make([]*FrameRx, len(rxs))
 	errs := make([]error, len(rxs))
-	sim.ParallelFor(len(rxs), func(i int) {
+	if err := sim.ParallelForCtx(ctx, len(rxs), func(i int) error {
 		results[i], errs[i] = ReceiveFrame(rxs[i], cfgs[i])
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			for j := i; j < len(results); j++ {

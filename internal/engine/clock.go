@@ -1,0 +1,31 @@
+package engine
+
+import "time"
+
+// Clock is the engine's time source. The real-time engine uses a
+// monotonic wall clock; the deterministic mode drives the same scheduling
+// and accounting code from a virtual clock it advances by computed
+// airtime, which is what makes engine runs replayable and comparable to
+// the discrete-event simulator.
+type Clock interface {
+	// Now returns the time elapsed since the clock's epoch.
+	Now() time.Duration
+}
+
+// wallClock measures monotonic time since its creation.
+type wallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a monotonic clock anchored at the call.
+func NewWallClock() Clock { return &wallClock{start: time.Now()} }
+
+func (c *wallClock) Now() time.Duration { return time.Since(c.start) }
+
+// virtualClock is the deterministic mode's manually advanced clock. Only
+// the single-threaded deterministic runner mutates it.
+type virtualClock struct {
+	now time.Duration
+}
+
+func (c *virtualClock) Now() time.Duration { return c.now }

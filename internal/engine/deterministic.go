@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"carpool/internal/traffic"
+)
+
+// detArrival is one scheduled submission in the deterministic run.
+type detArrival struct {
+	at   time.Duration
+	sta  int
+	size int
+}
+
+// RunDeterministic executes the engine single-threaded under a virtual
+// clock: per-STA arrival flows feed the same admission, expiry, planning,
+// retry, and accounting code the real-time worker pool runs, but time
+// advances only by computed airtime and arrival gaps, so a given
+// (config, flows, transport-seed) triple always produces the same Stats.
+// This is the mode the engine-vs-macsim conformance pair and the
+// determinism tests drive.
+//
+// flows[sta] is station sta's arrival schedule (len(flows) must not
+// exceed cfg.NumSTAs). cfg.Clock and cfg.Workers are overridden; the
+// transport is called synchronously. The run ends when every arrival has
+// been offered and all queues have drained (delivered, dropped, or
+// expired).
+func RunDeterministic(ctx context.Context, cfg Config, flows [][]traffic.Arrival) (*Stats, error) {
+	if len(flows) > cfg.NumSTAs && cfg.NumSTAs > 0 {
+		return nil, fmt.Errorf("engine: %d flows for %d stations", len(flows), cfg.NumSTAs)
+	}
+	clk := &virtualClock{}
+	cfg.Clock = clk
+	cfg.Workers = 1
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten flows into one global arrival schedule ordered by time, with
+	// station index as the deterministic tie-break.
+	var arrivals []detArrival
+	for sta, flow := range flows {
+		for _, a := range flow {
+			arrivals = append(arrivals, detArrival{at: a.Time, sta: sta, size: a.Size})
+		}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		if arrivals[i].at != arrivals[j].at {
+			return arrivals[i].at < arrivals[j].at
+		}
+		return arrivals[i].sta < arrivals[j].sta
+	})
+
+	var sc planScratch
+	next := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		now := clk.now
+
+		// Admit every arrival due by now. Admission failures here are
+		// backpressure outcomes (counted), not run errors.
+		for next < len(arrivals) && arrivals[next].at <= now {
+			a := arrivals[next]
+			_ = e.submitLocked(a.sta, a.size, nil, now)
+			next++
+		}
+		e.expireLocked(now)
+
+		if tx := e.buildPlanLocked(now, &sc); tx != nil {
+			okPerSub, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
+			// The transmission and its ACK train occupy the air before the
+			// outcome lands — advance virtual time first so latency and
+			// backoff are stamped at transmission end, as on real hardware.
+			clk.now += tx.plan.Airtime + tx.plan.ACKTime
+			e.accountLocked(tx, okPerSub, derr, clk.now)
+			continue
+		}
+
+		// Nothing schedulable: hop to the next event (arrival or backoff
+		// expiry); if neither exists the run is complete.
+		hop := time.Duration(-1)
+		if next < len(arrivals) {
+			hop = arrivals[next].at - now
+		}
+		if d, ok := e.earliestEligibleLocked(now); ok && (hop < 0 || d < hop) {
+			hop = d
+		}
+		if hop < 0 {
+			break
+		}
+		if hop == 0 {
+			hop = 1 // guard against zero-length hops stalling the loop
+		}
+		clk.now += hop
+	}
+
+	st := e.statsLocked(clk.now)
+	return &st, nil
+}

@@ -1,0 +1,534 @@
+// Package engine is the real-time AP downlink aggregation engine: the
+// serving-path counterpart of the discrete-event simulator in
+// internal/mac. It ingests frames destined to many stations through an
+// in-process API (or the length-prefixed wire frontend in cmd/carpoold),
+// holds per-STA bounded queues with admission control and backpressure,
+// and runs an aggregation scheduler that groups queued frames into
+// Carpool transmissions — respecting the 48-bit coded-Bloom A-HDR
+// receiver capacity, per-STA MCS, the aggregate byte ceiling, and an
+// airtime budget — then drives delivery on a worker pool: either a
+// mac.DeliveryOracle (the fast path) or the full TX→channel→RX PHY
+// pipeline (internal/core, internal/phy). Failed subframes retry with
+// per-STA capped exponential backoff and sequential-ACK bookkeeping.
+//
+// Two execution modes share every line of scheduling, retry, and
+// accounting code: the concurrent real-time mode (Start/Submit/Drain) and
+// a single-threaded deterministic mode (RunDeterministic) with an
+// injected virtual clock, whose delivered-bytes and fairness results are
+// differentially compared against the internal/mac oracle by
+// internal/conform's engine-vs-macsim pair.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"carpool/internal/bloom"
+	"carpool/internal/mac"
+	"carpool/internal/obs"
+	"carpool/internal/phy"
+)
+
+// Typed admission-control errors returned by Submit.
+var (
+	// ErrQueueFull signals backpressure: the station's bounded queue is at
+	// capacity and the frame was rejected.
+	ErrQueueFull = errors.New("engine: station queue full")
+	// ErrDraining rejects new work once a graceful drain has begun.
+	ErrDraining = errors.New("engine: draining")
+	// ErrClosed rejects work after the engine has stopped.
+	ErrClosed = errors.New("engine: closed")
+	// ErrOversize rejects frames larger than the aggregate byte ceiling,
+	// which could never be scheduled.
+	ErrOversize = errors.New("engine: frame exceeds MaxAggBytes")
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	// NumSTAs is the number of stations the engine serves.
+	NumSTAs int
+	// QueueCap bounds each station's queue in frames (default 300, the
+	// simulator's default): the admission threshold past which Submit
+	// returns ErrQueueFull.
+	QueueCap int
+	// MaxReceivers caps distinct destinations per transmission; bounded
+	// by the 48-bit coded-Bloom A-HDR capacity (default and ceiling:
+	// bloom.MaxReceivers).
+	MaxReceivers int
+	// MaxAggBytes caps one aggregate's total payload (default 64 KiB).
+	MaxAggBytes int
+	// AirtimeBudget caps one transmission's data airtime; zero is
+	// unlimited. A plan always admits at least one frame for progress.
+	AirtimeBudget time.Duration
+	// MaxLatency, when nonzero, expires queued frames that waited longer.
+	MaxLatency time.Duration
+	// RetryLimit per frame (default 7, the 802.11 long retry limit).
+	RetryLimit int
+	// BackoffBase and BackoffCap shape the per-STA capped exponential
+	// retry backoff: after k consecutive failed transmissions a station
+	// is ineligible for min(BackoffBase<<(k-1), BackoffCap). Defaults
+	// 100µs and 10ms.
+	BackoffBase, BackoffCap time.Duration
+	// MCS is each station's modulation-and-coding scheme; nil selects
+	// phy.MCS48 for all, a short slice extends with its last entry.
+	MCS []phy.MCS
+	// Transport delivers planned aggregates; nil selects a lossless
+	// OracleTransport.
+	Transport Transport
+	// Workers sizes the delivery worker pool (default GOMAXPROCS-style 1
+	// minimum; deterministic mode always uses a single thread).
+	Workers int
+	// RetainPayloads keeps submitted frame bytes in the queue so the
+	// transport can put the real payload on the air (PHY transport).
+	// Off, the engine accounts sizes only — the fast serving path.
+	RetainPayloads bool
+	// PaceAirtime makes workers hold each plan for its computed air
+	// occupancy (airtime + sequential ACKs), approximating channel
+	// pacing in real time. Off, the engine runs as fast as hardware
+	// allows.
+	PaceAirtime bool
+	// Clock overrides the time source (tests); nil selects a monotonic
+	// wall clock anchored at New.
+	Clock Clock
+	// Obs receives engine metrics; nil falls back to the globally
+	// enabled sink at New time.
+	Obs *obs.Sink
+	// LatencyWindow bounds the delivered-frame latency sample ring used
+	// for percentiles (default 1<<18 samples).
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NumSTAs < 1 {
+		return c, fmt.Errorf("engine: need at least one STA, got %d", c.NumSTAs)
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 300
+	}
+	if c.QueueCap < 1 {
+		return c, fmt.Errorf("engine: non-positive QueueCap %d", c.QueueCap)
+	}
+	if c.MaxReceivers == 0 {
+		c.MaxReceivers = bloom.MaxReceivers
+	}
+	if c.MaxReceivers < 1 || c.MaxReceivers > bloom.MaxReceivers {
+		return c, fmt.Errorf("engine: MaxReceivers %d outside 1..%d (A-HDR capacity)",
+			c.MaxReceivers, bloom.MaxReceivers)
+	}
+	if c.MaxAggBytes == 0 {
+		c.MaxAggBytes = 64 << 10
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = mac.DefaultRetryLimit
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Microsecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 10 * time.Millisecond
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1 << 18
+	}
+	mcs := make([]phy.MCS, c.NumSTAs)
+	for i := range mcs {
+		switch {
+		case i < len(c.MCS):
+			mcs[i] = c.MCS[i]
+		case len(c.MCS) > 0:
+			mcs[i] = c.MCS[len(c.MCS)-1]
+		default:
+			mcs[i] = phy.MCS48
+		}
+		if !mcs[i].Valid() {
+			return c, fmt.Errorf("engine: invalid MCS for STA %d", i)
+		}
+	}
+	c.MCS = mcs
+	if c.Transport == nil {
+		c.Transport = &OracleTransport{}
+	}
+	return c, nil
+}
+
+// Engine is a running (or deterministically stepped) AP downlink engine.
+type Engine struct {
+	cfg   Config
+	rates mac.Rates
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queues  []staQueue
+	seq     uint64 // next admission sequence number
+	txSeq   uint64 // next transmission sequence number
+	pending int    // queued frames across all stations
+
+	started, draining, closed bool
+	inFlight                  int
+	ctx                       context.Context
+	cancel                    context.CancelFunc
+	wg                        sync.WaitGroup
+
+	clock Clock
+	eobs  engObs
+
+	// Accounting (guarded by mu).
+	accepted, rejected, delivered, dropped, expired int64
+	retriesN, txN, subN, seqAcks                    int64
+	busy                                            time.Duration
+	deliveredBytes                                  []int64
+	offered                                         []bool
+	delays                                          delayRing
+}
+
+// New validates cfg and returns an engine ready for Start (real-time) or
+// for the deterministic runner. Observability handles resolve once here.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = NewWallClock()
+	}
+	sink := cfg.Obs
+	if sink == nil {
+		sink = obs.Active()
+	}
+	e := &Engine{
+		cfg:            cfg,
+		rates:          mac.DefaultRates(),
+		queues:         make([]staQueue, cfg.NumSTAs),
+		clock:          clk,
+		eobs:           resolveEngObs(sink),
+		deliveredBytes: make([]int64, cfg.NumSTAs),
+		offered:        make([]bool, cfg.NumSTAs),
+		delays:         newDelayRing(cfg.LatencyWindow),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e, nil
+}
+
+// Start launches the delivery worker pool. The engine runs until Drain
+// completes or Close aborts it; ctx cancellation is equivalent to Close.
+func (e *Engine) Start(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return errors.New("engine: already started")
+	}
+	if e.closed {
+		return ErrClosed
+	}
+	e.started = true
+	e.ctx, e.cancel = context.WithCancel(ctx)
+	// A cancelled context must wake sleeping workers and waiters.
+	context.AfterFunc(e.ctx, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	e.wg.Add(e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		go e.worker()
+	}
+	return nil
+}
+
+// Submit offers one frame for station sta, copying payload only when the
+// engine retains payloads. It applies admission control and returns a
+// typed error — ErrQueueFull (backpressure), ErrDraining, ErrClosed, or
+// ErrOversize — without blocking.
+func (e *Engine) Submit(sta int, payload []byte) error {
+	return e.submit(sta, len(payload), payload)
+}
+
+// SubmitSize offers a size-only frame: the fast ingest path when the
+// transport does not need real bytes.
+func (e *Engine) SubmitSize(sta, size int) error {
+	return e.submit(sta, size, nil)
+}
+
+func (e *Engine) submit(sta, size int, payload []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err := e.submitLocked(sta, size, payload, e.clock.Now())
+	if err == nil && e.queues[sta].len() == 1 {
+		e.cond.Broadcast() // queue went non-empty: wake a worker
+	}
+	return err
+}
+
+// submitLocked is the admission-control core shared by the real-time and
+// deterministic modes. Caller holds e.mu (or is single-threaded).
+func (e *Engine) submitLocked(sta, size int, payload []byte, now time.Duration) error {
+	if sta < 0 || sta >= e.cfg.NumSTAs {
+		return fmt.Errorf("engine: station %d outside 0..%d", sta, e.cfg.NumSTAs-1)
+	}
+	if size <= 0 {
+		return fmt.Errorf("engine: non-positive frame size %d", size)
+	}
+	e.offered[sta] = true
+	if e.closed {
+		return ErrClosed
+	}
+	if e.draining {
+		e.rejected++
+		e.eobs.rejected.Inc()
+		return ErrDraining
+	}
+	if size > e.cfg.MaxAggBytes {
+		e.rejected++
+		e.eobs.rejected.Inc()
+		return ErrOversize
+	}
+	q := &e.queues[sta]
+	if q.len() >= e.cfg.QueueCap {
+		e.rejected++
+		e.eobs.rejected.Inc()
+		e.eobs.qDropped.Inc()
+		e.eobs.qBackpressure.Inc()
+		return ErrQueueFull
+	}
+	if e.cfg.RetainPayloads && payload != nil {
+		payload = append([]byte(nil), payload...)
+	} else {
+		payload = nil
+	}
+	q.push(qframe{seq: e.seq, size: size, arrival: now, payload: payload})
+	e.seq++
+	e.pending++
+	e.accepted++
+	e.eobs.accepted.Inc()
+	return nil
+}
+
+// expireLocked drops queued frames older than MaxLatency. Arrivals are
+// monotone from each queue head, so the sweep stops at the first frame
+// still inside the bound.
+func (e *Engine) expireLocked(now time.Duration) {
+	if e.cfg.MaxLatency <= 0 {
+		return
+	}
+	for sta := range e.queues {
+		q := &e.queues[sta]
+		for q.len() > 0 && now-q.headFrame().arrival > e.cfg.MaxLatency {
+			q.pop()
+			e.pending--
+			e.expired++
+			e.eobs.expired.Inc()
+			e.eobs.qExpired.Inc()
+			e.eobs.tracer.Emit(obs.EvQueueExpiry, int64(sta), 0)
+		}
+	}
+}
+
+// earliestEligibleLocked returns the wait until the soonest backed-off
+// station with backlog becomes eligible; ok is false when no station is
+// both backlogged and backing off.
+func (e *Engine) earliestEligibleLocked(now time.Duration) (time.Duration, bool) {
+	best, ok := time.Duration(0), false
+	for sta := range e.queues {
+		q := &e.queues[sta]
+		if q.len() == 0 || q.nextEligible <= now {
+			continue
+		}
+		if d := q.nextEligible - now; !ok || d < best {
+			best, ok = d, true
+		}
+	}
+	return best, ok
+}
+
+// backoffAfter returns the capped exponential backoff after streak
+// consecutive failures (streak >= 1).
+func (e *Engine) backoffAfter(streak int) time.Duration {
+	d := e.cfg.BackoffBase
+	for i := 1; i < streak; i++ {
+		d <<= 1
+		if d >= e.cfg.BackoffCap {
+			return e.cfg.BackoffCap
+		}
+	}
+	return min(d, e.cfg.BackoffCap)
+}
+
+// accountLocked applies one transmission's outcome: delivery accounting,
+// per-frame retry bookkeeping with requeue-at-head, retry-limit drops,
+// per-STA backoff, and the sequential-ACK ledger. okPerSub may be nil
+// (transport error): every subframe is then treated as undelivered.
+func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now time.Duration) {
+	plan := &tx.plan
+	e.txN++
+	e.subN += int64(len(plan.Subs))
+	e.seqAcks += int64(len(plan.Subs))
+	e.busy += plan.Airtime + plan.ACKTime
+	e.eobs.tx.Inc()
+	e.eobs.aggSubframes.Add(int64(len(plan.Subs)))
+	e.eobs.seqAcks.Add(int64(len(plan.Subs)))
+	e.eobs.airtimeUs.Add(int64((plan.Airtime + plan.ACKTime) / time.Microsecond))
+	e.eobs.groupSize.Observe(float64(len(plan.Subs)))
+	e.eobs.tracer.Emit(obs.EvAggTX, int64(len(plan.Subs)), 0)
+	e.eobs.tracer.Emit(obs.EvSeqACK, int64(len(plan.Subs)), 0)
+	if derr != nil {
+		e.eobs.transportErrs.Inc()
+	}
+
+	for i := range plan.Subs {
+		sub := &plan.Subs[i]
+		q := &e.queues[sub.STA]
+		delivered := derr == nil && okPerSub != nil && okPerSub[i]
+		if delivered {
+			q.failStreak = 0
+			q.nextEligible = 0
+			for _, f := range tx.frames[i] {
+				e.pending--
+				e.delivered++
+				e.deliveredBytes[sub.STA] += int64(f.size)
+				e.delays.add((now - f.arrival).Seconds())
+				e.eobs.delivered.Inc()
+				e.eobs.latencyMs.Observe((now - f.arrival).Seconds() * 1e3)
+			}
+			continue
+		}
+		// Shared fate: every frame of the subframe failed together.
+		kept := tx.frames[i][:0]
+		for _, f := range tx.frames[i] {
+			f.retries++
+			e.retriesN++
+			e.eobs.retries.Inc()
+			if f.retries > e.cfg.RetryLimit {
+				e.pending--
+				e.dropped++
+				e.eobs.dropped.Inc()
+				e.eobs.qDropped.Inc()
+				continue
+			}
+			kept = append(kept, f)
+		}
+		q.requeue(kept)
+		q.failStreak++
+		q.nextEligible = now + e.backoffAfter(q.failStreak)
+	}
+	e.eobs.qDepth.Set(float64(e.pending))
+}
+
+// worker is one delivery-pool goroutine: build a plan under the lock,
+// deliver it outside the lock, account the outcome.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	var sc planScratch
+	for {
+		e.mu.Lock()
+		var tx *pendingTx
+		for {
+			if e.ctx.Err() != nil {
+				e.mu.Unlock()
+				return
+			}
+			now := e.clock.Now()
+			e.expireLocked(now)
+			tx = e.buildPlanLocked(now, &sc)
+			if tx != nil {
+				break
+			}
+			if e.draining && e.pending == 0 && e.inFlight == 0 {
+				e.cond.Broadcast() // wake Drain and sibling workers
+				e.mu.Unlock()
+				return
+			}
+			if d, ok := e.earliestEligibleLocked(now); ok {
+				t := time.AfterFunc(d, func() {
+					e.mu.Lock()
+					e.cond.Broadcast()
+					e.mu.Unlock()
+				})
+				e.cond.Wait()
+				t.Stop()
+			} else {
+				e.cond.Wait()
+			}
+		}
+		e.inFlight++
+		e.mu.Unlock()
+
+		okPerSub, derr := e.cfg.Transport.Deliver(e.ctx, &tx.plan)
+		if e.cfg.PaceAirtime {
+			e.pace(tx.plan.Airtime + tx.plan.ACKTime)
+		}
+
+		e.mu.Lock()
+		e.inFlight--
+		e.accountLocked(tx, okPerSub, derr, e.clock.Now())
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// pace holds the worker for the plan's air occupancy, honouring shutdown.
+func (e *Engine) pace(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-e.ctx.Done():
+	}
+}
+
+// Drain performs a graceful shutdown: new submissions are rejected with
+// ErrDraining, queued and in-flight frames are delivered (or exhaust
+// their retries), then the worker pool exits. It returns ctx.Err() if the
+// deadline expires first; the engine is stopped either way.
+func (e *Engine) Drain(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer stop()
+
+	e.mu.Lock()
+	if !e.started {
+		e.draining, e.closed = true, true
+		e.mu.Unlock()
+		return nil
+	}
+	e.draining = true
+	e.cond.Broadcast()
+	for (e.pending > 0 || e.inFlight > 0) && ctx.Err() == nil && e.ctx.Err() == nil {
+		e.cond.Wait()
+	}
+	err := ctx.Err()
+	e.mu.Unlock()
+
+	e.cancel() // workers have drained (or the deadline hit): stop the pool
+	e.wg.Wait()
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return err
+}
+
+// Close aborts immediately: queued frames are discarded, workers stop as
+// soon as their current delivery returns. Safe to call more than once and
+// after Drain.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.started || e.closed {
+		e.draining, e.closed = true, true
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+}

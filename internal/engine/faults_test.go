@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"carpool/internal/faults"
+	"carpool/internal/mac"
+)
+
+// goroutineCount waits briefly for stragglers to exit and returns the
+// settled goroutine count.
+func goroutineCount(baseline int) int {
+	for i := 0; i < 100; i++ {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+func TestPHYTransportCleanChannel(t *testing.T) {
+	cfg := Config{
+		NumSTAs:        3,
+		Transport:      &PHYTransport{Seed: 11},
+		RetainPayloads: true,
+	}
+	st, err := RunDeterministic(context.Background(), cfg, cbrFlows(3, 4, 256, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 12 || st.Dropped != 0 {
+		t.Fatalf("clean channel: delivered=%d dropped=%d, want 12/0", st.Delivered, st.Dropped)
+	}
+}
+
+// TestDrainUnderImpairments is the satellite requirement: the real-time
+// engine under bursty loss and mid-frame truncation must retry, never
+// deadlock or leak, and drain to a consistent accounting. Runs under
+// -race in CI.
+func TestDrainUnderImpairments(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	e, err := New(Config{
+		NumSTAs: 4,
+		Workers: 3,
+		Transport: &PHYTransport{
+			Seed: 5,
+			Impair: []faults.Impairment{
+				// A noise burst over early payload symbols and a truncation
+				// cutting the frame's tail: subframes laid out in between
+				// survive, the rest retry — in a smaller retry plan the
+				// symbol layout shifts, so retried frames can land in the
+				// clean region and deliver.
+				faults.Burst{Start: 1100, Len: 240, GainDB: 5},
+				faults.Truncate{At: 3800},
+			},
+		},
+		RetainPayloads: true,
+		// Cap aggregates at four 300B frames so the impairment window
+		// (samples ~1100-3800 of a ~5000-sample frame) straddles the
+		// subframe layout instead of swallowing it whole.
+		MaxAggBytes: 1200,
+		// Small queues force backpressure under the slow PHY path.
+		QueueCap:    16,
+		RetryLimit:  3,
+		BackoffBase: 50 * time.Microsecond,
+		BackoffCap:  500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var accepted, rejected int
+	for k := 0; k < 200; k++ {
+		if err := e.Submit(k%4, payload); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("nothing admitted")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain under impairments: %v", err)
+	}
+	st := e.Stats()
+	t.Logf("accepted=%d rejected=%d delivered=%d dropped=%d retries=%d",
+		st.Accepted, st.Rejected, st.Delivered, st.Dropped, st.Retries)
+	if st.Accepted != int64(accepted) || st.Rejected != int64(rejected) {
+		t.Errorf("admission accounting: stats %d/%d, client %d/%d",
+			st.Accepted, st.Rejected, accepted, rejected)
+	}
+	if st.Delivered+st.Dropped+st.Expired != st.Accepted || st.Pending != 0 {
+		t.Errorf("drain left inconsistent accounting: %+v", st)
+	}
+	if st.Dropped > 0 && st.Retries == 0 {
+		t.Errorf("frames dropped without retries: %+v", st)
+	}
+	if st.Delivered == 0 || st.Dropped == 0 {
+		t.Errorf("want mixed outcomes under these impairments: %+v", st)
+	}
+
+	if n := goroutineCount(baseline); n > baseline {
+		t.Errorf("goroutine leak after drain: %d > baseline %d", n, baseline)
+	}
+}
+
+// TestDrainTimeoutOnDeadLink: a drain whose queue can never empty (dead
+// station, huge retry limit) must honour its context instead of hanging.
+func TestDrainTimeoutOnDeadLink(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	e, err := New(Config{
+		NumSTAs:    1,
+		RetryLimit: 1 << 30,
+		Transport:  &OracleTransport{Oracle: mac.NewLossyLocOracle(0), Locations: []int{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_ = e.SubmitSize(0, 500)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain on dead link: %v, want DeadlineExceeded", err)
+	}
+	if n := goroutineCount(baseline); n > baseline {
+		t.Errorf("goroutine leak after aborted drain: %d > baseline %d", n, baseline)
+	}
+}
+
+func TestCloseAborts(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	e, err := New(Config{NumSTAs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_ = e.SubmitSize(i%2, 400)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.SubmitSize(0, 100); err != ErrClosed {
+		t.Errorf("submit after close: %v", err)
+	}
+	if n := goroutineCount(baseline); n > baseline {
+		t.Errorf("goroutine leak after close: %d > baseline %d", n, baseline)
+	}
+}

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"time"
+
+	"carpool/internal/sim"
+	"carpool/internal/traffic"
+)
+
+// LoadConfig parameterizes the open-loop load generator behind
+// cmd/carpoolload.
+type LoadConfig struct {
+	// Addr is the carpoold endpoint; Network "tcp" (default) or "udp".
+	Addr    string
+	Network string
+	// NumSTAs spreads offered frames over this many stations (default 8).
+	NumSTAs int
+	// RatePerSec is the aggregate offered frame rate (default 50k).
+	RatePerSec float64
+	// FrameBytes sizes each offered frame (default 1400).
+	FrameBytes int
+	// Duration bounds the offered schedule (default 1s).
+	Duration time.Duration
+	// Seed makes the Poisson arrival schedule reproducible.
+	Seed int64
+	// Payload switches from size-only records to real payload bytes.
+	Payload bool
+	// OpenLoop replays the schedule against the wall clock (arrivals do
+	// not wait for the server — the generator's normal mode). Off, frames
+	// are offered as fast as the connection accepts them: the
+	// throughput-ceiling probe.
+	OpenLoop bool
+}
+
+// LoadReport is the generator's summary: client-side offered counts plus
+// the server's drained Stats.
+type LoadReport struct {
+	// Offered is the schedule length; Sent the records actually written
+	// (the difference is frames a cancelled run cut off).
+	Offered, Sent int64
+	// Elapsed is the wall time from first record to drain request;
+	// TotalElapsed extends through the server's drain completion.
+	Elapsed, TotalElapsed time.Duration
+	// SendRate is Sent/Elapsed in frames per second; EndToEndRate is
+	// Sent/TotalElapsed — offered, queued, transmitted, and ACKed.
+	SendRate, EndToEndRate float64
+	// Server is the engine's post-drain accounting: delivery counts, drop
+	// rate, latency percentiles.
+	Server Stats
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Network == "" {
+		c.Network = "tcp"
+	}
+	if c.NumSTAs <= 0 {
+		c.NumSTAs = 8
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 50_000
+	}
+	if c.FrameBytes <= 0 {
+		c.FrameBytes = 1400
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	return c
+}
+
+// loadItem is one scheduled offered frame.
+type loadItem struct {
+	at   time.Duration
+	sta  int
+	size int
+}
+
+// LoadSchedule materializes the generator's offered schedule: one seeded
+// Poisson flow per station (seeds derived from cfg.Seed), merged by
+// arrival time with station index as tie-break. Exposed so tests and the
+// deterministic runner can consume the identical workload.
+func LoadSchedule(cfg LoadConfig) [][]traffic.Arrival {
+	cfg = cfg.withDefaults()
+	perSTA := cfg.RatePerSec / float64(cfg.NumSTAs)
+	flows := make([][]traffic.Arrival, cfg.NumSTAs)
+	for sta := range flows {
+		rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, sta)))
+		flows[sta] = traffic.PoissonFlow(rng, perSTA, cfg.FrameBytes, cfg.Duration)
+	}
+	return flows
+}
+
+// RunLoad offers a seeded Poisson schedule to a carpoold server over one
+// connection, requests a drain, and reports the server's final stats.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+
+	var schedule []loadItem
+	for sta, flow := range LoadSchedule(cfg) {
+		for _, a := range flow {
+			schedule = append(schedule, loadItem{at: a.Time, sta: sta, size: a.Size})
+		}
+	}
+	sort.Slice(schedule, func(i, j int) bool {
+		if schedule[i].at != schedule[j].at {
+			return schedule[i].at < schedule[j].at
+		}
+		return schedule[i].sta < schedule[j].sta
+	})
+
+	conn, err := net.Dial(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var payload []byte
+	if cfg.Payload {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		payload = make([]byte, cfg.FrameBytes)
+		rng.Read(payload)
+	}
+
+	rep := &LoadReport{Offered: int64(len(schedule))}
+	start := time.Now()
+	var buf []byte
+	const flushEvery = 256
+	sinceFlush := 0
+	for _, it := range schedule {
+		if ctx.Err() != nil {
+			break
+		}
+		if cfg.OpenLoop {
+			if wait := it.at - time.Since(start); wait > 50*time.Microsecond {
+				time.Sleep(wait)
+			}
+		}
+		buf = buf[:0]
+		if cfg.Payload {
+			buf = AppendDataRecord(buf, it.sta, payload[:it.size])
+		} else {
+			buf = AppendSizeRecord(buf, it.sta, it.size)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return nil, fmt.Errorf("carpoolload: send: %w", err)
+		}
+		rep.Sent++
+		if sinceFlush++; sinceFlush >= flushEvery {
+			if err := bw.Flush(); err != nil {
+				return nil, fmt.Errorf("carpoolload: flush: %w", err)
+			}
+			sinceFlush = 0
+		}
+	}
+	// Drain handshake: the server finishes queued work, then reports.
+	if _, err := bw.Write(AppendControlRecord(nil, RecDrain)); err != nil {
+		return nil, fmt.Errorf("carpoolload: drain request: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("carpoolload: drain flush: %w", err)
+	}
+	rep.Elapsed = time.Since(start)
+	st, err := ReadStatsReply(conn)
+	if err != nil {
+		return nil, fmt.Errorf("carpoolload: stats reply: %w", err)
+	}
+	rep.Server = st
+	rep.TotalElapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.SendRate = float64(rep.Sent) / rep.Elapsed.Seconds()
+	}
+	if rep.TotalElapsed > 0 {
+		rep.EndToEndRate = float64(rep.Sent) / rep.TotalElapsed.Seconds()
+	}
+	return rep, nil
+}

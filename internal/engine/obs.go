@@ -1,0 +1,69 @@
+package engine
+
+import "carpool/internal/obs"
+
+// engObs caches the engine's metric handles, resolved once in New. Every
+// handle is nil-safe, so a nil sink costs one nil check per touch point.
+// The queue.* family uses the canonical cross-layer names from
+// internal/obs/names.go — the same series the MAC simulator exports — so
+// dashboards read one name regardless of which layer served the traffic.
+type engObs struct {
+	accepted      *obs.Counter
+	rejected      *obs.Counter
+	delivered     *obs.Counter
+	dropped       *obs.Counter
+	expired       *obs.Counter
+	retries       *obs.Counter
+	tx            *obs.Counter
+	aggSubframes  *obs.Counter
+	seqAcks       *obs.Counter
+	transportErrs *obs.Counter
+	airtimeUs     *obs.Counter
+
+	qDropped      *obs.Counter
+	qExpired      *obs.Counter
+	qBackpressure *obs.Counter
+	qDepth        *obs.Gauge
+
+	groupSize *obs.Histogram
+	latencyMs *obs.Histogram
+
+	tracer *obs.Tracer
+}
+
+// engLatencyBucketsMs spans the serving path's expected range: sub-ms on
+// loopback up to the simulator's 500 ms ceiling.
+var engLatencyBucketsMs = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+// engGroupBuckets covers aggregation group sizes up to the A-HDR capacity.
+var engGroupBuckets = []float64{1, 2, 3, 4, 5, 6, 7, 8}
+
+func resolveEngObs(sink *obs.Sink) engObs {
+	if sink == nil {
+		return engObs{}
+	}
+	eo := engObs{
+		accepted:      sink.Counter("engine.accepted"),
+		rejected:      sink.Counter("engine.rejected"),
+		delivered:     sink.Counter("engine.delivered"),
+		dropped:       sink.Counter("engine.dropped"),
+		expired:       sink.Counter("engine.expired"),
+		retries:       sink.Counter("engine.retries"),
+		tx:            sink.Counter("engine.tx"),
+		aggSubframes:  sink.Counter("engine.agg_subframes"),
+		seqAcks:       sink.Counter("engine.seq_acks"),
+		transportErrs: sink.Counter("engine.transport_errors"),
+		airtimeUs:     sink.Counter("engine.airtime_us"),
+
+		qDropped:      sink.Counter(obs.QueueDropped),
+		qExpired:      sink.Counter(obs.QueueExpired),
+		qBackpressure: sink.Counter(obs.QueueBackpressure),
+		qDepth:        sink.Gauge(obs.QueueDepth),
+
+		groupSize: sink.Histogram("engine.group_size", engGroupBuckets),
+		latencyMs: sink.Histogram("engine.latency_ms", engLatencyBucketsMs),
+
+		tracer: sink.Tracer,
+	}
+	return eo
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"time"
+
+	"carpool/internal/mac"
+	"carpool/internal/phy"
+)
+
+// PlanSub is one receiver's subframe within a planned transmission: the
+// retransmission unit. Every contained frame shares the subframe's symbol
+// span and fate — one FCS, one sequential-ACK slot (§4.2).
+type PlanSub struct {
+	// STA is the receiver's station index.
+	STA int
+	// MCS is the subframe's modulation-and-coding scheme.
+	MCS phy.MCS
+	// StartSym is the first DATA symbol of the subframe within the whole
+	// PHY frame (after the A-HDR and this subframe's SIG); NumSym its DATA
+	// length in symbols. Delivery oracles receive this span.
+	StartSym, NumSym int
+	// Bytes is the summed payload size of the contained frames.
+	Bytes int
+	// Payloads holds the contained frames' bytes when the engine retains
+	// payloads; nil entries (or a nil slice) mean size-only frames.
+	Payloads [][]byte
+}
+
+// Plan is one aggregate transmission handed to a Transport.
+type Plan struct {
+	// Seq is the transmission's sequence number, unique per engine run;
+	// transports derive per-transmission randomness from it.
+	Seq uint64
+	// Subs are the subframes in A-HDR slot order.
+	Subs []PlanSub
+	// Airtime is the data transmission's air occupancy (PLCP + A-HDR +
+	// per-subframe SIG and DATA symbols + propagation); ACKTime the
+	// sequential-ACK train (one SIFS-separated slot per receiver).
+	Airtime time.Duration
+	// ACKTime is the sequential-ACK train duration.
+	ACKTime time.Duration
+}
+
+// pendingTx pairs the transport-facing plan with the engine-internal
+// frames it carries, parallel to plan.Subs.
+type pendingTx struct {
+	plan   Plan
+	frames [][]qframe
+}
+
+// planScratch is one worker's reusable plan-building storage: the engine's
+// pooled scratch. Exactly one pendingTx per worker is alive at a time; the
+// next buildPlanLocked call recycles every slice.
+type planScratch struct {
+	tx       pendingTx
+	subBits  []int  // per-sub cumulative payload bits (16-bit SERVICE included)
+	staSlot  []int  // per-STA subframe slot, -1 = none
+	rejected []bool // per-STA "no slot left" marker for this plan
+}
+
+func (sc *planScratch) reset(numSTAs int) {
+	sc.tx.plan.Subs = sc.tx.plan.Subs[:0]
+	sc.tx.plan.Airtime, sc.tx.plan.ACKTime = 0, 0
+	sc.tx.frames = sc.tx.frames[:0]
+	sc.subBits = sc.subBits[:0]
+	if len(sc.staSlot) < numSTAs {
+		sc.staSlot = make([]int, numSTAs)
+		sc.rejected = make([]bool, numSTAs)
+	}
+	for i := 0; i < numSTAs; i++ {
+		sc.staSlot[i] = -1
+		sc.rejected[i] = false
+	}
+}
+
+// subSymbols returns a subframe's DATA length in OFDM symbols for the
+// accumulated payload bits at the given MCS (SERVICE is already inside
+// bits; the 6 tail bits are added here).
+func subSymbols(bits int, mcs phy.MCS) int {
+	ndbps := mcs.DataBitsPerSymbol()
+	return (bits + 6 + ndbps - 1) / ndbps
+}
+
+// frameBits is one MAC frame's on-air payload bit cost inside a subframe.
+func frameBits(size int) int {
+	return 8 * (mac.MACHeaderBytes + size + mac.FCSBytes)
+}
+
+// planAirtime converts a total symbol count to air occupancy.
+func planAirtime(symbols int) time.Duration {
+	return mac.PLCPTime + time.Duration(symbols)*mac.SymbolTime + mac.PropDelay
+}
+
+// buildPlanLocked pops queued frames into one aggregate transmission. It
+// walks frames in global admission order (cross-STA FIFO, the paper's §8
+// discipline) over stations that are non-empty and past their retry
+// backoff, grouping frames per station into subframes and stopping at the
+// first frame that would breach MaxAggBytes (strict FIFO cutoff, matching
+// the MAC simulator's multi-user planner), at a full receiver set for a
+// new station (that station is skipped for this plan), or at the airtime
+// budget (always admitting at least one frame for progress). It returns
+// nil when no eligible station has backlog.
+//
+// Caller must hold e.mu. The returned pendingTx lives in sc until the
+// next call.
+func (e *Engine) buildPlanLocked(now time.Duration, sc *planScratch) *pendingTx {
+	sc.reset(e.cfg.NumSTAs)
+	plan := &sc.tx.plan
+	totalBytes := 0
+	symbols := mac.AHDRSymbols
+
+	for {
+		// Next frame in global admission order among eligible stations.
+		best := -1
+		var bestSeq uint64
+		for sta := range e.queues {
+			q := &e.queues[sta]
+			if q.len() == 0 || q.nextEligible > now || sc.rejected[sta] {
+				continue
+			}
+			if s := q.headFrame().seq; best < 0 || s < bestSeq {
+				best, bestSeq = sta, s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		q := &e.queues[best]
+		f := q.headFrame()
+		slot := sc.staSlot[best]
+		if slot < 0 && len(plan.Subs) >= e.cfg.MaxReceivers {
+			sc.rejected[best] = true
+			continue
+		}
+		if len(plan.Subs) > 0 && totalBytes+f.size > e.cfg.MaxAggBytes {
+			break // strict FIFO cutoff at the aggregate byte ceiling
+		}
+
+		// Project the airtime with this frame added.
+		mcs := e.cfg.MCS[best]
+		newSymbols := symbols
+		if slot < 0 {
+			newSymbols += mac.SIGSymbols + subSymbols(16+frameBits(f.size), mcs)
+		} else {
+			newSymbols += subSymbols(sc.subBits[slot]+frameBits(f.size), mcs) -
+				subSymbols(sc.subBits[slot], mcs)
+		}
+		if e.cfg.AirtimeBudget > 0 && len(plan.Subs) > 0 &&
+			planAirtime(newSymbols) > e.cfg.AirtimeBudget {
+			break
+		}
+
+		fr := q.pop()
+		if slot < 0 {
+			slot = len(plan.Subs)
+			sc.staSlot[best] = slot
+			plan.Subs = append(plan.Subs, PlanSub{STA: best, MCS: mcs})
+			sc.subBits = append(sc.subBits, 16) // SERVICE field
+			// Recycle the inner frame slices across plans.
+			if n := len(sc.tx.frames); n < cap(sc.tx.frames) {
+				sc.tx.frames = sc.tx.frames[:n+1]
+				sc.tx.frames[n] = sc.tx.frames[n][:0]
+			} else {
+				sc.tx.frames = append(sc.tx.frames, nil)
+			}
+		}
+		sc.subBits[slot] += frameBits(fr.size)
+		plan.Subs[slot].Bytes += fr.size
+		if fr.payload != nil {
+			plan.Subs[slot].Payloads = append(plan.Subs[slot].Payloads, fr.payload)
+		}
+		sc.tx.frames[slot] = append(sc.tx.frames[slot], fr)
+		totalBytes += fr.size
+		symbols = newSymbols
+	}
+	if len(plan.Subs) == 0 {
+		return nil
+	}
+
+	// Lay out symbol spans: A-HDR, then per subframe one SIG + DATA run.
+	cursor := mac.AHDRSymbols
+	for i := range plan.Subs {
+		sub := &plan.Subs[i]
+		cursor += mac.SIGSymbols
+		sub.StartSym = cursor
+		sub.NumSym = subSymbols(sc.subBits[i], sub.MCS)
+		cursor += sub.NumSym
+	}
+	plan.Seq = e.txSeq
+	e.txSeq++
+	plan.Airtime = planAirtime(cursor)
+	plan.ACKTime = time.Duration(len(plan.Subs)) * (mac.SIFS + mac.ACKAirtime(e.rates))
+	return &sc.tx
+}

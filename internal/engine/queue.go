@@ -1,0 +1,66 @@
+package engine
+
+import "time"
+
+// qframe is one queued downlink frame. seq is its global admission order
+// and survives requeueing after a failed transmission, so the scheduler's
+// cross-STA FIFO walk keeps serving frames in arrival order — the same
+// FIFO-priority discipline the MAC simulator's single AP queue implements.
+type qframe struct {
+	seq     uint64
+	size    int
+	arrival time.Duration
+	retries int
+	payload []byte // nil unless the engine retains payloads (PHY transport)
+}
+
+// staQueue is one station's bounded FIFO plus its retry-backoff gate.
+// Arrivals within a station are monotone non-decreasing from the head
+// (requeued frames are older than anything behind them), which lets the
+// latency-expiry sweep stop at the first fresh frame.
+type staQueue struct {
+	buf  []qframe
+	head int
+	// nextEligible gates scheduling after failed transmissions: the
+	// capped-exponential backoff of the engine's per-STA retry policy.
+	nextEligible time.Duration
+	// failStreak counts consecutive failed transmissions to this STA.
+	failStreak int
+}
+
+func (q *staQueue) len() int { return len(q.buf) - q.head }
+
+func (q *staQueue) headFrame() *qframe { return &q.buf[q.head] }
+
+func (q *staQueue) push(f qframe) { q.buf = append(q.buf, f) }
+
+func (q *staQueue) pop() qframe {
+	f := q.buf[q.head]
+	q.buf[q.head].payload = nil // release retained bytes
+	q.head++
+	// Compact once the dead prefix dominates, keeping the backing array.
+	if q.head >= 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return f
+}
+
+// requeue reinserts failed frames at the queue head, preserving their
+// relative order and original seq/arrival so FIFO position and latency
+// accounting survive retries.
+func (q *staQueue) requeue(fs []qframe) {
+	if len(fs) == 0 {
+		return
+	}
+	if q.head >= len(fs) {
+		q.head -= len(fs)
+		copy(q.buf[q.head:], fs)
+		return
+	}
+	merged := make([]qframe, 0, len(fs)+q.len())
+	merged = append(merged, fs...)
+	merged = append(merged, q.buf[q.head:]...)
+	q.buf, q.head = merged, 0
+}

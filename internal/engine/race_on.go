@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; the
+// loopback throughput test scales its floor by the detector's overhead.
+const raceEnabled = true

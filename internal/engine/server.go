@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server is the carpoold network frontend: it feeds wire-protocol records
+// from TCP streams and UDP datagrams into one engine. Ingest records are
+// admitted (or rejected by backpressure) inline on the connection's read
+// goroutine; control records reply on the same connection.
+type Server struct {
+	eng *Engine
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps a started engine.
+func NewServer(e *Engine) *Server {
+	return &Server{eng: e, conns: make(map[net.Conn]struct{})}
+}
+
+// Engine returns the served engine.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Serve accepts TCP connections until ctx is cancelled or the listener
+// closes, running one read loop per connection. It returns nil on
+// graceful shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() {
+		ln.Close()
+		s.closeConns()
+	})
+	defer stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.track(conn)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(ctx, conn)
+		}()
+	}
+}
+
+func (s *Server) track(c net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// serveConn drains one TCP stream. Submission errors are backpressure
+// outcomes already counted by the engine, not connection errors.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<14)
+	var payloadBuf []byte
+	for {
+		rec, buf, err := readRecord(br, payloadBuf)
+		payloadBuf = buf
+		if err != nil {
+			return // EOF, peer reset, or malformed framing: drop the conn
+		}
+		switch rec.typ {
+		case RecData:
+			_ = s.eng.Submit(rec.sta, rec.payload)
+		case RecDataSize:
+			_ = s.eng.SubmitSize(rec.sta, rec.length)
+		case RecStats:
+			if writeStatsReply(bw, s.eng.Stats()) != nil {
+				return
+			}
+		case RecDrain:
+			err := s.eng.Drain(ctx)
+			st := s.eng.Stats()
+			if writeStatsReply(bw, st) != nil || err != nil {
+				return
+			}
+		default:
+			return // unknown record type: framing is unrecoverable
+		}
+	}
+}
+
+// ServeUDP drains datagrams until ctx is cancelled or the socket closes.
+// Each datagram carries whole records back-to-back; a malformed record
+// discards the rest of its datagram only. Control records reply to the
+// sender's address in one datagram.
+func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	buf := make([]byte, 64<<10)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		dgram := buf[:n]
+		for off := 0; off < len(dgram); {
+			rec, next, perr := parseDatagramRecord(dgram, off)
+			if perr != nil {
+				break
+			}
+			off = next
+			switch rec.typ {
+			case RecData:
+				_ = s.eng.Submit(rec.sta, rec.payload)
+			case RecDataSize:
+				_ = s.eng.SubmitSize(rec.sta, rec.length)
+			case RecStats:
+				if reply, jerr := statsReply(s.eng.Stats()); jerr == nil {
+					_, _ = conn.WriteTo(reply, addr)
+				}
+			case RecDrain:
+				_ = s.eng.Drain(ctx)
+				if reply, jerr := statsReply(s.eng.Stats()); jerr == nil {
+					_, _ = conn.WriteTo(reply, addr)
+				}
+			}
+		}
+	}
+}
+
+// statsReply encodes a stats record: RecStats framing with JSON payload.
+func statsReply(st Stats) ([]byte, error) {
+	doc, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	out := appendHeader(make([]byte, 0, recHeaderLen+len(doc)), RecStats, 0, len(doc))
+	return append(out, doc...), nil
+}
+
+func writeStatsReply(bw *bufio.Writer, st Stats) error {
+	reply, err := statsReply(st)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(reply); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadStatsReply decodes one stats reply from a stream — the client half
+// of the RecStats/RecDrain exchange, used by carpoolload.
+func ReadStatsReply(r io.Reader) (Stats, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var payloadBuf []byte
+	rec, _, err := readRecord(br, payloadBuf)
+	if err != nil {
+		return Stats{}, err
+	}
+	if rec.typ != RecStats {
+		return Stats{}, errors.New("engine: unexpected reply record type")
+	}
+	doc := make([]byte, rec.length)
+	if _, err := io.ReadFull(br, doc); err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal(doc, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

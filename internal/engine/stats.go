@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"time"
+
+	"carpool/internal/stats"
+)
+
+// delayRing keeps the most recent delivered-frame latencies (seconds) in
+// a fixed window for percentile reporting without unbounded growth.
+type delayRing struct {
+	buf  []float64
+	pos  int
+	full bool
+}
+
+func newDelayRing(capacity int) delayRing {
+	return delayRing{buf: make([]float64, capacity)}
+}
+
+func (r *delayRing) add(v float64) {
+	r.buf[r.pos] = v
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos, r.full = 0, true
+	}
+}
+
+// samples returns a copy of the retained window.
+func (r *delayRing) samples() []float64 {
+	if r.full {
+		return append([]float64(nil), r.buf...)
+	}
+	return append([]float64(nil), r.buf[:r.pos]...)
+}
+
+// Stats is a point-in-time account of an engine run, JSON-ready for the
+// carpoold stats endpoint and the carpoolload report.
+type Stats struct {
+	// Accepted counts frames admitted past backpressure; Rejected those
+	// refused (queue full, draining, oversize).
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	// Delivered counts frames whose subframe was ACKed; Dropped those that
+	// exhausted the retry limit; Expired those that overstayed MaxLatency.
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	Expired   int64 `json:"expired"`
+	// Pending is the queued backlog at snapshot time.
+	Pending int64 `json:"pending"`
+	// Retries counts per-frame retransmission attempts.
+	Retries int64 `json:"retries"`
+	// Transmissions counts aggregate TXs; Subframes the subframes across
+	// them; SeqACKs the sequential-ACK slots consumed (§4.2: one per
+	// receiver per transmission).
+	Transmissions int64 `json:"transmissions"`
+	Subframes     int64 `json:"subframes"`
+	SeqACKs       int64 `json:"seq_acks"`
+	// MeanGroupSize is Subframes/Transmissions — the carpool occupancy.
+	MeanGroupSize float64 `json:"mean_group_size"`
+	// AirtimeBusy is the summed air occupancy (data + ACK trains) of every
+	// transmission — virtual time in deterministic mode.
+	AirtimeBusy time.Duration `json:"airtime_busy_ns"`
+	// Elapsed is wall (or virtual) time from engine start to the snapshot.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// DeliveredBytes totals delivered payload; DeliveredBytesPerSTA splits
+	// it by station — the series the engine-vs-macsim conformance pair
+	// compares.
+	DeliveredBytes       int64   `json:"delivered_bytes"`
+	DeliveredBytesPerSTA []int64 `json:"delivered_bytes_per_sta"`
+	// ByteFairnessIndex is Jain's index over DeliveredBytesPerSTA across
+	// stations that were offered traffic (1 = perfectly fair), the same
+	// form the MAC simulator reports.
+	ByteFairnessIndex float64 `json:"byte_fairness_index"`
+	// GoodputMbps is delivered payload bits over Elapsed.
+	GoodputMbps float64 `json:"goodput_mbps"`
+	// AirtimeGoodputMbps is delivered payload bits over AirtimeBusy — the
+	// channel-efficiency view, comparable across pacing modes.
+	AirtimeGoodputMbps float64 `json:"airtime_goodput_mbps"`
+	// DropRate is (Dropped+Expired+Rejected)/offered.
+	DropRate float64 `json:"drop_rate"`
+	// Latency percentiles (milliseconds) over the retained delivery
+	// window; zero when nothing was delivered.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+// Stats snapshots the engine's accounting. Safe to call concurrently with
+// a running engine.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statsLocked(e.clock.Now())
+}
+
+func (e *Engine) statsLocked(now time.Duration) Stats {
+	st := Stats{
+		Accepted:      e.accepted,
+		Rejected:      e.rejected,
+		Delivered:     e.delivered,
+		Dropped:       e.dropped,
+		Expired:       e.expired,
+		Pending:       int64(e.pending),
+		Retries:       e.retriesN,
+		Transmissions: e.txN,
+		Subframes:     e.subN,
+		SeqACKs:       e.seqAcks,
+		AirtimeBusy:   e.busy,
+		Elapsed:       now,
+	}
+	if st.Transmissions > 0 {
+		st.MeanGroupSize = float64(st.Subframes) / float64(st.Transmissions)
+	}
+	st.DeliveredBytesPerSTA = append([]int64(nil), e.deliveredBytes...)
+	var sum, sumSq float64
+	var offered float64
+	for i, b := range e.deliveredBytes {
+		st.DeliveredBytes += b
+		sum += float64(b)
+		sumSq += float64(b) * float64(b)
+		if e.offered[i] {
+			offered++
+		}
+	}
+	if offered > 0 && sumSq > 0 {
+		st.ByteFairnessIndex = sum * sum / (offered * sumSq)
+	}
+	if st.Elapsed > 0 {
+		st.GoodputMbps = float64(st.DeliveredBytes) * 8 / st.Elapsed.Seconds() / 1e6
+	}
+	if st.AirtimeBusy > 0 {
+		st.AirtimeGoodputMbps = float64(st.DeliveredBytes) * 8 / st.AirtimeBusy.Seconds() / 1e6
+	}
+	if total := e.accepted + e.rejected; total > 0 {
+		st.DropRate = float64(e.dropped+e.expired+e.rejected) / float64(total)
+	}
+	if s := e.delays.samples(); len(s) > 0 {
+		cdf := stats.NewCDF(s)
+		st.LatencyP50Ms = cdf.Quantile(0.50) * 1e3
+		st.LatencyP95Ms = cdf.Quantile(0.95) * 1e3
+		st.LatencyP99Ms = cdf.Quantile(0.99) * 1e3
+	}
+	return st
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"carpool/internal/bloom"
+	"carpool/internal/core"
+	"carpool/internal/faults"
+	"carpool/internal/mac"
+	"carpool/internal/sim"
+)
+
+// Transport carries one planned aggregate to its receivers and reports
+// per-subframe delivery. Implementations must be safe for concurrent
+// Deliver calls from the engine's worker pool.
+type Transport interface {
+	// Deliver transmits plan and returns one delivery verdict per
+	// plan.Subs entry. A non-nil error is a transport-level failure; the
+	// engine treats every subframe of that plan as undelivered (retry
+	// path) and keeps running.
+	Deliver(ctx context.Context, plan *Plan) ([]bool, error)
+}
+
+// OracleTransport decides delivery with a mac.DeliveryOracle over the
+// plan's symbol spans — the fast serving path, and the bridge that lets a
+// deterministic engine run share its loss model with the discrete-event
+// simulator. One oracle call decides each subframe (shared fate, one FCS
+// per subframe).
+type OracleTransport struct {
+	// Oracle decides per-subframe delivery; nil is lossless.
+	Oracle mac.DeliveryOracle
+	// Locations maps station index to trace location ID (nil: all zero).
+	Locations []int
+	// StandardEstimate disables RTE decoding in the oracle query (the
+	// MU-Aggregation ablation); the default is Carpool's RTE.
+	StandardEstimate bool
+
+	// mu serializes oracle access: trace and fixed oracles hold RNG state.
+	mu sync.Mutex
+}
+
+// Deliver queries the oracle once per subframe.
+func (t *OracleTransport) Deliver(_ context.Context, plan *Plan) ([]bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ok := make([]bool, len(plan.Subs))
+	for i, sub := range plan.Subs {
+		if t.Oracle == nil {
+			ok[i] = true
+			continue
+		}
+		loc := 0
+		if t.Locations != nil {
+			loc = t.Locations[sub.STA]
+		}
+		var err error
+		ok[i], err = t.Oracle.SubframeOK(loc, !t.StandardEstimate, sub.StartSym, sub.NumSym)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ok, nil
+}
+
+// STAMAC returns station i's deterministic hardware address: a locally
+// administered OUI shared by the engine's transmitter and receivers.
+func STAMAC(i int) bloom.MAC {
+	return bloom.MAC{0x02, 0xcb, 0x70, byte(i >> 16), byte(i >> 8), byte(i)}
+}
+
+// PHYTransport drives the full TX→channel→RX pipeline for every plan: it
+// builds a real Carpool frame (core.BuildFrame — preamble, coded-Bloom
+// A-HDR, per-subframe SIG and DATA symbols), impairs the samples with a
+// seed-derived fault scenario, and fans each addressed station's receive
+// pipeline (core.ReceiveFrame: sync, A-HDR match, SIG walk, RTE decode)
+// across workers via sim.ParallelForCtx. A subframe is delivered when its
+// receiver decodes a payload byte-identical to what was sent.
+type PHYTransport struct {
+	// Seed decorrelates per-transmission impairment draws; the scenario
+	// applied to transmission n uses sim.DeriveSeed(Seed, n).
+	Seed int64
+	// Impair lists the channel impairments applied to every transmission
+	// (the Seed field of this template is ignored).
+	Impair []faults.Impairment
+	// FrameCfg configures frame construction (hashes, side channel).
+	FrameCfg core.FrameConfig
+	// SoftFEC selects the quantized soft-decision receive path.
+	SoftFEC bool
+}
+
+// Deliver builds, impairs, and decodes one aggregate end to end.
+func (t *PHYTransport) Deliver(ctx context.Context, plan *Plan) ([]bool, error) {
+	subs := make([]core.Subframe, len(plan.Subs))
+	payloads := make([][]byte, len(plan.Subs))
+	for i, sub := range plan.Subs {
+		payloads[i] = subframePayload(t.Seed, plan.Seq, i, sub)
+		subs[i] = core.Subframe{Receiver: STAMAC(sub.STA), MCS: sub.MCS, Payload: payloads[i]}
+	}
+	frame, err := core.BuildFrame(subs, t.FrameCfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building PHY frame: %w", err)
+	}
+	sc := faults.Scenario{Seed: sim.DeriveSeed(t.Seed, int(plan.Seq)), Impairments: t.Impair}
+	rx := sc.Apply(frame.Samples)
+
+	// Every receiver hears the same samples; decode failures (truncated
+	// subframes, sync loss, FEC residue) are delivery failures for that
+	// receiver's subframes, never transport errors.
+	ok := make([]bool, len(plan.Subs))
+	err = sim.ParallelForCtx(ctx, len(plan.Subs), func(i int) error {
+		res, rerr := core.ReceiveFrame(rx, core.ReceiverConfig{
+			MAC:        STAMAC(plan.Subs[i].STA),
+			UseRTE:     true,
+			KnownStart: 0,
+			SoftFEC:    t.SoftFEC,
+		})
+		if rerr != nil || res == nil {
+			return nil
+		}
+		for _, sf := range res.Subframes {
+			if sf.Position == i+1 && bytes.Equal(sf.Payload, payloads[i]) {
+				ok[i] = true
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ok, nil
+}
+
+// subframePayload materializes a subframe's on-air bytes: the retained
+// frame payloads concatenated when present, otherwise deterministic
+// pseudo-random filler of the right size (size-only ingest).
+func subframePayload(seed int64, txSeq uint64, subIdx int, sub PlanSub) []byte {
+	if len(sub.Payloads) > 0 {
+		out := make([]byte, 0, sub.Bytes)
+		for _, p := range sub.Payloads {
+			out = append(out, p...)
+		}
+		if len(out) == sub.Bytes {
+			return out
+		}
+		// Mixed retained/size-only frames: pad to the accounted size.
+		for len(out) < sub.Bytes {
+			out = append(out, byte(len(out)))
+		}
+		return out[:sub.Bytes]
+	}
+	out := make([]byte, sub.Bytes)
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(seed, int(txSeq)*bloom.MaxReceivers+subIdx)))
+	rng.Read(out)
+	return out
+}

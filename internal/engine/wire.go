@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The carpoold wire protocol: a stream (TCP) or datagram payload (UDP) of
+// length-prefixed records, each
+//
+//	type(1) | sta(2, big-endian) | length(4, big-endian) | payload(length)
+//
+// RecData carries real frame bytes in payload. RecDataSize is the fast
+// ingest form: length is the synthetic frame size and no payload bytes
+// follow — the load generator's way of offering 100k+ frames/s without
+// moving bulk data. RecStats asks for a Stats reply; RecDrain starts a
+// graceful drain and replies with the final Stats. Replies use the same
+// record framing with the JSON document as payload and sta zero.
+const (
+	RecData     = 0x01
+	RecDataSize = 0x02
+	RecStats    = 0x03
+	RecDrain    = 0x04
+)
+
+// recHeaderLen is the fixed record prefix size.
+const recHeaderLen = 1 + 2 + 4
+
+// MaxWirePayload bounds a record's declared payload length, protecting
+// the server from hostile or corrupt length prefixes.
+const MaxWirePayload = 1 << 20
+
+// AppendDataRecord appends a RecData record carrying payload for sta.
+func AppendDataRecord(buf []byte, sta int, payload []byte) []byte {
+	buf = appendHeader(buf, RecData, sta, len(payload))
+	return append(buf, payload...)
+}
+
+// AppendSizeRecord appends a RecDataSize record offering a synthetic
+// frame of the given size for sta.
+func AppendSizeRecord(buf []byte, sta, size int) []byte {
+	return appendHeader(buf, RecDataSize, sta, size)
+}
+
+// AppendControlRecord appends a RecStats or RecDrain request.
+func AppendControlRecord(buf []byte, typ byte) []byte {
+	return appendHeader(buf, typ, 0, 0)
+}
+
+func appendHeader(buf []byte, typ byte, sta, length int) []byte {
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(sta))
+	return binary.BigEndian.AppendUint32(buf, uint32(length))
+}
+
+// wireRecord is one decoded record. payload aliases the read buffer and
+// is only valid until the next read.
+type wireRecord struct {
+	typ     byte
+	sta     int
+	length  int
+	payload []byte
+}
+
+// readRecord decodes one record from a buffered stream. payloadBuf is the
+// caller's reusable scratch, returned (possibly grown) for the next call.
+func readRecord(br *bufio.Reader, payloadBuf []byte) (wireRecord, []byte, error) {
+	var hdr [recHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return wireRecord{}, payloadBuf, err
+	}
+	rec := wireRecord{
+		typ:    hdr[0],
+		sta:    int(binary.BigEndian.Uint16(hdr[1:3])),
+		length: int(binary.BigEndian.Uint32(hdr[3:7])),
+	}
+	if rec.length > MaxWirePayload {
+		return wireRecord{}, payloadBuf, fmt.Errorf("engine: wire payload %d exceeds %d", rec.length, MaxWirePayload)
+	}
+	if rec.typ == RecData && rec.length > 0 {
+		if cap(payloadBuf) < rec.length {
+			payloadBuf = make([]byte, rec.length)
+		}
+		payloadBuf = payloadBuf[:rec.length]
+		if _, err := io.ReadFull(br, payloadBuf); err != nil {
+			return wireRecord{}, payloadBuf, err
+		}
+		rec.payload = payloadBuf
+	}
+	return rec, payloadBuf, nil
+}
+
+// parseDatagramRecord decodes one record from a datagram at offset off,
+// returning the next offset. Unlike the stream form it never blocks.
+func parseDatagramRecord(dgram []byte, off int) (wireRecord, int, error) {
+	if len(dgram)-off < recHeaderLen {
+		return wireRecord{}, off, fmt.Errorf("engine: truncated record header at offset %d", off)
+	}
+	rec := wireRecord{
+		typ:    dgram[off],
+		sta:    int(binary.BigEndian.Uint16(dgram[off+1 : off+3])),
+		length: int(binary.BigEndian.Uint32(dgram[off+3 : off+7])),
+	}
+	off += recHeaderLen
+	if rec.typ == RecData && rec.length > 0 {
+		if rec.length > len(dgram)-off {
+			return wireRecord{}, off, fmt.Errorf("engine: truncated record payload at offset %d", off)
+		}
+		rec.payload = dgram[off : off+rec.length]
+		off += rec.length
+	}
+	return rec, off, nil
+}

@@ -62,6 +62,32 @@ func (o *FixedOracle) SubframeOK(int, bool, int, int) (bool, error) {
 	return o.rng.Float64() < o.P, nil
 }
 
+// LossyLocOracle fails every subframe heard at the listed trace locations
+// and delivers everything else. Being a pure function of the location — no
+// RNG stream, no call-order state — it produces identical outcomes in the
+// discrete-event simulator and the real-time engine even though the two
+// schedule transmissions (and therefore oracle calls) in different orders.
+// The engine-vs-simulator differential tests lean on exactly that.
+type LossyLocOracle struct {
+	dead map[int]bool
+}
+
+var _ DeliveryOracle = (*LossyLocOracle)(nil)
+
+// NewLossyLocOracle marks the given locations as undeliverable.
+func NewLossyLocOracle(deadLocs ...int) *LossyLocOracle {
+	dead := make(map[int]bool, len(deadLocs))
+	for _, l := range deadLocs {
+		dead[l] = true
+	}
+	return &LossyLocOracle{dead: dead}
+}
+
+// SubframeOK fails iff the location is marked dead.
+func (o *LossyLocOracle) SubframeOK(locID int, _ bool, _, _ int) (bool, error) {
+	return !o.dead[locID], nil
+}
+
 // BiasedOracle makes later symbol spans fail more — a cheap stand-in for
 // the BER bias when tests want position sensitivity without PHY traces.
 // Failure probability grows linearly with the span midpoint unless rte.

@@ -212,6 +212,15 @@ type simObs struct {
 	delayMs      *obs.Histogram
 	queueDepth   *obs.Gauge
 	tracer       *obs.Tracer
+
+	// Canonical cross-layer queue counters (obs.QueueDropped etc.): the
+	// real-time engine reports the same outcomes under the same names, so
+	// a simulator run and an engine run are directly comparable. They tick
+	// alongside the mac.*-scoped counters above.
+	qDropped      *obs.Counter
+	qExpired      *obs.Counter
+	qBackpressure *obs.Counter
+	qDepth        *obs.Gauge
 }
 
 // delayBucketsMs spans the Fig. 17a latency-requirement sweep (10-200 ms).
@@ -235,6 +244,11 @@ func resolveSimObs(sink *obs.Sink) simObs {
 		delayMs:      sink.Histogram("mac.delay_ms", delayBucketsMs),
 		queueDepth:   sink.Gauge("mac.queue_depth"),
 		tracer:       sink.Tracer,
+
+		qDropped:      sink.Counter(obs.QueueDropped),
+		qExpired:      sink.Counter(obs.QueueExpired),
+		qBackpressure: sink.Counter(obs.QueueBackpressure),
+		qDepth:        sink.Gauge(obs.QueueDepth),
 	}
 }
 
@@ -375,6 +389,8 @@ func (s *simulator) ingest() {
 				if s.perSTACnt[sta] >= s.cfg.QueueCap {
 					s.res.Dropped++
 					s.mobs.dropped.Inc()
+					s.mobs.qDropped.Inc()
+					s.mobs.qBackpressure.Inc()
 					continue
 				}
 				s.perSTACnt[sta]++
@@ -428,6 +444,7 @@ func (s *simulator) expireAPQueues() {
 				s.perSTACnt[f.sta]--
 				s.res.Expired++
 				s.mobs.expired.Inc()
+				s.mobs.qExpired.Inc()
 				s.mobs.tracer.EmitAt(int64(s.now), obs.EvQueueExpiry, int64(f.sta), 0)
 				continue
 			}
@@ -677,6 +694,7 @@ func (s *simulator) apTransmit(apIdx int) error {
 	s.mobs.apTx.Inc()
 	s.mobs.aggSubframes.Add(int64(len(plan.subs)))
 	s.mobs.queueDepth.Set(float64(len(ap.queue)))
+	s.mobs.qDepth.Set(float64(len(ap.queue)))
 	if !s.cfg.SimultaneousACK && len(plan.subs) > 1 {
 		// §4.2 sequential ACK: one SIFS-separated slot per receiver.
 		s.mobs.seqAcks.Add(int64(len(plan.subs)))
@@ -752,6 +770,7 @@ func (s *simulator) apTransmit(apIdx int) error {
 			if f.retries > s.cfg.RetryLimit {
 				s.res.Dropped++
 				s.mobs.dropped.Inc()
+				s.mobs.qDropped.Inc()
 				s.perSTACnt[f.sta]--
 				continue
 			}

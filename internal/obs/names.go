@@ -1,0 +1,22 @@
+package obs
+
+// Canonical cross-layer metric names. The discrete-event MAC simulator
+// (internal/mac) and the real-time aggregation engine (internal/engine)
+// implement the same downlink queueing semantics — bounded per-STA queues,
+// latency expiry, retry-limit drops — so they report those outcomes under
+// one shared vocabulary. Dashboards and differential tests can then compare
+// a simulator run and an engine run without a name-mapping layer.
+const (
+	// QueueDropped counts downlink frames lost to admission control (full
+	// queue) or to the retry limit.
+	QueueDropped = "queue.dropped"
+	// QueueExpired counts downlink frames that exceeded the configured
+	// latency bound while queued and were expired before transmission.
+	QueueExpired = "queue.expired"
+	// QueueDepth gauges the instantaneous backlog of the most recently
+	// serviced queue, in frames.
+	QueueDepth = "queue.depth"
+	// QueueBackpressure counts producer-visible admission rejections: a
+	// Submit (engine) or ingest (simulator) turned away at a full queue.
+	QueueBackpressure = "queue.backpressure"
+)

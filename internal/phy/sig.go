@@ -23,6 +23,11 @@ const (
 	serviceBits = 16
 )
 
+// MaxPayloadBytes is the largest payload one SIG can announce: the 12-bit
+// PLCP LENGTH field tops out at 4095. A Carpool subframe carrying more than
+// this is unbuildable, whatever the aggregate allows.
+const MaxPayloadBytes = maxSIGLen
+
 // sigMCS is the fixed scheme the SIG symbol itself is sent with.
 var sigMCS = MCS{modem.BPSK, fec.Rate1_2}
 

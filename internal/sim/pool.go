@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -46,6 +47,75 @@ func ParallelFor(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation and typed
+// early exit. fn may return an error; any error stops further index
+// dispatch, and among the errors actually observed the lowest-indexed one
+// is returned. Cancelling ctx likewise stops dispatch and returns
+// ctx.Err() when no fn error was observed.
+//
+// Indices already running when the stop condition arises complete normally
+// — fn is never abandoned mid-call — and every worker goroutine has exited
+// by the time ParallelForCtx returns, so no goroutine outlives the call.
+// Like ParallelFor, fn must confine writes to per-index state.
+func ParallelForCtx(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		stop    atomic.Bool
+		errMu   sync.Mutex
+		firstI  int = -1
+		firstEr error
+	)
+	record := func(i int, err error) {
+		errMu.Lock()
+		if firstI < 0 || i < firstI {
+			firstI, firstEr = i, err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	body := func(i int) {
+		if err := ctx.Err(); err != nil {
+			stop.Store(true)
+			return
+		}
+		if err := fn(i); err != nil {
+			record(i, err)
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n && !stop.Load(); i++ {
+			body(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					body(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
 }
 
 // splitMix64 is the SplitMix64 output function: a bijective avalanche mix

@@ -123,6 +123,24 @@ func FrameSize(rng *rand.Rand) int {
 	}
 }
 
+// PoissonFlow generates an open-loop Poisson arrival process at ratePerSec
+// frames per second with fixed frameBytes payloads — the memoryless
+// workload the real-time engine's load generator offers by default. A
+// non-positive rate yields no arrivals.
+func PoissonFlow(rng *rand.Rand, ratePerSec float64, frameBytes int, duration time.Duration) []Arrival {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	mean := time.Duration(float64(time.Second) / ratePerSec)
+	var out []Arrival
+	now := expDuration(rng, mean)
+	for now < duration {
+		out = append(out, Arrival{Time: now, Size: frameBytes})
+		now += expDuration(rng, mean)
+	}
+	return out
+}
+
 // CBRFlow generates a constant-bit-rate stream of fixed-size frames, used
 // by the latency/frame-size sweeps of Fig. 17.
 func CBRFlow(rng *rand.Rand, frameBytes int, interval, duration time.Duration) []Arrival {
