@@ -10,6 +10,7 @@ package carpool
 import (
 	"context"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"carpool/internal/bloom"
 	"carpool/internal/core"
 	"carpool/internal/dsp"
+	"carpool/internal/engine"
 	"carpool/internal/experiments"
 	"carpool/internal/fec"
 	"carpool/internal/mac"
@@ -596,6 +598,27 @@ func BenchmarkViterbiDecodeSoftQ1500B(b *testing.B) {
 	b.SetBytes(1500)
 }
 
+// BenchmarkViterbiDecodeSoftQ8Lane1500B gates the 8-lane SWAR add-compare-
+// select kernel: since the two-word rewrite, SoftDecoder.DecodeInto runs
+// all 16 states as eight packed lanes across two uint64 metric words per
+// rank. The separate name lets benchdiff -fail-over pin the fast path even
+// as the legacy-named benchmark carries its pre-rewrite baseline.
+func BenchmarkViterbiDecodeSoftQ8Lane1500B(b *testing.B) {
+	llrs, numInfo := softBenchLLRs(b)
+	qllrs := make([]int8, len(llrs))
+	fec.QuantizeLLRsInto(qllrs, llrs, 1)
+	var dec fec.SoftDecoder
+	dst := make([]byte, numInfo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.DecodeInto(dst, qllrs, fec.Rate1_2, numInfo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1500)
+}
+
 // benchPHYSoftReceive measures the soft-decision receive of a full
 // 1500-byte frame at the top rate, either through the float64 oracle chain
 // or the quantized int8 fast path (the SoftFEC default).
@@ -762,6 +785,110 @@ func BenchmarkEngineSubmitDrain10k(b *testing.B) {
 		}
 		if st := e.Stats(); st.Delivered != frames {
 			b.Fatalf("delivered %d of %d", st.Delivered, frames)
+		}
+	}
+	b.ReportMetric(float64(frames), "frames/op")
+}
+
+// BenchmarkEngineBatchSubmitDrain10k is BenchmarkEngineSubmitDrain10k
+// through the batched admission path: the same 10k frames arrive as
+// slab-sized SubmitBatch calls — one lock acquisition and at most one
+// worker wakeup per group instead of per frame.
+func BenchmarkEngineBatchSubmitDrain10k(b *testing.B) {
+	const frames = 10_000
+	const group = 512
+	items := make([]EngineBatchItem, frames)
+	for k := range items {
+		items[k] = EngineBatchItem{STA: k % 8, Size: 1200}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(EngineConfig{NumSTAs: 8, QueueCap: 1 << 14, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		for base := 0; base < frames; base += group {
+			n, err := e.SubmitBatch(items[base:min(base+group, frames)])
+			if err != nil || n != min(group, frames-base) {
+				b.Fatalf("batch at %d: accepted %d, err %v", base, n, err)
+			}
+		}
+		if err := e.Drain(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if st := e.Stats(); st.Delivered != frames {
+			b.Fatalf("delivered %d of %d", st.Delivered, frames)
+		}
+	}
+	b.ReportMetric(float64(frames), "frames/op")
+}
+
+// BenchmarkWireBatchRoundtrip measures the full batched serving path over
+// loopback TCP: 10k size-only records leave the client in 512-record
+// grouped writes, the server's slab reads parse them in place and admit
+// each slab as one engine batch, and the op ends with the drain handshake
+// confirming all 10k delivered.
+func BenchmarkWireBatchRoundtrip(b *testing.B) {
+	const frames = 10_000
+	const group = 512
+	var stream []byte
+	groups := make([][]byte, 0, frames/group+1)
+	for k := 0; k < frames; k++ {
+		if k%group == 0 && k > 0 {
+			groups = append(groups, stream)
+			stream = nil
+		}
+		stream = engine.AppendSizeRecord(stream, k%8, 1200)
+	}
+	groups = append(groups, stream)
+	drain := engine.AppendControlRecord(nil, engine.RecDrain)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(EngineConfig{NumSTAs: 8, QueueCap: 1 << 14, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if err := e.Start(ctx); err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := NewEngineServer(e)
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx, ln) }()
+
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, g := range groups {
+			if _, err := conn.Write(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := conn.Write(drain); err != nil {
+			b.Fatal(err)
+		}
+		st, err := engine.ReadStatsReply(conn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Delivered != frames {
+			b.Fatalf("delivered %d of %d", st.Delivered, frames)
+		}
+		conn.Close()
+		cancel()
+		if err := <-done; err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(frames), "frames/op")

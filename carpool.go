@@ -204,6 +204,13 @@ type (
 	EngineConfig = engine.Config
 	// EngineStats is a point-in-time account of an engine run.
 	EngineStats = engine.Stats
+	// EngineBatchItem is one frame in a batched submission
+	// (Engine.SubmitBatch): a station index plus payload bytes or a
+	// size-only frame.
+	EngineBatchItem = engine.BatchItem
+	// EngineServer is the carpoold wire-protocol frontend: slab-batched
+	// TCP/UDP ingest feeding one engine.
+	EngineServer = engine.Server
 )
 
 // NewEngine validates cfg and returns an engine ready for Start.
@@ -218,6 +225,9 @@ type Arrival = traffic.Arrival
 func RunEngineDeterministic(ctx context.Context, cfg EngineConfig, flows [][]Arrival) (*EngineStats, error) {
 	return engine.RunDeterministic(ctx, cfg, flows)
 }
+
+// NewEngineServer wraps a started engine in the wire-protocol frontend.
+func NewEngineServer(e *Engine) *EngineServer { return engine.NewServer(e) }
 
 // FrameKind classifies what follows a preamble (§4.3 coexistence).
 type FrameKind = core.FrameKind

@@ -33,19 +33,23 @@ import (
 )
 
 // suite is the default benchmark set: the size-64 FFT kernel, the Viterbi
-// decoders on a full 1500-byte MPDU (hard, float64 soft, and the quantized
-// int8 fast path), one station's whole-frame Carpool receive, one
-// simulated second of the MAC, and the real-time engine's deterministic
-// second and concurrent submit+drain.
+// decoders on a full 1500-byte MPDU (hard, float64 soft, the quantized
+// int8 fast path, and its 8-lane SWAR gate), one station's whole-frame
+// Carpool receive, one simulated second of the MAC, and the real-time
+// engine's deterministic second, concurrent submit+drain (per-frame and
+// batched), and the batched wire round trip over loopback TCP.
 var suite = []string{
 	"BenchmarkFFT64",
 	"BenchmarkViterbiDecode1500B",
 	"BenchmarkViterbiDecodeSoft1500B",
 	"BenchmarkViterbiDecodeSoftQ1500B",
+	"BenchmarkViterbiDecodeSoftQ8Lane1500B",
 	"BenchmarkCarpoolFrameReceive",
 	"BenchmarkMACSimulationSecond",
 	"BenchmarkEngineDeterministicSecond",
 	"BenchmarkEngineSubmitDrain10k",
+	"BenchmarkEngineBatchSubmitDrain10k",
+	"BenchmarkWireBatchRoundtrip",
 }
 
 // Result is one parsed benchmark line.

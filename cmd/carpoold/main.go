@@ -12,6 +12,7 @@
 //	         [-max-receivers N] [-agg-bytes N] [-airtime-budget dur]
 //	         [-max-latency dur] [-workers N] [-dead-locs 1,3]
 //	         [-phy] [-phy-seed N] [-pace] [-debug-addr host:port]
+//	         [-slab bytes] [-legacy]
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new submissions are
 // rejected, queued frames finish (or exhaust retries), and the final
@@ -52,6 +53,8 @@ func main() {
 	phySeed := flag.Int64("phy-seed", 1, "PHY transport impairment seed")
 	pace := flag.Bool("pace", false, "pace workers by computed airtime")
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (enables observation)")
+	slabSize := flag.Int("slab", 0, "TCP read-slab size in bytes for batched ingest (0 = 256 KiB)")
+	legacy := flag.Bool("legacy", false, "serve with the unbatched per-record read loop (reference arm)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -107,6 +110,8 @@ func main() {
 	}
 
 	srv := engine.NewServer(eng)
+	srv.SlabSize = *slabSize
+	srv.Legacy = *legacy
 	srvCtx, srvCancel := context.WithCancel(ctx)
 	defer srvCancel()
 	errc := make(chan error, 2)

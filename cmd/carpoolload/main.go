@@ -7,7 +7,7 @@
 //
 //	carpoolload [-addr host:port] [-net tcp|udp] [-stas N] [-rate fps]
 //	            [-bytes N] [-duration dur] [-seed N] [-payload]
-//	            [-open-loop] [-json]
+//	            [-open-loop] [-batch N] [-json]
 //
 // Without -open-loop the schedule is offered as fast as the connection
 // accepts it — the throughput-ceiling probe used by the CI soak job.
@@ -36,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "arrival schedule seed")
 	payload := flag.Bool("payload", false, "send real payload bytes instead of size-only records")
 	openLoop := flag.Bool("open-loop", false, "pace arrivals against the wall clock")
+	batch := flag.Int("batch", 0, "records per write (>1 enables grouped sends for the server's slab reads)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		Seed:       *seed,
 		Payload:    *payload,
 		OpenLoop:   *openLoop,
+		Batch:      *batch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "carpoolload: %v\n", err)

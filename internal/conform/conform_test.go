@@ -170,9 +170,9 @@ func TestMatrixByName(t *testing.T) {
 	}
 }
 
-// TestPairByName checks lookup and the five-pair roster.
+// TestPairByName checks lookup and the pair roster.
 func TestPairByName(t *testing.T) {
-	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh", "engine-vs-macsim"}
+	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh", "engine-vs-macsim", "batched-vs-unbatched"}
 	if got := Pairs(); len(got) != len(want) {
 		t.Fatalf("%d pairs, want %d", len(got), len(want))
 	}

@@ -60,6 +60,12 @@ func Pairs() []Pair {
 			Bound: "identical delivered bytes per STA and Jain byte-fairness",
 			run:   runEngineVsMACSim,
 		},
+		{
+			Name:  "batched-vs-unbatched",
+			Desc:  "slab-batched wire+admission serving path vs per-frame path",
+			Bound: "bit-identical engine Stats",
+			run:   runBatchedVsUnbatched,
+		},
 	}
 }
 
@@ -499,6 +505,41 @@ func runEngineVsMACSim(sc faults.Scenario) (string, error) {
 	if d := engStats.ByteFairnessIndex - macRes.ByteFairnessIndex; d > 1e-12 || d < -1e-12 {
 		return fmt.Sprintf("byte-fairness: engine %.15f, macsim %.15f",
 			engStats.ByteFairnessIndex, macRes.ByteFairnessIndex), nil
+	}
+	return "", nil
+}
+
+// runBatchedVsUnbatched drives the identical seeded workload through the
+// per-frame deterministic runner and its batched twin — arrivals
+// serialized to wire records, parsed by the in-place slab parser, and
+// admitted through the batch core — and requires bit-identical Stats.
+// Both transport forms run: size-only frames and retained payloads (the
+// arena-backed path the PHY transport uses).
+func runBatchedVsUnbatched(sc faults.Scenario) (string, error) {
+	flows, dead, locs := engineScenario(sc)
+	for _, retain := range []bool{false, true} {
+		cfg := func() engine.Config {
+			return engine.Config{
+				NumSTAs:        len(locs),
+				RetainPayloads: retain,
+				Transport: &engine.OracleTransport{
+					Oracle:    mac.NewLossyLocOracle(dead...),
+					Locations: locs,
+				},
+			}
+		}
+		plain, err := engine.RunDeterministic(context.Background(), cfg(), flows)
+		if err != nil {
+			return "", err
+		}
+		batched, err := engine.RunDeterministicBatched(context.Background(), cfg(), flows)
+		if err != nil {
+			return "", err
+		}
+		if dump(plain) != dump(batched) {
+			return fmt.Sprintf("batched serving path diverged (retain=%v):\n  per-frame %+v\n  batched   %+v",
+				retain, *plain, *batched), nil
+		}
 	}
 	return "", nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 
 	"carpool/internal/bloom"
@@ -210,9 +211,47 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 	subs := make([]SubframeRx, len(jobs))
 	truncs := make([]int, len(jobs))
 	errs := make([]error, len(jobs))
-	sim.ParallelFor(len(jobs), func(i int) {
-		subs[i], truncs[i], errs[i] = decodeSubframe(buf, h, jobs[i], scheme, cfg)
-	})
+	if cfg.SoftFEC && !cfg.SkipFEC && len(jobs) > 1 && runtime.GOMAXPROCS(0) == 1 {
+		// Batched soft-FEC fast path: with one usable CPU the parallel loop
+		// degenerates to sequential anyway, so demodulate every subframe
+		// first and run all their Viterbi walks over one contiguous LLR slab
+		// (phy.DecodeDataFieldBatch) — one workspace, no pool churn per
+		// subframe. Bit-identical to the per-subframe path; the seq-vs-par
+		// conform pair pins this against the parallel decode.
+		llrqs := make([][][]int8, len(jobs))
+		// The accounting loop below consumes jobs in order and stops at the
+		// first error or truncation, so only the clean prefix needs payloads.
+		// Every job still demodulates (matching the parallel path's counter
+		// and tracker side effects exactly).
+		n := len(jobs)
+		for i := range jobs {
+			subs[i], llrqs[i], truncs[i], errs[i] = demodSubframe(buf, h, jobs[i], scheme, cfg)
+			if (errs[i] != nil || truncs[i] >= 0) && i < n {
+				n = i
+			}
+		}
+		if n > 0 {
+			batch := make([]phy.SoftQBatchJob, n)
+			for i := range batch {
+				batch[i] = phy.SoftQBatchJob{
+					Blocks: llrqs[i], MCS: jobs[i].sig.MCS, PayloadLen: jobs[i].sig.Length,
+				}
+			}
+			dec := softQPool.Get().(*phy.SoftQDecoder)
+			_, err := dec.DecodeDataFieldBatch(batch)
+			softQPool.Put(dec)
+			if err != nil {
+				return nil, err
+			}
+			for i := range batch {
+				subs[i].Payload = batch[i].Payload
+			}
+		}
+	} else {
+		sim.ParallelFor(len(jobs), func(i int) {
+			subs[i], truncs[i], errs[i] = decodeSubframe(buf, h, jobs[i], scheme, cfg)
+		})
+	}
 	for i := range jobs {
 		if errs[i] != nil {
 			return nil, errs[i]
@@ -249,12 +288,13 @@ type subframeJob struct {
 // frames; each phase-2 worker checks one out for the duration of a decode.
 var softQPool = sync.Pool{New: func() any { return new(phy.SoftQDecoder) }}
 
-// decodeSubframe demodulates and (unless SkipFEC) FEC-decodes one located
-// subframe. It touches only per-call state plus atomic obs counters, so
-// distinct jobs decode safely in parallel. The int result reports
-// truncation: -1 for a complete subframe, otherwise the absolute symbol
-// index of the first DATA symbol the buffer ended inside of.
-func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Scheme, cfg ReceiverConfig) (SubframeRx, int, error) {
+// demodSubframe demodulates one located subframe without touching FEC,
+// returning its quantized per-symbol LLR blocks when the soft chain is
+// selected (nil otherwise). It touches only per-call state plus atomic obs
+// counters, so distinct jobs demodulate safely in parallel. The int result
+// reports truncation: -1 for a complete subframe, otherwise the absolute
+// symbol index of the first DATA symbol the buffer ended inside of.
+func demodSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Scheme, cfg ReceiverConfig) (SubframeRx, [][]int8, int, error) {
 	var tracker phy.ChannelTracker
 	var rte *RTETracker
 	if cfg.UseRTE {
@@ -277,10 +317,10 @@ func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Sc
 			job.sig.MCS.Mod, tracker, scheme, job.sigPhase)
 	}
 	if err != nil {
-		return SubframeRx{}, -1, err
+		return SubframeRx{}, nil, -1, err
 	}
 	if seg.Truncated {
-		return SubframeRx{}, job.dataSymIdx + len(seg.Blocks), nil
+		return SubframeRx{}, nil, job.dataSymIdx + len(seg.Blocks), nil
 	}
 	sub := SubframeRx{
 		Position:    job.pos,
@@ -294,14 +334,25 @@ func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Sc
 	if rte != nil {
 		sub.RTEUpdates = rte.Updates()
 	}
+	return sub, seg.LLRQs, -1, nil
+}
+
+// decodeSubframe demodulates and (unless SkipFEC) FEC-decodes one located
+// subframe; the batched phase-2 path calls demodSubframe directly and
+// defers FEC to one slab decode.
+func decodeSubframe(buf, h []complex128, job subframeJob, scheme *sidechannel.Scheme, cfg ReceiverConfig) (SubframeRx, int, error) {
+	sub, llrqs, trunc, err := demodSubframe(buf, h, job, scheme, cfg)
+	if err != nil || trunc >= 0 {
+		return sub, trunc, err
+	}
 	if !cfg.SkipFEC {
 		var payload []byte
-		if soft {
+		if cfg.SoftFEC {
 			dec := softQPool.Get().(*phy.SoftQDecoder)
-			payload, err = dec.DecodeDataField(seg.LLRQs, job.sig.MCS, job.sig.Length)
+			payload, err = dec.DecodeDataField(llrqs, job.sig.MCS, job.sig.Length)
 			softQPool.Put(dec)
 		} else {
-			payload, err = phy.DecodeDataField(seg.Blocks, job.sig.MCS, job.sig.Length)
+			payload, err = phy.DecodeDataField(sub.Blocks, job.sig.MCS, job.sig.Length)
 		}
 		if err != nil {
 			return SubframeRx{}, -1, err

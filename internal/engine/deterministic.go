@@ -104,3 +104,108 @@ func RunDeterministic(ctx context.Context, cfg Config, flows [][]traffic.Arrival
 	st := e.statsLocked(clk.now)
 	return &st, nil
 }
+
+// RunDeterministicBatched is RunDeterministic driven through the batched
+// serving path: every group of same-instant arrivals is serialized into
+// wire records, parsed back by the in-place slab parser, and admitted via
+// the batch admission core — the exact record → parseBatch → SubmitBatch
+// spine a slab read runs, under the virtual clock. The batched-vs-unbatched
+// conformance pair holds its Stats bit-identical to RunDeterministic's.
+//
+// With cfg.RetainPayloads the arrivals travel as RecData records carrying
+// deterministic bytes (exercising the payload arena); otherwise as
+// RecDataSize records, matching the wire fast-ingest form.
+func RunDeterministicBatched(ctx context.Context, cfg Config, flows [][]traffic.Arrival) (*Stats, error) {
+	if len(flows) > cfg.NumSTAs && cfg.NumSTAs > 0 {
+		return nil, fmt.Errorf("engine: %d flows for %d stations", len(flows), cfg.NumSTAs)
+	}
+	clk := &virtualClock{}
+	cfg.Clock = clk
+	cfg.Workers = 1
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var arrivals []detArrival
+	for sta, flow := range flows {
+		for _, a := range flow {
+			arrivals = append(arrivals, detArrival{at: a.Time, sta: sta, size: a.Size})
+		}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		if arrivals[i].at != arrivals[j].at {
+			return arrivals[i].at < arrivals[j].at
+		}
+		return arrivals[i].sta < arrivals[j].sta
+	})
+
+	var sc planScratch
+	var wire []byte
+	var scratch []byte
+	var items []BatchItem
+	next := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		now := clk.now
+
+		// Serialize every arrival due by now into one record batch, round-trip
+		// it through the wire parser, and admit it in one locked call — the
+		// deterministic twin of a slab read.
+		if next < len(arrivals) && arrivals[next].at <= now {
+			wire = wire[:0]
+			for next < len(arrivals) && arrivals[next].at <= now {
+				a := arrivals[next]
+				if cfg.RetainPayloads {
+					if cap(scratch) < a.size {
+						scratch = make([]byte, a.size)
+					}
+					p := scratch[:a.size]
+					for i := range p {
+						p[i] = byte(a.sta)
+					}
+					wire = AppendDataRecord(wire, a.sta, p)
+				} else {
+					wire = AppendSizeRecord(wire, a.sta, a.size)
+				}
+				next++
+			}
+			var consumed int
+			var ctrl byte
+			items, consumed, ctrl, err = parseBatch(wire, items[:0])
+			if err != nil || ctrl != 0 || consumed != len(wire) {
+				return nil, fmt.Errorf("engine: batch round-trip consumed %d of %d (ctrl %#02x): %w",
+					consumed, len(wire), ctrl, err)
+			}
+			_, _, _ = e.submitBatchLocked(items, now)
+		}
+		e.expireLocked(now)
+
+		if tx := e.buildPlanLocked(now, &sc); tx != nil {
+			okPerSub, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
+			clk.now += tx.plan.Airtime + tx.plan.ACKTime
+			e.accountLocked(tx, okPerSub, derr, clk.now)
+			continue
+		}
+
+		hop := time.Duration(-1)
+		if next < len(arrivals) {
+			hop = arrivals[next].at - now
+		}
+		if d, ok := e.earliestEligibleLocked(now); ok && (hop < 0 || d < hop) {
+			hop = d
+		}
+		if hop < 0 {
+			break
+		}
+		if hop == 0 {
+			hop = 1
+		}
+		clk.now += hop
+	}
+
+	st := e.statsLocked(clk.now)
+	return &st, nil
+}

@@ -166,9 +166,17 @@ type Engine struct {
 	cond *sync.Cond
 
 	queues  []staQueue
-	seq     uint64 // next admission sequence number
-	txSeq   uint64 // next transmission sequence number
-	pending int    // queued frames across all stations
+	arena   payloadArena // retained payload slabs (RetainPayloads mode)
+	seq     uint64       // next admission sequence number
+	txSeq   uint64       // next transmission sequence number
+	pending int          // queued frames across all stations
+
+	// waiting counts goroutines blocked in cond.Wait (workers and Drain);
+	// wakeLocked broadcasts only when someone is actually asleep, and
+	// wakeups counts those broadcasts so tests can assert wakeup volume
+	// stays proportional to useful work rather than storming.
+	waiting int
+	wakeups int64
 
 	started, draining, closed bool
 	inFlight                  int
@@ -233,7 +241,7 @@ func (e *Engine) Start(ctx context.Context) error {
 	// A cancelled context must wake sleeping workers and waiters.
 	context.AfterFunc(e.ctx, func() {
 		e.mu.Lock()
-		e.cond.Broadcast()
+		e.wakeLocked()
 		e.mu.Unlock()
 	})
 	e.wg.Add(e.cfg.Workers)
@@ -262,9 +270,58 @@ func (e *Engine) submit(sta, size int, payload []byte) error {
 	defer e.mu.Unlock()
 	err := e.submitLocked(sta, size, payload, e.clock.Now())
 	if err == nil && e.queues[sta].len() == 1 {
-		e.cond.Broadcast() // queue went non-empty: wake a worker
+		e.wakeLocked() // queue went non-empty: wake a worker
 	}
 	return err
+}
+
+// BatchItem is one frame in a batched submission: a station index plus
+// either real payload bytes or (Payload nil) a size-only frame.
+type BatchItem struct {
+	STA     int
+	Size    int // ignored when Payload is non-nil
+	Payload []byte
+}
+
+// SubmitBatch offers many frames under one lock acquisition and at most
+// one worker wakeup — the batch counterpart of Submit/SubmitSize that the
+// slab wire frontend and open-loop load generator drive. Admission control
+// runs per item with the same typed errors as Submit; the batch continues
+// past rejected items. It returns the number accepted and the first
+// admission error (nil when every item was accepted).
+func (e *Engine) SubmitBatch(items []BatchItem) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clock.Now()
+	accepted, wentNonEmpty, firstErr := e.submitBatchLocked(items, now)
+	if wentNonEmpty {
+		e.wakeLocked()
+	}
+	return accepted, firstErr
+}
+
+// submitBatchLocked admits a batch, reporting whether any station queue
+// transitioned empty → non-empty (the wake condition signal coalescing
+// collapses to a single broadcast). Caller holds e.mu (or is
+// single-threaded, as in the deterministic runner).
+func (e *Engine) submitBatchLocked(items []BatchItem, now time.Duration) (accepted int, wentNonEmpty bool, firstErr error) {
+	for _, it := range items {
+		size := it.Size
+		if it.Payload != nil {
+			size = len(it.Payload)
+		}
+		if err := e.submitLocked(it.STA, size, it.Payload, now); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		accepted++
+		if e.queues[it.STA].len() == 1 {
+			wentNonEmpty = true
+		}
+	}
+	return accepted, wentNonEmpty, firstErr
 }
 
 // submitLocked is the admission-control core shared by the real-time and
@@ -298,12 +355,13 @@ func (e *Engine) submitLocked(sta, size int, payload []byte, now time.Duration) 
 		e.eobs.qBackpressure.Inc()
 		return ErrQueueFull
 	}
+	var chunk *arenaChunk
 	if e.cfg.RetainPayloads && payload != nil {
-		payload = append([]byte(nil), payload...)
+		payload, chunk = e.arena.alloc(payload)
 	} else {
 		payload = nil
 	}
-	q.push(qframe{seq: e.seq, size: size, arrival: now, payload: payload})
+	q.pushHint(qframe{seq: e.seq, size: size, arrival: now, payload: payload, chunk: chunk}, e.cfg.QueueCap)
 	e.seq++
 	e.pending++
 	e.accepted++
@@ -321,7 +379,7 @@ func (e *Engine) expireLocked(now time.Duration) {
 	for sta := range e.queues {
 		q := &e.queues[sta]
 		for q.len() > 0 && now-q.headFrame().arrival > e.cfg.MaxLatency {
-			q.pop()
+			e.arena.release(q.pop().chunk)
 			e.pending--
 			e.expired++
 			e.eobs.expired.Inc()
@@ -390,6 +448,7 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now t
 			q.failStreak = 0
 			q.nextEligible = 0
 			for _, f := range tx.frames[i] {
+				e.arena.release(f.chunk)
 				e.pending--
 				e.delivered++
 				e.deliveredBytes[sub.STA] += int64(f.size)
@@ -406,6 +465,7 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now t
 			e.retriesN++
 			e.eobs.retries.Inc()
 			if f.retries > e.cfg.RetryLimit {
+				e.arena.release(f.chunk)
 				e.pending--
 				e.dropped++
 				e.eobs.dropped.Inc()
@@ -419,6 +479,27 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now t
 		q.nextEligible = now + e.backoffAfter(q.failStreak)
 	}
 	e.eobs.qDepth.Set(float64(e.pending))
+}
+
+// waitLocked blocks on the condvar with the sleeper census maintained, so
+// wakeLocked can skip broadcasting into an empty room. Caller holds e.mu.
+func (e *Engine) waitLocked() {
+	e.waiting++
+	e.cond.Wait()
+	e.waiting--
+}
+
+// wakeLocked coalesces condvar wakeups: a broadcast is issued only when a
+// worker or Drain is actually parked, and every broadcast is counted so
+// the drain tests can assert the total stays proportional to useful work
+// (no wakeup storm). Always a Broadcast, never a Signal: workers and Drain
+// share the condvar, and a Signal consumed by the "wrong" waiter would be
+// a lost wakeup. Caller holds e.mu.
+func (e *Engine) wakeLocked() {
+	if e.waiting > 0 {
+		e.wakeups++
+		e.cond.Broadcast()
+	}
 }
 
 // worker is one delivery-pool goroutine: build a plan under the lock,
@@ -441,20 +522,20 @@ func (e *Engine) worker() {
 				break
 			}
 			if e.draining && e.pending == 0 && e.inFlight == 0 {
-				e.cond.Broadcast() // wake Drain and sibling workers
+				e.wakeLocked() // wake Drain and sibling workers
 				e.mu.Unlock()
 				return
 			}
 			if d, ok := e.earliestEligibleLocked(now); ok {
 				t := time.AfterFunc(d, func() {
 					e.mu.Lock()
-					e.cond.Broadcast()
+					e.wakeLocked()
 					e.mu.Unlock()
 				})
-				e.cond.Wait()
+				e.waitLocked()
 				t.Stop()
 			} else {
-				e.cond.Wait()
+				e.waitLocked()
 			}
 		}
 		e.inFlight++
@@ -468,7 +549,12 @@ func (e *Engine) worker() {
 		e.mu.Lock()
 		e.inFlight--
 		e.accountLocked(tx, okPerSub, derr, e.clock.Now())
-		e.cond.Broadcast()
+		// Post-account wake, coalesced: only when there is something for a
+		// waiter to do — backlog to plan (possibly requeued by this very
+		// account), or a completed drain for Drain to observe.
+		if e.pending > 0 || (e.draining && e.pending == 0 && e.inFlight == 0) {
+			e.wakeLocked()
+		}
 		e.mu.Unlock()
 	}
 }
@@ -490,7 +576,7 @@ func (e *Engine) pace(d time.Duration) {
 func (e *Engine) Drain(ctx context.Context) error {
 	stop := context.AfterFunc(ctx, func() {
 		e.mu.Lock()
-		e.cond.Broadcast()
+		e.wakeLocked()
 		e.mu.Unlock()
 	})
 	defer stop()
@@ -501,10 +587,12 @@ func (e *Engine) Drain(ctx context.Context) error {
 		e.mu.Unlock()
 		return nil
 	}
+	// One broadcast flips every parked worker into drain mode; all further
+	// drain-progress wakeups are coalesced through wakeLocked.
 	e.draining = true
-	e.cond.Broadcast()
+	e.wakeLocked()
 	for (e.pending > 0 || e.inFlight > 0) && ctx.Err() == nil && e.ctx.Err() == nil {
-		e.cond.Wait()
+		e.waitLocked()
 	}
 	err := ctx.Err()
 	e.mu.Unlock()

@@ -92,7 +92,8 @@ func TestQueueRequeuePreservesOrder(t *testing.T) {
 	if q.len() != 0 {
 		t.Fatalf("queue not empty: %d", q.len())
 	}
-	// head == 0 with pending frames: requeue must reallocate.
+	// head == 0 with pending frames: requeue must step the ring's head
+	// counter backwards (modular wraparound), not corrupt order.
 	q.push(qframe{seq: 10})
 	q.requeue([]qframe{{seq: 8}, {seq: 9}})
 	want := []uint64{8, 9, 10}
@@ -100,6 +101,172 @@ func TestQueueRequeuePreservesOrder(t *testing.T) {
 		if got := q.pop().seq; got != w {
 			t.Fatalf("merged pop %d: seq %d, want %d", i, got, w)
 		}
+	}
+}
+
+// TestQueueRingWraparound churns a small ring far past its capacity so
+// head/tail lap the buffer many times, interleaving pushes, pops, and
+// head-requeues, and checks strict FIFO order end to end.
+func TestQueueRingWraparound(t *testing.T) {
+	var q staQueue
+	next, expect := uint64(0), uint64(0)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.push(qframe{seq: next})
+			next++
+		}
+		if round%5 == 4 {
+			// Fail a two-frame "transmission": pop two, put them back.
+			a, b := q.pop(), q.pop()
+			q.requeue([]qframe{a, b})
+		}
+		for i := 0; i < 3; i++ {
+			if got := q.pop().seq; got != expect {
+				t.Fatalf("round %d: pop seq %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	for q.len() > 0 {
+		if got := q.pop().seq; got != expect {
+			t.Fatalf("tail drain: pop seq %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d frames, pushed %d", expect, next)
+	}
+	if len(q.ring) > 16 {
+		t.Errorf("bounded churn grew the ring to %d slots", len(q.ring))
+	}
+}
+
+// TestSubmitBatch checks the batched admission path: one call admits many
+// frames across stations with per-item admission control, identical
+// accounting to per-frame Submit, and at most one coalesced wakeup.
+func TestSubmitBatch(t *testing.T) {
+	e, err := New(Config{NumSTAs: 2, QueueCap: 3, MaxAggBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{STA: 0, Size: 100},
+		{STA: 0, Payload: []byte("abc")},
+		{STA: 1, Size: 200},
+		{STA: 0, Size: 2000}, // oversize: rejected, batch continues
+		{STA: 0, Size: 100},
+		{STA: 0, Size: 100}, // queue cap 3: rejected
+		{STA: 1, Size: 50},
+	}
+	accepted, firstErr := e.SubmitBatch(items)
+	if accepted != 5 {
+		t.Errorf("accepted %d, want 5", accepted)
+	}
+	if !errors.Is(firstErr, ErrOversize) {
+		t.Errorf("first error %v, want ErrOversize", firstErr)
+	}
+	st := e.Stats()
+	if st.Accepted != 5 || st.Rejected != 2 || st.Pending != 5 {
+		t.Errorf("accepted=%d rejected=%d pending=%d, want 5/2/5", st.Accepted, st.Rejected, st.Pending)
+	}
+	if got := e.queues[0].len(); got != 3 {
+		t.Errorf("station 0 queue %d, want 3", got)
+	}
+	if got := e.queues[1].len(); got != 2 {
+		t.Errorf("station 1 queue %d, want 2", got)
+	}
+}
+
+// TestSubmitBatchDrains pushes a batch through a running engine and checks
+// every accepted frame is delivered on drain.
+func TestSubmitBatchDrains(t *testing.T) {
+	e, err := New(Config{NumSTAs: 4, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	items := make([]BatchItem, 128)
+	for i := range items {
+		items[i] = BatchItem{STA: i % 4, Size: 300}
+	}
+	var accepted int
+	for accepted < len(items) {
+		n, err := e.SubmitBatch(items[accepted:])
+		if err != nil && !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+		accepted += n
+		if n == 0 {
+			time.Sleep(100 * time.Microsecond) // backpressure: let workers drain
+		}
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Delivered != int64(len(items)) || st.Pending != 0 {
+		t.Errorf("delivered=%d pending=%d, want %d/0", st.Delivered, st.Pending, len(items))
+	}
+}
+
+// TestPayloadArenaRecycling checks refcounted chunk reuse: allocations are
+// served from shared slabs, releases recycle chunks instead of leaking
+// them, and payload contents survive aliasing.
+func TestPayloadArenaRecycling(t *testing.T) {
+	var a payloadArena
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	// A full chunk's worth of allocations shares one slab.
+	type ref struct {
+		p []byte
+		c *arenaChunk
+	}
+	var refs []ref
+	for i := 0; i < arenaChunkBytes/1000; i++ {
+		p, c := a.alloc(payload)
+		if c == nil {
+			t.Fatal("nil chunk for retained payload")
+		}
+		refs = append(refs, ref{p, c})
+	}
+	first := refs[0].c
+	for i, r := range refs {
+		if r.c != first {
+			t.Fatalf("alloc %d spilled to a new chunk with %d bytes still free", i, arenaChunkBytes-first.used)
+		}
+		for j := range r.p {
+			if r.p[j] != byte(j) {
+				t.Fatalf("alloc %d corrupted at byte %d", i, j)
+			}
+		}
+	}
+
+	// Releasing every reference recycles the chunk for the next fill.
+	for _, r := range refs {
+		a.release(r.c)
+	}
+	p2, c2 := a.alloc(payload)
+	if c2 != first {
+		t.Error("drained current chunk not reused in place")
+	}
+	if &p2[0] != &first.buf[0] {
+		t.Error("reused chunk did not rewind to its start")
+	}
+
+	// Oversize payloads get exact-size dedicated chunks.
+	big := make([]byte, arenaChunkBytes+1)
+	pb, cb := a.alloc(big)
+	if cb == first || len(pb) != len(big) || cap(pb) != len(big) {
+		t.Errorf("oversize alloc: chunk shared=%v len=%d cap=%d", cb == first, len(pb), cap(pb))
+	}
+	a.release(cb)
+	if len(a.free) != 0 {
+		t.Error("oversize chunk entered the free list")
 	}
 }
 

@@ -118,6 +118,18 @@ func TestDrainUnderImpairments(t *testing.T) {
 	if n := goroutineCount(baseline); n > baseline {
 		t.Errorf("goroutine leak after drain: %d > baseline %d", n, baseline)
 	}
+
+	// Coalesced wakeups must stay proportional to useful work — one per
+	// submission plus one per transmission outcome plus shutdown chatter —
+	// never a broadcast storm (e.g. per queued STA, per parked worker, or
+	// per spurious poll during drain).
+	e.mu.Lock()
+	wakeups := e.wakeups
+	e.mu.Unlock()
+	if bound := int64(accepted) + st.Transmissions + 4*3 + 8; wakeups > bound {
+		t.Errorf("condvar wakeup storm: %d broadcasts for %d submissions and %d transmissions (bound %d)",
+			wakeups, accepted, st.Transmissions, bound)
+	}
 }
 
 // TestDrainTimeoutOnDeadLink: a drain whose queue can never empty (dead

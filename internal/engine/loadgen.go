@@ -36,6 +36,11 @@ type LoadConfig struct {
 	// are offered as fast as the connection accepts them: the
 	// throughput-ceiling probe.
 	OpenLoop bool
+	// Batch groups this many records per write (values < 2 keep the
+	// per-record path): each group is assembled back to back in one buffer
+	// and leaves in a single write — the client half of the server's slab
+	// reads. Open-loop pacing waits on each group's first arrival.
+	Batch int
 }
 
 // LoadReport is the generator's summary: client-side offered counts plus
@@ -133,32 +138,63 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	rep := &LoadReport{Offered: int64(len(schedule))}
 	start := time.Now()
 	var buf []byte
-	const flushEvery = 256
-	sinceFlush := 0
-	for _, it := range schedule {
-		if ctx.Err() != nil {
-			break
-		}
-		if cfg.OpenLoop {
-			if wait := it.at - time.Since(start); wait > 50*time.Microsecond {
-				time.Sleep(wait)
+	if cfg.Batch > 1 {
+		// Batched mode: assemble up to Batch records in one buffer and
+		// write them with a single call, bypassing the per-record copy
+		// through bufio — one syscall per group instead of one per flush
+		// window worth of small writes.
+		for base := 0; base < len(schedule); base += cfg.Batch {
+			if ctx.Err() != nil {
+				break
 			}
-		}
-		buf = buf[:0]
-		if cfg.Payload {
-			buf = AppendDataRecord(buf, it.sta, payload[:it.size])
-		} else {
-			buf = AppendSizeRecord(buf, it.sta, it.size)
-		}
-		if _, err := bw.Write(buf); err != nil {
-			return nil, fmt.Errorf("carpoolload: send: %w", err)
-		}
-		rep.Sent++
-		if sinceFlush++; sinceFlush >= flushEvery {
-			if err := bw.Flush(); err != nil {
-				return nil, fmt.Errorf("carpoolload: flush: %w", err)
+			end := min(base+cfg.Batch, len(schedule))
+			group := schedule[base:end]
+			if cfg.OpenLoop {
+				if wait := group[0].at - time.Since(start); wait > 50*time.Microsecond {
+					time.Sleep(wait)
+				}
 			}
-			sinceFlush = 0
+			buf = buf[:0]
+			for _, it := range group {
+				if cfg.Payload {
+					buf = AppendDataRecord(buf, it.sta, payload[:it.size])
+				} else {
+					buf = AppendSizeRecord(buf, it.sta, it.size)
+				}
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return nil, fmt.Errorf("carpoolload: batch send: %w", err)
+			}
+			rep.Sent += int64(len(group))
+		}
+	} else {
+		const flushEvery = 256
+		sinceFlush := 0
+		for _, it := range schedule {
+			if ctx.Err() != nil {
+				break
+			}
+			if cfg.OpenLoop {
+				if wait := it.at - time.Since(start); wait > 50*time.Microsecond {
+					time.Sleep(wait)
+				}
+			}
+			buf = buf[:0]
+			if cfg.Payload {
+				buf = AppendDataRecord(buf, it.sta, payload[:it.size])
+			} else {
+				buf = AppendSizeRecord(buf, it.sta, it.size)
+			}
+			if _, err := bw.Write(buf); err != nil {
+				return nil, fmt.Errorf("carpoolload: send: %w", err)
+			}
+			rep.Sent++
+			if sinceFlush++; sinceFlush >= flushEvery {
+				if err := bw.Flush(); err != nil {
+					return nil, fmt.Errorf("carpoolload: flush: %w", err)
+				}
+				sinceFlush = 0
+			}
 		}
 	}
 	// Drain handshake: the server finishes queued work, then reports.

@@ -2,25 +2,37 @@ package engine
 
 import "time"
 
-// qframe is one queued downlink frame. seq is its global admission order
-// and survives requeueing after a failed transmission, so the scheduler's
-// cross-STA FIFO walk keeps serving frames in arrival order — the same
-// FIFO-priority discipline the MAC simulator's single AP queue implements.
+// qframe is one queued downlink frame header. seq is its global admission
+// order and survives requeueing after a failed transmission, so the
+// scheduler's cross-STA FIFO walk keeps serving frames in arrival order —
+// the same FIFO-priority discipline the MAC simulator's single AP queue
+// implements. Headers live contiguously in the station's ring slab;
+// retained payload bytes live in the engine's shared arena, with chunk
+// tracking the refcounted slab the payload aliases.
 type qframe struct {
 	seq     uint64
 	size    int
 	arrival time.Duration
 	retries int
-	payload []byte // nil unless the engine retains payloads (PHY transport)
+	payload []byte      // nil unless the engine retains payloads (PHY transport)
+	chunk   *arenaChunk // arena slab owning payload; nil for size-only frames
 }
 
-// staQueue is one station's bounded FIFO plus its retry-backoff gate.
-// Arrivals within a station are monotone non-decreasing from the head
-// (requeued frames are older than anything behind them), which lets the
-// latency-expiry sweep stop at the first fresh frame.
+// staQueue is one station's bounded FIFO plus its retry-backoff gate: a
+// power-of-two ring of frame headers addressed by free-running head/tail
+// counters (uint64 wraparound keeps the modular arithmetic exact, and lets
+// requeue step head backwards without special cases). Arrivals within a
+// station are monotone non-decreasing from the head (requeued frames are
+// older than anything behind them), which lets the latency-expiry sweep
+// stop at the first fresh frame.
+//
+// The ring is sized once to cover QueueCap on first use and only regrows
+// for the transient overshoot a retry requeue can cause after new
+// admissions refilled the queue, so the steady-state serving path never
+// allocates per frame.
 type staQueue struct {
-	buf  []qframe
-	head int
+	ring       []qframe // power-of-two capacity, allocated on first push
+	head, tail uint64
 	// nextEligible gates scheduling after failed transmissions: the
 	// capped-exponential backoff of the engine's per-STA retry policy.
 	nextEligible time.Duration
@@ -28,39 +40,70 @@ type staQueue struct {
 	failStreak int
 }
 
-func (q *staQueue) len() int { return len(q.buf) - q.head }
+func (q *staQueue) len() int { return int(q.tail - q.head) }
 
-func (q *staQueue) headFrame() *qframe { return &q.buf[q.head] }
+func (q *staQueue) headFrame() *qframe { return &q.ring[q.head&uint64(len(q.ring)-1)] }
 
-func (q *staQueue) push(f qframe) { q.buf = append(q.buf, f) }
+// grow ensures ring capacity for need frames, re-basing the live window at
+// index zero. sizeHint (the engine's QueueCap) sizes the first allocation
+// so the common case allocates exactly once per station.
+func (q *staQueue) grow(need, sizeHint int) {
+	if len(q.ring) >= need {
+		return
+	}
+	if need < sizeHint {
+		need = sizeHint
+	}
+	newCap := 8
+	for newCap < need {
+		newCap <<= 1
+	}
+	next := make([]qframe, newCap)
+	n := q.len()
+	if n > 0 {
+		mask := uint64(len(q.ring) - 1)
+		for i := 0; i < n; i++ {
+			next[i] = q.ring[(q.head+uint64(i))&mask]
+		}
+	}
+	q.ring, q.head, q.tail = next, 0, uint64(n)
+}
+
+func (q *staQueue) push(f qframe) {
+	q.pushHint(f, 1)
+}
+
+// pushHint appends with a first-allocation size hint (see grow).
+func (q *staQueue) pushHint(f qframe, sizeHint int) {
+	if q.len() == len(q.ring) {
+		q.grow(q.len()+1, sizeHint)
+	}
+	q.ring[q.tail&uint64(len(q.ring)-1)] = f
+	q.tail++
+}
 
 func (q *staQueue) pop() qframe {
-	f := q.buf[q.head]
-	q.buf[q.head].payload = nil // release retained bytes
+	i := q.head & uint64(len(q.ring)-1)
+	f := q.ring[i]
+	q.ring[i] = qframe{} // release retained bytes and the arena reference
 	q.head++
-	// Compact once the dead prefix dominates, keeping the backing array.
-	if q.head >= 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
 	return f
 }
 
 // requeue reinserts failed frames at the queue head, preserving their
 // relative order and original seq/arrival so FIFO position and latency
-// accounting survive retries.
+// accounting survive retries. Stepping head backwards is exact under
+// modular arithmetic even past zero; the slots it re-enters were vacated
+// by the pops that extracted these same frames, or freed by grow when new
+// admissions refilled the ring in between.
 func (q *staQueue) requeue(fs []qframe) {
 	if len(fs) == 0 {
 		return
 	}
-	if q.head >= len(fs) {
-		q.head -= len(fs)
-		copy(q.buf[q.head:], fs)
-		return
+	q.grow(q.len()+len(fs), 1)
+	mask := uint64(len(q.ring) - 1)
+	q.head -= uint64(len(fs))
+	for i := range fs {
+		q.ring[(q.head+uint64(i))&mask] = fs[i]
 	}
-	merged := make([]qframe, 0, len(fs)+q.len())
-	merged = append(merged, fs...)
-	merged = append(merged, q.buf[q.head:]...)
-	q.buf, q.head = merged, 0
 }

@@ -17,6 +17,16 @@ import (
 type Server struct {
 	eng *Engine
 
+	// SlabSize sets each TCP connection's read-slab size: one Read fills
+	// the slab and every complete record in it is parsed in place and
+	// admitted as a single engine batch. Zero selects 256 KiB. The slab
+	// grows transiently (up to one max-size record) when a single record
+	// exceeds it.
+	SlabSize int
+	// Legacy selects the original one-record-per-read loop instead of the
+	// slab batch path — the reference arm for differential testing.
+	Legacy bool
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -86,9 +96,92 @@ func (s *Server) closeConns() {
 	s.mu.Unlock()
 }
 
-// serveConn drains one TCP stream. Submission errors are backpressure
-// outcomes already counted by the engine, not connection errors.
+func (s *Server) slabSize() int {
+	if s.SlabSize > 0 {
+		return s.SlabSize
+	}
+	return 256 << 10
+}
+
+// serveConn drains one TCP stream through the slab batch path: one Read
+// fills the slab, every complete record is parsed in place (payloads
+// handed to admission zero-copy) and admitted in one SubmitBatch, and all
+// control replies the slab produced go out in one vectored write
+// (net.Buffers). Submission errors are backpressure outcomes already
+// counted by the engine, not connection errors.
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	if s.Legacy {
+		s.serveConnLegacy(ctx, conn)
+		return
+	}
+	slab := make([]byte, s.slabSize())
+	items := make([]BatchItem, 0, 1024)
+	fill := 0
+	for {
+		n, rerr := conn.Read(slab[fill:])
+		fill += n
+
+		// Parse everything complete, in passes: a control record ends a
+		// pass so records before it are admitted first (wire FIFO), then
+		// the scan resumes after it.
+		var replies net.Buffers
+		fatal := false
+		for {
+			var consumed int
+			var ctrl byte
+			var perr error
+			items, consumed, ctrl, perr = parseBatch(slab[:fill], items[:0])
+			if len(items) > 0 {
+				_, _ = s.eng.SubmitBatch(items)
+			}
+			if consumed > 0 {
+				copy(slab, slab[consumed:fill])
+				fill -= consumed
+			}
+			if perr != nil {
+				fatal = true // malformed framing is unrecoverable
+				break
+			}
+			if ctrl == 0 {
+				break
+			}
+			if ctrl == RecDrain && s.eng.Drain(ctx) != nil {
+				fatal = true
+			}
+			reply, jerr := statsReply(s.eng.Stats())
+			if jerr != nil {
+				fatal = true
+				break
+			}
+			replies = append(replies, reply)
+			if fatal {
+				break
+			}
+		}
+		if len(replies) > 0 {
+			if _, err := replies.WriteTo(conn); err != nil {
+				return
+			}
+		}
+		if fatal || rerr != nil {
+			return // EOF, peer reset, malformed framing, or failed drain
+		}
+		if fill == len(slab) {
+			// A single record overflows the slab: grow toward the protocol
+			// ceiling so any conforming record fits.
+			if len(slab) >= recHeaderLen+MaxWirePayload {
+				return
+			}
+			bigger := make([]byte, min(2*len(slab), recHeaderLen+MaxWirePayload))
+			copy(bigger, slab[:fill])
+			slab = bigger
+		}
+	}
+}
+
+// serveConnLegacy is the original per-record read loop, kept as the
+// unbatched reference arm.
+func (s *Server) serveConnLegacy(ctx context.Context, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<14)
 	var payloadBuf []byte
@@ -120,13 +213,15 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 }
 
 // ServeUDP drains datagrams until ctx is cancelled or the socket closes.
-// Each datagram carries whole records back-to-back; a malformed record
-// discards the rest of its datagram only. Control records reply to the
-// sender's address in one datagram.
+// Each datagram carries whole records back-to-back and is admitted as one
+// engine batch; a malformed or truncated record discards the rest of its
+// datagram only. Control records reply to the sender's address in one
+// datagram.
 func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 	buf := make([]byte, 64<<10)
+	items := make([]BatchItem, 0, 256)
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
@@ -137,25 +232,22 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 		}
 		dgram := buf[:n]
 		for off := 0; off < len(dgram); {
-			rec, next, perr := parseDatagramRecord(dgram, off)
-			if perr != nil {
-				break
+			var consumed int
+			var ctrl byte
+			var perr error
+			items, consumed, ctrl, perr = parseBatch(dgram[off:], items[:0])
+			if len(items) > 0 {
+				_, _ = s.eng.SubmitBatch(items)
 			}
-			off = next
-			switch rec.typ {
-			case RecData:
-				_ = s.eng.Submit(rec.sta, rec.payload)
-			case RecDataSize:
-				_ = s.eng.SubmitSize(rec.sta, rec.length)
-			case RecStats:
-				if reply, jerr := statsReply(s.eng.Stats()); jerr == nil {
-					_, _ = conn.WriteTo(reply, addr)
-				}
-			case RecDrain:
+			off += consumed
+			if perr != nil || ctrl == 0 {
+				break // malformed or truncated tail: drop the rest
+			}
+			if ctrl == RecDrain {
 				_ = s.eng.Drain(ctx)
-				if reply, jerr := statsReply(s.eng.Stats()); jerr == nil {
-					_, _ = conn.WriteTo(reply, addr)
-				}
+			}
+			if reply, jerr := statsReply(s.eng.Stats()); jerr == nil {
+				_, _ = conn.WriteTo(reply, addr)
 			}
 		}
 	}

@@ -92,6 +92,51 @@ func readRecord(br *bufio.Reader, payloadBuf []byte) (wireRecord, []byte, error)
 	return rec, payloadBuf, nil
 }
 
+// parseBatch scans a slab of bytes for complete records in place — the
+// vectored-read fast path: one conn.Read fills the slab, one pass turns
+// every complete ingest record into a BatchItem whose payload aliases the
+// slab zero-copy (the engine copies retained payloads into its arena
+// before SubmitBatch returns, so the slab can be reused immediately
+// after). Appends to items and returns it, with the byte count consumed,
+// the control record type that stopped the scan (RecStats/RecDrain; 0 for
+// none), and an error for malformed framing.
+//
+// An incomplete record at the tail is not an error: the scan stops before
+// it (consumed excludes it) so a stream reader can shift the tail down and
+// read more. A control record is consumed but ends the scan, letting the
+// caller admit everything before it, act on it, then resume parsing —
+// preserving the wire FIFO.
+func parseBatch(slab []byte, items []BatchItem) ([]BatchItem, int, byte, error) {
+	off := 0
+	for {
+		if len(slab)-off < recHeaderLen {
+			return items, off, 0, nil
+		}
+		typ := slab[off]
+		sta := int(binary.BigEndian.Uint16(slab[off+1 : off+3]))
+		length := int(binary.BigEndian.Uint32(slab[off+3 : off+7]))
+		if length > MaxWirePayload {
+			return items, off, 0, fmt.Errorf("engine: wire payload %d exceeds %d", length, MaxWirePayload)
+		}
+		switch typ {
+		case RecData:
+			if len(slab)-off-recHeaderLen < length {
+				return items, off, 0, nil // payload split across reads
+			}
+			start := off + recHeaderLen
+			items = append(items, BatchItem{STA: sta, Payload: slab[start : start+length]})
+			off = start + length
+		case RecDataSize:
+			items = append(items, BatchItem{STA: sta, Size: length})
+			off += recHeaderLen
+		case RecStats, RecDrain:
+			return items, off + recHeaderLen, typ, nil
+		default:
+			return items, off, 0, fmt.Errorf("engine: unknown record type %#02x", typ)
+		}
+	}
+}
+
 // parseDatagramRecord decodes one record from a datagram at offset off,
 // returning the next offset. Unlike the stream form it never blocks.
 func parseDatagramRecord(dgram []byte, off int) (wireRecord, int, error) {

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestParseBatchSlabBoundaries pins the in-place batch parser's edge
+// behavior: records split across reads, zero-length payloads, a max-size
+// record ending exactly at the slab edge, control records mid-stream, and
+// malformed framing.
+func TestParseBatchSlabBoundaries(t *testing.T) {
+	big := make([]byte, MaxWirePayload)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	var stream []byte
+	stream = AppendSizeRecord(stream, 3, 900)
+	stream = AppendDataRecord(stream, 1, []byte("hello"))
+	stream = AppendDataRecord(stream, 2, nil) // zero-length payload
+	stream = AppendControlRecord(stream, RecStats)
+	stream = AppendDataRecord(stream, 4, big) // max-size record at the edge
+	firstLen := 2*recHeaderLen + 5 + recHeaderLen
+
+	// A header split across two reads: nothing consumed, no error.
+	items, consumed, ctrl, err := parseBatch(stream[:recHeaderLen-2], nil)
+	if len(items) != 0 || consumed != 0 || ctrl != 0 || err != nil {
+		t.Fatalf("split header: items=%d consumed=%d ctrl=%d err=%v", len(items), consumed, ctrl, err)
+	}
+	// A payload split across two reads: the scan stops before the record.
+	items, consumed, ctrl, err = parseBatch(stream[:recHeaderLen+recHeaderLen+3], nil)
+	if len(items) != 1 || consumed != recHeaderLen || ctrl != 0 || err != nil {
+		t.Fatalf("split payload: items=%d consumed=%d ctrl=%d err=%v", len(items), consumed, ctrl, err)
+	}
+
+	// The full prefix through the control record: three ingest records, scan
+	// ends at (and consumes) the control.
+	ctrlEnd := firstLen + recHeaderLen
+	items, consumed, ctrl, err = parseBatch(stream[:ctrlEnd], nil)
+	if err != nil || ctrl != RecStats || consumed != ctrlEnd {
+		t.Fatalf("to control: consumed=%d ctrl=%d err=%v, want %d/RecStats/nil", consumed, ctrl, err, ctrlEnd)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items %d, want 3", len(items))
+	}
+	if items[0].STA != 3 || items[0].Size != 900 || items[0].Payload != nil {
+		t.Errorf("size record item = %+v", items[0])
+	}
+	if items[1].STA != 1 || string(items[1].Payload) != "hello" {
+		t.Errorf("data record item = %+v", items[1])
+	}
+	if items[2].STA != 2 || items[2].Payload == nil || len(items[2].Payload) != 0 {
+		t.Errorf("zero-length payload item = %+v (payload must be empty, not absent)", items[2])
+	}
+
+	// Max-size record ending exactly at the slab edge parses whole, and
+	// its payload aliases the slab (zero-copy).
+	tail := stream[ctrlEnd:]
+	items, consumed, ctrl, err = parseBatch(tail, nil)
+	if err != nil || ctrl != 0 || consumed != len(tail) || len(items) != 1 {
+		t.Fatalf("max-size at edge: items=%d consumed=%d/%d ctrl=%d err=%v", len(items), consumed, len(tail), ctrl, err)
+	}
+	if len(items[0].Payload) != MaxWirePayload || &items[0].Payload[0] != &tail[recHeaderLen] {
+		t.Error("max-size payload not aliased zero-copy from the slab")
+	}
+	// One byte short: stops before the record.
+	if _, consumed, _, err = parseBatch(tail[:len(tail)-1], nil); consumed != 0 || err != nil {
+		t.Errorf("one short of edge: consumed=%d err=%v", consumed, err)
+	}
+
+	// Oversize length prefix and unknown type are fatal, stopping at the
+	// offending record with everything before it parsed.
+	bad := AppendSizeRecord(nil, 0, 100)
+	n := len(bad)
+	bad = appendHeader(bad, RecData, 0, MaxWirePayload+1)
+	items, consumed, _, err = parseBatch(bad, nil)
+	if err == nil || consumed != n || len(items) != 1 {
+		t.Errorf("oversize: items=%d consumed=%d err=%v", len(items), consumed, err)
+	}
+	bad = append(AppendSizeRecord(nil, 0, 100), appendHeader(nil, 0x7f, 0, 0)...)
+	items, consumed, _, err = parseBatch(bad, nil)
+	if err == nil || consumed != n || len(items) != 1 {
+		t.Errorf("unknown type: items=%d consumed=%d err=%v", len(items), consumed, err)
+	}
+}
+
+// startSlabLoopback is startLoopback with control over the server knobs.
+func startSlabLoopback(t *testing.T, cfg Config, tune func(*Server)) (string, *Engine, func()) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := e.Start(ctx); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	srv := NewServer(e)
+	if tune != nil {
+		tune(srv)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	return ln.Addr().String(), e, func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// TestServerSlabSplitReads drips a record stream through a tiny slab in
+// adversarial chunks — splitting headers and payloads across reads and
+// forcing a mid-stream slab grow for a record larger than the slab — and
+// checks every frame is admitted and delivered.
+func TestServerSlabSplitReads(t *testing.T) {
+	const slab = 64
+	addr, eng, shutdown := startSlabLoopback(t,
+		Config{NumSTAs: 4, QueueCap: 1 << 10, RetainPayloads: true},
+		func(s *Server) { s.SlabSize = slab })
+	defer shutdown()
+
+	payload := bytes.Repeat([]byte{0xa5}, 3*slab) // forces slab growth
+	var stream []byte
+	for k := 0; k < 50; k++ {
+		stream = AppendDataRecord(stream, k%4, []byte("abcdefghij"))
+	}
+	stream = AppendDataRecord(stream, 0, payload)
+	stream = AppendDataRecord(stream, 1, nil) // zero-length: rejected, not fatal
+	stream = AppendControlRecord(stream, RecDrain)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Write in prime-sized chunks so record boundaries land everywhere.
+	for off := 0; off < len(stream); {
+		n := min(13, len(stream)-off)
+		if _, err := conn.Write(stream[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	st, err := ReadStatsReply(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != 51 || st.Delivered != 51 || st.Pending != 0 {
+		t.Fatalf("drained stats = %+v, want 51 accepted+delivered", st)
+	}
+	if got := eng.Stats().DeliveredBytes; got != 50*10+int64(len(payload)) {
+		t.Fatalf("delivered bytes %d, want %d", got, 50*10+len(payload))
+	}
+}
+
+// TestServerLegacyMatchesBatched runs the identical record stream through
+// the slab batch path and the legacy per-record loop and requires
+// identical admission and delivery accounting.
+func TestServerLegacyMatchesBatched(t *testing.T) {
+	var stream []byte
+	for k := 0; k < 200; k++ {
+		if k%3 == 0 {
+			stream = AppendDataRecord(stream, k%5, bytes.Repeat([]byte{byte(k)}, 64+k))
+		} else {
+			stream = AppendSizeRecord(stream, k%5, 600+k)
+		}
+	}
+	stream = AppendControlRecord(stream, RecDrain)
+
+	run := func(legacy bool) Stats {
+		addr, _, shutdown := startSlabLoopback(t,
+			Config{NumSTAs: 5, QueueCap: 1 << 12, RetainPayloads: true},
+			func(s *Server) { s.Legacy = legacy })
+		defer shutdown()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(stream); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		st, err := ReadStatsReply(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	batched, legacy := run(false), run(true)
+	if batched.Accepted != legacy.Accepted || batched.Delivered != legacy.Delivered ||
+		batched.DeliveredBytes != legacy.DeliveredBytes || batched.Rejected != legacy.Rejected {
+		t.Errorf("slab and legacy paths diverge:\n  batched %+v\n  legacy  %+v", batched, legacy)
+	}
+}
+
+// FuzzWireBatchParser differentially fuzzes the in-place batch parser
+// against the legacy one-record parser: on any byte soup, the consumed
+// prefix must decode to the identical record sequence, and the parser must
+// never over-consume or panic.
+func FuzzWireBatchParser(f *testing.F) {
+	var seed []byte
+	seed = AppendSizeRecord(seed, 1, 1200)
+	seed = AppendDataRecord(seed, 2, []byte("payload"))
+	seed = AppendControlRecord(seed, RecStats)
+	f.Add(seed)
+	f.Add(AppendDataRecord(nil, 0, nil))
+	f.Add(appendHeader(nil, RecData, 9, MaxWirePayload+1))
+	f.Add(appendHeader(nil, 0x55, 0, 4))
+	f.Add(AppendDataRecord(nil, 3, bytes.Repeat([]byte{7}, 300))[:40])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, consumed, ctrl, err := parseBatch(data, nil)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d outside 0..%d", consumed, len(data))
+		}
+		// Re-parse the consumed prefix with the legacy parser; the batch
+		// scan must have produced exactly the same records.
+		prefix := data[:consumed]
+		off, idx := 0, 0
+		var gotCtrl byte
+		for off < len(prefix) {
+			rec, next, perr := parseDatagramRecord(prefix, off)
+			if perr != nil {
+				t.Fatalf("legacy parser rejects consumed prefix at %d: %v", off, perr)
+			}
+			off = next
+			if rec.typ == RecStats || rec.typ == RecDrain {
+				gotCtrl = rec.typ
+				break
+			}
+			if idx >= len(items) {
+				t.Fatalf("batch parser missed record %d (type %#02x)", idx, rec.typ)
+			}
+			it := items[idx]
+			idx++
+			switch rec.typ {
+			case RecData:
+				if it.STA != rec.sta || it.Payload == nil || !bytes.Equal(it.Payload, rec.payload) {
+					t.Fatalf("data record %d: batch %+v vs legacy %+v", idx-1, it, rec)
+				}
+			case RecDataSize:
+				if it.STA != rec.sta || it.Size != rec.length || it.Payload != nil {
+					t.Fatalf("size record %d: batch %+v vs legacy %+v", idx-1, it, rec)
+				}
+			default:
+				t.Fatalf("unknown type %#02x inside consumed prefix", rec.typ)
+			}
+		}
+		if off != len(prefix) {
+			t.Fatalf("consumed prefix has %d trailing bytes", len(prefix)-off)
+		}
+		if idx != len(items) {
+			t.Fatalf("batch parser invented %d extra items", len(items)-idx)
+		}
+		if gotCtrl != ctrl {
+			t.Fatalf("control byte %#02x, legacy saw %#02x", ctrl, gotCtrl)
+		}
+		if err == nil && ctrl == 0 {
+			// A clean incomplete stop must leave less than one whole record.
+			rest := data[consumed:]
+			if _, _, perr := parseDatagramRecord(rest, 0); perr == nil && len(rest) > 0 &&
+				rest[0] >= RecData && rest[0] <= RecDrain {
+				rec, _, _ := parseDatagramRecord(rest, 0)
+				if rec.length <= MaxWirePayload {
+					t.Fatalf("parser stopped early before a complete record (type %#02x)", rest[0])
+				}
+			}
+		}
+	})
+}
+
+// TestLoadgenBatchedLoopbackThroughput is the batched acceptance
+// criterion: the generator's grouped writes against the server's slab
+// reads must clear double the per-record path's floor — the whole point
+// of batching every layer of the serving path.
+func TestLoadgenBatchedLoopbackThroughput(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	frames := int64(200_000)
+	floor := 200_000.0
+	if raceEnabled {
+		floor = 30_000
+	}
+	if testing.Short() {
+		frames, floor = frames/10, floor/2
+	}
+	cfg := Config{NumSTAs: 8, QueueCap: 1 << 16}
+	addr, _, shutdown := startLoopback(t, cfg)
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addr:       addr,
+		NumSTAs:    8,
+		RatePerSec: float64(frames),
+		FrameBytes: 1200,
+		Duration:   time.Second,
+		Seed:       42,
+		Batch:      512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown()
+	s := rep.Server
+	t.Logf("sent %d frames batched, drained in %v (%.0f frames/s end to end); server %+v",
+		rep.Sent, rep.TotalElapsed.Round(time.Millisecond), rep.EndToEndRate, s)
+
+	if rep.EndToEndRate < floor {
+		t.Errorf("batched end-to-end rate %.0f frames/s below floor %.0f", rep.EndToEndRate, floor)
+	}
+	if s.Accepted != rep.Sent || s.Rejected != 0 {
+		t.Errorf("drops below the admission threshold: accepted=%d rejected=%d sent=%d",
+			s.Accepted, s.Rejected, rep.Sent)
+	}
+	if s.Delivered != s.Accepted || s.Pending != 0 {
+		t.Errorf("drain incomplete: %+v", s)
+	}
+	if n := goroutineCount(baseline); n > baseline {
+		t.Errorf("goroutine leak after batched load run: %d > baseline %d", n, baseline)
+	}
+}

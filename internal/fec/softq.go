@@ -31,15 +31,22 @@ import (
 //     per-step 4-entry output-pair cost table is built from two loads and
 //     four adds with no per-bit branches and no precision loss.
 //
-//  3. A SWAR add-compare-select: the trellis is walked as 16 butterflies of
-//     4 next states whose path metrics are packed 4-per-uint64 (16-bit
-//     lanes). The two candidate metric vectors are formed with shifts, the
-//     branch costs come from a 16-entry per-step table of packed cost words
-//     (indexed by the two butterfly branch outputs, with the complemented
-//     layout at index^15 — the K=7 generators both have their newest- and
-//     oldest-bit taps set, so the second predecessor's outputs are always
-//     the bitwise complement), and the four lane-wise compare/selects
-//     resolve in a handful of word ops using the high-bit borrow trick.
+//  3. An 8-lane SWAR add-compare-select: the trellis is walked as 16
+//     butterflies of 4 next states whose path metrics are packed
+//     4-per-uint64 (16-bit lanes), and the metric array itself is stored as
+//     16 such words, so each loop iteration advances two adjacent
+//     butterflies — 8 next-state lanes across two independent words. One
+//     word load supplies both butterflies' low (or high) predecessors, the
+//     two candidate metric vectors are formed with lane-broadcast
+//     multiplies, the branch costs come from a 16-entry per-step table of
+//     packed cost words (indexed by the two butterfly branch outputs, with
+//     the complemented layout at index^15 — the K=7 generators both have
+//     their newest- and oldest-bit taps set, so the second predecessor's
+//     outputs are always the bitwise complement), and the lane-wise
+//     compare/selects resolve in a handful of word ops using the high-bit
+//     borrow trick. The two words per iteration carry no data dependency,
+//     so their add-compare-select chains retire in parallel, and the
+//     selected words store back directly with no uint16 repacking.
 //
 // Tie-breaking matches ViterbiDecode and ViterbiDecodeSoft: on equal
 // metrics the low predecessor (state>>1) wins, so all three decoders walk
@@ -53,6 +60,13 @@ const (
 	initialMetric = 0x3000
 	swarHigh      = 0x8000800080008000
 	swarOnes      = 0x0001000100010001
+	// swarPair broadcasts one 16-bit lane into the two low lanes; shifted
+	// left 32 it fills the two high lanes — the a|a<<16|b<<32|b<<48 layout
+	// the butterfly's candidate vectors need.
+	swarPair = 0x0000000000010001
+	// numMetricWords is the packed metric array length: 64 states, 4
+	// 16-bit lanes per word. Word w holds states 4w..4w+3.
+	numMetricWords = numStates / 4
 )
 
 // pairCost packs, for the int8 LLR with bit pattern i, the branch cost of
@@ -107,7 +121,11 @@ func buildButterflyOut() (t [16]uint8) {
 // DecodeInto performs zero heap allocations. A SoftDecoder must not be
 // shared between goroutines (use one per worker, or a sync.Pool).
 type SoftDecoder struct {
-	metrics   [2][numStates]uint16
+	// metrics holds the two ping-pong path-metric arrays in packed SWAR
+	// form: 16 uint64 words of four 16-bit lanes, word w carrying states
+	// 4w..4w+3. The add-compare-select reads and writes whole words, so
+	// metrics never round-trip through uint16 scalars inside the bit loop.
+	metrics   [2][numMetricWords]uint64
 	survivors []uint64
 	scratch   []int8 // depunctured mother stream for rates 2/3 and 3/4
 }
@@ -160,9 +178,9 @@ func (d *SoftDecoder) DecodeInto(dst []byte, llrs []int8, rate CodeRate, numInfo
 	surv := d.survivors[:numInfoBits]
 
 	metric, next := &d.metrics[0], &d.metrics[1]
-	metric[0] = 0
-	for i := 1; i < numStates; i++ {
-		metric[i] = initialMetric
+	metric[0] = initialMetric*swarOnes - initialMetric // state 0 free, 1..3 handicapped
+	for i := 1; i < numMetricWords; i++ {
+		metric[i] = initialMetric * swarOnes
 	}
 
 	for t := 0; t < numInfoBits; t++ {
@@ -186,50 +204,54 @@ func (d *SoftDecoder) DecodeInto(dst []byte, llrs []int8, rate CodeRate, numInfo
 			packed[idx] = cost[o0] | cost[o0^3]<<16 | cost[o1]<<32 | cost[o1^3]<<48
 		}
 		var sbits uint64
-		for j := 0; j < 16; j++ {
-			// Next states 4j..4j+3 draw from predecessors 2j, 2j+1 (lanes
-			// a,a,b,b) and 2j+32, 2j+33.
-			a, b := uint64(metric[2*j]), uint64(metric[2*j+1])
-			x := a | a<<16 | b<<32 | b<<48
-			g, h := uint64(metric[2*j+32]), uint64(metric[2*j+33])
-			y := g | g<<16 | h<<32 | h<<48
-			idx := butterflyOut[j]
-			x += packed[idx]
-			y += packed[idx^15]
+		for j := 0; j < 16; j += 2 {
+			// Butterflies j and j+1 share their predecessor words: states
+			// 2j..2j+3 live in word j/2, states 2j+32..2j+35 in word
+			// j/2+8. Butterfly j draws lanes 0,1 (low preds 2j, 2j+1) and
+			// butterfly j+1 lanes 2,3, each broadcast to the a,a,b,b
+			// candidate layout.
+			w := metric[j>>1]
+			hw := metric[(j>>1)+8]
+			x0 := (w&0xffff)*swarPair | ((w >> 16 & 0xffff) * swarPair << 32)
+			x1 := (w>>32&0xffff)*swarPair | ((w >> 48) * swarPair << 32)
+			y0 := (hw&0xffff)*swarPair | ((hw >> 16 & 0xffff) * swarPair << 32)
+			y1 := (hw>>32&0xffff)*swarPair | ((hw >> 48) * swarPair << 32)
+			idx0 := butterflyOut[j]
+			idx1 := butterflyOut[j+1]
+			x0 += packed[idx0]
+			y0 += packed[idx0^15]
+			x1 += packed[idx1]
+			y1 += packed[idx1^15]
 			// Lane-wise strict compare: lane bit of m set iff y < x (the
 			// high predecessor strictly wins; ties keep the low one, as in
 			// the scalar decoders). Values stay below 2^15, so ORing the
 			// lane sign bit into x and subtracting y+1 cannot borrow across
-			// lanes, and the sign bit survives exactly when x >= y+1.
-			diff := (x | swarHigh) - (y + swarOnes)
-			m := (diff & swarHigh) >> 15
-			mask := m * 0xffff
-			mn := (y & mask) | (x &^ mask)
-			next[4*j] = uint16(mn)
-			next[4*j+1] = uint16(mn >> 16)
-			next[4*j+2] = uint16(mn >> 32)
-			next[4*j+3] = uint16(mn >> 48)
-			sbits |= (m&1 | m>>15&2 | m>>30&4 | m>>45&8) << (4 * j)
+			// lanes, and the sign bit survives exactly when x >= y+1. The
+			// two words' chains are independent — free ILP.
+			diff0 := (x0 | swarHigh) - (y0 + swarOnes)
+			diff1 := (x1 | swarHigh) - (y1 + swarOnes)
+			m0 := (diff0 & swarHigh) >> 15
+			m1 := (diff1 & swarHigh) >> 15
+			mask0 := m0 * 0xffff
+			mask1 := m1 * 0xffff
+			next[j] = (y0 & mask0) | (x0 &^ mask0)
+			next[j+1] = (y1 & mask1) | (x1 &^ mask1)
+			sbits |= (m0&1 | m0>>15&2 | m0>>30&4 | m0>>45&8) << (4 * j)
+			sbits |= (m1&1 | m1>>15&2 | m1>>30&4 | m1>>45&8) << (4*j + 4)
 		}
 		surv[t] = sbits
 		metric, next = next, metric
 		if t%renormInterval == renormInterval-1 {
-			lo := metric[0]
-			for i := 1; i < numStates; i++ {
-				if metric[i] < lo {
-					lo = metric[i]
-				}
-			}
-			for i := 0; i < numStates; i++ {
-				metric[i] -= lo
-			}
+			renormWords(metric)
 		}
 	}
 
-	best := 0
+	// Unpack the packed metrics for the final best-state scan; the strict
+	// compare keeps the lowest state on ties, as the scalar decoders do.
+	best, bestMetric := 0, metric[0]&0xffff
 	for s := 1; s < numStates; s++ {
-		if metric[s] < metric[best] {
-			best = s
+		if m := metric[s>>2] >> (16 * (s & 3)) & 0xffff; m < bestMetric {
+			best, bestMetric = s, m
 		}
 	}
 	state := best
@@ -238,6 +260,33 @@ func (d *SoftDecoder) DecodeInto(dst []byte, llrs []int8, rate CodeRate, numInfo
 		state = state>>1 | int((surv[t]>>uint(state))&1)<<5
 	}
 	return nil
+}
+
+// renormWords subtracts the minimum path metric from every state, operating
+// on the packed word layout: a lane-wise SWAR min folds the 16 words to
+// one, a scalar pass folds its 4 lanes, and the broadcast subtraction
+// cannot borrow across lanes because every lane is >= the minimum. The
+// strict-compare trick requires lanes below 2^15, which the renorm cadence
+// guarantees (see the metric-headroom analysis above).
+func renormWords(metric *[numMetricWords]uint64) {
+	lo := metric[0]
+	for i := 1; i < numMetricWords; i++ {
+		w := metric[i]
+		diff := (lo | swarHigh) - (w + swarOnes)
+		m := (diff & swarHigh) >> 15
+		mask := m * 0xffff
+		lo = (w & mask) | (lo &^ mask)
+	}
+	min := lo & 0xffff
+	for k := 1; k < 4; k++ {
+		if l := lo >> (16 * k) & 0xffff; l < min {
+			min = l
+		}
+	}
+	bcast := min * swarOnes
+	for i := range metric {
+		metric[i] -= bcast
+	}
 }
 
 // ViterbiDecodeSoftQ is a convenience wrapper allocating a throwaway

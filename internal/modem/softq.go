@@ -77,6 +77,59 @@ func DemapSoftQWeightedInto(dst []int8, m Modulation, points []complex128, weigh
 	return demapSoftQ(dst, m, points, weights)
 }
 
+// DemapSoftQBatchInto is the multi-symbol batched variant of
+// DemapSoftQInto: it demaps K symbols' constellation points back to back
+// into one contiguous LLR slab, so a batched decode can hand the whole
+// run to fec.SoftDecoder without per-symbol buffer bookkeeping. Symbol s's
+// LLRs land immediately after symbol s-1's; len(dst) must equal the summed
+// point count times BitsPerSymbol. Allocation-free.
+func DemapSoftQBatchInto(dst []int8, m Modulation, symbols [][]complex128, noiseVar float64) error {
+	if noiseVar <= 0 {
+		return fmt.Errorf("modem: noise variance must be positive, got %v", noiseVar)
+	}
+	return demapSoftQBatch(dst, m, symbols, nil)
+}
+
+// DemapSoftQWeightedBatchInto is DemapSoftQBatchInto with per-point
+// channel-gain weights, one weight slice per symbol (the
+// DemapSoftQWeightedInto convention applied lane by lane).
+func DemapSoftQWeightedBatchInto(dst []int8, m Modulation, symbols [][]complex128, weights [][]float64) error {
+	if len(weights) != len(symbols) {
+		return fmt.Errorf("modem: weight batch needs %d symbol entries, got %d", len(symbols), len(weights))
+	}
+	return demapSoftQBatch(dst, m, symbols, weights)
+}
+
+func demapSoftQBatch(dst []int8, m Modulation, symbols [][]complex128, weights [][]float64) error {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return fmt.Errorf("modem: invalid modulation %v", m)
+	}
+	total := 0
+	for _, sym := range symbols {
+		total += len(sym)
+	}
+	if len(dst) != total*bps {
+		return fmt.Errorf("modem: LLR slab needs %d entries, got %d", total*bps, len(dst))
+	}
+	off := 0
+	for s, sym := range symbols {
+		n := len(sym) * bps
+		var w []float64
+		if weights != nil {
+			w = weights[s]
+			if len(w) != len(sym) {
+				return fmt.Errorf("modem: symbol %d weight buffer needs %d entries, got %d", s, len(sym), len(w))
+			}
+		}
+		if err := demapSoftQ(dst[off:off+n], m, sym, w); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
 func demapSoftQ(dst []int8, m Modulation, points []complex128, weights []float64) error {
 	bps := m.BitsPerSymbol()
 	if bps == 0 {

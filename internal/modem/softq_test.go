@@ -92,6 +92,100 @@ func TestDemapSoftQWeighted(t *testing.T) {
 	}
 }
 
+// TestDemapSoftQBatchMatchesPerSymbol checks the batched slab demap is
+// bit-identical to demapping each symbol separately, for every modulation,
+// both unweighted and weighted, and that the slab variants stay
+// allocation-free.
+func TestDemapSoftQBatchMatchesPerSymbol(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const nsym = 5
+	for _, m := range Modulations() {
+		bps := m.BitsPerSymbol()
+		symbols := make([][]complex128, nsym)
+		weights := make([][]float64, nsym)
+		total := 0
+		for s := range symbols {
+			bits := make([]byte, 48*bps)
+			for i := range bits {
+				bits[i] = byte(rng.Intn(2))
+			}
+			pts, err := Map(m, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range pts {
+				pts[i] += complex(rng.NormFloat64()*0.1, rng.NormFloat64()*0.1)
+			}
+			symbols[s] = pts
+			weights[s] = make([]float64, len(pts))
+			for i := range weights[s] {
+				weights[s][i] = 0.25 + rng.Float64()
+			}
+			total += len(pts)
+		}
+		noiseVar := 0.01
+		slab := make([]int8, total*bps)
+		if err := DemapSoftQBatchInto(slab, m, symbols, noiseVar); err != nil {
+			t.Fatal(err)
+		}
+		off := 0
+		one := make([]int8, 48*bps)
+		for s, sym := range symbols {
+			if err := DemapSoftQInto(one, m, sym, noiseVar); err != nil {
+				t.Fatal(err)
+			}
+			for i := range one {
+				if slab[off+i] != one[i] {
+					t.Fatalf("%v symbol %d bit %d: batch %d != per-symbol %d", m, s, i, slab[off+i], one[i])
+				}
+			}
+			off += len(one)
+		}
+		if err := DemapSoftQWeightedBatchInto(slab, m, symbols, weights); err != nil {
+			t.Fatal(err)
+		}
+		off = 0
+		for s, sym := range symbols {
+			if err := DemapSoftQWeightedInto(one, m, sym, weights[s]); err != nil {
+				t.Fatal(err)
+			}
+			for i := range one {
+				if slab[off+i] != one[i] {
+					t.Fatalf("%v symbol %d bit %d: weighted batch %d != per-symbol %d", m, s, i, slab[off+i], one[i])
+				}
+			}
+			off += len(one)
+		}
+		if a := testing.AllocsPerRun(10, func() {
+			if err := DemapSoftQBatchInto(slab, m, symbols, noiseVar); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("%v: DemapSoftQBatchInto allocates %.1f/op, want 0", m, a)
+		}
+	}
+}
+
+func TestDemapSoftQBatchErrors(t *testing.T) {
+	pts := make([]complex128, 2)
+	symbols := [][]complex128{pts, pts}
+	if err := DemapSoftQBatchInto(make([]int8, 4), Modulation(0), symbols, 1); err == nil {
+		t.Error("invalid modulation accepted")
+	}
+	if err := DemapSoftQBatchInto(make([]int8, 4), BPSK, symbols, 0); err == nil {
+		t.Error("zero noise variance accepted")
+	}
+	if err := DemapSoftQBatchInto(make([]int8, 3), BPSK, symbols, 1); err == nil {
+		t.Error("short slab accepted")
+	}
+	if err := DemapSoftQWeightedBatchInto(make([]int8, 4), BPSK, symbols, [][]float64{{1, 1}}); err == nil {
+		t.Error("weight batch length mismatch accepted")
+	}
+	if err := DemapSoftQWeightedBatchInto(make([]int8, 4), BPSK, symbols, [][]float64{{1, 1}, {1}}); err == nil {
+		t.Error("per-symbol weight length mismatch accepted")
+	}
+}
+
 func TestDemapSoftQErrors(t *testing.T) {
 	pts := make([]complex128, 2)
 	if _, err := DemapSoftQ(Modulation(0), pts, 1); err == nil {

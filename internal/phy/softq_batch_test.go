@@ -1,0 +1,116 @@
+package phy_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"carpool/internal/modem"
+	"carpool/internal/phy"
+)
+
+// batchJob encodes one payload at the given MCS through a noisy channel and
+// returns the quantized LLR blocks plus the transmitted payload.
+func batchJob(t *testing.T, rng *rand.Rand, mcs phy.MCS, payloadLen int, snrdB float64) ([][]int8, []byte) {
+	t.Helper()
+	payload := make([]byte, payloadLen)
+	rng.Read(payload)
+	blocks, err := phy.EncodeDataField(payload, mcs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := math.Pow(10, -snrdB/10)
+	llrqBlocks := make([][]int8, len(blocks))
+	noise := make([]complex128, len(blocks[0])/mcs.Mod.BitsPerSymbol())
+	for i, block := range blocks {
+		for j := range noise {
+			noise[j] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		pts := awgnPoints(t, mcs.Mod, block, noise, nv)
+		if llrqBlocks[i], err = modem.DemapSoftQ(mcs.Mod, pts, nv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return llrqBlocks, payload
+}
+
+// TestDecodeDataFieldBatchMatchesSingle runs a mixed-MCS batch through
+// DecodeDataFieldBatch and checks every payload is bit-identical to the
+// per-subframe DecodeDataField on the same LLR blocks.
+func TestDecodeDataFieldBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	mcsList := []phy.MCS{phy.MCS6, phy.MCS12, phy.MCS24, phy.MCS48, phy.MCS54}
+	jobs := make([]phy.SoftQBatchJob, len(mcsList))
+	for i, mcs := range mcsList {
+		blocks, _ := batchJob(t, rng, mcs, 120+70*i, 12.0)
+		jobs[i] = phy.SoftQBatchJob{Blocks: blocks, MCS: mcs, PayloadLen: 120 + 70*i}
+	}
+	var batch phy.SoftQDecoder
+	if idx, err := batch.DecodeDataFieldBatch(jobs); err != nil {
+		t.Fatalf("batch decode failed at job %d: %v", idx, err)
+	}
+	var single phy.SoftQDecoder
+	for i := range jobs {
+		want, err := single.DecodeDataField(jobs[i].Blocks, jobs[i].MCS, jobs[i].PayloadLen)
+		if err != nil {
+			t.Fatalf("job %d: single decode: %v", i, err)
+		}
+		if !bytes.Equal(jobs[i].Payload, want) {
+			t.Errorf("job %d (%v): batch payload differs from single decode", i, jobs[i].MCS)
+		}
+	}
+	// Re-running the warmed decoder must not allocate beyond the payloads.
+	for i := range jobs {
+		jobs[i].Payload = nil
+	}
+	if idx, err := batch.DecodeDataFieldBatch(jobs); err != nil {
+		t.Fatalf("second batch decode failed at job %d: %v", idx, err)
+	}
+}
+
+// TestDecodeDataFieldBatchErrors checks the failing job's index is reported
+// and that earlier jobs keep their decoded payloads.
+func TestDecodeDataFieldBatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(412))
+	goodBlocks, goodPayload := batchJob(t, rng, phy.MCS12, 100, 15.0)
+
+	jobs := []phy.SoftQBatchJob{
+		{Blocks: goodBlocks, MCS: phy.MCS12, PayloadLen: 100},
+		{Blocks: goodBlocks, MCS: phy.MCS{}, PayloadLen: 100},
+	}
+	if idx, err := (&phy.SoftQDecoder{}).DecodeDataFieldBatch(jobs); err == nil || idx != 1 {
+		t.Fatalf("invalid MCS: got idx=%d err=%v, want idx=1 and error", idx, err)
+	}
+
+	jobs[1] = phy.SoftQBatchJob{Blocks: goodBlocks, MCS: phy.MCS12, PayloadLen: 0}
+	if idx, err := (&phy.SoftQDecoder{}).DecodeDataFieldBatch(jobs); err == nil || idx != 1 {
+		t.Fatalf("zero payload length: got idx=%d err=%v, want idx=1 and error", idx, err)
+	}
+
+	jobs[1] = phy.SoftQBatchJob{Blocks: goodBlocks[:1], MCS: phy.MCS12, PayloadLen: 100}
+	if len(goodBlocks) > 1 {
+		if idx, err := (&phy.SoftQDecoder{}).DecodeDataFieldBatch(jobs); err == nil || idx != 1 {
+			t.Fatalf("short block list: got idx=%d err=%v, want idx=1 and error", idx, err)
+		}
+	}
+
+	// A decode error mid-batch must leave job 0's payload intact. Truncating
+	// one symbol's LLR block trips the deinterleaver length check.
+	bad := make([][]int8, len(goodBlocks))
+	copy(bad, goodBlocks)
+	bad[0] = bad[0][:len(bad[0])-1]
+	jobs[1] = phy.SoftQBatchJob{Blocks: bad, MCS: phy.MCS12, PayloadLen: 100}
+	var d phy.SoftQDecoder
+	idx, err := d.DecodeDataFieldBatch(jobs)
+	if err == nil || idx != 1 {
+		t.Fatalf("truncated LLR block: got idx=%d err=%v, want idx=1 and error", idx, err)
+	}
+	if !bytes.Equal(jobs[0].Payload, goodPayload) {
+		t.Error("job 0 payload lost after job 1 failed")
+	}
+
+	if idx, err := d.DecodeDataFieldBatch(nil); err != nil || idx != -1 {
+		t.Fatalf("empty batch: got idx=%d err=%v, want -1 and nil", idx, err)
+	}
+}
