@@ -22,6 +22,7 @@ import (
 	"carpool/internal/experiments"
 	"carpool/internal/fec"
 	"carpool/internal/mac"
+	"carpool/internal/obs"
 	"carpool/internal/phy"
 	"carpool/internal/sidechannel"
 	"carpool/internal/traffic"
@@ -892,4 +893,75 @@ func BenchmarkWireBatchRoundtrip(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(frames), "frames/op")
+}
+
+// BenchmarkEngineDeterministicSampled is BenchmarkEngineDeterministicSecond
+// with 1-in-8 frame-lifecycle sampling enabled — the observability-overhead
+// arm benchdiff tracks against the unsampled baseline (sampling must not
+// change Stats; this pins what it costs in time).
+func BenchmarkEngineDeterministicSampled(b *testing.B) {
+	flows := make([][]traffic.Arrival, 8)
+	for sta := range flows {
+		rng := rand.New(rand.NewSource(int64(sta) + 1))
+		flows[sta] = traffic.PoissonFlow(rng, 5000, 1200, time.Second)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := RunEngineDeterministic(context.Background(), EngineConfig{
+			NumSTAs:     8,
+			QueueCap:    1 << 16,
+			SampleEvery: 8,
+		}, flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Pending != 0 {
+			b.Fatal("deterministic run left backlog")
+		}
+	}
+}
+
+// BenchmarkEngineStats measures one Stats snapshot on a populated engine:
+// the counters and latency-bucket copy happen under the engine lock, the
+// quantile walks outside it, so this bounds the lock hold a telemetry
+// subscriber or health monitor imposes per sample on the serving path.
+func BenchmarkEngineStats(b *testing.B) {
+	const frames = 20_000
+	e, err := NewEngine(EngineConfig{NumSTAs: 32, QueueCap: 1 << 14, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < frames; k++ {
+		if err := e.SubmitSize(k%32, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := e.Stats(); st.Delivered != frames {
+			b.Fatalf("delivered %d of %d", st.Delivered, frames)
+		}
+	}
+}
+
+// BenchmarkTracerEmit measures one ring-tracer event emission — the
+// per-event cost every sampled lifecycle span and health transition pays.
+func BenchmarkTracerEmit(b *testing.B) {
+	tr := obs.NewTracer(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.EmitAt(int64(i), obs.EvFrameDeliver, 3, int64(i))
+	}
+	if tr.Len() == 0 {
+		b.Fatal("tracer recorded nothing")
+	}
 }

@@ -211,6 +211,22 @@ type (
 	// EngineServer is the carpoold wire-protocol frontend: slab-batched
 	// TCP/UDP ingest feeding one engine.
 	EngineServer = engine.Server
+	// EngineStageStats is the per-stage latency decomposition
+	// (queue wait / backoff / air / decode) of lifecycle-sampled frames.
+	EngineStageStats = engine.StageStats
+	// EngineTelemetryUpdate is one push on a `subscribe` telemetry
+	// stream: cumulative Stats, the delta since the previous update,
+	// per-STA delivered bytes, and stage stats when sampling is on.
+	EngineTelemetryUpdate = engine.TelemetryUpdate
+	// EngineHealthConfig parameterizes the rolling-window health
+	// detectors (retry storm, queue saturation, fairness collapse,
+	// goodput stall).
+	EngineHealthConfig = engine.HealthConfig
+	// EngineHealthMonitor evaluates health detectors over recent Stats
+	// samples and serves /debug/health via its Handler.
+	EngineHealthMonitor = engine.HealthMonitor
+	// EngineHealthReport is one health verdict with per-detector state.
+	EngineHealthReport = engine.HealthReport
 )
 
 // NewEngine validates cfg and returns an engine ready for Start.
@@ -228,6 +244,12 @@ func RunEngineDeterministic(ctx context.Context, cfg EngineConfig, flows [][]Arr
 
 // NewEngineServer wraps a started engine in the wire-protocol frontend.
 func NewEngineServer(e *Engine) *EngineServer { return engine.NewServer(e) }
+
+// NewEngineHealthMonitor returns a health monitor with cfg's detector
+// thresholds (zero values take documented defaults).
+func NewEngineHealthMonitor(cfg EngineHealthConfig) *EngineHealthMonitor {
+	return engine.NewHealthMonitor(cfg)
+}
 
 // FrameKind classifies what follows a preamble (§4.3 coexistence).
 type FrameKind = core.FrameKind

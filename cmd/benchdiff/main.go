@@ -37,7 +37,10 @@ import (
 // int8 fast path, and its 8-lane SWAR gate), one station's whole-frame
 // Carpool receive, one simulated second of the MAC, and the real-time
 // engine's deterministic second, concurrent submit+drain (per-frame and
-// batched), and the batched wire round trip over loopback TCP.
+// batched), and the batched wire round trip over loopback TCP. The
+// observability arm pins what telemetry costs: the deterministic second
+// with 1-in-8 lifecycle sampling, a Stats snapshot on a populated engine,
+// and one ring-tracer emission.
 var suite = []string{
 	"BenchmarkFFT64",
 	"BenchmarkViterbiDecode1500B",
@@ -50,6 +53,9 @@ var suite = []string{
 	"BenchmarkEngineSubmitDrain10k",
 	"BenchmarkEngineBatchSubmitDrain10k",
 	"BenchmarkWireBatchRoundtrip",
+	"BenchmarkEngineDeterministicSampled",
+	"BenchmarkEngineStats",
+	"BenchmarkTracerEmit",
 }
 
 // Result is one parsed benchmark line.

@@ -12,7 +12,15 @@
 //	         [-max-receivers N] [-agg-bytes N] [-airtime-budget dur]
 //	         [-max-latency dur] [-workers N] [-dead-locs 1,3]
 //	         [-phy] [-phy-seed N] [-pace] [-debug-addr host:port]
-//	         [-slab bytes] [-legacy]
+//	         [-slab bytes] [-legacy] [-sample N] [-health-interval dur]
+//
+// -sample N traces every Nth admitted frame through its lifecycle,
+// exporting per-stage latency histograms (queue wait, backoff, air,
+// decode) and span events; clients read the decomposition with a
+// RecStageStats request or a telemetry subscription. With -debug-addr the
+// daemon also runs a rolling-window health monitor (retry storms, queue
+// saturation, fairness collapse, goodput stalls) served as JSON on
+// /debug/health — HTTP 200 while ok or degraded, 503 when unhealthy.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new submissions are
 // rejected, queued frames finish (or exhaust retries), and the final
@@ -55,11 +63,18 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve expvar+pprof on this address (enables observation)")
 	slabSize := flag.Int("slab", 0, "TCP read-slab size in bytes for batched ingest (0 = 256 KiB)")
 	legacy := flag.Bool("legacy", false, "serve with the unbatched per-record read loop (reference arm)")
+	sample := flag.Int("sample", 0, "trace every Nth admitted frame through its lifecycle (0 = off)")
+	healthEvery := flag.Duration("health-interval", 500*time.Millisecond, "health detector sampling interval")
 	flag.Parse()
 
+	var health *engine.HealthMonitor
 	if *debugAddr != "" {
 		obs.Enable(obs.NewDefaultSink(0))
-		ds, err := obs.StartDebugServer(*debugAddr, obs.Default)
+		health = engine.NewHealthMonitor(engine.HealthConfig{
+			Capacity: int64(*stas) * int64(*queueCap),
+		})
+		ds, err := obs.StartDebugServer(*debugAddr, obs.Default,
+			obs.DebugHandler{Pattern: "/debug/health", Handler: health.Handler()})
 		if err != nil {
 			fatalf("debug server: %v", err)
 		}
@@ -76,6 +91,7 @@ func main() {
 		MaxLatency:    *maxLatency,
 		Workers:       *workers,
 		PaceAirtime:   *pace,
+		SampleEvery:   *sample,
 	}
 	switch {
 	case *usePHY:
@@ -112,6 +128,10 @@ func main() {
 	srv := engine.NewServer(eng)
 	srv.SlabSize = *slabSize
 	srv.Legacy = *legacy
+	srv.Health = health
+	if health != nil {
+		go health.Run(ctx, eng, *healthEvery)
+	}
 	srvCtx, srvCancel := context.WithCancel(ctx)
 	defer srvCancel()
 	errc := make(chan error, 2)

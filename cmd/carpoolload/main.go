@@ -7,10 +7,18 @@
 //
 //	carpoolload [-addr host:port] [-net tcp|udp] [-stas N] [-rate fps]
 //	            [-bytes N] [-duration dur] [-seed N] [-payload]
-//	            [-open-loop] [-batch N] [-json]
+//	            [-open-loop] [-batch N] [-subscribe] [-sub-interval dur]
+//	            [-json]
 //
 // Without -open-loop the schedule is offered as fast as the connection
 // accepts it — the throughput-ceiling probe used by the CI soak job.
+//
+// -subscribe streams telemetry on a second connection for the whole run
+// and reconciles the accumulated deltas against the drain reply, exiting
+// non-zero if they diverge (as it does on a malformed stats record). When
+// the server samples frame lifecycles (carpoold -sample), the report adds
+// the per-stage latency decomposition: queue wait, retry backoff, air,
+// and decode time per delivered frame.
 package main
 
 import (
@@ -37,6 +45,8 @@ func main() {
 	payload := flag.Bool("payload", false, "send real payload bytes instead of size-only records")
 	openLoop := flag.Bool("open-loop", false, "pace arrivals against the wall clock")
 	batch := flag.Int("batch", 0, "records per write (>1 enables grouped sends for the server's slab reads)")
+	subscribe := flag.Bool("subscribe", false, "stream telemetry on a second connection and reconcile deltas against the drain reply")
+	subInterval := flag.Duration("sub-interval", 0, "telemetry push interval for -subscribe (0 = 100ms)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
 
@@ -50,16 +60,18 @@ func main() {
 	}()
 
 	rep, err := engine.RunLoad(ctx, engine.LoadConfig{
-		Addr:       *addr,
-		Network:    *network,
-		NumSTAs:    *stas,
-		RatePerSec: *rate,
-		FrameBytes: *frameBytes,
-		Duration:   *duration,
-		Seed:       *seed,
-		Payload:    *payload,
-		OpenLoop:   *openLoop,
-		Batch:      *batch,
+		Addr:        *addr,
+		Network:     *network,
+		NumSTAs:     *stas,
+		RatePerSec:  *rate,
+		FrameBytes:  *frameBytes,
+		Duration:    *duration,
+		Seed:        *seed,
+		Payload:     *payload,
+		OpenLoop:    *openLoop,
+		Batch:       *batch,
+		Subscribe:   *subscribe,
+		SubInterval: *subInterval,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "carpoolload: %v\n", err)
@@ -69,8 +81,16 @@ func main() {
 	if *asJSON {
 		doc, _ := json.MarshalIndent(rep, "", "  ")
 		fmt.Println(string(doc))
-		return
+	} else {
+		printReport(rep)
 	}
+	if rep.Telemetry != nil && !rep.Telemetry.Reconciled {
+		fmt.Fprintf(os.Stderr, "carpoolload: telemetry deltas do not reconcile with the drain reply\n")
+		os.Exit(1)
+	}
+}
+
+func printReport(rep *engine.LoadReport) {
 	s := rep.Server
 	fmt.Printf("offered   %d frames (%d sent) in %v — %.0f frames/s sent, %.0f end to end\n",
 		rep.Offered, rep.Sent, rep.TotalElapsed.Round(time.Millisecond), rep.SendRate, rep.EndToEndRate)
@@ -82,4 +102,27 @@ func main() {
 		s.GoodputMbps, s.AirtimeGoodputMbps, s.DropRate)
 	fmt.Printf("latency   p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  fairness %.4f\n",
 		s.LatencyP50Ms, s.LatencyP95Ms, s.LatencyP99Ms, s.ByteFairnessIndex)
+	if t := rep.Telemetry; t != nil {
+		verdict := "reconciled"
+		if !t.Reconciled {
+			verdict = "DIVERGED"
+		}
+		fmt.Printf("telemetry %d updates (final=%v): deltas %s with drain reply\n",
+			t.Updates, t.Final, verdict)
+	}
+	if st := rep.Stages; st != nil && st.SampledDelivered > 0 {
+		fmt.Printf("stages    1-in-%d sampling, %d frames traced (mean / p95 ms):\n",
+			st.SampleEvery, st.SampledDelivered)
+		for _, row := range []struct {
+			name string
+			d    engine.StageDist
+		}{
+			{"queue wait", st.QueueWait},
+			{"backoff", st.Backoff},
+			{"air", st.Air},
+			{"decode", st.Decode},
+		} {
+			fmt.Printf("  %-10s %8.3f / %8.3f\n", row.name, row.d.MeanMs, row.d.P95Ms)
+		}
+	}
 }

@@ -1,0 +1,124 @@
+// Command carpooltop is a top-like live viewer for a running carpoold: it
+// opens a telemetry subscription over the wire protocol and redraws the
+// engine's vitals on every push — goodput, carpool occupancy, latency
+// percentiles, retry and drop rates, a per-station queue table (depth,
+// backlog age, backoff, fail streak), the per-stage latency decomposition
+// when the server samples frame lifecycles, and the health verdict when
+// the server runs a monitor.
+//
+// Usage:
+//
+//	carpooltop [-addr host:port] [-interval dur] [-count N] [-raw]
+//
+// -raw prints one JSON document per update instead of the live screen —
+// the scriptable form CI smoke tests consume. -count N exits after N
+// updates (0 streams until the server finishes or the connection drops).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"carpool/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9048", "carpoold address")
+	interval := flag.Duration("interval", time.Second, "telemetry push interval")
+	count := flag.Int("count", 0, "exit after N updates (0 = until the stream ends)")
+	raw := flag.Bool("raw", false, "print one JSON document per update instead of the live screen")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(engine.AppendSubscribeRecord(nil, *interval)); err != nil {
+		fatalf("subscribe: %v", err)
+	}
+
+	br := bufio.NewReader(conn)
+	out := bufio.NewWriter(os.Stdout)
+	for n := 0; *count == 0 || n < *count; n++ {
+		upd, err := engine.ReadTelemetry(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			fatalf("telemetry stream: %v", err)
+		}
+		if *raw {
+			doc, _ := json.Marshal(upd)
+			fmt.Fprintln(out, string(doc))
+		} else {
+			render(out, *addr, upd)
+		}
+		out.Flush()
+		if upd.Final {
+			return
+		}
+	}
+}
+
+// render redraws the full screen for one update: clear + home, vitals,
+// optional stage and health lines, then the per-station table sorted by
+// queue depth so the busiest stations lead.
+func render(out *bufio.Writer, addr string, upd engine.TelemetryUpdate) {
+	st := upd.Stats
+	fmt.Fprint(out, "\x1b[2J\x1b[H")
+	fmt.Fprintf(out, "carpooltop — %s — update %d", addr, upd.Seq)
+	if upd.Final {
+		fmt.Fprint(out, " (final)")
+	}
+	fmt.Fprintln(out)
+
+	rate := func(n int64) float64 {
+		if upd.Delta.ElapsedNs <= 0 {
+			return 0
+		}
+		return float64(n) / (float64(upd.Delta.ElapsedNs) / 1e9)
+	}
+	fmt.Fprintf(out, "goodput  %8.1f Mbit/s wall  %8.1f Mbit/s air   group %5.2f subframes/tx\n",
+		st.GoodputMbps, st.AirtimeGoodputMbps, st.MeanGroupSize)
+	fmt.Fprintf(out, "frames   %8.0f /s delivered %8.0f /s offered   drop rate %.4f  fairness %.4f\n",
+		rate(upd.Delta.Delivered), rate(upd.Delta.Accepted+upd.Delta.Rejected), st.DropRate, st.ByteFairnessIndex)
+	fmt.Fprintf(out, "latency  p50 %8.3f ms  p95 %8.3f ms  p99 %8.3f ms   retries %.0f/s  pending %d\n",
+		st.LatencyP50Ms, st.LatencyP95Ms, st.LatencyP99Ms, rate(upd.Delta.Retries), st.Pending)
+
+	if s := upd.Stages; s != nil && s.SampledDelivered > 0 {
+		fmt.Fprintf(out, "stages   wait %.3f  backoff %.3f  air %.3f  decode %.3f ms mean (1-in-%d, %d traced)\n",
+			s.QueueWait.MeanMs, s.Backoff.MeanMs, s.Air.MeanMs, s.Decode.MeanMs,
+			s.SampleEvery, s.SampledDelivered)
+	}
+	if h := upd.Health; h != nil {
+		line := fmt.Sprintf("health   %s", h.Status)
+		if len(h.Reasons) > 0 {
+			line += ": " + strings.Join(h.Reasons, ", ")
+		}
+		fmt.Fprintln(out, line)
+	}
+
+	rows := append([]engine.STAStat(nil), upd.PerSTA...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Queue > rows[j].Queue })
+	fmt.Fprintf(out, "\n%4s %7s %12s %11s %7s %14s\n",
+		"STA", "QUEUE", "BACKLOG(ms)", "BACKOFF(ms)", "STREAK", "DELIVERED(B)")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%4d %7d %12.2f %11.2f %7d %14d\n",
+			r.STA, r.Queue, r.BacklogAgeMs, r.BackoffMs, r.FailStreak, r.DeliveredBytes)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "carpooltop: "+format+"\n", args...)
+	os.Exit(1)
+}

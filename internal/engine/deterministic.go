@@ -79,7 +79,7 @@ func RunDeterministic(ctx context.Context, cfg Config, flows [][]traffic.Arrival
 			// outcome lands — advance virtual time first so latency and
 			// backoff are stamped at transmission end, as on real hardware.
 			clk.now += tx.plan.Airtime + tx.plan.ACKTime
-			e.accountLocked(tx, okPerSub, derr, clk.now)
+			e.accountLocked(tx, okPerSub, derr, clk.now, 0)
 			continue
 		}
 
@@ -173,11 +173,11 @@ func RunDeterministicBatched(ctx context.Context, cfg Config, flows [][]traffic.
 				next++
 			}
 			var consumed int
-			var ctrl byte
+			var ctrl wireRecord
 			items, consumed, ctrl, err = parseBatch(wire, items[:0])
-			if err != nil || ctrl != 0 || consumed != len(wire) {
+			if err != nil || ctrl.typ != 0 || consumed != len(wire) {
 				return nil, fmt.Errorf("engine: batch round-trip consumed %d of %d (ctrl %#02x): %w",
-					consumed, len(wire), ctrl, err)
+					consumed, len(wire), ctrl.typ, err)
 			}
 			_, _, _ = e.submitBatchLocked(items, now)
 		}
@@ -186,7 +186,7 @@ func RunDeterministicBatched(ctx context.Context, cfg Config, flows [][]traffic.
 		if tx := e.buildPlanLocked(now, &sc); tx != nil {
 			okPerSub, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
 			clk.now += tx.plan.Airtime + tx.plan.ACKTime
-			e.accountLocked(tx, okPerSub, derr, clk.now)
+			e.accountLocked(tx, okPerSub, derr, clk.now, 0)
 			continue
 		}
 

@@ -96,9 +96,15 @@ type Config struct {
 	// Obs receives engine metrics; nil falls back to the globally
 	// enabled sink at New time.
 	Obs *obs.Sink
-	// LatencyWindow bounds the delivered-frame latency sample ring used
-	// for percentiles (default 1<<18 samples).
-	LatencyWindow int
+	// SampleEvery enables deterministic 1-in-N frame-lifecycle tracing:
+	// every Nth admitted frame (by global admission sequence) carries
+	// stage timestamps through admit → plan → TX attempts → terminal
+	// disposition, feeding the engine.stage.* histograms, StageStats,
+	// and Chrome trace spans. Zero (the default) disables sampling; the
+	// disabled path adds no clock reads, allocations, or obs traffic to
+	// the serving hot path, and sampling never changes Stats (asserted
+	// bit-identical by the batched-vs-unbatched conform pair).
+	SampleEvery int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -133,8 +139,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
-	if c.LatencyWindow <= 0 {
-		c.LatencyWindow = 1 << 18
+	if c.SampleEvery < 0 {
+		return c, fmt.Errorf("engine: negative SampleEvery %d", c.SampleEvery)
 	}
 	mcs := make([]phy.MCS, c.NumSTAs)
 	for i := range mcs {
@@ -187,13 +193,17 @@ type Engine struct {
 	clock Clock
 	eobs  engObs
 
+	// sampleN caches cfg.SampleEvery for the admission fast path.
+	sampleN uint64
+
 	// Accounting (guarded by mu).
 	accepted, rejected, delivered, dropped, expired int64
 	retriesN, txN, subN, seqAcks                    int64
 	busy                                            time.Duration
 	deliveredBytes                                  []int64
 	offered                                         []bool
-	delays                                          delayRing
+	lat                                             latHist
+	stage                                           stageAcc
 }
 
 // New validates cfg and returns an engine ready for Start (real-time) or
@@ -217,9 +227,11 @@ func New(cfg Config) (*Engine, error) {
 		queues:         make([]staQueue, cfg.NumSTAs),
 		clock:          clk,
 		eobs:           resolveEngObs(sink),
+		sampleN:        uint64(cfg.SampleEvery),
 		deliveredBytes: make([]int64, cfg.NumSTAs),
 		offered:        make([]bool, cfg.NumSTAs),
-		delays:         newDelayRing(cfg.LatencyWindow),
+		lat:            newLatHist(),
+		stage:          newStageAcc(),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
@@ -361,7 +373,15 @@ func (e *Engine) submitLocked(sta, size int, payload []byte, now time.Duration) 
 	} else {
 		payload = nil
 	}
-	q.pushHint(qframe{seq: e.seq, size: size, arrival: now, payload: payload, chunk: chunk}, e.cfg.QueueCap)
+	f := qframe{seq: e.seq, size: size, arrival: now, payload: payload, chunk: chunk}
+	if e.sampleN > 0 && e.seq%e.sampleN == 0 {
+		// Deterministic 1-in-N lifecycle sampling keyed on the admission
+		// sequence, so the same workload samples the same frames in every
+		// mode (real-time, deterministic, batched).
+		f.sampled = true
+		f.lastTouch = now
+	}
+	q.pushHint(f, e.cfg.QueueCap)
 	e.seq++
 	e.pending++
 	e.accepted++
@@ -379,12 +399,18 @@ func (e *Engine) expireLocked(now time.Duration) {
 	for sta := range e.queues {
 		q := &e.queues[sta]
 		for q.len() > 0 && now-q.headFrame().arrival > e.cfg.MaxLatency {
-			e.arena.release(q.pop().chunk)
+			f := q.pop()
+			e.arena.release(f.chunk)
 			e.pending--
 			e.expired++
 			e.eobs.expired.Inc()
 			e.eobs.qExpired.Inc()
 			e.eobs.tracer.Emit(obs.EvQueueExpiry, int64(sta), 0)
+			if f.sampled {
+				// Expiry terminates the span without a stage export: the
+				// frame never left the queue, so its whole life was wait.
+				e.eobs.tracer.EmitAt(int64(now), obs.EvFrameDrop, int64(sta), int64(f.retries))
+			}
 		}
 	}
 }
@@ -423,8 +449,13 @@ func (e *Engine) backoffAfter(streak int) time.Duration {
 // per-frame retry bookkeeping with requeue-at-head, retry-limit drops,
 // per-STA backoff, and the sequential-ACK ledger. okPerSub may be nil
 // (transport error): every subframe is then treated as undelivered.
-func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now time.Duration) {
+// deliverDur is the wall time the worker spent inside Transport.Deliver,
+// attributed to sampled frames' decode stage (zero in deterministic mode,
+// where the virtual clock does not advance during delivery, and zero when
+// the transmission carried no sampled frames).
+func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now, deliverDur time.Duration) {
 	plan := &tx.plan
+	txAir := plan.Airtime + plan.ACKTime
 	e.txN++
 	e.subN += int64(len(plan.Subs))
 	e.seqAcks += int64(len(plan.Subs))
@@ -452,9 +483,13 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now t
 				e.pending--
 				e.delivered++
 				e.deliveredBytes[sub.STA] += int64(f.size)
-				e.delays.add((now - f.arrival).Seconds())
+				latMs := (now - f.arrival).Seconds() * 1e3
+				e.lat.observe(latMs)
 				e.eobs.delivered.Inc()
-				e.eobs.latencyMs.Observe((now - f.arrival).Seconds() * 1e3)
+				e.eobs.latencyMs.Observe(latMs)
+				if f.sampled {
+					e.sampledDeliveredLocked(sub.STA, &f, txAir, deliverDur, now)
+				}
 			}
 			continue
 		}
@@ -470,7 +505,17 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now t
 				e.dropped++
 				e.eobs.dropped.Inc()
 				e.eobs.qDropped.Inc()
+				if f.sampled {
+					e.eobs.tracer.EmitAt(int64(now), obs.EvFrameDrop, int64(sub.STA), int64(f.retries))
+				}
 				continue
+			}
+			if f.sampled {
+				// The attempt's airtime and decode wall time accrue before
+				// the frame re-enters the queue for its next pop.
+				f.airAcc += txAir
+				f.decodeAcc += deliverDur
+				f.lastTouch = now
 			}
 			kept = append(kept, f)
 		}
@@ -541,14 +586,26 @@ func (e *Engine) worker() {
 		e.inFlight++
 		e.mu.Unlock()
 
-		okPerSub, derr := e.cfg.Transport.Deliver(e.ctx, &tx.plan)
+		// The delivery-duration clock reads run only when the transmission
+		// carries sampled frames, keeping the unsampled hot path free of
+		// extra time syscalls.
+		var okPerSub []bool
+		var derr error
+		var deliverDur time.Duration
+		if tx.sampled > 0 {
+			t0 := e.clock.Now()
+			okPerSub, derr = e.cfg.Transport.Deliver(e.ctx, &tx.plan)
+			deliverDur = e.clock.Now() - t0
+		} else {
+			okPerSub, derr = e.cfg.Transport.Deliver(e.ctx, &tx.plan)
+		}
 		if e.cfg.PaceAirtime {
 			e.pace(tx.plan.Airtime + tx.plan.ACKTime)
 		}
 
 		e.mu.Lock()
 		e.inFlight--
-		e.accountLocked(tx, okPerSub, derr, e.clock.Now())
+		e.accountLocked(tx, okPerSub, derr, e.clock.Now(), deliverDur)
 		// Post-account wake, coalesced: only when there is something for a
 		// waiter to do — backlog to plan (possibly requeued by this very
 		// account), or a completed drain for Drain to observe.
@@ -603,6 +660,15 @@ func (e *Engine) Drain(ctx context.Context) error {
 	e.closed = true
 	e.mu.Unlock()
 	return err
+}
+
+// Stopped reports whether the engine has fully stopped (drain completed
+// or Close returned) — the telemetry pusher's cue to emit one final
+// update and end a subscribe stream.
+func (e *Engine) Stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
 }
 
 // Close aborts immediately: queued frames are discarded, workers stop as

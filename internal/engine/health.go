@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"carpool/internal/obs"
+)
+
+// HealthStatus is the rolled-up verdict of the health detectors.
+type HealthStatus string
+
+const (
+	HealthOK        HealthStatus = "ok"
+	HealthDegraded  HealthStatus = "degraded"
+	HealthUnhealthy HealthStatus = "unhealthy"
+)
+
+// Detector names, in bitmask order (bit i of the EvHealth trace event's B
+// field is detector i firing).
+const (
+	DetRetryStorm       = "retry_storm"
+	DetQueueSaturation  = "queue_saturation"
+	DetFairnessCollapse = "fairness_collapse"
+	DetGoodputStall     = "goodput_stall"
+)
+
+// detectorOrder fixes the bitmask and report ordering.
+var detectorOrder = []string{DetRetryStorm, DetQueueSaturation, DetFairnessCollapse, DetGoodputStall}
+
+// HealthConfig parameterizes a HealthMonitor. The zero value works: every
+// field defaults sensibly and Capacity merely disables the saturation
+// watermark when unset.
+type HealthConfig struct {
+	// Window is how many Stats samples the rolling window holds
+	// (default 8). Detectors compare the newest sample against the oldest
+	// retained one, so with a sampling interval of T the detectors look
+	// back up to Window*T.
+	Window int
+	// RetryStormRatio fires the retry-storm detector when windowed
+	// retries exceed this multiple of windowed deliveries (default 1.0),
+	// provided at least MinRetryEvents retries occurred in the window
+	// (default 50) so idle engines cannot storm.
+	RetryStormRatio float64
+	MinRetryEvents  int64
+	// SaturationFrac fires queue-saturation when the instantaneous
+	// backlog reaches this fraction of Capacity (default 0.9). Capacity
+	// is the engine's total queue slots (NumSTAs * QueueCap); zero
+	// disables the detector.
+	SaturationFrac float64
+	Capacity       int64
+	// FairnessFloor fires fairness-collapse when Jain's index over the
+	// windowed per-STA delivered-byte deltas (across stations that have
+	// ever delivered) drops below it (default 0.4), provided at least
+	// MinFairnessBytes were delivered in the window (default 64 KiB).
+	FairnessFloor    float64
+	MinFairnessBytes int64
+	// Obs receives health metrics and EvHealth transitions; nil falls
+	// back to the globally enabled sink at NewHealthMonitor time.
+	Obs *obs.Sink
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Window <= 1 {
+		c.Window = 8
+	}
+	if c.RetryStormRatio <= 0 {
+		c.RetryStormRatio = 1.0
+	}
+	if c.MinRetryEvents <= 0 {
+		c.MinRetryEvents = 50
+	}
+	if c.SaturationFrac <= 0 {
+		c.SaturationFrac = 0.9
+	}
+	if c.FairnessFloor <= 0 {
+		c.FairnessFloor = 0.4
+	}
+	if c.MinFairnessBytes <= 0 {
+		c.MinFairnessBytes = 64 << 10
+	}
+	return c
+}
+
+// DetectorState is one detector's latest evaluation.
+type DetectorState struct {
+	Firing bool `json:"firing"`
+	// Value is the detector's observed metric (ratio, fraction, index);
+	// Threshold the configured trip point it is compared against.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// HealthReport is the monitor's rolled-up verdict: ok with no detector
+// firing, degraded with one, unhealthy with two or more. Served as JSON on
+// /debug/health and attached to telemetry pushes.
+type HealthReport struct {
+	Status  HealthStatus `json:"status"`
+	Reasons []string     `json:"reasons,omitempty"`
+	// Samples is how many Stats observations the monitor has seen;
+	// Window the configured rolling-window length.
+	Samples   int                      `json:"samples"`
+	Window    int                      `json:"window"`
+	Detectors map[string]DetectorState `json:"detectors"`
+}
+
+// HealthMonitor evaluates rolling-window health detectors over a stream of
+// engine Stats snapshots: retry storm, queue saturation, fairness
+// collapse, and goodput stall. Feed it with Observe (or let Run sample an
+// engine on an interval), read it with Report or the /debug/health
+// Handler. Status transitions emit an EvHealth trace event and bump the
+// health.transitions counter; the health.status gauge tracks the current
+// level (0 ok, 1 degraded, 2 unhealthy).
+type HealthMonitor struct {
+	cfg HealthConfig
+
+	mu     sync.Mutex
+	ring   []Stats // rolling window, ring[pos] is the next write slot
+	pos    int
+	n      int // total observations
+	report HealthReport
+
+	transitions *obs.Counter
+	statusGauge *obs.Gauge
+	fires       map[string]*obs.Counter
+	tracer      *obs.Tracer
+}
+
+// NewHealthMonitor returns a monitor with no observations (status ok).
+func NewHealthMonitor(cfg HealthConfig) *HealthMonitor {
+	cfg = cfg.withDefaults()
+	sink := cfg.Obs
+	if sink == nil {
+		sink = obs.Active()
+	}
+	m := &HealthMonitor{
+		cfg:  cfg,
+		ring: make([]Stats, cfg.Window),
+		report: HealthReport{
+			Status:    HealthOK,
+			Window:    cfg.Window,
+			Detectors: map[string]DetectorState{},
+		},
+	}
+	if sink != nil {
+		m.transitions = sink.Counter("health.transitions")
+		m.statusGauge = sink.Gauge("health.status")
+		m.fires = make(map[string]*obs.Counter, len(detectorOrder))
+		for _, name := range detectorOrder {
+			m.fires[name] = sink.Counter("health." + name + ".fires")
+		}
+		m.tracer = sink.Tracer
+	}
+	return m
+}
+
+// Observe feeds one Stats sample and re-evaluates every detector over the
+// rolling window, returning the updated report.
+func (m *HealthMonitor) Observe(st Stats) HealthReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.ring[m.pos] = st
+	m.pos = (m.pos + 1) % len(m.ring)
+	m.n++
+
+	// Oldest retained sample: with a full ring it is the next write slot,
+	// otherwise index 0.
+	oldest := m.ring[0]
+	full := m.n >= len(m.ring)
+	if full {
+		oldest = m.ring[m.pos]
+	}
+
+	prev := m.report
+	det := make(map[string]DetectorState, len(detectorOrder))
+
+	// Retry storm: windowed retries dwarf windowed deliveries.
+	{
+		dR := st.Retries - oldest.Retries
+		dD := st.Delivered - oldest.Delivered
+		denom := dD
+		if denom < 1 {
+			denom = 1
+		}
+		ratio := float64(dR) / float64(denom)
+		det[DetRetryStorm] = DetectorState{
+			Firing:    dR >= m.cfg.MinRetryEvents && ratio > m.cfg.RetryStormRatio,
+			Value:     ratio,
+			Threshold: m.cfg.RetryStormRatio,
+			Detail:    "windowed retries / delivered",
+		}
+	}
+
+	// Queue saturation: instantaneous backlog at the watermark.
+	{
+		var frac float64
+		if m.cfg.Capacity > 0 {
+			frac = float64(st.Pending) / float64(m.cfg.Capacity)
+		}
+		det[DetQueueSaturation] = DetectorState{
+			Firing:    m.cfg.Capacity > 0 && frac >= m.cfg.SaturationFrac,
+			Value:     frac,
+			Threshold: m.cfg.SaturationFrac,
+			Detail:    "pending / total queue slots",
+		}
+	}
+
+	// Fairness collapse: Jain's index over windowed per-STA byte deltas,
+	// across stations that have ever delivered (so a station starving NOW
+	// drags the index down, while never-offered stations don't).
+	{
+		var sum, sumSq float64
+		var active float64
+		var total int64
+		for sta, cur := range st.DeliveredBytesPerSTA {
+			if cur == 0 {
+				continue
+			}
+			var old int64
+			if sta < len(oldest.DeliveredBytesPerSTA) {
+				old = oldest.DeliveredBytesPerSTA[sta]
+			}
+			d := float64(cur - old)
+			total += cur - old
+			sum += d
+			sumSq += d * d
+			active++
+		}
+		jain := 1.0
+		if active > 0 && sumSq > 0 {
+			jain = sum * sum / (active * sumSq)
+		}
+		det[DetFairnessCollapse] = DetectorState{
+			Firing:    total >= m.cfg.MinFairnessBytes && active > 1 && jain < m.cfg.FairnessFloor,
+			Value:     jain,
+			Threshold: m.cfg.FairnessFloor,
+			Detail:    "Jain index over windowed per-STA delivered bytes",
+		}
+	}
+
+	// Goodput stall: a full window with work offered or queued but nothing
+	// delivered.
+	{
+		dD := st.Delivered - oldest.Delivered
+		dA := st.Accepted - oldest.Accepted
+		det[DetGoodputStall] = DetectorState{
+			Firing:    full && dD == 0 && (dA > 0 || st.Pending > 0),
+			Value:     float64(dD),
+			Threshold: 1,
+			Detail:    "windowed deliveries with backlog or arrivals present",
+		}
+	}
+
+	firing := 0
+	var mask int64
+	reasons := make([]string, 0, len(detectorOrder))
+	for i, name := range detectorOrder {
+		d := det[name]
+		if d.Firing {
+			firing++
+			mask |= 1 << i
+			reasons = append(reasons, name)
+			if prevDet, ok := prev.Detectors[name]; !ok || !prevDet.Firing {
+				m.fires[name].Inc()
+			}
+		}
+	}
+	status := HealthOK
+	switch {
+	case firing >= 2:
+		status = HealthUnhealthy
+	case firing == 1:
+		status = HealthDegraded
+	}
+
+	m.report = HealthReport{
+		Status:    status,
+		Reasons:   reasons,
+		Samples:   m.n,
+		Window:    len(m.ring),
+		Detectors: det,
+	}
+	m.statusGauge.Set(float64(statusLevel(status)))
+	if status != prev.Status {
+		m.transitions.Inc()
+		m.tracer.Emit(obs.EvHealth, int64(statusLevel(status)), mask)
+	}
+	return m.report
+}
+
+func statusLevel(s HealthStatus) int {
+	switch s {
+	case HealthDegraded:
+		return 1
+	case HealthUnhealthy:
+		return 2
+	}
+	return 0
+}
+
+// Report returns the latest evaluation (status ok before any Observe).
+func (m *HealthMonitor) Report() HealthReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.report
+}
+
+// Handler serves the latest report as JSON: HTTP 200 for ok and degraded,
+// 503 for unhealthy — the /debug/health endpoint.
+func (m *HealthMonitor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		rep := m.Report()
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Status == HealthUnhealthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}
+
+// Run samples e.Stats() into the monitor every interval until ctx is
+// cancelled — the carpoold wiring. It keeps observing after the engine
+// stops so the detectors recover (the window slides over the frozen
+// counters and every delta decays to zero).
+func (m *HealthMonitor) Run(ctx context.Context, e *Engine, interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			m.Observe(e.Stats())
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"carpool/internal/mac"
+	"carpool/internal/obs"
+)
+
+func reasons(rep HealthReport) string {
+	doc, _ := json.Marshal(rep.Reasons)
+	return string(doc)
+}
+
+// TestHealthRetryStormAndSaturation walks a monitor through synthetic
+// Stats: calm → retry storm (degraded) → storm plus a saturated backlog
+// (unhealthy) → recovery (ok), checking the per-detector state, the
+// transition counter, and the rising-edge fire counters along the way.
+func TestHealthRetryStormAndSaturation(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewHealthMonitor(HealthConfig{
+		Window:         3,
+		MinRetryEvents: 10,
+		Capacity:       100,
+		Obs:            &obs.Sink{Registry: reg, Tracer: obs.NewTracer(64)},
+	})
+	if rep := m.Report(); rep.Status != HealthOK {
+		t.Fatalf("pre-observation status %q, want ok", rep.Status)
+	}
+
+	st := Stats{}
+	feed := func(mut func(*Stats)) HealthReport {
+		mut(&st)
+		return m.Observe(st)
+	}
+	calm := func(s *Stats) { s.Accepted += 100; s.Delivered += 100; s.DeliveredBytes += 100_000 }
+
+	for i := 0; i < 4; i++ {
+		if rep := feed(calm); rep.Status != HealthOK {
+			t.Fatalf("calm sample %d: status %q reasons %s", i, rep.Status, reasons(rep))
+		}
+	}
+
+	// Retry storm: retries dwarf deliveries but progress continues, so only
+	// one detector fires.
+	storm := func(s *Stats) { s.Accepted += 2; s.Delivered += 2; s.Retries += 200 }
+	rep := feed(storm)
+	if rep.Status != HealthDegraded || !rep.Detectors[DetRetryStorm].Firing {
+		t.Fatalf("storm: status %q reasons %s", rep.Status, reasons(rep))
+	}
+	if d := rep.Detectors[DetRetryStorm]; d.Value <= d.Threshold {
+		t.Errorf("storm detector value %.2f not above threshold %.2f", d.Value, d.Threshold)
+	}
+
+	// Pile a saturated backlog on top: two detectors → unhealthy.
+	rep = feed(func(s *Stats) { storm(s); s.Pending = 95 })
+	if rep.Status != HealthUnhealthy {
+		t.Fatalf("storm+saturation: status %q reasons %s", rep.Status, reasons(rep))
+	}
+	if !rep.Detectors[DetQueueSaturation].Firing {
+		t.Error("saturation detector not firing at 95/100 backlog")
+	}
+
+	// Recovery: the window slides past the storm samples and every delta
+	// decays; the monitor must return to ok on its own.
+	st.Pending = 0
+	var last HealthReport
+	for i := 0; i < 4; i++ {
+		last = feed(calm)
+	}
+	if last.Status != HealthOK {
+		t.Fatalf("after recovery: status %q reasons %s", last.Status, reasons(last))
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["health.transitions"]; got < 3 {
+		t.Errorf("health.transitions = %d, want >= 3 (ok→degraded→unhealthy→ok)", got)
+	}
+	if got := snap.Counters["health."+DetRetryStorm+".fires"]; got != 1 {
+		t.Errorf("retry-storm fires = %d, want 1 (rising edge only)", got)
+	}
+	if got := snap.Gauges["health.status"]; got != 0 {
+		t.Errorf("health.status gauge = %v after recovery, want 0", got)
+	}
+}
+
+// TestHealthFairnessCollapse fires the Jain-index detector: one station
+// absorbing the whole window's deliveries while previously served stations
+// starve.
+func TestHealthFairnessCollapse(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{Window: 2, MinFairnessBytes: 1000})
+	st := Stats{Delivered: 3, DeliveredBytes: 3, DeliveredBytesPerSTA: []int64{1, 1, 1}}
+	if rep := m.Observe(st); rep.Status != HealthOK {
+		t.Fatalf("seed sample: status %q", rep.Status)
+	}
+	st.Delivered += 9
+	st.DeliveredBytes += 9000
+	st.DeliveredBytesPerSTA = []int64{9001, 1, 1}
+	rep := m.Observe(st)
+	if rep.Status != HealthDegraded || !rep.Detectors[DetFairnessCollapse].Firing {
+		t.Fatalf("status %q reasons %s, want degraded via fairness collapse", rep.Status, reasons(rep))
+	}
+	if v := rep.Detectors[DetFairnessCollapse].Value; v > 0.34 {
+		t.Errorf("Jain over deltas = %.3f, want ~1/3 (one of three stations served)", v)
+	}
+}
+
+// TestHealthGoodputStall fires the stall detector: a full window with
+// backlog present and nothing delivered.
+func TestHealthGoodputStall(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{Window: 2})
+	st := Stats{Accepted: 10, Pending: 10}
+	if rep := m.Observe(st); rep.Detectors[DetGoodputStall].Firing {
+		t.Fatal("stall fired before the window filled")
+	}
+	rep := m.Observe(st)
+	if rep.Status != HealthDegraded || !rep.Detectors[DetGoodputStall].Firing {
+		t.Fatalf("status %q reasons %s, want degraded via goodput stall", rep.Status, reasons(rep))
+	}
+	// An idle engine (no backlog, no arrivals) must not read as stalled.
+	idle := NewHealthMonitor(HealthConfig{Window: 2})
+	idle.Observe(Stats{})
+	if rep := idle.Observe(Stats{}); rep.Detectors[DetGoodputStall].Firing {
+		t.Error("stall fired on an idle engine with no work")
+	}
+}
+
+// TestHealthHandler checks the /debug/health contract: JSON body with the
+// status, HTTP 200 while ok or degraded, 503 once unhealthy.
+func TestHealthHandler(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{Window: 2, MinRetryEvents: 1, Capacity: 10})
+	get := func() (int, HealthReport) {
+		rec := httptest.NewRecorder()
+		m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health", nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q", ct)
+		}
+		var rep HealthReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("body not JSON: %v\n%s", err, rec.Body.String())
+		}
+		return rec.Code, rep
+	}
+
+	if code, rep := get(); code != 200 || rep.Status != HealthOK {
+		t.Fatalf("fresh monitor: %d %q", code, rep.Status)
+	}
+	m.Observe(Stats{Delivered: 1})
+	m.Observe(Stats{Delivered: 2, Retries: 40})
+	if code, rep := get(); code != 200 || rep.Status != HealthDegraded {
+		t.Fatalf("degraded: %d %q (%s)", code, rep.Status, reasons(rep))
+	}
+	m.Observe(Stats{Delivered: 2, Retries: 80, Pending: 10})
+	if code, rep := get(); code != 503 || rep.Status != HealthUnhealthy {
+		t.Fatalf("unhealthy: %d %q (%s)", code, rep.Status, reasons(rep))
+	}
+}
+
+// stormTransport flips between a lossless oracle and one where stations 0
+// and 1 are dead, injecting and clearing a retry storm mid-run.
+type stormTransport struct {
+	storm bool
+	good  Transport
+	bad   Transport
+}
+
+func (s *stormTransport) Deliver(ctx context.Context, plan *Plan) ([]bool, error) {
+	if s.storm {
+		return s.bad.Deliver(ctx, plan)
+	}
+	return s.good.Deliver(ctx, plan)
+}
+
+// TestHealthEndToEndRetryStorm drives a real engine under the virtual
+// clock through calm → injected retry storm → recovery and requires the
+// monitor to flip ok → degraded (with the retry-storm reason, and never
+// unhealthy) → ok.
+func TestHealthEndToEndRetryStorm(t *testing.T) {
+	st := &stormTransport{
+		good: &OracleTransport{},
+		bad: &OracleTransport{
+			Oracle:    mac.NewLossyLocOracle(0, 1),
+			Locations: []int{0, 1, 2, 3},
+		},
+	}
+	clk := &virtualClock{}
+	e, err := New(Config{NumSTAs: 4, QueueCap: 512, Clock: clk, Transport: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewHealthMonitor(HealthConfig{Window: 3, MinRetryEvents: 10})
+
+	ctx := context.Background()
+	var sc planScratch
+	round := func(frames int) HealthReport {
+		for i := 0; i < frames; i++ {
+			for sta := 0; sta < 4; sta++ {
+				_ = e.submitLocked(sta, 600, nil, clk.now)
+			}
+		}
+		for {
+			if tx := e.buildPlanLocked(clk.now, &sc); tx != nil {
+				ok, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
+				clk.now += tx.plan.Airtime + tx.plan.ACKTime
+				e.accountLocked(tx, ok, derr, clk.now, 0)
+				continue
+			}
+			if d, ok := e.earliestEligibleLocked(clk.now); ok {
+				if d <= 0 {
+					d = 1
+				}
+				clk.now += d
+				continue
+			}
+			break
+		}
+		return m.Observe(e.statsLocked(clk.now))
+	}
+
+	for i := 0; i < 3; i++ {
+		if rep := round(20); rep.Status != HealthOK {
+			t.Fatalf("calm round %d: status %q reasons %s", i, rep.Status, reasons(rep))
+		}
+	}
+
+	st.storm = true
+	sawStorm := false
+	for i := 0; i < 3; i++ {
+		rep := round(20)
+		if rep.Status == HealthUnhealthy {
+			t.Fatalf("storm round %d escalated to unhealthy: %s", i, reasons(rep))
+		}
+		if rep.Status == HealthDegraded && rep.Detectors[DetRetryStorm].Firing {
+			sawStorm = true
+		}
+	}
+	if !sawStorm {
+		t.Fatal("injected retry storm never degraded health")
+	}
+
+	st.storm = false
+	var rep HealthReport
+	for i := 0; i < 5; i++ {
+		rep = round(20)
+	}
+	if rep.Status != HealthOK {
+		t.Fatalf("after storm cleared: status %q reasons %s", rep.Status, reasons(rep))
+	}
+	if got := e.statsLocked(clk.now); got.Retries == 0 || got.Delivered == 0 {
+		t.Fatalf("scenario too weak: %+v", got)
+	}
+}

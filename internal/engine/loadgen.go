@@ -41,6 +41,35 @@ type LoadConfig struct {
 	// and leaves in a single write — the client half of the server's slab
 	// reads. Open-loop pacing waits on each group's first arrival.
 	Batch int
+	// Subscribe opens a second connection streaming telemetry for the
+	// whole run (TCP only): every pushed delta is accumulated and, after
+	// the drain reply, reconciled against the server's final counters.
+	// The stream's last update also carries the per-stage latency
+	// decomposition when the server runs with lifecycle sampling.
+	Subscribe bool
+	// SubInterval is the requested telemetry push interval (0 = 100 ms).
+	SubInterval time.Duration
+}
+
+// TelemetrySummary is the subscriber side of a load run: how many updates
+// arrived, whether the stream ended with a final update, the accumulated
+// deltas, and whether they reconcile with the drain reply.
+type TelemetrySummary struct {
+	// Updates counts telemetry records received; Final reports a clean
+	// stream end (the server flagged its last update).
+	Updates int64 `json:"updates"`
+	Final   bool  `json:"final"`
+	// Sum is every update's delta accumulated client-side; because deltas
+	// telescope from the zero Stats it must equal the counter fields of
+	// Last (and of the drain reply).
+	Sum StatsDelta `json:"sum"`
+	// Last is the final update's cumulative Stats.
+	Last Stats `json:"last"`
+	// Reconciled reports that Sum and Last match the drain reply's
+	// counters exactly.
+	Reconciled bool `json:"reconciled"`
+
+	stages *StageStats // final update's decomposition, if pushed
 }
 
 // LoadReport is the generator's summary: client-side offered counts plus
@@ -58,6 +87,11 @@ type LoadReport struct {
 	// Server is the engine's post-drain accounting: delivery counts, drop
 	// rate, latency percentiles.
 	Server Stats
+	// Telemetry summarizes the subscribe stream (nil without Subscribe);
+	// Stages is the final update's per-stage latency decomposition, set
+	// only when the server samples frame lifecycles (Config.SampleEvery).
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+	Stages    *StageStats       `json:"stages,omitempty"`
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -126,6 +160,27 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
+
+	// The subscriber rides a second connection so telemetry pushes never
+	// share a stream with the drain reply; it runs for the whole load and
+	// ends on the server's final update (pushed once the drain completes).
+	var sub *TelemetrySummary
+	var subErr chan error
+	if cfg.Subscribe {
+		if cfg.Network != "tcp" {
+			return nil, fmt.Errorf("carpoolload: -subscribe needs tcp, not %s", cfg.Network)
+		}
+		subConn, err := net.Dial(cfg.Network, cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("carpoolload: subscribe dial: %w", err)
+		}
+		defer subConn.Close()
+		subStop := context.AfterFunc(ctx, func() { subConn.Close() })
+		defer subStop()
+		sub = &TelemetrySummary{}
+		subErr = make(chan error, 1)
+		go func() { subErr <- runSubscriber(subConn, cfg.SubInterval, sub) }()
+	}
 
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	var payload []byte
@@ -217,5 +272,75 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if rep.TotalElapsed > 0 {
 		rep.EndToEndRate = float64(rep.Sent) / rep.TotalElapsed.Seconds()
 	}
+
+	if sub != nil {
+		// The drain finished, so the server pushes the stream's final
+		// update within one interval; give it a generous multiple.
+		wait := cfg.SubInterval
+		if wait <= 0 {
+			wait = defaultLoadSubInterval
+		}
+		select {
+		case err := <-subErr:
+			if err != nil {
+				return nil, fmt.Errorf("carpoolload: telemetry stream: %w", err)
+			}
+		case <-time.After(10*wait + 5*time.Second):
+			return nil, fmt.Errorf("carpoolload: telemetry stream did not end after drain")
+		}
+		sub.Reconciled = reconcile(sub, rep.Server)
+		rep.Telemetry = sub
+		rep.Stages = sub.stages
+	}
 	return rep, nil
+}
+
+// defaultLoadSubInterval is the telemetry push interval a load run asks
+// for when LoadConfig.SubInterval is zero — tight enough that a one-second
+// run sees several deltas.
+const defaultLoadSubInterval = 100 * time.Millisecond
+
+// runSubscriber streams telemetry into out until the server's final
+// update (clean end, nil) or a stream error.
+func runSubscriber(conn net.Conn, interval time.Duration, out *TelemetrySummary) error {
+	if interval <= 0 {
+		interval = defaultLoadSubInterval
+	}
+	if _, err := conn.Write(AppendSubscribeRecord(nil, interval)); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	for {
+		upd, err := ReadTelemetry(br)
+		if err != nil {
+			return err
+		}
+		out.Updates++
+		out.Sum.Add(upd.Delta)
+		out.Last = upd.Stats
+		if upd.Stages != nil {
+			out.stages = upd.Stages
+		}
+		if upd.Final {
+			out.Final = true
+			return nil
+		}
+	}
+}
+
+// reconcile checks the subscribe stream against the drain reply: the
+// accumulated deltas and the final pushed Stats must both land exactly on
+// the server's terminal counters (rate and elapsed fields are snapshots,
+// not counters, and are excluded).
+func reconcile(sub *TelemetrySummary, final Stats) bool {
+	d, last := sub.Sum, sub.Last
+	return d.Accepted == final.Accepted && last.Accepted == final.Accepted &&
+		d.Rejected == final.Rejected && last.Rejected == final.Rejected &&
+		d.Delivered == final.Delivered && last.Delivered == final.Delivered &&
+		d.Dropped == final.Dropped && last.Dropped == final.Dropped &&
+		d.Expired == final.Expired && last.Expired == final.Expired &&
+		d.Retries == final.Retries && last.Retries == final.Retries &&
+		d.Transmissions == final.Transmissions && last.Transmissions == final.Transmissions &&
+		d.Subframes == final.Subframes && last.Subframes == final.Subframes &&
+		d.DeliveredBytes == final.DeliveredBytes && last.DeliveredBytes == final.DeliveredBytes
 }

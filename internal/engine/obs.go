@@ -28,12 +28,16 @@ type engObs struct {
 	groupSize *obs.Histogram
 	latencyMs *obs.Histogram
 
+	// Per-stage latency decomposition of lifecycle-sampled frames
+	// (Config.SampleEvery), on the same shared bounds as latencyMs so the
+	// stage histograms and the end-to-end one quantize identically.
+	stageWaitMs    *obs.Histogram
+	stageBackoffMs *obs.Histogram
+	stageAirMs     *obs.Histogram
+	stageDecodeMs  *obs.Histogram
+
 	tracer *obs.Tracer
 }
-
-// engLatencyBucketsMs spans the serving path's expected range: sub-ms on
-// loopback up to the simulator's 500 ms ceiling.
-var engLatencyBucketsMs = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500}
 
 // engGroupBuckets covers aggregation group sizes up to the A-HDR capacity.
 var engGroupBuckets = []float64{1, 2, 3, 4, 5, 6, 7, 8}
@@ -61,7 +65,12 @@ func resolveEngObs(sink *obs.Sink) engObs {
 		qDepth:        sink.Gauge(obs.QueueDepth),
 
 		groupSize: sink.Histogram("engine.group_size", engGroupBuckets),
-		latencyMs: sink.Histogram("engine.latency_ms", engLatencyBucketsMs),
+		latencyMs: sink.Histogram("engine.latency_ms", obs.LatencyBucketsMs),
+
+		stageWaitMs:    sink.Histogram("engine.stage.queue_wait_ms", obs.LatencyBucketsMs),
+		stageBackoffMs: sink.Histogram("engine.stage.backoff_ms", obs.LatencyBucketsMs),
+		stageAirMs:     sink.Histogram("engine.stage.air_ms", obs.LatencyBucketsMs),
+		stageDecodeMs:  sink.Histogram("engine.stage.decode_ms", obs.LatencyBucketsMs),
 
 		tracer: sink.Tracer,
 	}

@@ -42,10 +42,13 @@ type Plan struct {
 }
 
 // pendingTx pairs the transport-facing plan with the engine-internal
-// frames it carries, parallel to plan.Subs.
+// frames it carries, parallel to plan.Subs. sampled counts the lifecycle-
+// sampled frames aboard, so workers skip the delivery-duration clock reads
+// entirely when nothing on the transmission is being traced.
 type pendingTx struct {
-	plan   Plan
-	frames [][]qframe
+	plan    Plan
+	frames  [][]qframe
+	sampled int
 }
 
 // planScratch is one worker's reusable plan-building storage: the engine's
@@ -62,6 +65,7 @@ func (sc *planScratch) reset(numSTAs int) {
 	sc.tx.plan.Subs = sc.tx.plan.Subs[:0]
 	sc.tx.plan.Airtime, sc.tx.plan.ACKTime = 0, 0
 	sc.tx.frames = sc.tx.frames[:0]
+	sc.tx.sampled = 0
 	sc.subBits = sc.subBits[:0]
 	if len(sc.staSlot) < numSTAs {
 		sc.staSlot = make([]int, numSTAs)
@@ -151,6 +155,22 @@ func (e *Engine) buildPlanLocked(now time.Duration, sc *planScratch) *pendingTx 
 		}
 
 		fr := q.pop()
+		if fr.sampled {
+			// Close the frame's queued stage: the segment since lastTouch
+			// splits into time gated by the STA's retry backoff (the part of
+			// [lastTouch, now] before nextEligible) and plain queue wait.
+			seg := now - fr.lastTouch
+			bo := q.nextEligible - fr.lastTouch
+			if bo < 0 {
+				bo = 0
+			} else if bo > seg {
+				bo = seg
+			}
+			fr.backoffAcc += bo
+			fr.waitAcc += seg - bo
+			fr.lastTouch = now
+			sc.tx.sampled++
+		}
 		if slot < 0 {
 			slot = len(plan.Subs)
 			sc.staSlot[best] = slot

@@ -16,6 +16,20 @@ type qframe struct {
 	retries int
 	payload []byte      // nil unless the engine retains payloads (PHY transport)
 	chunk   *arenaChunk // arena slab owning payload; nil for size-only frames
+
+	// Lifecycle-span metadata (Config.SampleEvery): sampled marks the
+	// deterministic 1-in-N frames that carry stage accumulators in their
+	// slab slot. lastTouch is the engine-clock instant the frame last
+	// changed stage (admit, plan pop, retry requeue); the accumulators
+	// total the frame's time per stage across every TX attempt —
+	// queue wait while the STA was eligible, wait behind the STA's retry
+	// backoff gate, airtime (aggregate + sequential ACKs), and transport
+	// decode time. All zero on unsampled frames, so disabled sampling
+	// costs only the wider slab slot (no clock reads, no branches beyond
+	// the sampled check).
+	sampled                                bool
+	lastTouch                              time.Duration
+	waitAcc, backoffAcc, airAcc, decodeAcc time.Duration
 }
 
 // staQueue is one station's bounded FIFO plus its retry-backoff gate: a

@@ -5,15 +5,20 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server is the carpoold network frontend: it feeds wire-protocol records
 // from TCP streams and UDP datagrams into one engine. Ingest records are
 // admitted (or rejected by backpressure) inline on the connection's read
-// goroutine; control records reply on the same connection.
+// goroutine; control records reply on the same connection. A RecSubscribe
+// record starts a per-connection telemetry pusher goroutine whose periodic
+// RecTelemetry records interleave with control replies under a per-conn
+// write lock.
 type Server struct {
 	eng *Engine
 
@@ -24,8 +29,13 @@ type Server struct {
 	// exceeds it.
 	SlabSize int
 	// Legacy selects the original one-record-per-read loop instead of the
-	// slab batch path — the reference arm for differential testing.
+	// slab batch path — the reference arm for differential testing. It
+	// answers RecSubscribe with a single telemetry update instead of a
+	// stream.
 	Legacy bool
+	// Health, when set, is attached to every telemetry update so
+	// subscribers see the detector verdicts alongside the counters.
+	Health *HealthMonitor
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -103,17 +113,124 @@ func (s *Server) slabSize() int {
 	return 256 << 10
 }
 
+// connWriter serializes writes to one connection between the read loop's
+// control replies and any telemetry pushers the connection spawned, so
+// records never interleave mid-frame.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) write(p []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.conn.Write(p)
+	return err
+}
+
+func (w *connWriter) writeBufs(bufs net.Buffers) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := bufs.WriteTo(w.conn)
+	return err
+}
+
+// telemetry assembles one update for a subscribe stream, attaching the
+// server's health report when a monitor is wired.
+func (s *Server) telemetry(seq uint64, prev Stats, final bool) TelemetryUpdate {
+	upd := s.eng.Telemetry(seq, prev, final)
+	if s.Health != nil {
+		rep := s.Health.Report()
+		upd.Health = &rep
+	}
+	return upd
+}
+
+// pushTelemetry is one subscribe stream: a RecTelemetry record every
+// interval until the engine stops (last update flagged final), the stop
+// channel closes (connection going away — a final update is attempted
+// best-effort), or a write fails. Deltas telescope from the zero Stats, so
+// a subscriber summing every delta reproduces the final counters.
+func (s *Server) pushTelemetry(ctx context.Context, w *connWriter, interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = defaultSubscribeInterval
+	}
+	if interval < minSubscribeInterval {
+		interval = minSubscribeInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var prev Stats
+	var seq uint64
+	emit := func(final bool) bool {
+		upd := s.telemetry(seq, prev, final)
+		prev = upd.Stats
+		seq++
+		reply, err := telemetryReply(upd)
+		if err != nil {
+			return false
+		}
+		return w.write(reply) == nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			emit(true)
+			return
+		case <-stop:
+			emit(true)
+			return
+		case <-tick.C:
+			final := s.eng.Stopped()
+			if !emit(final) || final {
+				return
+			}
+		}
+	}
+}
+
+// controlReply builds the reply for one control record, handling its side
+// effects (drain). A RecSubscribe returns a nil reply and the subscribe
+// flag instead. fatal reports unrecoverable connection state.
+func (s *Server) controlReply(ctx context.Context, ctrl wireRecord) (reply []byte, subscribe, fatal bool) {
+	switch ctrl.typ {
+	case RecStats:
+		reply, err := statsReply(s.eng.Stats())
+		return reply, false, err != nil
+	case RecDrain:
+		derr := s.eng.Drain(ctx)
+		reply, err := statsReply(s.eng.Stats())
+		return reply, false, err != nil || derr != nil
+	case RecStageStats:
+		reply, err := stageStatsReply(s.eng.StageStats())
+		return reply, false, err != nil
+	case RecSubscribe:
+		return nil, true, false
+	}
+	return nil, false, true
+}
+
 // serveConn drains one TCP stream through the slab batch path: one Read
 // fills the slab, every complete record is parsed in place (payloads
 // handed to admission zero-copy) and admitted in one SubmitBatch, and all
 // control replies the slab produced go out in one vectored write
 // (net.Buffers). Submission errors are backpressure outcomes already
-// counted by the engine, not connection errors.
+// counted by the engine, not connection errors. Subscribe records spawn a
+// telemetry pusher that shares the connection under the write lock; the
+// pushers are stopped (emitting a last best-effort final update) before
+// the read loop returns and the connection closes.
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	if s.Legacy {
 		s.serveConnLegacy(ctx, conn)
 		return
 	}
+	w := &connWriter{conn: conn}
+	var pushers sync.WaitGroup
+	stopPush := make(chan struct{})
+	defer func() {
+		close(stopPush)
+		pushers.Wait()
+	}()
 	slab := make([]byte, s.slabSize())
 	items := make([]BatchItem, 0, 1024)
 	fill := 0
@@ -128,7 +245,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		fatal := false
 		for {
 			var consumed int
-			var ctrl byte
+			var ctrl wireRecord
 			var perr error
 			items, consumed, ctrl, perr = parseBatch(slab[:fill], items[:0])
 			if len(items) > 0 {
@@ -142,24 +259,29 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 				fatal = true // malformed framing is unrecoverable
 				break
 			}
-			if ctrl == 0 {
+			if ctrl.typ == 0 {
 				break
 			}
-			if ctrl == RecDrain && s.eng.Drain(ctx) != nil {
-				fatal = true
+			reply, subscribe, cfatal := s.controlReply(ctx, ctrl)
+			if subscribe {
+				interval := time.Duration(ctrl.length) * time.Millisecond
+				pushers.Add(1)
+				go func() {
+					defer pushers.Done()
+					s.pushTelemetry(ctx, w, interval, stopPush)
+				}()
+				continue
 			}
-			reply, jerr := statsReply(s.eng.Stats())
-			if jerr != nil {
-				fatal = true
-				break
+			if reply != nil {
+				replies = append(replies, reply)
 			}
-			replies = append(replies, reply)
-			if fatal {
+			if cfatal {
+				fatal = true
 				break
 			}
 		}
 		if len(replies) > 0 {
-			if _, err := replies.WriteTo(conn); err != nil {
+			if err := w.writeBufs(replies); err != nil {
 				return
 			}
 		}
@@ -180,7 +302,8 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 }
 
 // serveConnLegacy is the original per-record read loop, kept as the
-// unbatched reference arm.
+// unbatched reference arm. Subscribe gets one immediate telemetry update
+// rather than a stream (no pusher machinery on this path).
 func (s *Server) serveConnLegacy(ctx context.Context, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<14)
@@ -206,6 +329,29 @@ func (s *Server) serveConnLegacy(ctx context.Context, conn net.Conn) {
 			if writeStatsReply(bw, st) != nil || err != nil {
 				return
 			}
+		case RecStageStats:
+			reply, jerr := stageStatsReply(s.eng.StageStats())
+			if jerr != nil {
+				return
+			}
+			if _, err := bw.Write(reply); err != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+		case RecSubscribe:
+			upd := s.telemetry(0, Stats{}, s.eng.Stopped())
+			reply, jerr := telemetryReply(upd)
+			if jerr != nil {
+				return
+			}
+			if _, err := bw.Write(reply); err != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
 		default:
 			return // unknown record type: framing is unrecoverable
 		}
@@ -215,8 +361,9 @@ func (s *Server) serveConnLegacy(ctx context.Context, conn net.Conn) {
 // ServeUDP drains datagrams until ctx is cancelled or the socket closes.
 // Each datagram carries whole records back-to-back and is admitted as one
 // engine batch; a malformed or truncated record discards the rest of its
-// datagram only. Control records reply to the sender's address in one
-// datagram.
+// datagram only. Control records reply to the sender's address, one
+// datagram per control record; RecSubscribe gets a single telemetry
+// update (datagrams carry no stream to push on).
 func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
@@ -233,20 +380,24 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 		dgram := buf[:n]
 		for off := 0; off < len(dgram); {
 			var consumed int
-			var ctrl byte
+			var ctrl wireRecord
 			var perr error
 			items, consumed, ctrl, perr = parseBatch(dgram[off:], items[:0])
 			if len(items) > 0 {
 				_, _ = s.eng.SubmitBatch(items)
 			}
 			off += consumed
-			if perr != nil || ctrl == 0 {
+			if perr != nil || ctrl.typ == 0 {
 				break // malformed or truncated tail: drop the rest
 			}
-			if ctrl == RecDrain {
-				_ = s.eng.Drain(ctx)
+			var reply []byte
+			if ctrl.typ == RecSubscribe {
+				upd := s.telemetry(0, Stats{}, s.eng.Stopped())
+				reply, _ = telemetryReply(upd)
+			} else {
+				reply, _, _ = s.controlReply(ctx, ctrl)
 			}
-			if reply, jerr := statsReply(s.eng.Stats()); jerr == nil {
+			if reply != nil {
 				_, _ = conn.WriteTo(reply, addr)
 			}
 		}
@@ -274,28 +425,44 @@ func writeStatsReply(bw *bufio.Writer, st Stats) error {
 	return bw.Flush()
 }
 
+// statsReplyRequiredKeys are probed before decoding a stats reply: a
+// record that parses as JSON but lacks the core accounting keys is
+// malformed, and clients (carpoolload) must fail loudly rather than
+// report a silently zeroed Stats.
+var statsReplyRequiredKeys = []string{"accepted", "delivered", "pending", "delivered_bytes_per_sta"}
+
 // ReadStatsReply decodes one stats reply from a stream — the client half
-// of the RecStats/RecDrain exchange, used by carpoolload.
+// of the RecStats/RecDrain exchange, used by carpoolload. The reply is
+// validated strictly: wrong record type, invalid JSON, or a document
+// missing the core accounting keys all error.
 func ReadStatsReply(r io.Reader) (Stats, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReader(r)
 	}
-	var payloadBuf []byte
-	rec, _, err := readRecord(br, payloadBuf)
+	rec, _, err := readRecord(br, nil)
 	if err != nil {
 		return Stats{}, err
 	}
 	if rec.typ != RecStats {
-		return Stats{}, errors.New("engine: unexpected reply record type")
+		return Stats{}, fmt.Errorf("engine: reply record type %#02x, want %#02x", rec.typ, RecStats)
 	}
 	doc := make([]byte, rec.length)
 	if _, err := io.ReadFull(br, doc); err != nil {
 		return Stats{}, err
 	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &probe); err != nil {
+		return Stats{}, fmt.Errorf("engine: malformed stats record: %w", err)
+	}
+	for _, k := range statsReplyRequiredKeys {
+		if _, ok := probe[k]; !ok {
+			return Stats{}, fmt.Errorf("engine: malformed stats record: missing %q", k)
+		}
+	}
 	var st Stats
 	if err := json.Unmarshal(doc, &st); err != nil {
-		return Stats{}, err
+		return Stats{}, fmt.Errorf("engine: malformed stats record: %w", err)
 	}
 	return st, nil
 }

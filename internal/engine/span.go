@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"time"
+
+	"carpool/internal/obs"
+)
+
+// stageAcc aggregates the lifecycle-sampled frames' per-stage latency
+// decomposition, guarded by e.mu. Each delivered sampled frame contributes
+// one observation per stage; together the four stages account for the
+// frame's whole admit→deliver latency (wait + backoff + air sum exactly to
+// it in deterministic mode, where decode wall time is zero).
+type stageAcc struct {
+	wait, backoff, air, decode                     latHist
+	waitSumMs, backoffSumMs, airSumMs, decodeSumMs float64
+	delivered                                      int64 // sampled frames delivered
+}
+
+func newStageAcc() stageAcc {
+	return stageAcc{
+		wait:    newLatHist(),
+		backoff: newLatHist(),
+		air:     newLatHist(),
+		decode:  newLatHist(),
+	}
+}
+
+// sampledDeliveredLocked closes a sampled frame's lifecycle at delivery:
+// the final attempt's airtime and decode wall time join the accumulators,
+// each stage total lands in the engine's deterministic stage histograms
+// and the engine.stage.*_ms sink histograms, and the ring tracer gets one
+// span per stage plus the terminal EvFrameDeliver. None of this touches
+// Stats fields, so sampling on vs off stays byte-identical there. Caller
+// holds e.mu.
+func (e *Engine) sampledDeliveredLocked(sta int, f *qframe, txAir, deliverDur, now time.Duration) {
+	wait, bo := f.waitAcc, f.backoffAcc
+	air := f.airAcc + txAir
+	dec := f.decodeAcc + deliverDur
+	waitMs := wait.Seconds() * 1e3
+	boMs := bo.Seconds() * 1e3
+	airMs := air.Seconds() * 1e3
+	decMs := dec.Seconds() * 1e3
+
+	s := &e.stage
+	s.wait.observe(waitMs)
+	s.backoff.observe(boMs)
+	s.air.observe(airMs)
+	s.decode.observe(decMs)
+	s.waitSumMs += waitMs
+	s.backoffSumMs += boMs
+	s.airSumMs += airMs
+	s.decodeSumMs += decMs
+	s.delivered++
+
+	e.eobs.stageWaitMs.Observe(waitMs)
+	e.eobs.stageBackoffMs.Observe(boMs)
+	e.eobs.stageAirMs.Observe(airMs)
+	e.eobs.stageDecodeMs.Observe(decMs)
+
+	tr := e.eobs.tracer
+	if tr != nil {
+		ts := int64(now)
+		tr.EmitAt(ts, obs.EvStageQueueWait, int64(sta), int64(wait))
+		tr.EmitAt(ts, obs.EvStageBackoff, int64(sta), int64(bo))
+		tr.EmitAt(ts, obs.EvStageAir, int64(sta), int64(air))
+		tr.EmitAt(ts, obs.EvStageDecode, int64(sta), int64(dec))
+		tr.EmitAt(ts, obs.EvFrameDeliver, int64(sta), int64(now-f.arrival))
+	}
+}
+
+// StageDist summarizes one lifecycle stage's latency distribution over the
+// sampled delivered frames, in milliseconds. Quantiles carry the shared
+// log-bucket error bound (within +12.2% — see obs.LatencyBucketsMs).
+type StageDist struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// StageStats is the per-stage latency decomposition of the lifecycle-
+// sampled delivered frames: where an average frame's latency went —
+// queue wait vs retry backoff vs airtime vs transport decode. Served over
+// the wire as a RecStageStats reply and printed by carpoolload.
+type StageStats struct {
+	// SampleEvery echoes the engine's sampling config (0 = sampling off,
+	// every distribution empty).
+	SampleEvery int `json:"sample_every"`
+	// SampledDelivered counts delivered frames that carried spans.
+	SampledDelivered int64     `json:"sampled_delivered"`
+	QueueWait        StageDist `json:"queue_wait"`
+	Backoff          StageDist `json:"backoff"`
+	Air              StageDist `json:"air"`
+	Decode           StageDist `json:"decode"`
+}
+
+// StageStats snapshots the per-stage decomposition. Like Stats, only the
+// bucket arrays are copied under e.mu; quantiles compute outside the lock.
+func (e *Engine) StageStats() StageStats {
+	e.mu.Lock()
+	st := StageStats{
+		SampleEvery:      e.cfg.SampleEvery,
+		SampledDelivered: e.stage.delivered,
+	}
+	type snap struct {
+		counts []int64
+		count  int64
+		sumMs  float64
+	}
+	snaps := [4]snap{
+		{e.stage.wait.snapshot(), e.stage.wait.count, e.stage.waitSumMs},
+		{e.stage.backoff.snapshot(), e.stage.backoff.count, e.stage.backoffSumMs},
+		{e.stage.air.snapshot(), e.stage.air.count, e.stage.airSumMs},
+		{e.stage.decode.snapshot(), e.stage.decode.count, e.stage.decodeSumMs},
+	}
+	e.mu.Unlock()
+
+	dists := [4]*StageDist{&st.QueueWait, &st.Backoff, &st.Air, &st.Decode}
+	for i, sn := range snaps {
+		d := dists[i]
+		d.Count = sn.count
+		if sn.count == 0 || sn.counts == nil {
+			continue
+		}
+		d.MeanMs = sn.sumMs / float64(sn.count)
+		d.P50Ms = quantileMs(sn.counts, 0.50)
+		d.P95Ms = quantileMs(sn.counts, 0.95)
+		d.P99Ms = quantileMs(sn.counts, 0.99)
+	}
+	return st
+}

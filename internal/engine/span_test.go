@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"carpool/internal/obs"
+)
+
+// flakyTransport fails every k-th transmission outright (all subframes),
+// deterministically injecting retries and backoff without the positional
+// bias of the loss oracles — retried frames still deliver on a later
+// attempt, so the sampled lifecycle exercises every stage.
+type flakyTransport struct {
+	n, every int
+}
+
+func (f *flakyTransport) Deliver(_ context.Context, plan *Plan) ([]bool, error) {
+	f.n++
+	fail := f.every > 0 && f.n%f.every == 0
+	ok := make([]bool, len(plan.Subs))
+	for i := range ok {
+		ok[i] = !fail
+	}
+	return ok, nil
+}
+
+// TestSamplingInvarianceDeterministic runs the identical deterministic
+// scenario under SampleEvery 0, 1, and 7 and requires byte-identical Stats:
+// lifecycle tracing must observe the serving path without perturbing its
+// scheduling, retry, or accounting decisions.
+func TestSamplingInvarianceDeterministic(t *testing.T) {
+	flows := cbrFlows(4, 200, 1200, 120*time.Microsecond)
+	var base string
+	var baseStats *Stats
+	for _, sample := range []int{0, 1, 7} {
+		st, err := RunDeterministic(context.Background(), Config{
+			NumSTAs:     4,
+			SampleEvery: sample,
+			Transport:   &flakyTransport{every: 3},
+		}, flows)
+		if err != nil {
+			t.Fatalf("SampleEvery=%d: %v", sample, err)
+		}
+		got := fmt.Sprintf("%+v", *st)
+		if sample == 0 {
+			base, baseStats = got, st
+			continue
+		}
+		if got != base {
+			t.Errorf("SampleEvery=%d diverged from unsampled run:\n  sampled   %s\n  unsampled %s",
+				sample, got, base)
+		}
+	}
+	if baseStats.Delivered == 0 || baseStats.Retries == 0 {
+		t.Fatalf("scenario exercised no retries (delivered %d, retries %d) — weak invariance check",
+			baseStats.Delivered, baseStats.Retries)
+	}
+}
+
+// TestStageDecompositionIdentity checks the core invariant of the stage
+// decomposition: for every sampled delivered frame, queue wait + backoff +
+// air + decode telescopes exactly to its admit-to-deliver latency. With
+// SampleEvery=1 every delivered frame is sampled, so the four
+// engine.stage.*_ms histogram sums must reproduce the engine.latency_ms sum
+// (decode is identically zero in deterministic mode, where the virtual
+// clock does not advance inside Transport.Deliver).
+func TestStageDecompositionIdentity(t *testing.T) {
+	sink := &obs.Sink{Registry: obs.NewRegistry(), Tracer: obs.NewTracer(1 << 15)}
+	flows := cbrFlows(4, 250, 1200, 120*time.Microsecond)
+	st, err := RunDeterministic(context.Background(), Config{
+		NumSTAs:     4,
+		SampleEvery: 1,
+		Obs:         sink,
+		Transport:   &flakyTransport{every: 3},
+	}, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered == 0 || st.Retries == 0 {
+		t.Fatalf("scenario exercised no retries (delivered %d, retries %d)", st.Delivered, st.Retries)
+	}
+
+	snap := sink.Registry.Snapshot()
+	hist := func(name string) obs.HistogramSnapshot {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %q not registered", name)
+		}
+		return h
+	}
+	lat := hist("engine.latency_ms")
+	wait := hist("engine.stage.queue_wait_ms")
+	backoff := hist("engine.stage.backoff_ms")
+	air := hist("engine.stage.air_ms")
+	decode := hist("engine.stage.decode_ms")
+
+	for name, h := range map[string]obs.HistogramSnapshot{
+		"latency": lat, "queue_wait": wait, "backoff": backoff, "air": air, "decode": decode,
+	} {
+		if h.Count != st.Delivered {
+			t.Errorf("%s histogram count %d, want Delivered %d", name, h.Count, st.Delivered)
+		}
+	}
+	if decode.Sum != 0 {
+		t.Errorf("decode sum %v in deterministic mode, want 0 (clock does not advance in Deliver)", decode.Sum)
+	}
+	if air.Sum <= 0 {
+		t.Error("air sum is zero — no airtime accrued to sampled frames")
+	}
+	if backoff.Sum <= 0 {
+		t.Errorf("backoff sum is zero despite %d retries", st.Retries)
+	}
+	stages := wait.Sum + backoff.Sum + air.Sum + decode.Sum
+	if diff := math.Abs(stages - lat.Sum); diff > 1e-6*math.Max(1, lat.Sum) {
+		t.Errorf("stage sums %.9f ms do not telescope to latency sum %.9f ms (diff %.9g)",
+			stages, lat.Sum, diff)
+	}
+
+	// The ring tracer got one span per stage plus a deliver instant per
+	// sampled frame; spot-check the span kinds arrived and carry durations.
+	var spans, delivers int
+	for _, ev := range sink.Tracer.Events() {
+		switch ev.Kind {
+		case obs.EvStageQueueWait, obs.EvStageBackoff, obs.EvStageAir, obs.EvStageDecode:
+			spans++
+			if ev.B < 0 {
+				t.Fatalf("negative span duration: %+v", ev)
+			}
+		case obs.EvFrameDeliver:
+			delivers++
+		}
+	}
+	if spans == 0 || delivers == 0 {
+		t.Errorf("tracer saw %d stage spans, %d delivers — want both nonzero", spans, delivers)
+	}
+}
+
+// TestStageStatsQuantiles drives a sampled engine and sanity-checks the
+// StageStats snapshot: counts, mean/quantile ordering, and the SampleEvery
+// echo clients use to label the decomposition.
+func TestStageStatsQuantiles(t *testing.T) {
+	clk := &virtualClock{}
+	e, err := New(Config{NumSTAs: 2, Clock: clk, SampleEvery: 2,
+		Transport: &flakyTransport{every: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveDeterministic(e, clk, 300, 1000)
+
+	ss := e.StageStats()
+	if ss.SampleEvery != 2 {
+		t.Errorf("SampleEvery echo %d, want 2", ss.SampleEvery)
+	}
+	if ss.SampledDelivered == 0 {
+		t.Fatal("no sampled deliveries")
+	}
+	if ss.QueueWait.Count != ss.SampledDelivered || ss.Air.Count != ss.SampledDelivered {
+		t.Errorf("stage counts %d/%d, want %d", ss.QueueWait.Count, ss.Air.Count, ss.SampledDelivered)
+	}
+	for name, d := range map[string]StageDist{
+		"queue_wait": ss.QueueWait, "backoff": ss.Backoff, "air": ss.Air, "decode": ss.Decode,
+	} {
+		if d.MeanMs < 0 || d.P50Ms > d.P95Ms || d.P95Ms > d.P99Ms {
+			t.Errorf("%s distribution not ordered: %+v", name, d)
+		}
+	}
+	if ss.Air.MeanMs <= 0 {
+		t.Error("air mean is zero — sampled frames accrued no airtime")
+	}
+}
+
+// driveDeterministic single-threadedly submits frames+runs the plan loop to
+// completion under the virtual clock — the in-package skeleton of
+// RunDeterministic, usable when a test needs the *Engine afterwards.
+func driveDeterministic(e *Engine, clk *virtualClock, frames, size int) {
+	ctx := context.Background()
+	var sc planScratch
+	for i := 0; i < frames; i++ {
+		for sta := 0; sta < e.cfg.NumSTAs; sta++ {
+			_ = e.submitLocked(sta, size, nil, clk.now)
+		}
+		clk.now += 100 * time.Microsecond
+	}
+	for {
+		if tx := e.buildPlanLocked(clk.now, &sc); tx != nil {
+			ok, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
+			clk.now += tx.plan.Airtime + tx.plan.ACKTime
+			e.accountLocked(tx, ok, derr, clk.now, 0)
+			continue
+		}
+		if d, ok := e.earliestEligibleLocked(clk.now); ok {
+			if d <= 0 {
+				d = 1
+			}
+			clk.now += d
+			continue
+		}
+		return
+	}
+}
+
+// TestSamplingDisabledNoExtraAllocs pins the hot path's allocation profile:
+// enabling lifecycle sampling must add zero allocations per
+// submit→plan→deliver→account cycle relative to the disabled path (whose
+// only per-cycle allocation is the lossless oracle's verdict slice).
+func TestSamplingDisabledNoExtraAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	measure := func(sample int) float64 {
+		sink := &obs.Sink{Registry: obs.NewRegistry(), Tracer: obs.NewTracer(1 << 10)}
+		clk := &virtualClock{}
+		e, err := New(Config{NumSTAs: 2, QueueCap: 64, Clock: clk, SampleEvery: sample, Obs: sink})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		var sc planScratch
+		cycle := func() {
+			clk.now += 100 * time.Microsecond
+			_ = e.submitLocked(0, 1000, nil, clk.now)
+			_ = e.submitLocked(1, 800, nil, clk.now)
+			for {
+				tx := e.buildPlanLocked(clk.now, &sc)
+				if tx == nil {
+					break
+				}
+				ok, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
+				clk.now += tx.plan.Airtime + tx.plan.ACKTime
+				e.accountLocked(tx, ok, derr, clk.now, 0)
+			}
+		}
+		for i := 0; i < 64; i++ { // warm queue rings and plan scratch
+			cycle()
+		}
+		return testing.AllocsPerRun(500, cycle)
+	}
+	off := measure(0)
+	on := measure(1)
+	if on > off {
+		t.Errorf("sampling added allocations: %.2f/cycle sampled vs %.2f/cycle disabled", on, off)
+	}
+	if off > 4 {
+		t.Errorf("disabled path allocates %.2f/cycle — expected only the oracle verdict slice", off)
+	}
+}

@@ -1,37 +1,52 @@
 package engine
 
 import (
+	"sort"
 	"time"
 
-	"carpool/internal/stats"
+	"carpool/internal/obs"
 )
 
-// delayRing keeps the most recent delivered-frame latencies (seconds) in
-// a fixed window for percentile reporting without unbounded growth.
-type delayRing struct {
-	buf  []float64
-	pos  int
-	full bool
+// latBoundsMs is the engine's latency bucket set — the canonical log-spaced
+// bounds shared with the `engine.latency_ms` sink histogram, so the Stats
+// percentiles, stats wire records, and /debug/metrics all report identical
+// numbers. See obs.LatencyBucketsMs for the quantile error bound (estimates
+// overshoot by at most 10^(1/20)-1 ≈ 12.2% relative).
+var latBoundsMs = obs.LatencyBucketsMs
+
+// latHist is the engine's deterministic latency histogram: plain int64
+// bucket counts over latBoundsMs, guarded by e.mu rather than atomics so
+// the deterministic virtual-clock mode accumulates reproducibly. It
+// replaces the old fixed-capacity delay ring: observation is O(log buckets)
+// with no per-sample storage, and Stats() snapshots the (small) bucket
+// array under the lock instead of copying and sorting the whole sample
+// window there.
+type latHist struct {
+	counts []int64 // len(latBoundsMs)+1, last is overflow
+	count  int64
 }
 
-func newDelayRing(capacity int) delayRing {
-	return delayRing{buf: make([]float64, capacity)}
+func newLatHist() latHist {
+	return latHist{counts: make([]int64, len(latBoundsMs)+1)}
 }
 
-func (r *delayRing) add(v float64) {
-	r.buf[r.pos] = v
-	r.pos++
-	if r.pos == len(r.buf) {
-		r.pos, r.full = 0, true
+func (h *latHist) observe(ms float64) {
+	h.counts[sort.SearchFloat64s(latBoundsMs, ms)]++
+	h.count++
+}
+
+// snapshot copies the bucket counts (nil when nothing was observed, so
+// finishLatency can skip quantile work entirely).
+func (h *latHist) snapshot() []int64 {
+	if h.count == 0 {
+		return nil
 	}
+	return append([]int64(nil), h.counts...)
 }
 
-// samples returns a copy of the retained window.
-func (r *delayRing) samples() []float64 {
-	if r.full {
-		return append([]float64(nil), r.buf...)
-	}
-	return append([]float64(nil), r.buf[:r.pos]...)
+// quantileMs estimates the q-quantile over a snapshotted count array.
+func quantileMs(counts []int64, q float64) float64 {
+	return obs.BucketQuantile(latBoundsMs, counts, q)
 }
 
 // Stats is a point-in-time account of an engine run, JSON-ready for the
@@ -79,22 +94,40 @@ type Stats struct {
 	AirtimeGoodputMbps float64 `json:"airtime_goodput_mbps"`
 	// DropRate is (Dropped+Expired+Rejected)/offered.
 	DropRate float64 `json:"drop_rate"`
-	// Latency percentiles (milliseconds) over the retained delivery
-	// window; zero when nothing was delivered.
+	// Latency quantile estimates (milliseconds) from the log-bucketed
+	// delivery histogram (shared bounds with engine.latency_ms; estimates
+	// within +12.2% of the true quantile — see obs.LatencyBucketsMs).
+	// Zero when nothing was delivered.
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP95Ms float64 `json:"latency_p95_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
 // Stats snapshots the engine's accounting. Safe to call concurrently with
-// a running engine.
+// a running engine: only the raw counters and the (small) latency bucket
+// array are read under e.mu; the quantile scan runs after the lock is
+// released, so a stats poll never stalls the serving path behind
+// percentile math.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.statsLocked(e.clock.Now())
+	st, lat := e.statsCoreLocked(e.clock.Now())
+	e.mu.Unlock()
+	finishLatency(&st, lat)
+	return st
 }
 
+// statsLocked is the single-threaded form used by the deterministic
+// runners (and tests), which already own the engine exclusively.
 func (e *Engine) statsLocked(now time.Duration) Stats {
+	st, lat := e.statsCoreLocked(now)
+	finishLatency(&st, lat)
+	return st
+}
+
+// statsCoreLocked copies everything Stats needs out from under e.mu,
+// returning the latency bucket snapshot for quantile computation outside
+// the lock. Caller holds e.mu (or is single-threaded).
+func (e *Engine) statsCoreLocked(now time.Duration) (Stats, []int64) {
 	st := Stats{
 		Accepted:      e.accepted,
 		Rejected:      e.rejected,
@@ -135,11 +168,16 @@ func (e *Engine) statsLocked(now time.Duration) Stats {
 	if total := e.accepted + e.rejected; total > 0 {
 		st.DropRate = float64(e.dropped+e.expired+e.rejected) / float64(total)
 	}
-	if s := e.delays.samples(); len(s) > 0 {
-		cdf := stats.NewCDF(s)
-		st.LatencyP50Ms = cdf.Quantile(0.50) * 1e3
-		st.LatencyP95Ms = cdf.Quantile(0.95) * 1e3
-		st.LatencyP99Ms = cdf.Quantile(0.99) * 1e3
+	return st, e.lat.snapshot()
+}
+
+// finishLatency fills the latency quantiles from a bucket snapshot, run
+// outside the engine lock.
+func finishLatency(st *Stats, counts []int64) {
+	if counts == nil {
+		return
 	}
-	return st
+	st.LatencyP50Ms = quantileMs(counts, 0.50)
+	st.LatencyP95Ms = quantileMs(counts, 0.95)
+	st.LatencyP99Ms = quantileMs(counts, 0.99)
 }

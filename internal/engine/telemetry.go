@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// STAStat is one station's live queue state inside a telemetry update:
+// what carpooltop renders per row.
+type STAStat struct {
+	STA int `json:"sta"`
+	// Queue is the station's backlog in frames.
+	Queue int `json:"queue"`
+	// BacklogAgeMs is the age of the oldest queued frame (0 when empty).
+	BacklogAgeMs float64 `json:"backlog_age_ms"`
+	// BackoffMs is the remaining retry-backoff gate (0 when eligible).
+	BackoffMs float64 `json:"backoff_ms"`
+	// FailStreak counts consecutive failed transmissions to this STA.
+	FailStreak int `json:"fail_streak"`
+	// DeliveredBytes is the station's cumulative delivered payload.
+	DeliveredBytes int64 `json:"delivered_bytes"`
+}
+
+// StatsDelta is the change in the cumulative counters between two Stats
+// snapshots — the Snapshot/Diff form a subscribe stream pushes so a viewer
+// can show rates without differentiating on its own clock.
+type StatsDelta struct {
+	Accepted       int64 `json:"accepted"`
+	Rejected       int64 `json:"rejected"`
+	Delivered      int64 `json:"delivered"`
+	Dropped        int64 `json:"dropped"`
+	Expired        int64 `json:"expired"`
+	Retries        int64 `json:"retries"`
+	Transmissions  int64 `json:"transmissions"`
+	Subframes      int64 `json:"subframes"`
+	DeliveredBytes int64 `json:"delivered_bytes"`
+	ElapsedNs      int64 `json:"elapsed_ns"`
+}
+
+// DiffStats returns cur minus prev over the cumulative counter fields.
+// Diffing against the zero Stats yields the totals, so a stream's deltas
+// telescope: summing every update's Delta reproduces the final cumulative
+// counters exactly (the reconciliation carpoolload -subscribe asserts).
+func DiffStats(cur, prev Stats) StatsDelta {
+	return StatsDelta{
+		Accepted:       cur.Accepted - prev.Accepted,
+		Rejected:       cur.Rejected - prev.Rejected,
+		Delivered:      cur.Delivered - prev.Delivered,
+		Dropped:        cur.Dropped - prev.Dropped,
+		Expired:        cur.Expired - prev.Expired,
+		Retries:        cur.Retries - prev.Retries,
+		Transmissions:  cur.Transmissions - prev.Transmissions,
+		Subframes:      cur.Subframes - prev.Subframes,
+		DeliveredBytes: cur.DeliveredBytes - prev.DeliveredBytes,
+		ElapsedNs:      int64(cur.Elapsed - prev.Elapsed),
+	}
+}
+
+// Add accumulates another delta into d (client-side reconciliation).
+func (d *StatsDelta) Add(o StatsDelta) {
+	d.Accepted += o.Accepted
+	d.Rejected += o.Rejected
+	d.Delivered += o.Delivered
+	d.Dropped += o.Dropped
+	d.Expired += o.Expired
+	d.Retries += o.Retries
+	d.Transmissions += o.Transmissions
+	d.Subframes += o.Subframes
+	d.DeliveredBytes += o.DeliveredBytes
+	d.ElapsedNs += o.ElapsedNs
+}
+
+// TelemetryUpdate is one pushed RecTelemetry record: cumulative Stats,
+// the delta since the stream's previous update, per-STA queue state, the
+// stage decomposition when sampling is on, and the health report when the
+// server runs a monitor.
+type TelemetryUpdate struct {
+	// Seq numbers updates within one subscribe stream, from 0.
+	Seq uint64 `json:"seq"`
+	// Final marks the stream's last update: the engine stopped (drain or
+	// close) and Stats is its terminal accounting.
+	Final bool  `json:"final,omitempty"`
+	Stats Stats `json:"stats"`
+	// Delta is Stats minus the previous update's Stats (the first update
+	// diffs against zero, so deltas telescope to the cumulative totals).
+	Delta  StatsDelta    `json:"delta"`
+	PerSTA []STAStat     `json:"per_sta,omitempty"`
+	Stages *StageStats   `json:"stages,omitempty"`
+	Health *HealthReport `json:"health,omitempty"`
+}
+
+// PerSTA snapshots every station's live queue state.
+func (e *Engine) PerSTA() []STAStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clock.Now()
+	out := make([]STAStat, len(e.queues))
+	for sta := range e.queues {
+		q := &e.queues[sta]
+		s := STAStat{
+			STA:            sta,
+			Queue:          q.len(),
+			FailStreak:     q.failStreak,
+			DeliveredBytes: e.deliveredBytes[sta],
+		}
+		if q.len() > 0 {
+			s.BacklogAgeMs = (now - q.headFrame().arrival).Seconds() * 1e3
+		}
+		if q.nextEligible > now {
+			s.BackoffMs = (q.nextEligible - now).Seconds() * 1e3
+		}
+		out[sta] = s
+	}
+	return out
+}
+
+// Telemetry assembles one update relative to prev (the previous update's
+// Stats; zero Stats for the first). Stages is attached only when lifecycle
+// sampling is configured; Health is the server's to attach.
+func (e *Engine) Telemetry(seq uint64, prev Stats, final bool) TelemetryUpdate {
+	st := e.Stats()
+	upd := TelemetryUpdate{
+		Seq:    seq,
+		Final:  final,
+		Stats:  st,
+		Delta:  DiffStats(st, prev),
+		PerSTA: e.PerSTA(),
+	}
+	if e.cfg.SampleEvery > 0 {
+		ss := e.StageStats()
+		upd.Stages = &ss
+	}
+	return upd
+}
+
+// telemetryReply encodes a telemetry record: RecTelemetry framing with a
+// JSON payload.
+func telemetryReply(upd TelemetryUpdate) ([]byte, error) {
+	doc, err := json.Marshal(upd)
+	if err != nil {
+		return nil, err
+	}
+	out := appendHeader(make([]byte, 0, recHeaderLen+len(doc)), RecTelemetry, 0, len(doc))
+	return append(out, doc...), nil
+}
+
+// stageStatsReply encodes a stage-stats record: RecStageStats framing with
+// a JSON payload.
+func stageStatsReply(st StageStats) ([]byte, error) {
+	doc, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	out := appendHeader(make([]byte, 0, recHeaderLen+len(doc)), RecStageStats, 0, len(doc))
+	return append(out, doc...), nil
+}
+
+// readReplyPayload reads one reply record of the wanted type from a
+// buffered stream and returns its JSON payload.
+func readReplyPayload(br *bufio.Reader, want byte) ([]byte, error) {
+	rec, _, err := readRecord(br, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rec.typ != want {
+		return nil, fmt.Errorf("engine: reply record type %#02x, want %#02x", rec.typ, want)
+	}
+	doc := make([]byte, rec.length)
+	if _, err := io.ReadFull(br, doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// ReadTelemetry decodes one pushed telemetry update — the client half of a
+// subscribe stream, used by carpooltop and carpoolload -subscribe. Pass
+// the same *bufio.Reader for every read on a connection, or buffered bytes
+// are lost between calls.
+func ReadTelemetry(br *bufio.Reader) (TelemetryUpdate, error) {
+	doc, err := readReplyPayload(br, RecTelemetry)
+	if err != nil {
+		return TelemetryUpdate{}, err
+	}
+	var upd TelemetryUpdate
+	if err := json.Unmarshal(doc, &upd); err != nil {
+		return TelemetryUpdate{}, fmt.Errorf("engine: malformed telemetry record: %w", err)
+	}
+	return upd, nil
+}
+
+// ReadStageStatsReply decodes one stage-stats reply.
+func ReadStageStatsReply(br *bufio.Reader) (StageStats, error) {
+	doc, err := readReplyPayload(br, RecStageStats)
+	if err != nil {
+		return StageStats{}, err
+	}
+	var st StageStats
+	if err := json.Unmarshal(doc, &st); err != nil {
+		return StageStats{}, fmt.Errorf("engine: malformed stage-stats record: %w", err)
+	}
+	return st, nil
+}
+
+// SubscribeInterval bounds a subscribe request's interval server-side.
+const (
+	minSubscribeInterval     = 10 * time.Millisecond
+	defaultSubscribeInterval = time.Second
+)

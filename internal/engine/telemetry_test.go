@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubscribeStreamRacingDrain races a live telemetry subscription
+// against a graceful drain: the stream must end cleanly with a final
+// update whose Stats matches the engine's terminal accounting, and whose
+// accumulated deltas telescope to the same totals.
+func TestSubscribeStreamRacingDrain(t *testing.T) {
+	addr, eng, shutdown := startLoopback(t, Config{NumSTAs: 4, SampleEvery: 4})
+	defer shutdown()
+
+	sub, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := sub.Write(AppendSubscribeRecord(nil, 10*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	type streamResult struct {
+		updates []TelemetryUpdate
+		err     error
+	}
+	resc := make(chan streamResult, 1)
+	go func() {
+		var res streamResult
+		br := bufio.NewReader(sub)
+		for {
+			upd, err := ReadTelemetry(br)
+			if err != nil {
+				res.err = err
+				break
+			}
+			res.updates = append(res.updates, upd)
+			if upd.Final {
+				break
+			}
+		}
+		resc <- res
+	}()
+
+	ingest, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ingest.Close()
+	var buf []byte
+	for burst := 0; burst < 4; burst++ {
+		buf = buf[:0]
+		for k := 0; k < 800; k++ {
+			buf = AppendSizeRecord(buf, k%4, 1000)
+		}
+		if _, err := ingest.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(15 * time.Millisecond) // let pushes interleave with ingest
+	}
+	if err := eng.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var res streamResult
+	select {
+	case res = <-resc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("telemetry stream did not end after drain")
+	}
+	if res.err != nil {
+		t.Fatalf("stream error: %v", res.err)
+	}
+	if len(res.updates) == 0 {
+		t.Fatal("no telemetry updates received")
+	}
+
+	last := res.updates[len(res.updates)-1]
+	if !last.Final {
+		t.Error("stream ended without a final update")
+	}
+	var sum StatsDelta
+	for i, upd := range res.updates {
+		if upd.Seq != uint64(i) {
+			t.Fatalf("update %d has seq %d", i, upd.Seq)
+		}
+		sum.Add(upd.Delta)
+	}
+	final := eng.Stats()
+	if final.Delivered == 0 {
+		t.Fatal("engine delivered nothing")
+	}
+	got := [...]int64{sum.Accepted, sum.Rejected, sum.Delivered, sum.Dropped, sum.Expired,
+		sum.Retries, sum.Transmissions, sum.Subframes, sum.DeliveredBytes}
+	wantSum := [...]int64{final.Accepted, final.Rejected, final.Delivered, final.Dropped, final.Expired,
+		final.Retries, final.Transmissions, final.Subframes, final.DeliveredBytes}
+	if got != wantSum {
+		t.Errorf("summed deltas %v do not telescope to final counters %v", got, wantSum)
+	}
+	lastC := [...]int64{last.Stats.Accepted, last.Stats.Rejected, last.Stats.Delivered,
+		last.Stats.Dropped, last.Stats.Expired, last.Stats.Retries, last.Stats.Transmissions,
+		last.Stats.Subframes, last.Stats.DeliveredBytes}
+	if lastC != wantSum {
+		t.Errorf("final update counters %v disagree with engine Stats %v", lastC, wantSum)
+	}
+	if last.Stages == nil || last.Stages.SampledDelivered == 0 {
+		t.Error("final update carries no stage decomposition despite SampleEvery=4")
+	}
+	if len(last.PerSTA) != 4 {
+		t.Errorf("final update has %d per-STA rows, want 4", len(last.PerSTA))
+	}
+}
+
+// TestStageStatsOverWire round-trips the RecStageStats request: after a
+// drain, the reply's decomposition must report the configured sampling
+// cadence and roughly 1-in-N of the delivered frames.
+func TestStageStatsOverWire(t *testing.T) {
+	addr, eng, shutdown := startLoopback(t, Config{NumSTAs: 2, SampleEvery: 2})
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var buf []byte
+	for k := 0; k < 400; k++ {
+		buf = AppendSizeRecord(buf, k%2, 900)
+	}
+	buf = AppendControlRecord(buf, RecDrain)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	st, err := ReadStatsReply(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(AppendControlRecord(nil, RecStageStats)); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ReadStageStatsReply(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.SampleEvery != 2 {
+		t.Errorf("SampleEvery %d, want 2", ss.SampleEvery)
+	}
+	want := eng.Stats().Delivered / 2
+	if ss.SampledDelivered == 0 || ss.SampledDelivered > st.Delivered {
+		t.Errorf("SampledDelivered %d outside (0, %d]", ss.SampledDelivered, st.Delivered)
+	}
+	// 1-in-2 sampling by admission sequence across 2 stations: allow slack
+	// for which residues the admitted sequence numbers landed on.
+	if ss.SampledDelivered < want/2 {
+		t.Errorf("SampledDelivered %d, want about %d", ss.SampledDelivered, want)
+	}
+	if ss.QueueWait.Count != ss.SampledDelivered {
+		t.Errorf("queue-wait count %d, want %d", ss.QueueWait.Count, ss.SampledDelivered)
+	}
+}
+
+// TestReadStatsReplyStrict exercises the malformed-reply paths carpoolload
+// relies on to exit non-zero instead of reporting silently zeroed Stats.
+func TestReadStatsReplyStrict(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		typ     byte
+		wantErr string
+	}{
+		{"wrong record type", []byte(`{}`), RecData, "reply record type"},
+		{"invalid JSON", []byte(`{nope`), RecStats, "malformed stats record"},
+		{"missing keys", []byte(`{"accepted": 1}`), RecStats, "malformed stats record: missing"},
+		{"JSON scalar", []byte(`42`), RecStats, "malformed stats record"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := appendHeader(nil, tc.typ, 0, len(tc.payload))
+			rec = append(rec, tc.payload...)
+			_, err := ReadStatsReply(bytes.NewReader(rec))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// A well-formed reply still decodes.
+	good, err := statsReply(Stats{Accepted: 3, Delivered: 3, DeliveredBytesPerSTA: []int64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStatsReply(bytes.NewReader(good))
+	if err != nil || st.Accepted != 3 {
+		t.Fatalf("good reply: stats %+v, err %v", st, err)
+	}
+}
+
+// TestRunLoadSubscribeReconciles runs the load generator with a live
+// telemetry subscription against a sampled loopback server and checks the
+// client-side reconciliation and stage decomposition surface in the report.
+func TestRunLoadSubscribeReconciles(t *testing.T) {
+	addr, _, shutdown := startLoopback(t, Config{NumSTAs: 4, SampleEvery: 2})
+	defer shutdown()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Addr:        addr,
+		Network:     "tcp",
+		NumSTAs:     4,
+		RatePerSec:  40_000,
+		FrameBytes:  800,
+		Duration:    150 * time.Millisecond,
+		Seed:        5,
+		Subscribe:   true,
+		SubInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server.Delivered == 0 {
+		t.Fatal("load run delivered nothing")
+	}
+	if rep.Telemetry == nil {
+		t.Fatal("no telemetry summary despite Subscribe")
+	}
+	if !rep.Telemetry.Final {
+		t.Error("telemetry stream ended without a final update")
+	}
+	if rep.Telemetry.Updates == 0 {
+		t.Error("telemetry stream pushed no updates")
+	}
+	if !rep.Telemetry.Reconciled {
+		t.Errorf("telemetry deltas did not reconcile: sum %+v vs server %+v",
+			rep.Telemetry.Sum, rep.Server)
+	}
+	if rep.Stages == nil || rep.Stages.SampledDelivered == 0 {
+		t.Error("no stage decomposition in the report despite server sampling")
+	}
+}
+
+// TestSubscribeUDPOneShot checks the datagram frontend answers a subscribe
+// request with a single telemetry snapshot instead of a stream.
+func TestSubscribeUDPOneShot(t *testing.T) {
+	e, err := New(Config{NumSTAs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := e.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(e)
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeUDP(ctx, pc) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve udp: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(AppendSizeRecord(nil, 0, 700)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := conn.Write(AppendSubscribeRecord(nil, 0)); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+		upd, err := ReadTelemetry(bufio.NewReader(conn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upd.Stats.Delivered >= 1 || time.Now().After(deadline) {
+			if upd.Stats.Accepted != 1 {
+				t.Fatalf("telemetry stats %+v, want accepted 1", upd.Stats)
+			}
+			break
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // The carpoold wire protocol: a stream (TCP) or datagram payload (UDP) of
@@ -16,13 +17,22 @@ import (
 // ingest form: length is the synthetic frame size and no payload bytes
 // follow — the load generator's way of offering 100k+ frames/s without
 // moving bulk data. RecStats asks for a Stats reply; RecDrain starts a
-// graceful drain and replies with the final Stats. Replies use the same
-// record framing with the JSON document as payload and sta zero.
+// graceful drain and replies with the final Stats. RecSubscribe starts a
+// periodic telemetry stream on the connection: its length field is the
+// push interval in milliseconds (0 selects 1000 ms) and no payload
+// follows; the server answers with RecTelemetry records until the engine
+// stops (last one flagged final) or the connection closes. RecStageStats
+// asks for the per-stage latency decomposition of lifecycle-sampled
+// frames. Replies use the same record framing with the JSON document as
+// payload and sta zero.
 const (
-	RecData     = 0x01
-	RecDataSize = 0x02
-	RecStats    = 0x03
-	RecDrain    = 0x04
+	RecData       = 0x01
+	RecDataSize   = 0x02
+	RecStats      = 0x03
+	RecDrain      = 0x04
+	RecSubscribe  = 0x05
+	RecTelemetry  = 0x06
+	RecStageStats = 0x07
 )
 
 // recHeaderLen is the fixed record prefix size.
@@ -44,9 +54,21 @@ func AppendSizeRecord(buf []byte, sta, size int) []byte {
 	return appendHeader(buf, RecDataSize, sta, size)
 }
 
-// AppendControlRecord appends a RecStats or RecDrain request.
+// AppendControlRecord appends a RecStats, RecDrain, or RecStageStats
+// request.
 func AppendControlRecord(buf []byte, typ byte) []byte {
 	return appendHeader(buf, typ, 0, 0)
+}
+
+// AppendSubscribeRecord appends a RecSubscribe request for a telemetry
+// stream pushed every interval (rounded to milliseconds; <= 0 lets the
+// server pick its 1 s default).
+func AppendSubscribeRecord(buf []byte, interval time.Duration) []byte {
+	ms := int(interval / time.Millisecond)
+	if ms < 0 {
+		ms = 0
+	}
+	return appendHeader(buf, RecSubscribe, 0, ms)
 }
 
 func appendHeader(buf []byte, typ byte, sta, length int) []byte {
@@ -103,25 +125,28 @@ func readRecord(br *bufio.Reader, payloadBuf []byte) (wireRecord, []byte, error)
 //
 // An incomplete record at the tail is not an error: the scan stops before
 // it (consumed excludes it) so a stream reader can shift the tail down and
-// read more. A control record is consumed but ends the scan, letting the
-// caller admit everything before it, act on it, then resume parsing —
-// preserving the wire FIFO.
-func parseBatch(slab []byte, items []BatchItem) ([]BatchItem, int, byte, error) {
+// read more. A control record (RecStats, RecDrain, RecSubscribe,
+// RecStageStats) is consumed but ends the scan, letting the caller admit
+// everything before it, act on it, then resume parsing — preserving the
+// wire FIFO. The returned ctrl is the header of the control record that
+// stopped the scan (ctrl.typ == 0 for none); its length field carries the
+// record's argument (e.g. the subscribe interval).
+func parseBatch(slab []byte, items []BatchItem) ([]BatchItem, int, wireRecord, error) {
 	off := 0
 	for {
 		if len(slab)-off < recHeaderLen {
-			return items, off, 0, nil
+			return items, off, wireRecord{}, nil
 		}
 		typ := slab[off]
 		sta := int(binary.BigEndian.Uint16(slab[off+1 : off+3]))
 		length := int(binary.BigEndian.Uint32(slab[off+3 : off+7]))
 		if length > MaxWirePayload {
-			return items, off, 0, fmt.Errorf("engine: wire payload %d exceeds %d", length, MaxWirePayload)
+			return items, off, wireRecord{}, fmt.Errorf("engine: wire payload %d exceeds %d", length, MaxWirePayload)
 		}
 		switch typ {
 		case RecData:
 			if len(slab)-off-recHeaderLen < length {
-				return items, off, 0, nil // payload split across reads
+				return items, off, wireRecord{}, nil // payload split across reads
 			}
 			start := off + recHeaderLen
 			items = append(items, BatchItem{STA: sta, Payload: slab[start : start+length]})
@@ -129,10 +154,10 @@ func parseBatch(slab []byte, items []BatchItem) ([]BatchItem, int, byte, error) 
 		case RecDataSize:
 			items = append(items, BatchItem{STA: sta, Size: length})
 			off += recHeaderLen
-		case RecStats, RecDrain:
-			return items, off + recHeaderLen, typ, nil
+		case RecStats, RecDrain, RecSubscribe, RecStageStats:
+			return items, off + recHeaderLen, wireRecord{typ: typ, sta: sta, length: length}, nil
 		default:
-			return items, off, 0, fmt.Errorf("engine: unknown record type %#02x", typ)
+			return items, off, wireRecord{}, fmt.Errorf("engine: unknown record type %#02x", typ)
 		}
 	}
 }

@@ -28,21 +28,21 @@ func TestParseBatchSlabBoundaries(t *testing.T) {
 
 	// A header split across two reads: nothing consumed, no error.
 	items, consumed, ctrl, err := parseBatch(stream[:recHeaderLen-2], nil)
-	if len(items) != 0 || consumed != 0 || ctrl != 0 || err != nil {
-		t.Fatalf("split header: items=%d consumed=%d ctrl=%d err=%v", len(items), consumed, ctrl, err)
+	if len(items) != 0 || consumed != 0 || ctrl.typ != 0 || err != nil {
+		t.Fatalf("split header: items=%d consumed=%d ctrl=%#02x err=%v", len(items), consumed, ctrl.typ, err)
 	}
 	// A payload split across two reads: the scan stops before the record.
 	items, consumed, ctrl, err = parseBatch(stream[:recHeaderLen+recHeaderLen+3], nil)
-	if len(items) != 1 || consumed != recHeaderLen || ctrl != 0 || err != nil {
-		t.Fatalf("split payload: items=%d consumed=%d ctrl=%d err=%v", len(items), consumed, ctrl, err)
+	if len(items) != 1 || consumed != recHeaderLen || ctrl.typ != 0 || err != nil {
+		t.Fatalf("split payload: items=%d consumed=%d ctrl=%#02x err=%v", len(items), consumed, ctrl.typ, err)
 	}
 
 	// The full prefix through the control record: three ingest records, scan
 	// ends at (and consumes) the control.
 	ctrlEnd := firstLen + recHeaderLen
 	items, consumed, ctrl, err = parseBatch(stream[:ctrlEnd], nil)
-	if err != nil || ctrl != RecStats || consumed != ctrlEnd {
-		t.Fatalf("to control: consumed=%d ctrl=%d err=%v, want %d/RecStats/nil", consumed, ctrl, err, ctrlEnd)
+	if err != nil || ctrl.typ != RecStats || consumed != ctrlEnd {
+		t.Fatalf("to control: consumed=%d ctrl=%#02x err=%v, want %d/RecStats/nil", consumed, ctrl.typ, err, ctrlEnd)
 	}
 	if len(items) != 3 {
 		t.Fatalf("items %d, want 3", len(items))
@@ -61,8 +61,8 @@ func TestParseBatchSlabBoundaries(t *testing.T) {
 	// its payload aliases the slab (zero-copy).
 	tail := stream[ctrlEnd:]
 	items, consumed, ctrl, err = parseBatch(tail, nil)
-	if err != nil || ctrl != 0 || consumed != len(tail) || len(items) != 1 {
-		t.Fatalf("max-size at edge: items=%d consumed=%d/%d ctrl=%d err=%v", len(items), consumed, len(tail), ctrl, err)
+	if err != nil || ctrl.typ != 0 || consumed != len(tail) || len(items) != 1 {
+		t.Fatalf("max-size at edge: items=%d consumed=%d/%d ctrl=%#02x err=%v", len(items), consumed, len(tail), ctrl.typ, err)
 	}
 	if len(items[0].Payload) != MaxWirePayload || &items[0].Payload[0] != &tail[recHeaderLen] {
 		t.Error("max-size payload not aliased zero-copy from the slab")
@@ -236,7 +236,7 @@ func FuzzWireBatchParser(f *testing.F) {
 				t.Fatalf("legacy parser rejects consumed prefix at %d: %v", off, perr)
 			}
 			off = next
-			if rec.typ == RecStats || rec.typ == RecDrain {
+			if rec.typ == RecStats || rec.typ == RecDrain || rec.typ == RecSubscribe || rec.typ == RecStageStats {
 				gotCtrl = rec.typ
 				break
 			}
@@ -264,14 +264,14 @@ func FuzzWireBatchParser(f *testing.F) {
 		if idx != len(items) {
 			t.Fatalf("batch parser invented %d extra items", len(items)-idx)
 		}
-		if gotCtrl != ctrl {
-			t.Fatalf("control byte %#02x, legacy saw %#02x", ctrl, gotCtrl)
+		if gotCtrl != ctrl.typ {
+			t.Fatalf("control byte %#02x, legacy saw %#02x", ctrl.typ, gotCtrl)
 		}
-		if err == nil && ctrl == 0 {
+		if err == nil && ctrl.typ == 0 {
 			// A clean incomplete stop must leave less than one whole record.
 			rest := data[consumed:]
 			if _, _, perr := parseDatagramRecord(rest, 0); perr == nil && len(rest) > 0 &&
-				rest[0] >= RecData && rest[0] <= RecDrain {
+				rest[0] >= RecData && rest[0] <= RecStageStats && rest[0] != RecTelemetry {
 				rec, _, _ := parseDatagramRecord(rest, 0)
 				if rec.length <= MaxWirePayload {
 					t.Fatalf("parser stopped early before a complete record (type %#02x)", rest[0])

@@ -25,10 +25,18 @@ type DebugServer struct {
 	addr net.Addr
 }
 
+// DebugHandler is an extra endpoint mounted on a debug server, e.g. the
+// engine's /debug/health report.
+type DebugHandler struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // StartDebugServer listens on addr (e.g. "localhost:6060") and serves the
 // registry's debug endpoints in a background goroutine. It returns once
 // the listener is bound, so the endpoints are immediately reachable.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+// Additional handlers (e.g. /debug/health) mount alongside the built-ins.
+func StartDebugServer(addr string, reg *Registry, extra ...DebugHandler) (*DebugServer, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("obs: debug server needs a registry")
 	}
@@ -52,6 +60,11 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	for _, h := range extra {
+		if h.Pattern != "" && h.Handler != nil {
+			mux.Handle(h.Pattern, h.Handler)
+		}
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

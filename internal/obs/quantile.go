@@ -1,0 +1,91 @@
+package obs
+
+import "math"
+
+// LatencyBucketsMs is the canonical log-spaced latency bucket set shared by
+// the engine's `engine.latency_ms` / `engine.stage.*_ms` histograms and the
+// engine's Stats percentiles, so `/debug/metrics`, stats wire records, and
+// streamed telemetry all quantize latency identically and report the same
+// quantile estimates.
+//
+// Bounds run from 1 µs to 10 s with LatencyBucketsPerDecade buckets per
+// decade. BucketQuantile reports a containing bucket's upper bound, so any
+// quantile estimate v satisfies
+//
+//	true_value <= v <= true_value * 10^(1/LatencyBucketsPerDecade)
+//
+// i.e. the estimate overshoots by at most 10^(1/20)-1 ≈ 12.2% relative
+// (values below the first bound report 1 µs; values above 10 s saturate at
+// the top bound).
+var LatencyBucketsMs = LogBuckets(1e-3, 1e4, LatencyBucketsPerDecade)
+
+// LatencyBucketsPerDecade is the resolution of LatencyBucketsMs.
+const LatencyBucketsPerDecade = 20
+
+// LogBuckets returns logarithmically spaced bucket upper bounds from lo to
+// hi inclusive, with perDecade buckets per factor of ten. The bounds are
+// deterministic (pure arithmetic on the inputs), so every process computes
+// the identical set.
+func LogBuckets(lo, hi float64, perDecade int) []float64 {
+	if lo <= 0 || hi <= lo || perDecade <= 0 {
+		panic("obs: LogBuckets needs 0 < lo < hi and perDecade > 0")
+	}
+	decades := math.Log10(hi / lo)
+	n := int(math.Ceil(decades*float64(perDecade))) + 1
+	out := make([]float64, 0, n)
+	for i := 0; ; i++ {
+		b := lo * math.Pow(10, float64(i)/float64(perDecade))
+		if b > hi*(1+1e-12) {
+			break
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// BucketQuantile estimates the q-quantile (0 <= q <= 1) of a bucketed
+// distribution by nearest rank over the cumulative bucket counts, reporting
+// the upper bound of the bucket containing that rank. buckets must have
+// len(bounds)+1 entries, the last counting overflow observations, which
+// saturate to the top bound. An empty distribution yields 0.
+//
+// The estimate's error is bounded by the bucket width: for log-spaced
+// bounds with k buckets per decade the reported value is within a factor of
+// 10^(1/k) above the true quantile (≈12.2% for the canonical
+// LatencyBucketsMs set).
+func BucketQuantile(bounds []float64, buckets []int64, q float64) float64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Nearest rank: the smallest rank r (1-based) with r >= q*total.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if cum >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1] // overflow saturates
+			}
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Quantile estimates the q-quantile of the snapshotted histogram. See
+// BucketQuantile for the error bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	return BucketQuantile(h.Bounds, h.Buckets, q)
+}

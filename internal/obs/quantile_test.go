@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogBucketsShape(t *testing.T) {
+	b := LogBuckets(1e-3, 1e4, 20)
+	if b[0] != 1e-3 {
+		t.Errorf("first bound %g, want 1e-3", b[0])
+	}
+	if math.Abs(b[len(b)-1]-1e4) > 1e-8*1e4 {
+		t.Errorf("last bound %g, want 1e4", b[len(b)-1])
+	}
+	// 7 decades at 20 per decade, endpoints inclusive.
+	if len(b) != 141 {
+		t.Errorf("len %d, want 141", len(b))
+	}
+	ratio := math.Pow(10, 1.0/20)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		if r := b[i] / b[i-1]; math.Abs(r-ratio) > 1e-9 {
+			t.Fatalf("spacing at %d is %g, want %g", i, r, ratio)
+		}
+	}
+	if LatencyBucketsPerDecade != 20 || len(LatencyBucketsMs) != 141 {
+		t.Errorf("canonical set changed: perDecade %d, len %d", LatencyBucketsPerDecade, len(LatencyBucketsMs))
+	}
+}
+
+func TestBucketQuantileNearestRank(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	// 10 observations: 3 in (0,1], 3 in (1,2], 3 in (2,4], 1 overflow.
+	buckets := []int64{3, 3, 3, 0, 1}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},    // clamped to rank 1
+		{0.3, 1},  // rank 3 → first bucket
+		{0.31, 2}, // rank 4 → second bucket
+		{0.6, 2},  // rank 6
+		{0.9, 4},  // rank 9
+		{1.0, 8},  // overflow saturates to the top bound
+		{1.5, 8},  // q clamped to 1
+		{-0.5, 1}, // q clamped to 0 → rank 1
+		{0.05, 1}, // rank 1
+	}
+	for _, tc := range cases {
+		if got := BucketQuantile(bounds, buckets, tc.q); got != tc.want {
+			t.Errorf("q=%.2f: got %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := BucketQuantile(bounds, []int64{0, 0, 0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty distribution: got %g, want 0", got)
+	}
+	if got := BucketQuantile(nil, nil, 0.5); got != 0 {
+		t.Errorf("no bounds: got %g, want 0", got)
+	}
+}
+
+// TestBucketQuantileErrorBound checks the documented guarantee against
+// exact sample quantiles: the bucketed estimate never undershoots and
+// overshoots by at most a factor of 10^(1/perDecade).
+func TestBucketQuantileErrorBound(t *testing.T) {
+	bounds := LatencyBucketsMs
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 5000)
+	buckets := make([]int64, len(bounds)+1)
+	for i := range samples {
+		// Log-uniform over (0.01ms, 1000ms), well inside the bucket range.
+		v := math.Pow(10, -2+5*rng.Float64())
+		samples[i] = v
+		idx := sort.SearchFloat64s(bounds, v)
+		buckets[idx]++
+	}
+	sort.Float64s(samples)
+	factor := math.Pow(10, 1.0/LatencyBucketsPerDecade)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		rank := int(math.Ceil(q * float64(len(samples))))
+		exact := samples[rank-1]
+		est := BucketQuantile(bounds, buckets, q)
+		if est < exact*(1-1e-9) {
+			t.Errorf("q=%.2f: estimate %g undershoots exact %g", q, est, exact)
+		}
+		if est > exact*factor*(1+1e-9) {
+			t.Errorf("q=%.2f: estimate %g overshoots exact %g beyond the 10^(1/%d) bound",
+				q, est, exact, LatencyBucketsPerDecade)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	if got := hs.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %g, want 10", got)
+	}
+	if got := hs.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %g, want 100 (overflow saturates)", got)
+	}
+}

@@ -12,11 +12,13 @@ import (
 
 // EventKind identifies one instrumented event type. The taxonomy covers the
 // PHY receive pipeline (per-symbol decode outcomes, RTE calibration,
-// side-channel verdicts, A-HDR routing) and the MAC simulator (contention,
-// collisions, aggregated transmissions, sequential ACKs, queue expiry).
+// side-channel verdicts, A-HDR routing), the MAC simulator (contention,
+// collisions, aggregated transmissions, sequential ACKs, queue expiry), and
+// the real-time engine's frame lifecycle (per-stage latency spans on sampled
+// frames, terminal dispositions, health transitions).
 type EventKind uint8
 
-// Event kinds. PHY events first, MAC events after.
+// Event kinds. PHY events first, MAC events after, engine lifecycle last.
 const (
 	// EvSymbolDecode is one DATA symbol demodulated; A is the symbol
 	// index, B is 1 when its side-channel group CRC verified, 0 otherwise
@@ -48,6 +50,36 @@ const (
 	// EvQueueExpiry is a downlink frame dropped for exceeding MaxLatency;
 	// A is the station index.
 	EvQueueExpiry
+
+	// Engine frame-lifecycle kinds. The stage kinds are *spans*: TS is the
+	// nanosecond timestamp at which the stage ended and B its duration in
+	// nanoseconds, so trace exporters can reconstruct [TS-B, TS] intervals.
+	// A is always the station index. They are emitted only for sampled
+	// frames (engine Config.SampleEvery) at the frame's terminal
+	// disposition, one span per stage with the stage's accumulated time.
+
+	// EvStageQueueWait is a sampled frame's total time spent waiting in
+	// its queue while the STA was eligible (not backing off).
+	EvStageQueueWait
+	// EvStageBackoff is a sampled frame's total time queued behind its
+	// STA's retry backoff gate.
+	EvStageBackoff
+	// EvStageAir is a sampled frame's total airtime across every TX
+	// attempt it rode in (aggregate airtime + sequential ACK train).
+	EvStageAir
+	// EvStageDecode is a sampled frame's total transport/decode time
+	// (wall time inside Transport.Deliver across its TX attempts).
+	EvStageDecode
+	// EvFrameDeliver is a sampled frame's terminal delivery; A is the
+	// station index, B the total admit-to-deliver latency in nanoseconds.
+	EvFrameDeliver
+	// EvFrameDrop is a sampled frame's terminal drop or expiry; A is the
+	// station index, B the retry count at the drop.
+	EvFrameDrop
+	// EvHealth is a health-status transition; A is the new status
+	// (0 ok, 1 degraded, 2 unhealthy), B a bitmask of firing detectors
+	// in engine.HealthMonitor detector order.
+	EvHealth
 )
 
 // String names the kind, used as the Chrome trace event name.
@@ -73,6 +105,20 @@ func (k EventKind) String() string {
 		return "mac.seq_ack"
 	case EvQueueExpiry:
 		return "mac.queue_expiry"
+	case EvStageQueueWait:
+		return "engine.stage.queue_wait"
+	case EvStageBackoff:
+		return "engine.stage.backoff"
+	case EvStageAir:
+		return "engine.stage.air"
+	case EvStageDecode:
+		return "engine.stage.decode"
+	case EvFrameDeliver:
+		return "engine.frame.deliver"
+	case EvFrameDrop:
+		return "engine.frame.drop"
+	case EvHealth:
+		return "health.status"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -83,27 +129,62 @@ func (k EventKind) category() string {
 	switch k {
 	case EvBackoffDraw, EvCollision, EvAggTX, EvSeqACK, EvQueueExpiry:
 		return "mac"
+	case EvStageQueueWait, EvStageBackoff, EvStageAir, EvStageDecode,
+		EvFrameDeliver, EvFrameDrop:
+		return "engine"
+	case EvHealth:
+		return "health"
 	default:
 		return "phy"
 	}
 }
 
+// isSpan reports whether B carries a duration in nanoseconds ending at TS,
+// exported as a Chrome complete ("X") event rather than an instant.
+func (k EventKind) isSpan() bool {
+	switch k {
+	case EvStageQueueWait, EvStageBackoff, EvStageAir, EvStageDecode:
+		return true
+	}
+	return false
+}
+
 // Event is one fixed-size trace record. TS is nanoseconds — wall-clock for
-// PHY events (Emit), simulated time for MAC events (EmitAt).
+// PHY events (Emit), simulated time for MAC events (EmitAt). For span kinds
+// (isSpan) B is the span duration in nanoseconds and TS its end.
 type Event struct {
 	TS   int64
 	Kind EventKind
 	A, B int64
 }
 
+// eventSlot is one ring slot. The payload words are independent atomics and
+// tag is a seqlock-style publish marker encoding the claiming position and
+// kind: a writer zeroes the tag, stores the payload, then publishes the tag,
+// and a reader accepts a slot only when the tag matches the position it
+// expects before AND after reading the payload. A lapped or in-flight slot
+// therefore yields a detectably-invalid tag instead of a torn Event.
+type eventSlot struct {
+	ts, a, b atomic.Int64
+	tag      atomic.Uint64
+}
+
+// slotTag encodes (position, kind) into a publish tag. Zero is reserved for
+// "unpublished", hence the +1. Positions keep 56 usable bits — the ring
+// would take centuries to overflow at nanosecond emit rates.
+func slotTag(pos uint64, kind EventKind) uint64 {
+	return (pos+1)<<8 | uint64(kind)
+}
+
 // Tracer records events into a fixed-capacity ring buffer. Emit claims a
-// slot with one atomic add and writes it without locking: concurrent
-// emitters write distinct slots as long as the buffer does not lap an
-// in-flight writer, which a capacity much larger than the emitter count
-// guarantees. Read the buffer (Events, WriteChromeTrace, WriteCSV) only
-// after emitters quiesce.
+// slot with one atomic add and publishes it with atomic stores guarded by a
+// per-slot tag, so concurrent emitters — even ones that lap the ring —
+// never produce a torn event: readers (Events, WriteChromeTrace, WriteCSV)
+// validate each slot's tag against the position they expect and skip slots
+// that are mid-write or were overwritten during the read. Reading while
+// emitters are live is therefore safe; it returns a consistent subset.
 type Tracer struct {
-	ring []Event
+	ring []eventSlot
 	mask uint64
 	pos  atomic.Uint64
 }
@@ -115,7 +196,7 @@ func NewTracer(capacity int) *Tracer {
 	for n < capacity {
 		n <<= 1
 	}
-	return &Tracer{ring: make([]Event, n), mask: uint64(n) - 1}
+	return &Tracer{ring: make([]eventSlot, n), mask: uint64(n) - 1}
 }
 
 // Emit records an event stamped with the wall clock. Nil tracers are
@@ -134,10 +215,16 @@ func (t *Tracer) EmitAt(tsNanos int64, kind EventKind, a, b int64) {
 		return
 	}
 	i := t.pos.Add(1) - 1
-	t.ring[i&t.mask] = Event{TS: tsNanos, Kind: kind, A: a, B: b}
+	s := &t.ring[i&t.mask]
+	s.tag.Store(0) // invalidate while the payload is inconsistent
+	s.ts.Store(tsNanos)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.tag.Store(slotTag(i, kind))
 }
 
-// Len returns how many events are currently retained.
+// Len returns how many events are currently retained (an upper bound while
+// emitters are live: in-flight slots are skipped by Events).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -149,7 +236,9 @@ func (t *Tracer) Len() int {
 	return int(n)
 }
 
-// Dropped returns how many events were overwritten by wraparound.
+// Dropped returns how many events were overwritten by wraparound. It is
+// derived from the monotone claim counter, so it never decreases (until
+// Reset).
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
@@ -161,26 +250,55 @@ func (t *Tracer) Dropped() int64 {
 	return int64(n - uint64(len(t.ring)))
 }
 
-// Events returns the retained events oldest-first.
+// Events returns the retained events oldest-first. Slots that are mid-write
+// or were lapped by a concurrent emitter during the read are skipped; after
+// emitters quiesce the returned set is exact.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	n := t.pos.Load()
-	if n <= uint64(len(t.ring)) {
-		return append([]Event(nil), t.ring[:n]...)
+	var lo uint64
+	if n > uint64(len(t.ring)) {
+		lo = n - uint64(len(t.ring))
 	}
-	out := make([]Event, 0, len(t.ring))
-	start := n & t.mask
-	out = append(out, t.ring[start:]...)
-	out = append(out, t.ring[:start]...)
+	out := make([]Event, 0, n-lo)
+	for p := lo; p < n; p++ {
+		s := &t.ring[p&t.mask]
+		kind, a, b, ts, ok := s.read(p)
+		if !ok {
+			continue
+		}
+		out = append(out, Event{TS: ts, Kind: kind, A: a, B: b})
+	}
 	return out
+}
+
+// read performs one seqlock-style validated read of a slot expected to hold
+// position p. It re-checks the tag after loading the payload so a writer
+// racing the read is detected rather than surfaced as a torn event.
+func (s *eventSlot) read(p uint64) (kind EventKind, a, b, ts int64, ok bool) {
+	tag1 := s.tag.Load()
+	if tag1>>8 != p+1 {
+		return 0, 0, 0, 0, false
+	}
+	ts = s.ts.Load()
+	a = s.a.Load()
+	b = s.b.Load()
+	if s.tag.Load() != tag1 {
+		return 0, 0, 0, 0, false
+	}
+	return EventKind(tag1 & 0xff), a, b, ts, true
 }
 
 // Reset discards all recorded events.
 func (t *Tracer) Reset() {
-	if t != nil {
-		t.pos.Store(0)
+	if t == nil {
+		return
+	}
+	t.pos.Store(0)
+	for i := range t.ring {
+		t.ring[i].tag.Store(0)
 	}
 }
 
@@ -190,32 +308,42 @@ type chromeEvent struct {
 	Cat   string           `json:"cat"`
 	Phase string           `json:"ph"`
 	TS    float64          `json:"ts"` // microseconds
+	Dur   float64          `json:"dur,omitempty"`
 	PID   int              `json:"pid"`
 	TID   int              `json:"tid"`
-	Scope string           `json:"s"`
+	Scope string           `json:"s,omitempty"`
 	Args  map[string]int64 `json:"args"`
 }
 
 // WriteChromeTrace exports the retained events as Chrome trace_event JSON
 // ({"traceEvents": [...]}), loadable in chrome://tracing or Perfetto.
-// Events become thread-scoped instants; the tid is the event kind so each
-// kind gets its own track.
+// Point events become thread-scoped instants; span kinds (the engine stage
+// decomposition) become complete "X" events spanning [TS-B, TS] so each
+// sampled frame's queue-wait/backoff/air/decode segments render as bars.
+// The tid is the event kind so each kind gets its own track.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	evs := t.Events()
 	out := struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{TraceEvents: make([]chromeEvent, 0, len(evs))}
 	for _, e := range evs {
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name:  e.Kind.String(),
-			Cat:   e.Kind.category(),
-			Phase: "i",
-			TS:    float64(e.TS) / 1e3,
-			PID:   1,
-			TID:   int(e.Kind),
-			Scope: "t",
-			Args:  map[string]int64{"a": e.A, "b": e.B},
-		})
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  e.Kind.category(),
+			PID:  1,
+			TID:  int(e.Kind),
+			Args: map[string]int64{"a": e.A, "b": e.B},
+		}
+		if e.Kind.isSpan() {
+			ce.Phase = "X"
+			ce.TS = float64(e.TS-e.B) / 1e3
+			ce.Dur = float64(e.B) / 1e3
+		} else {
+			ce.Phase = "i"
+			ce.TS = float64(e.TS) / 1e3
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
