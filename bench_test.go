@@ -22,6 +22,7 @@ import (
 	"carpool/internal/experiments"
 	"carpool/internal/fec"
 	"carpool/internal/mac"
+	"carpool/internal/modem"
 	"carpool/internal/obs"
 	"carpool/internal/phy"
 	"carpool/internal/sidechannel"
@@ -950,6 +951,99 @@ func BenchmarkEngineStats(b *testing.B) {
 			b.Fatalf("delivered %d of %d", st.Delivered, frames)
 		}
 	}
+}
+
+// benchEngineParallelSubmit drives a fixed 16,384-frame, 64-station
+// workload through `conns` concurrent submitters, each batch-submitting
+// its own station stripe — the contention profile of `conns` carpoolload
+// connections hitting one carpoold. The engine, station count, and total
+// work are identical across the family, so the 1→4→16 conns progression
+// isolates admission-path scalability: with per-STA-shard admission
+// lanes the stripes land on disjoint shards and the submitters stop
+// serializing on a single engine mutex. The mutex-profile CI leg runs
+// the 16-conn member and fails if SubmitBatch still dominates
+// contention.
+func benchEngineParallelSubmit(b *testing.B, conns int) {
+	const totalFrames = 16_384
+	const numSTAs = 64
+	const group = 256
+	perConn := totalFrames / conns
+	staPerConn := numSTAs / conns
+	items := make([][]EngineBatchItem, conns)
+	for c := range items {
+		items[c] = make([]EngineBatchItem, perConn)
+		for k := range items[c] {
+			items[c][k] = EngineBatchItem{STA: c*staPerConn + k%staPerConn, Size: 1200}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(EngineConfig{NumSTAs: numSTAs, QueueCap: 1 << 13, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < conns; c++ {
+			wg.Add(1)
+			go func(it []EngineBatchItem) {
+				defer wg.Done()
+				for base := 0; base < len(it); base += group {
+					end := min(base+group, len(it))
+					n, err := e.SubmitBatch(it[base:end])
+					if err != nil || n != end-base {
+						b.Errorf("batch at %d: accepted %d of %d, err %v", base, n, end-base, err)
+						return
+					}
+				}
+			}(items[c])
+		}
+		wg.Wait()
+		if b.Failed() {
+			b.FailNow()
+		}
+		if err := e.Drain(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if st := e.Stats(); st.Delivered != totalFrames {
+			b.Fatalf("delivered %d of %d", st.Delivered, totalFrames)
+		}
+	}
+	b.ReportMetric(totalFrames, "frames/op")
+}
+
+func BenchmarkEngineParallelSubmit1Conns(b *testing.B)  { benchEngineParallelSubmit(b, 1) }
+func BenchmarkEngineParallelSubmit4Conns(b *testing.B)  { benchEngineParallelSubmit(b, 4) }
+func BenchmarkEngineParallelSubmit16Conns(b *testing.B) { benchEngineParallelSubmit(b, 16) }
+
+// BenchmarkDemapSoftQ64QAM measures the quantized QAM64 soft demapper on
+// one OFDM symbol's 48 data points — the serving path's per-symbol demap
+// cost through the vectorized 4-lane kernel.
+func BenchmarkDemapSoftQ64QAM(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	bits := make([]byte, 48*6)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	points, err := modem.Map(modem.QAM64, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range points {
+		points[i] += complex(rng.NormFloat64()*0.1, rng.NormFloat64()*0.1)
+	}
+	dst := make([]int8, len(bits))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := modem.DemapSoftQInto(dst, modem.QAM64, points, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(points)), "points/op")
 }
 
 // BenchmarkTracerEmit measures one ring-tracer event emission — the

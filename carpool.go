@@ -227,6 +227,10 @@ type (
 	EngineHealthMonitor = engine.HealthMonitor
 	// EngineHealthReport is one health verdict with per-detector state.
 	EngineHealthReport = engine.HealthReport
+	// EngineSnapshot is one coherent engine view — Stats, stage
+	// decomposition, and per-STA queue state captured atomically under
+	// every admission-shard lock (Engine.SnapshotAll).
+	EngineSnapshot = engine.Snapshot
 )
 
 // NewEngine validates cfg and returns an engine ready for Start.

@@ -40,7 +40,10 @@ import (
 // batched), and the batched wire round trip over loopback TCP. The
 // observability arm pins what telemetry costs: the deterministic second
 // with 1-in-8 lifecycle sampling, a Stats snapshot on a populated engine,
-// and one ring-tracer emission.
+// and one ring-tracer emission. The parallel-submit family drives the
+// same fixed workload through 1, 4, and 16 concurrent submitters — the
+// sharded-admission scalability gate — and BenchmarkDemapSoftQ64QAM pins
+// the vectorized quantized demap kernel on one OFDM symbol.
 var suite = []string{
 	"BenchmarkFFT64",
 	"BenchmarkViterbiDecode1500B",
@@ -56,6 +59,10 @@ var suite = []string{
 	"BenchmarkEngineDeterministicSampled",
 	"BenchmarkEngineStats",
 	"BenchmarkTracerEmit",
+	"BenchmarkEngineParallelSubmit1Conns",
+	"BenchmarkEngineParallelSubmit4Conns",
+	"BenchmarkEngineParallelSubmit16Conns",
+	"BenchmarkDemapSoftQ64QAM",
 }
 
 // Result is one parsed benchmark line.

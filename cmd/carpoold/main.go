@@ -10,7 +10,7 @@
 //
 //	carpoold [-listen host:port] [-udp host:port] [-stas N] [-queue-cap N]
 //	         [-max-receivers N] [-agg-bytes N] [-airtime-budget dur]
-//	         [-max-latency dur] [-workers N] [-dead-locs 1,3]
+//	         [-max-latency dur] [-workers N] [-shards N] [-dead-locs 1,3]
 //	         [-phy] [-phy-seed N] [-pace] [-debug-addr host:port]
 //	         [-slab bytes] [-legacy] [-sample N] [-health-interval dur]
 //
@@ -56,6 +56,7 @@ func main() {
 	airtime := flag.Duration("airtime-budget", 0, "per-transmission airtime budget (0 = unlimited)")
 	maxLatency := flag.Duration("max-latency", 0, "queue expiry bound (0 = none)")
 	workers := flag.Int("workers", 0, "delivery workers (0 = 1)")
+	shards := flag.Int("shards", 0, "admission lanes hashing the stations (0 = GOMAXPROCS-derived)")
 	deadLocs := flag.String("dead-locs", "", "comma-separated station indexes whose subframes always fail (loss model)")
 	usePHY := flag.Bool("phy", false, "deliver through the full PHY pipeline instead of the oracle")
 	phySeed := flag.Int64("phy-seed", 1, "PHY transport impairment seed")
@@ -83,15 +84,16 @@ func main() {
 	}
 
 	cfg := engine.Config{
-		NumSTAs:       *stas,
-		QueueCap:      *queueCap,
-		MaxReceivers:  *maxRecv,
-		MaxAggBytes:   *aggBytes,
-		AirtimeBudget: *airtime,
-		MaxLatency:    *maxLatency,
-		Workers:       *workers,
-		PaceAirtime:   *pace,
-		SampleEvery:   *sample,
+		NumSTAs:         *stas,
+		QueueCap:        *queueCap,
+		MaxReceivers:    *maxRecv,
+		MaxAggBytes:     *aggBytes,
+		AirtimeBudget:   *airtime,
+		MaxLatency:      *maxLatency,
+		Workers:         *workers,
+		AdmissionShards: *shards,
+		PaceAirtime:     *pace,
+		SampleEvery:     *sample,
 	}
 	switch {
 	case *usePHY:

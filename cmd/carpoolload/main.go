@@ -7,7 +7,7 @@
 //
 //	carpoolload [-addr host:port] [-net tcp|udp] [-stas N] [-rate fps]
 //	            [-bytes N] [-duration dur] [-seed N] [-payload]
-//	            [-open-loop] [-batch N] [-subscribe] [-sub-interval dur]
+//	            [-open-loop] [-batch N] [-conns N] [-subscribe] [-sub-interval dur]
 //	            [-json]
 //
 // Without -open-loop the schedule is offered as fast as the connection
@@ -45,6 +45,7 @@ func main() {
 	payload := flag.Bool("payload", false, "send real payload bytes instead of size-only records")
 	openLoop := flag.Bool("open-loop", false, "pace arrivals against the wall clock")
 	batch := flag.Int("batch", 0, "records per write (>1 enables grouped sends for the server's slab reads)")
+	conns := flag.Int("conns", 1, "parallel sender connections striping the stations (tcp only)")
 	subscribe := flag.Bool("subscribe", false, "stream telemetry on a second connection and reconcile deltas against the drain reply")
 	subInterval := flag.Duration("sub-interval", 0, "telemetry push interval for -subscribe (0 = 100ms)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
@@ -70,6 +71,7 @@ func main() {
 		Payload:     *payload,
 		OpenLoop:    *openLoop,
 		Batch:       *batch,
+		Conns:       *conns,
 		Subscribe:   *subscribe,
 		SubInterval: *subInterval,
 	})

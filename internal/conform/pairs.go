@@ -66,6 +66,12 @@ func Pairs() []Pair {
 			Bound: "bit-identical engine Stats",
 			run:   runBatchedVsUnbatched,
 		},
+		{
+			Name:  "sharded-vs-unsharded",
+			Desc:  "multi-lane sharded admission vs single-lane engine",
+			Bound: "shards=1 bit-identical Stats; multi-shard identical per-STA bytes and Jain",
+			run:   runShardedVsUnsharded,
+		},
 	}
 }
 
@@ -548,6 +554,80 @@ func runBatchedVsUnbatched(sc faults.Scenario) (string, error) {
 			return fmt.Sprintf("batched serving path diverged (retain=%v, sampled arm=batched):\n  per-frame %+v\n  batched   %+v",
 				retain, *plain, *batched), nil
 		}
+	}
+	return "", nil
+}
+
+// runShardedVsUnsharded holds the sharded admission path to the
+// single-lane engine on the identical seeded workload. Three arms:
+// the default deterministic run (the runner forces one shard), an
+// explicit AdmissionShards=1 run, and an AdmissionShards=3 run. The
+// explicit-1 arm must reproduce the default arm's Stats bit for bit —
+// one lane's strided STA walk degenerates to the pre-shard iteration
+// exactly. The 3-shard arm plans per lane, so transmission grouping
+// and timing legitimately differ, but with a location-pure loss oracle
+// and a fully drained workload, per-frame retry exhaustion is
+// schedule-independent: delivered bytes per STA and Jain byte-fairness
+// must match exactly, and nothing may be left pending. The batched
+// 3-shard arm (wire records → slab parser → partitioned batch
+// admission) must reproduce the per-frame 3-shard arm bit for bit,
+// proving the counting-sort partition preserves per-STA admission
+// order across lanes.
+func runShardedVsUnsharded(sc faults.Scenario) (string, error) {
+	flows, dead, locs := engineScenario(sc)
+	cfg := func(shards int) engine.Config {
+		return engine.Config{
+			NumSTAs:         len(locs),
+			AdmissionShards: shards,
+			SampleEvery:     int(sc.Seed & 3),
+			Transport: &engine.OracleTransport{
+				Oracle:    mac.NewLossyLocOracle(dead...),
+				Locations: locs,
+			},
+		}
+	}
+	base, err := engine.RunDeterministic(context.Background(), cfg(0), flows)
+	if err != nil {
+		return "", err
+	}
+	one, err := engine.RunDeterministic(context.Background(), cfg(1), flows)
+	if err != nil {
+		return "", err
+	}
+	if dump(base) != dump(one) {
+		return fmt.Sprintf("explicit AdmissionShards=1 diverged from the default single lane:\n  default %+v\n  shards1 %+v",
+			*base, *one), nil
+	}
+	sharded, err := engine.RunDeterministic(context.Background(), cfg(3), flows)
+	if err != nil {
+		return "", err
+	}
+	if sharded.Pending != 0 {
+		return fmt.Sprintf("3-shard engine left %d frames pending after a drained run", sharded.Pending), nil
+	}
+	if base.Accepted != sharded.Accepted || base.Delivered != sharded.Delivered ||
+		base.Dropped != sharded.Dropped || base.Expired != sharded.Expired {
+		return fmt.Sprintf("3-shard outcome counts diverged: accepted %d/%d delivered %d/%d dropped %d/%d expired %d/%d",
+			base.Accepted, sharded.Accepted, base.Delivered, sharded.Delivered,
+			base.Dropped, sharded.Dropped, base.Expired, sharded.Expired), nil
+	}
+	for sta := range locs {
+		if base.DeliveredBytesPerSTA[sta] != sharded.DeliveredBytesPerSTA[sta] {
+			return fmt.Sprintf("station %d delivered bytes: 1 shard %d, 3 shards %d (dead=%v)",
+				sta, base.DeliveredBytesPerSTA[sta], sharded.DeliveredBytesPerSTA[sta], dead), nil
+		}
+	}
+	if d := base.ByteFairnessIndex - sharded.ByteFairnessIndex; d > 1e-12 || d < -1e-12 {
+		return fmt.Sprintf("byte-fairness: 1 shard %.15f, 3 shards %.15f",
+			base.ByteFairnessIndex, sharded.ByteFairnessIndex), nil
+	}
+	batched, err := engine.RunDeterministicBatched(context.Background(), cfg(3), flows)
+	if err != nil {
+		return "", err
+	}
+	if dump(sharded) != dump(batched) {
+		return fmt.Sprintf("batched 3-shard arm diverged from per-frame 3-shard arm:\n  per-frame %+v\n  batched   %+v",
+			*sharded, *batched), nil
 	}
 	return "", nil
 }

@@ -36,6 +36,13 @@ func RunDeterministic(ctx context.Context, cfg Config, flows [][]traffic.Arrival
 	clk := &virtualClock{}
 	cfg.Clock = clk
 	cfg.Workers = 1
+	if cfg.AdmissionShards == 0 {
+		// Deterministic results must not depend on the host's GOMAXPROCS:
+		// one shard reproduces the pre-shard engine byte for byte. An
+		// explicit shard count is honored (the sharded-vs-unsharded
+		// conformance pair runs this very runner at several).
+		cfg.AdmissionShards = 1
+	}
 	e, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -122,6 +129,9 @@ func RunDeterministicBatched(ctx context.Context, cfg Config, flows [][]traffic.
 	clk := &virtualClock{}
 	cfg.Clock = clk
 	cfg.Workers = 1
+	if cfg.AdmissionShards == 0 {
+		cfg.AdmissionShards = 1 // see RunDeterministic
+	}
 	e, err := New(cfg)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,13 @@
 // pipeline (internal/core, internal/phy). Failed subframes retry with
 // per-STA capped exponential backoff and sequential-ACK bookkeeping.
 //
+// Admission is sharded (DESIGN.md §14): stations hash across
+// Config.AdmissionShards independent lanes, each with its own lock,
+// payload-arena lease, and admission sequence, so parallel submitters
+// stop convoying on a single engine mutex. Workers drain the lanes with
+// a rotating scan over a per-shard dirty bitmap; a STA maps to exactly
+// one shard, so per-STA FIFO and retry-requeue-at-head are unchanged.
+//
 // Two execution modes share every line of scheduling, retry, and
 // accounting code: the concurrent real-time mode (Start/Submit/Drain) and
 // a single-threaded deterministic mode (RunDeterministic) with an
@@ -23,7 +30,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"carpool/internal/bloom"
@@ -81,6 +90,20 @@ type Config struct {
 	// Workers sizes the delivery worker pool (default GOMAXPROCS-style 1
 	// minimum; deterministic mode always uses a single thread).
 	Workers int
+	// AdmissionShards sets the number of independent admission lanes
+	// stations hash across (sta % P): each lane has its own lock, payload
+	// arena, and admission sequence, so parallel submitters to different
+	// lanes never contend. Zero selects min(GOMAXPROCS, NumSTAs/4) — the
+	// planner aggregates within a lane, so the default keeps at least
+	// four stations per lane and cross-STA carpooling intact; an explicit
+	// value is clamped to NumSTAs only. One shard reproduces the
+	// pre-shard engine exactly — the deterministic runners force it, and
+	// the sharded-vs-unsharded conformance pair holds single-shard Stats
+	// byte-identical while requiring multi-shard runs to match on per-STA
+	// delivered bytes and fairness. Cross-STA global FIFO is per-lane
+	// when P > 1 (per-STA FIFO is exact at any P, since a STA maps to
+	// exactly one lane).
+	AdmissionShards int
 	// RetainPayloads keeps submitted frame bytes in the queue so the
 	// transport can put the real payload on the air (PHY transport).
 	// Off, the engine accounts sizes only — the fast serving path.
@@ -97,7 +120,7 @@ type Config struct {
 	// enabled sink at New time.
 	Obs *obs.Sink
 	// SampleEvery enables deterministic 1-in-N frame-lifecycle tracing:
-	// every Nth admitted frame (by global admission sequence) carries
+	// every Nth admitted frame (by per-shard admission sequence) carries
 	// stage timestamps through admit → plan → TX attempts → terminal
 	// disposition, feeding the engine.stage.* histograms, StageStats,
 	// and Chrome trace spans. Zero (the default) disables sampling; the
@@ -139,6 +162,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
+	if c.AdmissionShards < 0 {
+		return c, fmt.Errorf("engine: negative AdmissionShards %d", c.AdmissionShards)
+	}
+	if c.AdmissionShards == 0 {
+		// Keep at least four stations per lane: plans are built per lane,
+		// so oversharding a small station set would strip the cross-STA
+		// aggregation the whole system exists to exploit.
+		c.AdmissionShards = min(runtime.GOMAXPROCS(0), max(1, c.NumSTAs/4))
+	}
+	if c.AdmissionShards > c.NumSTAs {
+		c.AdmissionShards = c.NumSTAs
+	}
 	if c.SampleEvery < 0 {
 		return c, fmt.Errorf("engine: negative SampleEvery %d", c.SampleEvery)
 	}
@@ -168,42 +203,47 @@ type Engine struct {
 	cfg   Config
 	rates mac.Rates
 
-	mu   sync.Mutex
-	cond *sync.Cond
-
-	queues  []staQueue
-	arena   payloadArena // retained payload slabs (RetainPayloads mode)
-	seq     uint64       // next admission sequence number
-	txSeq   uint64       // next transmission sequence number
-	pending int          // queued frames across all stations
-
-	// waiting counts goroutines blocked in cond.Wait (workers and Drain);
-	// wakeLocked broadcasts only when someone is actually asleep, and
-	// wakeups counts those broadcasts so tests can assert wakeup volume
-	// stays proportional to useful work rather than storming.
+	// mu guards only the worker-park machinery (cond, waiting, wakeups),
+	// the start latch, and the deterministic rotation cursor — admission
+	// state lives under the per-shard locks. Lock order: a shard lock may
+	// be held when taking e.mu (markDirty's wake path); never the
+	// reverse.
+	mu      sync.Mutex
+	cond    *sync.Cond
 	waiting int
 	wakeups int64
+	started bool
 
-	started, draining, closed bool
-	inFlight                  int
-	ctx                       context.Context
-	cancel                    context.CancelFunc
-	wg                        sync.WaitGroup
+	// shards are the admission lanes; dirty is the per-shard "has work"
+	// bitmap workers scan (one bit per shard).
+	shards []shard
+	dirty  []atomic.Uint64
+
+	// STA-indexed state, global for O(1) addressing; entry sta is guarded
+	// by shard sta%P's lock.
+	queues         []staQueue
+	deliveredBytes []int64
+	offered        []bool
+
+	txSeq        atomic.Uint64 // next transmission sequence number
+	totalPending atomic.Int64  // queued + in-flight frames across all shards
+	inFlight     atomic.Int64  // transmissions out for delivery
+	draining     atomic.Bool
+	closed       atomic.Bool
+
+	// detRot is the deterministic runners' shard rotation cursor (the
+	// single-threaded twin of each worker's private cursor).
+	detRot int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	clock Clock
 	eobs  engObs
 
 	// sampleN caches cfg.SampleEvery for the admission fast path.
 	sampleN uint64
-
-	// Accounting (guarded by mu).
-	accepted, rejected, delivered, dropped, expired int64
-	retriesN, txN, subN, seqAcks                    int64
-	busy                                            time.Duration
-	deliveredBytes                                  []int64
-	offered                                         []bool
-	lat                                             latHist
-	stage                                           stageAcc
 }
 
 // New validates cfg and returns an engine ready for Start (real-time) or
@@ -224,14 +264,20 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:            cfg,
 		rates:          mac.DefaultRates(),
+		shards:         make([]shard, cfg.AdmissionShards),
+		dirty:          make([]atomic.Uint64, (cfg.AdmissionShards+63)/64),
 		queues:         make([]staQueue, cfg.NumSTAs),
 		clock:          clk,
 		eobs:           resolveEngObs(sink),
 		sampleN:        uint64(cfg.SampleEvery),
 		deliveredBytes: make([]int64, cfg.NumSTAs),
 		offered:        make([]bool, cfg.NumSTAs),
-		lat:            newLatHist(),
-		stage:          newStageAcc(),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.id = i
+		sh.lat = newLatHist()
+		sh.stage = newStageAcc()
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
@@ -245,7 +291,7 @@ func (e *Engine) Start(ctx context.Context) error {
 	if e.started {
 		return errors.New("engine: already started")
 	}
-	if e.closed {
+	if e.closed.Load() {
 		return ErrClosed
 	}
 	e.started = true
@@ -258,7 +304,7 @@ func (e *Engine) Start(ctx context.Context) error {
 	})
 	e.wg.Add(e.cfg.Workers)
 	for w := 0; w < e.cfg.Workers; w++ {
-		go e.worker()
+		go e.worker(w % len(e.shards))
 	}
 	return nil
 }
@@ -278,11 +324,14 @@ func (e *Engine) SubmitSize(sta, size int) error {
 }
 
 func (e *Engine) submit(sta, size int, payload []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	err := e.submitLocked(sta, size, payload, e.clock.Now())
-	if err == nil && e.queues[sta].len() == 1 {
-		e.wakeLocked() // queue went non-empty: wake a worker
+	now := e.clock.Now()
+	sh := e.shardOf(sta)
+	sh.mu.Lock()
+	err := e.submitShardLocked(sh, sta, size, payload, now)
+	wentNonEmpty := err == nil && e.queues[sta].len() == 1
+	sh.mu.Unlock()
+	if wentNonEmpty {
+		e.markDirty(sh.id) // queue went non-empty: publish the lane
 	}
 	return err
 }
@@ -295,27 +344,120 @@ type BatchItem struct {
 	Payload []byte
 }
 
-// SubmitBatch offers many frames under one lock acquisition and at most
-// one worker wakeup — the batch counterpart of Submit/SubmitSize that the
-// slab wire frontend and open-loop load generator drive. Admission control
-// runs per item with the same typed errors as Submit; the batch continues
-// past rejected items. It returns the number accepted and the first
-// admission error (nil when every item was accepted).
+// SubmitBatch offers many frames with at most one lock acquisition per
+// touched admission lane and at most one worker wakeup per lane — the
+// batch counterpart of Submit/SubmitSize that the slab wire frontend and
+// open-loop load generator drive. A mixed-STA batch is bucketed into
+// shard-local sub-batches first (pooled scratch, no allocation), so the
+// TCP path goes zero-copy slab → shard lane without any global lock.
+// Admission control runs per item with the same typed errors as Submit;
+// the batch continues past rejected items. It returns the number accepted
+// and the first admission error in batch order (nil when every item was
+// accepted).
 func (e *Engine) SubmitBatch(items []BatchItem) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	now := e.clock.Now()
-	accepted, wentNonEmpty, firstErr := e.submitBatchLocked(items, now)
-	if wentNonEmpty {
-		e.wakeLocked()
+	if len(e.shards) == 1 {
+		sh := &e.shards[0]
+		sh.mu.Lock()
+		accepted, wentNonEmpty, firstErr := e.submitBatchShardLocked(sh, items, now)
+		sh.mu.Unlock()
+		if wentNonEmpty {
+			e.markDirty(0)
+		}
+		return accepted, firstErr
 	}
+
+	sc := batchScratchPool.Get().(*batchScratch)
+	if len(sc.buckets) < len(e.shards) {
+		sc.buckets = make([][]int32, len(e.shards))
+	}
+	buckets := sc.buckets[:len(e.shards)]
+	for i, it := range items {
+		s := 0
+		if it.STA >= 0 && it.STA < e.cfg.NumSTAs {
+			s = it.STA % len(e.shards)
+		}
+		buckets[s] = append(buckets[s], int32(i))
+	}
+
+	accepted := 0
+	errIdx := len(items)
+	var firstErr error
+	for s := range buckets {
+		idxs := buckets[s]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &e.shards[s]
+		a, wentNonEmpty, shErr, shIdx := e.submitIndexedShard(sh, items, idxs, now)
+		accepted += a
+		if shErr != nil && shIdx < errIdx {
+			errIdx, firstErr = shIdx, shErr
+		}
+		if wentNonEmpty {
+			e.markDirty(s)
+		}
+		buckets[s] = idxs[:0]
+	}
+	batchScratchPool.Put(sc)
 	return accepted, firstErr
 }
 
-// submitBatchLocked admits a batch, reporting whether any station queue
-// transitioned empty → non-empty (the wake condition signal coalescing
-// collapses to a single broadcast). Caller holds e.mu (or is
+// submitIndexedShard admits the batch items selected by idxs (ascending
+// original positions) under one acquisition of sh's lock, returning the
+// first error and its batch position so SubmitBatch can report the
+// globally first failure.
+func (e *Engine) submitIndexedShard(sh *shard, items []BatchItem, idxs []int32, now time.Duration) (accepted int, wentNonEmpty bool, firstErr error, errIdx int) {
+	errIdx = len(items)
+	sh.mu.Lock()
+	for _, i := range idxs {
+		it := &items[i]
+		size := it.Size
+		if it.Payload != nil {
+			size = len(it.Payload)
+		}
+		if err := e.submitShardLocked(sh, it.STA, size, it.Payload, now); err != nil {
+			if firstErr == nil {
+				firstErr, errIdx = err, int(i)
+			}
+			continue
+		}
+		accepted++
+		if e.queues[it.STA].len() == 1 {
+			wentNonEmpty = true
+		}
+	}
+	sh.mu.Unlock()
+	return accepted, wentNonEmpty, firstErr, errIdx
+}
+
+// submitBatchShardLocked admits a batch whose items all belong to sh,
+// reporting whether any station queue transitioned empty → non-empty
+// (the wake-coalescing signal). Caller holds sh.mu (or is
 // single-threaded, as in the deterministic runner).
+func (e *Engine) submitBatchShardLocked(sh *shard, items []BatchItem, now time.Duration) (accepted int, wentNonEmpty bool, firstErr error) {
+	for _, it := range items {
+		size := it.Size
+		if it.Payload != nil {
+			size = len(it.Payload)
+		}
+		if err := e.submitShardLocked(sh, it.STA, size, it.Payload, now); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		accepted++
+		if e.queues[it.STA].len() == 1 {
+			wentNonEmpty = true
+		}
+	}
+	return accepted, wentNonEmpty, firstErr
+}
+
+// submitBatchLocked is the single-threaded batch admission used by the
+// deterministic runners, which own the engine exclusively: items route to
+// their shards without locking.
 func (e *Engine) submitBatchLocked(items []BatchItem, now time.Duration) (accepted int, wentNonEmpty bool, firstErr error) {
 	for _, it := range items {
 		size := it.Size
@@ -336,9 +478,16 @@ func (e *Engine) submitBatchLocked(items []BatchItem, now time.Duration) (accept
 	return accepted, wentNonEmpty, firstErr
 }
 
-// submitLocked is the admission-control core shared by the real-time and
-// deterministic modes. Caller holds e.mu (or is single-threaded).
+// submitLocked is the single-threaded admission form used by the
+// deterministic runners and tests: route to the owning shard, no locks.
 func (e *Engine) submitLocked(sta, size int, payload []byte, now time.Duration) error {
+	return e.submitShardLocked(e.shardOf(sta), sta, size, payload, now)
+}
+
+// submitShardLocked is the admission-control core shared by the
+// real-time and deterministic modes. Caller holds sh.mu (or is
+// single-threaded); sta, when in range, must belong to sh.
+func (e *Engine) submitShardLocked(sh *shard, sta, size int, payload []byte, now time.Duration) error {
 	if sta < 0 || sta >= e.cfg.NumSTAs {
 		return fmt.Errorf("engine: station %d outside 0..%d", sta, e.cfg.NumSTAs-1)
 	}
@@ -346,22 +495,22 @@ func (e *Engine) submitLocked(sta, size int, payload []byte, now time.Duration) 
 		return fmt.Errorf("engine: non-positive frame size %d", size)
 	}
 	e.offered[sta] = true
-	if e.closed {
+	if e.closed.Load() {
 		return ErrClosed
 	}
-	if e.draining {
-		e.rejected++
+	if e.draining.Load() {
+		sh.rejected++
 		e.eobs.rejected.Inc()
 		return ErrDraining
 	}
 	if size > e.cfg.MaxAggBytes {
-		e.rejected++
+		sh.rejected++
 		e.eobs.rejected.Inc()
 		return ErrOversize
 	}
 	q := &e.queues[sta]
 	if q.len() >= e.cfg.QueueCap {
-		e.rejected++
+		sh.rejected++
 		e.eobs.rejected.Inc()
 		e.eobs.qDropped.Inc()
 		e.eobs.qBackpressure.Inc()
@@ -369,40 +518,42 @@ func (e *Engine) submitLocked(sta, size int, payload []byte, now time.Duration) 
 	}
 	var chunk *arenaChunk
 	if e.cfg.RetainPayloads && payload != nil {
-		payload, chunk = e.arena.alloc(payload)
+		payload, chunk = sh.arena.alloc(payload)
 	} else {
 		payload = nil
 	}
-	f := qframe{seq: e.seq, size: size, arrival: now, payload: payload, chunk: chunk}
-	if e.sampleN > 0 && e.seq%e.sampleN == 0 {
-		// Deterministic 1-in-N lifecycle sampling keyed on the admission
-		// sequence, so the same workload samples the same frames in every
-		// mode (real-time, deterministic, batched).
+	f := qframe{seq: sh.seq, size: size, arrival: now, payload: payload, chunk: chunk}
+	if e.sampleN > 0 && sh.seq%e.sampleN == 0 {
+		// Deterministic 1-in-N lifecycle sampling keyed on the shard's
+		// admission sequence, so the same workload samples the same frames
+		// in every mode (real-time, deterministic, batched).
 		f.sampled = true
 		f.lastTouch = now
 	}
 	q.pushHint(f, e.cfg.QueueCap)
-	e.seq++
-	e.pending++
-	e.accepted++
+	sh.seq++
+	sh.queued++
+	sh.accepted++
+	e.totalPending.Add(1)
 	e.eobs.accepted.Inc()
 	return nil
 }
 
-// expireLocked drops queued frames older than MaxLatency. Arrivals are
-// monotone from each queue head, so the sweep stops at the first frame
-// still inside the bound.
-func (e *Engine) expireLocked(now time.Duration) {
+// expireShardLocked drops the shard's queued frames older than
+// MaxLatency. Arrivals are monotone from each queue head, so the sweep
+// stops at the first frame still inside the bound. Caller holds sh.mu.
+func (e *Engine) expireShardLocked(sh *shard, now time.Duration) {
 	if e.cfg.MaxLatency <= 0 {
 		return
 	}
-	for sta := range e.queues {
+	for sta := sh.id; sta < e.cfg.NumSTAs; sta += len(e.shards) {
 		q := &e.queues[sta]
 		for q.len() > 0 && now-q.headFrame().arrival > e.cfg.MaxLatency {
 			f := q.pop()
-			e.arena.release(f.chunk)
-			e.pending--
-			e.expired++
+			sh.arena.release(f.chunk)
+			sh.queued--
+			sh.expired++
+			e.totalPending.Add(-1)
 			e.eobs.expired.Inc()
 			e.eobs.qExpired.Inc()
 			e.eobs.tracer.Emit(obs.EvQueueExpiry, int64(sta), 0)
@@ -415,17 +566,36 @@ func (e *Engine) expireLocked(now time.Duration) {
 	}
 }
 
-// earliestEligibleLocked returns the wait until the soonest backed-off
-// station with backlog becomes eligible; ok is false when no station is
-// both backlogged and backing off.
-func (e *Engine) earliestEligibleLocked(now time.Duration) (time.Duration, bool) {
+// expireLocked is the single-threaded all-shards sweep the deterministic
+// runners use.
+func (e *Engine) expireLocked(now time.Duration) {
+	for i := range e.shards {
+		e.expireShardLocked(&e.shards[i], now)
+	}
+}
+
+// earliestEligibleShardLocked returns the wait until the shard's soonest
+// backed-off station with backlog becomes eligible; ok is false when no
+// station is both backlogged and backing off. Caller holds sh.mu.
+func (e *Engine) earliestEligibleShardLocked(sh *shard, now time.Duration) (time.Duration, bool) {
 	best, ok := time.Duration(0), false
-	for sta := range e.queues {
+	for sta := sh.id; sta < e.cfg.NumSTAs; sta += len(e.shards) {
 		q := &e.queues[sta]
 		if q.len() == 0 || q.nextEligible <= now {
 			continue
 		}
 		if d := q.nextEligible - now; !ok || d < best {
+			best, ok = d, true
+		}
+	}
+	return best, ok
+}
+
+// earliestEligibleLocked is the single-threaded all-shards minimum.
+func (e *Engine) earliestEligibleLocked(now time.Duration) (time.Duration, bool) {
+	best, ok := time.Duration(0), false
+	for i := range e.shards {
+		if d, shOk := e.earliestEligibleShardLocked(&e.shards[i], now); shOk && (!ok || d < best) {
 			best, ok = d, true
 		}
 	}
@@ -445,21 +615,23 @@ func (e *Engine) backoffAfter(streak int) time.Duration {
 	return min(d, e.cfg.BackoffCap)
 }
 
-// accountLocked applies one transmission's outcome: delivery accounting,
-// per-frame retry bookkeeping with requeue-at-head, retry-limit drops,
-// per-STA backoff, and the sequential-ACK ledger. okPerSub may be nil
-// (transport error): every subframe is then treated as undelivered.
-// deliverDur is the wall time the worker spent inside Transport.Deliver,
-// attributed to sampled frames' decode stage (zero in deterministic mode,
-// where the virtual clock does not advance during delivery, and zero when
-// the transmission carried no sampled frames).
-func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now, deliverDur time.Duration) {
+// accountShardLocked applies one transmission's outcome on its shard:
+// delivery accounting, per-frame retry bookkeeping with requeue-at-head,
+// retry-limit drops, per-STA backoff, and the sequential-ACK ledger.
+// Every STA in the plan belongs to sh, so one shard lock covers the whole
+// settlement. okPerSub may be nil (transport error): every subframe is
+// then treated as undelivered. deliverDur is the wall time the worker
+// spent inside Transport.Deliver, attributed to sampled frames' decode
+// stage (zero in deterministic mode, where the virtual clock does not
+// advance during delivery, and zero when the transmission carried no
+// sampled frames). Caller holds sh.mu (or is single-threaded).
+func (e *Engine) accountShardLocked(sh *shard, tx *pendingTx, okPerSub []bool, derr error, now, deliverDur time.Duration) {
 	plan := &tx.plan
 	txAir := plan.Airtime + plan.ACKTime
-	e.txN++
-	e.subN += int64(len(plan.Subs))
-	e.seqAcks += int64(len(plan.Subs))
-	e.busy += plan.Airtime + plan.ACKTime
+	sh.txN++
+	sh.subN += int64(len(plan.Subs))
+	sh.seqAcks += int64(len(plan.Subs))
+	sh.busy += plan.Airtime + plan.ACKTime
 	e.eobs.tx.Inc()
 	e.eobs.aggSubframes.Add(int64(len(plan.Subs)))
 	e.eobs.seqAcks.Add(int64(len(plan.Subs)))
@@ -479,16 +651,16 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now, 
 			q.failStreak = 0
 			q.nextEligible = 0
 			for _, f := range tx.frames[i] {
-				e.arena.release(f.chunk)
-				e.pending--
-				e.delivered++
+				sh.arena.release(f.chunk)
+				sh.delivered++
+				e.totalPending.Add(-1)
 				e.deliveredBytes[sub.STA] += int64(f.size)
 				latMs := (now - f.arrival).Seconds() * 1e3
-				e.lat.observe(latMs)
+				sh.lat.observe(latMs)
 				e.eobs.delivered.Inc()
 				e.eobs.latencyMs.Observe(latMs)
 				if f.sampled {
-					e.sampledDeliveredLocked(sub.STA, &f, txAir, deliverDur, now)
+					e.sampledDeliveredLocked(sh, sub.STA, &f, txAir, deliverDur, now)
 				}
 			}
 			continue
@@ -497,12 +669,12 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now, 
 		kept := tx.frames[i][:0]
 		for _, f := range tx.frames[i] {
 			f.retries++
-			e.retriesN++
+			sh.retriesN++
 			e.eobs.retries.Inc()
 			if f.retries > e.cfg.RetryLimit {
-				e.arena.release(f.chunk)
-				e.pending--
-				e.dropped++
+				sh.arena.release(f.chunk)
+				sh.dropped++
+				e.totalPending.Add(-1)
 				e.eobs.dropped.Inc()
 				e.eobs.qDropped.Inc()
 				if f.sampled {
@@ -520,10 +692,17 @@ func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now, 
 			kept = append(kept, f)
 		}
 		q.requeue(kept)
+		sh.queued += len(kept)
 		q.failStreak++
 		q.nextEligible = now + e.backoffAfter(q.failStreak)
 	}
-	e.eobs.qDepth.Set(float64(e.pending))
+	e.eobs.qDepth.Set(float64(e.totalPending.Load()))
+}
+
+// accountLocked is the single-threaded settlement form the deterministic
+// runners and tests use: the transmission's shard is settled directly.
+func (e *Engine) accountLocked(tx *pendingTx, okPerSub []bool, derr error, now, deliverDur time.Duration) {
+	e.accountShardLocked(&e.shards[tx.shard], tx, okPerSub, derr, now, deliverDur)
 }
 
 // waitLocked blocks on the condvar with the sleeper census maintained, so
@@ -547,44 +726,76 @@ func (e *Engine) wakeLocked() {
 	}
 }
 
-// worker is one delivery-pool goroutine: build a plan under the lock,
-// deliver it outside the lock, account the outcome.
-func (e *Engine) worker() {
+// nextPlan is a worker's rotating scan over the dirty bitmap: claim a
+// published shard, expire and plan it under that shard's lock alone, and
+// re-publish it when backlog remains (so sibling workers can interleave
+// on the same lane, and so a partially drained lane is never lost). A
+// planless shard with ineligible backlog arms the shard's backoff timer,
+// which re-publishes the lane when its earliest retry gate opens. Returns
+// nil when no published shard yields a plan; *rot advances so successive
+// calls spread across lanes instead of convoying on shard 0.
+func (e *Engine) nextPlan(rot *int, sc *planScratch) *pendingTx {
+	P := len(e.shards)
+	for k := 0; k < P; k++ {
+		i := (*rot + k) % P
+		if !e.claimDirty(i) {
+			continue
+		}
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		now := e.clock.Now()
+		e.expireShardLocked(sh, now)
+		tx := e.buildPlanShardLocked(sh, now, sc)
+		if tx == nil {
+			if d, ok := e.earliestEligibleShardLocked(sh, now); ok {
+				e.armShardTimerLocked(sh, now, d)
+			}
+			sh.mu.Unlock()
+			continue
+		}
+		backlog := sh.queued > 0
+		sh.mu.Unlock()
+		if backlog {
+			e.markDirty(i)
+		}
+		*rot = (i + 1) % P
+		return tx
+	}
+	return nil
+}
+
+// worker is one delivery-pool goroutine: claim a dirty shard and build a
+// plan under that shard's lock, deliver it outside any lock, settle the
+// outcome back on the shard. Workers start their rotating scans at
+// staggered offsets so an idle pool fans out across lanes.
+func (e *Engine) worker(rot int) {
 	defer e.wg.Done()
 	var sc planScratch
 	for {
-		e.mu.Lock()
-		var tx *pendingTx
-		for {
+		if e.ctx.Err() != nil {
+			return
+		}
+		tx := e.nextPlan(&rot, &sc)
+		if tx == nil {
+			e.mu.Lock()
 			if e.ctx.Err() != nil {
 				e.mu.Unlock()
 				return
 			}
-			now := e.clock.Now()
-			e.expireLocked(now)
-			tx = e.buildPlanLocked(now, &sc)
-			if tx != nil {
-				break
-			}
-			if e.draining && e.pending == 0 && e.inFlight == 0 {
+			if e.draining.Load() && e.totalPending.Load() == 0 && e.inFlight.Load() == 0 {
 				e.wakeLocked() // wake Drain and sibling workers
 				e.mu.Unlock()
 				return
 			}
-			if d, ok := e.earliestEligibleLocked(now); ok {
-				t := time.AfterFunc(d, func() {
-					e.mu.Lock()
-					e.wakeLocked()
-					e.mu.Unlock()
-				})
-				e.waitLocked()
-				t.Stop()
-			} else {
-				e.waitLocked()
+			if e.anyDirty() {
+				e.mu.Unlock() // published while we were scanning: rescan
+				continue
 			}
+			e.waitLocked()
+			e.mu.Unlock()
+			continue
 		}
-		e.inFlight++
-		e.mu.Unlock()
+		e.inFlight.Add(1)
 
 		// The delivery-duration clock reads run only when the transmission
 		// carries sampled frames, keeping the unsampled hot path free of
@@ -603,16 +814,20 @@ func (e *Engine) worker() {
 			e.pace(tx.plan.Airtime + tx.plan.ACKTime)
 		}
 
-		e.mu.Lock()
-		e.inFlight--
-		e.accountLocked(tx, okPerSub, derr, e.clock.Now(), deliverDur)
-		// Post-account wake, coalesced: only when there is something for a
-		// waiter to do — backlog to plan (possibly requeued by this very
-		// account), or a completed drain for Drain to observe.
-		if e.pending > 0 || (e.draining && e.pending == 0 && e.inFlight == 0) {
-			e.wakeLocked()
+		sh := &e.shards[tx.shard]
+		sh.mu.Lock()
+		e.accountShardLocked(sh, tx, okPerSub, derr, e.clock.Now(), deliverDur)
+		backlog := sh.queued > 0
+		sh.mu.Unlock()
+		e.inFlight.Add(-1)
+		if backlog {
+			e.markDirty(tx.shard) // requeued or residual frames: republish
 		}
-		e.mu.Unlock()
+		if e.draining.Load() && e.totalPending.Load() == 0 && e.inFlight.Load() == 0 {
+			e.mu.Lock()
+			e.wakeLocked() // drain complete: wake Drain
+			e.mu.Unlock()
+		}
 	}
 }
 
@@ -640,15 +855,28 @@ func (e *Engine) Drain(ctx context.Context) error {
 
 	e.mu.Lock()
 	if !e.started {
-		e.draining, e.closed = true, true
+		e.draining.Store(true)
+		e.closed.Store(true)
 		e.mu.Unlock()
 		return nil
 	}
+	e.mu.Unlock()
+
+	e.draining.Store(true)
+	// Shard-lock barrier: any submit that read draining=false holds its
+	// shard lock until its totalPending increment lands, so after one
+	// lock/unlock round per shard every straggler is either counted in
+	// totalPending or rejected — the wait loop below can't miss a frame.
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		e.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
+
+	e.mu.Lock()
 	// One broadcast flips every parked worker into drain mode; all further
 	// drain-progress wakeups are coalesced through wakeLocked.
-	e.draining = true
 	e.wakeLocked()
-	for (e.pending > 0 || e.inFlight > 0) && ctx.Err() == nil && e.ctx.Err() == nil {
+	for (e.totalPending.Load() > 0 || e.inFlight.Load() > 0) && ctx.Err() == nil && e.ctx.Err() == nil {
 		e.waitLocked()
 	}
 	err := ctx.Err()
@@ -656,9 +884,8 @@ func (e *Engine) Drain(ctx context.Context) error {
 
 	e.cancel() // workers have drained (or the deadline hit): stop the pool
 	e.wg.Wait()
-	e.mu.Lock()
-	e.closed = true
-	e.mu.Unlock()
+	e.stopShardTimers()
+	e.closed.Store(true)
 	return err
 }
 
@@ -666,9 +893,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 // or Close returned) — the telemetry pusher's cue to emit one final
 // update and end a subscribe stream.
 func (e *Engine) Stopped() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.closed
+	return e.closed.Load()
 }
 
 // Close aborts immediately: queued frames are discarded, workers stop as
@@ -676,13 +901,15 @@ func (e *Engine) Stopped() bool {
 // after Drain.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	if !e.started || e.closed {
-		e.draining, e.closed = true, true
+	if !e.started || e.closed.Load() {
+		e.draining.Store(true)
+		e.closed.Store(true)
 		e.mu.Unlock()
 		return
 	}
-	e.closed = true
+	e.closed.Store(true)
 	e.mu.Unlock()
 	e.cancel()
 	e.wg.Wait()
+	e.stopShardTimers()
 }

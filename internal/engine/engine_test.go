@@ -271,7 +271,8 @@ func TestPayloadArenaRecycling(t *testing.T) {
 }
 
 func TestPlanStrictFIFOByteCap(t *testing.T) {
-	e, err := New(Config{NumSTAs: 2, MaxAggBytes: 1000})
+	// One admission lane: cross-STA FIFO is global, as pre-shard.
+	e, err := New(Config{NumSTAs: 2, MaxAggBytes: 1000, AdmissionShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestPlanStrictFIFOByteCap(t *testing.T) {
 }
 
 func TestPlanReceiverCap(t *testing.T) {
-	e, err := New(Config{NumSTAs: 4, MaxReceivers: 2})
+	e, err := New(Config{NumSTAs: 4, MaxReceivers: 2, AdmissionShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,11 +312,6 @@ func TestPlanReceiverCap(t *testing.T) {
 		t.Errorf("first plan serves %+v, want stations 0,1", tx.plan.Subs)
 	}
 	// Excluded stations are served by the next plan, still in FIFO order.
-	for i := range tx.frames {
-		for range tx.frames[i] {
-			e.pending--
-		}
-	}
 	tx2 := e.buildPlanLocked(0, &sc)
 	e.mu.Unlock()
 	if tx2 == nil || len(tx2.plan.Subs) != 2 ||
@@ -347,7 +343,7 @@ func TestPlanAirtimeBudget(t *testing.T) {
 }
 
 func TestPlanGroupsFramesPerSTA(t *testing.T) {
-	e, err := New(Config{NumSTAs: 2})
+	e, err := New(Config{NumSTAs: 2, AdmissionShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"carpool/internal/sim"
@@ -41,6 +42,13 @@ type LoadConfig struct {
 	// and leaves in a single write — the client half of the server's slab
 	// reads. Open-loop pacing waits on each group's first arrival.
 	Batch int
+	// Conns spreads the offered schedule over this many parallel sender
+	// connections (TCP only; default 1). Stations are striped sta mod
+	// Conns, so each station's frames ride one stream and per-STA order
+	// is preserved; on the server the stripes land on disjoint admission
+	// shards. Every extra connection ends with a stats round-trip before
+	// the drain is requested, so no offered frame can race the drain gate.
+	Conns int
 	// Subscribe opens a second connection streaming telemetry for the
 	// whole run (TCP only): every pushed delta is accumulated and, after
 	// the drain reply, reconciled against the server's final counters.
@@ -109,6 +117,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.Duration <= 0 {
 		c.Duration = time.Second
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
 	}
 	return c
 }
@@ -182,7 +193,6 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		go func() { subErr <- runSubscriber(subConn, cfg.SubInterval, sub) }()
 	}
 
-	bw := bufio.NewWriterSize(conn, 1<<16)
 	var payload []byte
 	if cfg.Payload {
 		rng := rand.New(rand.NewSource(cfg.Seed))
@@ -192,72 +202,70 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	rep := &LoadReport{Offered: int64(len(schedule))}
 	start := time.Now()
-	var buf []byte
-	if cfg.Batch > 1 {
-		// Batched mode: assemble up to Batch records in one buffer and
-		// write them with a single call, bypassing the per-record copy
-		// through bufio — one syscall per group instead of one per flush
-		// window worth of small writes.
-		for base := 0; base < len(schedule); base += cfg.Batch {
-			if ctx.Err() != nil {
-				break
-			}
-			end := min(base+cfg.Batch, len(schedule))
-			group := schedule[base:end]
-			if cfg.OpenLoop {
-				if wait := group[0].at - time.Since(start); wait > 50*time.Microsecond {
-					time.Sleep(wait)
+	if cfg.Conns > 1 {
+		// Parallel senders: stripe the schedule by station across extra
+		// connections; this stream (conn) is stripe 0 and carries the
+		// drain. Every extra stream barriers with a stats round-trip
+		// before the drain request leaves, so the server has consumed all
+		// of its records first — drain rejects later submissions.
+		if cfg.Network != "tcp" {
+			return nil, fmt.Errorf("carpoolload: -conns %d needs tcp, not %s", cfg.Conns, cfg.Network)
+		}
+		stripes := make([][]loadItem, cfg.Conns)
+		for _, it := range schedule {
+			c := it.sta % cfg.Conns
+			stripes[c] = append(stripes[c], it)
+		}
+		sendErr := make(chan error, cfg.Conns-1)
+		var sent atomic.Int64
+		for c := 1; c < cfg.Conns; c++ {
+			go func(items []loadItem) {
+				extra, err := net.Dial(cfg.Network, cfg.Addr)
+				if err != nil {
+					sendErr <- fmt.Errorf("carpoolload: sender dial: %w", err)
+					return
 				}
-			}
-			buf = buf[:0]
-			for _, it := range group {
-				if cfg.Payload {
-					buf = AppendDataRecord(buf, it.sta, payload[:it.size])
-				} else {
-					buf = AppendSizeRecord(buf, it.sta, it.size)
+				defer extra.Close()
+				stop := context.AfterFunc(ctx, func() { extra.Close() })
+				defer stop()
+				n, err := sendSchedule(ctx, extra, items, cfg, start, payload)
+				sent.Add(n)
+				if err != nil {
+					sendErr <- err
+					return
 				}
+				if _, err := extra.Write(AppendControlRecord(nil, RecStats)); err != nil {
+					sendErr <- fmt.Errorf("carpoolload: sender barrier: %w", err)
+					return
+				}
+				if _, err := ReadStatsReply(extra); err != nil {
+					sendErr <- fmt.Errorf("carpoolload: sender barrier reply: %w", err)
+					return
+				}
+				sendErr <- nil
+			}(stripes[c])
+		}
+		n, err := sendSchedule(ctx, conn, stripes[0], cfg, start, payload)
+		sent.Add(n)
+		for c := 1; c < cfg.Conns; c++ {
+			if werr := <-sendErr; werr != nil && err == nil {
+				err = werr
 			}
-			if _, err := conn.Write(buf); err != nil {
-				return nil, fmt.Errorf("carpoolload: batch send: %w", err)
-			}
-			rep.Sent += int64(len(group))
+		}
+		rep.Sent = sent.Load()
+		if err != nil {
+			return nil, err
 		}
 	} else {
-		const flushEvery = 256
-		sinceFlush := 0
-		for _, it := range schedule {
-			if ctx.Err() != nil {
-				break
-			}
-			if cfg.OpenLoop {
-				if wait := it.at - time.Since(start); wait > 50*time.Microsecond {
-					time.Sleep(wait)
-				}
-			}
-			buf = buf[:0]
-			if cfg.Payload {
-				buf = AppendDataRecord(buf, it.sta, payload[:it.size])
-			} else {
-				buf = AppendSizeRecord(buf, it.sta, it.size)
-			}
-			if _, err := bw.Write(buf); err != nil {
-				return nil, fmt.Errorf("carpoolload: send: %w", err)
-			}
-			rep.Sent++
-			if sinceFlush++; sinceFlush >= flushEvery {
-				if err := bw.Flush(); err != nil {
-					return nil, fmt.Errorf("carpoolload: flush: %w", err)
-				}
-				sinceFlush = 0
-			}
+		n, err := sendSchedule(ctx, conn, schedule, cfg, start, payload)
+		rep.Sent = n
+		if err != nil {
+			return nil, err
 		}
 	}
 	// Drain handshake: the server finishes queued work, then reports.
-	if _, err := bw.Write(AppendControlRecord(nil, RecDrain)); err != nil {
+	if _, err := conn.Write(AppendControlRecord(nil, RecDrain)); err != nil {
 		return nil, fmt.Errorf("carpoolload: drain request: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		return nil, fmt.Errorf("carpoolload: drain flush: %w", err)
 	}
 	rep.Elapsed = time.Since(start)
 	st, err := ReadStatsReply(conn)
@@ -293,6 +301,79 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rep.Stages = sub.stages
 	}
 	return rep, nil
+}
+
+// sendSchedule writes one connection's offered records — batched or
+// per-record, open-loop paced or as fast as the stream accepts — and
+// returns how many left before an error or cancellation. The stream is
+// fully flushed on return.
+func sendSchedule(ctx context.Context, conn net.Conn, schedule []loadItem, cfg LoadConfig, start time.Time, payload []byte) (int64, error) {
+	var sent int64
+	var buf []byte
+	if cfg.Batch > 1 {
+		// Batched mode: assemble up to Batch records in one buffer and
+		// write them with a single call, bypassing the per-record copy
+		// through bufio — one syscall per group instead of one per flush
+		// window worth of small writes.
+		for base := 0; base < len(schedule); base += cfg.Batch {
+			if ctx.Err() != nil {
+				break
+			}
+			end := min(base+cfg.Batch, len(schedule))
+			group := schedule[base:end]
+			if cfg.OpenLoop {
+				if wait := group[0].at - time.Since(start); wait > 50*time.Microsecond {
+					time.Sleep(wait)
+				}
+			}
+			buf = buf[:0]
+			for _, it := range group {
+				if cfg.Payload {
+					buf = AppendDataRecord(buf, it.sta, payload[:it.size])
+				} else {
+					buf = AppendSizeRecord(buf, it.sta, it.size)
+				}
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return sent, fmt.Errorf("carpoolload: batch send: %w", err)
+			}
+			sent += int64(len(group))
+		}
+		return sent, nil
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	const flushEvery = 256
+	sinceFlush := 0
+	for _, it := range schedule {
+		if ctx.Err() != nil {
+			break
+		}
+		if cfg.OpenLoop {
+			if wait := it.at - time.Since(start); wait > 50*time.Microsecond {
+				time.Sleep(wait)
+			}
+		}
+		buf = buf[:0]
+		if cfg.Payload {
+			buf = AppendDataRecord(buf, it.sta, payload[:it.size])
+		} else {
+			buf = AppendSizeRecord(buf, it.sta, it.size)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return sent, fmt.Errorf("carpoolload: send: %w", err)
+		}
+		sent++
+		if sinceFlush++; sinceFlush >= flushEvery {
+			if err := bw.Flush(); err != nil {
+				return sent, fmt.Errorf("carpoolload: flush: %w", err)
+			}
+			sinceFlush = 0
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return sent, fmt.Errorf("carpoolload: flush: %w", err)
+	}
+	return sent, nil
 }
 
 // defaultLoadSubInterval is the telemetry push interval a load run asks

@@ -44,11 +44,14 @@ type Plan struct {
 // pendingTx pairs the transport-facing plan with the engine-internal
 // frames it carries, parallel to plan.Subs. sampled counts the lifecycle-
 // sampled frames aboard, so workers skip the delivery-duration clock reads
-// entirely when nothing on the transmission is being traced.
+// entirely when nothing on the transmission is being traced. shard is the
+// admission lane every contained STA belongs to — the lock account takes
+// to settle the outcome.
 type pendingTx struct {
 	plan    Plan
 	frames  [][]qframe
 	sampled int
+	shard   int
 }
 
 // planScratch is one worker's reusable plan-building storage: the engine's
@@ -95,29 +98,33 @@ func planAirtime(symbols int) time.Duration {
 	return mac.PLCPTime + time.Duration(symbols)*mac.SymbolTime + mac.PropDelay
 }
 
-// buildPlanLocked pops queued frames into one aggregate transmission. It
-// walks frames in global admission order (cross-STA FIFO, the paper's §8
-// discipline) over stations that are non-empty and past their retry
-// backoff, grouping frames per station into subframes and stopping at the
-// first frame that would breach MaxAggBytes (strict FIFO cutoff, matching
-// the MAC simulator's multi-user planner), at a full receiver set for a
-// new station (that station is skipped for this plan), or at the airtime
-// budget (always admitting at least one frame for progress). It returns
-// nil when no eligible station has backlog.
+// buildPlanShardLocked pops one shard's queued frames into one aggregate
+// transmission. It walks frames in the shard's admission order (cross-STA
+// FIFO within the lane, the paper's §8 discipline; with one shard this is
+// exactly the old global order) over stations that are non-empty and past
+// their retry backoff, grouping frames per station into subframes and
+// stopping at the first frame that would breach MaxAggBytes (strict FIFO
+// cutoff, matching the MAC simulator's multi-user planner), at a full
+// receiver set for a new station (that station is skipped for this plan),
+// or at the airtime budget (always admitting at least one frame for
+// progress). It returns nil when no eligible station has backlog.
 //
-// Caller must hold e.mu. The returned pendingTx lives in sc until the
-// next call.
-func (e *Engine) buildPlanLocked(now time.Duration, sc *planScratch) *pendingTx {
+// Caller must hold sh.mu (or be single-threaded). The returned pendingTx
+// lives in sc until the next call.
+func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScratch) *pendingTx {
 	sc.reset(e.cfg.NumSTAs)
 	plan := &sc.tx.plan
 	totalBytes := 0
 	symbols := mac.AHDRSymbols
+	stride := len(e.shards)
 
 	for {
-		// Next frame in global admission order among eligible stations.
+		// Next frame in lane admission order among eligible stations: the
+		// strided walk visits exactly the shard's stations, and with one
+		// shard degenerates to the old full scan in the same order.
 		best := -1
 		var bestSeq uint64
-		for sta := range e.queues {
+		for sta := sh.id; sta < e.cfg.NumSTAs; sta += stride {
 			q := &e.queues[sta]
 			if q.len() == 0 || q.nextEligible > now || sc.rejected[sta] {
 				continue
@@ -155,6 +162,7 @@ func (e *Engine) buildPlanLocked(now time.Duration, sc *planScratch) *pendingTx 
 		}
 
 		fr := q.pop()
+		sh.queued--
 		if fr.sampled {
 			// Close the frame's queued stage: the segment since lastTouch
 			// splits into time gated by the STA's retry backoff (the part of
@@ -206,9 +214,26 @@ func (e *Engine) buildPlanLocked(now time.Duration, sc *planScratch) *pendingTx 
 		sub.NumSym = subSymbols(sc.subBits[i], sub.MCS)
 		cursor += sub.NumSym
 	}
-	plan.Seq = e.txSeq
-	e.txSeq++
+	plan.Seq = e.txSeq.Add(1) - 1
 	plan.Airtime = planAirtime(cursor)
 	plan.ACKTime = time.Duration(len(plan.Subs)) * (mac.SIFS + mac.ACKAirtime(e.rates))
+	sc.tx.shard = sh.id
 	return &sc.tx
+}
+
+// buildPlanLocked is the single-threaded planner the deterministic
+// runners and tests use: a rotating scan over the shards (the engine-
+// level detRot cursor mirrors each worker's private one), returning the
+// first lane that yields a plan. With one shard this is byte-identical to
+// the pre-shard planner.
+func (e *Engine) buildPlanLocked(now time.Duration, sc *planScratch) *pendingTx {
+	P := len(e.shards)
+	for k := 0; k < P; k++ {
+		i := (e.detRot + k) % P
+		if tx := e.buildPlanShardLocked(&e.shards[i], now, sc); tx != nil {
+			e.detRot = (i + 1) % P
+			return tx
+		}
+	}
+	return nil
 }

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// shard is one admission lane: a slice of the station space (every STA
+// with sta % P == id) together with everything a submitter must touch to
+// admit a frame there — the lane lock, a private payload-arena lease, the
+// lane-local admission sequence, and the lane's slice of the accounting
+// counters. N parallel SubmitBatch callers whose stations hash to N
+// different lanes take N different locks instead of convoying on one
+// engine mutex; Stats aggregates the per-shard counters under lockAll.
+//
+// Everything below mu is guarded by mu. The STA-indexed engine arrays
+// (queues, deliveredBytes, offered) stay global for O(1) addressing, but
+// entry sta is guarded by its owning shard's lock — a STA maps to exactly
+// one shard, which is also what keeps per-STA FIFO exact across lanes.
+type shard struct {
+	id int
+
+	mu sync.Mutex
+
+	// arena is the lane's private payload slab lease (RetainPayloads
+	// mode): frames admitted on this shard allocate and release here, so
+	// retained-payload ingest scales with the lanes too.
+	arena payloadArena
+
+	// seq is the lane-local admission sequence: the FIFO key for the
+	// planner's cross-STA ordering within the shard and the lifecycle-
+	// sampling counter. With one shard it is exactly the old global
+	// admission sequence, which is what keeps deterministic single-shard
+	// runs byte-identical.
+	seq uint64
+
+	// queued counts frames currently sitting in this shard's queues
+	// (excluding popped frames riding an in-flight transmission): the
+	// "still work here" signal the planner uses to re-publish the shard's
+	// dirty bit after a partial drain.
+	queued int
+
+	// Accounting, aggregated across shards by statsCoreLocked.
+	accepted, rejected, delivered, dropped, expired int64
+	retriesN, txN, subN, seqAcks                    int64
+	busy                                            time.Duration
+	lat                                             latHist
+	stage                                           stageAcc
+
+	// timer wakes the planner when this shard's earliest retry backoff
+	// expires; timerAt is the armed deadline (0 = unarmed) so re-arms for
+	// a later deadline don't clobber a sooner one.
+	timer   *time.Timer
+	timerAt time.Duration
+}
+
+// shardOf returns station sta's admission lane. Out-of-range stations
+// route to shard 0, whose admission core rejects them with the same
+// typed error as before.
+func (e *Engine) shardOf(sta int) *shard {
+	if sta < 0 || sta >= e.cfg.NumSTAs {
+		return &e.shards[0]
+	}
+	return &e.shards[sta%len(e.shards)]
+}
+
+// markDirty publishes "shard i has plannable work" in the dirty bitmap
+// and wakes a parked worker only on the bit's 0→1 transition — the
+// cross-lane analogue of the queue-went-non-empty wake coalescing. The
+// bit set is a plain atomic OR; the wake takes e.mu, which is what makes
+// the handoff lose-proof: a worker holds e.mu continuously from its
+// anyDirty check into cond.Wait, so a transition either lands before the
+// check (worker skips the sleep) or its wake blocks until the worker is
+// actually parked.
+func (e *Engine) markDirty(i int) {
+	w, bit := i>>6, uint64(1)<<(i&63)
+	if e.dirty[w].Or(bit)&bit == 0 {
+		e.mu.Lock()
+		e.wakeLocked()
+		e.mu.Unlock()
+	}
+}
+
+// claimDirty atomically clears shard i's dirty bit, reporting whether
+// this caller won it. The claimer owns the obligation to re-publish via
+// markDirty if it leaves backlog behind.
+func (e *Engine) claimDirty(i int) bool {
+	w, bit := i>>6, uint64(1)<<(i&63)
+	return e.dirty[w].And(^bit)&bit != 0
+}
+
+// anyDirty reports whether any shard has published work.
+func (e *Engine) anyDirty() bool {
+	for i := range e.dirty {
+		if e.dirty[i].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lockAll acquires every shard lock in ascending index order (the only
+// place more than one shard lock is ever held, so the ordering makes
+// deadlock impossible) — the coherent-snapshot barrier Stats, StageStats,
+// PerSTA, and SnapshotAll use.
+func (e *Engine) lockAll() {
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+	}
+}
+
+func (e *Engine) unlockAll() {
+	for i := range e.shards {
+		e.shards[i].mu.Unlock()
+	}
+}
+
+// armShardTimerLocked schedules a planner wake when the shard's earliest
+// backed-off station becomes eligible, keeping the soonest deadline when
+// one is already armed. Caller holds sh.mu.
+func (e *Engine) armShardTimerLocked(sh *shard, now, d time.Duration) {
+	deadline := now + d
+	if sh.timerAt != 0 && sh.timerAt <= deadline {
+		return
+	}
+	sh.timerAt = deadline
+	if sh.timer == nil {
+		id := sh.id
+		sh.timer = time.AfterFunc(d, func() { e.shardTimerFired(id) })
+		return
+	}
+	sh.timer.Reset(d)
+}
+
+// shardTimerFired clears the armed deadline and republishes the shard; a
+// spurious fire (the work was already drained) costs one wasted scan.
+func (e *Engine) shardTimerFired(i int) {
+	sh := &e.shards[i]
+	sh.mu.Lock()
+	sh.timerAt = 0
+	sh.mu.Unlock()
+	e.markDirty(i)
+}
+
+// stopShardTimersLocked stops every armed shard timer; called on the way
+// out of Drain and Close so no fire outlives the engine's useful life.
+func (e *Engine) stopShardTimers() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		if sh.timer != nil {
+			sh.timer.Stop()
+			sh.timerAt = 0
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// batchScratch is the pooled partition buffer SubmitBatch uses to bucket
+// a mixed-STA batch into per-shard index runs without allocating on the
+// ingest hot path.
+type batchScratch struct {
+	buckets [][]int32
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}

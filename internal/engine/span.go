@@ -7,7 +7,8 @@ import (
 )
 
 // stageAcc aggregates the lifecycle-sampled frames' per-stage latency
-// decomposition, guarded by e.mu. Each delivered sampled frame contributes
+// decomposition, one per shard, guarded by the shard's lock (StageStats
+// merges them under lockAll). Each delivered sampled frame contributes
 // one observation per stage; together the four stages account for the
 // frame's whole admit→deliver latency (wait + backoff + air sum exactly to
 // it in deterministic mode, where decode wall time is zero).
@@ -27,13 +28,13 @@ func newStageAcc() stageAcc {
 }
 
 // sampledDeliveredLocked closes a sampled frame's lifecycle at delivery:
-// the final attempt's airtime and decode wall time join the accumulators,
-// each stage total lands in the engine's deterministic stage histograms
-// and the engine.stage.*_ms sink histograms, and the ring tracer gets one
-// span per stage plus the terminal EvFrameDeliver. None of this touches
-// Stats fields, so sampling on vs off stays byte-identical there. Caller
-// holds e.mu.
-func (e *Engine) sampledDeliveredLocked(sta int, f *qframe, txAir, deliverDur, now time.Duration) {
+// the final attempt's airtime and decode wall time join the shard's
+// accumulators, each stage total lands in the deterministic stage
+// histograms and the engine.stage.*_ms sink histograms, and the ring
+// tracer gets one span per stage plus the terminal EvFrameDeliver. None
+// of this touches Stats fields, so sampling on vs off stays byte-
+// identical there. Caller holds sh.mu (or is single-threaded).
+func (e *Engine) sampledDeliveredLocked(sh *shard, sta int, f *qframe, txAir, deliverDur, now time.Duration) {
 	wait, bo := f.waitAcc, f.backoffAcc
 	air := f.airAcc + txAir
 	dec := f.decodeAcc + deliverDur
@@ -42,7 +43,7 @@ func (e *Engine) sampledDeliveredLocked(sta int, f *qframe, txAir, deliverDur, n
 	airMs := air.Seconds() * 1e3
 	decMs := dec.Seconds() * 1e3
 
-	s := &e.stage
+	s := &sh.stage
 	s.wait.observe(waitMs)
 	s.backoff.observe(boMs)
 	s.air.observe(airMs)
@@ -96,30 +97,46 @@ type StageStats struct {
 	Decode           StageDist `json:"decode"`
 }
 
-// StageStats snapshots the per-stage decomposition. Like Stats, only the
-// bucket arrays are copied under e.mu; quantiles compute outside the lock.
-func (e *Engine) StageStats() StageStats {
-	e.mu.Lock()
-	st := StageStats{
-		SampleEvery:      e.cfg.SampleEvery,
-		SampledDelivered: e.stage.delivered,
-	}
-	type snap struct {
-		counts []int64
-		count  int64
-		sumMs  float64
-	}
-	snaps := [4]snap{
-		{e.stage.wait.snapshot(), e.stage.wait.count, e.stage.waitSumMs},
-		{e.stage.backoff.snapshot(), e.stage.backoff.count, e.stage.backoffSumMs},
-		{e.stage.air.snapshot(), e.stage.air.count, e.stage.airSumMs},
-		{e.stage.decode.snapshot(), e.stage.decode.count, e.stage.decodeSumMs},
-	}
-	e.mu.Unlock()
+// stageSnap is one stage's merged cross-shard bucket snapshot, produced
+// under the shard locks and finished (quantiles) outside them.
+type stageSnap struct {
+	counts []int64
+	count  int64
+	sumMs  float64
+}
 
+// stageCoreLocked merges the per-shard stage accumulators. Caller holds
+// every shard lock (or is single-threaded).
+func (e *Engine) stageCoreLocked() (st StageStats, snaps [4]stageSnap) {
+	st.SampleEvery = e.cfg.SampleEvery
+	for i := range e.shards {
+		s := &e.shards[i].stage
+		st.SampledDelivered += s.delivered
+		hists := [4]*latHist{&s.wait, &s.backoff, &s.air, &s.decode}
+		sums := [4]float64{s.waitSumMs, s.backoffSumMs, s.airSumMs, s.decodeSumMs}
+		for j, h := range hists {
+			sn := &snaps[j]
+			sn.count += h.count
+			sn.sumMs += sums[j]
+			if h.count > 0 {
+				if sn.counts == nil {
+					sn.counts = make([]int64, len(h.counts))
+				}
+				for b, c := range h.counts {
+					sn.counts[b] += c
+				}
+			}
+		}
+	}
+	return st, snaps
+}
+
+// finishStages fills the quantiles from the merged snapshots, run outside
+// the shard locks.
+func finishStages(st *StageStats, snaps *[4]stageSnap) {
 	dists := [4]*StageDist{&st.QueueWait, &st.Backoff, &st.Air, &st.Decode}
-	for i, sn := range snaps {
-		d := dists[i]
+	for i := range snaps {
+		sn, d := &snaps[i], dists[i]
 		d.Count = sn.count
 		if sn.count == 0 || sn.counts == nil {
 			continue
@@ -129,5 +146,16 @@ func (e *Engine) StageStats() StageStats {
 		d.P95Ms = quantileMs(sn.counts, 0.95)
 		d.P99Ms = quantileMs(sn.counts, 0.99)
 	}
+}
+
+// StageStats snapshots the per-stage decomposition. Like Stats, only the
+// bucket arrays are merged under the shard locks; quantiles compute
+// outside. For a stage view coherent with a Stats snapshot, use
+// SnapshotAll.
+func (e *Engine) StageStats() StageStats {
+	e.lockAll()
+	st, snaps := e.stageCoreLocked()
+	e.unlockAll()
+	finishStages(&st, &snaps)
 	return st
 }

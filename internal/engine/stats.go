@@ -104,14 +104,14 @@ type Stats struct {
 }
 
 // Stats snapshots the engine's accounting. Safe to call concurrently with
-// a running engine: only the raw counters and the (small) latency bucket
-// array are read under e.mu; the quantile scan runs after the lock is
-// released, so a stats poll never stalls the serving path behind
-// percentile math.
+// a running engine: the per-shard counters and the (small) latency bucket
+// arrays are read with every shard lock held — one coherent instant
+// across lanes — and the quantile scan runs after the locks are released,
+// so a stats poll never stalls the serving path behind percentile math.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
+	e.lockAll()
 	st, lat := e.statsCoreLocked(e.clock.Now())
-	e.mu.Unlock()
+	e.unlockAll()
 	finishLatency(&st, lat)
 	return st
 }
@@ -124,23 +124,37 @@ func (e *Engine) statsLocked(now time.Duration) Stats {
 	return st
 }
 
-// statsCoreLocked copies everything Stats needs out from under e.mu,
-// returning the latency bucket snapshot for quantile computation outside
-// the lock. Caller holds e.mu (or is single-threaded).
+// statsCoreLocked aggregates the per-shard counters into one Stats,
+// returning the merged latency bucket snapshot for quantile computation
+// outside the locks. Caller holds every shard lock (or is
+// single-threaded); with one shard the sums reduce to the old globals,
+// keeping deterministic single-shard Stats byte-identical.
 func (e *Engine) statsCoreLocked(now time.Duration) (Stats, []int64) {
 	st := Stats{
-		Accepted:      e.accepted,
-		Rejected:      e.rejected,
-		Delivered:     e.delivered,
-		Dropped:       e.dropped,
-		Expired:       e.expired,
-		Pending:       int64(e.pending),
-		Retries:       e.retriesN,
-		Transmissions: e.txN,
-		Subframes:     e.subN,
-		SeqACKs:       e.seqAcks,
-		AirtimeBusy:   e.busy,
-		Elapsed:       now,
+		Pending: e.totalPending.Load(),
+		Elapsed: now,
+	}
+	var lat []int64
+	for i := range e.shards {
+		sh := &e.shards[i]
+		st.Accepted += sh.accepted
+		st.Rejected += sh.rejected
+		st.Delivered += sh.delivered
+		st.Dropped += sh.dropped
+		st.Expired += sh.expired
+		st.Retries += sh.retriesN
+		st.Transmissions += sh.txN
+		st.Subframes += sh.subN
+		st.SeqACKs += sh.seqAcks
+		st.AirtimeBusy += sh.busy
+		if sh.lat.count > 0 {
+			if lat == nil {
+				lat = make([]int64, len(sh.lat.counts))
+			}
+			for b, c := range sh.lat.counts {
+				lat[b] += c
+			}
+		}
 	}
 	if st.Transmissions > 0 {
 		st.MeanGroupSize = float64(st.Subframes) / float64(st.Transmissions)
@@ -165,10 +179,10 @@ func (e *Engine) statsCoreLocked(now time.Duration) (Stats, []int64) {
 	if st.AirtimeBusy > 0 {
 		st.AirtimeGoodputMbps = float64(st.DeliveredBytes) * 8 / st.AirtimeBusy.Seconds() / 1e6
 	}
-	if total := e.accepted + e.rejected; total > 0 {
-		st.DropRate = float64(e.dropped+e.expired+e.rejected) / float64(total)
+	if total := st.Accepted + st.Rejected; total > 0 {
+		st.DropRate = float64(st.Dropped+st.Expired+st.Rejected) / float64(total)
 	}
-	return st, e.lat.snapshot()
+	return st, lat
 }
 
 // finishLatency fills the latency quantiles from a bucket snapshot, run

@@ -92,11 +92,9 @@ type TelemetryUpdate struct {
 	Health *HealthReport `json:"health,omitempty"`
 }
 
-// PerSTA snapshots every station's live queue state.
-func (e *Engine) PerSTA() []STAStat {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	now := e.clock.Now()
+// perSTACoreLocked fills every station's live queue state. Caller holds
+// every shard lock (or is single-threaded).
+func (e *Engine) perSTACoreLocked(now time.Duration) []STAStat {
 	out := make([]STAStat, len(e.queues))
 	for sta := range e.queues {
 		q := &e.queues[sta]
@@ -117,21 +115,56 @@ func (e *Engine) PerSTA() []STAStat {
 	return out
 }
 
+// PerSTA snapshots every station's live queue state.
+func (e *Engine) PerSTA() []STAStat {
+	e.lockAll()
+	defer e.unlockAll()
+	return e.perSTACoreLocked(e.clock.Now())
+}
+
+// Snapshot is one coherent view of the engine: cumulative Stats, the
+// stage decomposition, and per-STA queue state, all captured at a single
+// instant under every shard lock — so a viewer can never see stage
+// histograms from one moment paired with counters from another.
+type Snapshot struct {
+	Stats  Stats      `json:"stats"`
+	Stages StageStats `json:"stages"`
+	PerSTA []STAStat  `json:"per_sta"`
+}
+
+// SnapshotAll captures Stats, StageStats, and PerSTA atomically: one
+// lockAll round covers all three, and only the quantile math runs after
+// the locks drop. This is what the telemetry pusher and /debug/health
+// consume, replacing the three separate lock acquisitions that could
+// interleave with deliveries between them.
+func (e *Engine) SnapshotAll() Snapshot {
+	now := e.clock.Now()
+	e.lockAll()
+	st, lat := e.statsCoreLocked(now)
+	ss, snaps := e.stageCoreLocked()
+	per := e.perSTACoreLocked(now)
+	e.unlockAll()
+	finishLatency(&st, lat)
+	finishStages(&ss, &snaps)
+	return Snapshot{Stats: st, Stages: ss, PerSTA: per}
+}
+
 // Telemetry assembles one update relative to prev (the previous update's
-// Stats; zero Stats for the first). Stages is attached only when lifecycle
-// sampling is configured; Health is the server's to attach.
+// Stats; zero Stats for the first) from a single coherent SnapshotAll.
+// Stages is attached only when lifecycle sampling is configured; Health
+// is the server's to attach.
 func (e *Engine) Telemetry(seq uint64, prev Stats, final bool) TelemetryUpdate {
-	st := e.Stats()
+	snap := e.SnapshotAll()
 	upd := TelemetryUpdate{
 		Seq:    seq,
 		Final:  final,
-		Stats:  st,
-		Delta:  DiffStats(st, prev),
-		PerSTA: e.PerSTA(),
+		Stats:  snap.Stats,
+		Delta:  DiffStats(snap.Stats, prev),
+		PerSTA: snap.PerSTA,
 	}
 	if e.cfg.SampleEvery > 0 {
-		ss := e.StageStats()
-		upd.Stages = &ss
+		stages := snap.Stages
+		upd.Stages = &stages
 	}
 	return upd
 }

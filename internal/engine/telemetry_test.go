@@ -297,3 +297,56 @@ func TestSubscribeUDPOneShot(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotAllCoherent samples SnapshotAll while submitters and workers
+// churn a multi-shard engine, asserting the invariants only a single
+// lock-covered capture can guarantee: the per-STA delivered-byte rows sum
+// exactly to the cumulative counter, the admission ledger balances
+// (accepted = delivered + dropped + expired + pending), and the visible
+// queue depths never exceed the pending count. Under the old
+// one-lock-per-view snapshots a delivery could land between the Stats and
+// PerSTA captures and break the byte equality.
+func TestSnapshotAllCoherent(t *testing.T) {
+	e, err := New(Config{NumSTAs: 12, AdmissionShards: 3, Workers: 2, QueueCap: 1 << 12, SampleEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.SubmitSize(k%12, 400+k%800)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap := e.SnapshotAll()
+		var perSTABytes, queued int64
+		for _, s := range snap.PerSTA {
+			perSTABytes += s.DeliveredBytes
+			queued += int64(s.Queue)
+		}
+		if perSTABytes != snap.Stats.DeliveredBytes {
+			t.Fatalf("snapshot %d: per-STA bytes %d != cumulative %d", i, perSTABytes, snap.Stats.DeliveredBytes)
+		}
+		if got := snap.Stats.Delivered + snap.Stats.Dropped + snap.Stats.Expired + snap.Stats.Pending; got != snap.Stats.Accepted {
+			t.Fatalf("snapshot %d: ledger imbalance: delivered+dropped+expired+pending %d != accepted %d", i, got, snap.Stats.Accepted)
+		}
+		if queued > snap.Stats.Pending {
+			t.Fatalf("snapshot %d: queued %d exceeds pending %d", i, queued, snap.Stats.Pending)
+		}
+	}
+	close(stop)
+	<-done
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

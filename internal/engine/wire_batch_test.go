@@ -219,6 +219,25 @@ func FuzzWireBatchParser(f *testing.F) {
 	f.Add(appendHeader(nil, RecData, 9, MaxWirePayload+1))
 	f.Add(appendHeader(nil, 0x55, 0, 4))
 	f.Add(AppendDataRecord(nil, 3, bytes.Repeat([]byte{7}, 300))[:40])
+	// Wide batches spanning many stations — the shape the sharded
+	// admission path partitions into per-lane sub-batches. One size-only
+	// sweep striding a 64-station set, one mixed data/size slab that
+	// revisits stations out of order, and one that ends mid-record.
+	var wide []byte
+	for sta := 0; sta < 64; sta += 3 {
+		wide = AppendSizeRecord(wide, sta, 200+sta)
+	}
+	f.Add(wide)
+	var mixed []byte
+	for i, sta := range []int{17, 2, 40, 2, 63, 0, 17, 31, 8, 40} {
+		if i%2 == 0 {
+			mixed = AppendDataRecord(mixed, sta, bytes.Repeat([]byte{byte(sta)}, 5+i))
+		} else {
+			mixed = AppendSizeRecord(mixed, sta, 600+i)
+		}
+	}
+	f.Add(mixed)
+	f.Add(mixed[:len(mixed)-3])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		items, consumed, ctrl, err := parseBatch(data, nil)
@@ -328,5 +347,43 @@ func TestLoadgenBatchedLoopbackThroughput(t *testing.T) {
 	}
 	if n := goroutineCount(baseline); n > baseline {
 		t.Errorf("goroutine leak after batched load run: %d > baseline %d", n, baseline)
+	}
+}
+
+// TestLoadgenMultiConnDelivery runs the load generator's parallel-sender
+// mode against a multi-shard loopback server: three connections stripe
+// twelve stations, every extra stream barriers with a stats round-trip,
+// and the drain reply must account for the complete offered schedule —
+// no frame may race the drain gate into a rejection.
+func TestLoadgenMultiConnDelivery(t *testing.T) {
+	addr, _, shutdown := startSlabLoopback(t,
+		Config{NumSTAs: 12, AdmissionShards: 3, Workers: 2, QueueCap: 1 << 12},
+		nil)
+	defer shutdown()
+
+	cfg := LoadConfig{
+		Addr:       addr,
+		NumSTAs:    12,
+		RatePerSec: 60_000,
+		FrameBytes: 900,
+		Duration:   200 * time.Millisecond,
+		Seed:       11,
+		Batch:      64,
+		Conns:      3,
+	}
+	rep, err := RunLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != rep.Offered {
+		t.Fatalf("sent %d of %d offered", rep.Sent, rep.Offered)
+	}
+	if rep.Server.Accepted != rep.Sent || rep.Server.Rejected != 0 {
+		t.Fatalf("server accepted %d rejected %d, want %d accepted",
+			rep.Server.Accepted, rep.Server.Rejected, rep.Sent)
+	}
+	if rep.Server.Delivered+rep.Server.Dropped != rep.Server.Accepted {
+		t.Fatalf("drain left work: delivered %d + dropped %d != accepted %d",
+			rep.Server.Delivered, rep.Server.Dropped, rep.Server.Accepted)
 	}
 }

@@ -138,8 +138,15 @@ func demapSoftQ(dst []int8, m Modulation, points []complex128, weights []float64
 	if len(dst) != len(points)*bps {
 		return fmt.Errorf("modem: LLR buffer needs %d entries, got %d", len(points)*bps, len(dst))
 	}
-	ref := constellations[m]
-	scale := llrqScales[m]
+	demapSoftQx4(dst, constellations[m], bps, llrqScales[m], points, weights)
+	return nil
+}
+
+// demapSoftQScalar is the straight-line reference kernel: one point at a
+// time, recomputing every squared distance per output bit. It is the
+// bit-identity oracle the fuzz target and differential tests hold
+// demapSoftQx4 to; the serving path never calls it.
+func demapSoftQScalar(dst []int8, ref []complex128, bps int, scale float64, points []complex128, weights []float64) {
 	for i, y := range points {
 		w := scale
 		if weights != nil {
@@ -161,7 +168,122 @@ func demapSoftQ(dst []int8, m Modulation, points []complex128, weights []float64
 			dst[i*bps+j] = fec.SatLLR8((min1 - min0) * w)
 		}
 	}
-	return nil
+}
+
+// distTable is one point's squared distance to every constellation point;
+// 64 entries covers the densest supported constellation (QAM64).
+type distTable [64]float64
+
+// fillDists caches |y - ref[v]|² for every v. The distance expression is
+// textually identical to the scalar kernel's, so any compiler fusion
+// (GOAMD64=v3 FMA selection) resolves the same way and the cached values
+// are bit-identical to the recomputed ones.
+func fillDists(d *distTable, ref []complex128, y complex128) {
+	for v, s := range ref {
+		e := y - s
+		d[v] = real(e)*real(e) + imag(e)*imag(e)
+	}
+}
+
+// demapSoftQPoint emits one point's bps LLRs from its cached distances,
+// scanning in the same v order as the scalar kernel.
+func demapSoftQPoint(dst []int8, d *distTable, nref, bps int, w float64) {
+	for j := 0; j < bps; j++ {
+		mask := 1 << (bps - 1 - j)
+		min0, min1 := math.Inf(1), math.Inf(1)
+		for v := 0; v < nref; v++ {
+			dist := d[v]
+			if v&mask == 0 {
+				if dist < min0 {
+					min0 = dist
+				}
+			} else if dist < min1 {
+				min1 = dist
+			}
+		}
+		dst[j] = fec.SatLLR8((min1 - min0) * w)
+	}
+}
+
+// demapSoftQx4 is the vectorized inner loop: four constellation points
+// per iteration, each lane caching its squared distance to every
+// reference point once (the scalar kernel recomputes them bps times per
+// point), then four independent min scans per output bit with the int8
+// saturating packs unrolled across the lanes. The four distance tables
+// are independent accumulator streams, so GOAMD64=v3 builds can keep the
+// subtract/multiply/add chains in separate vector registers. Bit-
+// identical to demapSoftQScalar: same distance expression, same v scan
+// order, same (min1-min0)*w rounding — held by FuzzDemapSoftQx4 and the
+// demap-quant conformance pair.
+func demapSoftQx4(dst []int8, ref []complex128, bps int, scale float64, points []complex128, weights []float64) {
+	var d0, d1, d2, d3 distTable
+	nref := len(ref)
+	n := len(points)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		fillDists(&d0, ref, points[i])
+		fillDists(&d1, ref, points[i+1])
+		fillDists(&d2, ref, points[i+2])
+		fillDists(&d3, ref, points[i+3])
+		w0, w1, w2, w3 := scale, scale, scale, scale
+		if weights != nil {
+			w0 *= weights[i]
+			w1 *= weights[i+1]
+			w2 *= weights[i+2]
+			w3 *= weights[i+3]
+		}
+		base := i * bps
+		for j := 0; j < bps; j++ {
+			mask := 1 << (bps - 1 - j)
+			a0, b0 := math.Inf(1), math.Inf(1)
+			a1, b1 := math.Inf(1), math.Inf(1)
+			a2, b2 := math.Inf(1), math.Inf(1)
+			a3, b3 := math.Inf(1), math.Inf(1)
+			for v := 0; v < nref; v++ {
+				t0, t1, t2, t3 := d0[v], d1[v], d2[v], d3[v]
+				if v&mask == 0 {
+					if t0 < a0 {
+						a0 = t0
+					}
+					if t1 < a1 {
+						a1 = t1
+					}
+					if t2 < a2 {
+						a2 = t2
+					}
+					if t3 < a3 {
+						a3 = t3
+					}
+				} else {
+					if t0 < b0 {
+						b0 = t0
+					}
+					if t1 < b1 {
+						b1 = t1
+					}
+					if t2 < b2 {
+						b2 = t2
+					}
+					if t3 < b3 {
+						b3 = t3
+					}
+				}
+			}
+			// Unrolled saturating int8 pack, one lane per output stride.
+			dst[base+j] = fec.SatLLR8((b0 - a0) * w0)
+			dst[base+bps+j] = fec.SatLLR8((b1 - a1) * w1)
+			dst[base+2*bps+j] = fec.SatLLR8((b2 - a2) * w2)
+			dst[base+3*bps+j] = fec.SatLLR8((b3 - a3) * w3)
+		}
+	}
+	for ; i < n; i++ {
+		fillDists(&d0, ref, points[i])
+		w := scale
+		if weights != nil {
+			w *= weights[i]
+		}
+		demapSoftQPoint(dst[i*bps:(i+1)*bps], &d0, nref, bps, w)
+	}
 }
 
 // HardFromLLRQ converts quantized LLRs back to hard bits (LLR > 0 -> 0, as
