@@ -8,6 +8,7 @@ package carpool
 // benchmarks quantify the design choices called out in DESIGN.md §5.
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"net"
@@ -1057,5 +1058,81 @@ func BenchmarkTracerEmit(b *testing.B) {
 	}
 	if tr.Len() == 0 {
 		b.Fatal("tracer recorded nothing")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Erasure-coding kernels (DESIGN.md §15). The scratch-based RS codec over
+// GF(256) runs on the transmit path of every StrategyFEC aggregate and on
+// the receive path of every parity recovery, so benchdiff gates both
+// kernels at 0 allocs/op.
+
+func benchRSEncode(b *testing.B, k int) {
+	const m, shardLen = 2, 1500
+	rs, err := fec.NewRS(k, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, shardLen)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, m)
+	for j := range parity {
+		parity[j] = make([]byte, shardLen)
+	}
+	b.SetBytes(int64(k * shardLen))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rs.EncodeInto(parity, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSEncode4Sub encodes parity over a typical 4-subframe
+// aggregate; BenchmarkRSEncode16Sub over a deep 16-subframe one.
+func BenchmarkRSEncode4Sub(b *testing.B)  { benchRSEncode(b, 4) }
+func BenchmarkRSEncode16Sub(b *testing.B) { benchRSEncode(b, 16) }
+
+// BenchmarkRSReconstruct rebuilds two erased data shards of an 8+2 code —
+// the worst admissible loss for that geometry, paying the Gauss-Jordan
+// inversion plus two row-combine passes per op.
+func BenchmarkRSReconstruct(b *testing.B) {
+	const k, m, shardLen = 8, 2, 1500
+	rs, err := fec.NewRS(k, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, shardLen)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	if err := rs.EncodeInto(shards[k:], shards[:k]); err != nil {
+		b.Fatal(err)
+	}
+	want2, want5 := append([]byte(nil), shards[2]...), append([]byte(nil), shards[5]...)
+	present := make([]bool, k+m)
+	for i := range present {
+		present[i] = i != 2 && i != 5
+	}
+	b.SetBytes(2 * shardLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rs.ReconstructInto(shards, present); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !bytes.Equal(shards[2], want2) || !bytes.Equal(shards[5], want5) {
+		b.Fatal("reconstruction is not byte-true")
 	}
 }

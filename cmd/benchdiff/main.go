@@ -43,7 +43,10 @@ import (
 // and one ring-tracer emission. The parallel-submit family drives the
 // same fixed workload through 1, 4, and 16 concurrent submitters — the
 // sharded-admission scalability gate — and BenchmarkDemapSoftQ64QAM pins
-// the vectorized quantized demap kernel on one OFDM symbol.
+// the vectorized quantized demap kernel on one OFDM symbol. The erasure
+// arm gates the GF(256) Reed-Solomon kernels (encode over 4- and
+// 16-subframe aggregates, worst-case two-erasure reconstruct) at zero
+// allocations per op.
 var suite = []string{
 	"BenchmarkFFT64",
 	"BenchmarkViterbiDecode1500B",
@@ -63,6 +66,9 @@ var suite = []string{
 	"BenchmarkEngineParallelSubmit4Conns",
 	"BenchmarkEngineParallelSubmit16Conns",
 	"BenchmarkDemapSoftQ64QAM",
+	"BenchmarkRSEncode4Sub",
+	"BenchmarkRSEncode16Sub",
+	"BenchmarkRSReconstruct",
 }
 
 // Result is one parsed benchmark line.

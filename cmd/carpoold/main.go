@@ -11,8 +11,16 @@
 //	carpoold [-listen host:port] [-udp host:port] [-stas N] [-queue-cap N]
 //	         [-max-receivers N] [-agg-bytes N] [-airtime-budget dur]
 //	         [-max-latency dur] [-workers N] [-shards N] [-dead-locs 1,3]
-//	         [-phy] [-phy-seed N] [-pace] [-debug-addr host:port]
+//	         [-fec K] [-phy] [-phy-seed N] [-pace] [-debug-addr host:port]
 //	         [-slab bytes] [-legacy] [-sample N] [-health-interval dur]
+//
+// -fec K switches the engine to StrategyFEC: every aggregate carries K
+// erasure-coded parity subframes (XOR for K=1, Reed-Solomon over GF(256)
+// beyond), and a receiver that loses its own subframe rebuilds it from
+// the shards it overheard instead of waiting for a retransmission. Works
+// with both the oracle transports and -phy (where parity travels as real
+// subframes addressed to reserved parity slots). The engine counts the
+// machinery under engine.fec.{parity_tx,recovered,decode_fail}.
 //
 // -sample N traces every Nth admitted frame through its lifecycle,
 // exporting per-stage latency histograms (queue wait, backoff, air,
@@ -58,6 +66,7 @@ func main() {
 	workers := flag.Int("workers", 0, "delivery workers (0 = 1)")
 	shards := flag.Int("shards", 0, "admission lanes hashing the stations (0 = GOMAXPROCS-derived)")
 	deadLocs := flag.String("dead-locs", "", "comma-separated station indexes whose subframes always fail (loss model)")
+	fecK := flag.Int("fec", 0, "parity subframes per aggregate (StrategyFEC; 0 = shared-fate retry)")
 	usePHY := flag.Bool("phy", false, "deliver through the full PHY pipeline instead of the oracle")
 	phySeed := flag.Int64("phy-seed", 1, "PHY transport impairment seed")
 	pace := flag.Bool("pace", false, "pace workers by computed airtime")
@@ -95,6 +104,10 @@ func main() {
 		PaceAirtime:     *pace,
 		SampleEvery:     *sample,
 	}
+	if *fecK > 0 {
+		cfg.Strategy = engine.StrategyFEC
+		cfg.FECParity = *fecK
+	}
 	switch {
 	case *usePHY:
 		cfg.Transport = &engine.PHYTransport{Seed: *phySeed}
@@ -111,9 +124,19 @@ func main() {
 		if err != nil {
 			fatalf("-dead-locs: %v", err)
 		}
-		cfg.Transport = &engine.OracleTransport{
-			Oracle:    mac.NewLossyLocOracle(locs...),
-			Locations: identityLocations(*stas),
+		if *fecK > 0 {
+			// StrategyFEC needs the erasure-capable oracle transport.
+			cfg.Transport = &engine.CodedOracleTransport{
+				OracleTransport: engine.OracleTransport{
+					Oracle:    mac.NewLossyLocOracle(locs...),
+					Locations: identityLocations(*stas),
+				},
+			}
+		} else {
+			cfg.Transport = &engine.OracleTransport{
+				Oracle:    mac.NewLossyLocOracle(locs...),
+				Locations: identityLocations(*stas),
+			}
 		}
 	}
 

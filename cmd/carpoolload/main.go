@@ -8,7 +8,12 @@
 //	carpoolload [-addr host:port] [-net tcp|udp] [-stas N] [-rate fps]
 //	            [-bytes N] [-duration dur] [-seed N] [-payload]
 //	            [-open-loop] [-batch N] [-conns N] [-subscribe] [-sub-interval dur]
-//	            [-json]
+//	            [-fec] [-json]
+//
+// -fec asserts the server is running the erasure-coded strategy
+// (carpoold -fec K): the report prints the parity/recovery counters, and
+// the run exits non-zero when the drain reply shows no parity subframes —
+// catching a soak job that silently benchmarked the retry path instead.
 //
 // Without -open-loop the schedule is offered as fast as the connection
 // accepts it — the throughput-ceiling probe used by the CI soak job.
@@ -48,6 +53,7 @@ func main() {
 	conns := flag.Int("conns", 1, "parallel sender connections striping the stations (tcp only)")
 	subscribe := flag.Bool("subscribe", false, "stream telemetry on a second connection and reconcile deltas against the drain reply")
 	subInterval := flag.Duration("sub-interval", 0, "telemetry push interval for -subscribe (0 = 100ms)")
+	wantFEC := flag.Bool("fec", false, "require erasure-coding activity in the drain reply (server must run carpoold -fec)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
 
@@ -90,6 +96,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "carpoolload: telemetry deltas do not reconcile with the drain reply\n")
 		os.Exit(1)
 	}
+	if *wantFEC && rep.Server.FECParityTx == 0 {
+		fmt.Fprintf(os.Stderr, "carpoolload: -fec: drain reply shows no parity subframes; is carpoold running -fec?\n")
+		os.Exit(1)
+	}
 }
 
 func printReport(rep *engine.LoadReport) {
@@ -100,6 +110,10 @@ func printReport(rep *engine.LoadReport) {
 		s.Accepted, s.Rejected, s.Delivered, s.Dropped, s.Expired)
 	fmt.Printf("carpool   %d tx, %.2f subframes/tx, %d seq-ACK slots, airtime %v\n",
 		s.Transmissions, s.MeanGroupSize, s.SeqACKs, s.AirtimeBusy.Round(time.Microsecond))
+	if s.FECParityTx > 0 {
+		fmt.Printf("fec       %d parity subframes, %d recovered from parity, %d decode failures\n",
+			s.FECParityTx, s.FECRecovered, s.FECDecodeFail)
+	}
 	fmt.Printf("goodput   %.1f Mbit/s wall, %.1f Mbit/s airtime, drop rate %.4f\n",
 		s.GoodputMbps, s.AirtimeGoodputMbps, s.DropRate)
 	fmt.Printf("latency   p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  fairness %.4f\n",

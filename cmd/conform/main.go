@@ -30,7 +30,7 @@ func main() {
 		pairNames  = flag.String("pairs", "", "comma-separated pair names to run (default: all)")
 		seedShift  = flag.Int64("seed", 0, "offset added to every scenario seed (varies fixture payloads)")
 		shrink     = flag.Bool("shrink", true, "minimize failing scenarios before reporting")
-		inject     = flag.String("inject", "", `arm a deliberate bug (e.g. "llrsign") to validate the harness`)
+		inject     = flag.String("inject", "", `arm a deliberate bug ("llrsign", "gfmul") to validate the harness`)
 		replay     = flag.String("replay", "", `re-run one failure token: "<pair>|seed=N|imp(...)|..."`)
 		list       = flag.Bool("list", false, "list pairs and impairment kinds, then exit")
 		verbose    = flag.Bool("v", false, "log every check")
@@ -41,11 +41,13 @@ func main() {
 
 func run(matrixName, pairNames string, seedShift int64, shrink bool, inject, replay string, list, verbose bool) int {
 	if list {
-		fmt.Println("differential pairs:")
-		for _, p := range conform.Pairs() {
-			fmt.Printf("  %-16s %s (bound: %s)\n", p.Name, p.Desc, p.Bound)
+		pairs := conform.Pairs()
+		fmt.Printf("differential pairs (%d):\n", len(pairs))
+		for _, p := range pairs {
+			fmt.Printf("  %-20s %s (bound: %s)\n", p.Name, p.Desc, p.Bound)
 		}
 		fmt.Printf("impairment kinds: %s\n", strings.Join(faults.Kinds(), ", "))
+		fmt.Printf("injectable bugs:  %s, %s\n", conform.BugLLRSign, conform.BugGFMul)
 		return 0
 	}
 	if err := conform.InjectBug(inject); err != nil {

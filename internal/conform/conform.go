@@ -3,7 +3,8 @@
 // faults (internal/faults) and asserts bit-identity or a documented
 // divergence bound per pair.
 //
-// The six differential pairs:
+// The differential pairs — Pairs() is the authoritative registry; the
+// count below tracks it:
 //
 //   - demap-quant:    modem.DemapSoft (float64 weighted LLRs) vs
 //     modem.DemapSoftQWeightedInto (saturating int8) — bound: ≤ 1 int8
@@ -22,6 +23,15 @@
 //   - engine-vs-macsim: the real-time engine's deterministic mode vs
 //     mac.Run under a shared location-pure loss oracle — identical
 //     delivered bytes per STA and Jain byte-fairness.
+//   - batched-vs-unbatched: the slab-batched wire+admission serving path
+//     vs the per-frame path — bit-identical Stats.
+//   - sharded-vs-unsharded: multi-lane sharded admission vs the
+//     single-lane engine — shards=1 bit-identical; multi-shard identical
+//     per-STA bytes and fairness.
+//   - fec-vs-retry: the erasure-coded engine (StrategyFEC, XOR and
+//     RS/GF(256) parity) vs the shared-fate retry engine — identical
+//     per-STA delivered bytes and fairness, with parity recovery
+//     byte-true.
 //
 // On divergence the harness shrinks the scenario (impairment removal,
 // then per-impairment mildening) to a minimal failing case and prints a

@@ -103,6 +103,62 @@ func TestInjectedBugCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestInjectedGFMulBugCaughtAndShrunk proves the erasure wall end to end:
+// arming the wrong-reduction-polynomial bug must make the fec-vs-retry
+// pair's recovery arm diverge (byte-true recovery turns corrupted parity
+// into failed deliveries), the shrinker must bottom out at the seed-only
+// scenario (the bug fires on every scenario), and the replay token must
+// reproduce the divergence while armed and conform once disarmed.
+func TestInjectedGFMulBugCaughtAndShrunk(t *testing.T) {
+	if err := InjectBug(BugGFMul); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := InjectBug(""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	p, ok := PairByName("fec-vs-retry")
+	if !ok {
+		t.Fatal("pair fec-vs-retry missing")
+	}
+	failures := Run([]Pair{p}, ShortMatrix()[:4], Options{Shrink: true})
+	if len(failures) == 0 {
+		t.Fatalf("injected %s bug not caught", BugGFMul)
+	}
+	f := failures[0]
+	if n := len(f.Shrunk.Impairments); n != 0 {
+		t.Errorf("shrunk scenario still has %d impairments (corruption is scenario-independent): %q", n, f.Replay())
+	}
+	if f.ShrunkDetail == "" {
+		t.Error("shrunk scenario carries no divergence detail")
+	}
+
+	pairName, scStr, found := strings.Cut(f.Replay(), "|")
+	if !found || pairName != "fec-vs-retry" {
+		t.Fatalf("malformed replay token %q", f.Replay())
+	}
+	sc, err := faults.ParseScenario(scStr)
+	if err != nil {
+		t.Fatalf("replay token does not parse: %v", err)
+	}
+	detail, err := p.Check(sc)
+	if err != nil {
+		t.Fatalf("replay errored: %v", err)
+	}
+	if detail == "" {
+		t.Errorf("replay of %q no longer diverges", f.Replay())
+	}
+
+	if err := InjectBug(""); err != nil {
+		t.Fatal(err)
+	}
+	if detail, err := p.Check(faults.Scenario{Seed: 1}); err != nil || detail != "" {
+		t.Errorf("clean build diverges after disarm: %q err %v", detail, err)
+	}
+}
+
 // TestInjectBugRejectsUnknown pins the injection API's error contract.
 func TestInjectBugRejectsUnknown(t *testing.T) {
 	if err := InjectBug("no-such-bug"); err == nil {
@@ -172,7 +228,7 @@ func TestMatrixByName(t *testing.T) {
 
 // TestPairByName checks lookup and the pair roster.
 func TestPairByName(t *testing.T) {
-	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh", "engine-vs-macsim", "batched-vs-unbatched", "sharded-vs-unsharded"}
+	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh", "engine-vs-macsim", "batched-vs-unbatched", "sharded-vs-unsharded", "fec-vs-retry"}
 	if got := Pairs(); len(got) != len(want) {
 		t.Fatalf("%d pairs, want %d", len(got), len(want))
 	}

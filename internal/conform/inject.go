@@ -12,6 +12,13 @@ const (
 	// int8 fast paths (demap-quant and viterbi-soft pairs), the classic
 	// "inverted soft-bit convention" defect.
 	BugLLRSign = "llrsign"
+	// BugGFMul corrupts the erasure layer's parity shards the way a
+	// GF(256) multiply built on the wrong reduction polynomial would:
+	// every parity byte whose product overflowed x^8 (top bit set)
+	// carries the wrong residue. The fec-vs-retry pair must observe the
+	// corruption as failed recoveries — wrong bytes never count as
+	// delivered — and shrink it to a seed-only token.
+	BugGFMul = "gfmul"
 )
 
 // injectedBug is the currently armed bug ("" = none). The runner is
@@ -22,11 +29,11 @@ var injectedBug string
 // an empty name disarms. Unknown names error.
 func InjectBug(name string) error {
 	switch name {
-	case "", BugLLRSign:
+	case "", BugLLRSign, BugGFMul:
 		injectedBug = name
 		return nil
 	default:
-		return fmt.Errorf("conform: unknown injectable bug %q (have %q)", name, BugLLRSign)
+		return fmt.Errorf("conform: unknown injectable bug %q (have %q, %q)", name, BugLLRSign, BugGFMul)
 	}
 }
 
@@ -41,6 +48,24 @@ func corruptLLRQs(llrs []int8) {
 	for i, l := range llrs {
 		if l > -128 {
 			llrs[i] = -l
+		}
+	}
+}
+
+// corruptParity applies the armed gfmul bug to encoded parity shards: a
+// multiply table reduced by the wrong polynomial differs from the real
+// one exactly in products that wrapped past x^8, so the emulation flips
+// the 0x11d-vs-0x100 residue (0x1d) on every parity byte with the top
+// bit set. No-op unless BugGFMul is armed.
+func corruptParity(parity [][]byte) {
+	if injectedBug != BugGFMul {
+		return
+	}
+	for _, p := range parity {
+		for i, b := range p {
+			if b&0x80 != 0 {
+				p[i] = b ^ 0x1d
+			}
 		}
 	}
 }

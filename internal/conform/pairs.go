@@ -72,6 +72,12 @@ func Pairs() []Pair {
 			Bound: "shards=1 bit-identical Stats; multi-shard identical per-STA bytes and Jain",
 			run:   runShardedVsUnsharded,
 		},
+		{
+			Name:  "fec-vs-retry",
+			Desc:  "erasure-coded engine (StrategyFEC) vs shared-fate retry engine",
+			Bound: "identical per-STA delivered bytes and Jain; byte-true parity recovery",
+			run:   runFECVsRetry,
+		},
 	}
 }
 
@@ -628,6 +634,121 @@ func runShardedVsUnsharded(sc faults.Scenario) (string, error) {
 	if dump(sharded) != dump(batched) {
 		return fmt.Sprintf("batched 3-shard arm diverged from per-frame 3-shard arm:\n  per-frame %+v\n  batched   %+v",
 			*sharded, *batched), nil
+	}
+	return "", nil
+}
+
+// runFECVsRetry pits the erasure-coded engine against the shared-fate
+// retry engine in three arms. Delivery under a location-pure oracle is
+// schedule-independent — an alive station's frames always land within the
+// retry budget, a dead station's never do — so even though the two
+// strategies build different aggregates (parity subframes squeeze the
+// data caps), their delivered bytes per STA and Jain byte-fairness must
+// agree exactly on any workload that fully drains.
+//
+//  1. Equality: StrategyFEC (XOR or RS parity, scenario-alternated)
+//     under the scenario's dead-location oracle vs the plain retry
+//     engine — same per-STA bytes, same fairness, nothing pending.
+//  2. Recovery: a lossless channel where scenario-chosen stations always
+//     lose their own subframe off the air. One parity shard repairs
+//     every such erasure, so the FEC engine must reproduce the lossless
+//     retry run byte for byte — with zero retries, zero decode
+//     failures, and at least one parity recovery actually exercised.
+//     This is the arm that catches a corrupted GF(256) multiply
+//     (InjectBug "gfmul"): recovery is byte-true, so wrong parity turns
+//     into failed deliveries, never into silently wrong payloads.
+func runFECVsRetry(sc faults.Scenario) (string, error) {
+	flows, dead, locs := engineScenario(sc)
+	numSTAs := len(locs)
+	hsh := fnv.New64a()
+	hsh.Write([]byte(sc.String()))
+	h := hsh.Sum64()
+
+	// Arm 1: same lossy oracle, both strategies.
+	retrySt, err := engine.RunDeterministic(context.Background(), engine.Config{
+		NumSTAs: numSTAs,
+		Transport: &engine.OracleTransport{
+			Oracle:    mac.NewLossyLocOracle(dead...),
+			Locations: locs,
+		},
+	}, flows)
+	if err != nil {
+		return "", err
+	}
+	fecSt, err := engine.RunDeterministic(context.Background(), engine.Config{
+		NumSTAs:   numSTAs,
+		Strategy:  engine.StrategyFEC,
+		FECParity: 1 + int(h%2), // alternate XOR parity and RS across scenarios
+		Transport: &engine.CodedOracleTransport{
+			OracleTransport: engine.OracleTransport{
+				Oracle:    mac.NewLossyLocOracle(dead...),
+				Locations: locs,
+			},
+		},
+	}, flows)
+	if err != nil {
+		return "", err
+	}
+	if retrySt.Pending != 0 || fecSt.Pending != 0 {
+		return fmt.Sprintf("undrained run: retry pending %d, fec pending %d", retrySt.Pending, fecSt.Pending), nil
+	}
+	for sta := range locs {
+		if retrySt.DeliveredBytesPerSTA[sta] != fecSt.DeliveredBytesPerSTA[sta] {
+			return fmt.Sprintf("station %d delivered bytes: retry %d, fec %d (dead=%v)",
+				sta, retrySt.DeliveredBytesPerSTA[sta], fecSt.DeliveredBytesPerSTA[sta], dead), nil
+		}
+	}
+	if d := retrySt.ByteFairnessIndex - fecSt.ByteFairnessIndex; d > 1e-12 || d < -1e-12 {
+		return fmt.Sprintf("byte-fairness: retry %.15f, fec %.15f",
+			retrySt.ByteFairnessIndex, fecSt.ByteFairnessIndex), nil
+	}
+
+	// Arm 2: lossless channel, but the scenario's lossy stations always
+	// lose their own subframe — recoverable from one parity shard, so the
+	// FEC engine must match the lossless retry engine with no retries.
+	// At least one station is always lossy, so even the bare-seed
+	// scenario exercises recovery (and a shrink bottoms out there).
+	lossy := map[int]bool{int(h>>16) % numSTAs: true}
+	for i := range sc.Impairments {
+		lossy[int(h>>uint(8*i))%numSTAs] = true
+	}
+	losslessSt, err := engine.RunDeterministic(context.Background(), engine.Config{
+		NumSTAs:   numSTAs,
+		Transport: &engine.OracleTransport{Locations: locs},
+	}, flows)
+	if err != nil {
+		return "", err
+	}
+	recSt, err := engine.RunDeterministic(context.Background(), engine.Config{
+		NumSTAs:   numSTAs,
+		Strategy:  engine.StrategyFEC,
+		FECParity: 2, // RS proper: recovery multiplies by real GF(256) inverses
+		Transport: &engine.CodedOracleTransport{
+			OracleTransport: engine.OracleTransport{Locations: locs},
+			ErasePattern: func(seq uint64, sta, shard int, own bool) bool {
+				return own && lossy[sta]
+			},
+			CorruptParity: corruptParity, // no-op unless InjectBug("gfmul")
+		},
+	}, flows)
+	if err != nil {
+		return "", err
+	}
+	if recSt.Pending != 0 {
+		return fmt.Sprintf("recovery arm left %d frames pending", recSt.Pending), nil
+	}
+	for sta := range locs {
+		if losslessSt.DeliveredBytesPerSTA[sta] != recSt.DeliveredBytesPerSTA[sta] {
+			return fmt.Sprintf("station %d delivered bytes: lossless retry %d, fec-recovered %d (lossy=%v)",
+				sta, losslessSt.DeliveredBytesPerSTA[sta], recSt.DeliveredBytesPerSTA[sta], lossy), nil
+		}
+	}
+	if recSt.FECRecovered == 0 {
+		return fmt.Sprintf("recovery arm repaired nothing (lossy=%v); the pair exercised no parity path", lossy), nil
+	}
+	if recSt.FECDecodeFail != 0 || recSt.Retries != 0 {
+		return fmt.Sprintf("recovery arm fell back to retry: decode_fail %d, retries %d (single own-subframe erasures must be within parity's reach)",
+			recSt.FECDecodeFail, recSt.Retries), nil
 	}
 	return "", nil
 }

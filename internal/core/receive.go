@@ -36,6 +36,12 @@ type ReceiverConfig struct {
 	// decisions through the quantized int8 Viterbi fast path
 	// (fec.SoftDecoder) instead of hard decisions.
 	SoftFEC bool
+	// DecodeAll walks and decodes every subframe in the frame, not just
+	// the A-HDR matches — the erasure-coded (FEC) receive mode, where a
+	// station that loses its own subframe rebuilds it from the other data
+	// and parity subframes it overheard. The A-HDR gate still applies: a
+	// frame matching none of the station's positions is dropped unread.
+	DecodeAll bool
 }
 
 func (c ReceiverConfig) hashes() int {
@@ -172,7 +178,10 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 	symIdx := AHDRSymbols
 	badSIG := false
 	var jobs []subframeJob
-	for pos := 1; pos <= maxMatched; pos++ {
+	for pos := 1; pos <= maxMatched || cfg.DecodeAll; pos++ {
+		if cfg.DecodeAll && symIdx >= res.SymbolsHeard {
+			break // clean end of frame: no SIG symbol left to walk
+		}
 		sigOff := ofdm.PreambleLen + symIdx*ofdm.SymbolLen
 		sig, sigPhase, err := phy.DecodeSIGAt(buf, h, sigOff, symIdx)
 		if err != nil {
@@ -185,7 +194,7 @@ func ReceiveFrame(rx []complex128, cfg ReceiverConfig) (*FrameRx, error) {
 		symIdx++
 		nsym := sig.MCS.NumSymbols(sig.Length)
 
-		if !matched[pos] {
+		if !matched[pos] && !cfg.DecodeAll {
 			// Skip the whole subframe; only its SIG was decoded.
 			symIdx += nsym
 			sink.Counter("core.symbols_skipped").Add(int64(nsym))

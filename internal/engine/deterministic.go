@@ -81,7 +81,9 @@ func RunDeterministic(ctx context.Context, cfg Config, flows [][]traffic.Arrival
 		e.expireLocked(now)
 
 		if tx := e.buildPlanLocked(now, &sc); tx != nil {
-			okPerSub, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
+			var okPerSub []bool
+			var derr error
+			okPerSub, tx.recovered, derr = e.deliver(ctx, &tx.plan)
 			// The transmission and its ACK train occupy the air before the
 			// outcome lands — advance virtual time first so latency and
 			// backoff are stamped at transmission end, as on real hardware.
@@ -194,7 +196,9 @@ func RunDeterministicBatched(ctx context.Context, cfg Config, flows [][]traffic.
 		e.expireLocked(now)
 
 		if tx := e.buildPlanLocked(now, &sc); tx != nil {
-			okPerSub, derr := e.cfg.Transport.Deliver(ctx, &tx.plan)
+			var okPerSub []bool
+			var derr error
+			okPerSub, tx.recovered, derr = e.deliver(ctx, &tx.plan)
 			clk.now += tx.plan.Airtime + tx.plan.ACKTime
 			e.accountLocked(tx, okPerSub, derr, clk.now, 0)
 			continue

@@ -55,6 +55,24 @@ var (
 	ErrOversize = errors.New("engine: frame exceeds MaxAggBytes")
 )
 
+// Strategy selects the engine's loss-repair discipline.
+type Strategy int
+
+const (
+	// StrategyRetry is the paper's shared-fate ARQ: a failed subframe's
+	// frames requeue at the head and retransmit under capped exponential
+	// backoff. The default.
+	StrategyRetry Strategy = iota
+	// StrategyFEC codes across the subframes of each aggregate: the
+	// planner appends FECParity erasure-coded parity subframes (XOR for
+	// one, Reed-Solomon over GF(256) beyond), and a receiver that loses
+	// its own subframe rebuilds it from the shards it overheard — no
+	// retransmission. Loss beyond parity's reach falls back to the
+	// shared-fate retry path, so the two strategies degrade into each
+	// other rather than diverge.
+	StrategyFEC
+)
+
 // Config parameterizes an engine.
 type Config struct {
 	// NumSTAs is the number of stations the engine serves.
@@ -81,6 +99,15 @@ type Config struct {
 	// is ineligible for min(BackoffBase<<(k-1), BackoffCap). Defaults
 	// 100µs and 10ms.
 	BackoffBase, BackoffCap time.Duration
+	// Strategy selects the loss-repair discipline (StrategyRetry default).
+	Strategy Strategy
+	// FECParity is the number of parity subframes appended to each
+	// aggregate under StrategyFEC (default 1: plain XOR parity; more
+	// selects Reed-Solomon). Parity slots count against the A-HDR
+	// receiver capacity, so FECParity must leave room for at least one
+	// data subframe under MaxReceivers. Setting it without StrategyFEC
+	// is a configuration error.
+	FECParity int
 	// MCS is each station's modulation-and-coding scheme; nil selects
 	// phy.MCS48 for all, a short slice extends with its last entry.
 	MCS []phy.MCS
@@ -150,6 +177,22 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxAggBytes == 0 {
 		c.MaxAggBytes = 64 << 10
 	}
+	switch c.Strategy {
+	case StrategyRetry:
+		if c.FECParity != 0 {
+			return c, fmt.Errorf("engine: FECParity %d set without StrategyFEC", c.FECParity)
+		}
+	case StrategyFEC:
+		if c.FECParity == 0 {
+			c.FECParity = 1
+		}
+		if c.FECParity < 0 || c.FECParity >= c.MaxReceivers {
+			return c, fmt.Errorf("engine: FECParity %d must leave a data slot under MaxReceivers %d",
+				c.FECParity, c.MaxReceivers)
+		}
+	default:
+		return c, fmt.Errorf("engine: unknown strategy %d", c.Strategy)
+	}
 	if c.RetryLimit == 0 {
 		c.RetryLimit = mac.DefaultRetryLimit
 	}
@@ -193,7 +236,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	c.MCS = mcs
 	if c.Transport == nil {
-		c.Transport = &OracleTransport{}
+		if c.Strategy == StrategyFEC {
+			c.Transport = &CodedOracleTransport{}
+		} else {
+			c.Transport = &OracleTransport{}
+		}
+	}
+	if c.Strategy == StrategyFEC {
+		if _, ok := c.Transport.(FECTransport); !ok {
+			return c, fmt.Errorf("engine: StrategyFEC needs an FEC-capable transport, %T has no DeliverFEC", c.Transport)
+		}
 	}
 	return c, nil
 }
@@ -244,6 +296,9 @@ type Engine struct {
 
 	// sampleN caches cfg.SampleEvery for the admission fast path.
 	sampleN uint64
+	// fecK caches cfg.FECParity (0 under StrategyRetry) for the planner
+	// and delivery hot paths.
+	fecK int
 }
 
 // New validates cfg and returns an engine ready for Start (real-time) or
@@ -270,6 +325,7 @@ func New(cfg Config) (*Engine, error) {
 		clock:          clk,
 		eobs:           resolveEngObs(sink),
 		sampleN:        uint64(cfg.SampleEvery),
+		fecK:           cfg.FECParity,
 		deliveredBytes: make([]int64, cfg.NumSTAs),
 		offered:        make([]bool, cfg.NumSTAs),
 	}
@@ -628,26 +684,43 @@ func (e *Engine) backoffAfter(streak int) time.Duration {
 func (e *Engine) accountShardLocked(sh *shard, tx *pendingTx, okPerSub []bool, derr error, now, deliverDur time.Duration) {
 	plan := &tx.plan
 	txAir := plan.Airtime + plan.ACKTime
+	// dataSubs is the receiver-facing subframe count; trailing parity
+	// subframes (StrategyFEC) are accounted separately so every
+	// retry-mode counter is untouched by the FEC machinery.
+	dataSubs := plan.DataSubs
+	if dataSubs == 0 {
+		dataSubs = len(plan.Subs)
+	}
 	sh.txN++
-	sh.subN += int64(len(plan.Subs))
-	sh.seqAcks += int64(len(plan.Subs))
+	sh.subN += int64(dataSubs)
+	sh.seqAcks += int64(dataSubs)
 	sh.busy += plan.Airtime + plan.ACKTime
 	e.eobs.tx.Inc()
-	e.eobs.aggSubframes.Add(int64(len(plan.Subs)))
-	e.eobs.seqAcks.Add(int64(len(plan.Subs)))
+	e.eobs.aggSubframes.Add(int64(dataSubs))
+	e.eobs.seqAcks.Add(int64(dataSubs))
 	e.eobs.airtimeUs.Add(int64((plan.Airtime + plan.ACKTime) / time.Microsecond))
-	e.eobs.groupSize.Observe(float64(len(plan.Subs)))
-	e.eobs.tracer.Emit(obs.EvAggTX, int64(len(plan.Subs)), 0)
-	e.eobs.tracer.Emit(obs.EvSeqACK, int64(len(plan.Subs)), 0)
+	e.eobs.groupSize.Observe(float64(dataSubs))
+	e.eobs.tracer.Emit(obs.EvAggTX, int64(dataSubs), 0)
+	e.eobs.tracer.Emit(obs.EvSeqACK, int64(dataSubs), 0)
+	if n := len(plan.Subs) - dataSubs; n > 0 {
+		sh.fecParityTx += int64(n)
+		e.eobs.fecParityTx.Add(int64(n))
+	}
 	if derr != nil {
 		e.eobs.transportErrs.Inc()
 	}
 
-	for i := range plan.Subs {
+	for i := 0; i < dataSubs; i++ {
 		sub := &plan.Subs[i]
 		q := &e.queues[sub.STA]
 		delivered := derr == nil && okPerSub != nil && okPerSub[i]
 		if delivered {
+			if tx.recovered != nil && tx.recovered[i] {
+				// Lost on the air, rebuilt from parity: delivery without a
+				// retransmission — the whole point of the erasure layer.
+				sh.fecRecovered++
+				e.eobs.fecRecovered.Inc()
+			}
 			q.failStreak = 0
 			q.nextEligible = 0
 			for _, f := range tx.frames[i] {
@@ -665,7 +738,13 @@ func (e *Engine) accountShardLocked(sh *shard, tx *pendingTx, okPerSub []bool, d
 			}
 			continue
 		}
-		// Shared fate: every frame of the subframe failed together.
+		// Shared fate: every frame of the subframe failed together. Under
+		// StrategyFEC this is the fallback — the loss exceeded what parity
+		// could repair (or reconstruction produced wrong bytes).
+		if e.fecK > 0 && derr == nil && okPerSub != nil {
+			sh.fecDecodeFail++
+			e.eobs.fecDecodeFail.Inc()
+		}
 		kept := tx.frames[i][:0]
 		for _, f := range tx.frames[i] {
 			f.retries++
@@ -805,10 +884,10 @@ func (e *Engine) worker(rot int) {
 		var deliverDur time.Duration
 		if tx.sampled > 0 {
 			t0 := e.clock.Now()
-			okPerSub, derr = e.cfg.Transport.Deliver(e.ctx, &tx.plan)
+			okPerSub, tx.recovered, derr = e.deliver(e.ctx, &tx.plan)
 			deliverDur = e.clock.Now() - t0
 		} else {
-			okPerSub, derr = e.cfg.Transport.Deliver(e.ctx, &tx.plan)
+			okPerSub, tx.recovered, derr = e.deliver(e.ctx, &tx.plan)
 		}
 		if e.cfg.PaceAirtime {
 			e.pace(tx.plan.Airtime + tx.plan.ACKTime)

@@ -20,6 +20,12 @@ type engObs struct {
 	transportErrs *obs.Counter
 	airtimeUs     *obs.Counter
 
+	// Erasure-coding counters (StrategyFEC): parity subframes on the air,
+	// subframes rebuilt from parity, and losses beyond parity's reach.
+	fecParityTx   *obs.Counter
+	fecRecovered  *obs.Counter
+	fecDecodeFail *obs.Counter
+
 	qDropped      *obs.Counter
 	qExpired      *obs.Counter
 	qBackpressure *obs.Counter
@@ -58,6 +64,10 @@ func resolveEngObs(sink *obs.Sink) engObs {
 		seqAcks:       sink.Counter("engine.seq_acks"),
 		transportErrs: sink.Counter("engine.transport_errors"),
 		airtimeUs:     sink.Counter("engine.airtime_us"),
+
+		fecParityTx:   sink.Counter("engine.fec.parity_tx"),
+		fecRecovered:  sink.Counter("engine.fec.recovered"),
+		fecDecodeFail: sink.Counter("engine.fec.decode_fail"),
 
 		qDropped:      sink.Counter(obs.QueueDropped),
 		qExpired:      sink.Counter(obs.QueueExpired),

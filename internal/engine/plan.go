@@ -24,6 +24,11 @@ type PlanSub struct {
 	// Payloads holds the contained frames' bytes when the engine retains
 	// payloads; nil entries (or a nil slice) mean size-only frames.
 	Payloads [][]byte
+	// Parity marks an erasure-coding parity subframe (StrategyFEC): it
+	// carries no station's frames (STA is -1), spans Bytes of
+	// Reed-Solomon parity over the data subframes, and consumes no
+	// sequential-ACK slot.
+	Parity bool
 }
 
 // Plan is one aggregate transmission handed to a Transport.
@@ -39,6 +44,11 @@ type Plan struct {
 	Airtime time.Duration
 	// ACKTime is the sequential-ACK train duration.
 	ACKTime time.Duration
+	// DataSubs is the number of leading receiver-facing subframes in
+	// Subs; entries past it are parity (StrategyFEC). Zero is treated as
+	// len(Subs) so retry-mode plans (and hand-built test plans) need not
+	// set it.
+	DataSubs int
 }
 
 // pendingTx pairs the transport-facing plan with the engine-internal
@@ -52,6 +62,10 @@ type pendingTx struct {
 	frames  [][]qframe
 	sampled int
 	shard   int
+	// recovered is the FEC transport's per-data-subframe recovery flags
+	// (nil outside StrategyFEC), set by the delivery dispatch just before
+	// settlement so accounting can split delivered into direct vs rebuilt.
+	recovered []bool
 }
 
 // planScratch is one worker's reusable plan-building storage: the engine's
@@ -67,8 +81,10 @@ type planScratch struct {
 func (sc *planScratch) reset(numSTAs int) {
 	sc.tx.plan.Subs = sc.tx.plan.Subs[:0]
 	sc.tx.plan.Airtime, sc.tx.plan.ACKTime = 0, 0
+	sc.tx.plan.DataSubs = 0
 	sc.tx.frames = sc.tx.frames[:0]
 	sc.tx.sampled = 0
+	sc.tx.recovered = nil
 	sc.subBits = sc.subBits[:0]
 	if len(sc.staSlot) < numSTAs {
 		sc.staSlot = make([]int, numSTAs)
@@ -118,6 +134,15 @@ func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScra
 	symbols := mac.AHDRSymbols
 	stride := len(e.shards)
 
+	// StrategyFEC reserves fecK trailing subframes for erasure parity:
+	// they take A-HDR slots, payload bytes (each as long as the largest
+	// data subframe), and air symbols at the most robust admitted MCS, so
+	// every admission below projects the parity overhead into the same
+	// three caps the data subframes answer to.
+	fecK := e.fecK
+	maxSubBytes := 0
+	parityMCS := phy.MCS{}
+
 	for {
 		// Next frame in lane admission order among eligible stations: the
 		// strided walk visits exactly the shard's stations, and with one
@@ -139,16 +164,28 @@ func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScra
 		q := &e.queues[best]
 		f := q.headFrame()
 		slot := sc.staSlot[best]
-		if slot < 0 && len(plan.Subs) >= e.cfg.MaxReceivers {
+		if slot < 0 && len(plan.Subs) >= e.cfg.MaxReceivers-fecK {
 			sc.rejected[best] = true
 			continue
 		}
-		if len(plan.Subs) > 0 && totalBytes+f.size > e.cfg.MaxAggBytes {
+		// Project the aggregate's bytes and the parity shard geometry with
+		// this frame added: parity shards are as long as the largest
+		// subframe and ride the most robust (lowest-rate) admitted MCS.
+		mcs := e.cfg.MCS[best]
+		projSub := f.size
+		if slot >= 0 {
+			projSub += plan.Subs[slot].Bytes
+		}
+		projShard := max(maxSubBytes, projSub)
+		projParityMCS := parityMCS
+		if len(plan.Subs) == 0 || mcs.DataBitsPerSymbol() < projParityMCS.DataBitsPerSymbol() {
+			projParityMCS = mcs
+		}
+		if len(plan.Subs) > 0 && totalBytes+f.size+fecK*projShard > e.cfg.MaxAggBytes {
 			break // strict FIFO cutoff at the aggregate byte ceiling
 		}
 
 		// Project the airtime with this frame added.
-		mcs := e.cfg.MCS[best]
 		newSymbols := symbols
 		if slot < 0 {
 			newSymbols += mac.SIGSymbols + subSymbols(16+frameBits(f.size), mcs)
@@ -156,8 +193,10 @@ func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScra
 			newSymbols += subSymbols(sc.subBits[slot]+frameBits(f.size), mcs) -
 				subSymbols(sc.subBits[slot], mcs)
 		}
+		projAll := newSymbols +
+			fecK*(mac.SIGSymbols+subSymbols(16+frameBits(projShard), projParityMCS))
 		if e.cfg.AirtimeBudget > 0 && len(plan.Subs) > 0 &&
-			planAirtime(newSymbols) > e.cfg.AirtimeBudget {
+			planAirtime(projAll) > e.cfg.AirtimeBudget {
 			break
 		}
 
@@ -200,9 +239,24 @@ func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScra
 		sc.tx.frames[slot] = append(sc.tx.frames[slot], fr)
 		totalBytes += fr.size
 		symbols = newSymbols
+		maxSubBytes = projShard
+		parityMCS = projParityMCS
 	}
 	if len(plan.Subs) == 0 {
 		return nil
+	}
+	plan.DataSubs = len(plan.Subs)
+	if fecK > 0 {
+		// Append the parity subframes the projections above reserved room
+		// for: each spans the largest data subframe's bytes at the most
+		// robust admitted MCS, so any receiver that can hear data can hear
+		// parity.
+		for j := 0; j < fecK; j++ {
+			plan.Subs = append(plan.Subs, PlanSub{
+				STA: -1, MCS: parityMCS, Bytes: maxSubBytes, Parity: true,
+			})
+			sc.subBits = append(sc.subBits, 16+frameBits(maxSubBytes))
+		}
 	}
 
 	// Lay out symbol spans: A-HDR, then per subframe one SIG + DATA run.
@@ -216,7 +270,7 @@ func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScra
 	}
 	plan.Seq = e.txSeq.Add(1) - 1
 	plan.Airtime = planAirtime(cursor)
-	plan.ACKTime = time.Duration(len(plan.Subs)) * (mac.SIFS + mac.ACKAirtime(e.rates))
+	plan.ACKTime = time.Duration(plan.DataSubs) * (mac.SIFS + mac.ACKAirtime(e.rates))
 	sc.tx.shard = sh.id
 	return &sc.tx
 }

@@ -43,6 +43,7 @@ type shard struct {
 	// Accounting, aggregated across shards by statsCoreLocked.
 	accepted, rejected, delivered, dropped, expired int64
 	retriesN, txN, subN, seqAcks                    int64
+	fecParityTx, fecRecovered, fecDecodeFail        int64
 	busy                                            time.Duration
 	lat                                             latHist
 	stage                                           stageAcc

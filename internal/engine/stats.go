@@ -71,6 +71,14 @@ type Stats struct {
 	Transmissions int64 `json:"transmissions"`
 	Subframes     int64 `json:"subframes"`
 	SeqACKs       int64 `json:"seq_acks"`
+	// FECParityTx counts parity subframes put on the air (StrategyFEC);
+	// FECRecovered subframes that were lost on the air but rebuilt from
+	// parity (delivered without a retransmission); FECDecodeFail
+	// subframes whose loss exceeded parity's reach and fell back to the
+	// shared-fate retry path. All zero under StrategyRetry.
+	FECParityTx   int64 `json:"fec_parity_tx"`
+	FECRecovered  int64 `json:"fec_recovered"`
+	FECDecodeFail int64 `json:"fec_decode_fail"`
 	// MeanGroupSize is Subframes/Transmissions — the carpool occupancy.
 	MeanGroupSize float64 `json:"mean_group_size"`
 	// AirtimeBusy is the summed air occupancy (data + ACK trains) of every
@@ -146,6 +154,9 @@ func (e *Engine) statsCoreLocked(now time.Duration) (Stats, []int64) {
 		st.Transmissions += sh.txN
 		st.Subframes += sh.subN
 		st.SeqACKs += sh.seqAcks
+		st.FECParityTx += sh.fecParityTx
+		st.FECRecovered += sh.fecRecovered
+		st.FECDecodeFail += sh.fecDecodeFail
 		st.AirtimeBusy += sh.busy
 		if sh.lat.count > 0 {
 			if lat == nil {

@@ -36,6 +36,9 @@ type StatsDelta struct {
 	Retries        int64 `json:"retries"`
 	Transmissions  int64 `json:"transmissions"`
 	Subframes      int64 `json:"subframes"`
+	FECParityTx    int64 `json:"fec_parity_tx"`
+	FECRecovered   int64 `json:"fec_recovered"`
+	FECDecodeFail  int64 `json:"fec_decode_fail"`
 	DeliveredBytes int64 `json:"delivered_bytes"`
 	ElapsedNs      int64 `json:"elapsed_ns"`
 }
@@ -54,6 +57,9 @@ func DiffStats(cur, prev Stats) StatsDelta {
 		Retries:        cur.Retries - prev.Retries,
 		Transmissions:  cur.Transmissions - prev.Transmissions,
 		Subframes:      cur.Subframes - prev.Subframes,
+		FECParityTx:    cur.FECParityTx - prev.FECParityTx,
+		FECRecovered:   cur.FECRecovered - prev.FECRecovered,
+		FECDecodeFail:  cur.FECDecodeFail - prev.FECDecodeFail,
 		DeliveredBytes: cur.DeliveredBytes - prev.DeliveredBytes,
 		ElapsedNs:      int64(cur.Elapsed - prev.Elapsed),
 	}
@@ -69,6 +75,9 @@ func (d *StatsDelta) Add(o StatsDelta) {
 	d.Retries += o.Retries
 	d.Transmissions += o.Transmissions
 	d.Subframes += o.Subframes
+	d.FECParityTx += o.FECParityTx
+	d.FECRecovered += o.FECRecovered
+	d.FECDecodeFail += o.FECDecodeFail
 	d.DeliveredBytes += o.DeliveredBytes
 	d.ElapsedNs += o.ElapsedNs
 }

@@ -10,6 +10,7 @@ import (
 	"carpool/internal/bloom"
 	"carpool/internal/core"
 	"carpool/internal/faults"
+	"carpool/internal/fec"
 	"carpool/internal/mac"
 	"carpool/internal/sim"
 )
@@ -23,6 +24,50 @@ type Transport interface {
 	// engine treats every subframe of that plan as undelivered (retry
 	// path) and keeps running.
 	Deliver(ctx context.Context, plan *Plan) ([]bool, error)
+}
+
+// FECResult is one erasure-coded delivery's outcome, indexed by the
+// plan's data subframes (parity subframes have no verdict of their own).
+type FECResult struct {
+	// Direct marks data subframes whose receiver decoded them off the air.
+	Direct []bool
+	// Recovered marks data subframes that were lost directly but rebuilt
+	// byte-exactly from overheard shards plus parity. Disjoint from
+	// Direct; a subframe with neither flag falls to the retry path.
+	Recovered []bool
+}
+
+// FECTransport is a Transport that can also deliver erasure-coded plans:
+// the engine routes every StrategyFEC transmission through DeliverFEC.
+type FECTransport interface {
+	Transport
+	// DeliverFEC transmits a plan whose trailing len(Subs)-DataSubs
+	// subframes are parity, reporting direct reception and parity
+	// recovery per data subframe. Implementations must be safe for
+	// concurrent calls, like Deliver.
+	DeliverFEC(ctx context.Context, plan *Plan) (FECResult, error)
+}
+
+// deliver routes one plan through the configured transport: the plain
+// Deliver path under StrategyRetry, the erasure path under StrategyFEC
+// with parity recovery folded into the per-data-subframe verdicts. The
+// returned recovered slice is nil outside FEC mode.
+func (e *Engine) deliver(ctx context.Context, plan *Plan) (ok, recovered []bool, err error) {
+	if e.fecK == 0 {
+		ok, err = e.cfg.Transport.Deliver(ctx, plan)
+		return ok, nil, err
+	}
+	res, err := e.cfg.Transport.(FECTransport).DeliverFEC(ctx, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	ok = res.Direct
+	for i, r := range res.Recovered {
+		if r {
+			ok[i] = true
+		}
+	}
+	return ok, res.Recovered, nil
 }
 
 // OracleTransport decides delivery with a mac.DeliveryOracle over the
@@ -72,7 +117,170 @@ func STAMAC(i int) bloom.MAC {
 	return bloom.MAC{0x02, 0xcb, 0x70, byte(i >> 16), byte(i >> 8), byte(i)}
 }
 
+// ParityMAC returns parity slot j's reserved address. Parity subframes
+// belong to no station, but each still occupies an A-HDR receiver entry,
+// so the coded-Bloom filter and SIG chain stay well-formed; the reserved
+// OUI keeps the addresses disjoint from every STAMAC.
+func ParityMAC(j int) bloom.MAC {
+	return bloom.MAC{0x02, 0xcb, 0x71, 0xff, 0xff, byte(j)}
+}
+
+// CodedOracleTransport is the FEC-capable oracle transport: per-shard
+// reception is decided by a mac.DeliveryOracle over every subframe's
+// symbol span (mac.HeardMask) for each receiver's location, and a
+// receiver that loses its own subframe reconstructs it from the shards
+// it overheard through the fec.RS erasure coder. Recovery is byte-true —
+// it counts only when the rebuilt shard equals what was sent — so a
+// corrupted GF(256) kernel surfaces as delivery failures, not as
+// silently wrong payloads.
+type CodedOracleTransport struct {
+	OracleTransport
+
+	// Seed parameterizes the deterministic size-only shard filler
+	// (matching PHYTransport's subframePayload convention).
+	Seed int64
+	// ErasePattern, when non-nil, erases individual shard receptions on
+	// top of the oracle verdicts: reception of shard index shard by
+	// station sta on transmission seq is lost when it returns true (own
+	// marks the receiver's own data subframe). Deterministic loss
+	// injection for tests and the conformance pairs.
+	ErasePattern func(seq uint64, sta, shard int, own bool) bool
+	// CorruptParity, when non-nil, mutates the encoded parity shards
+	// before delivery — the conformance harness's injected-bug hook.
+	CorruptParity func(parity [][]byte)
+
+	// Coder cache and per-delivery scratch, guarded by the embedded mu.
+	coders map[int]*fec.RS
+	spans  []mac.SymbolSpan
+	heard  []bool
+	shards [][]byte
+	miss   [][]byte
+}
+
+var _ FECTransport = (*CodedOracleTransport)(nil)
+
+// coderLocked returns the cached RS coder for k data + m parity shards.
+func (t *CodedOracleTransport) coderLocked(k, m int) (*fec.RS, error) {
+	key := k<<16 | m
+	if rs, ok := t.coders[key]; ok {
+		return rs, nil
+	}
+	rs, err := fec.NewRS(k, m)
+	if err != nil {
+		return nil, err
+	}
+	if t.coders == nil {
+		t.coders = make(map[int]*fec.RS)
+	}
+	t.coders[key] = rs
+	return rs, nil
+}
+
+// DeliverFEC materializes the plan's data shards, encodes parity, and
+// plays every receiver's reception through the oracle: direct delivery
+// when the station hears its own subframe, parity reconstruction when it
+// hears at least DataSubs of the aggregate's shards.
+func (t *CodedOracleTransport) DeliverFEC(ctx context.Context, plan *Plan) (FECResult, error) {
+	k := plan.DataSubs
+	total := len(plan.Subs)
+	m := total - k
+	if m == 0 {
+		// No parity aboard (defensive: the FEC planner always appends
+		// some): plain per-subframe oracle verdicts.
+		ok, err := t.OracleTransport.Deliver(ctx, plan)
+		if err != nil {
+			return FECResult{}, err
+		}
+		return FECResult{Direct: ok, Recovered: make([]bool, len(ok))}, nil
+	}
+	res := FECResult{Direct: make([]bool, k), Recovered: make([]bool, k)}
+	shardLen := plan.Subs[k].Bytes
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs, err := t.coderLocked(k, m)
+	if err != nil {
+		return FECResult{}, err
+	}
+
+	// True shard bytes: data payloads zero-padded to the parity length,
+	// then the RS parity over them.
+	truth := make([][]byte, total)
+	for j := 0; j < k; j++ {
+		p := subframePayload(t.Seed, plan.Seq, j, plan.Subs[j])
+		if len(p) < shardLen {
+			pp := make([]byte, shardLen)
+			copy(pp, p)
+			p = pp
+		}
+		truth[j] = p
+	}
+	for j := 0; j < m; j++ {
+		truth[k+j] = make([]byte, shardLen)
+	}
+	if err := rs.EncodeInto(truth[k:], truth[:k]); err != nil {
+		return FECResult{}, err
+	}
+	if t.CorruptParity != nil {
+		t.CorruptParity(truth[k:])
+	}
+
+	if cap(t.spans) < total {
+		t.spans = make([]mac.SymbolSpan, total)
+		t.heard = make([]bool, total)
+		t.shards = make([][]byte, total)
+		t.miss = make([][]byte, total)
+	}
+	spans, heard, shards := t.spans[:total], t.heard[:total], t.shards[:total]
+	for j, sub := range plan.Subs {
+		spans[j] = mac.SymbolSpan{Start: sub.StartSym, Num: sub.NumSym}
+	}
+
+	for i := 0; i < k; i++ {
+		sta := plan.Subs[i].STA
+		loc := 0
+		if t.Locations != nil {
+			loc = t.Locations[sta]
+		}
+		n, err := mac.HeardMask(t.Oracle, loc, !t.StandardEstimate, spans, heard)
+		if err != nil {
+			return FECResult{}, err
+		}
+		if t.ErasePattern != nil {
+			for j := range heard {
+				if heard[j] && t.ErasePattern(plan.Seq, sta, j, j == i) {
+					heard[j] = false
+					n--
+				}
+			}
+		}
+		res.Direct[i] = heard[i]
+		if heard[i] || n < k {
+			continue
+		}
+		// Enough shards overheard: rebuild the missing ones, then check
+		// the receiver's own shard came back byte-exact.
+		for j := 0; j < total; j++ {
+			if heard[j] {
+				shards[j] = truth[j]
+				continue
+			}
+			if len(t.miss[j]) < shardLen {
+				t.miss[j] = make([]byte, shardLen)
+			}
+			shards[j] = t.miss[j][:shardLen]
+		}
+		if err := rs.ReconstructInto(shards, heard); err != nil {
+			continue // unrecoverable for this receiver: retry path
+		}
+		res.Recovered[i] = bytes.Equal(shards[i], truth[i])
+	}
+	return res, nil
+}
+
 // PHYTransport drives the full TX→channel→RX pipeline for every plan: it
+// also implements FECTransport, building parity subframes into the real
+// PHY frame and decoding them end to end (DeliverFEC). It
 // builds a real Carpool frame (core.BuildFrame — preamble, coded-Bloom
 // A-HDR, per-subframe SIG and DATA symbols), impairs the samples with a
 // seed-derived fault scenario, and fans each addressed station's receive
@@ -90,7 +298,14 @@ type PHYTransport struct {
 	FrameCfg core.FrameConfig
 	// SoftFEC selects the quantized soft-decision receive path.
 	SoftFEC bool
+
+	// fecMu guards the erasure-coder cache and its shared decode scratch
+	// across DeliverFEC's parallel receivers.
+	fecMu  sync.Mutex
+	coders map[int]*fec.RS
 }
+
+var _ FECTransport = (*PHYTransport)(nil)
 
 // Deliver builds, impairs, and decodes one aggregate end to end.
 func (t *PHYTransport) Deliver(ctx context.Context, plan *Plan) ([]bool, error) {
@@ -133,6 +348,145 @@ func (t *PHYTransport) Deliver(ctx context.Context, plan *Plan) ([]bool, error) 
 		return nil, err
 	}
 	return ok, nil
+}
+
+// coder returns the cached RS coder for k data + m parity shards.
+func (t *PHYTransport) coder(k, m int) (*fec.RS, error) {
+	t.fecMu.Lock()
+	defer t.fecMu.Unlock()
+	key := k<<16 | m
+	if rs, ok := t.coders[key]; ok {
+		return rs, nil
+	}
+	rs, err := fec.NewRS(k, m)
+	if err != nil {
+		return nil, err
+	}
+	if t.coders == nil {
+		t.coders = make(map[int]*fec.RS)
+	}
+	t.coders[key] = rs
+	return rs, nil
+}
+
+// DeliverFEC transmits an erasure-coded aggregate end to end: the data
+// subframes plus RS parity subframes (addressed to the reserved
+// ParityMAC slots) travel as one real PHY frame through the fault
+// scenario, every receiver decodes the whole frame (core DecodeAll
+// mode), and a receiver that loses its own subframe reconstructs it from
+// whichever shards it decoded byte-true — data and parity alike.
+func (t *PHYTransport) DeliverFEC(ctx context.Context, plan *Plan) (FECResult, error) {
+	k := plan.DataSubs
+	total := len(plan.Subs)
+	m := total - k
+	if m == 0 {
+		ok, err := t.Deliver(ctx, plan)
+		if err != nil {
+			return FECResult{}, err
+		}
+		return FECResult{Direct: ok, Recovered: make([]bool, len(ok))}, nil
+	}
+	shardLen := plan.Subs[k].Bytes
+	rs, err := t.coder(k, m)
+	if err != nil {
+		return FECResult{}, err
+	}
+
+	// On-air payloads: real data bytes per subframe, parity over the
+	// zero-padded shards.
+	air := make([][]byte, total)    // what each subframe carries
+	padded := make([][]byte, total) // shard view: air zero-padded to shardLen
+	subs := make([]core.Subframe, total)
+	for i := 0; i < k; i++ {
+		p := subframePayload(t.Seed, plan.Seq, i, plan.Subs[i])
+		air[i] = p
+		padded[i] = p
+		if len(p) < shardLen {
+			pp := make([]byte, shardLen)
+			copy(pp, p)
+			padded[i] = pp
+		}
+		subs[i] = core.Subframe{Receiver: STAMAC(plan.Subs[i].STA), MCS: plan.Subs[i].MCS, Payload: p}
+	}
+	for j := 0; j < m; j++ {
+		padded[k+j] = make([]byte, shardLen)
+	}
+	t.fecMu.Lock()
+	err = rs.EncodeInto(padded[k:], padded[:k])
+	t.fecMu.Unlock()
+	if err != nil {
+		return FECResult{}, err
+	}
+	for j := 0; j < m; j++ {
+		air[k+j] = padded[k+j]
+		subs[k+j] = core.Subframe{Receiver: ParityMAC(j), MCS: plan.Subs[k+j].MCS, Payload: air[k+j]}
+	}
+
+	frame, err := core.BuildFrame(subs, t.FrameCfg)
+	if err != nil {
+		return FECResult{}, fmt.Errorf("engine: building coded PHY frame: %w", err)
+	}
+	sc := faults.Scenario{Seed: sim.DeriveSeed(t.Seed, int(plan.Seq)), Impairments: t.Impair}
+	rx := sc.Apply(frame.Samples)
+
+	res := FECResult{Direct: make([]bool, k), Recovered: make([]bool, k)}
+	err = sim.ParallelForCtx(ctx, k, func(i int) error {
+		fr, rerr := core.ReceiveFrame(rx, core.ReceiverConfig{
+			MAC:        STAMAC(plan.Subs[i].STA),
+			UseRTE:     true,
+			KnownStart: 0,
+			SoftFEC:    t.SoftFEC,
+			DecodeAll:  true,
+		})
+		if rerr != nil || fr == nil {
+			return nil
+		}
+		// Which shards did this station decode byte-true off the air?
+		heard := make([]bool, total)
+		shards := make([][]byte, total)
+		n := 0
+		for _, sf := range fr.Subframes {
+			j := sf.Position - 1
+			if j < 0 || j >= total || heard[j] || !bytes.Equal(sf.Payload, air[j]) {
+				continue
+			}
+			heard[j] = true
+			n++
+			b := sf.Payload
+			if len(b) < shardLen {
+				bb := make([]byte, shardLen)
+				copy(bb, b)
+				b = bb
+			}
+			shards[j] = b
+		}
+		if heard[i] {
+			res.Direct[i] = true
+			return nil
+		}
+		if n < k {
+			return nil
+		}
+		for j := range shards {
+			if !heard[j] {
+				shards[j] = make([]byte, shardLen)
+			}
+		}
+		// The decode matrices inside rs are shared scratch: one receiver
+		// reconstructs at a time.
+		t.fecMu.Lock()
+		derr := rs.ReconstructInto(shards, heard)
+		t.fecMu.Unlock()
+		if derr != nil {
+			return nil
+		}
+		res.Recovered[i] = bytes.Equal(shards[i], padded[i])
+		return nil
+	})
+	if err != nil {
+		return FECResult{}, err
+	}
+	return res, nil
 }
 
 // subframePayload materializes a subframe's on-air bytes: the retained

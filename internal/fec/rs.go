@@ -1,0 +1,365 @@
+// Packet-level erasure coding across the subframes of one aggregate.
+//
+// The engine's shared-fate retry path resends a whole aggregate when any
+// receiver misses its subframe. The erasure layer here takes the opposite
+// approach (Chen & Leith, arXiv:1712.02718): treat the downlink as a
+// broadcast channel and code *across* receivers, appending parity
+// subframes so a station that loses its own subframe reconstructs it from
+// the subframes it overheard plus parity — no retransmission.
+//
+// Two codes, one implementation:
+//
+//   - m = 1 parity shard is plain XOR: any single erasure is recovered by
+//     XOR-ing the surviving shards. The generator matrix below is built so
+//     its first parity row is all ones, making this literally the XOR code.
+//   - m >= 2 is a systematic Reed-Solomon code over GF(256) (polynomial
+//     0x11d). Any m erasures across the k+m shards are recoverable.
+//
+// Everything is scratch-based: NewRS preallocates the decode matrices and
+// EncodeInto/ReconstructInto perform zero heap allocations per call, so
+// the kernels sit beside the SWAR Viterbi on the hot path.
+package fec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// gfPoly is the AES/QR-code reduction polynomial x^8+x^4+x^3+x^2+1.
+const gfPoly = 0x11d
+
+var (
+	// gfExp[i] = g^i for generator g=2; doubled so gfMul can skip a mod.
+	gfExp [512]byte
+	// gfLog[x] = log_g(x); gfLog[0] is unused.
+	gfLog [256]byte
+	// gfMulTab is the flat 64 KiB product table indexed [c<<8|x]. The
+	// per-row slice gfMulTab[int(c)<<8:] turns the inner encode loop into
+	// one table load per byte with no log/exp arithmetic.
+	gfMulTab [65536]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		lc := int(gfLog[c])
+		row := gfMulTab[c<<8 : c<<8+256]
+		for x := 1; x < 256; x++ {
+			row[x] = gfExp[lc+int(gfLog[x])]
+		}
+	}
+}
+
+// gfMul multiplies two GF(256) elements.
+func gfMul(a, b byte) byte {
+	return gfMulTab[int(a)<<8|int(b)]
+}
+
+// gfInv returns the multiplicative inverse; gfInv(0) is undefined and
+// returns 0.
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// mulAddInto computes dst ^= c * src byte-wise over GF(256). c == 0 is a
+// no-op; c == 1 degenerates to the SWAR XOR used by the plain-XOR parity.
+func mulAddInto(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorInto(dst, src)
+		return
+	}
+	row := gfMulTab[int(c)<<8 : int(c)<<8+256]
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// mulInto computes dst = c * src.
+func mulInto(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		for i := range dst[:len(src)] {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	row := gfMulTab[int(c)<<8 : int(c)<<8+256]
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// xorInto computes dst ^= src eight bytes at a time.
+func xorInto(dst, src []byte) {
+	n := len(src)
+	_ = dst[n-1]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XORParity writes the XOR of the data shards into parity — the m=1
+// erasure code in its simplest clothing. All shards must share one length.
+func XORParity(parity []byte, data [][]byte) {
+	for i := range parity {
+		parity[i] = 0
+	}
+	for _, d := range data {
+		xorInto(parity, d)
+	}
+}
+
+// TooManyErasuresError reports a reconstruction attempt with fewer
+// surviving shards than data shards. It is a typed error so callers (and
+// the fuzzers) can distinguish "unrecoverable" from "wrong bytes".
+type TooManyErasuresError struct {
+	Have, Need int
+}
+
+func (e *TooManyErasuresError) Error() string {
+	return fmt.Sprintf("fec: %d shards present, need %d to reconstruct", e.Have, e.Need)
+}
+
+// RS is a systematic Reed-Solomon erasure coder over GF(256) for k data
+// shards and m parity shards. One coder is good for any shard length; it
+// is not safe for concurrent use (the decode scratch is shared).
+type RS struct {
+	k, m int
+	// parity[j][i] is the coefficient of data shard i in parity shard j.
+	parity [][]byte
+	// Decode scratch, preallocated so ReconstructInto is zero-alloc.
+	dec  [][]byte // k x k submatrix of the generator, chosen per erasure set
+	inv  [][]byte // its inverse, built by Gauss-Jordan
+	rows []int    // the k present shard indices backing dec's rows
+}
+
+// NewRS builds a coder for dataShards + parityShards <= 256 total shards.
+//
+// The parity matrix is a column-scaled Cauchy construction over the
+// points x_j = k+j, y_i = i: P[j][i] = (k XOR i) / ((k+j) XOR i) in
+// GF(256). Scaling each column so row 0 is all ones keeps every square
+// submatrix of [I ; P] nonsingular (the MDS property, inherited from the
+// Cauchy matrix) while making the first parity shard the plain XOR of
+// the data shards — so m=1 is exactly the XOR code.
+func NewRS(dataShards, parityShards int) (*RS, error) {
+	k, m := dataShards, parityShards
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("fec: need at least 1 data and 1 parity shard (got %d+%d)", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("fec: %d total shards exceeds GF(256) limit of 256", k+m)
+	}
+	r := &RS{k: k, m: m}
+	// Cauchy matrix C[j][i] = 1/(x_j ^ y_i) with x_j = k+j, y_i = i; the
+	// two point sets are disjoint within [0,256) because k+m <= 256.
+	// Column-scale by b_i = x_0 ^ y_i = k^i so row 0 becomes all ones.
+	r.parity = make([][]byte, m)
+	for j := 0; j < m; j++ {
+		r.parity[j] = make([]byte, k)
+		for i := 0; i < k; i++ {
+			num := byte(k) ^ byte(i)   // x_0 ^ y_i
+			den := byte(k+j) ^ byte(i) // x_j ^ y_i, nonzero by disjointness
+			r.parity[j][i] = gfMul(num, gfInv(den))
+		}
+	}
+	r.dec = make([][]byte, k)
+	r.inv = make([][]byte, k)
+	for i := 0; i < k; i++ {
+		r.dec[i] = make([]byte, k)
+		r.inv[i] = make([]byte, k)
+	}
+	r.rows = make([]int, k)
+	return r, nil
+}
+
+// DataShards returns k.
+func (r *RS) DataShards() int { return r.k }
+
+// ParityShards returns m.
+func (r *RS) ParityShards() int { return r.m }
+
+// TotalShards returns k+m.
+func (r *RS) TotalShards() int { return r.k + r.m }
+
+// EncodeInto fills parity[0..m) from data[0..k). Every shard must have
+// the same length; parity buffers are overwritten. Zero allocations.
+func (r *RS) EncodeInto(parity, data [][]byte) error {
+	if len(data) != r.k || len(parity) != r.m {
+		return fmt.Errorf("fec: EncodeInto got %d data + %d parity shards, coder is %d+%d",
+			len(data), len(parity), r.k, r.m)
+	}
+	n := len(data[0])
+	for _, d := range data {
+		if len(d) != n {
+			return fmt.Errorf("fec: data shard length %d != %d", len(d), n)
+		}
+	}
+	for j, p := range parity {
+		if len(p) != n {
+			return fmt.Errorf("fec: parity shard length %d != %d", len(p), n)
+		}
+		mulInto(p, data[0], r.parity[j][0])
+		for i := 1; i < r.k; i++ {
+			mulAddInto(p, data[i], r.parity[j][i])
+		}
+	}
+	return nil
+}
+
+// ReconstructInto rebuilds every missing shard in place. shards holds all
+// k+m shard buffers (data first, then parity), each of equal length;
+// present[idx] reports whether shards[idx] survived. Missing shards'
+// buffers are overwritten with the reconstructed bytes; present is not
+// modified. If fewer than k shards are present it returns
+// *TooManyErasuresError and leaves the missing buffers untouched.
+//
+// Only present shards are read, so a missing shard's buffer may alias
+// scratch reused across calls.
+func (r *RS) ReconstructInto(shards [][]byte, present []bool) error {
+	total := r.k + r.m
+	if len(shards) != total || len(present) != total {
+		return fmt.Errorf("fec: ReconstructInto got %d shards / %d flags, coder is %d+%d",
+			len(shards), len(present), r.k, r.m)
+	}
+	have := 0
+	for _, ok := range present {
+		if ok {
+			have++
+		}
+	}
+	missingData := false
+	for i := 0; i < r.k; i++ {
+		if !present[i] {
+			missingData = true
+			break
+		}
+	}
+	if have < r.k {
+		return &TooManyErasuresError{Have: have, Need: r.k}
+	}
+
+	if missingData {
+		// Pick the first k present shards; their generator rows form the
+		// k x k system dec * data = observed.
+		nr := 0
+		for idx := 0; idx < total && nr < r.k; idx++ {
+			if !present[idx] {
+				continue
+			}
+			r.rows[nr] = idx
+			row := r.dec[nr]
+			if idx < r.k {
+				for c := 0; c < r.k; c++ {
+					row[c] = 0
+				}
+				row[idx] = 1
+			} else {
+				copy(row, r.parity[idx-r.k])
+			}
+			nr++
+		}
+		if err := r.invert(); err != nil {
+			return err
+		}
+		// data[d] = sum_t inv[d][t] * shards[rows[t]].
+		for d := 0; d < r.k; d++ {
+			if present[d] {
+				continue
+			}
+			out := shards[d]
+			mulInto(out, shards[r.rows[0]], r.inv[d][0])
+			for t := 1; t < r.k; t++ {
+				mulAddInto(out, shards[r.rows[t]], r.inv[d][t])
+			}
+		}
+	}
+
+	// With all data shards in hand, re-encode any missing parity.
+	for j := 0; j < r.m; j++ {
+		if present[r.k+j] {
+			continue
+		}
+		p := shards[r.k+j]
+		mulInto(p, shards[0], r.parity[j][0])
+		for i := 1; i < r.k; i++ {
+			mulAddInto(p, shards[i], r.parity[j][i])
+		}
+	}
+	return nil
+}
+
+// invert runs Gauss-Jordan on r.dec, leaving the inverse in r.inv. The
+// submatrix is guaranteed nonsingular by the Cauchy construction; a
+// singular matrix here means memory corruption, reported as an error
+// rather than a panic.
+func (r *RS) invert() error {
+	k := r.k
+	for i := 0; i < k; i++ {
+		row := r.inv[i]
+		for c := 0; c < k; c++ {
+			row[c] = 0
+		}
+		row[i] = 1
+	}
+	for col := 0; col < k; col++ {
+		// Find a pivot at or below col.
+		pivot := -1
+		for ri := col; ri < k; ri++ {
+			if r.dec[ri][col] != 0 {
+				pivot = ri
+				break
+			}
+		}
+		if pivot < 0 {
+			return fmt.Errorf("fec: singular decode matrix at column %d", col)
+		}
+		if pivot != col {
+			r.dec[pivot], r.dec[col] = r.dec[col], r.dec[pivot]
+			r.inv[pivot], r.inv[col] = r.inv[col], r.inv[pivot]
+		}
+		// Scale the pivot row to 1.
+		if pv := r.dec[col][col]; pv != 1 {
+			inv := gfInv(pv)
+			mulInto(r.dec[col], r.dec[col], inv)
+			mulInto(r.inv[col], r.inv[col], inv)
+		}
+		// Eliminate the column everywhere else.
+		for ri := 0; ri < k; ri++ {
+			if ri == col {
+				continue
+			}
+			if c := r.dec[ri][col]; c != 0 {
+				mulAddInto(r.dec[ri], r.dec[col], c)
+				mulAddInto(r.inv[ri], r.inv[col], c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// naiveGFMul is the shift-and-add reference multiply the table-driven
+// kernel must match element for element.
+func naiveGFMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a&0x80 != 0
+		a <<= 1
+		if hi {
+			a ^= byte(gfPoly & 0xff)
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func TestGFTablesMatchNaiveMultiply(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := gfMul(byte(a), byte(b)), naiveGFMul(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d, want 1", got, a)
+		}
+	}
+}
+
+func TestNewRSValidation(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {250, 7}} {
+		if _, err := NewRS(tc[0], tc[1]); err == nil {
+			t.Errorf("NewRS(%d,%d) accepted", tc[0], tc[1])
+		}
+	}
+	if _, err := NewRS(250, 6); err != nil {
+		t.Errorf("NewRS(250,6) rejected: %v", err)
+	}
+}
+
+// TestSingleParityIsXOR pins the column scaling: with m=1, the parity
+// shard must be byte-identical to XORParity over the same data.
+func TestSingleParityIsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		r, err := NewRS(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randShards(rng, k, 96)
+		parity := [][]byte{make([]byte, 96)}
+		if err := r.EncodeInto(parity, data); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 96)
+		XORParity(want, data)
+		if !bytes.Equal(parity[0], want) {
+			t.Fatalf("k=%d: RS single parity differs from XOR parity", k)
+		}
+	}
+}
+
+// TestReconstructAllErasurePatterns sweeps every erasure pattern of size
+// <= m for small codes and checks bit-exact recovery of all shards.
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, km := range [][2]int{{1, 1}, {2, 1}, {4, 2}, {5, 3}, {6, 4}} {
+		k, m := km[0], km[1]
+		r, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randShards(rng, k, 64)
+		parity := randShards(rng, m, 64) // overwritten
+		if err := r.EncodeInto(parity, data); err != nil {
+			t.Fatal(err)
+		}
+		truth := append(append([][]byte{}, data...), parity...)
+		total := k + m
+		// Every subset of shards to erase, up to m of them.
+		for mask := 0; mask < 1<<total; mask++ {
+			erased := popcount(mask)
+			if erased == 0 || erased > m {
+				continue
+			}
+			shards := make([][]byte, total)
+			present := make([]bool, total)
+			for i := 0; i < total; i++ {
+				if mask&(1<<i) != 0 {
+					shards[i] = make([]byte, 64) // scratch for the rebuild
+				} else {
+					shards[i] = append([]byte(nil), truth[i]...)
+					present[i] = true
+				}
+			}
+			if err := r.ReconstructInto(shards, present); err != nil {
+				t.Fatalf("k=%d m=%d mask=%b: %v", k, m, mask, err)
+			}
+			for i := 0; i < total; i++ {
+				if !bytes.Equal(shards[i], truth[i]) {
+					t.Fatalf("k=%d m=%d mask=%b: shard %d wrong after reconstruct", k, m, mask, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructTooManyErasures pins the typed-error contract: more
+// erasures than parity must return *TooManyErasuresError and never write
+// plausible-but-wrong bytes into the missing buffers.
+func TestReconstructTooManyErasures(t *testing.T) {
+	r, err := NewRS(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := randShards(rng, 4, 32)
+	parity := randShards(rng, 2, 32)
+	if err := r.EncodeInto(parity, data); err != nil {
+		t.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	present := []bool{false, false, false, true, true, true}
+	canary := []byte{0xa5}
+	for i := 0; i < 3; i++ {
+		shards[i] = bytes.Repeat(canary, 32)
+	}
+	err = r.ReconstructInto(shards, present)
+	var tme *TooManyErasuresError
+	if !errors.As(err, &tme) {
+		t.Fatalf("err = %v, want *TooManyErasuresError", err)
+	}
+	if tme.Have != 3 || tme.Need != 4 {
+		t.Fatalf("TooManyErasuresError = %+v, want Have=3 Need=4", tme)
+	}
+	for i := 0; i < 3; i++ {
+		if !bytes.Equal(shards[i], bytes.Repeat(canary, 32)) {
+			t.Errorf("missing shard %d written despite unrecoverable erasure set", i)
+		}
+	}
+}
+
+// TestReconstructZeroAlloc pins the hot-path contract beside the SWAR
+// Viterbi: encode and reconstruct run without heap allocations.
+func TestReconstructZeroAlloc(t *testing.T) {
+	r, err := NewRS(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	data := randShards(rng, 8, 1500)
+	parity := randShards(rng, 2, 1500)
+	shards := append(append([][]byte{}, data...), parity...)
+	present := make([]bool, 10)
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := r.EncodeInto(parity, data); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("EncodeInto allocates %.1f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		for i := range present {
+			present[i] = i != 1 && i != 5
+		}
+		if err := r.ReconstructInto(shards, present); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("ReconstructInto allocates %.1f per op, want 0", avg)
+	}
+}
+
+func randShards(rng *rand.Rand, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

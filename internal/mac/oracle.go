@@ -18,6 +18,37 @@ type DeliveryOracle interface {
 	SubframeOK(locID int, rte bool, startSym, numSym int) (bool, error)
 }
 
+// SymbolSpan is one subframe's DATA extent within an aggregate — the unit
+// a DeliveryOracle rules on.
+type SymbolSpan struct {
+	Start, Num int
+}
+
+// HeardMask asks o whether each span survives for the station at loc,
+// filling heard[i] and returning the number heard. A nil oracle hears
+// everything. This is the reception picture cross-subframe erasure
+// decoding needs: not just a receiver's own subframe verdict, but which
+// of the aggregate's data and parity shards it overheard — the engine's
+// coded (FEC) transport queries it per receiver.
+func HeardMask(o DeliveryOracle, loc int, rte bool, spans []SymbolSpan, heard []bool) (int, error) {
+	n := 0
+	for i, sp := range spans {
+		ok := true
+		if o != nil {
+			var err error
+			ok, err = o.SubframeOK(loc, rte, sp.Start, sp.Num)
+			if err != nil {
+				return n, err
+			}
+		}
+		heard[i] = ok
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
 // TraceOracle adapts a trace.Model. The PHY traces are collected at QAM64
 // rate 2/3 (the closest 802.11a scheme to the paper's 65 Mbit/s 802.11n
 // MCS 7); symbol indices map one-to-one.
