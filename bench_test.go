@@ -1136,3 +1136,63 @@ func BenchmarkRSReconstruct(b *testing.B) {
 		b.Fatal("reconstruction is not byte-true")
 	}
 }
+
+// benchClusterSubmitDrain measures the multi-AP serving path: 10k
+// size-only frames striped over 32 stations, routed to their APs by the
+// lock-free STA→AP map, delivered by each AP's own worker, then drained
+// cluster-wide. The AP count scales the routing fan-out and the number
+// of independent worker pools contending for the machine.
+func benchClusterSubmitDrain(b *testing.B, aps int) {
+	const (
+		frames  = 10_000
+		numSTAs = 32
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCluster(ClusterConfig{
+			APs:    aps,
+			Engine: EngineConfig{NumSTAs: numSTAs, QueueCap: 1 << 14, Workers: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < frames; k++ {
+			if err := c.SubmitSize(k%numSTAs, 1200); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Drain(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if st := c.Stats(); st.Delivered != frames {
+			b.Fatalf("delivered %d of %d", st.Delivered, frames)
+		}
+	}
+	b.ReportMetric(float64(frames), "frames/op")
+}
+
+func BenchmarkClusterSubmitDrain4AP(b *testing.B)  { benchClusterSubmitDrain(b, 4) }
+func BenchmarkClusterSubmitDrain16AP(b *testing.B) { benchClusterSubmitDrain(b, 16) }
+
+// BenchmarkBanditSchedulerStep measures one Pick/Observe cycle of the
+// learning spatial-reuse scheduler on an 8-AP, two-channel cluster —
+// the per-slot coordination overhead the deterministic runner pays.
+func BenchmarkBanditSchedulerStep(b *testing.B) {
+	channel := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	p := NewClusterBandit(channel, ClusterBanditConfig{Epsilon: 0.08, Seed: 7})
+	bytesPerAP := make([]int64, len(channel))
+	for a := range bytesPerAP {
+		bytesPerAP[a] = int64(40_000 + 1_000*a)
+	}
+	const candidates = uint64(0xff)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := p.Pick(candidates)
+		p.Observe(set, bytesPerAP, 2*time.Millisecond)
+	}
+}

@@ -17,7 +17,11 @@
 //   - the trace-driven MAC simulator (MACConfig, RunMAC) with all six
 //     protocol behaviours,
 //   - the real-time AP aggregation engine (EngineConfig, NewEngine,
-//     RunEngineDeterministic) behind cmd/carpoold, and
+//     RunEngineDeterministic) behind cmd/carpoold,
+//   - multi-AP coordinated serving (ClusterConfig, NewCluster,
+//     RunClusterDeterministic) — roaming handoff, co-channel
+//     interference, and the learning spatial-reuse scheduler behind
+//     carpoold -aps, and
 //   - the sequential-ACK NAV arithmetic (DataNAV, ReceiverNAV, ACKNAV).
 //
 // See examples/ for runnable end-to-end scenarios, DESIGN.md for the system
@@ -26,9 +30,11 @@ package carpool
 
 import (
 	"context"
+	"time"
 
 	"carpool/internal/bloom"
 	"carpool/internal/channel"
+	"carpool/internal/cluster"
 	"carpool/internal/core"
 	"carpool/internal/engine"
 	"carpool/internal/mac"
@@ -248,6 +254,63 @@ func RunEngineDeterministic(ctx context.Context, cfg EngineConfig, flows [][]Arr
 
 // NewEngineServer wraps a started engine in the wire-protocol frontend.
 func NewEngineServer(e *Engine) *EngineServer { return engine.NewServer(e) }
+
+// Multi-AP coordinated serving (internal/cluster): N engine shards — one
+// per simulated AP — behind a rendezvous-hash STA→AP map with live
+// roaming handoff, a cross-AP co-channel interference model, and a
+// coordination scheduler for the deterministic mode. Behind
+// cmd/carpoold -aps.
+type (
+	// Cluster is a running (or deterministically stepped) multi-AP
+	// serving group.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes a cluster: AP count, channel plan,
+	// interference matrix, coordination policy, and the per-AP engine
+	// template.
+	ClusterConfig = cluster.Config
+	// ClusterStats is a cluster snapshot: the rollup Total, each AP's own
+	// Stats, and the completed-handoff count.
+	ClusterStats = cluster.Stats
+	// ClusterRoamEvent schedules one station's handoff in a
+	// deterministic run.
+	ClusterRoamEvent = cluster.RoamEvent
+	// ClusterMatrix is the pairwise co-channel erasure matrix.
+	ClusterMatrix = cluster.Matrix
+	// ClusterPolicy decides which APs transmit concurrently per virtual
+	// slot in the deterministic runner.
+	ClusterPolicy = cluster.Policy
+	// ClusterBanditConfig tunes the learning spatial-reuse scheduler.
+	ClusterBanditConfig = cluster.BanditConfig
+)
+
+// NewCluster validates cfg and builds the cluster's engines, ready for
+// Start (the real-time mode behind carpoold -aps).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// RunClusterDeterministic executes a whole cluster single-threaded under
+// one shared virtual clock: flows drive each station, roams migrate
+// stations between APs mid-run, and the configured policy coordinates
+// which APs share each slot. A one-AP cluster reproduces
+// RunEngineDeterministic bit for bit (the cluster-vs-single conformance
+// pair pins this).
+func RunClusterDeterministic(ctx context.Context, cfg ClusterConfig, flows [][]Arrival,
+	roams []ClusterRoamEvent, horizon time.Duration) (*ClusterStats, error) {
+	return cluster.RunDeterministic(ctx, cfg, flows, roams, horizon)
+}
+
+// UniformInterference builds an n-AP matrix with probability p on every
+// off-diagonal pair — the carpoold -interference model.
+func UniformInterference(n int, p float64) *ClusterMatrix { return cluster.Uniform(n, p) }
+
+// NewClusterBandit returns the epsilon-greedy/UCB learning policy over
+// the AP→channel assignment's feasible transmission sets.
+func NewClusterBandit(channelOf []int, cfg ClusterBanditConfig) ClusterPolicy {
+	return cluster.NewBandit(channelOf, cfg)
+}
+
+// NewEngineServerFor wraps any serving backend — an engine or a
+// multi-AP cluster — in the wire-protocol frontend.
+func NewEngineServerFor(b engine.ServerBackend) *EngineServer { return engine.NewServerFor(b) }
 
 // NewEngineHealthMonitor returns a health monitor with cfg's detector
 // thresholds (zero values take documented defaults).

@@ -46,7 +46,10 @@ import (
 // the vectorized quantized demap kernel on one OFDM symbol. The erasure
 // arm gates the GF(256) Reed-Solomon kernels (encode over 4- and
 // 16-subframe aggregates, worst-case two-erasure reconstruct) at zero
-// allocations per op.
+// allocations per op. The cluster arm covers multi-AP serving: the same
+// 10k-frame submit+drain routed across 4 and 16 APs by the lock-free
+// STA→AP map, and one Pick/Observe cycle of the learning spatial-reuse
+// scheduler.
 var suite = []string{
 	"BenchmarkFFT64",
 	"BenchmarkViterbiDecode1500B",
@@ -69,6 +72,9 @@ var suite = []string{
 	"BenchmarkRSEncode4Sub",
 	"BenchmarkRSEncode16Sub",
 	"BenchmarkRSReconstruct",
+	"BenchmarkClusterSubmitDrain4AP",
+	"BenchmarkClusterSubmitDrain16AP",
+	"BenchmarkBanditSchedulerStep",
 }
 
 // Result is one parsed benchmark line.

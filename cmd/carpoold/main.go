@@ -13,6 +13,18 @@
 //	         [-max-latency dur] [-workers N] [-shards N] [-dead-locs 1,3]
 //	         [-fec K] [-phy] [-phy-seed N] [-pace] [-debug-addr host:port]
 //	         [-slab bytes] [-legacy] [-sample N] [-health-interval dur]
+//	         [-aps N] [-channels M] [-interference p] [-interference-seed N]
+//
+// -aps N serves the station space from an N-AP cluster instead of a
+// single engine: stations spread over the APs by rendezvous hashing,
+// RecRoam wire records migrate a station's queue (FIFO and backoff
+// state intact) between APs live, and stats/telemetry report the
+// cluster rollup with a per-AP breakdown (cmd/carpooltop renders it).
+// -channels spreads the APs over M radio channels (default min(N, 3)),
+// and -interference p couples co-channel APs with a uniform pairwise
+// erasure probability — concurrent same-channel transmissions then
+// degrade each other, which is what the roaming and coordination
+// machinery is for. -aps=1 is exactly the bare engine.
 //
 // -fec K switches the engine to StrategyFEC: every aggregate carries K
 // erasure-coded parity subframes (XOR for K=1, Reed-Solomon over GF(256)
@@ -48,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"carpool/internal/cluster"
 	"carpool/internal/engine"
 	"carpool/internal/mac"
 	"carpool/internal/obs"
@@ -75,6 +88,10 @@ func main() {
 	legacy := flag.Bool("legacy", false, "serve with the unbatched per-record read loop (reference arm)")
 	sample := flag.Int("sample", 0, "trace every Nth admitted frame through its lifecycle (0 = off)")
 	healthEvery := flag.Duration("health-interval", 500*time.Millisecond, "health detector sampling interval")
+	aps := flag.Int("aps", 1, "serve from a cluster of this many APs (1 = bare engine)")
+	channels := flag.Int("channels", 0, "radio channels the APs spread over (0 = min(aps, 3))")
+	interference := flag.Float64("interference", 0, "uniform pairwise co-channel erasure probability (0 = off)")
+	interfSeed := flag.Int64("interference-seed", 1, "interference erasure draw seed")
 	flag.Parse()
 
 	var health *engine.HealthMonitor
@@ -140,22 +157,54 @@ func main() {
 		}
 	}
 
-	eng, err := engine.New(cfg)
-	if err != nil {
-		fatalf("%v", err)
+	// backend is the slice of the serving surface main manages itself;
+	// everything else reaches the engine or cluster through the server.
+	type backend interface {
+		engine.ServerBackend
+		Start(ctx context.Context) error
+		Close()
+	}
+	var (
+		b   backend
+		cl  *cluster.Cluster
+		srv *engine.Server
+	)
+	if *aps > 1 {
+		ccfg := cluster.Config{
+			APs:              *aps,
+			Channels:         *channels,
+			InterferenceSeed: *interfSeed,
+			Engine:           cfg,
+		}
+		if *interference > 0 {
+			ccfg.Interference = cluster.Uniform(*aps, *interference)
+		}
+		var err error
+		cl, err = cluster.New(ccfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		b = cl
+		srv = engine.NewServerFor(cl)
+	} else {
+		eng, err := engine.New(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		b = eng
+		srv = engine.NewServer(eng)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	if err := eng.Start(ctx); err != nil {
+	if err := b.Start(ctx); err != nil {
 		fatalf("%v", err)
 	}
 
-	srv := engine.NewServer(eng)
 	srv.SlabSize = *slabSize
 	srv.Legacy = *legacy
 	srv.Health = health
 	if health != nil {
-		go health.Run(ctx, eng, *healthEvery)
+		go health.Run(ctx, b, *healthEvery)
 	}
 	srvCtx, srvCancel := context.WithCancel(ctx)
 	defer srvCancel()
@@ -165,7 +214,12 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "carpoold: serving %d stations on tcp://%s\n", *stas, ln.Addr())
+	if cl != nil {
+		fmt.Fprintf(os.Stderr, "carpoold: serving %d stations across %d APs on tcp://%s\n",
+			*stas, cl.NumAPs(), ln.Addr())
+	} else {
+		fmt.Fprintf(os.Stderr, "carpoold: serving %d stations on tcp://%s\n", *stas, ln.Addr())
+	}
 	go func() { errc <- srv.Serve(srvCtx, ln) }()
 
 	if *udp != "" {
@@ -189,19 +243,24 @@ func main() {
 		}()
 		drainCtx, drainCancel := context.WithTimeout(ctx, 30*time.Second)
 		defer drainCancel()
-		if err := eng.Drain(drainCtx); err != nil {
+		if err := b.Drain(drainCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "carpoold: drain: %v\n", err)
 		}
 	case err := <-errc:
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "carpoold: serve: %v\n", err)
 		}
-		eng.Close()
+		b.Close()
 	}
 	srvCancel()
 
-	st := eng.Stats()
-	doc, _ := json.MarshalIndent(st, "", "  ")
+	// Final stats: the cluster prints the rollup plus its per-AP
+	// breakdown and roam count; a bare engine prints its Stats as before.
+	var final any = b.Stats()
+	if cl != nil {
+		final = cl.ClusterStats()
+	}
+	doc, _ := json.MarshalIndent(final, "", "  ")
 	fmt.Fprintf(os.Stderr, "carpoold: final stats\n%s\n", doc)
 }
 

@@ -8,7 +8,13 @@
 //	carpoolload [-addr host:port] [-net tcp|udp] [-stas N] [-rate fps]
 //	            [-bytes N] [-duration dur] [-seed N] [-payload]
 //	            [-open-loop] [-batch N] [-conns N] [-subscribe] [-sub-interval dur]
-//	            [-fec] [-json]
+//	            [-aps N] [-roam rps] [-fec] [-json]
+//
+// -roam R interleaves seeded RecRoam records into the offered schedule
+// at R events per second, each moving a random station to a random AP in
+// [0, -aps): the roaming soak for a carpoold -aps cluster. Roams ride
+// the station's own connection stripe, so they order correctly against
+// that station's frames.
 //
 // -fec asserts the server is running the erasure-coded strategy
 // (carpoold -fec K): the report prints the parity/recovery counters, and
@@ -51,6 +57,8 @@ func main() {
 	openLoop := flag.Bool("open-loop", false, "pace arrivals against the wall clock")
 	batch := flag.Int("batch", 0, "records per write (>1 enables grouped sends for the server's slab reads)")
 	conns := flag.Int("conns", 1, "parallel sender connections striping the stations (tcp only)")
+	aps := flag.Int("aps", 0, "AP count on the server (carpoold -aps); roam targets are drawn from it")
+	roam := flag.Float64("roam", 0, "roam events per second interleaved into the schedule (needs -aps >= 2)")
 	subscribe := flag.Bool("subscribe", false, "stream telemetry on a second connection and reconcile deltas against the drain reply")
 	subInterval := flag.Duration("sub-interval", 0, "telemetry push interval for -subscribe (0 = 100ms)")
 	wantFEC := flag.Bool("fec", false, "require erasure-coding activity in the drain reply (server must run carpoold -fec)")
@@ -78,6 +86,8 @@ func main() {
 		OpenLoop:    *openLoop,
 		Batch:       *batch,
 		Conns:       *conns,
+		APs:         *aps,
+		Roam:        *roam,
 		Subscribe:   *subscribe,
 		SubInterval: *subInterval,
 	})
@@ -106,6 +116,9 @@ func printReport(rep *engine.LoadReport) {
 	s := rep.Server
 	fmt.Printf("offered   %d frames (%d sent) in %v — %.0f frames/s sent, %.0f end to end\n",
 		rep.Offered, rep.Sent, rep.TotalElapsed.Round(time.Millisecond), rep.SendRate, rep.EndToEndRate)
+	if rep.RoamsSent > 0 {
+		fmt.Printf("roaming   %d handoff requests interleaved\n", rep.RoamsSent)
+	}
 	fmt.Printf("engine    accepted %d  rejected %d  delivered %d  dropped %d  expired %d\n",
 		s.Accepted, s.Rejected, s.Delivered, s.Dropped, s.Expired)
 	fmt.Printf("carpool   %d tx, %.2f subframes/tx, %d seq-ACK slots, airtime %v\n",

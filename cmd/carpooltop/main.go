@@ -4,7 +4,9 @@
 // percentiles, retry and drop rates, a per-station queue table (depth,
 // backlog age, backoff, fail streak), the per-stage latency decomposition
 // when the server samples frame lifecycles, and the health verdict when
-// the server runs a monitor.
+// the server runs a monitor. Against a multi-AP cluster (carpoold -aps)
+// the screen adds a per-AP breakdown table between the vitals and the
+// station table, fed by the telemetry stream's per_ap records.
 //
 // Usage:
 //
@@ -106,6 +108,20 @@ func render(out *bufio.Writer, addr string, upd engine.TelemetryUpdate) {
 			line += ": " + strings.Join(h.Reasons, ", ")
 		}
 		fmt.Fprintln(out, line)
+	}
+
+	// Multi-AP backend (carpoold -aps): one row per AP so a roaming or
+	// interference imbalance is visible at a glance, above the
+	// cluster-wide station table.
+	if len(upd.PerAP) > 1 {
+		fmt.Fprintf(out, "\n%4s %10s %12s %10s %9s %8s %9s %9s\n",
+			"AP", "DELIVERED", "BYTES", "WALL-Mbps", "AIR-Mbps", "PENDING", "RETRIES", "FAIRNESS")
+		for _, ap := range upd.PerAP {
+			s := ap.Stats
+			fmt.Fprintf(out, "%4d %10d %12d %10.1f %9.1f %8d %9d %9.4f\n",
+				ap.AP, s.Delivered, s.DeliveredBytes, s.GoodputMbps, s.AirtimeGoodputMbps,
+				s.Pending, s.Retries, s.ByteFairnessIndex)
+		}
 	}
 
 	rows := append([]engine.STAStat(nil), upd.PerSTA...)

@@ -1,6 +1,7 @@
 package carpool_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -86,4 +87,41 @@ func ExampleBloomFalsePositiveRate() {
 	fmt.Printf("8 receivers, h=4: %.2f%%\n", 100*carpool.BloomFalsePositiveRate(8, 4))
 	// Output:
 	// 8 receivers, h=4: 5.77%
+}
+
+// Serving one deterministic workload from a three-AP cluster, with a
+// station handed off between APs mid-run. Handoffs are lossless — the
+// migrated station's queue, retry counts, and backoff state move with it
+// — so everything offered is delivered no matter where each station
+// ends up.
+func ExampleRunClusterDeterministic() {
+	const numSTAs = 6
+	flows := make([][]carpool.Arrival, numSTAs)
+	for sta := range flows {
+		for i := 0; i < 40; i++ {
+			flows[sta] = append(flows[sta], carpool.Arrival{
+				Time: time.Duration(i) * time.Millisecond,
+				Size: 800,
+			})
+		}
+	}
+	st, err := carpool.RunClusterDeterministic(context.Background(),
+		carpool.ClusterConfig{
+			APs:    3,
+			Engine: carpool.EngineConfig{NumSTAs: numSTAs},
+		},
+		flows,
+		[]carpool.ClusterRoamEvent{
+			{At: 10 * time.Millisecond, STA: 2, AP: 0},
+			{At: 25 * time.Millisecond, STA: 2, AP: 2},
+		},
+		0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered %d of %d frames across %d APs, %d handoffs\n",
+		st.Total.Delivered, numSTAs*40, len(st.PerAP), st.Roams)
+	// Output:
+	// delivered 240 of 240 frames across 3 APs, 2 handoffs
 }

@@ -1,0 +1,418 @@
+// Package cluster runs N engine.Engine shards — one per simulated AP —
+// behind one serving surface: a rendezvous-hash STA→AP map with roaming
+// handoff that migrates a station's queue between APs (preserving
+// per-STA FIFO and retry/backoff state via engine.ExtractSTA/InjectSTA),
+// a cross-AP co-channel interference model that degrades concurrent
+// same-channel transmissions' loss oracles, and a coordination scheduler
+// — greedy spatial reuse or a learning multi-armed bandit — that picks
+// which APs transmit together in the deterministic virtual-clock mode.
+//
+// The cluster satisfies engine.ServerBackend, so cmd/carpoold serves a
+// whole building from one process (`-aps=N -channels=M`): ingest routes
+// by the STA→AP map, Stats/Telemetry roll the per-AP accounting up into
+// cluster totals with a per-AP breakdown, and RecRoam wire records drive
+// live handoffs. A one-AP cluster is transparent: no interference
+// wrapping, passthrough routing, and Stats identical to the bare engine
+// (the cluster-vs-single conformance pair pins the deterministic mode
+// dump-identical).
+//
+// Concurrency contract: the submit path reads the STA→AP map with one
+// atomic load and takes no cluster lock, so stations flow independently
+// — a handoff in progress never stalls other stations' admissions. The
+// map is written only by Roam (serialized on an internal mutex) and the
+// single-threaded deterministic runner. Per-STA FIFO across a handoff
+// therefore requires exactly what per-STA FIFO already means: one
+// logical stream drives any given station, issuing its submits and
+// roams in order (the wire server's per-connection read loop does this
+// naturally). Engine workers take no cluster locks, so the in-flight
+// transmission a roam waits out settles while Roam polls.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"carpool/internal/engine"
+)
+
+// Typed cluster errors.
+var (
+	// ErrBadAP rejects a roam to an AP index outside the cluster.
+	ErrBadAP = errors.New("cluster: AP index out of range")
+	// ErrDraining rejects roams once a drain has begun (queues are being
+	// flushed in place; moving one mid-drain could strand frames).
+	ErrDraining = errors.New("cluster: draining")
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// APs is the number of engine shards (one per simulated AP); >= 1.
+	APs int
+	// Channels is the number of radio channels the APs spread over
+	// (default: min(APs, 3), the classic non-overlapping 2.4 GHz set).
+	// AP a serves channel a % Channels unless Channel overrides it.
+	Channels int
+	// Channel, when non-nil, pins each AP's channel explicitly
+	// (len(Channel) == APs, entries in [0, Channels)).
+	Channel []int
+	// Interference, when non-nil, couples co-channel APs: M[a][b] is the
+	// probability a data subframe at AP a is erased by a concurrent
+	// transmission from AP b on the same channel. Nil leaves transports
+	// unwrapped — a one-AP cluster then runs the bare engine's exact
+	// delivery path.
+	Interference *Matrix
+	// InterferenceSeed parameterizes the deterministic erasure draws.
+	InterferenceSeed int64
+	// Policy coordinates which APs transmit concurrently in the
+	// deterministic runner (nil: AllPolicy — every AP with eligible
+	// backlog transmits every slot). The real-time mode is uncoordinated:
+	// workers transmit freely and the interference mask tracks actual
+	// on-air overlap.
+	Policy Policy
+	// Routes, when non-nil, pins the initial STA→AP map explicitly
+	// (len(Routes) == NumSTAs); nil uses rendezvous hashing.
+	Routes []int
+	// Engine is the per-AP engine template: every AP gets this config,
+	// sized for the full station space (any station can roam to any AP).
+	// Engine.Clock is overridden with one shared clock so backoff
+	// deadlines survive migration; Engine.Transport, when interference is
+	// configured, is wrapped per-AP (implementations must tolerate
+	// concurrent Deliver calls from several engines — the stock oracle
+	// and PHY transports do).
+	Engine engine.Config
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.APs < 1 {
+		return c, fmt.Errorf("cluster: need at least one AP, got %d", c.APs)
+	}
+	if c.APs > 64 {
+		// The interference core and scheduler track transmission sets as
+		// 64-bit AP masks.
+		return c, fmt.Errorf("cluster: at most 64 APs, got %d", c.APs)
+	}
+	if c.Channels == 0 {
+		c.Channels = min(c.APs, 3)
+	}
+	if c.Channels < 1 {
+		return c, fmt.Errorf("cluster: non-positive Channels %d", c.Channels)
+	}
+	if c.Channel != nil {
+		if len(c.Channel) != c.APs {
+			return c, fmt.Errorf("cluster: %d Channel entries for %d APs", len(c.Channel), c.APs)
+		}
+		for a, ch := range c.Channel {
+			if ch < 0 || ch >= c.Channels {
+				return c, fmt.Errorf("cluster: AP %d channel %d outside 0..%d", a, ch, c.Channels-1)
+			}
+		}
+	}
+	if c.Interference != nil {
+		if err := c.Interference.validate(c.APs); err != nil {
+			return c, err
+		}
+		if c.Engine.Strategy == engine.StrategyFEC {
+			// The interference wrapper degrades plain Deliver verdicts; the
+			// FEC delivery path bypasses it. Combine them in a later PR.
+			return c, fmt.Errorf("cluster: interference model does not support StrategyFEC")
+		}
+	}
+	if c.Routes != nil && c.Engine.NumSTAs > 0 && len(c.Routes) != c.Engine.NumSTAs {
+		return c, fmt.Errorf("cluster: %d Routes entries for %d stations", len(c.Routes), c.Engine.NumSTAs)
+	}
+	return c, nil
+}
+
+// channelOf returns AP a's channel under cfg.
+func (c Config) channelOf(a int) int {
+	if c.Channel != nil {
+		return c.Channel[a]
+	}
+	return a % c.Channels
+}
+
+// Cluster is a running (or deterministically stepped) multi-AP serving
+// group.
+type Cluster struct {
+	cfg     Config
+	engines []*engine.Engine
+	channel []int // AP → channel
+
+	// interf is the shared on-air interference core (nil without a
+	// matrix): each AP's transport wrapper marks itself on air during
+	// Deliver and degrades its verdicts by the same-channel APs it
+	// overlapped.
+	interf *interfCore
+
+	// routes is the STA→AP map: atomic loads on the submit path, stores
+	// only under roamMu (Roam) or from the single-threaded deterministic
+	// runner. FIFO across a handoff leans on the package's concurrency
+	// contract — one logical stream per station — not on a global lock.
+	routes []int32
+	roams  atomic.Int64
+
+	// roamMu serializes handoffs and guards draining; acquiring it in
+	// Drain doubles as the barrier that lets an in-progress roam land
+	// before the engines start flushing.
+	roamMu   sync.Mutex
+	draining bool
+}
+
+// New validates cfg and builds the cluster's engines (not started —
+// Start launches every AP's worker pool; the deterministic runner
+// instead steps them itself).
+func New(cfg Config) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg}
+
+	ecfg := cfg.Engine
+	if ecfg.Clock == nil {
+		ecfg.Clock = engine.NewWallClock()
+	}
+	if cfg.Interference != nil {
+		if ecfg.Transport == nil {
+			// Materialize the engine's default here: the wrapper needs the
+			// base transport before engine.New would fill it in (FEC is
+			// rejected with interference, so the retry default applies).
+			ecfg.Transport = &engine.OracleTransport{}
+		}
+		c.interf = newInterfCore(cfg, ecfg.Transport)
+	}
+	c.engines = make([]*engine.Engine, cfg.APs)
+	c.channel = make([]int, cfg.APs)
+	for a := range c.engines {
+		c.channel[a] = cfg.channelOf(a)
+		apCfg := ecfg
+		if c.interf != nil {
+			apCfg.Transport = c.interf.transportFor(a)
+		}
+		e, err := engine.New(apCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: AP %d: %w", a, err)
+		}
+		c.engines[a] = e
+	}
+
+	numSTAs := c.engines[0].NumSTAs()
+	c.routes = make([]int32, numSTAs)
+	for sta := range c.routes {
+		if cfg.Routes != nil {
+			ap := cfg.Routes[sta]
+			if ap < 0 || ap >= cfg.APs {
+				return nil, fmt.Errorf("cluster: Routes[%d] = %d outside 0..%d", sta, ap, cfg.APs-1)
+			}
+			c.routes[sta] = int32(ap)
+		} else {
+			c.routes[sta] = int32(HomeAP(sta, cfg.APs))
+		}
+	}
+	return c, nil
+}
+
+// NumAPs returns the cluster size.
+func (c *Cluster) NumAPs() int { return len(c.engines) }
+
+// EngineAt returns AP a's engine (tests and the deterministic runner).
+func (c *Cluster) EngineAt(a int) *engine.Engine { return c.engines[a] }
+
+// ChannelOf returns AP a's radio channel.
+func (c *Cluster) ChannelOf(a int) int { return c.channel[a] }
+
+// APOf returns station sta's current AP.
+func (c *Cluster) APOf(sta int) int { return c.apFor(sta) }
+
+// Start launches every AP's delivery worker pool.
+func (c *Cluster) Start(ctx context.Context) error {
+	for a, e := range c.engines {
+		if err := e.Start(ctx); err != nil {
+			return fmt.Errorf("cluster: starting AP %d: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// apFor resolves station sta's AP with one atomic route load.
+// Out-of-range stations route to AP 0, whose admission core rejects them
+// with the engine's own typed error.
+func (c *Cluster) apFor(sta int) int {
+	if sta < 0 || sta >= len(c.routes) {
+		return 0
+	}
+	return int(atomic.LoadInt32(&c.routes[sta]))
+}
+
+// Submit routes one frame to its station's AP (engine.ServerBackend).
+func (c *Cluster) Submit(sta int, payload []byte) error {
+	return c.engines[c.apFor(sta)].Submit(sta, payload)
+}
+
+// SubmitSize routes one size-only frame to its station's AP.
+func (c *Cluster) SubmitSize(sta, size int) error {
+	return c.engines[c.apFor(sta)].SubmitSize(sta, size)
+}
+
+// SubmitBatch partitions a mixed-STA batch by AP and submits each AP's
+// run as one engine batch. Like the engine's own batch admission it
+// returns the number accepted and the first error in batch order.
+func (c *Cluster) SubmitBatch(items []engine.BatchItem) (int, error) {
+	if len(c.engines) == 1 {
+		return c.engines[0].SubmitBatch(items)
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	if len(sc.buckets) < len(c.engines) {
+		sc.buckets = make([][]engine.BatchItem, len(c.engines))
+	}
+	buckets := sc.buckets[:len(c.engines)]
+
+	for _, it := range items {
+		buckets[c.apFor(it.STA)] = append(buckets[c.apFor(it.STA)], it)
+	}
+	accepted := 0
+	var firstErr error
+	for a := range buckets {
+		if len(buckets[a]) == 0 {
+			continue
+		}
+		n, err := c.engines[a].SubmitBatch(buckets[a])
+		accepted += n
+		if firstErr == nil {
+			firstErr = err
+		}
+		buckets[a] = buckets[a][:0]
+	}
+	batchScratchPool.Put(sc)
+	return accepted, firstErr
+}
+
+// batchScratch pools the per-AP partition buffers SubmitBatch uses.
+type batchScratch struct {
+	buckets [][]engine.BatchItem
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// Roam migrates station sta to AP ap: the station's queued frames,
+// retry counts, and backoff gate move as one unit, then the route flips,
+// so a caller honoring the per-station stream contract sees strict FIFO
+// across the handoff — frames submitted before the roam migrate with the
+// queue, frames after land at the new AP behind them. A station with
+// frames in flight is retried until its transmission settles (the first
+// failed extraction gates the station against further planning, so the
+// wait is one settlement, not a race against the planner). A no-op roam
+// (already at ap) succeeds immediately.
+func (c *Cluster) Roam(sta, ap int) error {
+	if ap < 0 || ap >= len(c.engines) {
+		return ErrBadAP
+	}
+	if sta < 0 || sta >= len(c.routes) {
+		return fmt.Errorf("cluster: station %d outside 0..%d", sta, len(c.routes)-1)
+	}
+	c.roamMu.Lock()
+	defer c.roamMu.Unlock()
+	if c.draining {
+		return ErrDraining
+	}
+	from := int(atomic.LoadInt32(&c.routes[sta]))
+	if from == ap {
+		return nil
+	}
+	for {
+		st, err := c.engines[from].ExtractSTA(sta)
+		if err == nil {
+			if err = c.engines[ap].InjectSTA(st); err != nil {
+				// Target occupied (frames landed there under a stale route —
+				// impossible while routes are mutated only here, but kept
+				// defensive): put the state back where it came from.
+				_ = c.engines[from].InjectSTA(st)
+				return err
+			}
+			atomic.StoreInt32(&c.routes[sta], int32(ap))
+			c.roams.Add(1)
+			return nil
+		}
+		if !errors.Is(err, engine.ErrSTAInFlight) {
+			return err
+		}
+		runtime.Gosched() // transmission in flight: let it settle, retry
+	}
+}
+
+// Roams returns the number of completed handoffs.
+func (c *Cluster) Roams() int64 { return c.roams.Load() }
+
+// Drain gracefully stops every AP concurrently: new submissions reject
+// with the engine's ErrDraining, queued and in-flight frames deliver or
+// exhaust retries, then the pools exit. Roams reject for the duration;
+// taking roamMu to set the flag doubles as the barrier that lets a
+// handoff already past its own check land before the flush starts.
+func (c *Cluster) Drain(ctx context.Context) error {
+	c.roamMu.Lock()
+	c.draining = true
+	c.roamMu.Unlock()
+	errs := make(chan error, len(c.engines))
+	for _, e := range c.engines {
+		go func(e *engine.Engine) { errs <- e.Drain(ctx) }(e)
+	}
+	var first error
+	for range c.engines {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stopped reports whether every AP has fully stopped.
+func (c *Cluster) Stopped() bool {
+	for _, e := range c.engines {
+		if !e.Stopped() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close aborts every AP immediately.
+func (c *Cluster) Close() {
+	c.roamMu.Lock()
+	c.draining = true
+	c.roamMu.Unlock()
+	for _, e := range c.engines {
+		e.Close()
+	}
+}
+
+// rendezvousHash is the highest-random-weight mix: a splitmix64-style
+// avalanche over (sta, ap) giving every station an independent uniform
+// preference order over APs, so adding an AP moves only ~1/N stations.
+func rendezvousHash(sta, ap int) uint64 {
+	x := uint64(sta)*0x9e3779b97f4a7c15 ^ uint64(ap)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HomeAP returns station sta's rendezvous-hash home AP among n APs —
+// the cluster's initial (and carpoolload's striping) STA→AP map.
+func HomeAP(sta, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	best, bestW := 0, uint64(0)
+	for a := 0; a < n; a++ {
+		if w := rendezvousHash(sta, a); a == 0 || w > bestW {
+			best, bestW = a, w
+		}
+	}
+	return best
+}

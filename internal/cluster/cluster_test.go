@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"carpool/internal/engine"
+)
+
+func TestConfigValidation(t *testing.T) {
+	base := engine.Config{NumSTAs: 4}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero APs", Config{Engine: base}},
+		{"too many APs", Config{APs: 65, Engine: base}},
+		{"bad channel count", Config{APs: 2, Channels: -1, Engine: base}},
+		{"channel map wrong length", Config{APs: 2, Channel: []int{0}, Engine: base}},
+		{"channel out of range", Config{APs: 2, Channels: 2, Channel: []int{0, 5}, Engine: base}},
+		{"matrix wrong shape", Config{APs: 2, Interference: Uniform(3, 0.1), Engine: base}},
+		{"matrix out of range", Config{APs: 2, Interference: &Matrix{P: [][]float64{{0, 2}, {0, 0}}}, Engine: base}},
+		{"routes wrong length", Config{APs: 2, Routes: []int{0}, Engine: base}},
+		{"routes out of range", Config{APs: 2, Routes: []int{0, 0, 9, 0}, Engine: base}},
+		{"fec with interference", Config{APs: 2, Interference: Uniform(2, 0.1),
+			Engine: engine.Config{NumSTAs: 4, Strategy: engine.StrategyFEC}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := New(Config{APs: 4, Interference: Uniform(4, 0.2), Engine: base}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestHomeAPSpreadsStations(t *testing.T) {
+	const aps, stas = 4, 256
+	seen := make([]int, aps)
+	for sta := 0; sta < stas; sta++ {
+		a := HomeAP(sta, aps)
+		if a < 0 || a >= aps {
+			t.Fatalf("HomeAP(%d, %d) = %d", sta, aps, a)
+		}
+		if a != HomeAP(sta, aps) {
+			t.Fatalf("HomeAP not deterministic for sta %d", sta)
+		}
+		seen[a]++
+	}
+	for a, n := range seen {
+		// Rendezvous hashing over 256 stations should land well away from
+		// empty on every AP; a loose floor catches a broken hash.
+		if n < stas/aps/4 {
+			t.Errorf("AP %d serves %d of %d stations — hash badly skewed %v", a, n, stas, seen)
+		}
+	}
+}
+
+func TestSubmitRoutesAndRoamMovesBacklog(t *testing.T) {
+	c, err := New(Config{
+		APs:    2,
+		Routes: []int{0, 1, 0, 1},
+		Engine: engine.Config{NumSTAs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sta := 0; sta < 4; sta++ {
+		for k := 0; k < 3; k++ {
+			if err := c.SubmitSize(sta, 500); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if p0, p1 := c.EngineAt(0).Stats().Pending, c.EngineAt(1).Stats().Pending; p0 != 6 || p1 != 6 {
+		t.Fatalf("pending split %d/%d, want 6/6", p0, p1)
+	}
+	if err := c.Roam(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ap := c.APOf(0); ap != 1 {
+		t.Fatalf("station 0 at AP %d after roam", ap)
+	}
+	if p0, p1 := c.EngineAt(0).Stats().Pending, c.EngineAt(1).Stats().Pending; p0 != 3 || p1 != 9 {
+		t.Fatalf("pending split %d/%d after roam, want 3/9", p0, p1)
+	}
+	// New frames for station 0 must now land at AP 1.
+	if err := c.SubmitSize(0, 500); err != nil {
+		t.Fatal(err)
+	}
+	if p1 := c.EngineAt(1).Stats().Pending; p1 != 10 {
+		t.Fatalf("AP 1 pending %d after post-roam submit, want 10", p1)
+	}
+	if err := c.Roam(0, 5); err != ErrBadAP {
+		t.Fatalf("roam to bad AP returned %v", err)
+	}
+	if c.Roams() != 1 {
+		t.Fatalf("roam count %d, want 1", c.Roams())
+	}
+}
+
+func TestRollupSingleAPIsVerbatim(t *testing.T) {
+	s := engine.Stats{Accepted: 5, Delivered: 4, GoodputMbps: 1.25,
+		DeliveredBytesPerSTA: []int64{100, 200}, LatencyP99Ms: 7}
+	if got := rollup([]engine.Stats{s}); !reflect.DeepEqual(got, s) {
+		t.Fatalf("single-AP rollup mutated stats:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestRollupSumsCounters(t *testing.T) {
+	a := engine.Stats{Accepted: 10, Delivered: 8, DeliveredBytes: 800,
+		Transmissions: 4, Subframes: 8, Elapsed: 2 * time.Second,
+		DeliveredBytesPerSTA: []int64{800, 0}, OfferedSTAs: []bool{true, false}}
+	b := engine.Stats{Accepted: 6, Delivered: 6, DeliveredBytes: 600,
+		Transmissions: 2, Subframes: 6, Elapsed: 3 * time.Second,
+		DeliveredBytesPerSTA: []int64{0, 600}, OfferedSTAs: []bool{false, true}}
+	got := rollup([]engine.Stats{a, b})
+	if got.Accepted != 16 || got.Delivered != 14 || got.DeliveredBytes != 1400 {
+		t.Fatalf("counters: %+v", got)
+	}
+	if got.Elapsed != 3*time.Second {
+		t.Fatalf("elapsed %v, want max 3s", got.Elapsed)
+	}
+	if got.MeanGroupSize != 14.0/6.0 {
+		t.Fatalf("mean group size %v", got.MeanGroupSize)
+	}
+	if want := []int64{800, 600}; !reflect.DeepEqual(got.DeliveredBytesPerSTA, want) {
+		t.Fatalf("per-STA merge %v, want %v", got.DeliveredBytesPerSTA, want)
+	}
+	if got.ByteFairnessIndex <= 0.9 || got.ByteFairnessIndex > 1 {
+		t.Fatalf("fairness %v over near-even split", got.ByteFairnessIndex)
+	}
+}
+
+func TestGreedyDiscoversCompatibleGroups(t *testing.T) {
+	// APs 0,1 are mutually silent; 2 and 3 jam everything. One channel.
+	m := Uniform(4, 0.9)
+	m.P[0][1], m.P[1][0] = 0, 0
+	channel := []int{0, 0, 0, 0}
+	g := NewGreedy(m, channel, 0.05)
+	counts := map[uint64]int{}
+	for i := 0; i < 4; i++ {
+		counts[g.Pick(0b1111)]++
+	}
+	// Each rotation start yields a maximal compatible set; {0,1} must
+	// appear together whenever either starts the walk, and 2 or 3 alone.
+	for set := range counts {
+		if set&0b0011 != 0 && set&0b0011 != 0b0011 {
+			t.Errorf("greedy split the compatible pair: set %04b", set)
+		}
+		if set&0b1100 == 0b1100 {
+			t.Errorf("greedy admitted both jammers: set %04b", set)
+		}
+	}
+	// Different channels never conflict regardless of the matrix.
+	g2 := NewGreedy(Uniform(2, 1.0), []int{0, 1}, 0.0)
+	if set := g2.Pick(0b11); set != 0b11 {
+		t.Errorf("cross-channel APs not jointly admitted: %02b", set)
+	}
+}
+
+func TestBanditLearnsBestArm(t *testing.T) {
+	// Synthetic rewards on one 2-AP channel group: transmitting both APs
+	// together pays 3x either alone. The bandit must converge onto the
+	// joint arm.
+	b := NewBandit([]int{0, 0}, BanditConfig{Seed: 1})
+	reward := func(set uint64) []int64 {
+		per := make([]int64, 2)
+		if set == 0b11 {
+			per[0], per[1] = 3000, 3000
+		} else if set&1 != 0 {
+			per[0] = 2000
+		} else if set&2 != 0 {
+			per[1] = 2000
+		}
+		return per
+	}
+	picks := map[uint64]int{}
+	for i := 0; i < 400; i++ {
+		set := b.Pick(0b11)
+		if set == 0 || set&^uint64(0b11) != 0 {
+			t.Fatalf("pick %d returned %b", i, set)
+		}
+		b.Observe(set, reward(set), time.Millisecond)
+		if i >= 300 {
+			picks[set]++
+		}
+	}
+	if picks[0b11] <= picks[0b01]+picks[0b10] {
+		t.Fatalf("bandit did not converge to the joint arm: %v", picks)
+	}
+}
+
+func TestInterferenceErasureDeterministicAndScaled(t *testing.T) {
+	if erased(1, 2, 3, 4, 5, 0.5) != erased(1, 2, 3, 4, 5, 0.5) {
+		t.Fatal("erasure draw not deterministic")
+	}
+	// Frequency sanity: the splitmix draw at p must erase ~p of tuples.
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		n, hits := 20000, 0
+		for i := 0; i < n; i++ {
+			if erased(7, uint64(i), 0, 1, 0, p) {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(n)
+		if got < p-0.02 || got > p+0.02 {
+			t.Errorf("erasure rate %v at p=%v", got, p)
+		}
+	}
+	if erased(0, 0, 0, 1, 0, 0) {
+		t.Error("p=0 erased")
+	}
+}
+
+func TestClusterDrainRejectsRoam(t *testing.T) {
+	c, err := New(Config{APs: 2, Engine: engine.Config{NumSTAs: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Stopped() {
+		t.Fatal("cluster not stopped after drain")
+	}
+	if err := c.Roam(0, 1); err != ErrDraining {
+		t.Fatalf("roam during/after drain returned %v", err)
+	}
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"carpool/internal/engine"
+	"carpool/internal/traffic"
+)
+
+// RoamEvent is one scheduled handoff in a deterministic run: at virtual
+// time At, station STA migrates to AP. Events apply between slots (never
+// mid-transmission), in (At, STA) order.
+type RoamEvent struct {
+	At  time.Duration
+	STA int
+	AP  int
+}
+
+// vclock is the cluster's manually advanced virtual clock, shared by
+// every AP engine so arrival stamps, backoff deadlines, and latency
+// accounting agree across a handoff.
+type vclock struct {
+	now time.Duration
+}
+
+func (c *vclock) Now() time.Duration { return c.now }
+
+// detArrival is one scheduled submission, pre-flattened and sorted.
+type detArrival struct {
+	at   time.Duration
+	sta  int
+	size int
+}
+
+// RunDeterministic executes a whole cluster single-threaded under one
+// virtual clock: per-STA arrival flows route to each station's current
+// AP, roam events migrate queue and backoff state between APs, and each
+// slot the coordination Policy picks which backlogged APs transmit
+// together — their plans share the air (the interference core sees the
+// coordinated set), the clock advances by the slot's longest
+// transmission, and every outcome settles at slot end. A given (config,
+// flows, roams) triple always produces the same Stats.
+//
+// With cfg.APs == 1, no interference, and no roams, the loop reduces
+// step for step to engine.RunDeterministic — the cluster-vs-single
+// conformance pair holds the Stats dump-identical.
+//
+// horizon, when positive, stops the run at that virtual time even with
+// backlog remaining (interference can make queues non-draining);
+// otherwise the run ends when every arrival has been offered and all
+// queues have drained.
+func RunDeterministic(ctx context.Context, cfg Config, flows [][]traffic.Arrival, roams []RoamEvent, horizon time.Duration) (*Stats, error) {
+	if len(flows) > cfg.Engine.NumSTAs && cfg.Engine.NumSTAs > 0 {
+		return nil, fmt.Errorf("cluster: %d flows for %d stations", len(flows), cfg.Engine.NumSTAs)
+	}
+	clk := &vclock{}
+	cfg.Engine.Clock = clk
+	cfg.Engine.Workers = 1
+	if cfg.Engine.AdmissionShards == 0 {
+		// Deterministic results must not depend on the host's GOMAXPROCS
+		// (see engine.RunDeterministic).
+		cfg.Engine.AdmissionShards = 1
+	}
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = AllPolicy{}
+	}
+
+	steppers := make([]*engine.Stepper, len(c.engines))
+	for a, e := range c.engines {
+		steppers[a] = engine.NewStepper(e)
+	}
+
+	// Flatten flows into one global arrival schedule ordered by time with
+	// station index as the tie-break — the same order the single-engine
+	// runner admits in.
+	var arrivals []detArrival
+	for sta, flow := range flows {
+		for _, a := range flow {
+			arrivals = append(arrivals, detArrival{at: a.Time, sta: sta, size: a.Size})
+		}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		if arrivals[i].at != arrivals[j].at {
+			return arrivals[i].at < arrivals[j].at
+		}
+		return arrivals[i].sta < arrivals[j].sta
+	})
+	roams = append([]RoamEvent(nil), roams...)
+	sort.SliceStable(roams, func(i, j int) bool {
+		if roams[i].At != roams[j].At {
+			return roams[i].At < roams[j].At
+		}
+		return roams[i].STA < roams[j].STA
+	})
+
+	bytesBefore := make([]int64, len(c.engines))
+	bytesPerAP := make([]int64, len(c.engines))
+	txs := make([]*engine.SteppedTx, len(c.engines))
+
+	next, nextRoam := 0, 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		now := clk.now
+		if horizon > 0 && now >= horizon {
+			break
+		}
+
+		// Apply every roam due by now: between slots nothing is in
+		// flight, so extraction cannot fail on in-flight frames.
+		for nextRoam < len(roams) && roams[nextRoam].At <= now {
+			ev := roams[nextRoam]
+			nextRoam++
+			if ev.STA < 0 || ev.STA >= len(c.routes) || ev.AP < 0 || ev.AP >= len(c.engines) {
+				return nil, fmt.Errorf("cluster: roam event (%v, sta %d, ap %d) out of range", ev.At, ev.STA, ev.AP)
+			}
+			from := c.apFor(ev.STA)
+			if from == ev.AP {
+				continue
+			}
+			st, err := c.engines[from].ExtractSTA(ev.STA)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: roam sta %d at %v: %w", ev.STA, ev.At, err)
+			}
+			if err := c.engines[ev.AP].InjectSTA(st); err != nil {
+				return nil, fmt.Errorf("cluster: roam sta %d at %v: %w", ev.STA, ev.At, err)
+			}
+			atomic.StoreInt32(&c.routes[ev.STA], int32(ev.AP))
+			c.roams.Add(1)
+		}
+
+		// Admit every arrival due by now at its station's current AP.
+		// Admission failures are backpressure outcomes, not run errors.
+		for next < len(arrivals) && arrivals[next].at <= now {
+			a := arrivals[next]
+			ap := c.apFor(a.sta)
+			_ = steppers[ap].Submit(a.sta, a.size, nil, now)
+			next++
+		}
+		for _, s := range steppers {
+			s.Expire(now)
+		}
+
+		// Candidate APs: those with eligible backlog this instant.
+		var candidates uint64
+		for a, s := range steppers {
+			if s.HasEligible(now) {
+				candidates |= 1 << uint(a)
+			}
+		}
+
+		if candidates != 0 {
+			pick := policy.Pick(candidates) & candidates
+			if pick == 0 {
+				// A policy cannot stall the cluster: transmit the lowest
+				// backlogged AP.
+				pick = candidates & -candidates
+			}
+
+			// Build every picked AP's plan first (ascending AP order), so
+			// the slot's membership is fixed before any delivery runs.
+			var slotAir time.Duration
+			built := pick
+			for a := range steppers {
+				txs[a] = nil
+				if pick&(1<<uint(a)) == 0 {
+					continue
+				}
+				tx := steppers[a].BuildPlan(now)
+				if tx == nil {
+					built &^= 1 << uint(a) // raced backoff edge; skip
+					continue
+				}
+				txs[a] = tx
+				if air := tx.Airtime(); air > slotAir {
+					slotAir = air
+				}
+			}
+
+			if built != 0 {
+				if c.interf != nil {
+					c.interf.setFixedMask(built)
+				}
+				for a, tx := range txs {
+					if tx == nil {
+						continue
+					}
+					bytesBefore[a] = c.engines[a].Stats().DeliveredBytes
+					_ = steppers[a].Deliver(ctx, tx)
+				}
+				// The whole slot occupies the air before any outcome lands:
+				// advance to slot end, then settle in AP order.
+				clk.now += slotAir
+				for a, tx := range txs {
+					if tx == nil {
+						bytesPerAP[a] = 0
+						continue
+					}
+					steppers[a].Settle(tx, clk.now)
+					bytesPerAP[a] = c.engines[a].Stats().DeliveredBytes - bytesBefore[a]
+				}
+				policy.Observe(built, bytesPerAP, slotAir)
+				continue
+			}
+		}
+
+		// Nothing schedulable: hop to the next event (arrival, roam, or
+		// backoff expiry); if none exists the run is complete.
+		hop := time.Duration(-1)
+		if next < len(arrivals) {
+			hop = arrivals[next].at - now
+		}
+		if nextRoam < len(roams) {
+			if d := roams[nextRoam].At - now; hop < 0 || d < hop {
+				hop = d
+			}
+		}
+		for _, s := range steppers {
+			if d, ok := s.EarliestEligible(now); ok && (hop < 0 || d < hop) {
+				hop = d
+			}
+		}
+		if hop < 0 {
+			break
+		}
+		if hop == 0 {
+			hop = 1 // guard against zero-length hops stalling the loop
+		}
+		if horizon > 0 && now+hop > horizon {
+			clk.now = horizon
+			continue
+		}
+		clk.now += hop
+	}
+
+	per := make([]engine.Stats, len(steppers))
+	for a, s := range steppers {
+		per[a] = s.Stats(clk.now)
+	}
+	out := &Stats{Total: rollup(per), PerAP: per, Roams: c.roams.Load()}
+	return out, nil
+}

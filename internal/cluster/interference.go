@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"carpool/internal/engine"
+)
+
+// Matrix is the pairwise co-channel interference model: M[a][b] is the
+// probability a data subframe transmitted by AP a is erased by a
+// concurrent same-channel transmission from AP b. Diagonal entries are
+// ignored (an AP does not interfere with itself), off-channel pairs are
+// ignored at runtime, and overlapping interferers compound
+// independently: a subframe survives with probability ∏(1-M[a][b]) over
+// the on-air same-channel set.
+type Matrix struct {
+	P [][]float64
+}
+
+// Uniform returns an n-AP matrix with every off-diagonal entry p — the
+// dense worst case where every co-channel neighbor hurts equally.
+func Uniform(n int, p float64) *Matrix {
+	m := &Matrix{P: make([][]float64, n)}
+	for a := range m.P {
+		m.P[a] = make([]float64, n)
+		for b := range m.P[a] {
+			if b != a {
+				m.P[a][b] = p
+			}
+		}
+	}
+	return m
+}
+
+// At returns M[a][b], tolerating ragged or undersized matrices as zero.
+func (m *Matrix) At(a, b int) float64 {
+	if m == nil || a < 0 || a >= len(m.P) || b < 0 || b >= len(m.P[a]) {
+		return 0
+	}
+	return m.P[a][b]
+}
+
+func (m *Matrix) validate(aps int) error {
+	if len(m.P) != aps {
+		return fmt.Errorf("cluster: interference matrix has %d rows for %d APs", len(m.P), aps)
+	}
+	for a, row := range m.P {
+		if len(row) != aps {
+			return fmt.Errorf("cluster: interference row %d has %d entries for %d APs", a, len(row), aps)
+		}
+		for b, p := range row {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("cluster: interference[%d][%d] = %v outside [0,1]", a, b, p)
+			}
+		}
+	}
+	return nil
+}
+
+// interfCore couples the per-AP transport wrappers through one on-air
+// bitmask. Real-time mode: each wrapper CASes its AP's bit in while its
+// base Deliver runs, snapshots the overlap it actually saw, and degrades
+// its verdicts accordingly. Deterministic mode: the runner sets the
+// slot's transmission set explicitly before stepping deliveries, so the
+// overlap is the coordinated set rather than a race outcome.
+type interfCore struct {
+	m       *Matrix
+	channel []int // AP → channel
+	seed    int64
+	base    engine.Transport
+
+	// onAir is the bitmask of APs currently delivering (bit a = AP a).
+	// 64 bits bounds the cluster at 64 APs, far above the simulated
+	// building sizes this targets; New rejects larger clusters.
+	onAir atomic.Uint64
+
+	// fixedOn freezes the overlap mask to fixedMask: the deterministic
+	// runner's coordinated transmission set. Off means live tracking via
+	// onAir. Only mutated between slots in the single-threaded
+	// deterministic loop.
+	fixedOn   bool
+	fixedMask uint64
+}
+
+func newInterfCore(cfg Config, base engine.Transport) *interfCore {
+	ic := &interfCore{
+		m:       cfg.Interference,
+		channel: make([]int, cfg.APs),
+		seed:    cfg.InterferenceSeed,
+		base:    base,
+	}
+	for a := range ic.channel {
+		ic.channel[a] = cfg.channelOf(a)
+	}
+	return ic
+}
+
+// setFixedMask pins the overlap mask (deterministic mode).
+func (ic *interfCore) setFixedMask(mask uint64) {
+	ic.fixedOn = true
+	ic.fixedMask = mask
+}
+
+// transportFor wraps the base transport for AP a.
+func (ic *interfCore) transportFor(a int) engine.Transport {
+	return &apTransport{core: ic, ap: a}
+}
+
+// apTransport is AP a's view of the shared interference core.
+type apTransport struct {
+	core *interfCore
+	ap   int
+}
+
+// Deliver marks the AP on air, runs the base transport, then erases data
+// subframes that the concurrent same-channel set destroyed. The base
+// verdicts are computed first so the wrapper only ever demotes true to
+// false — interference never rescues a lost subframe.
+func (t *apTransport) Deliver(ctx context.Context, plan *engine.Plan) ([]bool, error) {
+	ic := t.core
+	bit := uint64(1) << uint(t.ap)
+
+	var overlap uint64
+	if ic.fixedOn {
+		overlap = ic.fixedMask &^ bit
+	} else {
+		// Mark ourselves on air and remember who we overlapped with: the
+		// set present at any point during our delivery. Snapshot after the
+		// base Deliver too, so a transmission that started mid-flight
+		// still counts (both sides see each other: it reads the mask with
+		// our bit already set).
+		pre := ic.onAir.Or(bit)
+		defer ic.onAir.And(^bit)
+		overlap = pre &^ bit
+	}
+
+	ok, err := ic.base.Deliver(ctx, plan)
+	if !ic.fixedOn {
+		overlap |= ic.onAir.Load() &^ bit
+	}
+	if err != nil || overlap == 0 {
+		return ok, err
+	}
+
+	dataSubs := plan.DataSubs
+	if dataSubs == 0 {
+		dataSubs = len(plan.Subs)
+	}
+	for b := 0; overlap != 0 && b < len(ic.channel); b++ {
+		if overlap&(1<<uint(b)) == 0 || ic.channel[b] != ic.channel[t.ap] {
+			continue
+		}
+		p := ic.m.At(t.ap, b)
+		if p <= 0 {
+			continue
+		}
+		for i := 0; i < dataSubs; i++ {
+			if ok[i] && erased(ic.seed, plan.Seq, t.ap, b, i, p) {
+				ok[i] = false
+			}
+		}
+	}
+	return ok, err
+}
+
+// erased draws the deterministic per-(transmission, interferer, subframe)
+// erasure coin: a splitmix64 avalanche over the tuple, mapped to [0,1).
+// The draw depends only on the tuple and the seed, so deterministic runs
+// reproduce bit-for-bit and the two directions of a collision draw
+// independent coins.
+func erased(seed int64, txSeq uint64, ap, from, sub int, p float64) bool {
+	x := uint64(seed) ^ txSeq*0x9e3779b97f4a7c15
+	x ^= uint64(ap)<<40 | uint64(from)<<20 | uint64(sub)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	// Top 53 bits → uniform [0,1).
+	return float64(x>>11)/(1<<53) < p
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled lets throughput-floor tests scale their expectations under
+// the race detector's instrumentation overhead.
+const raceEnabled = true

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"carpool/internal/engine"
+)
+
+// recordingLossyTransport fails each subframe with a seeded coin flip
+// and records every successfully delivered payload per station in
+// delivery order — the observation point for the cross-AP FIFO
+// assertion. One instance is shared by every AP's engine, so its log is
+// the cluster-global delivery order.
+type recordingLossyTransport struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	got [][]uint32
+}
+
+func (t *recordingLossyTransport) Deliver(_ context.Context, p *engine.Plan) ([]bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ok := make([]bool, len(p.Subs))
+	for i, sub := range p.Subs {
+		ok[i] = t.rng.Float64() >= 0.35
+		if !ok[i] {
+			continue
+		}
+		for _, pl := range sub.Payloads {
+			if len(pl) != 4 {
+				ok[i] = false // malformed payload: surfaces as a drop below
+				continue
+			}
+			t.got[sub.STA] = append(t.got[sub.STA], binary.BigEndian.Uint32(pl))
+		}
+	}
+	return ok, nil
+}
+
+// TestRoamHandoffPreservesPerSTAFIFO hammers a 4-AP cluster with
+// concurrent submitters that migrate their own stations between APs
+// mid-stream (honoring the package's one-stream-per-station contract,
+// exactly as the wire server's per-connection loop does), under a ~35%
+// lossy transport, and asserts the end-to-end ordering contract the
+// handoff must preserve: every station's payloads reach the air in
+// strictly sequential submit order, across queue migrations,
+// retry-requeue-at-head, and backoff state carried between engines. Each
+// AP runs one delivery worker, and a station's queue lives at exactly
+// one AP at a time (ExtractSTA refuses to move in-flight frames), so the
+// shared transport's per-STA log is exactly the station's transmission
+// order. Four submitters roam concurrently — handoffs at different
+// stations race each other, every extraction races the delivery workers.
+// Runs under -race in the cluster-soak CI job.
+func TestRoamHandoffPreservesPerSTAFIFO(t *testing.T) {
+	const (
+		numSTAs      = 16
+		aps          = 4
+		submitters   = 4
+		perSTAFrames = 120
+	)
+	tr := &recordingLossyTransport{
+		rng: rand.New(rand.NewSource(42)),
+		got: make([][]uint32, numSTAs),
+	}
+	c, err := New(Config{
+		APs: aps,
+		Engine: engine.Config{
+			NumSTAs:        numSTAs,
+			Workers:        1,
+			QueueCap:       aps*perSTAFrames + 8, // a roam concentrates several stations on one AP
+			RetainPayloads: true,
+			RetryLimit:     256,
+			BackoffBase:    time.Microsecond,
+			BackoffCap:     8 * time.Microsecond,
+			Transport:      tr,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submitter g owns stations {g, g+4, g+8, g+12}, mixing single-frame
+	// submits with cross-station batches (the batch partitioner path) and
+	// roaming its own stations to random APs mid-stream.
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			next := make([]uint32, numSTAs)
+			owned := []int{g, g + 4, g + 8, g + 12}
+			remaining := len(owned) * perSTAFrames
+			for remaining > 0 {
+				if rng.Intn(6) == 0 {
+					if err := c.Roam(owned[rng.Intn(len(owned))], rng.Intn(aps)); err != nil {
+						t.Errorf("roam: %v", err)
+						return
+					}
+				}
+				if rng.Intn(2) == 0 {
+					sta := owned[rng.Intn(len(owned))]
+					if next[sta] == perSTAFrames {
+						continue
+					}
+					pl := make([]byte, 4)
+					binary.BigEndian.PutUint32(pl, next[sta])
+					if err := c.Submit(sta, pl); err != nil {
+						t.Errorf("submit sta %d: %v", sta, err)
+						return
+					}
+					next[sta]++
+					remaining--
+				} else {
+					var items []engine.BatchItem
+					for _, sta := range owned {
+						run := rng.Intn(4)
+						for r := 0; r < run && next[sta] < perSTAFrames; r++ {
+							pl := make([]byte, 4)
+							binary.BigEndian.PutUint32(pl, next[sta])
+							items = append(items, engine.BatchItem{STA: sta, Payload: pl})
+							next[sta]++
+							remaining--
+						}
+					}
+					if len(items) == 0 {
+						continue
+					}
+					n, err := c.SubmitBatch(items)
+					if err != nil || n != len(items) {
+						t.Errorf("submitter %d: batch accepted %d of %d, err %v", g, n, len(items), err)
+						return
+					}
+				}
+				if rng.Intn(8) == 0 {
+					time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	roams := c.Roams()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.ClusterStats()
+	if st.Total.Delivered != numSTAs*perSTAFrames {
+		t.Fatalf("delivered %d of %d (dropped %d, expired %d)",
+			st.Total.Delivered, numSTAs*perSTAFrames, st.Total.Dropped, st.Total.Expired)
+	}
+	if st.Total.Retries == 0 {
+		t.Fatal("lossy transport produced no retries; requeue-at-head path not exercised")
+	}
+	if roams == 0 {
+		t.Fatal("no roam completed; handoff path not exercised")
+	}
+	for sta := 0; sta < numSTAs; sta++ {
+		if len(tr.got[sta]) != perSTAFrames {
+			t.Fatalf("station %d: transport saw %d payloads, want %d", sta, len(tr.got[sta]), perSTAFrames)
+		}
+		for i, v := range tr.got[sta] {
+			if v != uint32(i) {
+				t.Fatalf("station %d: delivery %d carried counter %d — per-STA FIFO broken across roam handoff",
+					sta, i, v)
+			}
+		}
+	}
+	t.Logf("delivered %d frames across %d roams with %d retries",
+		st.Total.Delivered, roams, st.Total.Retries)
+}
+
+// TestRoamUnderInterferenceDrainsClean runs the same handoff machinery
+// with the real-time co-channel interference wrapper active: every AP on
+// one channel with a dense 20% pairwise matrix, concurrent workers, and
+// live roaming. The assertion is liveness and accounting: everything
+// offered eventually delivers (the on-air overlap is transient, so
+// retries win through), queues drain, and the per-AP stats sum to the
+// cluster totals. Runs under -race in the cluster-soak CI job.
+func TestRoamUnderInterferenceDrainsClean(t *testing.T) {
+	const (
+		numSTAs = 12
+		aps     = 3
+		frames  = 50
+	)
+	c, err := New(Config{
+		APs:          aps,
+		Channels:     1,
+		Interference: Uniform(aps, 0.2),
+		Engine: engine.Config{
+			NumSTAs:     numSTAs,
+			Workers:     2,
+			QueueCap:    aps * frames * 2,
+			RetryLimit:  256,
+			BackoffBase: time.Microsecond,
+			BackoffCap:  8 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three streams, each owning a third of the stations: every stream
+	// interleaves submits with roams of its own stations, so handoffs at
+	// different stations race each other and the delivery workers while
+	// the per-station stream contract holds.
+	var wg sync.WaitGroup
+	for g := 0; g < aps; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(3 + g)))
+			perOwner := numSTAs / aps
+			for k := 0; k < perOwner*frames; k++ {
+				sta := g*perOwner + k%perOwner
+				if rng.Intn(5) == 0 {
+					if err := c.Roam(sta, rng.Intn(aps)); err != nil {
+						t.Errorf("roam: %v", err)
+						return
+					}
+				}
+				if err := c.SubmitSize(sta, 700); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := c.ClusterStats()
+	if st.Total.Delivered != numSTAs*frames || st.Total.Pending != 0 {
+		t.Fatalf("unclean drain under interference: %+v", st.Total)
+	}
+	var perSum int64
+	for _, ap := range st.PerAP {
+		perSum += ap.Delivered
+	}
+	if perSum != st.Total.Delivered {
+		t.Fatalf("per-AP delivered sums to %d, rollup says %d", perSum, st.Total.Delivered)
+	}
+}

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"time"
+)
+
+// Policy coordinates spatial reuse in the deterministic runner: each
+// slot it picks which of the backlogged APs transmit together, then
+// observes what the chosen set delivered. Implementations are called
+// from one goroutine with a strict Pick/Observe alternation — no
+// internal locking needed.
+type Policy interface {
+	// Pick returns the transmission set for this slot as an AP bitmask,
+	// given the candidates (APs with eligible backlog; never zero). The
+	// runner intersects the result with candidates and falls back to the
+	// lowest candidate bit if the intersection is empty, so a policy
+	// cannot stall the cluster.
+	Pick(candidates uint64) uint64
+	// Observe reports the slot's outcome for the set actually
+	// transmitted: per-AP delivered payload bytes and the slot's air
+	// occupancy. Called once after every Pick, including fallback slots.
+	Observe(set uint64, bytesPerAP []int64, slotAir time.Duration)
+}
+
+// AllPolicy transmits every backlogged AP every slot — maximum spatial
+// reuse, maximum interference. The default, and exactly the bare
+// engine's behavior when the cluster has one AP.
+type AllPolicy struct{}
+
+func (AllPolicy) Pick(candidates uint64) uint64          { return candidates }
+func (AllPolicy) Observe(uint64, []int64, time.Duration) {}
+
+// RoundRobinPolicy transmits exactly one AP per slot, rotating through
+// the backlogged set — zero co-channel interference, minimum reuse. The
+// coordination floor the bandit must beat.
+type RoundRobinPolicy struct {
+	next int
+}
+
+func (p *RoundRobinPolicy) Pick(candidates uint64) uint64 {
+	n := 64
+	for i := 0; i < n; i++ {
+		a := (p.next + i) % n
+		if candidates&(1<<uint(a)) != 0 {
+			p.next = (a + 1) % n
+			return 1 << uint(a)
+		}
+	}
+	return candidates // unreachable: candidates is never zero
+}
+
+func (p *RoundRobinPolicy) Observe(uint64, []int64, time.Duration) {}
+
+// GreedyPolicy is the spatial-reuse baseline: a rotating greedy walk
+// that admits an AP when its pairwise interference with everything
+// already admitted stays at or below a threshold. With a block-diagonal
+// matrix it discovers the compatible groups exactly; the rotation keeps
+// the walk order fair so no AP is systematically admitted last.
+type GreedyPolicy struct {
+	m         *Matrix
+	channel   []int
+	threshold float64
+	start     int
+}
+
+// NewGreedy builds the baseline for a cluster's matrix and channel map
+// (as built by Config.channelOf). APs on different channels never
+// interfere and are always jointly admissible.
+func NewGreedy(m *Matrix, channel []int, threshold float64) *GreedyPolicy {
+	return &GreedyPolicy{m: m, channel: channel, threshold: threshold}
+}
+
+func (p *GreedyPolicy) Pick(candidates uint64) uint64 {
+	n := len(p.channel)
+	if n == 0 {
+		return candidates
+	}
+	var set uint64
+	for i := 0; i < n; i++ {
+		a := (p.start + i) % n
+		if candidates&(1<<uint(a)) == 0 {
+			continue
+		}
+		ok := true
+		for b := 0; b < n; b++ {
+			if set&(1<<uint(b)) == 0 || p.channel[b] != p.channel[a] {
+				continue
+			}
+			if p.m.At(a, b) > p.threshold || p.m.At(b, a) > p.threshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			set |= 1 << uint(a)
+		}
+	}
+	p.start = (p.start + 1) % n
+	return set
+}
+
+func (p *GreedyPolicy) Observe(uint64, []int64, time.Duration) {}
+
+// BanditConfig parameterizes a BanditPolicy.
+type BanditConfig struct {
+	// Epsilon, when positive, selects epsilon-greedy exploration: with
+	// probability Epsilon a uniform random arm, otherwise the best mean.
+	// Zero selects UCB1.
+	Epsilon float64
+	// UCBWeight scales the UCB1 confidence bonus (default sqrt(2)).
+	UCBWeight float64
+	// Seed drives the epsilon-greedy coin and arm draws.
+	Seed int64
+}
+
+// BanditPolicy learns which AP subsets to transmit together from the
+// observed delivered-bytes-per-airtime reward — no knowledge of the
+// interference matrix. Arms are per-channel-group transmission subsets:
+// APs on different channels never interfere, so the groups factor and
+// the policy runs one independent bandit per channel group (arm space
+// 2^k - 1 per group, capped at 6 APs per group before falling back to
+// the all-candidates arm). Rewards use UCB1 or epsilon-greedy per
+// BanditConfig.
+type BanditPolicy struct {
+	cfg    BanditConfig
+	groups []banditGroup
+	rng    *rand.Rand
+}
+
+// banditGroup is one channel's independent bandit.
+type banditGroup struct {
+	members []int // AP indices in this channel group, ascending
+	// arms[i] is the transmission subset encoded over members: bit j of
+	// the arm index+1 selects members[j]. Stats are running mean reward
+	// (delivered bytes per second of air) and pull count.
+	count []int64
+	mean  []float64
+	total int64
+	// maxReward is the largest single-slot reward seen in this group —
+	// the normalization scale that keeps the UCB1 confidence bonus
+	// commensurable with raw bytes-per-second rewards (unnormalized, the
+	// bonus is negligible and UCB degenerates into pure greedy, locking
+	// onto whichever arm got a lucky first pull).
+	maxReward float64
+	// last is the arm pulled by the pending Pick (-1 when none, or when
+	// the group fell back to the uncapped all-members arm).
+	last int
+}
+
+// banditGroupCap bounds the subset enumeration: a group with more
+// members than this gets no learned arms and always transmits all its
+// candidates (the AllPolicy behavior, scoped to that group).
+const banditGroupCap = 6
+
+// NewBandit builds a learning policy for a cluster's channel map.
+func NewBandit(channel []int, cfg BanditConfig) *BanditPolicy {
+	if cfg.UCBWeight <= 0 {
+		cfg.UCBWeight = math.Sqrt2
+	}
+	p := &BanditPolicy{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	byCh := map[int][]int{}
+	chans := []int{}
+	for a, ch := range channel {
+		if _, ok := byCh[ch]; !ok {
+			chans = append(chans, ch)
+		}
+		byCh[ch] = append(byCh[ch], a)
+	}
+	for _, ch := range chans {
+		g := banditGroup{members: byCh[ch], last: -1}
+		if len(g.members) <= banditGroupCap {
+			nArms := (1 << uint(len(g.members))) - 1
+			g.count = make([]int64, nArms)
+			g.mean = make([]float64, nArms)
+		}
+		p.groups = append(p.groups, g)
+	}
+	return p
+}
+
+// Pick runs each channel group's bandit over the group's candidate
+// subsets and unions the chosen sets.
+func (p *BanditPolicy) Pick(candidates uint64) uint64 {
+	var set uint64
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		g.last = -1
+		// The group's candidate mask over member positions.
+		var cand int
+		for j, a := range g.members {
+			if candidates&(1<<uint(a)) != 0 {
+				cand |= 1 << uint(j)
+			}
+		}
+		if cand == 0 {
+			continue
+		}
+		if g.count == nil || bits.OnesCount(uint(cand)) == 1 {
+			// Uncapped group, or only one member backlogged: nothing to
+			// learn this slot, transmit all candidates.
+			set |= expand(cand, g.members)
+			continue
+		}
+		arm := g.pickArm(cand, p.cfg, p.rng)
+		g.last = arm
+		set |= expand(arm+1, g.members)
+	}
+	return set
+}
+
+// expand maps a member-position mask to the global AP mask.
+func expand(posMask int, members []int) uint64 {
+	var out uint64
+	for j, a := range members {
+		if posMask&(1<<uint(j)) != 0 {
+			out |= 1 << uint(a)
+		}
+	}
+	return out
+}
+
+// pickArm chooses among the arms that are subsets of cand (arm index i
+// encodes subset i+1, so every arm is non-empty).
+func (g *banditGroup) pickArm(cand int, cfg BanditConfig, rng *rand.Rand) int {
+	// Untried feasible arms first, in index order: every arm gets one
+	// pull before exploitation starts.
+	feasible := make([]int, 0, len(g.count))
+	for i := range g.count {
+		if (i+1)&^cand != 0 {
+			continue // arm transmits an AP with no backlog
+		}
+		feasible = append(feasible, i)
+		if g.count[i] == 0 {
+			return i
+		}
+	}
+	if cfg.Epsilon > 0 {
+		if rng.Float64() < cfg.Epsilon {
+			return feasible[rng.Intn(len(feasible))]
+		}
+		best := feasible[0]
+		for _, i := range feasible[1:] {
+			if g.mean[i] > g.mean[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	// UCB1 over normalized means: mean/maxReward + w*sqrt(ln(total)/count).
+	scale := g.maxReward
+	if scale <= 0 {
+		scale = 1
+	}
+	lt := math.Log(float64(g.total + 1))
+	best, bestV := feasible[0], math.Inf(-1)
+	for _, i := range feasible {
+		v := g.mean[i]/scale + cfg.UCBWeight*math.Sqrt(lt/float64(g.count[i]))
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Observe credits each group's pulled arm with the group's delivered
+// bytes per second of slot airtime.
+func (p *BanditPolicy) Observe(set uint64, bytesPerAP []int64, slotAir time.Duration) {
+	if slotAir <= 0 {
+		return
+	}
+	sec := slotAir.Seconds()
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		if g.last < 0 {
+			continue
+		}
+		var got int64
+		for _, a := range g.members {
+			if set&(1<<uint(a)) != 0 && a < len(bytesPerAP) {
+				got += bytesPerAP[a]
+			}
+		}
+		reward := float64(got) / sec
+		if reward > g.maxReward {
+			g.maxReward = reward
+		}
+		i := g.last
+		g.count[i]++
+		g.total++
+		g.mean[i] += (reward - g.mean[i]) / float64(g.count[i])
+		g.last = -1
+	}
+}

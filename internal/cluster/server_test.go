@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"carpool/internal/engine"
+)
+
+// startClusterLoopback runs a cluster behind the wire server on an
+// ephemeral loopback port and returns the dial address plus a shutdown
+// func — the cluster twin of the engine's startLoopback.
+func startClusterLoopback(t *testing.T, cfg Config) (string, *Cluster, func()) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := c.Start(ctx); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	srv := engine.NewServerFor(c)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	return ln.Addr().String(), c, func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// TestCluster16APLoopbackThroughput is the multi-AP acceptance
+// criterion: carpoold serving a 16-AP cluster over loopback TCP, with
+// the load generator striping stations across APs and issuing live roam
+// records mid-stream, must sustain the frame-rate floor and drain
+// clean. The floor scales down under the race detector and -short (the
+// CI cluster-soak job runs the race build).
+func TestCluster16APLoopbackThroughput(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	frames := int64(100_000)
+	floor := 50_000.0
+	if raceEnabled {
+		floor = 8_000
+	}
+	if testing.Short() {
+		frames, floor = frames/10, floor/2
+	}
+	const numSTAs = 64
+	addr, c, shutdown := startClusterLoopback(t, Config{
+		APs:    16,
+		Engine: engine.Config{NumSTAs: numSTAs, QueueCap: 1 << 16},
+	})
+
+	rep, err := engine.RunLoad(context.Background(), engine.LoadConfig{
+		Addr:       addr,
+		NumSTAs:    numSTAs,
+		RatePerSec: float64(frames),
+		FrameBytes: 1200,
+		Duration:   time.Second,
+		Seed:       42,
+		APs:        16,
+		Roam:       200, // ~200 roam records over the second
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roams := c.Roams()
+	shutdown()
+	s := rep.Server
+	t.Logf("sent %d frames + %d roam records (%d applied), drained in %v (%.0f frames/s); server %+v",
+		rep.Sent, rep.RoamsSent, roams, rep.TotalElapsed.Round(time.Millisecond), rep.EndToEndRate, s)
+
+	if rep.EndToEndRate < floor {
+		t.Errorf("end-to-end rate %.0f frames/s below floor %.0f", rep.EndToEndRate, floor)
+	}
+	if rep.RoamsSent == 0 {
+		t.Error("load generator sent no roam records")
+	}
+	if s.Accepted != rep.Sent || s.Rejected != 0 {
+		t.Errorf("drops below the admission threshold: accepted=%d rejected=%d sent=%d",
+			s.Accepted, s.Rejected, rep.Sent)
+	}
+	if s.Delivered != s.Accepted || s.Pending != 0 {
+		t.Errorf("drain incomplete: %+v", s)
+	}
+	if n := goroutineCount(baseline); n > baseline {
+		t.Errorf("goroutine leak after load run: %d > baseline %d", n, baseline)
+	}
+}
+
+// TestClusterServerStatsAndTelemetryRollup drives a small cluster over
+// the wire and checks the ServerBackend surface: a drain control reply
+// carries the cluster rollup, and the rollup equals the per-AP sum.
+func TestClusterServerStatsRollup(t *testing.T) {
+	addr, c, shutdown := startClusterLoopback(t, Config{
+		APs:    4,
+		Engine: engine.Config{NumSTAs: 8},
+	})
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var buf []byte
+	for k := 0; k < 80; k++ {
+		buf = engine.AppendSizeRecord(buf, k%8, 900)
+	}
+	// Interleave a roam: station 3 to AP 0, mid-stream, on the same
+	// connection — wire FIFO orders it after the preceding frames.
+	buf = engine.AppendRoamRecord(buf, 3, 0)
+	for k := 0; k < 80; k++ {
+		buf = engine.AppendSizeRecord(buf, k%8, 900)
+	}
+	buf = engine.AppendControlRecord(buf, engine.RecDrain)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := engine.ReadStatsReply(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != 160 || st.Delivered != 160 || st.Pending != 0 {
+		t.Fatalf("drained rollup stats = %+v", st)
+	}
+	if ap := c.APOf(3); ap != 0 {
+		t.Errorf("station 3 at AP %d after wire roam, want 0", ap)
+	}
+	cs := c.ClusterStats()
+	var sum int64
+	for _, ap := range cs.PerAP {
+		sum += ap.Delivered
+	}
+	if sum != cs.Total.Delivered || cs.Total.Delivered != 160 {
+		t.Errorf("per-AP delivered sums to %d, rollup %d", sum, cs.Total.Delivered)
+	}
+}
+
+// goroutineCount polls the goroutine count down to the baseline,
+// tolerating runtime-internal stragglers.
+func goroutineCount(baseline int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 100 && n > baseline; i++ {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}

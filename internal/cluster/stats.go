@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"carpool/internal/engine"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time account of a cluster: each AP's own engine
+// Stats plus the rollup across them. With one AP the rollup IS the
+// engine's Stats verbatim (the cluster-vs-single conformance pair pins
+// this); with several, counters and per-STA bytes sum exactly while the
+// derived ratios are recomputed from the sums and two quantities are
+// principled approximations, documented on rollup.
+type Stats struct {
+	// Total is the cluster rollup.
+	Total engine.Stats `json:"total"`
+	// PerAP is each AP's own accounting, indexed by AP.
+	PerAP []engine.Stats `json:"per_ap"`
+	// Roams counts completed handoffs.
+	Roams int64 `json:"roams"`
+}
+
+// Stats snapshots every AP and returns the rollup Total — the
+// engine.ServerBackend surface, so stats wire records, the health
+// monitor, and carpoolload reports see cluster-wide accounting.
+func (c *Cluster) Stats() engine.Stats {
+	return c.ClusterStats().Total
+}
+
+// ClusterStats snapshots every AP with the per-AP breakdown attached.
+func (c *Cluster) ClusterStats() Stats {
+	per := make([]engine.Stats, len(c.engines))
+	for a, e := range c.engines {
+		per[a] = e.Stats()
+	}
+	return Stats{Total: rollup(per), PerAP: per, Roams: c.Roams()}
+}
+
+// rollup merges per-AP engine Stats into cluster totals. With one AP it
+// returns that AP's Stats unchanged. With several:
+//
+//   - Counters (accepted … delivered bytes, airtime) sum exactly, and
+//     per-STA delivered bytes add element-wise — a station that roamed
+//     keeps one global series across its APs.
+//   - Derived ratios (mean group size, goodput, drop rate) are
+//     recomputed from the summed counters.
+//   - Elapsed is the max across APs (they share one clock, so this is
+//     the common run duration, not a sum).
+//   - ByteFairnessIndex is recomputed over the merged per-STA bytes
+//     with the engines' own denominator: a station counts if any AP
+//     flagged it offered (OfferedSTAs), so a dead station that was
+//     offered but never served still drags the index down, exactly as
+//     it does in a single engine.
+//   - Latency quantiles are the delivered-weighted mean of the per-AP
+//     quantile estimates — the bucket histograms themselves are not
+//     exported, so exact merged quantiles are not reconstructible here.
+func rollup(per []engine.Stats) engine.Stats {
+	if len(per) == 1 {
+		return per[0]
+	}
+	var t engine.Stats
+	var maxSTAs int
+	for a := range per {
+		if n := len(per[a].DeliveredBytesPerSTA); n > maxSTAs {
+			maxSTAs = n
+		}
+	}
+	t.DeliveredBytesPerSTA = make([]int64, maxSTAs)
+	t.OfferedSTAs = make([]bool, maxSTAs)
+	var latW float64
+	for a := range per {
+		s := &per[a]
+		t.Accepted += s.Accepted
+		t.Rejected += s.Rejected
+		t.Delivered += s.Delivered
+		t.Dropped += s.Dropped
+		t.Expired += s.Expired
+		t.Pending += s.Pending
+		t.Retries += s.Retries
+		t.Transmissions += s.Transmissions
+		t.Subframes += s.Subframes
+		t.SeqACKs += s.SeqACKs
+		t.FECParityTx += s.FECParityTx
+		t.FECRecovered += s.FECRecovered
+		t.FECDecodeFail += s.FECDecodeFail
+		t.AirtimeBusy += s.AirtimeBusy
+		t.DeliveredBytes += s.DeliveredBytes
+		if s.Elapsed > t.Elapsed {
+			t.Elapsed = s.Elapsed
+		}
+		for sta, b := range s.DeliveredBytesPerSTA {
+			t.DeliveredBytesPerSTA[sta] += b
+		}
+		for sta, off := range s.OfferedSTAs {
+			if off {
+				t.OfferedSTAs[sta] = true
+			}
+		}
+		w := float64(s.Delivered)
+		t.LatencyP50Ms += s.LatencyP50Ms * w
+		t.LatencyP95Ms += s.LatencyP95Ms * w
+		t.LatencyP99Ms += s.LatencyP99Ms * w
+		latW += w
+	}
+	if latW > 0 {
+		t.LatencyP50Ms /= latW
+		t.LatencyP95Ms /= latW
+		t.LatencyP99Ms /= latW
+	}
+	if t.Transmissions > 0 {
+		t.MeanGroupSize = float64(t.Subframes) / float64(t.Transmissions)
+	}
+	var sum, sumSq, offered float64
+	for sta, b := range t.DeliveredBytesPerSTA {
+		sum += float64(b)
+		sumSq += float64(b) * float64(b)
+		if t.OfferedSTAs[sta] {
+			offered++
+		}
+	}
+	if offered > 0 && sumSq > 0 {
+		t.ByteFairnessIndex = sum * sum / (offered * sumSq)
+	}
+	if t.Elapsed > 0 {
+		t.GoodputMbps = float64(t.DeliveredBytes) * 8 / t.Elapsed.Seconds() / 1e6
+	}
+	if t.AirtimeBusy > 0 {
+		t.AirtimeGoodputMbps = float64(t.DeliveredBytes) * 8 / t.AirtimeBusy.Seconds() / 1e6
+	}
+	if total := t.Accepted + t.Rejected; total > 0 {
+		t.DropRate = float64(t.Dropped+t.Expired+t.Rejected) / float64(total)
+	}
+	return t
+}
+
+// StageStats merges the per-AP stage decompositions: one-AP clusters
+// pass through; larger ones sum the histograms' aggregates via the
+// engine's merge helper when available, otherwise return AP 0's view.
+func (c *Cluster) StageStats() engine.StageStats {
+	if len(c.engines) == 1 {
+		return c.engines[0].StageStats()
+	}
+	out := c.engines[0].StageStats()
+	for _, e := range c.engines[1:] {
+		out.Merge(e.StageStats())
+	}
+	return out
+}
+
+// Telemetry assembles one cluster update: rollup Stats with the per-AP
+// breakdown attached, satisfying the ServerBackend surface that drives
+// subscribe streams. Per-STA rows come from the station's current AP so
+// queue state is live, not summed (a station queues at exactly one AP).
+func (c *Cluster) Telemetry(seq uint64, prev engine.Stats, final bool) engine.TelemetryUpdate {
+	per := make([]engine.Stats, len(c.engines))
+	perAP := make([]engine.APTelemetry, len(c.engines))
+	snaps := make([]engine.Snapshot, len(c.engines))
+	for a, e := range c.engines {
+		snaps[a] = e.SnapshotAll()
+		per[a] = snaps[a].Stats
+		perAP[a] = engine.APTelemetry{AP: a, Stats: per[a]}
+	}
+	total := rollup(per)
+	upd := engine.TelemetryUpdate{
+		Seq:   seq,
+		Final: final,
+		Stats: total,
+		Delta: engine.DiffStats(total, prev),
+		PerAP: perAP,
+	}
+	// Merge per-STA rows: take each station's row from its serving AP
+	// (the one holding its queue), summing delivered bytes globally.
+	routes := make([]int32, len(c.routes))
+	for i := range routes {
+		routes[i] = atomic.LoadInt32(&c.routes[i])
+	}
+	if len(routes) > 0 {
+		upd.PerSTA = make([]engine.STAStat, len(routes))
+		for sta, ap := range routes {
+			if int(ap) < len(snaps) && sta < len(snaps[ap].PerSTA) {
+				upd.PerSTA[sta] = snaps[ap].PerSTA[sta]
+			}
+			upd.PerSTA[sta].STA = sta
+			var bytes int64
+			for a := range snaps {
+				if sta < len(snaps[a].PerSTA) {
+					bytes += snaps[a].PerSTA[sta].DeliveredBytes
+				}
+			}
+			upd.PerSTA[sta].DeliveredBytes = bytes
+		}
+	}
+	return upd
+}

@@ -32,6 +32,10 @@
 //     RS/GF(256) parity) vs the shared-fate retry engine — identical
 //     per-STA delivered bytes and fairness, with parity recovery
 //     byte-true.
+//   - cluster-vs-single: the multi-AP cluster's deterministic runner vs
+//     the bare engine — one AP bit-identical Stats; three APs (and three
+//     APs with mid-run roaming handoffs) identical per-STA delivered
+//     bytes and fairness.
 //
 // On divergence the harness shrinks the scenario (impairment removal,
 // then per-impairment mildening) to a minimal failing case and prints a

@@ -228,7 +228,7 @@ func TestMatrixByName(t *testing.T) {
 
 // TestPairByName checks lookup and the pair roster.
 func TestPairByName(t *testing.T) {
-	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh", "engine-vs-macsim", "batched-vs-unbatched", "sharded-vs-unsharded", "fec-vs-retry"}
+	want := []string{"demap-quant", "viterbi-soft", "receive-seq-par", "mac-sim", "scratch-fresh", "engine-vs-macsim", "batched-vs-unbatched", "sharded-vs-unsharded", "fec-vs-retry", "cluster-vs-single"}
 	if got := Pairs(); len(got) != len(want) {
 		t.Fatalf("%d pairs, want %d", len(got), len(want))
 	}

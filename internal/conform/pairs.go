@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"carpool/internal/cluster"
 	"carpool/internal/core"
 	"carpool/internal/engine"
 	"carpool/internal/faults"
@@ -77,6 +78,12 @@ func Pairs() []Pair {
 			Desc:  "erasure-coded engine (StrategyFEC) vs shared-fate retry engine",
 			Bound: "identical per-STA delivered bytes and Jain; byte-true parity recovery",
 			run:   runFECVsRetry,
+		},
+		{
+			Name:  "cluster-vs-single",
+			Desc:  "multi-AP cluster runner vs the bare deterministic engine",
+			Bound: "1 AP bit-identical Stats; multi-AP and roaming identical per-STA bytes and Jain",
+			run:   runClusterVsSingle,
 		},
 	}
 }
@@ -749,6 +756,103 @@ func runFECVsRetry(sc faults.Scenario) (string, error) {
 	if recSt.FECDecodeFail != 0 || recSt.Retries != 0 {
 		return fmt.Sprintf("recovery arm fell back to retry: decode_fail %d, retries %d (single own-subframe erasures must be within parity's reach)",
 			recSt.FECDecodeFail, recSt.Retries), nil
+	}
+	return "", nil
+}
+
+// runClusterVsSingle pits the multi-AP cluster's deterministic runner
+// against the bare engine in three arms, under the scenario's
+// dead-location oracle. Delivery is location-pure and every workload
+// drains, so partitioning stations across APs (and moving them between
+// APs mid-run) must not change any station's delivered bytes.
+//
+//  1. Transparency: a one-AP cluster is the bare engine — Stats (the
+//     rollup AND the single per-AP entry) dump-identical to
+//     engine.RunDeterministic on the same flows.
+//  2. Partition: three APs under AllPolicy (no interference matrix, so
+//     concurrent slots are independent) — identical per-STA delivered
+//     bytes and Jain byte-fairness, nothing pending.
+//  3. Roaming: the same three APs with scenario-derived roam events
+//     mid-run — handoffs are lossless, so per-STA bytes still match.
+func runClusterVsSingle(sc faults.Scenario) (string, error) {
+	flows, dead, locs := engineScenario(sc)
+	numSTAs := len(locs)
+	ecfg := engine.Config{
+		NumSTAs:     numSTAs,
+		SampleEvery: int(sc.Seed & 3),
+		Transport: &engine.OracleTransport{
+			Oracle:    mac.NewLossyLocOracle(dead...),
+			Locations: locs,
+		},
+	}
+	base, err := engine.RunDeterministic(context.Background(), ecfg, flows)
+	if err != nil {
+		return "", err
+	}
+
+	// Arm 1: one AP is the bare engine, bit for bit.
+	oneSt, err := cluster.RunDeterministic(context.Background(),
+		cluster.Config{APs: 1, Engine: ecfg}, flows, nil, 0)
+	if err != nil {
+		return "", err
+	}
+	if dump(base) != dump(&oneSt.Total) {
+		return fmt.Sprintf("one-AP cluster rollup diverged from the bare engine:\n  engine  %+v\n  cluster %+v",
+			*base, oneSt.Total), nil
+	}
+	if dump(base) != dump(&oneSt.PerAP[0]) {
+		return fmt.Sprintf("one-AP cluster per-AP entry diverged from the bare engine:\n  engine %+v\n  per-AP %+v",
+			*base, oneSt.PerAP[0]), nil
+	}
+
+	// Arm 2: three APs, stations partitioned by rendezvous hash.
+	multiSt, err := cluster.RunDeterministic(context.Background(),
+		cluster.Config{APs: 3, Channels: 3, Engine: ecfg}, flows, nil, 0)
+	if err != nil {
+		return "", err
+	}
+	if multiSt.Total.Pending != 0 {
+		return fmt.Sprintf("3-AP cluster left %d frames pending after a drained run", multiSt.Total.Pending), nil
+	}
+	for sta := range locs {
+		if base.DeliveredBytesPerSTA[sta] != multiSt.Total.DeliveredBytesPerSTA[sta] {
+			return fmt.Sprintf("station %d delivered bytes: single %d, 3-AP %d (dead=%v)",
+				sta, base.DeliveredBytesPerSTA[sta], multiSt.Total.DeliveredBytesPerSTA[sta], dead), nil
+		}
+	}
+	if d := base.ByteFairnessIndex - multiSt.Total.ByteFairnessIndex; d > 1e-12 || d < -1e-12 {
+		return fmt.Sprintf("byte-fairness: single %.15f, 3-AP %.15f",
+			base.ByteFairnessIndex, multiSt.Total.ByteFairnessIndex), nil
+	}
+
+	// Arm 3: scenario-derived handoffs mid-run. Events pin stations to
+	// scenario-hashed APs at hashed instants inside the arrival window.
+	hsh := fnv.New64a()
+	hsh.Write([]byte(sc.String()))
+	h := hsh.Sum64()
+	var roams []cluster.RoamEvent
+	nRoams := 2 + int(h%5)
+	for i := 0; i < nRoams; i++ {
+		hi := h >> uint(7*i%57)
+		roams = append(roams, cluster.RoamEvent{
+			At:  time.Duration(5+int(hi%70)) * time.Millisecond,
+			STA: int(hi>>8) % numSTAs,
+			AP:  int(hi>>16) % 3,
+		})
+	}
+	roamSt, err := cluster.RunDeterministic(context.Background(),
+		cluster.Config{APs: 3, Channels: 3, Engine: ecfg}, flows, roams, 0)
+	if err != nil {
+		return "", err
+	}
+	if roamSt.Total.Pending != 0 {
+		return fmt.Sprintf("roaming cluster left %d frames pending after a drained run", roamSt.Total.Pending), nil
+	}
+	for sta := range locs {
+		if base.DeliveredBytesPerSTA[sta] != roamSt.Total.DeliveredBytesPerSTA[sta] {
+			return fmt.Sprintf("station %d delivered bytes: single %d, roaming 3-AP %d (roams=%v)",
+				sta, base.DeliveredBytesPerSTA[sta], roamSt.Total.DeliveredBytesPerSTA[sta], roams), nil
+		}
 	}
 	return "", nil
 }

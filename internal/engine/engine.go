@@ -276,6 +276,11 @@ type Engine struct {
 	queues         []staQueue
 	deliveredBytes []int64
 	offered        []bool
+	// inflightSTA counts each station's frames currently riding an
+	// in-flight transmission (popped by the planner, not yet settled).
+	// Guarded by the owning shard's lock like the other per-STA arrays;
+	// ExtractSTA refuses to migrate a station while its count is nonzero.
+	inflightSTA []int32
 
 	txSeq        atomic.Uint64 // next transmission sequence number
 	totalPending atomic.Int64  // queued + in-flight frames across all shards
@@ -328,6 +333,7 @@ func New(cfg Config) (*Engine, error) {
 		fecK:           cfg.FECParity,
 		deliveredBytes: make([]int64, cfg.NumSTAs),
 		offered:        make([]bool, cfg.NumSTAs),
+		inflightSTA:    make([]int32, cfg.NumSTAs),
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]
@@ -338,6 +344,9 @@ func New(cfg Config) (*Engine, error) {
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
 }
+
+// NumSTAs returns the station-space size the engine was configured with.
+func (e *Engine) NumSTAs() int { return e.cfg.NumSTAs }
 
 // Start launches the delivery worker pool. The engine runs until Drain
 // completes or Close aborts it; ctx cancellation is equivalent to Close.
@@ -713,6 +722,11 @@ func (e *Engine) accountShardLocked(sh *shard, tx *pendingTx, okPerSub []bool, d
 	for i := 0; i < dataSubs; i++ {
 		sub := &plan.Subs[i]
 		q := &e.queues[sub.STA]
+		// Settlement is the subframe's terminal moment for migration
+		// purposes: delivered, dropped, and requeued frames alike stop
+		// being in flight here (requeued ones are back in the queue and
+		// travel with an ExtractSTA).
+		e.inflightSTA[sub.STA] -= int32(len(tx.frames[i]))
 		delivered := derr == nil && okPerSub != nil && okPerSub[i]
 		if delivered {
 			if tx.recovered != nil && tx.recovered[i] {

@@ -325,11 +325,17 @@ func (m *HealthMonitor) Handler() http.Handler {
 	})
 }
 
-// Run samples e.Stats() into the monitor every interval until ctx is
+// StatsSource is anything the monitor can sample: a bare engine or a
+// multi-AP cluster (whose Stats is the cluster rollup).
+type StatsSource interface {
+	Stats() Stats
+}
+
+// Run samples src.Stats() into the monitor every interval until ctx is
 // cancelled — the carpoold wiring. It keeps observing after the engine
 // stops so the detectors recover (the window slides over the frozen
 // counters and every delta decays to zero).
-func (m *HealthMonitor) Run(ctx context.Context, e *Engine, interval time.Duration) {
+func (m *HealthMonitor) Run(ctx context.Context, src StatsSource, interval time.Duration) {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
@@ -340,7 +346,7 @@ func (m *HealthMonitor) Run(ctx context.Context, e *Engine, interval time.Durati
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			m.Observe(e.Stats())
+			m.Observe(src.Stats())
 		}
 	}
 }

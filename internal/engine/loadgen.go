@@ -49,6 +49,15 @@ type LoadConfig struct {
 	// shards. Every extra connection ends with a stats round-trip before
 	// the drain is requested, so no offered frame can race the drain gate.
 	Conns int
+	// APs is the number of APs the server runs (cmd/carpoold -aps);
+	// roam targets are drawn from it. Values < 2 disable roaming.
+	APs int
+	// Roam is the aggregate roam-event rate in events per second: seeded
+	// random stations move to seeded random APs mid-run via RecRoam
+	// records interleaved into the offered schedule, so each roam orders
+	// correctly against the station's own frames (same stream, wire
+	// FIFO). Zero disables roaming.
+	Roam float64
 	// Subscribe opens a second connection streaming telemetry for the
 	// whole run (TCP only): every pushed delta is accumulated and, after
 	// the drain reply, reconciled against the server's final counters.
@@ -86,6 +95,8 @@ type LoadReport struct {
 	// Offered is the schedule length; Sent the records actually written
 	// (the difference is frames a cancelled run cut off).
 	Offered, Sent int64
+	// RoamsSent counts RecRoam records written (LoadConfig.Roam).
+	RoamsSent int64 `json:"roams_sent,omitempty"`
 	// Elapsed is the wall time from first record to drain request;
 	// TotalElapsed extends through the server's drain completion.
 	Elapsed, TotalElapsed time.Duration
@@ -124,11 +135,35 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	return c
 }
 
-// loadItem is one scheduled offered frame.
+// loadItem is one scheduled offered frame, or (roam true) a scheduled
+// RecRoam moving sta to AP ap.
 type loadItem struct {
 	at   time.Duration
 	sta  int
 	size int
+	ap   int
+	roam bool
+}
+
+// roamSchedule draws the seeded roam events: exponential interarrivals
+// at cfg.Roam events/s across cfg.Duration, each moving a random station
+// to a random AP. Empty when roaming is off or the server has one AP.
+func roamSchedule(cfg LoadConfig) []loadItem {
+	if cfg.Roam <= 0 || cfg.APs < 2 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, 0x9a0a)))
+	var items []loadItem
+	at := time.Duration(0)
+	for {
+		at += time.Duration(rng.ExpFloat64() / cfg.Roam * float64(time.Second))
+		if at >= cfg.Duration {
+			return items
+		}
+		items = append(items, loadItem{
+			at: at, sta: rng.Intn(cfg.NumSTAs), ap: rng.Intn(cfg.APs), roam: true,
+		})
+	}
 }
 
 // LoadSchedule materializes the generator's offered schedule: one seeded
@@ -157,11 +192,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			schedule = append(schedule, loadItem{at: a.Time, sta: sta, size: a.Size})
 		}
 	}
+	offered := int64(len(schedule))
+	schedule = append(schedule, roamSchedule(cfg)...)
 	sort.Slice(schedule, func(i, j int) bool {
 		if schedule[i].at != schedule[j].at {
 			return schedule[i].at < schedule[j].at
 		}
-		return schedule[i].sta < schedule[j].sta
+		if schedule[i].sta != schedule[j].sta {
+			return schedule[i].sta < schedule[j].sta
+		}
+		return !schedule[i].roam && schedule[j].roam // frames before a same-instant roam
 	})
 
 	conn, err := net.Dial(cfg.Network, cfg.Addr)
@@ -200,7 +240,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rng.Read(payload)
 	}
 
-	rep := &LoadReport{Offered: int64(len(schedule))}
+	rep := &LoadReport{Offered: offered}
 	start := time.Now()
 	if cfg.Conns > 1 {
 		// Parallel senders: stripe the schedule by station across extra
@@ -217,7 +257,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			stripes[c] = append(stripes[c], it)
 		}
 		sendErr := make(chan error, cfg.Conns-1)
-		var sent atomic.Int64
+		var sent, roams atomic.Int64
 		for c := 1; c < cfg.Conns; c++ {
 			go func(items []loadItem) {
 				extra, err := net.Dial(cfg.Network, cfg.Addr)
@@ -228,8 +268,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				defer extra.Close()
 				stop := context.AfterFunc(ctx, func() { extra.Close() })
 				defer stop()
-				n, err := sendSchedule(ctx, extra, items, cfg, start, payload)
+				n, r, err := sendSchedule(ctx, extra, items, cfg, start, payload)
 				sent.Add(n)
+				roams.Add(r)
 				if err != nil {
 					sendErr <- err
 					return
@@ -245,20 +286,23 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				sendErr <- nil
 			}(stripes[c])
 		}
-		n, err := sendSchedule(ctx, conn, stripes[0], cfg, start, payload)
+		n, r, err := sendSchedule(ctx, conn, stripes[0], cfg, start, payload)
 		sent.Add(n)
+		roams.Add(r)
 		for c := 1; c < cfg.Conns; c++ {
 			if werr := <-sendErr; werr != nil && err == nil {
 				err = werr
 			}
 		}
 		rep.Sent = sent.Load()
+		rep.RoamsSent = roams.Load()
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		n, err := sendSchedule(ctx, conn, schedule, cfg, start, payload)
+		n, r, err := sendSchedule(ctx, conn, schedule, cfg, start, payload)
 		rep.Sent = n
+		rep.RoamsSent = r
 		if err != nil {
 			return nil, err
 		}
@@ -305,11 +349,24 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 // sendSchedule writes one connection's offered records — batched or
 // per-record, open-loop paced or as fast as the stream accepts — and
-// returns how many left before an error or cancellation. The stream is
-// fully flushed on return.
-func sendSchedule(ctx context.Context, conn net.Conn, schedule []loadItem, cfg LoadConfig, start time.Time, payload []byte) (int64, error) {
-	var sent int64
+// returns how many frames and roams left before an error or
+// cancellation. The stream is fully flushed on return.
+func sendSchedule(ctx context.Context, conn net.Conn, schedule []loadItem, cfg LoadConfig, start time.Time, payload []byte) (int64, int64, error) {
+	var sent, roams int64
 	var buf []byte
+	appendItem := func(buf []byte, it loadItem) []byte {
+		switch {
+		case it.roam:
+			roams++
+			return AppendRoamRecord(buf, it.sta, it.ap)
+		case cfg.Payload:
+			sent++
+			return AppendDataRecord(buf, it.sta, payload[:it.size])
+		default:
+			sent++
+			return AppendSizeRecord(buf, it.sta, it.size)
+		}
+	}
 	if cfg.Batch > 1 {
 		// Batched mode: assemble up to Batch records in one buffer and
 		// write them with a single call, bypassing the per-record copy
@@ -328,18 +385,13 @@ func sendSchedule(ctx context.Context, conn net.Conn, schedule []loadItem, cfg L
 			}
 			buf = buf[:0]
 			for _, it := range group {
-				if cfg.Payload {
-					buf = AppendDataRecord(buf, it.sta, payload[:it.size])
-				} else {
-					buf = AppendSizeRecord(buf, it.sta, it.size)
-				}
+				buf = appendItem(buf, it)
 			}
 			if _, err := conn.Write(buf); err != nil {
-				return sent, fmt.Errorf("carpoolload: batch send: %w", err)
+				return sent, roams, fmt.Errorf("carpoolload: batch send: %w", err)
 			}
-			sent += int64(len(group))
 		}
-		return sent, nil
+		return sent, roams, nil
 	}
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	const flushEvery = 256
@@ -353,27 +405,21 @@ func sendSchedule(ctx context.Context, conn net.Conn, schedule []loadItem, cfg L
 				time.Sleep(wait)
 			}
 		}
-		buf = buf[:0]
-		if cfg.Payload {
-			buf = AppendDataRecord(buf, it.sta, payload[:it.size])
-		} else {
-			buf = AppendSizeRecord(buf, it.sta, it.size)
-		}
+		buf = appendItem(buf[:0], it)
 		if _, err := bw.Write(buf); err != nil {
-			return sent, fmt.Errorf("carpoolload: send: %w", err)
+			return sent, roams, fmt.Errorf("carpoolload: send: %w", err)
 		}
-		sent++
 		if sinceFlush++; sinceFlush >= flushEvery {
 			if err := bw.Flush(); err != nil {
-				return sent, fmt.Errorf("carpoolload: flush: %w", err)
+				return sent, roams, fmt.Errorf("carpoolload: flush: %w", err)
 			}
 			sinceFlush = 0
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return sent, fmt.Errorf("carpoolload: flush: %w", err)
+		return sent, roams, fmt.Errorf("carpoolload: flush: %w", err)
 	}
-	return sent, nil
+	return sent, roams, nil
 }
 
 // defaultLoadSubInterval is the telemetry push interval a load run asks

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Station migration: the engine half of the cluster layer's roaming
+// handoff (internal/cluster). ExtractSTA lifts one station's entire
+// queued state — frames in FIFO order with their retry counts, plus the
+// retry-backoff gate — out of this engine; InjectSTA splices it into
+// another engine serving the same station space. The pair preserves
+// per-STA FIFO exactly: frames leave in queue order, arrive in queue
+// order, and a frame's retries/arrival stamps travel with it. Both
+// engines must share one Clock so nextEligible stays in a single time
+// domain.
+
+// ErrSTAInFlight is returned by ExtractSTA while some of the station's
+// frames ride an in-flight transmission: settlement would requeue into
+// (or account against) a queue that just left. The failed call gates the
+// station against further planning, so callers MUST retry until the
+// extraction succeeds (the cluster's Roam loop does) — abandoning it
+// would leave the station unscheduled.
+var ErrSTAInFlight = errors.New("engine: station has frames in flight")
+
+// ErrSTAOccupied is returned by InjectSTA when the target engine already
+// holds frames (queued or in flight) for the station — injecting would
+// interleave two queues and break FIFO.
+var ErrSTAOccupied = errors.New("engine: station already has frames at target")
+
+// MigratedFrame is one frame inside a StationState, in FIFO order.
+type MigratedFrame struct {
+	// Size is the frame's payload size; Payload its retained bytes (nil
+	// for size-only frames — the bytes were copied out of the source
+	// arena, so the state owns them).
+	Size    int
+	Payload []byte
+	// Arrival is the frame's original admission stamp; Retries its
+	// transmission attempts so far. Both survive the move so latency
+	// accounting and the retry limit keep their meaning.
+	Arrival time.Duration
+	Retries int
+}
+
+// StationState is one station's portable queue state between engines.
+type StationState struct {
+	STA    int
+	Frames []MigratedFrame
+	// FailStreak and NextEligible carry the retry-backoff gate: a
+	// station mid-backoff stays gated at its new AP.
+	FailStreak   int
+	NextEligible time.Duration
+	// Offered records whether the station ever offered traffic here, so
+	// fairness accounting at the target counts it.
+	Offered bool
+}
+
+// ExtractSTA removes station sta's queued frames and backoff state from
+// the engine, returning them for InjectSTA at another engine. It fails
+// with ErrSTAInFlight while any of the station's frames ride an
+// in-flight transmission, marking the station migrating so the planner
+// boards no more of its frames and the caller's retry succeeds within
+// one settlement. Retained payloads are
+// copied out of the shard arena — the returned state owns its bytes.
+// The source engine's cumulative counters (accepted, delivered, …) are
+// untouched: a cluster rollup counts each frame's acceptance exactly
+// once, at the engine that admitted it.
+func (e *Engine) ExtractSTA(sta int) (*StationState, error) {
+	if sta < 0 || sta >= e.cfg.NumSTAs {
+		return nil, fmt.Errorf("engine: station %d outside 0..%d", sta, e.cfg.NumSTAs-1)
+	}
+	sh := e.shardOf(sta)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := &e.queues[sta]
+	if e.inflightSTA[sta] != 0 {
+		// Close the boarding gate: the planner skips migrating stations,
+		// so the in-flight count strictly drains and the caller's next
+		// attempt lands in a settled window instead of racing the planner.
+		q.migrating = true
+		return nil, ErrSTAInFlight
+	}
+	q.migrating = false
+	st := &StationState{
+		STA:          sta,
+		FailStreak:   q.failStreak,
+		NextEligible: q.nextEligible,
+		Offered:      e.offered[sta],
+	}
+	n := q.len()
+	if n > 0 {
+		st.Frames = make([]MigratedFrame, 0, n)
+		for q.len() > 0 {
+			f := q.pop()
+			mf := MigratedFrame{Size: f.size, Arrival: f.arrival, Retries: f.retries}
+			if f.payload != nil {
+				mf.Payload = append([]byte(nil), f.payload...)
+			}
+			sh.arena.release(f.chunk)
+			st.Frames = append(st.Frames, mf)
+		}
+		sh.queued -= n
+		e.totalPending.Add(int64(-n))
+	}
+	q.failStreak = 0
+	q.nextEligible = 0
+	return st, nil
+}
+
+// InjectSTA splices a migrated station into this engine: frames push in
+// order with fresh lane admission sequences (migrated frames queue
+// behind the target lane's existing backlog — the youngest admissions
+// there), payloads re-alloc into the target arena when the engine
+// retains them, and the backoff gate restores. The station's queue must
+// be empty here with nothing in flight (ErrSTAOccupied otherwise).
+// Admission control is NOT re-applied: the frames were admitted once at
+// the source, so QueueCap does not bound the splice and no counter
+// increments.
+func (e *Engine) InjectSTA(st *StationState) error {
+	sta := st.STA
+	if sta < 0 || sta >= e.cfg.NumSTAs {
+		return fmt.Errorf("engine: station %d outside 0..%d", sta, e.cfg.NumSTAs-1)
+	}
+	sh := e.shardOf(sta)
+	sh.mu.Lock()
+	q := &e.queues[sta]
+	if q.len() > 0 || e.inflightSTA[sta] != 0 {
+		sh.mu.Unlock()
+		return ErrSTAOccupied
+	}
+	for _, mf := range st.Frames {
+		f := qframe{seq: sh.seq, size: mf.Size, arrival: mf.Arrival, retries: mf.Retries}
+		if e.cfg.RetainPayloads && mf.Payload != nil {
+			f.payload, f.chunk = sh.arena.alloc(mf.Payload)
+		}
+		q.pushHint(f, e.cfg.QueueCap)
+		sh.seq++
+	}
+	n := len(st.Frames)
+	sh.queued += n
+	e.totalPending.Add(int64(n))
+	q.failStreak = st.FailStreak
+	q.nextEligible = st.NextEligible
+	e.offered[sta] = e.offered[sta] || st.Offered
+	sh.mu.Unlock()
+	if n > 0 {
+		e.markDirty(sh.id) // new backlog: publish the lane
+	}
+	return nil
+}

@@ -151,7 +151,7 @@ func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScra
 		var bestSeq uint64
 		for sta := sh.id; sta < e.cfg.NumSTAs; sta += stride {
 			q := &e.queues[sta]
-			if q.len() == 0 || q.nextEligible > now || sc.rejected[sta] {
+			if q.len() == 0 || q.nextEligible > now || sc.rejected[sta] || q.migrating {
 				continue
 			}
 			if s := q.headFrame().seq; best < 0 || s < bestSeq {
@@ -202,6 +202,7 @@ func (e *Engine) buildPlanShardLocked(sh *shard, now time.Duration, sc *planScra
 
 		fr := q.pop()
 		sh.queued--
+		e.inflightSTA[best]++
 		if fr.sampled {
 			// Close the frame's queued stage: the segment since lastTouch
 			// splits into time gated by the STA's retry backoff (the part of

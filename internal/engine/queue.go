@@ -52,18 +52,36 @@ type staQueue struct {
 	nextEligible time.Duration
 	// failStreak counts consecutive failed transmissions to this STA.
 	failStreak int
+	// migrating marks a station mid-handoff (ExtractSTA saw in-flight
+	// frames): the planner stops boarding its frames so the in-flight
+	// count drains within one transmission and the next extraction
+	// attempt succeeds, instead of racing the planner for an idle gap.
+	// Cleared by the successful extraction.
+	migrating bool
 }
 
 func (q *staQueue) len() int { return int(q.tail - q.head) }
 
 func (q *staQueue) headFrame() *qframe { return &q.ring[q.head&uint64(len(q.ring)-1)] }
 
+// maxInitialRing clamps how far a first allocation pre-sizes toward the
+// engine's QueueCap. A deep cap (tens of thousands of frames) must not
+// eagerly commit megabytes of zeroed ring per station — under roaming
+// every (station, AP) pair pays that first push, and the memclr dominated
+// whole-cluster profiles. Past the clamp the ring doubles toward QueueCap
+// only as the station's backlog actually deepens.
+const maxInitialRing = 1024
+
 // grow ensures ring capacity for need frames, re-basing the live window at
-// index zero. sizeHint (the engine's QueueCap) sizes the first allocation
-// so the common case allocates exactly once per station.
+// index zero. sizeHint (the engine's QueueCap, clamped to maxInitialRing)
+// sizes the first allocation so shallow-cap engines allocate exactly once
+// per station.
 func (q *staQueue) grow(need, sizeHint int) {
 	if len(q.ring) >= need {
 		return
+	}
+	if sizeHint > maxInitialRing {
+		sizeHint = maxInitialRing
 	}
 	if need < sizeHint {
 		need = sizeHint

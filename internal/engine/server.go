@@ -12,15 +12,39 @@ import (
 	"time"
 )
 
+// ServerBackend is what the network frontend serves: one engine
+// (NewServer) or a multi-AP cluster routing the same calls across its
+// engines (internal/cluster, NewServerFor). The methods mirror Engine's
+// serving surface exactly, so *Engine satisfies it without adapters.
+type ServerBackend interface {
+	Submit(sta int, payload []byte) error
+	SubmitSize(sta, size int) error
+	SubmitBatch(items []BatchItem) (int, error)
+	Stats() Stats
+	StageStats() StageStats
+	Drain(ctx context.Context) error
+	Stopped() bool
+	Telemetry(seq uint64, prev Stats, final bool) TelemetryUpdate
+}
+
+// Roamer is the optional backend capability behind RecRoam records: a
+// multi-AP backend that can migrate a station between APs. Backends
+// without it (a bare engine) ignore roam requests.
+type Roamer interface {
+	Roam(sta, ap int) error
+}
+
 // Server is the carpoold network frontend: it feeds wire-protocol records
-// from TCP streams and UDP datagrams into one engine. Ingest records are
+// from TCP streams and UDP datagrams into one backend — a single engine
+// or a multi-AP cluster. Ingest records are
 // admitted (or rejected by backpressure) inline on the connection's read
 // goroutine; control records reply on the same connection. A RecSubscribe
 // record starts a per-connection telemetry pusher goroutine whose periodic
 // RecTelemetry records interleave with control replies under a per-conn
 // write lock.
 type Server struct {
-	eng *Engine
+	b   ServerBackend
+	eng *Engine // non-nil only for NewServer (the Engine accessor)
 
 	// SlabSize sets each TCP connection's read-slab size: one Read fills
 	// the slab and every complete record in it is parsed in place and
@@ -44,10 +68,16 @@ type Server struct {
 
 // NewServer wraps a started engine.
 func NewServer(e *Engine) *Server {
-	return &Server{eng: e, conns: make(map[net.Conn]struct{})}
+	return &Server{b: e, eng: e, conns: make(map[net.Conn]struct{})}
 }
 
-// Engine returns the served engine.
+// NewServerFor wraps any backend — the multi-AP cluster's entry point.
+func NewServerFor(b ServerBackend) *Server {
+	return &Server{b: b, conns: make(map[net.Conn]struct{})}
+}
+
+// Engine returns the served engine (nil when the backend is not a bare
+// engine — use the backend's own accessors instead).
 func (s *Server) Engine() *Engine { return s.eng }
 
 // Serve accepts TCP connections until ctx is cancelled or the listener
@@ -138,7 +168,7 @@ func (w *connWriter) writeBufs(bufs net.Buffers) error {
 // telemetry assembles one update for a subscribe stream, attaching the
 // server's health report when a monitor is wired.
 func (s *Server) telemetry(seq uint64, prev Stats, final bool) TelemetryUpdate {
-	upd := s.eng.Telemetry(seq, prev, final)
+	upd := s.b.Telemetry(seq, prev, final)
 	if s.Health != nil {
 		rep := s.Health.Report()
 		upd.Health = &rep
@@ -181,7 +211,7 @@ func (s *Server) pushTelemetry(ctx context.Context, w *connWriter, interval time
 			emit(true)
 			return
 		case <-tick.C:
-			final := s.eng.Stopped()
+			final := s.b.Stopped()
 			if !emit(final) || final {
 				return
 			}
@@ -195,15 +225,22 @@ func (s *Server) pushTelemetry(ctx context.Context, w *connWriter, interval time
 func (s *Server) controlReply(ctx context.Context, ctrl wireRecord) (reply []byte, subscribe, fatal bool) {
 	switch ctrl.typ {
 	case RecStats:
-		reply, err := statsReply(s.eng.Stats())
+		reply, err := statsReply(s.b.Stats())
 		return reply, false, err != nil
 	case RecDrain:
-		derr := s.eng.Drain(ctx)
-		reply, err := statsReply(s.eng.Stats())
+		derr := s.b.Drain(ctx)
+		reply, err := statsReply(s.b.Stats())
 		return reply, false, err != nil || derr != nil
 	case RecStageStats:
-		reply, err := stageStatsReply(s.eng.StageStats())
+		reply, err := stageStatsReply(s.b.StageStats())
 		return reply, false, err != nil
+	case RecRoam:
+		// Fire-and-forget like ingest: no reply, and a failed roam (backend
+		// without roaming, unknown AP, draining) is not a connection error.
+		if r, ok := s.b.(Roamer); ok {
+			_ = r.Roam(ctrl.sta, ctrl.length)
+		}
+		return nil, false, false
 	case RecSubscribe:
 		return nil, true, false
 	}
@@ -249,7 +286,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			var perr error
 			items, consumed, ctrl, perr = parseBatch(slab[:fill], items[:0])
 			if len(items) > 0 {
-				_, _ = s.eng.SubmitBatch(items)
+				_, _ = s.b.SubmitBatch(items)
 			}
 			if consumed > 0 {
 				copy(slab, slab[consumed:fill])
@@ -316,21 +353,25 @@ func (s *Server) serveConnLegacy(ctx context.Context, conn net.Conn) {
 		}
 		switch rec.typ {
 		case RecData:
-			_ = s.eng.Submit(rec.sta, rec.payload)
+			_ = s.b.Submit(rec.sta, rec.payload)
 		case RecDataSize:
-			_ = s.eng.SubmitSize(rec.sta, rec.length)
+			_ = s.b.SubmitSize(rec.sta, rec.length)
+		case RecRoam:
+			if r, ok := s.b.(Roamer); ok {
+				_ = r.Roam(rec.sta, rec.length)
+			}
 		case RecStats:
-			if writeStatsReply(bw, s.eng.Stats()) != nil {
+			if writeStatsReply(bw, s.b.Stats()) != nil {
 				return
 			}
 		case RecDrain:
-			err := s.eng.Drain(ctx)
-			st := s.eng.Stats()
+			err := s.b.Drain(ctx)
+			st := s.b.Stats()
 			if writeStatsReply(bw, st) != nil || err != nil {
 				return
 			}
 		case RecStageStats:
-			reply, jerr := stageStatsReply(s.eng.StageStats())
+			reply, jerr := stageStatsReply(s.b.StageStats())
 			if jerr != nil {
 				return
 			}
@@ -341,7 +382,7 @@ func (s *Server) serveConnLegacy(ctx context.Context, conn net.Conn) {
 				return
 			}
 		case RecSubscribe:
-			upd := s.telemetry(0, Stats{}, s.eng.Stopped())
+			upd := s.telemetry(0, Stats{}, s.b.Stopped())
 			reply, jerr := telemetryReply(upd)
 			if jerr != nil {
 				return
@@ -384,7 +425,7 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			var perr error
 			items, consumed, ctrl, perr = parseBatch(dgram[off:], items[:0])
 			if len(items) > 0 {
-				_, _ = s.eng.SubmitBatch(items)
+				_, _ = s.b.SubmitBatch(items)
 			}
 			off += consumed
 			if perr != nil || ctrl.typ == 0 {
@@ -392,7 +433,7 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			}
 			var reply []byte
 			if ctrl.typ == RecSubscribe {
-				upd := s.telemetry(0, Stats{}, s.eng.Stopped())
+				upd := s.telemetry(0, Stats{}, s.b.Stopped())
 				reply, _ = telemetryReply(upd)
 			} else {
 				reply, _, _ = s.controlReply(ctx, ctrl)

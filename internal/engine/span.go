@@ -148,6 +148,31 @@ func finishStages(st *StageStats, snaps *[4]stageSnap) {
 	}
 }
 
+// Merge folds another decomposition into st: sample counts sum, and
+// each stage's mean and quantile estimates become the count-weighted
+// mean of the two — an approximation, since the underlying bucket
+// histograms are not exported. The multi-AP cluster rollup uses this to
+// present one cluster-wide stage view.
+func (st *StageStats) Merge(o StageStats) {
+	st.SampledDelivered += o.SampledDelivered
+	dists := [4]*StageDist{&st.QueueWait, &st.Backoff, &st.Air, &st.Decode}
+	odists := [4]StageDist{o.QueueWait, o.Backoff, o.Air, o.Decode}
+	for i, d := range dists {
+		od := odists[i]
+		tot := d.Count + od.Count
+		if tot == 0 {
+			continue
+		}
+		w1 := float64(d.Count) / float64(tot)
+		w2 := float64(od.Count) / float64(tot)
+		d.MeanMs = d.MeanMs*w1 + od.MeanMs*w2
+		d.P50Ms = d.P50Ms*w1 + od.P50Ms*w2
+		d.P95Ms = d.P95Ms*w1 + od.P95Ms*w2
+		d.P99Ms = d.P99Ms*w1 + od.P99Ms*w2
+		d.Count = tot
+	}
+}
+
 // StageStats snapshots the per-stage decomposition. Like Stats, only the
 // bucket arrays are merged under the shard locks; quantiles compute
 // outside. For a stage view coherent with a Stats snapshot, use

@@ -91,6 +91,12 @@ type Stats struct {
 	// compares.
 	DeliveredBytes       int64   `json:"delivered_bytes"`
 	DeliveredBytesPerSTA []int64 `json:"delivered_bytes_per_sta"`
+	// OfferedSTAs flags stations that were offered traffic — the
+	// fairness denominator. Exported so a multi-AP rollup can merge
+	// per-AP snapshots and recompute ByteFairnessIndex with the same
+	// denominator the single engine uses (a dead station that was
+	// offered but never served still counts).
+	OfferedSTAs []bool `json:"offered_stas,omitempty"`
 	// ByteFairnessIndex is Jain's index over DeliveredBytesPerSTA across
 	// stations that were offered traffic (1 = perfectly fair), the same
 	// form the MAC simulator reports.
@@ -171,6 +177,7 @@ func (e *Engine) statsCoreLocked(now time.Duration) (Stats, []int64) {
 		st.MeanGroupSize = float64(st.Subframes) / float64(st.Transmissions)
 	}
 	st.DeliveredBytesPerSTA = append([]int64(nil), e.deliveredBytes...)
+	st.OfferedSTAs = append([]bool(nil), e.offered...)
 	var sum, sumSq float64
 	var offered float64
 	for i, b := range e.deliveredBytes {

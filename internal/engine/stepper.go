@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// Stepper is a single-threaded stepping facade over one engine: the
+// building block of multi-engine deterministic runs (internal/cluster),
+// where one outer loop interleaves several engines under a shared
+// virtual clock. It decomposes the deterministic runner's iteration —
+// admit, expire, plan, deliver, settle, hop — into calls the outer loop
+// can sequence across engines, so one slot can carry concurrent plans
+// from several APs before any of them settles.
+//
+// A Stepper owns its plan scratch: each engine in a cluster gets its own,
+// and the plans of different steppers coexist within a slot. All methods
+// assume exclusive single-threaded ownership of the engine (no Start).
+type Stepper struct {
+	e  *Engine
+	sc planScratch
+}
+
+// NewStepper wraps an engine for single-threaded stepping.
+func NewStepper(e *Engine) *Stepper { return &Stepper{e: e} }
+
+// Engine returns the stepped engine.
+func (s *Stepper) Engine() *Engine { return s.e }
+
+// Submit admits one size-only frame at virtual time now, with the same
+// typed admission errors as Engine.Submit.
+func (s *Stepper) Submit(sta, size int, payload []byte, now time.Duration) error {
+	return s.e.submitLocked(sta, size, payload, now)
+}
+
+// Expire sweeps MaxLatency-expired frames at virtual time now.
+func (s *Stepper) Expire(now time.Duration) {
+	s.e.expireLocked(now)
+}
+
+// HasEligible reports whether some station has backlog past its backoff
+// gate — exactly when BuildPlan would return a plan (the planner always
+// admits the first eligible frame).
+func (s *Stepper) HasEligible(now time.Duration) bool {
+	for sta := range s.e.queues {
+		q := &s.e.queues[sta]
+		if q.len() > 0 && q.nextEligible <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// SteppedTx is one built-but-unsettled transmission: the plan plus the
+// delivery outcome Deliver stored for Settle.
+type SteppedTx struct {
+	tx        *pendingTx
+	ok        []bool
+	derr      error
+	delivered bool
+}
+
+// Plan exposes the transmission's transport-facing plan (for transports
+// that inspect or wrap delivery, e.g. the cluster's interference layer).
+func (t *SteppedTx) Plan() *Plan { return &t.tx.plan }
+
+// Airtime is the transmission's air occupancy: data airtime plus the
+// sequential-ACK train — what the virtual clock advances by.
+func (t *SteppedTx) Airtime() time.Duration {
+	return t.tx.plan.Airtime + t.tx.plan.ACKTime
+}
+
+// BuildPlan pops eligible frames into one aggregate plan at virtual time
+// now, or returns nil when nothing is schedulable. The returned
+// transmission lives in the stepper's scratch until the next BuildPlan.
+func (s *Stepper) BuildPlan(now time.Duration) *SteppedTx {
+	tx := s.e.buildPlanLocked(now, &s.sc)
+	if tx == nil {
+		return nil
+	}
+	return &SteppedTx{tx: tx}
+}
+
+// Deliver runs the transmission through the engine's transport,
+// storing the per-subframe outcome for Settle.
+func (s *Stepper) Deliver(ctx context.Context, t *SteppedTx) error {
+	t.ok, t.tx.recovered, t.derr = s.e.deliver(ctx, &t.tx.plan)
+	t.delivered = true
+	return t.derr
+}
+
+// Settle applies the delivered transmission's outcome at virtual time
+// now (transmission end): delivery accounting, retries, backoff.
+func (s *Stepper) Settle(t *SteppedTx, now time.Duration) {
+	s.e.accountLocked(t.tx, t.ok, t.derr, now, 0)
+}
+
+// EarliestEligible returns the wait until the soonest backed-off station
+// with backlog becomes eligible; ok is false when none is gated.
+func (s *Stepper) EarliestEligible(now time.Duration) (time.Duration, bool) {
+	return s.e.earliestEligibleLocked(now)
+}
+
+// Stats snapshots the engine's accounting at virtual time now — the
+// single-threaded statsLocked form the deterministic runners use, so a
+// one-engine cluster reproduces RunDeterministic's Stats verbatim.
+func (s *Stepper) Stats(now time.Duration) Stats {
+	return s.e.statsLocked(now)
+}

@@ -99,6 +99,16 @@ type TelemetryUpdate struct {
 	PerSTA []STAStat     `json:"per_sta,omitempty"`
 	Stages *StageStats   `json:"stages,omitempty"`
 	Health *HealthReport `json:"health,omitempty"`
+	// PerAP carries each AP's own Stats when the backend is a multi-AP
+	// cluster (internal/cluster); nil from a bare engine. Stats above is
+	// then the cluster rollup.
+	PerAP []APTelemetry `json:"per_ap,omitempty"`
+}
+
+// APTelemetry is one AP's slice of a cluster telemetry update.
+type APTelemetry struct {
+	AP    int   `json:"ap"`
+	Stats Stats `json:"stats"`
 }
 
 // perSTACoreLocked fills every station's live queue state. Caller holds

@@ -24,7 +24,12 @@ import (
 // stops (last one flagged final) or the connection closes. RecStageStats
 // asks for the per-stage latency decomposition of lifecycle-sampled
 // frames. Replies use the same record framing with the JSON document as
-// payload and sta zero.
+// payload and sta zero. RecRoam asks a multi-AP server (internal/cluster)
+// to move a station to another AP: sta is the station, length the target
+// AP index, no payload and no reply (fire-and-forget, like ingest); a
+// single-AP server ignores it. Records written before a RecRoam on the
+// same stream are admitted before the roam executes, so a client's
+// per-STA FIFO survives its own roam requests.
 const (
 	RecData       = 0x01
 	RecDataSize   = 0x02
@@ -33,6 +38,7 @@ const (
 	RecSubscribe  = 0x05
 	RecTelemetry  = 0x06
 	RecStageStats = 0x07
+	RecRoam       = 0x08
 )
 
 // recHeaderLen is the fixed record prefix size.
@@ -58,6 +64,11 @@ func AppendSizeRecord(buf []byte, sta, size int) []byte {
 // request.
 func AppendControlRecord(buf []byte, typ byte) []byte {
 	return appendHeader(buf, typ, 0, 0)
+}
+
+// AppendRoamRecord appends a RecRoam request moving sta to AP ap.
+func AppendRoamRecord(buf []byte, sta, ap int) []byte {
+	return appendHeader(buf, RecRoam, sta, ap)
 }
 
 // AppendSubscribeRecord appends a RecSubscribe request for a telemetry
@@ -126,7 +137,7 @@ func readRecord(br *bufio.Reader, payloadBuf []byte) (wireRecord, []byte, error)
 // An incomplete record at the tail is not an error: the scan stops before
 // it (consumed excludes it) so a stream reader can shift the tail down and
 // read more. A control record (RecStats, RecDrain, RecSubscribe,
-// RecStageStats) is consumed but ends the scan, letting the caller admit
+// RecStageStats, RecRoam) is consumed but ends the scan, letting the caller admit
 // everything before it, act on it, then resume parsing — preserving the
 // wire FIFO. The returned ctrl is the header of the control record that
 // stopped the scan (ctrl.typ == 0 for none); its length field carries the
@@ -154,7 +165,7 @@ func parseBatch(slab []byte, items []BatchItem) ([]BatchItem, int, wireRecord, e
 		case RecDataSize:
 			items = append(items, BatchItem{STA: sta, Size: length})
 			off += recHeaderLen
-		case RecStats, RecDrain, RecSubscribe, RecStageStats:
+		case RecStats, RecDrain, RecSubscribe, RecStageStats, RecRoam:
 			return items, off + recHeaderLen, wireRecord{typ: typ, sta: sta, length: length}, nil
 		default:
 			return items, off, wireRecord{}, fmt.Errorf("engine: unknown record type %#02x", typ)
